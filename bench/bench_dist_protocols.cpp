@@ -1,0 +1,93 @@
+/// Experiment E17 — distributed executions of the local topology-control
+/// algorithms: rounds, messages, and payload volume in the LOCAL model over
+/// the UDG, with the distributed results verified against the centralized
+/// constructions. (XTC's 1-round / O(m)-message execution is its selling
+/// point in the paper's related work.)
+
+#include <iostream>
+
+#include "rim/analysis/experiment.hpp"
+#include "rim/core/interference.hpp"
+#include "rim/dist/protocols.hpp"
+#include "rim/graph/udg.hpp"
+#include "rim/io/table.hpp"
+#include "rim/sim/generators.hpp"
+#include "rim/topology/lmst.hpp"
+#include "rim/topology/nearest_neighbor_forest.hpp"
+#include "rim/topology/xtc.hpp"
+
+namespace {
+
+bool same_edges(const rim::graph::Graph& a, const rim::graph::Graph& b) {
+  if (a.edge_count() != b.edge_count()) return false;
+  for (rim::graph::Edge e : a.edges()) {
+    if (!b.has_edge(e.u, e.v)) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+int main() {
+  using namespace rim;
+  analysis::run_experiment(
+      {"E17", "Message complexity of distributed topology control",
+       "Section 2 related work (XTC, LMST as local algorithms)",
+       "NNF/XTC: 1 round, 2m messages; LMST: 2 rounds, + <= 6n notices; "
+       "distributed == centralized"},
+      std::cout, [](std::ostream& out) {
+        io::Table table({"protocol", "n", "UDG edges", "rounds", "messages",
+                         "payload (doubles)", "I(result)", "== centralized"});
+        for (std::size_t n : {100u, 400u, 1600u}) {
+          const double side = std::sqrt(static_cast<double>(n) / 16.0);
+          const auto points = sim::uniform_square(n, side, 7);
+          const graph::Graph udg = graph::build_udg(points, 1.0);
+
+          {
+            dist::DistributedNnf protocol(points, udg);
+            const auto stats = dist::run_protocol(udg, protocol);
+            const graph::Graph result = protocol.result();
+            table.row()
+                .cell("nnf")
+                .cell(static_cast<std::uint64_t>(n))
+                .cell(static_cast<std::uint64_t>(udg.edge_count()))
+                .cell(static_cast<std::uint64_t>(stats.rounds))
+                .cell(stats.messages)
+                .cell(stats.payload_doubles)
+                .cell(core::graph_interference(result, points))
+                .cell(same_edges(result,
+                                 topology::nearest_neighbor_forest(points, udg)));
+          }
+          {
+            dist::DistributedXtc protocol(points, udg);
+            const auto stats = dist::run_protocol(udg, protocol);
+            const graph::Graph result = protocol.result();
+            table.row()
+                .cell("xtc")
+                .cell(static_cast<std::uint64_t>(n))
+                .cell(static_cast<std::uint64_t>(udg.edge_count()))
+                .cell(static_cast<std::uint64_t>(stats.rounds))
+                .cell(stats.messages)
+                .cell(stats.payload_doubles)
+                .cell(core::graph_interference(result, points))
+                .cell(same_edges(result, topology::xtc(points, udg)));
+          }
+          {
+            dist::DistributedLmst protocol(points, udg, 1.0);
+            const auto stats = dist::run_protocol(udg, protocol);
+            const graph::Graph result = protocol.result();
+            table.row()
+                .cell("lmst")
+                .cell(static_cast<std::uint64_t>(n))
+                .cell(static_cast<std::uint64_t>(udg.edge_count()))
+                .cell(static_cast<std::uint64_t>(stats.rounds))
+                .cell(stats.messages)
+                .cell(stats.payload_doubles)
+                .cell(core::graph_interference(result, points))
+                .cell(same_edges(result, topology::lmst(points, udg)));
+          }
+        }
+        table.print(out);
+      });
+  return 0;
+}

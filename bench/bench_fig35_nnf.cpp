@@ -1,0 +1,62 @@
+/// Experiment E3 — Theorem 4.1, Figures 3-5: the Nearest Neighbor Forest
+/// (contained in essentially all classic topology-control outputs) suffers
+/// interference Ω(n) on the two-exponential-chains instance, while an
+/// explicit tree achieves O(1).
+
+#include <iostream>
+
+#include "rim/analysis/experiment.hpp"
+#include "rim/analysis/fit.hpp"
+#include "rim/core/interference.hpp"
+#include "rim/graph/connectivity.hpp"
+#include "rim/graph/udg.hpp"
+#include "rim/io/table.hpp"
+#include "rim/sim/adversarial.hpp"
+#include "rim/topology/mst_topology.hpp"
+#include "rim/topology/nearest_neighbor_forest.hpp"
+
+int main() {
+  using namespace rim;
+  analysis::run_experiment(
+      {"E3", "NNF vs optimal tree on the two-exponential-chains instance",
+       "Theorem 4.1; Figures 3, 4, 5",
+       "I(NNF) grows ~ n/3 (leftmost node); optimal tree stays O(1)"},
+      std::cout, [](std::ostream& out) {
+        io::Table table({"m (h-nodes)", "n", "I(NNF)", "I(h0) NNF", "I(MST)",
+                         "I(fig5 tree)", "NNF/opt ratio"});
+        std::vector<double> ns;
+        std::vector<double> nnf_values;
+        for (std::size_t m : {4u, 8u, 16u, 32u, 64u, 128u}) {
+          const sim::TwoChainInstance inst = sim::two_exponential_chains(m);
+          const graph::Graph udg = graph::build_udg(inst.points, 1.0);
+          const graph::Graph nnf =
+              topology::nearest_neighbor_forest(inst.points, udg);
+          const graph::Graph mst = topology::mst_topology(inst.points, udg);
+          const graph::Graph fig5 = inst.low_interference_tree();
+          const core::InterferenceSummary nnf_summary =
+              core::evaluate_interference(nnf, inst.points);
+          const std::uint32_t mst_i = core::graph_interference(mst, inst.points);
+          const std::uint32_t opt_i = core::graph_interference(fig5, inst.points);
+          table.row()
+              .cell(static_cast<std::uint64_t>(m))
+              .cell(static_cast<std::uint64_t>(inst.points.size()))
+              .cell(nnf_summary.max)
+              .cell(nnf_summary.per_node[inst.h[0]])
+              .cell(mst_i)
+              .cell(opt_i)
+              .cell(static_cast<double>(nnf_summary.max) /
+                        static_cast<double>(opt_i),
+                    2);
+          ns.push_back(static_cast<double>(inst.points.size()));
+          nnf_values.push_back(static_cast<double>(nnf_summary.max));
+        }
+        table.print(out);
+        const analysis::LinearFit fit = analysis::fit_power_law(ns, nnf_values);
+        out << "\nlog-log fit of I(NNF) vs n: slope = " << fit.slope
+            << " (R^2 = " << fit.r_squared << ") — linear growth, while the\n"
+            << "Figure-5-style tree holds a constant, so the ratio is Ω(n).\n"
+            << "The MST column shows a classic 'good' topology inheriting the\n"
+            << "same Ω(n) because it contains the NNF.\n";
+      });
+  return 0;
+}

@@ -1,0 +1,53 @@
+/// Experiment E4 — Figures 6 and 7: the linearly connected exponential node
+/// chain. Every node but the rightmost covers the leftmost node, so
+/// interference is n - 2 there; the per-node profile reproduces Figure 7's
+/// node labels.
+
+#include <iostream>
+
+#include "rim/analysis/experiment.hpp"
+#include "rim/core/radii.hpp"
+#include "rim/highway/highway_instance.hpp"
+#include "rim/highway/interference_1d.hpp"
+#include "rim/highway/linear_chain.hpp"
+#include "rim/io/table.hpp"
+
+int main() {
+  using namespace rim;
+  analysis::run_experiment(
+      {"E4", "Linearly connected exponential node chain",
+       "Figures 6 and 7; Section 5.1",
+       "per-node interference n-2, n-2, ..., decreasing to the right"},
+      std::cout, [](std::ostream& out) {
+        // Figure 7 reproduction: the per-node interference labels for n=8.
+        const std::size_t kFigureN = 8;
+        const auto chain = highway::exponential_chain(kFigureN);
+        const graph::Graph topo = highway::linear_chain(chain, 1.0);
+        const auto points = chain.to_points();
+        const auto radii = core::transmission_radii(topo, points);
+        const auto per_node = highway::interference_1d(chain.positions(), radii);
+        io::Table profile({"node", "position", "radius", "I(v)"});
+        for (NodeId v = 0; v < kFigureN; ++v) {
+          profile.row()
+              .cell(static_cast<std::uint64_t>(v))
+              .cell(chain.position(v), 5)
+              .cell(radii[v], 5)
+              .cell(per_node[v]);
+        }
+        profile.print(out);
+
+        out << "\nScaling of I(G_lin) with n (expected exactly n - 2):\n";
+        io::Table scaling({"n", "I(linear chain)", "n-2"});
+        for (std::size_t n : {8u, 16u, 32u, 64u, 128u, 256u, 512u, 1024u}) {
+          const auto c = highway::exponential_chain(n);
+          const std::uint32_t interference =
+              highway::graph_interference_1d(c, highway::linear_chain(c, 1.0));
+          scaling.row()
+              .cell(static_cast<std::uint64_t>(n))
+              .cell(interference)
+              .cell(static_cast<std::uint64_t>(n - 2));
+        }
+        scaling.print(out);
+      });
+  return 0;
+}

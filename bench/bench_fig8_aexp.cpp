@@ -1,0 +1,64 @@
+/// Experiment E5 — Figure 8, Theorem 5.1: A_exp on the exponential node
+/// chain achieves interference O(sqrt n); hubs are connected to one more
+/// node each (1, 1, 2, 3, ...).
+
+#include <iostream>
+
+#include "rim/analysis/experiment.hpp"
+#include "rim/analysis/fit.hpp"
+#include "rim/core/radii.hpp"
+#include "rim/highway/a_exp.hpp"
+#include "rim/highway/bounds.hpp"
+#include "rim/highway/highway_instance.hpp"
+#include "rim/highway/interference_1d.hpp"
+#include "rim/io/table.hpp"
+
+int main() {
+  using namespace rim;
+  analysis::run_experiment(
+      {"E5", "A_exp on the exponential node chain",
+       "Figure 8; Theorem 5.1 (upper), Theorem 5.2 (lower)",
+       "I(G_exp) ~ sqrt(2n), matching the sqrt(n) lower bound"},
+      std::cout, [](std::ostream& out) {
+        // Figure 8 reproduction for n = 32: hub structure and profile.
+        const auto chain = highway::exponential_chain(32);
+        const highway::AExpResult fig = highway::a_exp(chain);
+        out << "hubs (n=32): ";
+        for (NodeId h : fig.hubs) out << h << ' ';
+        out << "\nhub gaps:    ";
+        for (std::size_t i = 1; i < fig.hubs.size(); ++i) {
+          out << fig.hubs[i] - fig.hubs[i - 1] << ' ';
+        }
+        const auto points = chain.to_points();
+        const auto radii = core::transmission_radii(fig.topology, points);
+        const auto per_node = highway::interference_1d(chain.positions(), radii);
+        out << "\nper-node I : ";
+        for (std::uint32_t i : per_node) out << i << ' ';
+        out << "\n\n";
+
+        io::Table table({"n", "I(A_exp)", "thm5.1 upper", "thm5.2 lower",
+                         "sqrt(2n)", "I/sqrt(n)"});
+        std::vector<double> ns;
+        std::vector<double> is;
+        for (std::size_t n : {8u, 16u, 32u, 64u, 128u, 256u, 512u, 1024u}) {
+          const auto c = highway::exponential_chain(n);
+          const highway::AExpResult result = highway::a_exp(c);
+          table.row()
+              .cell(static_cast<std::uint64_t>(n))
+              .cell(result.interference)
+              .cell(highway::aexp_upper_bound(n))
+              .cell(highway::exponential_chain_lower_bound(n))
+              .cell(std::sqrt(2.0 * static_cast<double>(n)), 1)
+              .cell(static_cast<double>(result.interference) /
+                        std::sqrt(static_cast<double>(n)),
+                    3);
+          ns.push_back(static_cast<double>(n));
+          is.push_back(static_cast<double>(result.interference));
+        }
+        table.print(out);
+        const analysis::LinearFit fit = analysis::fit_power_law(ns, is);
+        out << "\nlog-log fit: I(A_exp) ~ n^" << fit.slope
+            << " (R^2 = " << fit.r_squared << "); paper predicts exponent 0.5.\n";
+      });
+  return 0;
+}

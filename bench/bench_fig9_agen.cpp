@@ -1,0 +1,78 @@
+/// Experiment E7 — Figure 9, Theorem 5.4: A_gen yields O(sqrt Δ)
+/// interference on arbitrary highway instances.
+
+#include <iostream>
+
+#include "rim/analysis/experiment.hpp"
+#include "rim/analysis/fit.hpp"
+#include "rim/analysis/stats.hpp"
+#include "rim/highway/a_gen.hpp"
+#include "rim/highway/interference_1d.hpp"
+#include "rim/highway/linear_chain.hpp"
+#include "rim/io/table.hpp"
+#include "rim/sim/generators.hpp"
+
+int main() {
+  using namespace rim;
+  analysis::run_experiment(
+      {"E7", "A_gen on random highway instances",
+       "Figure 9; Theorem 5.4",
+       "I(A_gen) = O(sqrt Δ) regardless of the node distribution"},
+      std::cout, [](std::ostream& out) {
+        // Figure 9 illustration: one dense segment, hub skeleton printed.
+        const auto demo = sim::uniform_highway(30, 1.0, 5);
+        const highway::AGenResult fig = highway::a_gen(demo, 1.0);
+        out << "demo segment (n=30, Δ=" << fig.delta
+            << ", spacing=" << fig.hub_spacing << "): hubs at";
+        for (NodeId h : fig.hubs) out << ' ' << h;
+        out << "\n\n";
+
+        // Density sweep: interference vs Δ, averaged over seeds.
+        io::Table table({"n", "length", "mean Δ", "mean I(A_gen)", "sqrt(Δ)",
+                         "I/sqrt(Δ)", "mean I(linear)"});
+        std::vector<double> deltas;
+        std::vector<double> interferences;
+        for (const auto& [n, length] :
+             std::vector<std::pair<std::size_t, double>>{{200, 40.0},
+                                                         {200, 20.0},
+                                                         {400, 20.0},
+                                                         {800, 20.0},
+                                                         {1600, 20.0},
+                                                         {3200, 20.0}}) {
+          std::vector<double> delta_samples;
+          std::vector<double> i_samples;
+          std::vector<double> lin_samples;
+          for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+            const auto inst = sim::uniform_highway(n, length, seed);
+            const highway::AGenResult result = highway::a_gen(inst, 1.0);
+            delta_samples.push_back(static_cast<double>(result.delta));
+            i_samples.push_back(static_cast<double>(
+                highway::graph_interference_1d(inst, result.topology)));
+            lin_samples.push_back(static_cast<double>(
+                highway::graph_interference_1d(inst,
+                                               highway::linear_chain(inst, 1.0))));
+          }
+          const double mean_delta = analysis::summarize(delta_samples).mean;
+          const double mean_i = analysis::summarize(i_samples).mean;
+          table.row()
+              .cell(static_cast<std::uint64_t>(n))
+              .cell(length, 0)
+              .cell(mean_delta, 1)
+              .cell(mean_i, 1)
+              .cell(std::sqrt(mean_delta), 1)
+              .cell(mean_i / std::sqrt(mean_delta), 2)
+              .cell(analysis::summarize(lin_samples).mean, 1);
+          deltas.push_back(mean_delta);
+          interferences.push_back(mean_i);
+        }
+        table.print(out);
+        const analysis::LinearFit fit =
+            analysis::fit_power_law(deltas, interferences);
+        out << "\nlog-log fit: I(A_gen) ~ Δ^" << fit.slope
+            << " (R^2 = " << fit.r_squared
+            << "); Theorem 5.4 predicts exponent 0.5.\n"
+            << "Note the linear chain's column: on these uniform instances it\n"
+               "is much better than A_gen — the observation motivating A_apx.\n";
+      });
+  return 0;
+}

@@ -1,0 +1,96 @@
+/// Experiment E10 — the introduction's motivation, made measurable:
+/// receiver-side interference => collisions => retransmissions => energy.
+/// The same instances run under different topologies through the slotted
+/// MAC; delivery and energy track the paper's interference measure.
+
+#include <iostream>
+
+#include "rim/analysis/experiment.hpp"
+#include "rim/analysis/stats.hpp"
+#include "rim/graph/udg.hpp"
+#include "rim/highway/a_exp.hpp"
+#include "rim/highway/highway_instance.hpp"
+#include "rim/highway/linear_chain.hpp"
+#include "rim/io/table.hpp"
+#include "rim/mac/simulation.hpp"
+#include "rim/sim/generators.hpp"
+#include "rim/topology/registry.hpp"
+
+namespace {
+
+void report_row(rim::io::Table& table, const char* name,
+                const rim::mac::SimulationReport& r) {
+  const double collision_rate =
+      r.mac.transmissions == 0
+          ? 0.0
+          : static_cast<double>(r.mac.collisions) /
+                static_cast<double>(r.mac.transmissions);
+  table.row()
+      .cell(name)
+      .cell(r.interference)
+      .cell(r.mac.delivered)
+      .cell(r.mac.delivery_ratio(), 3)
+      .cell(collision_rate, 3)
+      .cell(r.mac.mean_delay(), 1)
+      .cell(r.mac.energy_per_delivery(), 4);
+}
+
+}  // namespace
+
+int main() {
+  using namespace rim;
+  analysis::run_experiment(
+      {"E10", "Packet-level consequences of interference",
+       "Introduction (motivation); Section 3 disk model",
+       "lower receiver-centric interference => higher throughput, fewer "
+       "collisions, less energy per delivered frame"},
+      std::cout, [](std::ostream& out) {
+        // Part 1: exponential chain, saturated traffic.
+        {
+          const auto chain = highway::exponential_chain(48);
+          const auto points = chain.to_points();
+          mac::SimulationConfig config;
+          config.slots = 4000;
+          config.arrival_rate = 1.0;
+          config.mac.transmit_probability = 0.1;
+          config.seed = 3;
+          io::Table table({"topology", "I(G')", "delivered", "deliv. ratio",
+                           "collision rate", "mean delay", "energy/frame"});
+          report_row(table, "linear chain",
+                     mac::simulate_traffic(highway::linear_chain(chain, 1.0),
+                                           points, config));
+          report_row(table, "A_exp",
+                     mac::simulate_traffic(highway::a_exp(chain).topology,
+                                           points, config));
+          out << "-- exponential chain (n=48), saturated slotted ALOHA\n";
+          table.print(out);
+          out << '\n';
+        }
+
+        // Part 2: random 2-D deployment across the topology zoo.
+        {
+          const auto points = sim::uniform_square(150, 3.0, 9);
+          const graph::Graph udg = graph::build_udg(points, 1.0);
+          mac::SimulationConfig config;
+          config.slots = 4000;
+          config.arrival_rate = 1.0;
+          config.mac.transmit_probability = 0.1;
+          config.seed = 4;
+          io::Table table({"topology", "I(G')", "delivered", "deliv. ratio",
+                           "collision rate", "mean delay", "energy/frame"});
+          report_row(table, "udg (no control)",
+                     mac::simulate_traffic(udg, points, config));
+          for (const char* name : {"nnf", "mst", "gabriel", "rng", "yao6",
+                                   "xtc", "lmst", "life", "lise2"}) {
+            const auto* algorithm = topology::find_algorithm(name);
+            report_row(
+                table, name,
+                mac::simulate_traffic(algorithm->build(points, udg), points,
+                                      config));
+          }
+          out << "-- uniform 2-D deployment (n=150), saturated slotted ALOHA\n";
+          table.print(out);
+        }
+      });
+  return 0;
+}

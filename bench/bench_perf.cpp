@@ -1,0 +1,164 @@
+/// Experiment E12 — performance of the library's kernels (google-benchmark):
+/// interference evaluation strategies, UDG construction, spatial indices,
+/// and the Section 5 algorithms.
+
+#include <benchmark/benchmark.h>
+
+#include "rim/core/interference.hpp"
+#include "rim/core/radii.hpp"
+#include "rim/geom/grid_index.hpp"
+#include "rim/geom/kdtree.hpp"
+#include "rim/graph/udg.hpp"
+#include "rim/highway/a_apx.hpp"
+#include "rim/highway/a_exp.hpp"
+#include "rim/highway/a_gen.hpp"
+#include "rim/highway/highway_instance.hpp"
+#include "rim/highway/interference_1d.hpp"
+#include "rim/sim/generators.hpp"
+#include "rim/topology/mst_topology.hpp"
+#include "rim/topology/registry.hpp"
+
+namespace {
+
+using namespace rim;
+
+struct Prepared {
+  geom::PointSet points;
+  graph::Graph udg;
+  graph::Graph mst;
+  std::vector<double> radii;
+};
+
+Prepared prepare(std::size_t n) {
+  Prepared p;
+  // Density held constant (~12.5 nodes per unit square).
+  const double side = std::sqrt(static_cast<double>(n) / 12.5);
+  p.points = sim::uniform_square(n, side, 42);
+  p.udg = graph::build_udg(p.points, 1.0);
+  p.mst = topology::mst_topology(p.points, p.udg);
+  p.radii = core::transmission_radii(p.mst, p.points);
+  return p;
+}
+
+void BM_InterferenceBrute(benchmark::State& state) {
+  const Prepared p = prepare(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::interference_vector(
+        p.points, p.radii, core::EvalStrategy::kBrute));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_InterferenceBrute)->RangeMultiplier(4)->Range(256, 4096)->Complexity();
+
+void BM_InterferenceGrid(benchmark::State& state) {
+  const Prepared p = prepare(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::interference_vector(
+        p.points, p.radii, core::EvalStrategy::kGrid));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_InterferenceGrid)->RangeMultiplier(4)->Range(256, 65536)->Complexity();
+
+void BM_InterferenceParallel(benchmark::State& state) {
+  const Prepared p = prepare(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::interference_vector(
+        p.points, p.radii, core::EvalStrategy::kParallel));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_InterferenceParallel)
+    ->RangeMultiplier(4)
+    ->Range(256, 65536)
+    ->Complexity();
+
+void BM_UdgConstruction(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const double side = std::sqrt(static_cast<double>(n) / 12.5);
+  const auto points = sim::uniform_square(n, side, 7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(graph::build_udg(points, 1.0));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_UdgConstruction)->RangeMultiplier(4)->Range(256, 65536)->Complexity();
+
+void BM_GridIndexQuery(benchmark::State& state) {
+  const auto points = sim::uniform_square(65536, 72.0, 3);
+  const geom::GridIndex index(points, 1.0);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(index.count_in_disk(points[i % points.size()], 1.0));
+    ++i;
+  }
+}
+BENCHMARK(BM_GridIndexQuery);
+
+void BM_KdTreeNearest(benchmark::State& state) {
+  const auto points = sim::uniform_square(65536, 72.0, 3);
+  const geom::KdTree tree(points);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        tree.nearest(points[i % points.size()], static_cast<NodeId>(i % points.size())));
+    ++i;
+  }
+}
+BENCHMARK(BM_KdTreeNearest);
+
+void BM_AExp(benchmark::State& state) {
+  const auto chain =
+      highway::exponential_chain(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(highway::a_exp(chain));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_AExp)->RangeMultiplier(2)->Range(64, 1024)->Complexity();
+
+void BM_AGen(benchmark::State& state) {
+  const auto inst = sim::uniform_highway(
+      static_cast<std::size_t>(state.range(0)),
+      static_cast<double>(state.range(0)) / 40.0, 5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(highway::a_gen(inst, 1.0));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_AGen)->RangeMultiplier(4)->Range(1024, 65536)->Complexity();
+
+void BM_AApx(benchmark::State& state) {
+  const auto inst = sim::uniform_highway(
+      static_cast<std::size_t>(state.range(0)),
+      static_cast<double>(state.range(0)) / 40.0, 5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(highway::a_apx(inst, 1.0));
+  }
+}
+BENCHMARK(BM_AApx)->RangeMultiplier(4)->Range(1024, 65536);
+
+void BM_Interference1D(benchmark::State& state) {
+  const auto inst = sim::uniform_highway(
+      static_cast<std::size_t>(state.range(0)),
+      static_cast<double>(state.range(0)) / 40.0, 5);
+  const auto topo = highway::a_gen(inst, 1.0).topology;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(highway::graph_interference_1d(inst, topo));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_Interference1D)->RangeMultiplier(4)->Range(1024, 65536)->Complexity();
+
+void BM_TopologyAlgorithms(benchmark::State& state) {
+  const Prepared p = prepare(1000);
+  const auto algorithms = topology::all_algorithms();
+  const auto& algorithm = algorithms[static_cast<std::size_t>(state.range(0))];
+  state.SetLabel(algorithm.name);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(algorithm.build(p.points, p.udg));
+  }
+}
+BENCHMARK(BM_TopologyAlgorithms)->DenseRange(0, 9);
+
+}  // namespace

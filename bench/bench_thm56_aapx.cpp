@@ -1,0 +1,98 @@
+/// Experiment E8 — Theorem 5.6: A_apx approximates the optimal
+/// connectivity-preserving topology within O(Δ^{1/4}) by switching between
+/// the linear chain (γ <= sqrt Δ) and A_gen (γ > sqrt Δ).
+
+#include <cmath>
+#include <iostream>
+
+#include "rim/analysis/experiment.hpp"
+#include "rim/highway/a_apx.hpp"
+#include "rim/highway/a_gen.hpp"
+#include "rim/highway/bounds.hpp"
+#include "rim/highway/exact_optimum.hpp"
+#include "rim/highway/interference_1d.hpp"
+#include "rim/highway/linear_chain.hpp"
+#include "rim/highway/local_search.hpp"
+#include "rim/io/table.hpp"
+#include "rim/sim/generators.hpp"
+#include "rim/topology/mst_topology.hpp"
+
+namespace {
+
+struct Case {
+  const char* name;
+  rim::highway::HighwayInstance instance;
+};
+
+}  // namespace
+
+int main() {
+  using namespace rim;
+  analysis::run_experiment(
+      {"E8", "A_apx: hybrid approximation on heterogeneous instances",
+       "Theorem 5.6; Section 5.3",
+       "measured / opt-bound <= O(Δ^{1/4}); branch picked per instance class"},
+      std::cout, [](std::ostream& out) {
+        std::vector<Case> cases;
+        cases.push_back({"uniform dense", sim::uniform_highway(600, 6.0, 3)});
+        cases.push_back({"uniform sparse", sim::uniform_highway(200, 60.0, 3)});
+        cases.push_back({"exp chain", highway::exponential_chain(256)});
+        cases.push_back(
+            {"perturbed exp", sim::perturbed_exponential_chain(256, 0.25, 4)});
+        cases.push_back({"blocked", sim::blocked_highway(12, 50, 0.5, 1.0, 5)});
+
+        io::Table table({"instance", "n", "Δ", "γ", "branch", "I(A_apx)",
+                         "I(linear)", "I(A_gen)", "LB(√(γ/2))", "apx/LB",
+                         "Δ^0.25"});
+        for (const Case& c : cases) {
+          const auto& inst = c.instance;
+          const highway::AApxResult apx = highway::a_apx(inst, 1.0);
+          const std::uint32_t apx_i =
+              highway::graph_interference_1d(inst, apx.topology);
+          const std::uint32_t lin_i = highway::graph_interference_1d(
+              inst, highway::linear_chain(inst, 1.0));
+          const std::uint32_t gen_i = highway::graph_interference_1d(
+              inst, highway::a_gen(inst, 1.0).topology);
+          const double lb =
+              std::max(1.0, highway::lemma55_lower_bound(apx.gamma));
+          table.row()
+              .cell(c.name)
+              .cell(static_cast<std::uint64_t>(inst.size()))
+              .cell(static_cast<std::uint64_t>(apx.delta))
+              .cell(apx.gamma)
+              .cell(apx.used_agen ? "A_gen" : "linear")
+              .cell(apx_i)
+              .cell(lin_i)
+              .cell(gen_i)
+              .cell(lb, 1)
+              .cell(static_cast<double>(apx_i) / lb, 2)
+              .cell(std::pow(static_cast<double>(apx.delta), 0.25), 2);
+        }
+        table.print(out);
+
+        // Tightness of the lower bound on a small chain, where local search
+        // (cheap at this size) gives a near-optimal upper estimate.
+        {
+          const auto chain = highway::exponential_chain(24);
+          const auto points = chain.to_points();
+          const graph::Graph udg = chain.udg(1.0);
+          highway::LocalSearchParams params;
+          params.max_rounds = 8;
+          const auto ls = highway::local_search_min_interference(
+              points, udg, highway::linear_chain(chain, 1.0), params);
+          const highway::AApxResult apx = highway::a_apx(chain, 1.0);
+          out << "\nLemma 5.5 tightness on the exponential chain n=24: "
+              << "LB = " << highway::lemma55_lower_bound(apx.gamma)
+              << ", local-search tree achieves " << ls.interference
+              << ", A_apx achieves "
+              << highway::graph_interference_1d(chain, apx.topology) << ".\n";
+        }
+
+        out << "\nReading: on uniform/blocked instances A_apx takes the linear\n"
+               "branch and beats A_gen outright; on exponential-type instances\n"
+               "it takes A_gen and stays within a small multiple of the\n"
+               "Lemma 5.5 lower bound — the apx/LB column is O(Δ^{1/4}) as\n"
+               "Theorem 5.6 promises.\n";
+      });
+  return 0;
+}

@@ -1,0 +1,97 @@
+/// Experiment E9 — Section 4's claim quantified: the interference of every
+/// classic topology-control construction on random 2-D deployments, side by
+/// side with spanner quality, degree, and power, in both interference
+/// models.
+
+#include <iostream>
+
+#include "rim/analysis/experiment.hpp"
+#include "rim/analysis/stats.hpp"
+#include "rim/core/interference.hpp"
+#include "rim/core/radii.hpp"
+#include "rim/core/sender_centric.hpp"
+#include "rim/graph/connectivity.hpp"
+#include "rim/graph/stretch.hpp"
+#include "rim/graph/udg.hpp"
+#include "rim/io/table.hpp"
+#include "rim/sim/adversarial.hpp"
+#include "rim/sim/generators.hpp"
+#include "rim/topology/registry.hpp"
+
+namespace {
+
+void survey(std::ostream& out, const char* title,
+            const std::vector<rim::geom::PointSet>& instances) {
+  using namespace rim;
+  out << title << '\n';
+  io::Table table({"algorithm", "I recv (max)", "I recv (mean)", "I send (max)",
+                   "deg max", "edges", "stretch max", "power", "connected"});
+  for (const auto& algorithm : topology::all_algorithms()) {
+    std::vector<double> recv_max;
+    std::vector<double> recv_mean;
+    std::vector<double> send_max;
+    std::vector<double> deg;
+    std::vector<double> edges;
+    std::vector<double> stretch;
+    std::vector<double> power;
+    bool connected = true;
+    for (const auto& points : instances) {
+      const graph::Graph udg = graph::build_udg(points, 1.0);
+      const graph::Graph topo = algorithm.build(points, udg);
+      const core::InterferenceSummary recv =
+          core::evaluate_interference(topo, points);
+      recv_max.push_back(recv.max);
+      recv_mean.push_back(recv.mean);
+      send_max.push_back(core::evaluate_sender_centric(topo, points).max);
+      deg.push_back(static_cast<double>(topo.max_degree()));
+      edges.push_back(static_cast<double>(topo.edge_count()));
+      const auto report = graph::measure_stretch(udg, topo, points);
+      stretch.push_back(report.max_euclidean_stretch);
+      power.push_back(
+          core::total_power(core::transmission_radii(topo, points), 2.0));
+      connected = connected && graph::preserves_connectivity(udg, topo);
+    }
+    table.row()
+        .cell(algorithm.name)
+        .cell(analysis::summarize(recv_max).mean, 1)
+        .cell(analysis::summarize(recv_mean).mean, 2)
+        .cell(analysis::summarize(send_max).mean, 1)
+        .cell(analysis::summarize(deg).mean, 1)
+        .cell(analysis::summarize(edges).mean, 0)
+        .cell(analysis::summarize(stretch).mean, 2)
+        .cell(analysis::summarize(power).mean, 2)
+        .cell(connected);
+  }
+  table.print(out);
+  out << '\n';
+}
+
+}  // namespace
+
+int main() {
+  using namespace rim;
+  analysis::run_experiment(
+      {"E9", "Interference survey of classic topology-control algorithms",
+       "Section 4 (claim that known algorithms interfere); Theorem 4.1",
+       "NNF-containing topologies cluster together; LIFE optimises the wrong "
+       "(sender-centric) measure"},
+      std::cout, [](std::ostream& out) {
+        std::vector<geom::PointSet> uniform;
+        for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+          uniform.push_back(sim::uniform_square(200, 4.0, seed));
+        }
+        survey(out, "-- uniform deployments (n=200, 4x4, 5 seeds)", uniform);
+
+        std::vector<geom::PointSet> clustered;
+        for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+          clustered.push_back(sim::gaussian_clusters(200, 5, 4.0, 0.25, seed));
+        }
+        survey(out, "-- clustered deployments (n=200, 5 clusters, 5 seeds)",
+               clustered);
+
+        std::vector<geom::PointSet> adversarial;
+        adversarial.push_back(sim::two_exponential_chains(40).points);
+        survey(out, "-- two-exponential-chains instance (m=40)", adversarial);
+      });
+  return 0;
+}

@@ -1,0 +1,51 @@
+/// Churn walkthrough: watch both interference measures as nodes join and
+/// leave a live network, with the topology recomputed after every event.
+///
+///   $ ./churn_demo            # MST, 50 nodes, 40 events
+///   $ ./churn_demo gabriel 80 100 7   # algorithm, nodes, events, seed
+
+#include <cstdlib>
+#include <iostream>
+
+#include "rim/io/table.hpp"
+#include "rim/sim/churn.hpp"
+#include "rim/topology/registry.hpp"
+
+int main(int argc, char** argv) {
+  using namespace rim;
+
+  const std::string name = argc > 1 ? argv[1] : "mst";
+  const auto* algorithm = topology::find_algorithm(name);
+  if (algorithm == nullptr) {
+    std::cerr << "unknown algorithm '" << name << "'; available:";
+    for (const auto& a : topology::all_algorithms()) std::cerr << ' ' << a.name;
+    std::cerr << '\n';
+    return 1;
+  }
+
+  sim::ChurnConfig config;
+  config.initial_nodes =
+      argc > 2 ? static_cast<std::size_t>(std::atoll(argv[2])) : 50;
+  config.events = argc > 3 ? static_cast<std::size_t>(std::atoll(argv[3])) : 40;
+  config.seed = argc > 4 ? static_cast<std::uint64_t>(std::atoll(argv[4])) : 1;
+
+  const sim::ChurnTrace trace = sim::run_churn(config, algorithm->build);
+
+  io::Table table({"event", "change", "nodes", "I recv", "I send"});
+  for (std::size_t i = 0; i < trace.steps.size(); ++i) {
+    const sim::ChurnStep& step = trace.steps[i];
+    table.row()
+        .cell(static_cast<std::uint64_t>(i))
+        .cell(i == 0 ? "start" : (step.added ? "+node" : "-node"))
+        .cell(static_cast<std::uint64_t>(step.node_count))
+        .cell(step.receiver_max)
+        .cell(step.sender_max);
+  }
+  table.print(std::cout);
+  std::cout << "\nlargest single-event jump: receiver-centric "
+            << trace.max_receiver_jump() << ", sender-centric "
+            << trace.max_sender_jump()
+            << "\n(the receiver-centric measure is the calm one — the "
+               "paper's robustness claim)\n";
+  return 0;
+}

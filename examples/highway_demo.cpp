@@ -1,0 +1,93 @@
+/// Highway model walkthrough (paper Section 5): build an exponential node
+/// chain (or a user-chosen 1-D instance), run all four ways of connecting
+/// it — linear chain, A_exp, A_gen, A_apx — and report interference next to
+/// the theoretical bounds.
+///
+///   $ ./highway_demo            # exponential chain, n = 64
+///   $ ./highway_demo 256        # exponential chain, n = 256
+///   $ ./highway_demo 500 25.0 7 # uniform highway: n, length, seed
+
+#include <cstdlib>
+#include <iostream>
+
+#include "rim/highway/a_apx.hpp"
+#include "rim/highway/a_exp.hpp"
+#include "rim/highway/a_gen.hpp"
+#include "rim/highway/bounds.hpp"
+#include "rim/highway/critical.hpp"
+#include "rim/highway/interference_1d.hpp"
+#include "rim/highway/linear_chain.hpp"
+#include "rim/io/table.hpp"
+#include "rim/sim/generators.hpp"
+
+int main(int argc, char** argv) {
+  using namespace rim;
+
+  std::size_t n = 64;
+  if (argc > 1) n = static_cast<std::size_t>(std::atoll(argv[1]));
+
+  highway::HighwayInstance instance;
+  bool is_exponential = argc <= 2;
+  if (is_exponential) {
+    instance = highway::exponential_chain(n);
+    std::cout << "instance: exponential node chain, n = " << n << "\n";
+  } else {
+    const double length = std::atof(argv[2]);
+    const std::uint64_t seed = argc > 3
+                                   ? static_cast<std::uint64_t>(std::atoll(argv[3]))
+                                   : 1;
+    instance = sim::uniform_highway(n, length, seed);
+    std::cout << "instance: uniform highway, n = " << n << ", length = "
+              << length << ", seed = " << seed << "\n";
+  }
+
+  const std::size_t delta = instance.max_degree(1.0);
+  const std::uint32_t g = highway::gamma(instance, 1.0);
+  std::cout << "Δ (max UDG degree) = " << delta << ", γ (critical number) = "
+            << g << "\n\n";
+
+  io::Table table({"topology", "I(G')", "edges", "note"});
+
+  const graph::Graph linear = highway::linear_chain(instance, 1.0);
+  table.row()
+      .cell("linear chain")
+      .cell(highway::graph_interference_1d(instance, linear))
+      .cell(static_cast<std::uint64_t>(linear.edge_count()))
+      .cell("= γ by Definition 5.2");
+
+  if (instance.span() <= 1.0) {
+    const highway::AExpResult aexp = highway::a_exp(instance);
+    table.row()
+        .cell("A_exp")
+        .cell(aexp.interference)
+        .cell(static_cast<std::uint64_t>(aexp.topology.edge_count()))
+        .cell("scan-line hubs (Sec. 5.1)");
+  }
+
+  const highway::AGenResult agen = highway::a_gen(instance, 1.0);
+  table.row()
+      .cell("A_gen")
+      .cell(highway::graph_interference_1d(instance, agen.topology))
+      .cell(static_cast<std::uint64_t>(agen.topology.edge_count()))
+      .cell("O(sqrt Δ) worst case (Thm 5.4)");
+
+  const highway::AApxResult apx = highway::a_apx(instance, 1.0);
+  table.row()
+      .cell("A_apx")
+      .cell(highway::graph_interference_1d(instance, apx.topology))
+      .cell(static_cast<std::uint64_t>(apx.topology.edge_count()))
+      .cell(apx.used_agen ? "chose A_gen branch" : "chose linear branch");
+
+  table.print(std::cout);
+
+  if (is_exponential) {
+    std::cout << "\nbounds for the exponential chain: lower (Thm 5.2) = "
+              << highway::exponential_chain_lower_bound(n)
+              << ", A_exp upper (Thm 5.1) = " << highway::aexp_upper_bound(n)
+              << "\n";
+  } else {
+    std::cout << "\nLemma 5.5 lower bound for ANY topology of this instance: "
+              << highway::lemma55_lower_bound(g) << "\n";
+  }
+  return 0;
+}

@@ -1,0 +1,71 @@
+/// Packet-level showcase: why interference matters. Runs the slotted-ALOHA
+/// MAC over two topologies of the same network — the input UDG (no topology
+/// control) and the Gabriel graph — and prints throughput, collision, and
+/// energy statistics while sweeping the offered load.
+///
+///   $ ./mac_showcase            # n=120, seed 1
+///   $ ./mac_showcase 200 9      # n, seed
+
+#include <cstdlib>
+#include <iostream>
+
+#include "rim/core/interference.hpp"
+#include "rim/graph/udg.hpp"
+#include "rim/io/table.hpp"
+#include "rim/mac/simulation.hpp"
+#include "rim/sim/generators.hpp"
+#include "rim/topology/gabriel.hpp"
+#include "rim/topology/mst_topology.hpp"
+
+int main(int argc, char** argv) {
+  using namespace rim;
+
+  const std::size_t n = argc > 1 ? static_cast<std::size_t>(std::atoll(argv[1]))
+                                 : 120;
+  const std::uint64_t seed =
+      argc > 2 ? static_cast<std::uint64_t>(std::atoll(argv[2])) : 1;
+
+  const double side = std::sqrt(static_cast<double>(n) / 16.0);
+  const geom::PointSet points = sim::uniform_square(n, side, seed);
+  const graph::Graph udg = graph::build_udg(points, 1.0);
+  const graph::Graph gabriel = topology::gabriel_graph(points, udg);
+  const graph::Graph mst = topology::mst_topology(points, udg);
+
+  std::cout << "n = " << n << ", I(UDG) = " << core::graph_interference(udg, points)
+            << ", I(Gabriel) = " << core::graph_interference(gabriel, points)
+            << ", I(MST) = " << core::graph_interference(mst, points) << "\n\n";
+
+  io::Table table({"topology", "arrival", "delivered", "ratio",
+                   "collision rate", "delay", "energy/frame"});
+  for (const double arrival : {0.01, 0.05, 0.2, 1.0}) {
+    for (const auto& [name, topo] :
+         {std::pair<const char*, const graph::Graph*>{"udg", &udg},
+          {"gabriel", &gabriel},
+          {"mst", &mst}}) {
+      mac::SimulationConfig config;
+      config.slots = 3000;
+      config.arrival_rate = arrival;
+      config.mac.transmit_probability = 0.1;
+      config.seed = seed;
+      const auto report = mac::simulate_traffic(*topo, points, config);
+      const double collision_rate =
+          report.mac.transmissions == 0
+              ? 0.0
+              : static_cast<double>(report.mac.collisions) /
+                    static_cast<double>(report.mac.transmissions);
+      table.row()
+          .cell(name)
+          .cell(arrival, 2)
+          .cell(report.mac.delivered)
+          .cell(report.mac.delivery_ratio(), 3)
+          .cell(collision_rate, 3)
+          .cell(report.mac.mean_delay(), 1)
+          .cell(report.mac.energy_per_delivery(), 4);
+    }
+  }
+  table.print(std::cout);
+  std::cout << "\nLower-interference topologies keep the collision rate and\n"
+               "energy per delivered frame down as load rises — the paper's\n"
+               "introductory motivation, reproduced end to end.\n";
+  return 0;
+}

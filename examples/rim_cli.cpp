@@ -1,0 +1,234 @@
+/// rim_cli — command-line front end to librim, for pipeline use.
+///
+///   rim_cli generate  --kind uniform --n 200 --side 4 --seed 1 > points.csv
+///   rim_cli topology  --algorithm mst --points points.csv > edges.csv
+///   rim_cli interference --points points.csv --edges edges.csv [--json]
+///   rim_cli survey    --points points.csv
+///   rim_cli schedule  --points points.csv --edges edges.csv --model disk
+///   rim_cli route     --points points.csv --edges edges.csv --from 0 --to 7
+///
+/// All data flows through the CSV formats of rim/io/csv.hpp, so results can
+/// be piped to external plotting tools.
+
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <optional>
+#include <sstream>
+#include <string>
+
+#include "rim/core/interference.hpp"
+#include "rim/core/radii.hpp"
+#include "rim/core/sender_centric.hpp"
+#include "rim/graph/connectivity.hpp"
+#include "rim/graph/stretch.hpp"
+#include "rim/graph/udg.hpp"
+#include "rim/highway/highway_instance.hpp"
+#include "rim/io/csv.hpp"
+#include "rim/io/json.hpp"
+#include "rim/io/table.hpp"
+#include "rim/phy/scheduling.hpp"
+#include "rim/routing/geographic.hpp"
+#include "rim/sim/adversarial.hpp"
+#include "rim/sim/generators.hpp"
+#include "rim/topology/registry.hpp"
+
+namespace {
+
+using namespace rim;
+
+/// Simple --key value argument map.
+class Args {
+ public:
+  Args(int argc, char** argv) {
+    for (int i = 2; i + 1 < argc; i += 2) {
+      std::string key = argv[i];
+      if (key.rfind("--", 0) == 0) key = key.substr(2);
+      values_[key] = argv[i + 1];
+    }
+    if (argc % 2 == 1 && argc > 2) {
+      // Trailing flag without value (e.g. --json) — store as "true".
+      std::string key = argv[argc - 1];
+      if (key.rfind("--", 0) == 0) values_[key.substr(2)] = "true";
+    }
+  }
+
+  [[nodiscard]] std::string get(const std::string& key,
+                                const std::string& fallback = "") const {
+    const auto it = values_.find(key);
+    return it == values_.end() ? fallback : it->second;
+  }
+  [[nodiscard]] double num(const std::string& key, double fallback) const {
+    const auto it = values_.find(key);
+    return it == values_.end() ? fallback : std::stod(it->second);
+  }
+  [[nodiscard]] bool flag(const std::string& key) const {
+    return values_.count(key) > 0;
+  }
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+geom::PointSet load_points(const Args& args) {
+  const std::string path = args.get("points");
+  if (path.empty()) throw std::runtime_error("--points <file> is required");
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open " + path);
+  return io::read_points_csv(in);
+}
+
+graph::Graph load_edges(const Args& args, std::size_t n) {
+  const std::string path = args.get("edges");
+  if (path.empty()) throw std::runtime_error("--edges <file> is required");
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open " + path);
+  return io::read_edges_csv(in, n);
+}
+
+int cmd_generate(const Args& args) {
+  const std::string kind = args.get("kind", "uniform");
+  const auto n = static_cast<std::size_t>(args.num("n", 100));
+  const auto seed = static_cast<std::uint64_t>(args.num("seed", 1));
+  geom::PointSet points;
+  if (kind == "uniform") {
+    points = sim::uniform_square(n, args.num("side", 3.0), seed);
+  } else if (kind == "clustered") {
+    points = sim::gaussian_clusters(
+        n, static_cast<std::size_t>(args.num("clusters", 4)),
+        args.num("side", 3.0), args.num("stddev", 0.2), seed);
+  } else if (kind == "highway") {
+    points = sim::uniform_highway(n, args.num("length", 10.0), seed).to_points();
+  } else if (kind == "expchain") {
+    points = highway::exponential_chain(n).to_points();
+  } else if (kind == "figure1") {
+    points = sim::figure1_instance(n, seed);
+  } else if (kind == "twochains") {
+    points = sim::two_exponential_chains(n).points;
+  } else {
+    std::cerr << "unknown --kind '" << kind
+              << "' (uniform|clustered|highway|expchain|figure1|twochains)\n";
+    return 1;
+  }
+  io::write_points_csv(std::cout, points);
+  return 0;
+}
+
+int cmd_topology(const Args& args) {
+  const geom::PointSet points = load_points(args);
+  const std::string name = args.get("algorithm", "mst");
+  const auto* algorithm = topology::find_algorithm(name);
+  if (algorithm == nullptr) {
+    std::cerr << "unknown --algorithm '" << name << "'; available:";
+    for (const auto& a : topology::all_algorithms()) std::cerr << ' ' << a.name;
+    std::cerr << '\n';
+    return 1;
+  }
+  const graph::Graph udg = graph::build_udg(points, args.num("radius", 1.0));
+  io::write_edges_csv(std::cout, algorithm->build(points, udg));
+  return 0;
+}
+
+int cmd_interference(const Args& args) {
+  const geom::PointSet points = load_points(args);
+  const graph::Graph topo = load_edges(args, points.size());
+  const core::InterferenceSummary recv = core::evaluate_interference(topo, points);
+  const core::SenderCentricSummary send = core::evaluate_sender_centric(topo, points);
+  if (args.flag("json")) {
+    io::JsonObject object;
+    object["nodes"] = io::Json(points.size());
+    object["edges"] = io::Json(topo.edge_count());
+    object["receiver_max"] = io::Json(recv.max);
+    object["receiver_mean"] = io::Json(recv.mean);
+    object["sender_max"] = io::Json(send.max);
+    io::JsonArray per_node;
+    for (std::uint32_t i : recv.per_node) per_node.emplace_back(i);
+    object["receiver_per_node"] = io::Json(per_node);
+    io::Json(object).write(std::cout);
+    std::cout << '\n';
+  } else {
+    std::cout << "nodes " << points.size() << ", edges " << topo.edge_count()
+              << "\nreceiver-centric I(G') = " << recv.max
+              << " (mean " << recv.mean << ")\nsender-centric max coverage = "
+              << send.max << '\n';
+  }
+  return 0;
+}
+
+int cmd_survey(const Args& args) {
+  const geom::PointSet points = load_points(args);
+  const graph::Graph udg = graph::build_udg(points, args.num("radius", 1.0));
+  io::Table table({"algorithm", "I recv", "I send", "deg", "edges", "connected"});
+  for (const auto& algorithm : topology::all_algorithms()) {
+    const graph::Graph topo = algorithm.build(points, udg);
+    table.row()
+        .cell(algorithm.name)
+        .cell(core::graph_interference(topo, points))
+        .cell(core::evaluate_sender_centric(topo, points).max)
+        .cell(static_cast<std::uint64_t>(topo.max_degree()))
+        .cell(static_cast<std::uint64_t>(topo.edge_count()))
+        .cell(graph::preserves_connectivity(udg, topo));
+  }
+  table.print(std::cout);
+  return 0;
+}
+
+int cmd_schedule(const Args& args) {
+  const geom::PointSet points = load_points(args);
+  const graph::Graph topo = load_edges(args, points.size());
+  const std::string model = args.get("model", "disk");
+  const phy::Schedule schedule =
+      model == "sinr" ? phy::schedule_links_sinr(topo, points)
+                      : phy::schedule_links_disk(topo, points);
+  std::cout << "model " << model << ": " << schedule.scheduled_links()
+            << " links in " << schedule.length() << " slots\n";
+  for (std::size_t k = 0; k < schedule.slots.size(); ++k) {
+    std::cout << "slot " << k << ":";
+    for (graph::Edge e : schedule.slots[k]) {
+      std::cout << ' ' << e.u << "->" << e.v;
+    }
+    std::cout << '\n';
+  }
+  return 0;
+}
+
+int cmd_route(const Args& args) {
+  const geom::PointSet points = load_points(args);
+  const graph::Graph topo = load_edges(args, points.size());
+  const auto from = static_cast<NodeId>(args.num("from", 0));
+  const auto to = static_cast<NodeId>(
+      args.num("to", static_cast<double>(points.size() - 1)));
+  const routing::RouteResult r = routing::gfg_route(points, topo, from, to);
+  std::cout << (r.delivered ? "delivered" : "FAILED") << " in " << r.hops()
+            << " hops (" << r.greedy_hops << " greedy + " << r.perimeter_hops
+            << " perimeter)\npath:";
+  for (NodeId v : r.path) std::cout << ' ' << v;
+  std::cout << '\n';
+  return r.delivered ? 0 : 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::cerr << "usage: rim_cli "
+                 "<generate|topology|interference|survey|schedule|route> "
+                 "[--key value ...]\n";
+    return 1;
+  }
+  const std::string command = argv[1];
+  const Args args(argc, argv);
+  try {
+    if (command == "generate") return cmd_generate(args);
+    if (command == "topology") return cmd_topology(args);
+    if (command == "interference") return cmd_interference(args);
+    if (command == "survey") return cmd_survey(args);
+    if (command == "schedule") return cmd_schedule(args);
+    if (command == "route") return cmd_route(args);
+    std::cerr << "unknown command '" << command << "'\n";
+    return 1;
+  } catch (const std::exception& error) {
+    std::cerr << "error: " << error.what() << '\n';
+    return 1;
+  }
+}

@@ -1,0 +1,74 @@
+/// Survey a random 2-D deployment with the full topology-control zoo:
+/// receiver-centric interference, the MobiHoc'04 sender-centric measure,
+/// degree, spanner stretch, and power cost for every algorithm.
+/// Optionally export each topology as Graphviz DOT.
+///
+///   $ ./topology_survey                 # n=150, seed 1
+///   $ ./topology_survey 300 7           # n, seed
+///   $ ./topology_survey 150 1 out_dir   # also write out_dir/<name>.dot
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+
+#include "rim/core/interference.hpp"
+#include "rim/core/radii.hpp"
+#include "rim/core/sender_centric.hpp"
+#include "rim/graph/connectivity.hpp"
+#include "rim/graph/stretch.hpp"
+#include "rim/graph/udg.hpp"
+#include "rim/io/dot.hpp"
+#include "rim/io/table.hpp"
+#include "rim/sim/generators.hpp"
+#include "rim/topology/registry.hpp"
+
+int main(int argc, char** argv) {
+  using namespace rim;
+
+  const std::size_t n = argc > 1 ? static_cast<std::size_t>(std::atoll(argv[1]))
+                                 : 150;
+  const std::uint64_t seed =
+      argc > 2 ? static_cast<std::uint64_t>(std::atoll(argv[2])) : 1;
+  const std::string dot_dir = argc > 3 ? argv[3] : "";
+
+  const double side = std::sqrt(static_cast<double>(n) / 16.0);
+  const geom::PointSet points = sim::uniform_square(n, side, seed);
+  const graph::Graph udg = graph::build_udg(points, 1.0);
+  std::cout << "deployment: n = " << n << " in " << side << " x " << side
+            << " (seed " << seed << "), UDG: " << udg.edge_count()
+            << " edges, Δ = " << udg.max_degree() << ", I(UDG) = "
+            << core::graph_interference(udg, points) << "\n\n";
+
+  io::Table table({"algorithm", "I recv", "I send", "deg", "edges",
+                   "stretch", "power", "connected"});
+  for (const auto& algorithm : topology::all_algorithms()) {
+    const graph::Graph topo = algorithm.build(points, udg);
+    const core::InterferenceSummary recv =
+        core::evaluate_interference(topo, points);
+    const auto stretch = graph::measure_stretch(udg, topo, points);
+    table.row()
+        .cell(algorithm.name)
+        .cell(recv.max)
+        .cell(core::evaluate_sender_centric(topo, points).max)
+        .cell(static_cast<std::uint64_t>(topo.max_degree()))
+        .cell(static_cast<std::uint64_t>(topo.edge_count()))
+        .cell(stretch.max_euclidean_stretch, 2)
+        .cell(core::total_power(core::transmission_radii(topo, points), 2.0), 2)
+        .cell(graph::preserves_connectivity(udg, topo));
+
+    if (!dot_dir.empty()) {
+      std::filesystem::create_directories(dot_dir);
+      std::ofstream file(dot_dir + "/" + algorithm.name + ".dot");
+      io::DotOptions options;
+      options.graph_name = algorithm.name;
+      io::write_dot(file, topo, points, options);
+    }
+  }
+  table.print(std::cout);
+  if (!dot_dir.empty()) {
+    std::cout << "\nDOT files written to " << dot_dir
+              << "/ — render with: neato -n2 -Tpng <file>.dot > <file>.png\n";
+  }
+  return 0;
+}

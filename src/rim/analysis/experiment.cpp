@@ -1,0 +1,28 @@
+#include "rim/analysis/experiment.hpp"
+
+#include <chrono>
+#include <iomanip>
+#include <ostream>
+
+namespace rim::analysis {
+
+void run_experiment(const ExperimentInfo& info, std::ostream& out,
+                    const std::function<void(std::ostream&)>& body) {
+  const std::string rule(72, '=');
+  out << rule << '\n'
+      << "[" << info.id << "] " << info.title << '\n'
+      << "paper: " << info.paper_ref << '\n'
+      << "expectation: " << info.expected << '\n'
+      << rule << '\n';
+  const auto start = std::chrono::steady_clock::now();
+  body(out);
+  const auto elapsed = std::chrono::duration<double>(
+                           std::chrono::steady_clock::now() - start)
+                           .count();
+  out << std::string(72, '-') << '\n'
+      << "[" << info.id << "] done in " << std::fixed << std::setprecision(3)
+      << elapsed << " s\n\n";
+  out << std::defaultfloat << std::setprecision(6);
+}
+
+}  // namespace rim::analysis

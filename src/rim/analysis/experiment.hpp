@@ -1,0 +1,25 @@
+#pragma once
+
+#include <functional>
+#include <iosfwd>
+#include <string>
+
+/// \file experiment.hpp
+/// Tiny harness for the figure/table regeneration binaries: uniform banner,
+/// paper cross-reference, and wall-clock accounting, so every bench/ binary
+/// produces output in the same shape recorded by EXPERIMENTS.md.
+
+namespace rim::analysis {
+
+struct ExperimentInfo {
+  std::string id;         ///< e.g. "E5"
+  std::string title;      ///< human title
+  std::string paper_ref;  ///< e.g. "Figure 8, Theorem 5.1"
+  std::string expected;   ///< the paper's qualitative prediction
+};
+
+/// Print the banner, run \p body, print the footer with elapsed seconds.
+void run_experiment(const ExperimentInfo& info, std::ostream& out,
+                    const std::function<void(std::ostream&)>& body);
+
+}  // namespace rim::analysis

@@ -1,0 +1,27 @@
+#pragma once
+
+#include <span>
+
+/// \file fit.hpp
+/// Least-squares fits used to check asymptotic *shape* against the paper:
+/// e.g. A_exp's interference should scale like n^0.5 (Theorem 5.1), the
+/// linear chain's like n^1. A log-log linear fit recovers the exponent.
+
+namespace rim::analysis {
+
+struct LinearFit {
+  double slope = 0.0;
+  double intercept = 0.0;
+  double r_squared = 0.0;  ///< coefficient of determination
+};
+
+/// Ordinary least squares y = slope * x + intercept.
+[[nodiscard]] LinearFit fit_linear(std::span<const double> xs,
+                                   std::span<const double> ys);
+
+/// Fit y = c * x^k via log-log least squares; returns {slope = k,
+/// intercept = ln c, r_squared}. All inputs must be positive.
+[[nodiscard]] LinearFit fit_power_law(std::span<const double> xs,
+                                      std::span<const double> ys);
+
+}  // namespace rim::analysis

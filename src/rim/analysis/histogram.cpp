@@ -1,0 +1,42 @@
+#include "rim/analysis/histogram.hpp"
+
+#include <algorithm>
+#include <ostream>
+
+namespace rim::analysis {
+
+Histogram Histogram::of_values(std::span<const std::uint32_t> samples) {
+  Histogram h;
+  for (std::uint32_t s : samples) {
+    if (s >= h.buckets_.size()) h.buckets_.resize(s + 1, 0);
+    ++h.buckets_[s];
+    ++h.total_;
+  }
+  return h;
+}
+
+std::uint32_t Histogram::mode() const {
+  std::uint32_t best = 0;
+  for (std::uint32_t k = 0; k < buckets_.size(); ++k) {
+    if (buckets_[k] > buckets_[best]) best = k;
+  }
+  return best;
+}
+
+void Histogram::render(std::ostream& out, std::size_t width) const {
+  std::uint64_t peak = 0;
+  for (std::uint64_t c : buckets_) peak = std::max(peak, c);
+  if (peak == 0) {
+    out << "(empty histogram)\n";
+    return;
+  }
+  for (std::uint32_t k = 0; k < buckets_.size(); ++k) {
+    if (buckets_[k] == 0) continue;
+    const auto bar = static_cast<std::size_t>(
+        (buckets_[k] * width + peak - 1) / peak);  // ceil, so nonzero shows
+    out << (k < 10 ? "  " : (k < 100 ? " " : "")) << k << " | "
+        << std::string(bar, '#') << "  (" << buckets_[k] << ")\n";
+  }
+}
+
+}  // namespace rim::analysis

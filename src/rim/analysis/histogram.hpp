@@ -1,0 +1,35 @@
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <span>
+#include <string>
+#include <vector>
+
+/// \file histogram.hpp
+/// Integer-valued histograms with an ASCII renderer, used to display
+/// per-node interference distributions in experiments and examples.
+
+namespace rim::analysis {
+
+class Histogram {
+ public:
+  /// Count occurrences of each value in \p samples (bucket k == value k).
+  static Histogram of_values(std::span<const std::uint32_t> samples);
+
+  [[nodiscard]] const std::vector<std::uint64_t>& buckets() const {
+    return buckets_;
+  }
+  [[nodiscard]] std::uint64_t total() const { return total_; }
+  [[nodiscard]] std::uint32_t mode() const;  ///< bucket with the max count
+
+  /// Render as one line per non-empty bucket:
+  /// "  3 | #########  (27)" with bars scaled to \p width characters.
+  void render(std::ostream& out, std::size_t width = 50) const;
+
+ private:
+  std::vector<std::uint64_t> buckets_;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace rim::analysis

@@ -1,0 +1,67 @@
+#include "rim/analysis/stats.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace rim::analysis {
+
+Summary summarize(std::span<const double> samples) {
+  Summary s;
+  if (samples.empty()) return s;
+  s.count = samples.size();
+  s.min = samples.front();
+  s.max = samples.front();
+  double sum = 0.0;
+  for (double x : samples) {
+    s.min = std::min(s.min, x);
+    s.max = std::max(s.max, x);
+    sum += x;
+  }
+  s.mean = sum / static_cast<double>(s.count);
+  if (s.count >= 2) {
+    double ss = 0.0;
+    for (double x : samples) ss += (x - s.mean) * (x - s.mean);
+    s.stddev = std::sqrt(ss / static_cast<double>(s.count - 1));
+  }
+  s.median = quantile(samples, 0.5);
+  return s;
+}
+
+double quantile(std::span<const double> samples, double q) {
+  if (samples.empty()) return 0.0;
+  assert(q >= 0.0 && q <= 1.0);
+  std::vector<double> sorted(samples.begin(), samples.end());
+  std::sort(sorted.begin(), sorted.end());
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(std::floor(pos));
+  const auto hi = static_cast<std::size_t>(std::ceil(pos));
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+double pearson(std::span<const double> xs, std::span<const double> ys) {
+  assert(xs.size() == ys.size());
+  const std::size_t n = xs.size();
+  if (n < 2) return 0.0;
+  double mx = 0.0;
+  double my = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    mx += xs[i];
+    my += ys[i];
+  }
+  mx /= static_cast<double>(n);
+  my /= static_cast<double>(n);
+  double sxy = 0.0;
+  double sxx = 0.0;
+  double syy = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    sxy += (xs[i] - mx) * (ys[i] - my);
+    sxx += (xs[i] - mx) * (xs[i] - mx);
+    syy += (ys[i] - my) * (ys[i] - my);
+  }
+  if (sxx == 0.0 || syy == 0.0) return 0.0;
+  return sxy / std::sqrt(sxx * syy);
+}
+
+}  // namespace rim::analysis

@@ -1,0 +1,30 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+/// \file stats.hpp
+/// Descriptive statistics over experiment samples.
+
+namespace rim::analysis {
+
+struct Summary {
+  std::size_t count = 0;
+  double min = 0.0;
+  double max = 0.0;
+  double mean = 0.0;
+  double stddev = 0.0;  ///< sample standard deviation (n-1); 0 for n < 2
+  double median = 0.0;
+};
+
+/// Summarise \p samples (empty input yields a zeroed Summary).
+[[nodiscard]] Summary summarize(std::span<const double> samples);
+
+/// q-th quantile (0 <= q <= 1) by linear interpolation between order
+/// statistics. Empty input yields 0.
+[[nodiscard]] double quantile(std::span<const double> samples, double q);
+
+/// Pearson correlation of two equal-length series (0 when degenerate).
+[[nodiscard]] double pearson(std::span<const double> xs, std::span<const double> ys);
+
+}  // namespace rim::analysis

@@ -1,0 +1,24 @@
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+/// \file types.hpp
+/// Fundamental identifier types shared by every rim subsystem.
+
+namespace rim {
+
+/// Index of a network node. Node sets are dense: a deployment of n nodes
+/// uses ids 0..n-1.
+using NodeId = std::uint32_t;
+
+/// Sentinel for "no node".
+inline constexpr NodeId kInvalidNode = std::numeric_limits<NodeId>::max();
+
+/// Index of an undirected edge inside a Graph's edge list.
+using EdgeId = std::uint32_t;
+
+/// Sentinel for "no edge".
+inline constexpr EdgeId kInvalidEdge = std::numeric_limits<EdgeId>::max();
+
+}  // namespace rim

@@ -1,0 +1,95 @@
+#include "rim/core/incremental.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+
+#include "rim/core/interference.hpp"
+#include "rim/core/sender_centric.hpp"
+
+namespace rim::core {
+
+namespace {
+
+NodeId nearest_node(std::span<const geom::Vec2> points, geom::Vec2 q) {
+  NodeId best = kInvalidNode;
+  double best_d2 = std::numeric_limits<double>::infinity();
+  for (NodeId v = 0; v < points.size(); ++v) {
+    const double d2 = geom::dist2(points[v], q);
+    if (d2 < best_d2) {
+      best_d2 = d2;
+      best = v;
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+NodeAdditionImpact assess_node_addition(std::span<const geom::Vec2> points,
+                                        const graph::Graph& topology,
+                                        geom::Vec2 new_point, AttachPolicy policy) {
+  assert(points.size() == topology.node_count());
+  NodeAdditionImpact impact;
+
+  const InterferenceSummary before = evaluate_interference(topology, points);
+  impact.receiver_before = before.max;
+  impact.sender_before = evaluate_sender_centric(topology, points).max;
+
+  geom::PointSet extended(points.begin(), points.end());
+  extended.push_back(new_point);
+  graph::Graph after(topology.node_count(), topology.edges());
+  const NodeId newcomer = after.add_node();
+  if (policy == AttachPolicy::kNearestNeighbor && !points.empty()) {
+    after.add_edge(newcomer, nearest_node(points, new_point));
+  }
+
+  const InterferenceSummary summary_after = evaluate_interference(after, extended);
+  impact.receiver_after = summary_after.max;
+  impact.newcomer_interference = summary_after.per_node[newcomer];
+  for (NodeId v = 0; v < points.size(); ++v) {
+    const std::uint32_t inc = summary_after.per_node[v] > before.per_node[v]
+                                  ? summary_after.per_node[v] - before.per_node[v]
+                                  : 0;
+    impact.receiver_max_node_increase = std::max(impact.receiver_max_node_increase, inc);
+  }
+  impact.sender_after = evaluate_sender_centric(after, extended).max;
+  return impact;
+}
+
+NodeRemovalImpact assess_node_removal(std::span<const geom::Vec2> points,
+                                      const graph::Graph& topology, NodeId victim) {
+  assert(victim < topology.node_count());
+  NodeRemovalImpact impact;
+  const InterferenceSummary before = evaluate_interference(topology, points);
+  impact.receiver_before = before.max;
+
+  // Rebuild without the victim; surviving nodes keep their ids via remap.
+  geom::PointSet kept;
+  std::vector<NodeId> remap(points.size(), kInvalidNode);
+  for (NodeId v = 0; v < points.size(); ++v) {
+    if (v == victim) continue;
+    remap[v] = static_cast<NodeId>(kept.size());
+    kept.push_back(points[v]);
+  }
+  graph::Graph after(kept.size());
+  for (graph::Edge e : topology.edges()) {
+    if (e.u == victim || e.v == victim) continue;
+    after.add_edge(remap[e.u], remap[e.v]);
+  }
+
+  const InterferenceSummary summary_after = evaluate_interference(after, kept);
+  impact.receiver_after = summary_after.max;
+  for (NodeId v = 0; v < points.size(); ++v) {
+    if (v == victim) continue;
+    const std::uint32_t old_i = before.per_node[v];
+    const std::uint32_t new_i = summary_after.per_node[remap[v]];
+    if (new_i > old_i) {
+      impact.receiver_max_node_increase =
+          std::max(impact.receiver_max_node_increase, new_i - old_i);
+    }
+  }
+  return impact;
+}
+
+}  // namespace rim::core

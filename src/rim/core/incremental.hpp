@@ -1,0 +1,61 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "rim/geom/vec2.hpp"
+#include "rim/graph/graph.hpp"
+
+/// \file incremental.hpp
+/// Robustness of the interference measure under node churn.
+///
+/// The paper's second headline property (Section 1): in the receiver-centric
+/// model an additional node is just one more packet source, so the
+/// interference experienced by any pre-existing node grows by at most one
+/// from the newcomer's own disk — plus at most one more when its attachment
+/// partner enlarges its range to reach it. The sender-centric model has no
+/// such bound: a single added node can force an edge whose coverage is n
+/// (Figure 1). These helpers quantify both effects for experiments E1/E11.
+
+namespace rim::core {
+
+/// How a freshly arrived node is wired into the existing topology.
+enum class AttachPolicy : std::uint8_t {
+  kNearestNeighbor,  ///< symmetric edge to the nearest existing node
+  kIsolated,         ///< no edge (pure disk-count bookkeeping)
+};
+
+struct NodeAdditionImpact {
+  /// Receiver-centric I(G') before/after the addition.
+  std::uint32_t receiver_before = 0;
+  std::uint32_t receiver_after = 0;
+  /// Max increase of I(v) over pre-existing nodes v.
+  std::uint32_t receiver_max_node_increase = 0;
+  /// Interference experienced by the new node itself.
+  std::uint32_t newcomer_interference = 0;
+  /// Sender-centric (MobiHoc'04) max edge coverage before/after.
+  std::uint32_t sender_before = 0;
+  std::uint32_t sender_after = 0;
+};
+
+/// Evaluate the impact of adding a node at \p new_point to the network
+/// (\p points, \p topology) under the given attachment policy.
+[[nodiscard]] NodeAdditionImpact assess_node_addition(
+    std::span<const geom::Vec2> points, const graph::Graph& topology,
+    geom::Vec2 new_point, AttachPolicy policy = AttachPolicy::kNearestNeighbor);
+
+struct NodeRemovalImpact {
+  std::uint32_t receiver_before = 0;
+  std::uint32_t receiver_after = 0;
+  /// Max increase of I(v) over surviving nodes (0 in the receiver model
+  /// when no repair edges are added — a property the tests assert).
+  std::uint32_t receiver_max_node_increase = 0;
+};
+
+/// Evaluate removing node \p victim (and its incident edges) without repair.
+[[nodiscard]] NodeRemovalImpact assess_node_removal(
+    std::span<const geom::Vec2> points, const graph::Graph& topology,
+    NodeId victim);
+
+}  // namespace rim::core

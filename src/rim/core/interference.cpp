@@ -1,0 +1,175 @@
+#include "rim/core/interference.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cassert>
+#include <cmath>
+
+#include "rim/core/radii.hpp"
+#include "rim/geom/grid_index.hpp"
+#include "rim/parallel/parallel_for.hpp"
+
+namespace rim::core {
+
+namespace {
+
+/// All evaluators work on *squared* radii: containment is the exact test
+/// dist2(u, v) <= radii2[u], so a node's farthest topology neighbor (whose
+/// squared distance defines radii2[u]) is always covered — a sqrt/square
+/// roundtrip can miss it by one ulp.
+
+double pick_cell_size(std::span<const double> radii2) {
+  std::vector<double> positive;
+  positive.reserve(radii2.size());
+  for (double r2 : radii2) {
+    if (r2 > 0.0) positive.push_back(r2);
+  }
+  if (positive.empty()) return 1.0;
+  const auto mid = positive.begin() + static_cast<std::ptrdiff_t>(positive.size() / 2);
+  std::nth_element(positive.begin(), mid, positive.end());
+  return std::max(std::sqrt(*mid), 1e-12);
+}
+
+/// Counting-side trick: instead of asking for every v "which disks cover
+/// me?", iterate over transmitters u and increment a counter at every node
+/// inside D(u, r_u).
+std::vector<std::uint32_t> eval_grid(std::span<const geom::Vec2> points,
+                                     std::span<const double> radii2) {
+  std::vector<std::uint32_t> covered(points.size(), 0);
+  if (points.empty()) return covered;
+  const geom::GridIndex index(points, pick_cell_size(radii2));
+  for (NodeId u = 0; u < points.size(); ++u) {
+    if (radii2[u] <= 0.0) continue;
+    index.for_each_in_disk_squared(points[u], radii2[u], [&](NodeId v) {
+      if (v != u) ++covered[v];
+    });
+  }
+  return covered;
+}
+
+std::vector<std::uint32_t> eval_parallel(std::span<const geom::Vec2> points,
+                                         std::span<const double> radii2) {
+  if (points.empty()) return {};
+  std::vector<std::atomic<std::uint32_t>> covered(points.size());
+  const geom::GridIndex index(points, pick_cell_size(radii2));
+  parallel::parallel_for(0, points.size(), [&](std::size_t ui) {
+    const NodeId u = static_cast<NodeId>(ui);
+    if (radii2[u] <= 0.0) return;
+    index.for_each_in_disk_squared(points[u], radii2[u], [&](NodeId v) {
+      if (v != u) covered[v].fetch_add(1, std::memory_order_relaxed);
+    });
+  });
+  std::vector<std::uint32_t> out(points.size());
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    out[i] = covered[i].load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
+std::vector<std::uint32_t> eval_brute(std::span<const geom::Vec2> points,
+                                      std::span<const double> radii2) {
+  std::vector<std::uint32_t> covered(points.size(), 0);
+  for (NodeId u = 0; u < points.size(); ++u) {
+    if (radii2[u] <= 0.0) continue;
+    for (NodeId v = 0; v < points.size(); ++v) {
+      if (v != u && geom::dist2(points[u], points[v]) <= radii2[u]) ++covered[v];
+    }
+  }
+  return covered;
+}
+
+EvalStrategy resolve(EvalStrategy strategy, std::size_t n) {
+  if (strategy != EvalStrategy::kAuto) return strategy;
+  if (n <= 64) return EvalStrategy::kBrute;
+  if (n <= 4096) return EvalStrategy::kGrid;
+  return EvalStrategy::kParallel;
+}
+
+std::vector<std::uint32_t> dispatch(std::span<const geom::Vec2> points,
+                                    std::span<const double> radii2,
+                                    EvalStrategy strategy) {
+  switch (resolve(strategy, points.size())) {
+    case EvalStrategy::kGrid:
+      return eval_grid(points, radii2);
+    case EvalStrategy::kParallel:
+      return eval_parallel(points, radii2);
+    case EvalStrategy::kBrute:
+    case EvalStrategy::kAuto:
+      break;
+  }
+  return eval_brute(points, radii2);
+}
+
+InterferenceSummary summarize(std::vector<std::uint32_t> per_node) {
+  InterferenceSummary summary;
+  summary.per_node = std::move(per_node);
+  for (std::uint32_t i : summary.per_node) {
+    summary.max = std::max(summary.max, i);
+    summary.total += i;
+  }
+  summary.mean = summary.per_node.empty()
+                     ? 0.0
+                     : static_cast<double>(summary.total) /
+                           static_cast<double>(summary.per_node.size());
+  return summary;
+}
+
+}  // namespace
+
+std::vector<std::uint32_t> InterferenceSummary::histogram() const {
+  std::vector<std::uint32_t> bins(static_cast<std::size_t>(max) + 1, 0);
+  for (std::uint32_t i : per_node) ++bins[i];
+  return bins;
+}
+
+std::uint32_t node_interference(std::span<const geom::Vec2> points,
+                                std::span<const double> radii, NodeId v) {
+  assert(v < points.size());
+  std::uint32_t count = 0;
+  for (NodeId u = 0; u < points.size(); ++u) {
+    if (u == v || radii[u] <= 0.0) continue;
+    if (geom::dist2(points[u], points[v]) <= radii[u] * radii[u]) ++count;
+  }
+  return count;
+}
+
+std::vector<std::uint32_t> interference_vector(std::span<const geom::Vec2> points,
+                                               std::span<const double> radii,
+                                               EvalStrategy strategy) {
+  assert(points.size() == radii.size());
+  std::vector<double> radii2(radii.size());
+  for (std::size_t i = 0; i < radii.size(); ++i) radii2[i] = radii[i] * radii[i];
+  return dispatch(points, radii2, strategy);
+}
+
+InterferenceSummary evaluate_interference(const graph::Graph& topology,
+                                          std::span<const geom::Vec2> points,
+                                          EvalStrategy strategy) {
+  assert(topology.node_count() == points.size());
+  const std::vector<double> radii2 = transmission_radii_squared(topology, points);
+  return summarize(dispatch(points, radii2, strategy));
+}
+
+std::uint32_t graph_interference(const graph::Graph& topology,
+                                 std::span<const geom::Vec2> points,
+                                 EvalStrategy strategy) {
+  return evaluate_interference(topology, points, strategy).max;
+}
+
+std::vector<std::vector<NodeId>> covering_sets(const graph::Graph& topology,
+                                               std::span<const geom::Vec2> points) {
+  const std::vector<double> radii2 = transmission_radii_squared(topology, points);
+  std::vector<std::vector<NodeId>> covered_by(points.size());
+  if (points.empty()) return covered_by;
+  const geom::GridIndex index(points, pick_cell_size(radii2));
+  for (NodeId u = 0; u < points.size(); ++u) {
+    if (radii2[u] <= 0.0) continue;
+    index.for_each_in_disk_squared(points[u], radii2[u], [&](NodeId v) {
+      if (v != u) covered_by[v].push_back(u);
+    });
+  }
+  for (auto& list : covered_by) std::sort(list.begin(), list.end());
+  return covered_by;
+}
+
+}  // namespace rim::core

@@ -1,0 +1,40 @@
+#include "rim/core/radii.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace rim::core {
+
+std::vector<double> transmission_radii(const graph::Graph& topology,
+                                       std::span<const geom::Vec2> points) {
+  std::vector<double> radii(topology.node_count(), 0.0);
+  for (NodeId u = 0; u < topology.node_count(); ++u) {
+    double best = 0.0;
+    for (NodeId v : topology.neighbors(u)) {
+      best = std::max(best, geom::dist2(points[u], points[v]));
+    }
+    radii[u] = std::sqrt(best);
+  }
+  return radii;
+}
+
+std::vector<double> transmission_radii_squared(const graph::Graph& topology,
+                                               std::span<const geom::Vec2> points) {
+  std::vector<double> radii2(topology.node_count(), 0.0);
+  for (NodeId u = 0; u < topology.node_count(); ++u) {
+    double best = 0.0;
+    for (NodeId v : topology.neighbors(u)) {
+      best = std::max(best, geom::dist2(points[u], points[v]));
+    }
+    radii2[u] = best;
+  }
+  return radii2;
+}
+
+double total_power(std::span<const double> radii, double alpha) {
+  double sum = 0.0;
+  for (double r : radii) sum += std::pow(r, alpha);
+  return sum;
+}
+
+}  // namespace rim::core

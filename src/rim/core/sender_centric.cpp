@@ -1,0 +1,45 @@
+#include "rim/core/sender_centric.hpp"
+
+#include <algorithm>
+
+namespace rim::core {
+
+std::uint32_t edge_coverage(std::span<const geom::Vec2> points, graph::Edge e) {
+  const geom::Vec2 pu = points[e.u];
+  const geom::Vec2 pv = points[e.v];
+  const double r2 = geom::dist2(pu, pv);
+  std::uint32_t count = 0;
+  for (NodeId w = 0; w < points.size(); ++w) {
+    if (w == e.u || w == e.v) continue;
+    if (geom::dist2(points[w], pu) <= r2 || geom::dist2(points[w], pv) <= r2) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+std::vector<std::uint32_t> coverage_vector(const graph::Graph& topology,
+                                           std::span<const geom::Vec2> points) {
+  std::vector<std::uint32_t> cov;
+  cov.reserve(topology.edge_count());
+  for (graph::Edge e : topology.edges()) cov.push_back(edge_coverage(points, e));
+  return cov;
+}
+
+SenderCentricSummary evaluate_sender_centric(const graph::Graph& topology,
+                                             std::span<const geom::Vec2> points) {
+  SenderCentricSummary summary;
+  summary.per_edge = coverage_vector(topology, points);
+  std::uint64_t total = 0;
+  for (std::uint32_t c : summary.per_edge) {
+    summary.max = std::max(summary.max, c);
+    total += c;
+  }
+  summary.mean = summary.per_edge.empty()
+                     ? 0.0
+                     : static_cast<double>(total) /
+                           static_cast<double>(summary.per_edge.size());
+  return summary;
+}
+
+}  // namespace rim::core

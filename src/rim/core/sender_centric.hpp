@@ -1,0 +1,46 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "rim/geom/vec2.hpp"
+#include "rim/graph/graph.hpp"
+
+/// \file sender_centric.hpp
+/// The sender-centric interference model of Burkhart, von Rickenbach,
+/// Wattenhofer, Zollinger (MobiHoc 2004) — the comparator our paper argues
+/// against.
+///
+/// There, interference is attributed to *links*: communication over edge
+/// e = {u, v} is assumed to happen at power just reaching the partner, so it
+/// disturbs every node inside D(u, |uv|) ∪ D(v, |uv|). The coverage of the
+/// edge is the number of such nodes (the endpoints themselves excluded,
+/// following the original definition's "affected by other nodes" reading),
+/// and the interference of a topology is the maximum edge coverage.
+///
+/// The Figure 1 experiment contrasts this measure's fragility (one extra
+/// node can push it from O(1) to n) with the receiver-centric model's +1
+/// robustness.
+
+namespace rim::core {
+
+/// Number of nodes (other than u and v themselves) covered by
+/// D(u,|uv|) ∪ D(v,|uv|).
+[[nodiscard]] std::uint32_t edge_coverage(std::span<const geom::Vec2> points,
+                                          graph::Edge e);
+
+/// Coverage of every edge of \p topology, in edge order.
+[[nodiscard]] std::vector<std::uint32_t> coverage_vector(
+    const graph::Graph& topology, std::span<const geom::Vec2> points);
+
+struct SenderCentricSummary {
+  std::vector<std::uint32_t> per_edge;  ///< Cov(e) per edge.
+  std::uint32_t max = 0;                ///< I(G') in the MobiHoc'04 model.
+  double mean = 0.0;
+};
+
+[[nodiscard]] SenderCentricSummary evaluate_sender_centric(
+    const graph::Graph& topology, std::span<const geom::Vec2> points);
+
+}  // namespace rim::core

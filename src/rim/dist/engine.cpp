@@ -1,0 +1,35 @@
+#include "rim/dist/engine.hpp"
+
+#include <cassert>
+
+namespace rim::dist {
+
+ExecutionStats run_protocol(const graph::Graph& udg, Protocol& protocol) {
+  ExecutionStats stats;
+  stats.rounds = protocol.rounds();
+  const std::size_t n = udg.node_count();
+  std::vector<std::vector<Message>> inbox(n);
+
+  for (std::size_t round = 0; round < stats.rounds; ++round) {
+    for (auto& box : inbox) box.clear();
+    // Collection phase: every node emits; the engine checks the edges.
+    for (NodeId u = 0; u < n; ++u) {
+      for (Message& m : protocol.send(u, round)) {
+        assert(m.from == u && "message must be stamped with its sender");
+        assert(udg.has_edge(m.from, m.to) &&
+               "protocol tried to message a non-neighbor");
+        ++stats.messages;
+        stats.payload_doubles += m.payload.size();
+        inbox[m.to].push_back(std::move(m));
+      }
+    }
+    // Delivery phase: synchronous — all of a round's messages arrive
+    // together before anyone acts on them.
+    for (NodeId u = 0; u < n; ++u) {
+      protocol.receive(u, round, inbox[u]);
+    }
+  }
+  return stats;
+}
+
+}  // namespace rim::dist

@@ -1,0 +1,57 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "rim/common/types.hpp"
+#include "rim/graph/graph.hpp"
+
+/// \file engine.hpp
+/// Synchronous round-based message-passing engine (the LOCAL model on the
+/// UDG), for executing topology control the way a radio network would:
+/// nodes only talk to UDG neighbors, one message batch per round.
+///
+/// The engine enforces the communication graph (messages to non-neighbors
+/// are a protocol bug and fail hard in debug builds) and accounts messages
+/// and payload volume — the cost model the distributed topology-control
+/// literature (XTC, LMST, CBTC) optimises.
+
+namespace rim::dist {
+
+/// A protocol message. Payload is a flat double vector — positions, ids and
+/// distances all fit; `kind` disambiguates message types within a protocol.
+struct Message {
+  NodeId from = kInvalidNode;
+  NodeId to = kInvalidNode;
+  std::uint32_t kind = 0;
+  std::vector<double> payload;
+};
+
+struct ExecutionStats {
+  std::size_t rounds = 0;
+  std::uint64_t messages = 0;
+  std::uint64_t payload_doubles = 0;
+};
+
+/// A distributed protocol, driven by the engine:
+///  - send(u, round) produces u's outgoing messages for the round;
+///  - receive(u, round, inbox) delivers everything addressed to u;
+///  - rounds() says how many rounds the protocol needs (known a priori for
+///    the local protocols implemented here).
+class Protocol {
+ public:
+  virtual ~Protocol() = default;
+  [[nodiscard]] virtual std::size_t rounds() const = 0;
+  [[nodiscard]] virtual std::vector<Message> send(NodeId u, std::size_t round) = 0;
+  virtual void receive(NodeId u, std::size_t round,
+                       std::span<const Message> inbox) = 0;
+};
+
+/// Run \p protocol over the communication graph \p udg. Returns the cost
+/// accounting; protocol results are read from the protocol object itself.
+[[nodiscard]] ExecutionStats run_protocol(const graph::Graph& udg,
+                                          Protocol& protocol);
+
+}  // namespace rim::dist

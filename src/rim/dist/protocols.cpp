@@ -1,0 +1,189 @@
+#include "rim/dist/protocols.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+#include <tuple>
+
+namespace rim::dist {
+
+std::vector<Message> PositionExchangeProtocol::send(NodeId u, std::size_t round) {
+  if (round != 0) return send_extra(u, round);
+  std::vector<Message> out;
+  out.reserve(udg_.degree(u));
+  for (NodeId v : udg_.neighbors(u)) {
+    out.push_back(Message{u, v, /*kind=*/0, {points_[u].x, points_[u].y}});
+  }
+  return out;
+}
+
+void PositionExchangeProtocol::receive(NodeId u, std::size_t round,
+                                       std::span<const Message> inbox) {
+  if (round == 0) {
+    for (const Message& m : inbox) {
+      assert(m.kind == 0 && m.payload.size() == 2);
+      neighbor_position_[u][m.from] = {m.payload[0], m.payload[1]};
+    }
+    on_positions_ready(u);
+  } else {
+    receive_extra(u, round, inbox);
+  }
+  if (round + 1 == rounds()) finish(u);
+}
+
+// --- NNF ---------------------------------------------------------------
+
+void DistributedNnf::finish(NodeId u) {
+  double best_d2 = std::numeric_limits<double>::infinity();
+  for (const auto& [v, pos] : neighbor_position_[u]) {
+    const double d2 = geom::dist2(points_[u], pos);
+    if (d2 < best_d2 || (d2 == best_d2 && v < choice_[u])) {
+      best_d2 = d2;
+      choice_[u] = v;
+    }
+  }
+}
+
+graph::Graph DistributedNnf::result() const {
+  graph::Graph out(points_.size());
+  for (NodeId u = 0; u < points_.size(); ++u) {
+    if (choice_[u] != kInvalidNode) out.add_edge(u, choice_[u]);
+  }
+  return out;
+}
+
+// --- XTC ---------------------------------------------------------------
+
+void DistributedXtc::finish(NodeId u) {
+  const auto& heard = neighbor_position_[u];
+  // Rank of `other` seen from position `at` (distance, id) — the same total
+  // order the centralized algorithm uses.
+  const auto rank = [](geom::Vec2 at, geom::Vec2 other_pos, NodeId other) {
+    return std::pair{geom::dist2(at, other_pos), other};
+  };
+  for (const auto& [v, v_pos] : heard) {
+    bool dropped = false;
+    for (const auto& [w, w_pos] : heard) {
+      if (w == v) continue;
+      // w ≺_u v and w ≺_v u. The latter implies d(v,w) <= d(v,u) <= radius,
+      // so w is guaranteed to be v's UDG neighbor — no 2-hop info needed.
+      if (rank(points_[u], w_pos, w) < rank(points_[u], v_pos, v) &&
+          rank(v_pos, w_pos, w) < rank(v_pos, points_[u], u)) {
+        dropped = true;
+        break;
+      }
+    }
+    if (!dropped) kept_[u].push_back(v);
+  }
+  std::sort(kept_[u].begin(), kept_[u].end());
+}
+
+graph::Graph DistributedXtc::result() const {
+  graph::Graph out(points_.size());
+  for (NodeId u = 0; u < points_.size(); ++u) {
+    for (NodeId v : kept_[u]) {
+      if (v < u) continue;
+      // The drop rule is symmetric, so v kept u too; assert in debug.
+      assert(std::binary_search(kept_[v].begin(), kept_[v].end(), u));
+      out.add_edge(u, v);
+    }
+  }
+  return out;
+}
+
+// --- LMST --------------------------------------------------------------
+
+namespace {
+
+using Weight = std::tuple<double, NodeId, NodeId>;
+
+Weight edge_weight(geom::Vec2 pa, geom::Vec2 pb, NodeId a, NodeId b) {
+  if (a > b) {
+    std::swap(a, b);
+    std::swap(pa, pb);
+  }
+  return {geom::dist2(pa, pb), a, b};
+}
+
+}  // namespace
+
+std::vector<Message> DistributedLmst::send_extra(NodeId u, std::size_t round) {
+  assert(round == 1);
+  (void)round;
+  std::vector<Message> out;
+  out.reserve(selected_[u].size());
+  for (NodeId v : selected_[u]) {
+    out.push_back(Message{u, v, /*kind=*/1, {}});
+  }
+  return out;
+}
+
+void DistributedLmst::receive_extra(NodeId u, std::size_t round,
+                                    std::span<const Message> inbox) {
+  assert(round == 1);
+  (void)round;
+  for (const Message& m : inbox) {
+    assert(m.kind == 1);
+    confirmed_[u].push_back(m.from);
+  }
+  std::sort(confirmed_[u].begin(), confirmed_[u].end());
+}
+
+void DistributedLmst::on_positions_ready(NodeId u) {
+  if (neighbor_position_[u].empty()) return;
+
+  // Closed neighborhood, u first (mirrors the centralized lmst()).
+  std::vector<NodeId> local{u};
+  std::vector<geom::Vec2> pos{points_[u]};
+  for (const auto& [v, p] : neighbor_position_[u]) {
+    local.push_back(v);
+    pos.push_back(p);
+  }
+  const std::size_t m = local.size();
+  const double r2 = radius_ * radius_;
+
+  constexpr Weight kInfinite{std::numeric_limits<double>::infinity(),
+                             kInvalidNode, kInvalidNode};
+  std::vector<bool> in_tree(m, false);
+  std::vector<Weight> best(m, kInfinite);
+  std::vector<std::size_t> best_from(m, 0);
+  in_tree[0] = true;
+  for (std::size_t j = 1; j < m; ++j) {
+    best[j] = edge_weight(pos[0], pos[j], u, local[j]);
+  }
+  for (std::size_t step = 1; step < m; ++step) {
+    std::size_t pick = m;
+    for (std::size_t j = 0; j < m; ++j) {
+      if (!in_tree[j] && (pick == m || best[j] < best[pick])) pick = j;
+    }
+    if (pick == m || best[pick] == kInfinite) break;
+    in_tree[pick] = true;
+    if (best_from[pick] == 0) selected_[u].push_back(local[pick]);
+    for (std::size_t j = 0; j < m; ++j) {
+      if (in_tree[j]) continue;
+      // Geometric adjacency between two heard neighbors.
+      if (geom::dist2(pos[pick], pos[j]) > r2) continue;
+      const Weight w = edge_weight(pos[pick], pos[j], local[pick], local[j]);
+      if (w < best[j]) {
+        best[j] = w;
+        best_from[j] = pick;
+      }
+    }
+  }
+  std::sort(selected_[u].begin(), selected_[u].end());
+}
+
+graph::Graph DistributedLmst::result() const {
+  graph::Graph out(points_.size());
+  for (NodeId u = 0; u < points_.size(); ++u) {
+    for (NodeId v : selected_[u]) {
+      if (v < u) continue;
+      if (std::binary_search(confirmed_[u].begin(), confirmed_[u].end(), v)) {
+        out.add_edge(u, v);
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace rim::dist

@@ -1,0 +1,121 @@
+#pragma once
+
+#include <map>
+#include <span>
+
+#include "rim/dist/engine.hpp"
+#include "rim/geom/vec2.hpp"
+
+/// \file protocols.hpp
+/// Distributed executions of the local topology-control algorithms.
+///
+/// Each protocol runs in the LOCAL model over the UDG and must produce
+/// exactly the centralized construction — the equivalence is asserted by
+/// tests, making the centralized code the specification and the protocol
+/// its distributed refinement.
+///
+///  - DistributedNnf:  1 round  (positions)        -> nearest_neighbor_forest
+///  - DistributedXtc:  1 round  (positions)        -> xtc
+///  - DistributedLmst: 2 rounds (positions, then   -> lmst
+///                     "I-selected-you" notices)
+///
+/// A subtlety the implementations exploit: on a *geometric* UDG, adjacency
+/// between two of u's neighbors is decidable from their positions
+/// (d <= radius), so XTC's common-neighbor test and LMST's local-MST
+/// construction need no 2-hop tables; only LMST's mutual-selection
+/// intersection requires a second round.
+///
+/// Message cost per node: deg(u) messages in round 0 (2-double payload);
+/// LMST adds <= 6 zero-payload notices in round 1.
+
+namespace rim::dist {
+
+/// Common base: nodes know their own position and discover neighbors'
+/// positions in round 0.
+class PositionExchangeProtocol : public Protocol {
+ public:
+  PositionExchangeProtocol(std::span<const geom::Vec2> points,
+                           const graph::Graph& udg)
+      : points_(points), udg_(udg), neighbor_position_(points.size()) {}
+
+  [[nodiscard]] std::vector<Message> send(NodeId u, std::size_t round) override;
+  void receive(NodeId u, std::size_t round,
+               std::span<const Message> inbox) override;
+
+  /// The topology this node set agreed on (valid after run_protocol).
+  [[nodiscard]] virtual graph::Graph result() const = 0;
+
+ protected:
+  /// Hook: called once per node after the final round's delivery.
+  virtual void finish(NodeId u) = 0;
+  /// Hook: called once per node right after round 0's positions arrive —
+  /// the place to compute anything later rounds must send.
+  virtual void on_positions_ready(NodeId) {}
+  /// Hook for protocols with extra rounds; default: no extra messages.
+  [[nodiscard]] virtual std::vector<Message> send_extra(NodeId, std::size_t) {
+    return {};
+  }
+  virtual void receive_extra(NodeId, std::size_t, std::span<const Message>) {}
+
+  std::span<const geom::Vec2> points_;
+  const graph::Graph& udg_;
+  /// Per node: positions learned from neighbors (id -> position).
+  std::vector<std::map<NodeId, geom::Vec2>> neighbor_position_;
+};
+
+/// Every node links to the closest neighbor it heard from.
+class DistributedNnf final : public PositionExchangeProtocol {
+ public:
+  using PositionExchangeProtocol::PositionExchangeProtocol;
+  [[nodiscard]] std::size_t rounds() const override { return 1; }
+  [[nodiscard]] graph::Graph result() const override;
+
+ private:
+  void finish(NodeId u) override;
+  std::vector<NodeId> choice_ = std::vector<NodeId>(points_.size(), kInvalidNode);
+};
+
+/// XTC from 1-hop positions: u drops the link to v iff some w (heard by u)
+/// is better ranked than v for u and better ranked than u for v — all
+/// distances computable from the received positions.
+class DistributedXtc final : public PositionExchangeProtocol {
+ public:
+  using PositionExchangeProtocol::PositionExchangeProtocol;
+  [[nodiscard]] std::size_t rounds() const override { return 1; }
+  [[nodiscard]] graph::Graph result() const override;
+
+ private:
+  void finish(NodeId u) override;
+  std::vector<std::vector<NodeId>> kept_ =
+      std::vector<std::vector<NodeId>>(points_.size());
+};
+
+/// LMST: after round 0 every node runs Prim over its closed neighborhood
+/// (adjacency inferred geometrically) and keeps its incident local-MST
+/// edges; round 1 sends an "I selected you" notice along each selected
+/// link, and the final topology keeps exactly the mutually selected pairs —
+/// the same intersection the centralized lmst() computes.
+class DistributedLmst final : public PositionExchangeProtocol {
+ public:
+  DistributedLmst(std::span<const geom::Vec2> points, const graph::Graph& udg,
+                  double radius = 1.0)
+      : PositionExchangeProtocol(points, udg), radius_(radius) {}
+  [[nodiscard]] std::size_t rounds() const override { return 2; }
+  [[nodiscard]] graph::Graph result() const override;
+
+ private:
+  void finish(NodeId) override {}  // result() reads selected_/confirmed_
+  void on_positions_ready(NodeId u) override;
+  [[nodiscard]] std::vector<Message> send_extra(NodeId u,
+                                                std::size_t round) override;
+  void receive_extra(NodeId u, std::size_t round,
+                     std::span<const Message> inbox) override;
+
+  double radius_;
+  std::vector<std::vector<NodeId>> selected_ =
+      std::vector<std::vector<NodeId>>(points_.size());
+  std::vector<std::vector<NodeId>> confirmed_ =
+      std::vector<std::vector<NodeId>>(points_.size());
+};
+
+}  // namespace rim::dist

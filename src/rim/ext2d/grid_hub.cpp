@@ -1,0 +1,109 @@
+#include "rim/ext2d/grid_hub.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <map>
+
+#include "rim/geom/aabb.hpp"
+
+namespace rim::ext2d {
+
+namespace {
+
+using CellKey = std::pair<std::int64_t, std::int64_t>;
+
+}  // namespace
+
+GridHubResult grid_hub_2d(std::span<const geom::Vec2> points,
+                          const graph::Graph& udg, double radius,
+                          std::size_t spacing_override) {
+  GridHubResult result;
+  result.topology = graph::Graph(points.size());
+  if (points.empty()) return result;
+
+  result.delta = udg.max_degree();
+  result.hub_spacing =
+      spacing_override != 0
+          ? spacing_override
+          : std::max<std::size_t>(
+                1, static_cast<std::size_t>(
+                       std::ceil(std::sqrt(static_cast<double>(result.delta)))));
+
+  // Cell side radius/sqrt(2): cell diameter == radius, so intra-cell links
+  // are always UDG edges.
+  const double side = radius / std::sqrt(2.0);
+  const geom::Aabb box = geom::bounding_box(points);
+  const auto cell_of = [&](geom::Vec2 p) -> CellKey {
+    return {static_cast<std::int64_t>(std::floor((p.x - box.lo.x) / side)),
+            static_cast<std::int64_t>(std::floor((p.y - box.lo.y) / side))};
+  };
+
+  std::map<CellKey, std::vector<NodeId>> cells;
+  for (NodeId v = 0; v < points.size(); ++v) cells[cell_of(points[v])].push_back(v);
+  result.occupied_cells = cells.size();
+
+  // Intra-cell wiring, mirroring A_gen's segments.
+  for (auto& [key, members] : cells) {
+    std::sort(members.begin(), members.end(), [&](NodeId a, NodeId b) {
+      return points[a] < points[b] || (points[a] == points[b] && a < b);
+    });
+    std::vector<NodeId> hubs;
+    for (std::size_t i = 0; i < members.size(); i += result.hub_spacing) {
+      hubs.push_back(members[i]);
+    }
+    if (hubs.back() != members.back()) hubs.push_back(members.back());
+    for (std::size_t h = 0; h + 1 < hubs.size(); ++h) {
+      result.topology.add_edge(hubs[h], hubs[h + 1]);
+    }
+    for (NodeId v : members) {
+      if (std::find(hubs.begin(), hubs.end(), v) != hubs.end()) continue;
+      NodeId best = hubs.front();
+      double best_d2 = geom::dist2(points[v], points[best]);
+      for (NodeId h : hubs) {
+        const double d2 = geom::dist2(points[v], points[h]);
+        if (d2 < best_d2 || (d2 == best_d2 && h < best)) {
+          best = h;
+          best_d2 = d2;
+        }
+      }
+      result.topology.add_edge(v, best);
+    }
+    result.hubs.insert(result.hubs.end(), hubs.begin(), hubs.end());
+  }
+  std::sort(result.hubs.begin(), result.hubs.end());
+
+  // Inter-cell stitching: a UDG edge can span cells up to Chebyshev
+  // distance 2 (side = radius/√2). For every such occupied pair, connect
+  // the closest cross pair when it is within the radius — it is no longer
+  // than any cross UDG edge, so stitching exists wherever the UDG connects
+  // the two cells.
+  const double r2 = radius * radius;
+  for (auto it = cells.begin(); it != cells.end(); ++it) {
+    const auto& [key, members] = *it;
+    for (std::int64_t dx = -2; dx <= 2; ++dx) {
+      for (std::int64_t dy = -2; dy <= 2; ++dy) {
+        if (dx < 0 || (dx == 0 && dy <= 0)) continue;  // each pair once
+        const auto other = cells.find({key.first + dx, key.second + dy});
+        if (other == cells.end()) continue;
+        NodeId best_u = kInvalidNode;
+        NodeId best_v = kInvalidNode;
+        double best_d2 = std::numeric_limits<double>::infinity();
+        for (NodeId u : members) {
+          for (NodeId v : other->second) {
+            const double d2 = geom::dist2(points[u], points[v]);
+            if (d2 < best_d2) {
+              best_d2 = d2;
+              best_u = u;
+              best_v = v;
+            }
+          }
+        }
+        if (best_d2 <= r2) result.topology.add_edge(best_u, best_v);
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace rim::ext2d

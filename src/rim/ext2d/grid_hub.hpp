@@ -1,0 +1,42 @@
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "rim/geom/vec2.hpp"
+#include "rim/graph/graph.hpp"
+
+/// \file grid_hub.hpp
+/// A_gen lifted to the plane — the paper's "adaptation of our approach to
+/// higher dimensions remains an open problem" (Section 6), answered
+/// constructively and evaluated empirically by experiment E13.
+///
+/// The plane is partitioned into square cells of side radius/√2, so any two
+/// nodes of one cell can talk directly (cell diameter = radius). Within a
+/// cell, every ⌈√Δ⌉-th node (in (x, y, id) order, plus the last) becomes a
+/// hub; hubs are chained, regular nodes attach to their nearest hub in the
+/// cell. Cells whose node sets are UDG-adjacent (their closest cross pair
+/// is within the radius) are stitched through that closest pair. The
+/// construction preserves UDG connectivity by the same argument as
+/// Theorem 5.4's segments, and empirically yields O(√Δ) interference on
+/// 2-D deployments (it is a heuristic — the paper proves nothing in 2-D).
+
+namespace rim::ext2d {
+
+struct GridHubResult {
+  graph::Graph topology;
+  std::vector<NodeId> hubs;       ///< all hubs, ascending
+  std::size_t delta = 0;          ///< max UDG degree
+  std::size_t hub_spacing = 1;    ///< ⌈√Δ⌉ or the override
+  std::size_t occupied_cells = 0;
+};
+
+/// Build the 2-D hub topology. \p spacing_override replaces ⌈√Δ⌉ when
+/// non-zero (for the ablation).
+[[nodiscard]] GridHubResult grid_hub_2d(std::span<const geom::Vec2> points,
+                                        const graph::Graph& udg,
+                                        double radius = 1.0,
+                                        std::size_t spacing_override = 0);
+
+}  // namespace rim::ext2d

@@ -1,0 +1,49 @@
+#include "rim/ext2d/min_interference.hpp"
+
+#include "rim/core/interference.hpp"
+#include "rim/ext2d/grid_hub.hpp"
+#include "rim/graph/mst.hpp"
+#include "rim/topology/mst_topology.hpp"
+
+namespace rim::ext2d {
+
+MinInterferenceResult min_interference_2d(std::span<const geom::Vec2> points,
+                                          const graph::Graph& udg,
+                                          std::size_t rounds) {
+  // Candidate seeds, each reduced to a spanning forest (the hub topology
+  // can contain cycles; a Euclidean-minimal forest of its edges keeps the
+  // same components).
+  struct Seed {
+    const char* name;
+    graph::Graph forest;
+  };
+  std::vector<Seed> seeds;
+  seeds.push_back({"mst", topology::mst_topology(points, udg)});
+  seeds.push_back(
+      {"grid_hub", graph::euclidean_mst(grid_hub_2d(points, udg).topology, points)});
+
+  const Seed* best = nullptr;
+  std::uint32_t best_i = 0;
+  for (const Seed& seed : seeds) {
+    const std::uint32_t i = core::graph_interference(seed.forest, points);
+    if (best == nullptr || i < best_i) {
+      best = &seed;
+      best_i = i;
+    }
+  }
+
+  highway::LocalSearchParams params;
+  params.max_rounds = rounds;
+  params.max_candidates_per_cut = 32;  // keep dense UDGs tractable
+  const highway::LocalSearchResult ls =
+      highway::local_search_min_interference(points, udg, best->forest, params);
+
+  MinInterferenceResult result;
+  result.tree = ls.tree;
+  result.interference = ls.interference;
+  result.seed_name = best->name;
+  result.swaps = ls.swaps_applied;
+  return result;
+}
+
+}  // namespace rim::ext2d

@@ -1,0 +1,33 @@
+#pragma once
+
+#include <span>
+
+#include "rim/geom/vec2.hpp"
+#include "rim/graph/graph.hpp"
+#include "rim/highway/local_search.hpp"
+
+/// \file min_interference.hpp
+/// Heuristic minimum-interference spanning forests in the plane.
+///
+/// The paper leaves higher dimensions open (Section 6). This module
+/// combines the pieces the library already has into a practical 2-D
+/// optimiser: seed with the best of several constructions (MST and the
+/// grid-hub A_gen lift), reduce to a spanning forest, then run the
+/// edge-swap local search on the receiver-centric objective.
+
+namespace rim::ext2d {
+
+struct MinInterferenceResult {
+  graph::Graph tree;            ///< spanning forest of the UDG's components
+  std::uint32_t interference = 0;
+  const char* seed_name = "";   ///< which seed won
+  std::size_t swaps = 0;
+};
+
+/// Optimise over \p points / \p udg. \p rounds bounds the local-search
+/// sweeps (each sweep is O(n * m * eval) — keep instances moderate).
+[[nodiscard]] MinInterferenceResult min_interference_2d(
+    std::span<const geom::Vec2> points, const graph::Graph& udg,
+    std::size_t rounds = 4);
+
+}  // namespace rim::ext2d

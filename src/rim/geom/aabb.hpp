@@ -1,0 +1,48 @@
+#pragma once
+
+#include <algorithm>
+#include <span>
+
+#include "rim/geom/vec2.hpp"
+
+/// \file aabb.hpp
+/// Axis-aligned bounding boxes; used by the spatial indices.
+
+namespace rim::geom {
+
+/// A closed axis-aligned rectangle [lo.x, hi.x] x [lo.y, hi.y].
+struct Aabb {
+  Vec2 lo{0.0, 0.0};
+  Vec2 hi{0.0, 0.0};
+
+  [[nodiscard]] bool contains(Vec2 p) const {
+    return p.x >= lo.x && p.x <= hi.x && p.y >= lo.y && p.y <= hi.y;
+  }
+
+  [[nodiscard]] double width() const { return hi.x - lo.x; }
+  [[nodiscard]] double height() const { return hi.y - lo.y; }
+
+  /// Grow the box to include \p p.
+  void expand(Vec2 p) {
+    lo.x = std::min(lo.x, p.x);
+    lo.y = std::min(lo.y, p.y);
+    hi.x = std::max(hi.x, p.x);
+    hi.y = std::max(hi.y, p.y);
+  }
+
+  /// Squared distance from \p p to the box (0 when inside).
+  [[nodiscard]] double dist2_to(Vec2 p) const {
+    const double dx = std::max({lo.x - p.x, 0.0, p.x - hi.x});
+    const double dy = std::max({lo.y - p.y, 0.0, p.y - hi.y});
+    return dx * dx + dy * dy;
+  }
+};
+
+/// Bounding box of a non-empty point span.
+[[nodiscard]] inline Aabb bounding_box(std::span<const Vec2> points) {
+  Aabb box{points.front(), points.front()};
+  for (Vec2 p : points.subspan(1)) box.expand(p);
+  return box;
+}
+
+}  // namespace rim::geom

@@ -1,0 +1,107 @@
+#include "rim/geom/closest_pair.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+#include <numeric>
+#include <vector>
+
+namespace rim::geom {
+
+namespace {
+
+struct Candidate {
+  double d2 = std::numeric_limits<double>::infinity();
+  NodeId a = kInvalidNode;
+  NodeId b = kInvalidNode;
+
+  void offer(double d2_new, NodeId x, NodeId y) {
+    if (x > y) std::swap(x, y);
+    if (d2_new < d2 || (d2_new == d2 && std::pair{x, y} < std::pair{a, b})) {
+      d2 = d2_new;
+      a = x;
+      b = y;
+    }
+  }
+};
+
+// Recursive solve over ids[begin,end) sorted by x; `aux` is scratch for the
+// merge by y.
+void solve(std::span<const Vec2> pts, std::vector<NodeId>& ids,
+           std::vector<NodeId>& aux, std::size_t begin, std::size_t end,
+           Candidate& best) {
+  const std::size_t count = end - begin;
+  if (count <= 3) {
+    for (std::size_t i = begin; i < end; ++i) {
+      for (std::size_t j = i + 1; j < end; ++j) {
+        best.offer(dist2(pts[ids[i]], pts[ids[j]]), ids[i], ids[j]);
+      }
+    }
+    std::sort(ids.begin() + static_cast<std::ptrdiff_t>(begin),
+              ids.begin() + static_cast<std::ptrdiff_t>(end),
+              [&](NodeId x, NodeId y) {
+                return pts[x].y < pts[y].y || (pts[x].y == pts[y].y && x < y);
+              });
+    return;
+  }
+  const std::size_t mid = begin + count / 2;
+  const double split_x = pts[ids[mid]].x;
+  solve(pts, ids, aux, begin, mid, best);
+  solve(pts, ids, aux, mid, end, best);
+
+  // Merge the two halves by y into aux, then copy back.
+  std::merge(ids.begin() + static_cast<std::ptrdiff_t>(begin),
+             ids.begin() + static_cast<std::ptrdiff_t>(mid),
+             ids.begin() + static_cast<std::ptrdiff_t>(mid),
+             ids.begin() + static_cast<std::ptrdiff_t>(end),
+             aux.begin() + static_cast<std::ptrdiff_t>(begin),
+             [&](NodeId x, NodeId y) {
+               return pts[x].y < pts[y].y || (pts[x].y == pts[y].y && x < y);
+             });
+  std::copy(aux.begin() + static_cast<std::ptrdiff_t>(begin),
+            aux.begin() + static_cast<std::ptrdiff_t>(end),
+            ids.begin() + static_cast<std::ptrdiff_t>(begin));
+
+  // Strip: points within sqrt(best.d2) of the split line, checked against
+  // the handful of strip successors by y.
+  std::vector<NodeId> strip;
+  for (std::size_t i = begin; i < end; ++i) {
+    const double dx = pts[ids[i]].x - split_x;
+    if (dx * dx <= best.d2) strip.push_back(ids[i]);
+  }
+  for (std::size_t i = 0; i < strip.size(); ++i) {
+    for (std::size_t j = i + 1; j < strip.size(); ++j) {
+      const double dy = pts[strip[j]].y - pts[strip[i]].y;
+      if (dy * dy > best.d2) break;
+      best.offer(dist2(pts[strip[i]], pts[strip[j]]), strip[i], strip[j]);
+    }
+  }
+}
+
+}  // namespace
+
+ClosestPairResult closest_pair(std::span<const Vec2> points) {
+  assert(points.size() >= 2);
+  std::vector<NodeId> ids(points.size());
+  std::iota(ids.begin(), ids.end(), NodeId{0});
+  std::sort(ids.begin(), ids.end(), [&](NodeId x, NodeId y) {
+    return points[x].x < points[y].x || (points[x].x == points[y].x && x < y);
+  });
+  std::vector<NodeId> aux(points.size());
+  Candidate best;
+  solve(points, ids, aux, 0, points.size(), best);
+  return {best.a, best.b, std::sqrt(best.d2)};
+}
+
+ClosestPairResult closest_pair_brute(std::span<const Vec2> points) {
+  assert(points.size() >= 2);
+  Candidate best;
+  for (NodeId i = 0; i < points.size(); ++i) {
+    for (NodeId j = i + 1; j < points.size(); ++j) {
+      best.offer(dist2(points[i], points[j]), i, j);
+    }
+  }
+  return {best.a, best.b, std::sqrt(best.d2)};
+}
+
+}  // namespace rim::geom

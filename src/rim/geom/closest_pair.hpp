@@ -1,0 +1,29 @@
+#pragma once
+
+#include <span>
+#include <utility>
+
+#include "rim/common/types.hpp"
+#include "rim/geom/vec2.hpp"
+
+/// \file closest_pair.hpp
+/// Classic divide-and-conquer closest pair; useful both as a geometry
+/// primitive (e.g. deciding grid cell sizes) and as a reference for tests.
+
+namespace rim::geom {
+
+struct ClosestPairResult {
+  NodeId a = kInvalidNode;
+  NodeId b = kInvalidNode;
+  double distance = 0.0;
+};
+
+/// O(n log n) closest pair of distinct points. Requires at least two points.
+/// Deterministic: under distance ties, the lexicographically smallest id
+/// pair wins.
+[[nodiscard]] ClosestPairResult closest_pair(std::span<const Vec2> points);
+
+/// O(n^2) reference implementation (used by tests as an oracle).
+[[nodiscard]] ClosestPairResult closest_pair_brute(std::span<const Vec2> points);
+
+}  // namespace rim::geom

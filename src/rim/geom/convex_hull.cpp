@@ -1,0 +1,64 @@
+#include "rim/geom/convex_hull.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace rim::geom {
+
+std::vector<NodeId> convex_hull(std::span<const Vec2> points) {
+  const std::size_t n = points.size();
+  std::vector<NodeId> order(n);
+  std::iota(order.begin(), order.end(), NodeId{0});
+  std::sort(order.begin(), order.end(), [&](NodeId a, NodeId b) {
+    return points[a] < points[b] || (points[a] == points[b] && a < b);
+  });
+  // Drop exact duplicates (keep the smallest id at each position).
+  order.erase(std::unique(order.begin(), order.end(),
+                          [&](NodeId a, NodeId b) {
+                            return points[a] == points[b];
+                          }),
+              order.end());
+  if (order.size() <= 2) return order;
+
+  const auto turns_right = [&](NodeId a, NodeId b, NodeId c) {
+    return cross(points[b] - points[a], points[c] - points[a]) <= 0.0;
+  };
+
+  std::vector<NodeId> hull(2 * order.size());
+  std::size_t k = 0;
+  // Lower hull.
+  for (NodeId id : order) {
+    while (k >= 2 && turns_right(hull[k - 2], hull[k - 1], id)) --k;
+    hull[k++] = id;
+  }
+  // Upper hull.
+  const std::size_t lower_size = k + 1;
+  for (auto it = order.rbegin() + 1; it != order.rend(); ++it) {
+    while (k >= lower_size && turns_right(hull[k - 2], hull[k - 1], *it)) --k;
+    hull[k++] = *it;
+  }
+  hull.resize(k - 1);  // last point equals the first
+  return hull;
+}
+
+bool hull_contains(std::span<const Vec2> points, std::span<const NodeId> hull,
+                   Vec2 p) {
+  if (hull.empty()) return false;
+  if (hull.size() == 1) return points[hull[0]] == p;
+  if (hull.size() == 2) {
+    // Degenerate: on-segment test.
+    const Vec2 a = points[hull[0]];
+    const Vec2 b = points[hull[1]];
+    if (cross(b - a, p - a) != 0.0) return false;
+    const double t = dot(p - a, b - a);
+    return t >= 0.0 && t <= norm2(b - a);
+  }
+  for (std::size_t i = 0; i < hull.size(); ++i) {
+    const Vec2 a = points[hull[i]];
+    const Vec2 b = points[hull[(i + 1) % hull.size()]];
+    if (cross(b - a, p - a) < 0.0) return false;  // strictly right of an edge
+  }
+  return true;
+}
+
+}  // namespace rim::geom

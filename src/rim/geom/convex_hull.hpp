@@ -1,0 +1,26 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "rim/common/types.hpp"
+#include "rim/geom/vec2.hpp"
+
+/// \file convex_hull.hpp
+/// Andrew's monotone-chain convex hull. Used by the Delaunay tests (hull
+/// edges are always Delaunay edges) and by instance diagnostics.
+
+namespace rim::geom {
+
+/// Indices of the convex hull of \p points in counter-clockwise order,
+/// starting from the lexicographically smallest point. Collinear points on
+/// hull edges are excluded. Handles degenerate inputs: fewer than 3 points
+/// (or all collinear) yield the extreme points only.
+[[nodiscard]] std::vector<NodeId> convex_hull(std::span<const Vec2> points);
+
+/// True iff p lies inside or on the boundary of the convex polygon
+/// \p hull (CCW order, as returned by convex_hull).
+[[nodiscard]] bool hull_contains(std::span<const Vec2> points,
+                                 std::span<const NodeId> hull, Vec2 p);
+
+}  // namespace rim::geom

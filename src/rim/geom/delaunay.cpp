@@ -1,0 +1,136 @@
+#include "rim/geom/delaunay.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <numeric>
+
+#include "rim/geom/aabb.hpp"
+
+namespace rim::geom {
+
+bool in_circumcircle(Vec2 a, Vec2 b, Vec2 c, Vec2 d) {
+  // Standard 3x3 incircle determinant with translated coordinates; positive
+  // for d strictly inside when abc is counter-clockwise.
+  const double ax = a.x - d.x;
+  const double ay = a.y - d.y;
+  const double bx = b.x - d.x;
+  const double by = b.y - d.y;
+  const double cx = c.x - d.x;
+  const double cy = c.y - d.y;
+  const double det = (ax * ax + ay * ay) * (bx * cy - cx * by) -
+                     (bx * bx + by * by) * (ax * cy - cx * ay) +
+                     (cx * cx + cy * cy) * (ax * by - bx * ay);
+  return det > 0.0;
+}
+
+namespace {
+
+struct WorkTriangle {
+  std::array<NodeId, 3> v;
+  bool alive = true;
+};
+
+/// Canonical (sorted) edge key for the cavity-boundary bookkeeping.
+std::pair<NodeId, NodeId> edge_key(NodeId a, NodeId b) {
+  return a < b ? std::pair{a, b} : std::pair{b, a};
+}
+
+}  // namespace
+
+Delaunay::Delaunay(std::span<const Vec2> points) : edge_graph_(points.size()) {
+  const std::size_t n = points.size();
+  if (n < 2) return;
+  if (n == 2) {
+    if (!(points[0] == points[1])) edge_graph_.add_edge(0, 1);
+    return;
+  }
+
+  // Working coordinates: real points followed by the three super-triangle
+  // vertices, chosen far outside the bounding box.
+  std::vector<Vec2> coords(points.begin(), points.end());
+  const Aabb box = bounding_box(points);
+  const double span = std::max({box.width(), box.height(), 1.0});
+  const Vec2 center = midpoint(box.lo, box.hi);
+  const NodeId s0 = static_cast<NodeId>(n);
+  const NodeId s1 = static_cast<NodeId>(n + 1);
+  const NodeId s2 = static_cast<NodeId>(n + 2);
+  coords.push_back({center.x - 30.0 * span, center.y - 10.0 * span});
+  coords.push_back({center.x + 30.0 * span, center.y - 10.0 * span});
+  coords.push_back({center.x, center.y + 30.0 * span});
+
+  std::vector<WorkTriangle> work;
+  work.push_back({{s0, s1, s2}, true});
+
+  // Deterministic insertion order: by node id.
+  for (NodeId p = 0; p < n; ++p) {
+    // Cavity: all triangles whose circumcircle contains p. Boundary edges
+    // of the cavity appear exactly once across the bad triangles.
+    std::map<std::pair<NodeId, NodeId>, int> edge_count;
+    for (WorkTriangle& t : work) {
+      if (!t.alive) continue;
+      if (in_circumcircle(coords[t.v[0]], coords[t.v[1]], coords[t.v[2]],
+                          coords[p])) {
+        t.alive = false;
+        ++edge_count[edge_key(t.v[0], t.v[1])];
+        ++edge_count[edge_key(t.v[1], t.v[2])];
+        ++edge_count[edge_key(t.v[2], t.v[0])];
+      }
+    }
+    // Coincident/degenerate point falling in no circumcircle: skip (it will
+    // simply be absent from the triangulation, like a duplicate).
+    if (edge_count.empty()) continue;
+    for (const auto& [edge, count] : edge_count) {
+      if (count != 1) continue;  // interior edge of the cavity
+      // New triangle (a, b, p), oriented CCW.
+      const auto [a, b] = edge;
+      const double orient =
+          cross(coords[b] - coords[a], coords[p] - coords[a]);
+      if (orient > 0.0) {
+        work.push_back({{a, b, p}, true});
+      } else {
+        work.push_back({{b, a, p}, true});
+      }
+    }
+    // Compact periodically so the dead-triangle scan stays linear-ish.
+    if (work.size() > 4 * n) {
+      std::erase_if(work, [](const WorkTriangle& t) { return !t.alive; });
+    }
+  }
+
+  for (const WorkTriangle& t : work) {
+    if (!t.alive) continue;
+    if (t.v[0] >= n || t.v[1] >= n || t.v[2] >= n) continue;  // super vertex
+    triangles_.push_back(Triangle{t.v});
+    edge_graph_.add_edge(t.v[0], t.v[1]);
+    edge_graph_.add_edge(t.v[1], t.v[2]);
+    edge_graph_.add_edge(t.v[2], t.v[0]);
+  }
+
+  // All-collinear input (e.g. a highway instance embedded on the x-axis)
+  // yields no real triangle; the limiting Delaunay graph is the path along
+  // the sorted points, which we emit explicitly.
+  if (triangles_.empty() && n >= 2) {
+    std::vector<NodeId> order(n);
+    std::iota(order.begin(), order.end(), NodeId{0});
+    std::sort(order.begin(), order.end(), [&](NodeId a, NodeId b) {
+      return points[a] < points[b] || (points[a] == points[b] && a < b);
+    });
+    for (std::size_t i = 1; i < n; ++i) {
+      if (points[order[i - 1]] == points[order[i]]) continue;  // duplicates
+      edge_graph_.add_edge(order[i - 1], order[i]);
+    }
+  }
+}
+
+graph::Graph unit_delaunay(std::span<const Vec2> points, double radius) {
+  const Delaunay del(points);
+  graph::Graph out(points.size());
+  const double r2 = radius * radius;
+  for (graph::Edge e : del.edges().edges()) {
+    if (dist2(points[e.u], points[e.v]) <= r2) out.add_edge(e.u, e.v);
+  }
+  return out;
+}
+
+}  // namespace rim::geom

@@ -1,0 +1,37 @@
+#pragma once
+
+#include "rim/geom/vec2.hpp"
+
+/// \file disk.hpp
+/// Closed disks D(c, r) — the interference regions of the paper's model:
+/// a node u transmitting with range r_u affects exactly the nodes inside
+/// D(u, r_u) (Section 3).
+
+namespace rim::geom {
+
+/// A closed disk with center \p center and radius \p radius.
+struct Disk {
+  Vec2 center;
+  double radius = 0.0;
+
+  /// Containment test. The disk is closed: points exactly on the boundary
+  /// count as covered, matching Definition 3.1 ("v \in D(u, r_u)").
+  [[nodiscard]] bool contains(Vec2 p) const {
+    return dist2(center, p) <= radius * radius;
+  }
+
+  /// True when the two closed disks share at least one point.
+  [[nodiscard]] bool intersects(const Disk& other) const {
+    const double rr = radius + other.radius;
+    return dist2(center, other.center) <= rr * rr;
+  }
+};
+
+/// The smallest disk through points a and b (diametral disk). Used by the
+/// Gabriel-graph test: {a,b} is a Gabriel edge iff this disk is empty of
+/// other nodes.
+[[nodiscard]] inline Disk diametral_disk(Vec2 a, Vec2 b) {
+  return Disk{midpoint(a, b), dist(a, b) * 0.5};
+}
+
+}  // namespace rim::geom

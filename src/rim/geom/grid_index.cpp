@@ -1,0 +1,143 @@
+#include "rim/geom/grid_index.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+namespace rim::geom {
+
+GridIndex::GridIndex(std::span<const Vec2> points, double cell_size)
+    : points_(points), cell_size_(cell_size) {
+  assert(cell_size_ > 0.0);
+  if (points_.empty()) {
+    cell_start_.assign(2, 0);
+    return;
+  }
+  box_ = bounding_box(points_);
+  // Cap the grid so adversarially spread inputs (e.g. exponential chains)
+  // cannot blow up memory or construction time; a coarser grid is merely
+  // slower to query, never wrong. The cap scales with the point count so
+  // building the index stays O(n). The fit test runs in double precision to
+  // dodge int64 overflow when the requested cell size is absurdly small
+  // relative to the extent.
+  const double kMaxCells =
+      std::min(double{1 << 22},
+               std::max(64.0, 16.0 * static_cast<double>(points_.size())));
+  while (std::max(1.0, std::floor(box_.width() / cell_size_) + 1.0) *
+             std::max(1.0, std::floor(box_.height() / cell_size_) + 1.0) >
+         kMaxCells) {
+    cell_size_ *= 2.0;
+  }
+  nx_ = std::max<std::int64_t>(
+      1, static_cast<std::int64_t>(std::floor(box_.width() / cell_size_)) + 1);
+  ny_ = std::max<std::int64_t>(
+      1, static_cast<std::int64_t>(std::floor(box_.height() / cell_size_)) + 1);
+
+  const std::size_t cells = static_cast<std::size_t>(nx_ * ny_);
+  std::vector<std::uint32_t> counts(cells, 0);
+  for (const Vec2& p : points_) ++counts[cell_of(coord_of(p))];
+
+  cell_start_.assign(cells + 1, 0);
+  for (std::size_t k = 0; k < cells; ++k) {
+    cell_start_[k + 1] = cell_start_[k] + counts[k];
+  }
+  cell_points_.resize(points_.size());
+  std::vector<std::uint32_t> cursor(cell_start_.begin(), cell_start_.end() - 1);
+  for (NodeId id = 0; id < points_.size(); ++id) {
+    cell_points_[cursor[cell_of(coord_of(points_[id]))]++] = id;
+  }
+}
+
+GridIndex::CellCoord GridIndex::coord_of(Vec2 p) const {
+  const auto cx = static_cast<std::int64_t>(std::floor((p.x - box_.lo.x) / cell_size_));
+  const auto cy = static_cast<std::int64_t>(std::floor((p.y - box_.lo.y) / cell_size_));
+  return {std::clamp<std::int64_t>(cx, 0, nx_ - 1),
+          std::clamp<std::int64_t>(cy, 0, ny_ - 1)};
+}
+
+std::size_t GridIndex::cell_of(CellCoord c) const {
+  return static_cast<std::size_t>(c.cy * nx_ + c.cx);
+}
+
+void GridIndex::for_each_in_disk(Vec2 center, double radius,
+                                 const std::function<void(NodeId)>& fn) const {
+  if (points_.empty() || radius < 0.0) return;
+  const double r2 = radius * radius;
+  const CellCoord lo = coord_of({center.x - radius, center.y - radius});
+  const CellCoord hi = coord_of({center.x + radius, center.y + radius});
+  for (std::int64_t cy = lo.cy; cy <= hi.cy; ++cy) {
+    for (std::int64_t cx = lo.cx; cx <= hi.cx; ++cx) {
+      const std::size_t cell = cell_of({cx, cy});
+      const std::uint32_t begin = cell_start_[cell];
+      const std::uint32_t end = cell_start_[cell + 1];
+      for (std::uint32_t i = begin; i < end; ++i) {
+        const NodeId id = cell_points_[i];
+        if (dist2(points_[id], center) <= r2) fn(id);
+      }
+    }
+  }
+}
+
+void GridIndex::for_each_in_disk_squared(Vec2 center, double radius2,
+                                         const std::function<void(NodeId)>& fn) const {
+  if (points_.empty() || radius2 < 0.0) return;
+  // Inflate the walk radius by a couple of ulps so a point whose exact
+  // squared distance equals radius2 can never fall outside the visited
+  // cells; the exact dist2 test below rejects false positives.
+  const double walk = std::sqrt(radius2) * (1.0 + 4e-16) +
+                      std::numeric_limits<double>::denorm_min();
+  const CellCoord lo = coord_of({center.x - walk, center.y - walk});
+  const CellCoord hi = coord_of({center.x + walk, center.y + walk});
+  for (std::int64_t cy = lo.cy; cy <= hi.cy; ++cy) {
+    for (std::int64_t cx = lo.cx; cx <= hi.cx; ++cx) {
+      const std::size_t cell = cell_of({cx, cy});
+      const std::uint32_t begin = cell_start_[cell];
+      const std::uint32_t end = cell_start_[cell + 1];
+      for (std::uint32_t i = begin; i < end; ++i) {
+        const NodeId id = cell_points_[i];
+        if (dist2(points_[id], center) <= radius2) fn(id);
+      }
+    }
+  }
+}
+
+std::vector<NodeId> GridIndex::query_disk(Vec2 center, double radius) const {
+  std::vector<NodeId> out;
+  for_each_in_disk(center, radius, [&out](NodeId id) { out.push_back(id); });
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::size_t GridIndex::count_in_disk(Vec2 center, double radius) const {
+  std::size_t count = 0;
+  for_each_in_disk(center, radius, [&count](NodeId) { ++count; });
+  return count;
+}
+
+NodeId GridIndex::nearest(Vec2 center, NodeId exclude) const {
+  if (points_.empty()) return kInvalidNode;
+  // Expanding-ring search: try radius = cell, 2*cell, 4*cell, ... and stop
+  // as soon as a candidate is found whose distance is certainly minimal
+  // (i.e. the found distance is covered by the searched radius).
+  double radius = cell_size_;
+  const double max_needed =
+      std::hypot(box_.width(), box_.height()) + cell_size_;
+  while (true) {
+    NodeId best = kInvalidNode;
+    double best_d2 = std::numeric_limits<double>::infinity();
+    for_each_in_disk(center, radius, [&](NodeId id) {
+      if (id == exclude) return;
+      const double d2 = dist2(points_[id], center);
+      if (d2 < best_d2 || (d2 == best_d2 && id < best)) {
+        best_d2 = d2;
+        best = id;
+      }
+    });
+    if (best != kInvalidNode && best_d2 <= radius * radius) return best;
+    if (radius > max_needed) return best;
+    radius *= 2.0;
+  }
+}
+
+}  // namespace rim::geom

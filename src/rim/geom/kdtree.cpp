@@ -1,0 +1,149 @@
+#include "rim/geom/kdtree.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+
+namespace rim::geom {
+
+KdTree::KdTree(std::span<const Vec2> points) : points_(points) {
+  order_.resize(points_.size());
+  std::iota(order_.begin(), order_.end(), NodeId{0});
+  if (!order_.empty()) {
+    nodes_.reserve(2 * points_.size() / kLeafSize + 2);
+    root_ = build(0, static_cast<std::uint32_t>(order_.size()));
+  }
+}
+
+std::int32_t KdTree::build(std::uint32_t begin, std::uint32_t end) {
+  Node node;
+  node.begin = begin;
+  node.end = end;
+  node.box = Aabb{points_[order_[begin]], points_[order_[begin]]};
+  for (std::uint32_t i = begin + 1; i < end; ++i) node.box.expand(points_[order_[i]]);
+
+  const std::int32_t index = static_cast<std::int32_t>(nodes_.size());
+  nodes_.push_back(node);
+  if (end - begin <= kLeafSize) return index;
+
+  const bool split_x = node.box.width() >= node.box.height();
+  const std::uint32_t mid = begin + (end - begin) / 2;
+  std::nth_element(order_.begin() + begin, order_.begin() + mid, order_.begin() + end,
+                   [&](NodeId a, NodeId b) {
+                     return split_x ? points_[a].x < points_[b].x
+                                    : points_[a].y < points_[b].y;
+                   });
+  const std::int32_t left = build(begin, mid);
+  const std::int32_t right = build(mid, end);
+  nodes_[static_cast<std::size_t>(index)].left = left;
+  nodes_[static_cast<std::size_t>(index)].right = right;
+  return index;
+}
+
+NodeId KdTree::nearest(Vec2 query, NodeId exclude) const {
+  if (root_ < 0) return kInvalidNode;
+  NodeId best = kInvalidNode;
+  double best_d2 = std::numeric_limits<double>::infinity();
+
+  // Explicit stack; depth is O(log n) but sizing generously is cheap.
+  std::vector<std::int32_t> stack{root_};
+  while (!stack.empty()) {
+    const Node& node = nodes_[static_cast<std::size_t>(stack.back())];
+    stack.pop_back();
+    if (node.box.dist2_to(query) > best_d2) continue;
+    if (node.left < 0) {
+      for (std::uint32_t i = node.begin; i < node.end; ++i) {
+        const NodeId id = order_[i];
+        if (id == exclude) continue;
+        const double d2 = dist2(points_[id], query);
+        if (d2 < best_d2 || (d2 == best_d2 && id < best)) {
+          best_d2 = d2;
+          best = id;
+        }
+      }
+    } else {
+      // Visit the closer child first for better pruning.
+      const double dl = nodes_[static_cast<std::size_t>(node.left)].box.dist2_to(query);
+      const double dr = nodes_[static_cast<std::size_t>(node.right)].box.dist2_to(query);
+      if (dl < dr) {
+        stack.push_back(node.right);
+        stack.push_back(node.left);
+      } else {
+        stack.push_back(node.left);
+        stack.push_back(node.right);
+      }
+    }
+  }
+  return best;
+}
+
+std::vector<NodeId> KdTree::k_nearest(Vec2 query, std::size_t k, NodeId exclude) const {
+  std::vector<NodeId> result;
+  if (root_ < 0 || k == 0) return result;
+
+  // (distance², id) max-heap of current best k.
+  using Entry = std::pair<double, NodeId>;
+  std::vector<Entry> heap;
+  const auto worse = [](const Entry& a, const Entry& b) {
+    return a.first < b.first || (a.first == b.first && a.second < b.second);
+  };
+
+  std::vector<std::int32_t> stack{root_};
+  while (!stack.empty()) {
+    const Node& node = nodes_[static_cast<std::size_t>(stack.back())];
+    stack.pop_back();
+    if (heap.size() == k && node.box.dist2_to(query) > heap.front().first) continue;
+    if (node.left < 0) {
+      for (std::uint32_t i = node.begin; i < node.end; ++i) {
+        const NodeId id = order_[i];
+        if (id == exclude) continue;
+        const Entry e{dist2(points_[id], query), id};
+        if (heap.size() < k) {
+          heap.push_back(e);
+          std::push_heap(heap.begin(), heap.end(), worse);
+        } else if (worse(e, heap.front())) {
+          std::pop_heap(heap.begin(), heap.end(), worse);
+          heap.back() = e;
+          std::push_heap(heap.begin(), heap.end(), worse);
+        }
+      }
+    } else {
+      const double dl = nodes_[static_cast<std::size_t>(node.left)].box.dist2_to(query);
+      const double dr = nodes_[static_cast<std::size_t>(node.right)].box.dist2_to(query);
+      if (dl < dr) {
+        stack.push_back(node.right);
+        stack.push_back(node.left);
+      } else {
+        stack.push_back(node.left);
+        stack.push_back(node.right);
+      }
+    }
+  }
+  std::sort_heap(heap.begin(), heap.end(), worse);
+  result.reserve(heap.size());
+  for (const Entry& e : heap) result.push_back(e.second);
+  return result;
+}
+
+void KdTree::for_each_in_disk(Vec2 center, double radius,
+                              const std::function<void(NodeId)>& fn) const {
+  if (root_ < 0 || radius < 0.0) return;
+  const double r2 = radius * radius;
+  std::vector<std::int32_t> stack{root_};
+  while (!stack.empty()) {
+    const Node& node = nodes_[static_cast<std::size_t>(stack.back())];
+    stack.pop_back();
+    if (node.box.dist2_to(center) > r2) continue;
+    if (node.left < 0) {
+      for (std::uint32_t i = node.begin; i < node.end; ++i) {
+        const NodeId id = order_[i];
+        if (dist2(points_[id], center) <= r2) fn(id);
+      }
+    } else {
+      stack.push_back(node.left);
+      stack.push_back(node.right);
+    }
+  }
+}
+
+}  // namespace rim::geom

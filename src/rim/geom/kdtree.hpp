@@ -1,0 +1,61 @@
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "rim/common/types.hpp"
+#include "rim/geom/aabb.hpp"
+#include "rim/geom/vec2.hpp"
+
+/// \file kdtree.hpp
+/// Static 2-d tree over a fixed point set.
+///
+/// Complements GridIndex: the kd-tree keeps logarithmic nearest-neighbour
+/// queries even on wildly non-uniform inputs (exponential chains), where a
+/// uniform grid degenerates. Immutable after construction; queries are
+/// thread-safe.
+
+namespace rim::geom {
+
+class KdTree {
+ public:
+  /// Build over \p points (indexed by NodeId). The caller keeps ownership.
+  explicit KdTree(std::span<const Vec2> points);
+
+  [[nodiscard]] std::size_t size() const { return points_.size(); }
+
+  /// Nearest point to \p query, excluding \p exclude. Ties break toward the
+  /// smaller id. Returns kInvalidNode when no eligible point exists.
+  [[nodiscard]] NodeId nearest(Vec2 query, NodeId exclude = kInvalidNode) const;
+
+  /// The k nearest points to \p query (excluding \p exclude), closest first;
+  /// fewer if the set is smaller. Deterministic under distance ties.
+  [[nodiscard]] std::vector<NodeId> k_nearest(Vec2 query, std::size_t k,
+                                              NodeId exclude = kInvalidNode) const;
+
+  /// Invoke \p fn(id) for every point within closed distance \p radius.
+  void for_each_in_disk(Vec2 center, double radius,
+                        const std::function<void(NodeId)>& fn) const;
+
+ private:
+  struct Node {
+    Aabb box;
+    std::uint32_t begin = 0;   // range into order_
+    std::uint32_t end = 0;
+    std::int32_t left = -1;    // child indices, -1 for leaf
+    std::int32_t right = -1;
+  };
+
+  static constexpr std::size_t kLeafSize = 16;
+
+  std::int32_t build(std::uint32_t begin, std::uint32_t end);
+
+  std::span<const Vec2> points_;
+  std::vector<NodeId> order_;  // permutation of ids, partitioned by the tree
+  std::vector<Node> nodes_;
+  std::int32_t root_ = -1;
+};
+
+}  // namespace rim::geom

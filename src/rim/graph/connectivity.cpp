@@ -1,0 +1,79 @@
+#include "rim/graph/connectivity.hpp"
+
+#include <queue>
+
+#include "rim/graph/union_find.hpp"
+
+namespace rim::graph {
+
+std::vector<std::uint32_t> component_labels(const Graph& g) {
+  const std::size_t n = g.node_count();
+  std::vector<std::uint32_t> label(n, 0xffffffffu);
+  std::uint32_t next = 0;
+  std::vector<NodeId> stack;
+  for (NodeId s = 0; s < n; ++s) {
+    if (label[s] != 0xffffffffu) continue;
+    label[s] = next;
+    stack.push_back(s);
+    while (!stack.empty()) {
+      const NodeId u = stack.back();
+      stack.pop_back();
+      for (NodeId v : g.neighbors(u)) {
+        if (label[v] == 0xffffffffu) {
+          label[v] = next;
+          stack.push_back(v);
+        }
+      }
+    }
+    ++next;
+  }
+  return label;
+}
+
+std::size_t component_count(const Graph& g) {
+  if (g.node_count() == 0) return 0;
+  const auto labels = component_labels(g);
+  std::uint32_t max_label = 0;
+  for (std::uint32_t l : labels) max_label = std::max(max_label, l);
+  return max_label + 1;
+}
+
+bool is_connected(const Graph& g) { return component_count(g) <= 1; }
+
+bool preserves_connectivity(const Graph& reference, const Graph& topology) {
+  if (reference.node_count() != topology.node_count()) return false;
+  const auto ref = component_labels(reference);
+  const auto top = component_labels(topology);
+  // Same-component equivalence relations must coincide. Because both label
+  // assignments are canonical (ordered by smallest node id in component),
+  // equality of label vectors is exactly equality of the partitions.
+  return ref == top;
+}
+
+bool is_forest(const Graph& g) {
+  UnionFind uf(g.node_count());
+  for (Edge e : g.edges()) {
+    if (!uf.unite(e.u, e.v)) return false;  // edge closed a cycle
+  }
+  return true;
+}
+
+std::vector<std::uint32_t> bfs_hops(const Graph& g, NodeId source) {
+  std::vector<std::uint32_t> hops(g.node_count(), kUnreachableHops);
+  std::queue<NodeId> queue;
+  hops[source] = 0;
+  queue.push(source);
+  while (!queue.empty()) {
+    const NodeId u = queue.front();
+    queue.pop();
+    for (NodeId v : g.neighbors(u)) {
+      if (hops[v] == kUnreachableHops) {
+        hops[v] = hops[u] + 1;
+        queue.push(v);
+      }
+    }
+  }
+  return hops;
+}
+
+}  // namespace rim::graph

@@ -1,0 +1,40 @@
+#pragma once
+
+#include <vector>
+
+#include "rim/graph/graph.hpp"
+
+/// \file connectivity.hpp
+/// Connectivity queries. The central correctness requirement on every
+/// topology-control algorithm in the paper is that the output preserves the
+/// connectivity of the input graph (Section 3); these helpers verify it.
+
+namespace rim::graph {
+
+/// Component label (0-based, ordered by smallest contained node id) for
+/// every node.
+[[nodiscard]] std::vector<std::uint32_t> component_labels(const Graph& g);
+
+/// Number of connected components (n == 0 gives 0).
+[[nodiscard]] std::size_t component_count(const Graph& g);
+
+/// True iff the whole graph is one connected component (true for n <= 1).
+[[nodiscard]] bool is_connected(const Graph& g);
+
+/// True iff \p topology connects exactly whatever \p reference connects:
+/// two nodes are in the same component of the topology iff they are in the
+/// same component of the reference. This is the paper's "maintains
+/// connectivity of the given network" requirement, stated per component so
+/// disconnected inputs are handled too.
+[[nodiscard]] bool preserves_connectivity(const Graph& reference, const Graph& topology);
+
+/// True iff g is a forest (acyclic); combined with preserves_connectivity
+/// this characterises the tree-per-component topologies the paper studies.
+[[nodiscard]] bool is_forest(const Graph& g);
+
+/// Breadth-first hop distances from \p source (kUnreachableHops if not
+/// reachable).
+inline constexpr std::uint32_t kUnreachableHops = 0xffffffffu;
+[[nodiscard]] std::vector<std::uint32_t> bfs_hops(const Graph& g, NodeId source);
+
+}  // namespace rim::graph

@@ -1,0 +1,79 @@
+#include "rim/graph/mst.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+#include <vector>
+
+#include "rim/graph/union_find.hpp"
+
+namespace rim::graph {
+
+Graph kruskal(const Graph& g, const std::function<double(Edge)>& weight) {
+  const std::span<const Edge> edges = g.edges();
+  std::vector<std::size_t> order(edges.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::vector<double> w(edges.size());
+  for (std::size_t i = 0; i < edges.size(); ++i) w[i] = weight(edges[i]);
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    if (w[a] != w[b]) return w[a] < w[b];
+    return edges[a] < edges[b];
+  });
+
+  Graph forest(g.node_count());
+  UnionFind uf(g.node_count());
+  for (std::size_t i : order) {
+    if (uf.unite(edges[i].u, edges[i].v)) forest.add_edge(edges[i].u, edges[i].v);
+  }
+  return forest;
+}
+
+Graph euclidean_mst(const Graph& g, std::span<const geom::Vec2> points) {
+  return kruskal(g, [points](Edge e) { return geom::dist(points[e.u], points[e.v]); });
+}
+
+Graph euclidean_mst_complete(std::span<const geom::Vec2> points) {
+  const std::size_t n = points.size();
+  Graph tree(n);
+  if (n <= 1) return tree;
+
+  // Prim with O(n^2) dense scan.
+  std::vector<bool> in_tree(n, false);
+  std::vector<double> best_d2(n, std::numeric_limits<double>::infinity());
+  std::vector<NodeId> best_from(n, kInvalidNode);
+  in_tree[0] = true;
+  for (NodeId v = 1; v < n; ++v) {
+    best_d2[v] = geom::dist2(points[0], points[v]);
+    best_from[v] = 0;
+  }
+  for (std::size_t step = 1; step < n; ++step) {
+    NodeId pick = kInvalidNode;
+    double pick_d2 = std::numeric_limits<double>::infinity();
+    for (NodeId v = 0; v < n; ++v) {
+      if (!in_tree[v] && (best_d2[v] < pick_d2 ||
+                          (best_d2[v] == pick_d2 && (pick == kInvalidNode || v < pick)))) {
+        pick = v;
+        pick_d2 = best_d2[v];
+      }
+    }
+    in_tree[pick] = true;
+    tree.add_edge(best_from[pick], pick);
+    for (NodeId v = 0; v < n; ++v) {
+      if (in_tree[v]) continue;
+      const double d2 = geom::dist2(points[pick], points[v]);
+      if (d2 < best_d2[v]) {
+        best_d2[v] = d2;
+        best_from[v] = pick;
+      }
+    }
+  }
+  return tree;
+}
+
+double total_length(const Graph& g, std::span<const geom::Vec2> points) {
+  double sum = 0.0;
+  for (Edge e : g.edges()) sum += geom::dist(points[e.u], points[e.v]);
+  return sum;
+}
+
+}  // namespace rim::graph

@@ -1,0 +1,35 @@
+#pragma once
+
+#include <functional>
+#include <span>
+
+#include "rim/geom/vec2.hpp"
+#include "rim/graph/graph.hpp"
+
+/// \file mst.hpp
+/// Minimum spanning forests over geometric graphs.
+///
+/// The Euclidean MST of the input UDG is both a classic topology-control
+/// output (GMST) and the seed solution of the interference local search.
+/// A generic weighted Kruskal is also exposed so LIFE (Burkhart et al.) can
+/// reuse it with interference-based edge weights.
+
+namespace rim::graph {
+
+/// Kruskal over the edges of \p g ordered by \p weight (ties broken by the
+/// canonical edge id order, keeping results deterministic). Returns a
+/// minimum spanning forest: one tree per connected component of g.
+[[nodiscard]] Graph kruskal(const Graph& g,
+                            const std::function<double(Edge)>& weight);
+
+/// Euclidean minimum spanning forest of \p g with node positions \p points.
+[[nodiscard]] Graph euclidean_mst(const Graph& g, std::span<const geom::Vec2> points);
+
+/// Prim's algorithm on the complete Euclidean graph over \p points
+/// (no UDG restriction); O(n^2), used as an oracle and for small instances.
+[[nodiscard]] Graph euclidean_mst_complete(std::span<const geom::Vec2> points);
+
+/// Total Euclidean length of all edges.
+[[nodiscard]] double total_length(const Graph& g, std::span<const geom::Vec2> points);
+
+}  // namespace rim::graph

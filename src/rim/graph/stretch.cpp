@@ -1,0 +1,48 @@
+#include "rim/graph/stretch.hpp"
+
+#include <algorithm>
+
+#include "rim/graph/connectivity.hpp"
+#include "rim/graph/shortest_path.hpp"
+
+namespace rim::graph {
+
+StretchReport measure_stretch(const Graph& reference, const Graph& topology,
+                              std::span<const geom::Vec2> points) {
+  StretchReport report;
+  const std::size_t n = reference.node_count();
+  if (n < 2) return report;
+
+  double sum_euclid = 0.0;
+  double sum_hop = 0.0;
+  std::size_t pairs = 0;
+
+  for (NodeId s = 0; s < n; ++s) {
+    const auto ref_d = euclidean_dijkstra(reference, s, points);
+    const auto top_d = euclidean_dijkstra(topology, s, points);
+    const auto ref_h = bfs_hops(reference, s);
+    const auto top_h = bfs_hops(topology, s);
+    for (NodeId v = s + 1; v < n; ++v) {
+      if (ref_d[v] == kUnreachable) continue;  // pair not connected in input
+      ++pairs;
+      const double es = top_d[v] == kUnreachable || ref_d[v] == 0.0
+                            ? std::numeric_limits<double>::infinity()
+                            : top_d[v] / ref_d[v];
+      const double hs = top_h[v] == kUnreachableHops
+                            ? std::numeric_limits<double>::infinity()
+                            : static_cast<double>(top_h[v]) /
+                                  static_cast<double>(std::max<std::uint32_t>(ref_h[v], 1));
+      report.max_euclidean_stretch = std::max(report.max_euclidean_stretch, es);
+      report.max_hop_stretch = std::max(report.max_hop_stretch, hs);
+      sum_euclid += es;
+      sum_hop += hs;
+    }
+  }
+  if (pairs > 0) {
+    report.mean_euclidean_stretch = sum_euclid / static_cast<double>(pairs);
+    report.mean_hop_stretch = sum_hop / static_cast<double>(pairs);
+  }
+  return report;
+}
+
+}  // namespace rim::graph

@@ -1,0 +1,35 @@
+#pragma once
+
+#include <span>
+
+#include "rim/geom/vec2.hpp"
+#include "rim/graph/graph.hpp"
+
+/// \file stretch.hpp
+/// Spanner quality of a topology relative to its input graph.
+///
+/// Classic topology control trades interference/degree against path quality;
+/// the experiment harness reports these metrics alongside interference so
+/// the cost of low-interference topologies is visible.
+
+namespace rim::graph {
+
+struct StretchReport {
+  /// max over connected pairs (u,v) of d_topology(u,v) / d_reference(u,v)
+  /// with Euclidean edge weights. 1.0 when the topology keeps all shortest
+  /// paths; infinity if it disconnects a connected pair.
+  double max_euclidean_stretch = 1.0;
+  /// Same ratio measured in hop counts.
+  double max_hop_stretch = 1.0;
+  /// Averages over all connected pairs.
+  double mean_euclidean_stretch = 1.0;
+  double mean_hop_stretch = 1.0;
+};
+
+/// Measure the stretch of \p topology against \p reference (same node set,
+/// positions \p points). O(n * m log n); intended for experiment-scale n.
+[[nodiscard]] StretchReport measure_stretch(const Graph& reference,
+                                            const Graph& topology,
+                                            std::span<const geom::Vec2> points);
+
+}  // namespace rim::graph

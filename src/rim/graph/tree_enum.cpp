@@ -1,0 +1,106 @@
+#include "rim/graph/tree_enum.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <vector>
+
+namespace rim::graph {
+
+std::vector<Edge> prufer_decode(std::span<const NodeId> seq, std::size_t n) {
+  assert(n >= 2 && seq.size() == n - 2);
+  std::vector<std::uint32_t> degree(n, 1);
+  for (NodeId s : seq) {
+    assert(s < n);
+    ++degree[s];
+  }
+
+  std::vector<Edge> edges;
+  edges.reserve(n - 1);
+  // `ptr` scans for the smallest leaf; `leaf` tracks the current one. This
+  // is the classic O(n) decoding (amortised via the monotone pointer).
+  NodeId ptr = 0;
+  while (degree[ptr] != 1) ++ptr;
+  NodeId leaf = ptr;
+  for (NodeId s : seq) {
+    edges.push_back(Edge{leaf, s}.canonical());
+    if (--degree[s] == 1 && s < ptr) {
+      leaf = s;  // s became a leaf smaller than the scan pointer
+    } else {
+      ++ptr;
+      while (degree[ptr] != 1) ++ptr;
+      leaf = ptr;
+    }
+  }
+  edges.push_back(Edge{leaf, static_cast<NodeId>(n - 1)}.canonical());
+  return edges;
+}
+
+std::vector<NodeId> prufer_encode(const Graph& tree) {
+  const std::size_t n = tree.node_count();
+  assert(n >= 2 && tree.edge_count() == n - 1);
+  std::vector<std::uint32_t> degree(n);
+  std::vector<std::vector<NodeId>> adj(n);
+  for (Edge e : tree.edges()) {
+    adj[e.u].push_back(e.v);
+    adj[e.v].push_back(e.u);
+  }
+  for (NodeId v = 0; v < n; ++v) degree[v] = static_cast<std::uint32_t>(adj[v].size());
+
+  std::vector<bool> removed(n, false);
+  std::vector<NodeId> seq;
+  seq.reserve(n - 2);
+  NodeId ptr = 0;
+  while (degree[ptr] != 1) ++ptr;
+  NodeId leaf = ptr;
+  for (std::size_t step = 0; step + 2 < n; ++step) {
+    removed[leaf] = true;
+    NodeId parent = kInvalidNode;
+    for (NodeId w : adj[leaf]) {
+      if (!removed[w]) {
+        parent = w;
+        break;
+      }
+    }
+    seq.push_back(parent);
+    if (--degree[parent] == 1 && parent < ptr) {
+      leaf = parent;
+    } else {
+      ++ptr;
+      while (degree[ptr] != 1 || removed[ptr]) ++ptr;
+      leaf = ptr;
+    }
+  }
+  return seq;
+}
+
+void for_each_labeled_tree(std::size_t n,
+                           const std::function<bool(std::span<const Edge>)>& fn) {
+  if (n < 2) return;
+  if (n == 2) {
+    const Edge e{0, 1};
+    fn(std::span<const Edge>(&e, 1));
+    return;
+  }
+  std::vector<NodeId> seq(n - 2, 0);
+  while (true) {
+    const std::vector<Edge> edges = prufer_decode(seq, n);
+    if (!fn(edges)) return;
+    // Odometer increment over base-n digits.
+    std::size_t i = 0;
+    while (i < seq.size()) {
+      if (++seq[i] < n) break;
+      seq[i] = 0;
+      ++i;
+    }
+    if (i == seq.size()) return;
+  }
+}
+
+std::uint64_t cayley_count(std::size_t n) {
+  if (n <= 2) return 1;
+  std::uint64_t result = 1;
+  for (std::size_t i = 0; i + 2 < n; ++i) result *= n;
+  return result;
+}
+
+}  // namespace rim::graph

@@ -1,0 +1,39 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+
+#include "rim/graph/graph.hpp"
+
+/// \file tree_enum.hpp
+/// Exhaustive enumeration of labeled spanning trees via Prüfer sequences.
+///
+/// Cayley's formula gives n^(n-2) labeled trees on n nodes; each corresponds
+/// bijectively to a Prüfer sequence of length n-2. The exact-optimum
+/// baseline of the experiments (Section 5 approximation ratios) enumerates
+/// all of them for small n, which is why this lives in the graph substrate
+/// rather than in a bench.
+
+namespace rim::graph {
+
+/// Decode a Prüfer sequence (entries in [0, n)) into its tree's edge list.
+/// \p n must be >= 2 and seq.size() == n - 2.
+[[nodiscard]] std::vector<Edge> prufer_decode(std::span<const NodeId> seq,
+                                              std::size_t n);
+
+/// Encode a labeled tree on n >= 2 nodes into its Prüfer sequence.
+/// \p tree must be a tree (n-1 edges, connected).
+[[nodiscard]] std::vector<NodeId> prufer_encode(const Graph& tree);
+
+/// Invoke \p fn once per labeled spanning tree on n nodes, passing the edge
+/// list (valid only during the call). Stops early when \p fn returns false.
+/// Visits exactly n^(n-2) trees (1 tree for n == 2, 1 empty forest handled
+/// as no-op for n < 2), so keep n <= ~9.
+void for_each_labeled_tree(std::size_t n,
+                           const std::function<bool(std::span<const Edge>)>& fn);
+
+/// Number of labeled trees on n nodes, n^(n-2) (n >= 1; 1 for n <= 2).
+[[nodiscard]] std::uint64_t cayley_count(std::size_t n);
+
+}  // namespace rim::graph

@@ -1,0 +1,30 @@
+#include "rim/graph/udg.hpp"
+
+#include "rim/geom/grid_index.hpp"
+
+namespace rim::graph {
+
+Graph build_udg(std::span<const geom::Vec2> points, double radius) {
+  Graph g(points.size());
+  if (points.empty() || radius <= 0.0) return g;
+  const geom::GridIndex index(points, radius);
+  for (NodeId u = 0; u < points.size(); ++u) {
+    index.for_each_in_disk(points[u], radius, [&](NodeId v) {
+      if (v > u) g.add_edge(u, v);
+    });
+  }
+  return g;
+}
+
+Graph build_udg_brute(std::span<const geom::Vec2> points, double radius) {
+  Graph g(points.size());
+  const double r2 = radius * radius;
+  for (NodeId u = 0; u < points.size(); ++u) {
+    for (NodeId v = u + 1; v < points.size(); ++v) {
+      if (geom::dist2(points[u], points[v]) <= r2) g.add_edge(u, v);
+    }
+  }
+  return g;
+}
+
+}  // namespace rim::graph

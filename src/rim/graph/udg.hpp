@@ -1,0 +1,24 @@
+#pragma once
+
+#include <span>
+
+#include "rim/geom/vec2.hpp"
+#include "rim/graph/graph.hpp"
+
+/// \file udg.hpp
+/// Unit Disk Graph construction (Clark, Colbourn, Johnson 1990): nodes u, v
+/// share an edge iff |uv| <= radius. This is the paper's network model
+/// (Section 3); all topology-control algorithms take a UDG as input.
+
+namespace rim::graph {
+
+/// Build the UDG over \p points with the given closed connection radius
+/// (default 1, the paper's convention). Uses a uniform grid internally;
+/// O(n + m) expected for bounded-density inputs.
+[[nodiscard]] Graph build_udg(std::span<const geom::Vec2> points, double radius = 1.0);
+
+/// O(n^2) reference construction; oracle for tests.
+[[nodiscard]] Graph build_udg_brute(std::span<const geom::Vec2> points,
+                                    double radius = 1.0);
+
+}  // namespace rim::graph

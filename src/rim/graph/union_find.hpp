@@ -1,0 +1,56 @@
+#pragma once
+
+#include <cstddef>
+#include <numeric>
+#include <vector>
+
+#include "rim/common/types.hpp"
+
+/// \file union_find.hpp
+/// Disjoint-set forest with union by size and path halving. Used by Kruskal,
+/// connectivity checks, and the branch-and-bound exact optimiser.
+
+namespace rim::graph {
+
+class UnionFind {
+ public:
+  explicit UnionFind(std::size_t n) : parent_(n), size_(n, 1), components_(n) {
+    std::iota(parent_.begin(), parent_.end(), NodeId{0});
+  }
+
+  /// Representative of x's component.
+  [[nodiscard]] NodeId find(NodeId x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];  // path halving
+      x = parent_[x];
+    }
+    return x;
+  }
+
+  /// Merge the components of a and b; returns false if already merged.
+  bool unite(NodeId a, NodeId b) {
+    NodeId ra = find(a);
+    NodeId rb = find(b);
+    if (ra == rb) return false;
+    if (size_[ra] < size_[rb]) std::swap(ra, rb);
+    parent_[rb] = ra;
+    size_[ra] += size_[rb];
+    --components_;
+    return true;
+  }
+
+  [[nodiscard]] bool same(NodeId a, NodeId b) { return find(a) == find(b); }
+
+  /// Number of disjoint components.
+  [[nodiscard]] std::size_t component_count() const { return components_; }
+
+  /// Size of x's component.
+  [[nodiscard]] std::size_t component_size(NodeId x) { return size_[find(x)]; }
+
+ private:
+  std::vector<NodeId> parent_;
+  std::vector<std::size_t> size_;
+  std::size_t components_;
+};
+
+}  // namespace rim::graph

@@ -1,0 +1,25 @@
+#include "rim/highway/a_apx.hpp"
+
+#include <cmath>
+
+#include "rim/highway/a_gen.hpp"
+#include "rim/highway/critical.hpp"
+#include "rim/highway/linear_chain.hpp"
+
+namespace rim::highway {
+
+AApxResult a_apx(const HighwayInstance& instance, double radius) {
+  AApxResult result;
+  result.gamma = gamma(instance, radius);
+  result.delta = instance.max_degree(radius);
+  if (static_cast<double>(result.gamma) >
+      std::sqrt(static_cast<double>(result.delta))) {
+    result.used_agen = true;
+    result.topology = a_gen(instance, radius).topology;
+  } else {
+    result.topology = linear_chain(instance, radius);
+  }
+  return result;
+}
+
+}  // namespace rim::highway

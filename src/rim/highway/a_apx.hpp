@@ -1,0 +1,29 @@
+#pragma once
+
+#include <cstdint>
+
+#include "rim/graph/graph.hpp"
+#include "rim/highway/highway_instance.hpp"
+
+/// \file a_apx.hpp
+/// Algorithm A_apx (Section 5.3): the O(Δ^{1/4})-approximation for the
+/// highway model.
+///
+/// A_apx computes γ, the maximum number of critical nodes over all nodes
+/// (Definition 5.2). If γ > sqrt(Δ) the instance is inherently
+/// high-interference and A_gen is applied (O(sqrt Δ) against the Ω(sqrt γ)
+/// optimum); otherwise the nodes are connected linearly (interference γ by
+/// definition). Either way the ratio is O(Δ^{1/4}) (Theorem 5.6).
+
+namespace rim::highway {
+
+struct AApxResult {
+  graph::Graph topology;
+  bool used_agen = false;     ///< which branch Theorem 5.6's case split took
+  std::uint32_t gamma = 0;    ///< the instance's critical number
+  std::size_t delta = 0;      ///< max UDG degree
+};
+
+[[nodiscard]] AApxResult a_apx(const HighwayInstance& instance, double radius = 1.0);
+
+}  // namespace rim::highway

@@ -1,0 +1,39 @@
+#include "rim/highway/a_exp.hpp"
+
+#include <cassert>
+
+#include "rim/highway/interference_1d.hpp"
+
+namespace rim::highway {
+
+AExpResult a_exp(const HighwayInstance& instance, double radius) {
+  const auto& xs = instance.positions();
+  assert(instance.span() <= radius);
+  (void)radius;
+
+  AExpResult result;
+  result.topology = graph::Graph(xs.size());
+  if (xs.empty()) return result;
+  result.hubs.push_back(0);
+  if (xs.size() == 1) return result;
+
+  Coverage1D coverage(xs);
+  NodeId hub = 0;
+  for (NodeId v = 1; v < xs.size(); ++v) {
+    const std::uint32_t before = coverage.max_interference();
+    result.topology.add_edge(hub, v);
+    const double d = xs[v] - xs[hub];
+    // Both endpoints enlarge their range to reach each other; the hub only
+    // if v is farther than its current farthest neighbor.
+    coverage.raise_radius(hub, d);
+    const std::uint32_t after = coverage.raise_radius(v, d);
+    if (after > before) {
+      hub = v;
+      result.hubs.push_back(v);
+    }
+  }
+  result.interference = coverage.max_interference();
+  return result;
+}
+
+}  // namespace rim::highway

@@ -1,0 +1,34 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "rim/graph/graph.hpp"
+#include "rim/highway/highway_instance.hpp"
+
+/// \file a_exp.hpp
+/// Algorithm A_exp (Section 5.1): the scan-line construction for the
+/// exponential node chain.
+///
+/// Nodes are processed left to right. The leftmost node starts as the
+/// current hub; each subsequent node is connected to the current hub, and
+/// whenever such an edge raises the graph interference I(G_exp) the just
+/// connected node takes over as hub. Theorem 5.1 shows the result has
+/// interference O(sqrt n), matching the Theorem 5.2 lower bound.
+///
+/// The construction is well defined for any one-dimensional instance whose
+/// span is at most the transmission radius (every node can reach every
+/// hub); the exponential chain with span <= 1 is the paper's instance.
+
+namespace rim::highway {
+
+struct AExpResult {
+  graph::Graph topology;
+  std::vector<NodeId> hubs;      ///< hubs in scan order (leftmost first)
+  std::uint32_t interference = 0;  ///< I(G_exp) of the final topology
+};
+
+/// Run A_exp. Requires instance.span() <= radius (asserted).
+[[nodiscard]] AExpResult a_exp(const HighwayInstance& instance, double radius = 1.0);
+
+}  // namespace rim::highway

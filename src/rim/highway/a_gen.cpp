@@ -1,0 +1,79 @@
+#include "rim/highway/a_gen.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace rim::highway {
+
+AGenResult a_gen(const HighwayInstance& instance, double radius,
+                 std::size_t spacing_override) {
+  const auto& xs = instance.positions();
+  AGenResult result;
+  result.topology = graph::Graph(xs.size());
+  if (xs.empty()) return result;
+
+  result.delta = instance.max_degree(radius);
+  result.hub_spacing =
+      spacing_override != 0
+          ? spacing_override
+          : std::max<std::size_t>(
+                1, static_cast<std::size_t>(
+                       std::ceil(std::sqrt(static_cast<double>(result.delta)))));
+
+  // Group nodes by segment: seg(x) = floor((x - x_min) / radius). Nodes of
+  // one segment occupy a contiguous index range since xs is sorted.
+  const double x0 = xs.front();
+  const auto segment_of = [&](std::size_t i) {
+    return static_cast<std::size_t>(std::floor((xs[i] - x0) / radius));
+  };
+
+  std::size_t begin = 0;
+  std::size_t prev_end = 0;  // one-past-last node of the previous segment
+  bool have_prev = false;
+  while (begin < xs.size()) {
+    const std::size_t seg = segment_of(begin);
+    std::size_t end = begin + 1;
+    while (end < xs.size() && segment_of(end) == seg) ++end;
+    ++result.segment_count;
+
+    // Hubs: every spacing-th node from the left plus the rightmost node.
+    std::vector<NodeId> hubs;
+    for (std::size_t i = begin; i < end; i += result.hub_spacing) {
+      hubs.push_back(static_cast<NodeId>(i));
+    }
+    if (hubs.back() != static_cast<NodeId>(end - 1)) {
+      hubs.push_back(static_cast<NodeId>(end - 1));
+    }
+    for (std::size_t h = 0; h + 1 < hubs.size(); ++h) {
+      result.topology.add_edge(hubs[h], hubs[h + 1]);
+    }
+    // Regular nodes connect to the nearest of their interval's two hubs
+    // (ties toward the left hub, matching "ties are broken arbitrarily").
+    std::size_t h = 0;
+    for (std::size_t i = begin; i < end; ++i) {
+      const NodeId node = static_cast<NodeId>(i);
+      if (h + 1 < hubs.size() && hubs[h + 1] <= node) ++h;
+      if (node == hubs[h] || (h + 1 < hubs.size() && node == hubs[h + 1])) continue;
+      const NodeId left = hubs[h];
+      const NodeId right = hubs[std::min(h + 1, hubs.size() - 1)];
+      const double dl = xs[i] - xs[left];
+      const double dr = xs[right] - xs[i];
+      result.topology.add_edge(node, dl <= dr ? left : right);
+    }
+    result.hubs.insert(result.hubs.end(), hubs.begin(), hubs.end());
+
+    // Stitch to the previous non-empty segment via the boundary nodes; skip
+    // when the gap exceeds the radius (the UDG is disconnected there too).
+    if (have_prev && xs[begin] - xs[prev_end - 1] <= radius) {
+      result.topology.add_edge(static_cast<NodeId>(prev_end - 1),
+                               static_cast<NodeId>(begin));
+    }
+    prev_end = end;
+    have_prev = true;
+    begin = end;
+  }
+  return result;
+}
+
+}  // namespace rim::highway

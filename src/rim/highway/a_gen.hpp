@@ -1,0 +1,35 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "rim/graph/graph.hpp"
+#include "rim/highway/highway_instance.hpp"
+
+/// \file a_gen.hpp
+/// Algorithm A_gen (Section 5.2): the worst-case O(sqrt Δ) construction for
+/// arbitrary highway instances.
+///
+/// The highway is partitioned into segments of length equal to the
+/// transmission radius (unit length in the paper). Within each segment
+/// every ⌈sqrt(Δ)⌉-th node — plus the segment's rightmost node — becomes a
+/// hub; hubs are connected linearly and every regular node connects to the
+/// nearest hub of its interval. Adjacent segments are stitched together by
+/// an edge between the boundary nodes. Theorem 5.4: interference O(sqrt Δ).
+
+namespace rim::highway {
+
+struct AGenResult {
+  graph::Graph topology;
+  std::vector<NodeId> hubs;       ///< all hubs, ascending
+  std::size_t delta = 0;          ///< max UDG degree Δ of the instance
+  std::size_t hub_spacing = 1;    ///< the ⌈sqrt Δ⌉ (or overridden) spacing
+  std::size_t segment_count = 0;  ///< number of non-empty segments
+};
+
+/// Run A_gen with transmission radius \p radius. \p spacing_override
+/// replaces ⌈sqrt Δ⌉ when non-zero (used by the ablation experiment).
+[[nodiscard]] AGenResult a_gen(const HighwayInstance& instance, double radius = 1.0,
+                               std::size_t spacing_override = 0);
+
+}  // namespace rim::highway

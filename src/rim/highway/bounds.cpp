@@ -1,0 +1,29 @@
+#include "rim/highway/bounds.hpp"
+
+#include <cmath>
+
+namespace rim::highway {
+
+std::uint32_t exponential_chain_lower_bound(std::size_t n) {
+  if (n < 2) return 0;
+  // Smallest integer I with I^2 + 1 >= n, found without floating error.
+  std::uint32_t i = static_cast<std::uint32_t>(
+      std::floor(std::sqrt(static_cast<double>(n - 1))));
+  while (static_cast<std::size_t>(i) * i + 1 < n) ++i;
+  while (i > 0 && (static_cast<std::size_t>(i) - 1) * (i - 1) + 1 >= n) --i;
+  return i;
+}
+
+std::uint32_t aexp_upper_bound(std::size_t n) {
+  if (n < 2) return 0;
+  if (n == 2) return 1;
+  const double i = (1.0 + std::sqrt(8.0 * static_cast<double>(n) - 15.0)) / 2.0;
+  return static_cast<std::uint32_t>(std::ceil(i));
+}
+
+double lemma55_lower_bound(std::uint32_t gamma) {
+  const double arg = static_cast<double>(gamma) / 2.0 - 1.0;
+  return arg > 0.0 ? std::sqrt(arg) : 0.0;
+}
+
+}  // namespace rim::highway

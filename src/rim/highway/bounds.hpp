@@ -1,0 +1,30 @@
+#pragma once
+
+#include <cstdint>
+
+/// \file bounds.hpp
+/// Closed-form bounds from Section 5, used to validate the measured
+/// interference of the algorithms against the theory.
+
+namespace rim::highway {
+
+/// Theorem 5.2 (made exact from its counting argument): any connected
+/// topology for the exponential node chain on n nodes has interference I
+/// with n <= I^2 + 1 — with H <= I + 1 hubs, each hub of degree <= I, the
+/// instance can host at most (I+1) + (I+1)(I-2) + 2 = I^2 + 1 nodes. Hence
+/// I >= ceil(sqrt(n - 1)).
+[[nodiscard]] std::uint32_t exponential_chain_lower_bound(std::size_t n);
+
+/// Theorem 5.1: A_exp on the exponential node chain reaches interference I
+/// only after at least n = I^2/2 - I/2 + 2 nodes, so
+/// I <= (1 + sqrt(8n - 15)) / 2 for n >= 2 — the O(sqrt n) upper bound.
+[[nodiscard]] std::uint32_t aexp_upper_bound(std::size_t n);
+
+/// Lemma 5.5: a minimum-interference topology of an instance with critical
+/// number gamma has interference Omega(sqrt(gamma)); quantitatively, the
+/// nodes of C_v on one side of v form a virtual exponential chain of length
+/// >= gamma/2, so Theorem 5.2 gives I >= sqrt(gamma/2 - 1) (0 when the
+/// expression is not positive).
+[[nodiscard]] double lemma55_lower_bound(std::uint32_t gamma);
+
+}  // namespace rim::highway

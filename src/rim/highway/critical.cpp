@@ -1,0 +1,51 @@
+#include "rim/highway/critical.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "rim/highway/interference_1d.hpp"
+
+namespace rim::highway {
+
+std::vector<double> linear_radii(const HighwayInstance& instance, double radius) {
+  const auto& xs = instance.positions();
+  std::vector<double> radii(xs.size(), 0.0);
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    double r = 0.0;
+    if (i > 0) {
+      const double gap = xs[i] - xs[i - 1];
+      if (gap <= radius) r = std::max(r, gap);
+    }
+    if (i + 1 < xs.size()) {
+      const double gap = xs[i + 1] - xs[i];
+      if (gap <= radius) r = std::max(r, gap);
+    }
+    radii[i] = r;
+  }
+  return radii;
+}
+
+std::vector<std::uint32_t> critical_counts(const HighwayInstance& instance,
+                                           double radius) {
+  return interference_1d(instance.positions(), linear_radii(instance, radius));
+}
+
+std::vector<NodeId> critical_set(const HighwayInstance& instance, NodeId v,
+                                 double radius) {
+  const auto& xs = instance.positions();
+  const std::vector<double> radii = linear_radii(instance, radius);
+  std::vector<NodeId> members;
+  for (NodeId u = 0; u < xs.size(); ++u) {
+    if (u == v || radii[u] <= 0.0) continue;
+    if (std::abs(xs[u] - xs[v]) <= radii[u]) members.push_back(u);
+  }
+  return members;
+}
+
+std::uint32_t gamma(const HighwayInstance& instance, double radius) {
+  std::uint32_t best = 0;
+  for (std::uint32_t c : critical_counts(instance, radius)) best = std::max(best, c);
+  return best;
+}
+
+}  // namespace rim::highway

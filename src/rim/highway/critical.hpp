@@ -1,0 +1,35 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "rim/highway/highway_instance.hpp"
+
+/// \file critical.hpp
+/// Critical node sets (Definition 5.2): C_v are the nodes that interfere
+/// with v when the instance is connected linearly; γ = max_v |C_v| is the
+/// instance's inherent-interference indicator. Lemma 5.5 lower-bounds any
+/// connectivity-preserving topology's interference by Ω(√γ), which is what
+/// lets A_apx decide between the linear chain and A_gen.
+
+namespace rim::highway {
+
+/// Radii of the linearly connected graph G_lin: for interior nodes the
+/// larger of the two adjacent gaps, for the end nodes the single gap.
+/// Gaps above \p radius carry no edge and do not contribute.
+[[nodiscard]] std::vector<double> linear_radii(const HighwayInstance& instance,
+                                               double radius = 1.0);
+
+/// |C_v| for every node v (== per-node interference of the linear chain).
+[[nodiscard]] std::vector<std::uint32_t> critical_counts(
+    const HighwayInstance& instance, double radius = 1.0);
+
+/// The members of C_v, ascending by node id.
+[[nodiscard]] std::vector<NodeId> critical_set(const HighwayInstance& instance,
+                                               NodeId v, double radius = 1.0);
+
+/// γ = max_v |C_v| (0 for n < 2).
+[[nodiscard]] std::uint32_t gamma(const HighwayInstance& instance,
+                                  double radius = 1.0);
+
+}  // namespace rim::highway

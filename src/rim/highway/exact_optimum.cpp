@@ -1,0 +1,219 @@
+#include "rim/highway/exact_optimum.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "rim/core/interference.hpp"
+#include "rim/graph/connectivity.hpp"
+#include "rim/graph/mst.hpp"
+#include "rim/graph/tree_enum.hpp"
+#include "rim/graph/union_find.hpp"
+
+namespace rim::highway {
+
+std::optional<ExactResult> exact_minimum_interference_tree(
+    std::span<const geom::Vec2> points, const graph::Graph& udg, std::size_t max_n) {
+  const std::size_t n = points.size();
+  assert(n == udg.node_count());
+  assert(n <= max_n && "exact search is exponential; raise max_n deliberately");
+  (void)max_n;
+  if (n < 2 || !graph::is_connected(udg)) return std::nullopt;
+
+  std::uint32_t best_interference = std::numeric_limits<std::uint32_t>::max();
+  std::vector<graph::Edge> best_edges;
+  std::uint64_t considered = 0;
+
+  // Reused scratch: squared radii and coverage counts per candidate tree.
+  // Radii stay squared throughout so the farthest-neighbor containment test
+  // is exact (no sqrt/square roundtrip).
+  std::vector<double> radii2(n);
+  std::vector<std::uint32_t> covered(n);
+
+  graph::for_each_labeled_tree(n, [&](std::span<const graph::Edge> edges) {
+    // Reject trees using edges absent from the UDG.
+    for (graph::Edge e : edges) {
+      if (!udg.has_edge(e.u, e.v)) return true;  // continue enumeration
+    }
+    ++considered;
+
+    std::fill(radii2.begin(), radii2.end(), 0.0);
+    for (graph::Edge e : edges) {
+      const double d2 = geom::dist2(points[e.u], points[e.v]);
+      radii2[e.u] = std::max(radii2[e.u], d2);
+      radii2[e.v] = std::max(radii2[e.v], d2);
+    }
+
+    std::fill(covered.begin(), covered.end(), 0u);
+    std::uint32_t max_i = 0;
+    for (NodeId u = 0; u < n; ++u) {
+      const double r2 = radii2[u];
+      for (NodeId v = 0; v < n; ++v) {
+        if (v != u && r2 > 0.0 && geom::dist2(points[u], points[v]) <= r2) {
+          max_i = std::max(max_i, ++covered[v]);
+          if (max_i >= best_interference) return true;  // prune: cannot win
+        }
+      }
+    }
+    if (max_i < best_interference) {
+      best_interference = max_i;
+      best_edges.assign(edges.begin(), edges.end());
+    }
+    return true;
+  });
+
+  ExactResult result;
+  result.tree = graph::Graph(n, best_edges);
+  result.interference = best_interference;
+  result.trees_considered = considered;
+  return result;
+}
+
+namespace {
+
+/// Shared state of the branch-and-bound DFS.
+struct BbContext {
+  std::span<const geom::Vec2> points;
+  std::vector<graph::Edge> edges;        // UDG edges, shortest first
+  std::vector<double> edge_d2;           // squared length per edge
+  std::uint64_t max_states = 0;
+  std::uint64_t states = 0;
+  bool budget_hit = false;
+
+  std::uint32_t best = kNoIncumbent;
+  std::vector<graph::Edge> best_edges;
+
+  std::vector<graph::Edge> chosen;
+  std::vector<double> chosen_radii2;     // radii floor from chosen edges
+  std::vector<std::uint32_t> scratch;    // coverage counts
+
+  /// Lower bound on the final interference of any completion: coverage
+  /// counts induced by the radii floors. For nodes with no chosen edge the
+  /// floor is the shortest still-available incident edge (they must attach
+  /// eventually). `first_free` is the index of the next undecided edge.
+  [[nodiscard]] std::uint32_t lower_bound(std::size_t first_free) {
+    const std::size_t n = points.size();
+    std::vector<double> radii2 = chosen_radii2;
+    // Floors for isolated nodes from the still-available edges.
+    std::vector<double> min_avail(n, std::numeric_limits<double>::infinity());
+    for (std::size_t j = first_free; j < edges.size(); ++j) {
+      min_avail[edges[j].u] = std::min(min_avail[edges[j].u], edge_d2[j]);
+      min_avail[edges[j].v] = std::min(min_avail[edges[j].v], edge_d2[j]);
+    }
+    for (NodeId v = 0; v < n; ++v) {
+      if (radii2[v] == 0.0 && std::isfinite(min_avail[v])) {
+        radii2[v] = min_avail[v];
+      }
+    }
+    std::fill(scratch.begin(), scratch.end(), 0u);
+    std::uint32_t max_i = 0;
+    for (NodeId u = 0; u < n; ++u) {
+      if (radii2[u] <= 0.0) continue;
+      for (NodeId v = 0; v < n; ++v) {
+        if (v != u && geom::dist2(points[u], points[v]) <= radii2[u]) {
+          max_i = std::max(max_i, ++scratch[v]);
+        }
+      }
+    }
+    return max_i;
+  }
+
+  /// True iff the chosen forest plus all edges from `first_free` on can
+  /// still connect the graph.
+  [[nodiscard]] bool connectable(std::size_t first_free) const {
+    graph::UnionFind uf(points.size());
+    for (graph::Edge e : chosen) uf.unite(e.u, e.v);
+    for (std::size_t j = first_free; j < edges.size(); ++j) {
+      uf.unite(edges[j].u, edges[j].v);
+    }
+    return uf.component_count() == 1;
+  }
+
+  void dfs(std::size_t index, graph::UnionFind uf) {
+    if (budget_hit) return;
+    if (++states > max_states) {
+      budget_hit = true;
+      return;
+    }
+    if (chosen.size() == points.size() - 1) {
+      // Complete tree: its exact interference is the lower bound with all
+      // radii fixed (no isolated nodes remain).
+      const std::uint32_t value = lower_bound(edges.size());
+      if (value < best) {
+        best = value;
+        best_edges = chosen;
+      }
+      return;
+    }
+    if (index >= edges.size()) return;
+    if (!connectable(index)) return;
+    if (best != kNoIncumbent && lower_bound(index) >= best) return;
+
+    const graph::Edge e = edges[index];
+    // Branch 1: include e (if it joins two fragments).
+    if (uf.find(e.u) != uf.find(e.v)) {
+      graph::UnionFind uf_inc = uf;
+      uf_inc.unite(e.u, e.v);
+      const double old_u = chosen_radii2[e.u];
+      const double old_v = chosen_radii2[e.v];
+      chosen.push_back(e);
+      chosen_radii2[e.u] = std::max(old_u, edge_d2[index]);
+      chosen_radii2[e.v] = std::max(old_v, edge_d2[index]);
+      dfs(index + 1, std::move(uf_inc));
+      chosen.pop_back();
+      chosen_radii2[e.u] = old_u;
+      chosen_radii2[e.v] = old_v;
+    }
+    // Branch 2: exclude e.
+    dfs(index + 1, std::move(uf));
+  }
+};
+
+}  // namespace
+
+std::optional<BranchBoundResult> exact_minimum_interference_tree_bb(
+    std::span<const geom::Vec2> points, const graph::Graph& udg,
+    std::uint64_t max_states, std::uint32_t initial_upper) {
+  const std::size_t n = points.size();
+  assert(n == udg.node_count());
+  if (n < 2 || !graph::is_connected(udg)) return std::nullopt;
+
+  BbContext ctx;
+  ctx.points = points;
+  ctx.max_states = max_states;
+  ctx.edges.assign(udg.edges().begin(), udg.edges().end());
+  std::sort(ctx.edges.begin(), ctx.edges.end(), [&](graph::Edge a, graph::Edge b) {
+    const double da = geom::dist2(points[a.u], points[a.v]);
+    const double db = geom::dist2(points[b.u], points[b.v]);
+    return da < db || (da == db && a < b);
+  });
+  ctx.edge_d2.reserve(ctx.edges.size());
+  for (graph::Edge e : ctx.edges) {
+    ctx.edge_d2.push_back(geom::dist2(points[e.u], points[e.v]));
+  }
+  ctx.chosen_radii2.assign(n, 0.0);
+  ctx.scratch.assign(n, 0u);
+  ctx.best = initial_upper;
+
+  ctx.dfs(0, graph::UnionFind(n));
+
+  BranchBoundResult result;
+  result.states_visited = ctx.states;
+  result.proven = !ctx.budget_hit;
+  if (ctx.best_edges.empty()) {
+    // No tree beat the primed incumbent (or budget ran out before any tree
+    // was completed): fall back to an MST so the result is always usable.
+    result.tree = graph::euclidean_mst(udg, points);
+    result.interference = core::graph_interference(result.tree, points);
+    result.proven = result.proven && initial_upper != kNoIncumbent &&
+                    initial_upper <= result.interference;
+  } else {
+    result.tree = graph::Graph(n, ctx.best_edges);
+    result.interference = ctx.best;
+  }
+  return result;
+}
+
+}  // namespace rim::highway

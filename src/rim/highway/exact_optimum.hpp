@@ -1,0 +1,63 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+
+#include "rim/geom/vec2.hpp"
+#include "rim/graph/graph.hpp"
+
+/// \file exact_optimum.hpp
+/// Exact minimum-interference connectivity-preserving topology for tiny
+/// instances, by exhaustive enumeration of labeled spanning trees (Prüfer).
+///
+/// The paper restricts attention to one tree per component (extra edges can
+/// only increase interference, Section 3), so the optimum over trees is the
+/// optimum overall. Cayley's n^(n-2) limits this to n <= ~9; the experiment
+/// harness uses it as ground truth for the approximation-ratio tables and
+/// falls back to Lemma 5.5's lower bound beyond.
+
+namespace rim::highway {
+
+struct ExactResult {
+  graph::Graph tree;
+  std::uint32_t interference = 0;
+  std::uint64_t trees_considered = 0;  ///< trees whose edges all fit the UDG
+};
+
+/// Search all spanning trees of the complete graph over \p points whose
+/// every edge is present in \p udg. Returns nullopt when the UDG is
+/// disconnected (no spanning tree exists) or n < 2. Deterministic: among
+/// optima the first in Prüfer enumeration order wins.
+/// \p max_n guards against accidental exponential blowups (default 9).
+[[nodiscard]] std::optional<ExactResult> exact_minimum_interference_tree(
+    std::span<const geom::Vec2> points, const graph::Graph& udg,
+    std::size_t max_n = 9);
+
+/// Branch-and-bound exact search, reaching n ≈ 12-14 where Prüfer
+/// enumeration is hopeless. DFS over edges (shortest first) with
+/// include/exclude branching; pruning uses (a) connectivity feasibility of
+/// the remaining edge set and (b) an interference lower bound from the
+/// monotone radii: every chosen edge fixes a floor on both endpoint radii,
+/// and an untouched node's radius is floored by its shortest still-available
+/// incident edge.
+struct BranchBoundResult {
+  graph::Graph tree;
+  std::uint32_t interference = 0;
+  std::uint64_t states_visited = 0;
+  /// True when the search space was exhausted (result is the true optimum);
+  /// false when the state budget ran out (result is the best found so far).
+  bool proven = false;
+};
+
+/// \p initial_upper primes the incumbent (e.g. with A_apx's value + 1);
+/// kInvalidInterference means "no incumbent". Returns nullopt when the UDG
+/// is disconnected or n < 2.
+inline constexpr std::uint32_t kNoIncumbent = 0xffffffffu;
+[[nodiscard]] std::optional<BranchBoundResult>
+exact_minimum_interference_tree_bb(std::span<const geom::Vec2> points,
+                                   const graph::Graph& udg,
+                                   std::uint64_t max_states = 20'000'000,
+                                   std::uint32_t initial_upper = kNoIncumbent);
+
+}  // namespace rim::highway

@@ -1,0 +1,66 @@
+#include "rim/highway/highway_instance.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace rim::highway {
+
+HighwayInstance HighwayInstance::from_positions(std::vector<double> xs) {
+  std::sort(xs.begin(), xs.end());
+  HighwayInstance instance;
+  instance.xs_ = std::move(xs);
+  return instance;
+}
+
+geom::PointSet HighwayInstance::to_points() const {
+  geom::PointSet points;
+  points.reserve(xs_.size());
+  for (double x : xs_) points.push_back({x, 0.0});
+  return points;
+}
+
+graph::Graph HighwayInstance::udg(double radius) const {
+  graph::Graph g(xs_.size());
+  // Sorted coordinates: neighbors of i form a contiguous window.
+  for (NodeId i = 0; i < xs_.size(); ++i) {
+    for (NodeId j = i + 1; j < xs_.size() && xs_[j] - xs_[i] <= radius; ++j) {
+      g.add_edge(i, j);
+    }
+  }
+  return g;
+}
+
+std::size_t HighwayInstance::max_degree(double radius) const {
+  std::size_t best = 0;
+  std::size_t lo = 0;
+  std::size_t hi = 0;
+  for (std::size_t i = 0; i < xs_.size(); ++i) {
+    while (xs_[i] - xs_[lo] > radius) ++lo;
+    while (hi + 1 < xs_.size() && xs_[hi + 1] - xs_[i] <= radius) ++hi;
+    if (hi < i) hi = i;
+    best = std::max(best, hi - lo);  // window size minus the node itself
+  }
+  return best;
+}
+
+bool HighwayInstance::udg_connected(double radius) const {
+  for (std::size_t i = 1; i < xs_.size(); ++i) {
+    if (xs_[i] - xs_[i - 1] > radius) return false;
+  }
+  return true;
+}
+
+HighwayInstance exponential_chain(std::size_t n, double span) {
+  assert(n >= 2 && n <= 1024);
+  assert(span > 0.0);
+  // Raw positions 0, 1, 3, 7, ..., 2^(n-1) - 1; then scale to the target
+  // span. exp2 keeps full precision for every i < 1024.
+  std::vector<double> xs(n);
+  for (std::size_t i = 0; i < n; ++i) xs[i] = std::exp2(static_cast<double>(i)) - 1.0;
+  const double scale = span / xs.back();
+  for (double& x : xs) x *= scale;
+  return HighwayInstance::from_positions(std::move(xs));
+}
+
+}  // namespace rim::highway

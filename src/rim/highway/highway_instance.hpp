@@ -1,0 +1,58 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "rim/geom/vec2.hpp"
+#include "rim/graph/graph.hpp"
+
+/// \file highway_instance.hpp
+/// The highway model (paper Section 5): nodes restricted to one dimension.
+///
+/// A HighwayInstance stores the sorted coordinates; node ids are positions
+/// in sorted order (node 0 is leftmost), which is the indexing every
+/// Section 5 algorithm uses. Conversion to a PointSet (y == 0) connects the
+/// 1-D algorithms with the general 2-D machinery.
+
+namespace rim::highway {
+
+class HighwayInstance {
+ public:
+  HighwayInstance() = default;
+
+  /// Build from arbitrary coordinates (sorted internally).
+  static HighwayInstance from_positions(std::vector<double> xs);
+
+  [[nodiscard]] std::size_t size() const { return xs_.size(); }
+  [[nodiscard]] const std::vector<double>& positions() const { return xs_; }
+  [[nodiscard]] double position(NodeId i) const { return xs_[i]; }
+
+  /// Total extent (0 for fewer than 2 nodes).
+  [[nodiscard]] double span() const {
+    return xs_.empty() ? 0.0 : xs_.back() - xs_.front();
+  }
+
+  /// Embed on the x-axis for the 2-D machinery.
+  [[nodiscard]] geom::PointSet to_points() const;
+
+  /// UDG over this instance (edges between nodes within \p radius).
+  [[nodiscard]] graph::Graph udg(double radius = 1.0) const;
+
+  /// Maximum UDG degree Δ, computed by a sliding window in O(n).
+  [[nodiscard]] std::size_t max_degree(double radius = 1.0) const;
+
+  /// True iff the UDG is connected, i.e. every consecutive gap <= radius.
+  [[nodiscard]] bool udg_connected(double radius = 1.0) const;
+
+ private:
+  std::vector<double> xs_;  // sorted ascending
+};
+
+/// The exponential node chain of Section 5.1: consecutive gaps 2^0, 2^1,
+/// ..., 2^(n-2), normalised so the whole chain spans exactly \p span
+/// (default 1, the paper's "all nodes within distance one" assumption, which
+/// makes Δ = n - 1). Requires 2 <= n <= 1024 (beyond that the gap ratios
+/// exceed double range).
+[[nodiscard]] HighwayInstance exponential_chain(std::size_t n, double span = 1.0);
+
+}  // namespace rim::highway

@@ -1,0 +1,109 @@
+#include "rim/highway/interference_1d.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <tuple>
+
+#include "rim/core/radii.hpp"
+
+namespace rim::highway {
+
+namespace {
+
+/// Index range [first, last) of xs covered by the closed interval
+/// [x - r, x + r]. Containment is decided by the single-rounded comparison
+/// |x_v - x| <= r, NOT by the pre-rounded endpoints x -+ r: radii are
+/// themselves computed as coordinate differences (r = x_child - x_hub), so a
+/// child's disk must cover its hub *exactly*, and fl(x - fl(x - x_hub)) can
+/// land one ulp off x_hub. The binary searches give a near-correct range
+/// that is then nudged with the exact test.
+std::pair<std::size_t, std::size_t> range_for(std::span<const double> xs, double x,
+                                              double r) {
+  auto first = static_cast<std::size_t>(
+      std::lower_bound(xs.begin(), xs.end(), x - r) - xs.begin());
+  auto last = static_cast<std::size_t>(
+      std::upper_bound(xs.begin(), xs.end(), x + r) - xs.begin());
+  while (first > 0 && x - xs[first - 1] <= r) --first;
+  while (first < xs.size() && x - xs[first] > r) ++first;
+  while (last < xs.size() && xs[last] - x <= r) ++last;
+  while (last > first && xs[last - 1] - x > r) --last;
+  return {first, last};
+}
+
+}  // namespace
+
+std::vector<std::uint32_t> interference_1d(std::span<const double> xs,
+                                           std::span<const double> radii) {
+  assert(xs.size() == radii.size());
+  assert(std::is_sorted(xs.begin(), xs.end()));
+  // Difference array over node indices; +1 on [first, last) per transmitter.
+  std::vector<std::int64_t> diff(xs.size() + 1, 0);
+  for (NodeId u = 0; u < xs.size(); ++u) {
+    if (radii[u] <= 0.0) continue;
+    const auto [first, last] = range_for(xs, xs[u], radii[u]);
+    ++diff[first];
+    --diff[last];
+  }
+  std::vector<std::uint32_t> out(xs.size(), 0);
+  std::int64_t running = 0;
+  for (std::size_t v = 0; v < xs.size(); ++v) {
+    running += diff[v];
+    // Subtract self-coverage: u always covers itself when r_u > 0.
+    const std::int64_t self = radii[v] > 0.0 ? 1 : 0;
+    out[v] = static_cast<std::uint32_t>(running - self);
+  }
+  return out;
+}
+
+std::uint32_t graph_interference_1d(const HighwayInstance& instance,
+                                    const graph::Graph& topology) {
+  // 1-D radii computed directly as coordinate differences: exact, no sqrt.
+  const auto& xs = instance.positions();
+  std::vector<double> radii(xs.size(), 0.0);
+  for (NodeId u = 0; u < xs.size(); ++u) {
+    for (NodeId v : topology.neighbors(u)) {
+      radii[u] = std::max(radii[u], std::abs(xs[v] - xs[u]));
+    }
+  }
+  const auto per_node = interference_1d(xs, radii);
+  std::uint32_t max = 0;
+  for (std::uint32_t i : per_node) max = std::max(max, i);
+  return max;
+}
+
+Coverage1D::Coverage1D(std::span<const double> xs)
+    : xs_(xs), radius_(xs.size(), 0.0), count_(xs.size(), 0) {
+  assert(std::is_sorted(xs_.begin(), xs_.end()));
+}
+
+std::pair<std::size_t, std::size_t> Coverage1D::covered_range(NodeId u,
+                                                              double r) const {
+  return range_for(xs_, xs_[u], r);
+}
+
+std::uint32_t Coverage1D::raise_radius(NodeId u, double radius) {
+  if (radius <= radius_[u]) return max_;
+  // Old and new covered ranges; the new one strictly contains the old.
+  const auto [new_first, new_last] = covered_range(u, radius);
+  std::size_t old_first = new_first;
+  std::size_t old_last = new_first;
+  if (radius_[u] > 0.0) {
+    std::tie(old_first, old_last) = covered_range(u, radius_[u]);
+  } else {
+    old_first = old_last = static_cast<std::size_t>(u);  // only itself, excluded
+    // When the radius was 0 the node covered nothing (not even itself for
+    // interference purposes); treat the old range as the singleton {u}.
+    old_last = old_first + 1;
+  }
+  radius_[u] = radius;
+  for (std::size_t v = new_first; v < old_first; ++v) {
+    if (v != u) max_ = std::max(max_, ++count_[v]);
+  }
+  for (std::size_t v = old_last; v < new_last; ++v) {
+    if (v != u) max_ = std::max(max_, ++count_[v]);
+  }
+  return max_;
+}
+
+}  // namespace rim::highway

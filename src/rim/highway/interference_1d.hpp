@@ -1,0 +1,55 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "rim/graph/graph.hpp"
+#include "rim/highway/highway_instance.hpp"
+
+/// \file interference_1d.hpp
+/// Fast receiver-centric interference evaluation specialised to the highway
+/// model: with sorted coordinates, the disk D(u, r_u) covers a contiguous
+/// index range, so coverage counting reduces to a difference array —
+/// O((n + m) log n) instead of the generic evaluator's disk queries. The
+/// scan-line algorithm A_exp also needs *incremental* maintenance as radii
+/// grow, which Coverage1D provides.
+
+namespace rim::highway {
+
+/// Per-node interference for sorted coordinates \p xs under radii \p radii
+/// (Definition 3.1, self excluded). Equivalent to the generic evaluator on
+/// the embedded points; cross-checked by tests.
+[[nodiscard]] std::vector<std::uint32_t> interference_1d(
+    std::span<const double> xs, std::span<const double> radii);
+
+/// Summary for a topology over a highway instance.
+[[nodiscard]] std::uint32_t graph_interference_1d(const HighwayInstance& instance,
+                                                  const graph::Graph& topology);
+
+/// Incrementally maintained coverage counts for monotonically growing radii.
+/// Used by A_exp, which only ever enlarges transmission ranges.
+class Coverage1D {
+ public:
+  explicit Coverage1D(std::span<const double> xs);
+
+  /// Raise node u's radius to \p radius (no-op if not larger). Newly covered
+  /// nodes get +1; returns the resulting maximum interference.
+  std::uint32_t raise_radius(NodeId u, double radius);
+
+  [[nodiscard]] std::uint32_t max_interference() const { return max_; }
+  [[nodiscard]] std::uint32_t interference_of(NodeId v) const { return count_[v]; }
+  [[nodiscard]] std::span<const std::uint32_t> per_node() const { return count_; }
+
+ private:
+  /// First / one-past-last index covered by D(xs_[u], r).
+  [[nodiscard]] std::pair<std::size_t, std::size_t> covered_range(NodeId u,
+                                                                  double r) const;
+
+  std::span<const double> xs_;
+  std::vector<double> radius_;
+  std::vector<std::uint32_t> count_;
+  std::uint32_t max_ = 0;
+};
+
+}  // namespace rim::highway

@@ -1,0 +1,14 @@
+#include "rim/highway/linear_chain.hpp"
+
+namespace rim::highway {
+
+graph::Graph linear_chain(const HighwayInstance& instance, double radius) {
+  const auto& xs = instance.positions();
+  graph::Graph g(xs.size());
+  for (NodeId i = 0; i + 1 < xs.size(); ++i) {
+    if (xs[i + 1] - xs[i] <= radius) g.add_edge(i, i + 1);
+  }
+  return g;
+}
+
+}  // namespace rim::highway

@@ -1,0 +1,19 @@
+#pragma once
+
+#include "rim/graph/graph.hpp"
+#include "rim/highway/highway_instance.hpp"
+
+/// \file linear_chain.hpp
+/// The linearly connected topology (Section 5.1): every node keeps an edge
+/// to its nearest neighbor on each side. On the exponential node chain this
+/// yields interference n - 2 at the leftmost node (Figure 7); on uniform
+/// instances it is constant — the contrast A_apx exploits.
+
+namespace rim::highway {
+
+/// Connect consecutive nodes. Gaps larger than \p radius are skipped, so the
+/// result is a valid UDG subgraph and connects exactly the UDG components.
+[[nodiscard]] graph::Graph linear_chain(const HighwayInstance& instance,
+                                        double radius = 1.0);
+
+}  // namespace rim::highway

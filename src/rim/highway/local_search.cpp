@@ -1,0 +1,107 @@
+#include "rim/highway/local_search.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <utility>
+#include <vector>
+
+#include "rim/core/interference.hpp"
+#include "rim/graph/connectivity.hpp"
+#include "rim/graph/union_find.hpp"
+
+namespace rim::highway {
+
+namespace {
+
+/// Objective: lexicographic (max interference, total interference).
+using Objective = std::pair<std::uint32_t, std::uint64_t>;
+
+Objective evaluate(const graph::Graph& g, std::span<const geom::Vec2> points) {
+  const core::InterferenceSummary s = core::evaluate_interference(g, points);
+  return {s.max, s.total};
+}
+
+/// Component labels of `tree` with edge `skip` removed.
+std::vector<std::uint32_t> split_labels(const graph::Graph& tree, graph::Edge skip) {
+  graph::UnionFind uf(tree.node_count());
+  for (graph::Edge e : tree.edges()) {
+    if (e == skip) continue;
+    uf.unite(e.u, e.v);
+  }
+  std::vector<std::uint32_t> labels(tree.node_count());
+  for (NodeId v = 0; v < tree.node_count(); ++v) labels[v] = uf.find(v);
+  return labels;
+}
+
+}  // namespace
+
+LocalSearchResult local_search_min_interference(std::span<const geom::Vec2> points,
+                                                const graph::Graph& udg,
+                                                const graph::Graph& seed,
+                                                LocalSearchParams params) {
+  assert(graph::is_forest(seed));
+  assert(graph::preserves_connectivity(udg, seed));
+
+  LocalSearchResult result;
+  result.tree = graph::Graph(seed.node_count(), seed.edges());
+  Objective current = evaluate(result.tree, points);
+
+  for (std::size_t round = 0; round < params.max_rounds; ++round) {
+    bool improved = false;
+    // Snapshot: the edge list mutates on swap, so iterate a copy.
+    const std::vector<graph::Edge> tree_edges(result.tree.edges().begin(),
+                                              result.tree.edges().end());
+    for (graph::Edge removed : tree_edges) {
+      const auto labels = split_labels(result.tree, removed);
+      // Candidates: UDG edges crossing the cut, optionally capped to the
+      // shortest ones (short replacements shrink radii, hence coverage).
+      std::vector<graph::Edge> candidates;
+      for (graph::Edge candidate : udg.edges()) {
+        if (labels[candidate.u] != labels[candidate.v]) {
+          candidates.push_back(candidate);
+        }
+      }
+      if (params.max_candidates_per_cut != 0 &&
+          candidates.size() > params.max_candidates_per_cut) {
+        std::nth_element(
+            candidates.begin(),
+            candidates.begin() +
+                static_cast<std::ptrdiff_t>(params.max_candidates_per_cut),
+            candidates.end(), [&](graph::Edge a, graph::Edge b) {
+              const double da = geom::dist2(points[a.u], points[a.v]);
+              const double db = geom::dist2(points[b.u], points[b.v]);
+              return da < db || (da == db && a < b);
+            });
+        candidates.resize(params.max_candidates_per_cut);
+      }
+      // Best replacement edge across the cut (the removed edge itself is a
+      // candidate, in which case nothing changes).
+      graph::Edge best_edge = removed;
+      Objective best = current;
+      result.tree.remove_edge(removed.u, removed.v);
+      for (graph::Edge candidate : candidates) {
+        result.tree.add_edge(candidate.u, candidate.v);
+        const Objective obj = evaluate(result.tree, points);
+        result.tree.remove_edge(candidate.u, candidate.v);
+        if (obj < best) {
+          best = obj;
+          best_edge = candidate;
+        }
+      }
+      result.tree.add_edge(best_edge.u, best_edge.v);
+      if (best < current) {
+        current = best;
+        improved = true;
+        ++result.swaps_applied;
+      }
+    }
+    if (!improved) {
+      result.reached_local_optimum = true;
+      break;
+    }
+  }
+  result.interference = current.first;
+  return result;
+}
+
+}  // namespace rim::highway

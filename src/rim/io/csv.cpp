@@ -1,0 +1,67 @@
+#include "rim/io/csv.hpp"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace rim::io {
+
+namespace {
+
+std::runtime_error malformed(const std::string& line) {
+  return std::runtime_error("malformed CSV line: '" + line + "'");
+}
+
+}  // namespace
+
+void write_points_csv(std::ostream& out, std::span<const geom::Vec2> points) {
+  out << "x,y\n";
+  out.precision(17);
+  for (const geom::Vec2& p : points) out << p.x << ',' << p.y << '\n';
+}
+
+geom::PointSet read_points_csv(std::istream& in) {
+  std::string line;
+  if (!std::getline(in, line) || line != "x,y") {
+    throw std::runtime_error("missing 'x,y' CSV header");
+  }
+  geom::PointSet points;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    std::istringstream ls(line);
+    geom::Vec2 p;
+    char comma = 0;
+    if (!(ls >> p.x >> comma >> p.y) || comma != ',') throw malformed(line);
+    points.push_back(p);
+  }
+  return points;
+}
+
+void write_edges_csv(std::ostream& out, const graph::Graph& g) {
+  out << "u,v\n";
+  for (graph::Edge e : g.edges()) out << e.u << ',' << e.v << '\n';
+}
+
+graph::Graph read_edges_csv(std::istream& in, std::size_t node_count) {
+  std::string line;
+  if (!std::getline(in, line) || line != "u,v") {
+    throw std::runtime_error("missing 'u,v' CSV header");
+  }
+  graph::Graph g(node_count);
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    std::istringstream ls(line);
+    std::uint32_t u = 0;
+    std::uint32_t v = 0;
+    char comma = 0;
+    if (!(ls >> u >> comma >> v) || comma != ',') throw malformed(line);
+    if (u >= node_count || v >= node_count) {
+      throw std::runtime_error("edge endpoint out of range in CSV");
+    }
+    g.add_edge(u, v);
+  }
+  return g;
+}
+
+}  // namespace rim::io

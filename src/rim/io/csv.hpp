@@ -1,0 +1,31 @@
+#pragma once
+
+#include <iosfwd>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "rim/geom/vec2.hpp"
+#include "rim/graph/graph.hpp"
+
+/// \file csv.hpp
+/// CSV import/export for point sets and edge lists, so instances and
+/// topologies can round-trip to external plotting tools.
+
+namespace rim::io {
+
+/// Write "x,y" rows with a header.
+void write_points_csv(std::ostream& out, std::span<const geom::Vec2> points);
+
+/// Parse the output of write_points_csv (header required).
+/// Throws std::runtime_error on malformed input.
+[[nodiscard]] geom::PointSet read_points_csv(std::istream& in);
+
+/// Write "u,v" rows with a header.
+void write_edges_csv(std::ostream& out, const graph::Graph& g);
+
+/// Parse the output of write_edges_csv into a graph on \p node_count nodes.
+/// Throws std::runtime_error on malformed input or out-of-range ids.
+[[nodiscard]] graph::Graph read_edges_csv(std::istream& in, std::size_t node_count);
+
+}  // namespace rim::io

@@ -1,0 +1,23 @@
+#include "rim/io/dot.hpp"
+
+#include <ostream>
+
+namespace rim::io {
+
+void write_dot(std::ostream& out, const graph::Graph& g,
+               std::span<const geom::Vec2> points, const DotOptions& options) {
+  out << "graph " << options.graph_name << " {\n"
+      << "  node [shape=point, width=0.08];\n";
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    out << "  n" << v << " [pos=\"" << points[v].x * options.position_scale << ','
+        << points[v].y * options.position_scale << "!\"";
+    if (options.include_labels) out << ", xlabel=\"" << v << "\"";
+    out << "];\n";
+  }
+  for (graph::Edge e : g.edges()) {
+    out << "  n" << e.u << " -- n" << e.v << ";\n";
+  }
+  out << "}\n";
+}
+
+}  // namespace rim::io

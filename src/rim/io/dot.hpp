@@ -1,0 +1,26 @@
+#pragma once
+
+#include <iosfwd>
+#include <span>
+#include <string>
+
+#include "rim/geom/vec2.hpp"
+#include "rim/graph/graph.hpp"
+
+/// \file dot.hpp
+/// Graphviz export of positioned topologies; `neato -n2` renders the
+/// figures (the examples print pointers to this).
+
+namespace rim::io {
+
+struct DotOptions {
+  std::string graph_name = "topology";
+  double position_scale = 10.0;  ///< multiply coordinates into DOT units
+  bool include_labels = true;
+};
+
+/// Write an undirected graph with pinned node positions.
+void write_dot(std::ostream& out, const graph::Graph& g,
+               std::span<const geom::Vec2> points, const DotOptions& options = {});
+
+}  // namespace rim::io

@@ -1,0 +1,97 @@
+#include "rim/io/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+#include <sstream>
+
+namespace rim::io {
+
+std::string json_escape(const std::string& raw) {
+  std::string out;
+  out.reserve(raw.size() + 2);
+  for (const char c : raw) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof buffer, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buffer;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void Json::write(std::ostream& out) const {
+  struct Visitor {
+    std::ostream& out;
+    void operator()(std::nullptr_t) const { out << "null"; }
+    void operator()(bool b) const { out << (b ? "true" : "false"); }
+    void operator()(double d) const {
+      if (!std::isfinite(d)) {
+        out << "null";  // JSON has no Inf/NaN
+        return;
+      }
+      // Integral doubles print without a fraction for readability.
+      if (d == std::floor(d) && std::abs(d) < 1e15) {
+        out << static_cast<long long>(d);
+      } else {
+        char buffer[32];
+        std::snprintf(buffer, sizeof buffer, "%.17g", d);
+        out << buffer;
+      }
+    }
+    void operator()(const std::string& s) const {
+      out << '"' << json_escape(s) << '"';
+    }
+    void operator()(const JsonArray& a) const {
+      out << '[';
+      bool first = true;
+      for (const Json& v : a) {
+        if (!first) out << ',';
+        first = false;
+        v.write(out);
+      }
+      out << ']';
+    }
+    void operator()(const JsonObject& o) const {
+      out << '{';
+      bool first = true;
+      for (const auto& [key, value] : o) {
+        if (!first) out << ',';
+        first = false;
+        out << '"' << json_escape(key) << "\":";
+        value.write(out);
+      }
+      out << '}';
+    }
+  };
+  std::visit(Visitor{out}, value_);
+}
+
+std::string Json::dump() const {
+  std::ostringstream os;
+  write(os);
+  return os.str();
+}
+
+}  // namespace rim::io

@@ -1,0 +1,52 @@
+#pragma once
+
+#include <iosfwd>
+#include <map>
+#include <memory>
+#include <string>
+#include <variant>
+#include <vector>
+
+/// \file json.hpp
+/// Minimal JSON value + writer: machine-readable experiment output next to
+/// the human-readable tables (no external dependencies, write-only — the
+/// library never needs to parse JSON).
+
+namespace rim::io {
+
+class Json;
+using JsonArray = std::vector<Json>;
+using JsonObject = std::map<std::string, Json>;
+
+class Json {
+ public:
+  Json() : value_(nullptr) {}
+  Json(std::nullptr_t) : value_(nullptr) {}
+  Json(bool b) : value_(b) {}
+  Json(double d) : value_(d) {}
+  Json(int i) : value_(static_cast<double>(i)) {}
+  Json(unsigned i) : value_(static_cast<double>(i)) {}
+  Json(long long i) : value_(static_cast<double>(i)) {}
+  Json(unsigned long i) : value_(static_cast<double>(i)) {}
+  Json(unsigned long long i) : value_(static_cast<double>(i)) {}
+  Json(const char* s) : value_(std::string(s)) {}
+  Json(std::string s) : value_(std::move(s)) {}
+  Json(JsonArray a) : value_(std::move(a)) {}
+  Json(JsonObject o) : value_(std::move(o)) {}
+
+  /// Serialise compactly (no insignificant whitespace); object keys are
+  /// emitted in map order, so output is deterministic.
+  void write(std::ostream& out) const;
+
+  /// Convenience: serialise to a string.
+  [[nodiscard]] std::string dump() const;
+
+ private:
+  std::variant<std::nullptr_t, bool, double, std::string, JsonArray, JsonObject>
+      value_;
+};
+
+/// Escape a string per RFC 8259 (quotes, backslash, control characters).
+[[nodiscard]] std::string json_escape(const std::string& raw);
+
+}  // namespace rim::io

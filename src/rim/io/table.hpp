@@ -1,0 +1,40 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+/// \file table.hpp
+/// Right-aligned ASCII tables — the output format of every experiment
+/// binary (paper-shaped rows, stable column widths, reproducible byte for
+/// byte given the same inputs).
+
+namespace rim::io {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Start a new row; subsequent cell() calls fill it left to right.
+  Table& row();
+
+  Table& cell(const std::string& value);
+  Table& cell(const char* value);
+  Table& cell(std::uint64_t value);
+  Table& cell(std::int64_t value);
+  Table& cell(std::uint32_t value);
+  Table& cell(bool value);
+  /// Fixed-precision floating cell.
+  Table& cell(double value, int precision = 3);
+
+  [[nodiscard]] std::size_t row_count() const { return rows_.size(); }
+
+  /// Render with column separators and a header rule.
+  void print(std::ostream& out) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace rim::io

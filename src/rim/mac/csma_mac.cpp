@@ -1,0 +1,70 @@
+#include "rim/mac/csma_mac.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numeric>
+
+namespace rim::mac {
+
+CsmaMac::CsmaMac(const Medium& medium, Params params, std::uint64_t seed)
+    : medium_(medium),
+      params_(params),
+      rng_(seed),
+      queues_(medium.node_count()),
+      transmitting_(medium.node_count(), 0),
+      order_(medium.node_count()) {
+  std::iota(order_.begin(), order_.end(), NodeId{0});
+}
+
+void CsmaMac::offer(Frame frame) {
+  assert(frame.src < queues_.size() && frame.dst < queues_.size());
+  ++stats_.offered;
+  queues_[frame.src].push_back(Queued{frame, 0});
+}
+
+bool CsmaMac::medium_busy_at(NodeId u) const {
+  for (NodeId w : medium_.coverers_of(u)) {
+    if (transmitting_[w]) return true;
+  }
+  return false;
+}
+
+void CsmaMac::step(double slot_index) {
+  // Phase 1: contention in random order (Fisher–Yates over order_).
+  for (std::size_t i = order_.size(); i > 1; --i) {
+    std::swap(order_[i - 1], order_[rng_.next_below(i)]);
+  }
+  std::fill(transmitting_.begin(), transmitting_.end(), 0);
+  for (NodeId u : order_) {
+    if (queues_[u].empty()) continue;
+    if (rng_.next_double() >= params_.persistence) continue;
+    if (medium_busy_at(u)) continue;  // carrier sense: defer
+    transmitting_[u] = 1;
+  }
+  // Phase 2: resolve receptions (hidden terminals can still collide).
+  for (NodeId u = 0; u < queues_.size(); ++u) {
+    if (!transmitting_[u]) continue;
+    Queued& head = queues_[u].front();
+    ++stats_.transmissions;
+    stats_.energy += std::pow(medium_.range(u), params_.path_loss_alpha);
+    if (medium_.frame_received(u, head.frame.dst, transmitting_)) {
+      ++stats_.delivered;
+      stats_.total_delay_slots += slot_index - head.frame.enqueued_at;
+      queues_[u].pop_front();
+    } else {
+      ++stats_.collisions;
+      if (++head.attempts > params_.max_retries) {
+        ++stats_.dropped;
+        queues_[u].pop_front();
+      }
+    }
+  }
+}
+
+void CsmaMac::finalize() {
+  stats_.backlog = 0;
+  for (const auto& q : queues_) stats_.backlog += q.size();
+}
+
+}  // namespace rim::mac

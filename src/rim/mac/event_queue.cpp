@@ -1,0 +1,26 @@
+#include "rim/mac/event_queue.hpp"
+
+#include <cassert>
+
+namespace rim::mac {
+
+void EventQueue::schedule(double time, Callback fn) {
+  assert(time >= now_ && "cannot schedule into the past");
+  heap_.push(Event{time, next_seq_++, std::move(fn)});
+}
+
+std::size_t EventQueue::run_until(double horizon) {
+  std::size_t dispatched = 0;
+  while (!heap_.empty() && heap_.top().time <= horizon) {
+    // Move the callback out before popping: the callback may schedule new
+    // events, which mutates the heap.
+    Event event = std::move(const_cast<Event&>(heap_.top()));
+    heap_.pop();
+    now_ = event.time;
+    event.fn();
+    ++dispatched;
+  }
+  return dispatched;
+}
+
+}  // namespace rim::mac

@@ -1,0 +1,56 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <queue>
+#include <vector>
+
+/// \file event_queue.hpp
+/// Minimal discrete-event engine: a time-ordered queue of callbacks.
+/// Events at equal times fire in scheduling order (a monotone sequence
+/// number breaks ties), which keeps simulations deterministic.
+
+namespace rim::mac {
+
+class EventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  /// Current simulation time (last dispatched event's time).
+  [[nodiscard]] double now() const { return now_; }
+
+  [[nodiscard]] bool empty() const { return heap_.empty(); }
+  [[nodiscard]] std::size_t pending() const { return heap_.size(); }
+
+  /// Schedule \p fn at absolute time \p time (>= now, asserted in debug).
+  void schedule(double time, Callback fn);
+
+  /// Schedule \p fn at now() + delay.
+  void schedule_in(double delay, Callback fn) { schedule(now_ + delay, std::move(fn)); }
+
+  /// Dispatch events in time order until the queue is empty or the next
+  /// event is later than \p horizon. Returns the number dispatched.
+  std::size_t run_until(double horizon);
+
+  /// Dispatch everything.
+  std::size_t run() { return run_until(std::numeric_limits<double>::infinity()); }
+
+ private:
+  struct Event {
+    double time;
+    std::uint64_t seq;
+    Callback fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      return a.time > b.time || (a.time == b.time && a.seq > b.seq);
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+  std::uint64_t next_seq_ = 0;
+  double now_ = 0.0;
+};
+
+}  // namespace rim::mac

@@ -1,0 +1,51 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "rim/geom/vec2.hpp"
+#include "rim/graph/graph.hpp"
+
+/// \file medium.hpp
+/// The shared radio medium induced by a topology.
+///
+/// Reception follows the paper's disk model: node u transmitting with its
+/// topology-induced range r_u is heard by exactly the nodes in D(u, r_u).
+/// A frame from u to v is received iff v lies in u's disk and *no other*
+/// node whose disk covers v transmits in the same slot (and v itself is not
+/// transmitting — half duplex). The set of nodes able to disturb v is thus
+/// precisely the receiver-centric interference set of Definition 3.1, which
+/// is what ties the MAC simulation to the paper's measure.
+
+namespace rim::mac {
+
+class Medium {
+ public:
+  /// Precompute coverage from \p topology over \p points.
+  Medium(const graph::Graph& topology, std::span<const geom::Vec2> points);
+
+  [[nodiscard]] std::size_t node_count() const { return covered_by_.size(); }
+
+  /// Nodes whose disks cover v — the potential disturbers of Definition 3.1
+  /// (excluding v itself), ascending.
+  [[nodiscard]] std::span<const NodeId> coverers_of(NodeId v) const {
+    return covered_by_[v];
+  }
+
+  /// Transmission range of u (distance to its farthest topology neighbor).
+  [[nodiscard]] double range(NodeId u) const { return radii_[u]; }
+
+  /// True iff v is inside D(u, r_u).
+  [[nodiscard]] bool covers(NodeId u, NodeId v) const;
+
+  /// Given the set of transmitters of one slot (by flag vector), decide
+  /// whether the frame u -> v is received.
+  [[nodiscard]] bool frame_received(NodeId u, NodeId v,
+                                    std::span<const std::uint8_t> transmitting) const;
+
+ private:
+  std::vector<std::vector<NodeId>> covered_by_;
+  std::vector<double> radii_;
+};
+
+}  // namespace rim::mac

@@ -1,0 +1,66 @@
+#include "rim/mac/simulation.hpp"
+
+#include "rim/core/interference.hpp"
+#include "rim/mac/csma_mac.hpp"
+#include "rim/mac/event_queue.hpp"
+#include "rim/mac/medium.hpp"
+#include "rim/sim/rng.hpp"
+
+namespace rim::mac {
+
+namespace {
+
+/// Runs the slot loop against either MAC through a uniform surface.
+template <typename Mac>
+MacStats drive(Mac& mac, const graph::Graph& topology,
+               const SimulationConfig& config) {
+  sim::Rng traffic_rng(config.seed);
+  EventQueue queue;
+  // One event per slot: generate arrivals, then run the MAC step. The
+  // lambda reschedules itself until the horizon.
+  std::uint64_t slot = 0;
+  const std::function<void()> slot_event = [&] {
+    for (NodeId u = 0; u < topology.node_count(); ++u) {
+      const auto neighbors = topology.neighbors(u);
+      if (neighbors.empty()) continue;
+      if (traffic_rng.next_double() < config.arrival_rate) {
+        const NodeId dst = neighbors[traffic_rng.next_below(neighbors.size())];
+        mac.offer(Frame{u, dst, static_cast<double>(slot)});
+      }
+    }
+    mac.step(static_cast<double>(slot));
+    if (++slot < config.slots) queue.schedule_in(1.0, slot_event);
+  };
+  queue.schedule(0.0, slot_event);
+  queue.run();
+  mac.finalize();
+  return mac.stats();
+}
+
+}  // namespace
+
+SimulationReport simulate_traffic(const graph::Graph& topology,
+                                  std::span<const geom::Vec2> points,
+                                  const SimulationConfig& config) {
+  const Medium medium(topology, points);
+  SimulationReport report;
+  if (config.kind == MacKind::kCsma) {
+    CsmaMac::Params params;
+    params.persistence = config.mac.transmit_probability;
+    params.path_loss_alpha = config.mac.path_loss_alpha;
+    params.max_retries = config.mac.max_retries;
+    CsmaMac mac(medium, params, config.seed ^ 0x5b4d5cull);
+    report.mac = drive(mac, topology, config);
+  } else {
+    SlottedMac mac(medium, config.mac, config.seed ^ 0x5b4d5cull);
+    report.mac = drive(mac, topology, config);
+  }
+  report.interference = core::graph_interference(topology, points);
+  double sum_range = 0.0;
+  for (NodeId u = 0; u < topology.node_count(); ++u) sum_range += medium.range(u);
+  report.mean_range = points.empty() ? 0.0
+                                     : sum_range / static_cast<double>(points.size());
+  return report;
+}
+
+}  // namespace rim::mac

@@ -1,0 +1,61 @@
+#include "rim/mac/slotted_mac.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace rim::mac {
+
+SlottedMac::SlottedMac(const Medium& medium, Params params, std::uint64_t seed)
+    : medium_(medium),
+      params_(params),
+      rng_(seed),
+      queues_(medium.node_count()),
+      transmitting_(medium.node_count(), 0) {}
+
+void SlottedMac::offer(Frame frame) {
+  assert(frame.src < queues_.size() && frame.dst < queues_.size());
+  ++stats_.offered;
+  queues_[frame.src].push_back(Queued{frame, 0});
+}
+
+void SlottedMac::step(double slot_index) {
+  // Phase 1: every backlogged node decides independently whether to send.
+  std::fill(transmitting_.begin(), transmitting_.end(), 0);
+  for (NodeId u = 0; u < queues_.size(); ++u) {
+    if (!queues_[u].empty() &&
+        rng_.next_double() < params_.transmit_probability) {
+      transmitting_[u] = 1;
+    }
+  }
+  // Phase 2: resolve receptions against the full transmitter set.
+  for (NodeId u = 0; u < queues_.size(); ++u) {
+    if (!transmitting_[u]) continue;
+    Queued& head = queues_[u].front();
+    ++stats_.transmissions;
+    stats_.energy += std::pow(medium_.range(u), params_.path_loss_alpha);
+    if (medium_.frame_received(u, head.frame.dst, transmitting_)) {
+      ++stats_.delivered;
+      stats_.total_delay_slots += slot_index - head.frame.enqueued_at;
+      queues_[u].pop_front();
+    } else {
+      ++stats_.collisions;
+      if (++head.attempts > params_.max_retries) {
+        ++stats_.dropped;
+        queues_[u].pop_front();
+      }
+    }
+  }
+}
+
+std::size_t SlottedMac::backlogged_nodes() const {
+  std::size_t count = 0;
+  for (const auto& q : queues_) count += q.empty() ? 0u : 1u;
+  return count;
+}
+
+void SlottedMac::finalize() {
+  stats_.backlog = 0;
+  for (const auto& q : queues_) stats_.backlog += q.size();
+}
+
+}  // namespace rim::mac

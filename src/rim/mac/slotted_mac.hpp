@@ -1,0 +1,93 @@
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "rim/mac/medium.hpp"
+#include "rim/sim/rng.hpp"
+
+/// \file slotted_mac.hpp
+/// A slotted-ALOHA-style MAC running over a Medium.
+///
+/// Every node keeps a FIFO of pending frames (each addressed to a topology
+/// neighbor). In each slot a backlogged node transmits the head frame with
+/// probability p; undelivered frames stay queued and are retried. This is
+/// deliberately the simplest contention MAC — enough to expose the causal
+/// chain the paper's introduction argues: higher receiver-side interference
+/// => more collisions => more retransmissions => more energy.
+
+namespace rim::mac {
+
+struct Frame {
+  NodeId src = kInvalidNode;
+  NodeId dst = kInvalidNode;
+  double enqueued_at = 0.0;  ///< slot index at generation time
+};
+
+struct MacStats {
+  std::uint64_t offered = 0;          ///< frames generated
+  std::uint64_t delivered = 0;        ///< frames received at destination
+  std::uint64_t transmissions = 0;    ///< slots x transmitting nodes
+  std::uint64_t collisions = 0;       ///< transmissions not received
+  std::uint64_t dropped = 0;          ///< frames discarded (retry cap)
+  double energy = 0.0;                ///< sum of r_u^alpha per transmission
+  double total_delay_slots = 0.0;     ///< summed delivery delay
+  std::uint64_t backlog = 0;          ///< frames still queued at the end
+
+  [[nodiscard]] double delivery_ratio() const {
+    return offered == 0 ? 1.0 : static_cast<double>(delivered) /
+                                    static_cast<double>(offered);
+  }
+  [[nodiscard]] double mean_delay() const {
+    return delivered == 0 ? 0.0 : total_delay_slots /
+                                      static_cast<double>(delivered);
+  }
+  [[nodiscard]] double transmissions_per_delivery() const {
+    return delivered == 0 ? 0.0 : static_cast<double>(transmissions) /
+                                      static_cast<double>(delivered);
+  }
+  [[nodiscard]] double energy_per_delivery() const {
+    return delivered == 0 ? 0.0 : energy / static_cast<double>(delivered);
+  }
+};
+
+class SlottedMac {
+ public:
+  struct Params {
+    double transmit_probability = 0.25;  ///< p of slotted ALOHA
+    double path_loss_alpha = 2.0;        ///< energy exponent
+    std::uint32_t max_retries = 64;      ///< per-frame retry cap before drop
+  };
+
+  SlottedMac(const Medium& medium, Params params, std::uint64_t seed);
+
+  /// Enqueue a frame at src destined for dst (a topology neighbor).
+  void offer(Frame frame);
+
+  /// Simulate one slot at time \p slot_index.
+  void step(double slot_index);
+
+  [[nodiscard]] const MacStats& stats() const { return stats_; }
+
+  /// Number of nodes with at least one queued frame.
+  [[nodiscard]] std::size_t backlogged_nodes() const;
+
+  /// Fold remaining queue lengths into stats().backlog (call once, at end).
+  void finalize();
+
+ private:
+  struct Queued {
+    Frame frame;
+    std::uint32_t attempts = 0;
+  };
+
+  const Medium& medium_;
+  Params params_;
+  sim::Rng rng_;
+  std::vector<std::deque<Queued>> queues_;
+  std::vector<std::uint8_t> transmitting_;  // scratch per slot
+  MacStats stats_;
+};
+
+}  // namespace rim::mac

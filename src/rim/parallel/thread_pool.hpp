@@ -1,0 +1,56 @@
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+/// \file thread_pool.hpp
+/// A small fixed-size worker pool.
+///
+/// Per the HPC guides: parallelism is explicit — callers decide what runs in
+/// parallel; the pool only executes. RAII owns the workers: destruction
+/// drains the queue and joins every thread, so no thread ever outlives the
+/// pool object.
+
+namespace rim::parallel {
+
+class ThreadPool {
+ public:
+  /// Start \p thread_count workers (hardware concurrency when 0).
+  explicit ThreadPool(std::size_t thread_count = 0);
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Waits for all pending work, then joins.
+  ~ThreadPool();
+
+  [[nodiscard]] std::size_t thread_count() const { return workers_.size(); }
+
+  /// Enqueue a task. Tasks must not throw (the pool std::terminates on
+  /// escaping exceptions, matching the no-exceptions-in-kernels policy).
+  void submit(std::function<void()> task);
+
+  /// Block until every submitted task has finished.
+  void wait_idle();
+
+  /// Process-wide shared pool (lazily constructed, sized to the hardware).
+  static ThreadPool& shared();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable work_available_;
+  std::condition_variable idle_;
+  std::size_t in_flight_ = 0;
+  bool stopping_ = false;
+};
+
+}  // namespace rim::parallel

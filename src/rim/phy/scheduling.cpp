@@ -1,0 +1,115 @@
+#include "rim/phy/scheduling.hpp"
+
+#include <algorithm>
+
+#include "rim/core/radii.hpp"
+#include "rim/mac/medium.hpp"
+
+namespace rim::phy {
+
+std::size_t Schedule::scheduled_links() const {
+  std::size_t count = 0;
+  for (const auto& slot : slots) count += slot.size();
+  return count;
+}
+
+namespace {
+
+/// Disk-model conflict between directed links a.u->a.v and b.u->b.v.
+bool disk_conflict(graph::Edge a, graph::Edge b, const mac::Medium& medium) {
+  // Shared endpoint: a radio cannot do two things per slot.
+  if (a.u == b.u || a.u == b.v || a.v == b.u || a.v == b.v) return true;
+  // Cross coverage: b's transmitter disturbs a's receiver or vice versa.
+  return medium.covers(b.u, a.v) || medium.covers(a.u, b.v);
+}
+
+}  // namespace
+
+Schedule schedule_links_disk(const graph::Graph& topology,
+                             std::span<const geom::Vec2> points) {
+  const mac::Medium medium(topology, points);
+  Schedule schedule;
+  for (graph::Edge e : topology.edges()) {
+    bool placed = false;
+    for (auto& slot : schedule.slots) {
+      bool conflict = false;
+      for (graph::Edge other : slot) {
+        if (disk_conflict(e, other, medium)) {
+          conflict = true;
+          break;
+        }
+      }
+      if (!conflict) {
+        slot.push_back(e);
+        placed = true;
+        break;
+      }
+    }
+    if (!placed) schedule.slots.push_back({e});
+  }
+  return schedule;
+}
+
+Schedule schedule_links_sinr(const graph::Graph& topology,
+                             std::span<const geom::Vec2> points,
+                             SinrParams params) {
+  const SinrModel model(topology, points, params);
+  Schedule schedule;
+  std::vector<std::uint8_t> transmitting(points.size(), 0);
+
+  for (graph::Edge e : topology.edges()) {
+    bool placed = false;
+    for (auto& slot : schedule.slots) {
+      // Tentatively activate this slot's transmitters plus e.u.
+      std::fill(transmitting.begin(), transmitting.end(), 0);
+      bool endpoint_clash = false;
+      for (graph::Edge other : slot) {
+        transmitting[other.u] = 1;
+        if (other.u == e.u || other.u == e.v || other.v == e.u ||
+            other.v == e.v) {
+          endpoint_clash = true;
+        }
+      }
+      if (endpoint_clash) continue;
+      transmitting[e.u] = 1;
+      bool feasible = model.link_feasible(e.u, e.v, transmitting);
+      for (graph::Edge other : slot) {
+        if (!feasible) break;
+        feasible = model.link_feasible(other.u, other.v, transmitting);
+      }
+      if (feasible) {
+        slot.push_back(e);
+        placed = true;
+        break;
+      }
+    }
+    if (!placed) schedule.slots.push_back({e});
+  }
+  return schedule;
+}
+
+bool schedule_valid_disk(const Schedule& schedule, const graph::Graph& topology,
+                         std::span<const geom::Vec2> points) {
+  // Exactly the edge set, once each.
+  std::vector<graph::Edge> scheduled;
+  for (const auto& slot : schedule.slots) {
+    scheduled.insert(scheduled.end(), slot.begin(), slot.end());
+  }
+  std::vector<graph::Edge> expected(topology.edges().begin(),
+                                    topology.edges().end());
+  std::sort(scheduled.begin(), scheduled.end());
+  std::sort(expected.begin(), expected.end());
+  if (scheduled != expected) return false;
+
+  const mac::Medium medium(topology, points);
+  for (const auto& slot : schedule.slots) {
+    for (std::size_t i = 0; i < slot.size(); ++i) {
+      for (std::size_t j = i + 1; j < slot.size(); ++j) {
+        if (disk_conflict(slot[i], slot[j], medium)) return false;
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace rim::phy

@@ -1,0 +1,52 @@
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "rim/geom/vec2.hpp"
+#include "rim/graph/graph.hpp"
+#include "rim/phy/sinr.hpp"
+
+/// \file scheduling.hpp
+/// One-shot link scheduling: partition a topology's links into the minimum
+/// number of conflict-free slots (greedily), under either the paper's disk
+/// model or the physical SINR model.
+///
+/// The resulting frame length is the congestion notion of Meyer auf de
+/// Heide et al. (SPAA 2002), the paper's reference [11]: a topology where
+/// every node suffers interference I needs Ω(I)-ish slots to activate all
+/// its links, so frame length is the throughput-side shadow of the paper's
+/// measure — experiment E16 quantifies the correlation.
+
+namespace rim::phy {
+
+struct Schedule {
+  /// slots[k] holds the links (directed e.u -> e.v) fired in slot k.
+  std::vector<std::vector<graph::Edge>> slots;
+
+  [[nodiscard]] std::size_t length() const { return slots.size(); }
+  [[nodiscard]] std::size_t scheduled_links() const;
+};
+
+/// Disk-model conflicts: two links conflict when they share an endpoint or
+/// when one transmitter's disk (farthest-neighbor radius) covers the other
+/// link's receiver. Greedy first-fit over edges in canonical order.
+[[nodiscard]] Schedule schedule_links_disk(const graph::Graph& topology,
+                                           std::span<const geom::Vec2> points);
+
+/// SINR-model scheduling: greedily pack links into a slot while every
+/// member link of the slot still decodes (cumulative interference checked
+/// exactly). Links that cannot decode even alone are given solo slots, so
+/// every link is scheduled.
+[[nodiscard]] Schedule schedule_links_sinr(const graph::Graph& topology,
+                                           std::span<const geom::Vec2> points,
+                                           SinrParams params = {});
+
+/// Validity check for tests: every topology edge appears exactly once and
+/// every slot is conflict-free under the respective model.
+[[nodiscard]] bool schedule_valid_disk(const Schedule& schedule,
+                                       const graph::Graph& topology,
+                                       std::span<const geom::Vec2> points);
+
+}  // namespace rim::phy

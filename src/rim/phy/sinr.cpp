@@ -1,0 +1,57 @@
+#include "rim/phy/sinr.hpp"
+
+#include <cassert>
+#include <cmath>
+
+#include "rim/core/radii.hpp"
+
+namespace rim::phy {
+
+namespace {
+
+constexpr double kMinDistance = 1e-9;  // clamp for coincident nodes
+
+double path_gain(geom::Vec2 a, geom::Vec2 b, double alpha) {
+  const double d = std::max(geom::dist(a, b), kMinDistance);
+  return std::pow(d, -alpha);
+}
+
+}  // namespace
+
+SinrModel::SinrModel(const graph::Graph& topology,
+                     std::span<const geom::Vec2> points, SinrParams params)
+    : points_(points), params_(params), powers_(points.size(), 0.0) {
+  const std::vector<double> radii = core::transmission_radii(topology, points);
+  for (NodeId u = 0; u < points.size(); ++u) {
+    if (radii[u] <= 0.0) continue;
+    // Noise-only decoding at distance r needs P >= beta * noise * r^alpha;
+    // the margin keeps isolated links feasible under light interference.
+    powers_[u] = params_.beta * params_.noise * params_.margin *
+                 std::pow(std::max(radii[u], kMinDistance), params_.alpha);
+  }
+}
+
+double SinrModel::received_power(NodeId u, NodeId v) const {
+  return powers_[u] * path_gain(points_[u], points_[v], params_.alpha);
+}
+
+double SinrModel::sinr(NodeId u, NodeId v,
+                       std::span<const std::uint8_t> transmitting) const {
+  assert(transmitting.size() == powers_.size());
+  assert(u != v);
+  double interference = 0.0;
+  for (NodeId w = 0; w < powers_.size(); ++w) {
+    if (w == u || !transmitting[w] || powers_[w] <= 0.0) continue;
+    interference += received_power(w, v);
+  }
+  return received_power(u, v) / (params_.noise + interference);
+}
+
+bool SinrModel::link_feasible(NodeId u, NodeId v,
+                              std::span<const std::uint8_t> transmitting) const {
+  if (!transmitting[u]) return false;
+  if (transmitting[v]) return false;  // half duplex
+  return sinr(u, v, transmitting) >= params_.beta;
+}
+
+}  // namespace rim::phy

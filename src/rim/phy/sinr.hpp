@@ -1,0 +1,67 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "rim/geom/vec2.hpp"
+#include "rim/graph/graph.hpp"
+
+/// \file sinr.hpp
+/// The physical (SINR) interference model, as a reality-check substrate for
+/// the paper's protocol-model measure.
+///
+/// The paper defines interference combinatorially (disks). Later literature
+/// (Moscibroda et al.) argues the physical model is the ground truth: node
+/// u transmitting with power P_u is decoded at v iff
+///
+///   SINR = (P_u / d(u,v)^alpha) / (noise + Σ_{w != u} P_w / d(w,v)^alpha)
+///        >= beta.
+///
+/// Here every node's power is set exactly as the paper's model prescribes —
+/// just enough to reach its farthest topology neighbor with margin:
+/// P_u = beta * noise * margin * r_u^alpha. Experiment E16 then measures
+/// how well the disk-based measure predicts SINR-feasible concurrency.
+
+namespace rim::phy {
+
+struct SinrParams {
+  double alpha = 3.0;    ///< path-loss exponent
+  double beta = 2.0;     ///< decoding threshold
+  double noise = 1e-4;   ///< ambient noise power
+  double margin = 2.0;   ///< link budget margin over the noise-only minimum
+};
+
+class SinrModel {
+ public:
+  /// Build from a topology: per-node powers derive from the transmission
+  /// radii (farthest-neighbor rule). Nodes without neighbors get power 0.
+  SinrModel(const graph::Graph& topology, std::span<const geom::Vec2> points,
+            SinrParams params = {});
+
+  [[nodiscard]] std::size_t node_count() const { return powers_.size(); }
+  [[nodiscard]] const SinrParams& params() const { return params_; }
+  [[nodiscard]] double power(NodeId u) const { return powers_[u]; }
+
+  /// Received signal power of u's transmission at position of v
+  /// (coincident nodes clamp the distance to a small epsilon).
+  [[nodiscard]] double received_power(NodeId u, NodeId v) const;
+
+  /// SINR of link u -> v under concurrent transmitter flags (u must be
+  /// transmitting; v's own transmission is NOT excluded — half duplex is
+  /// the scheduler's concern).
+  [[nodiscard]] double sinr(NodeId u, NodeId v,
+                            std::span<const std::uint8_t> transmitting) const;
+
+  /// Whether u -> v decodes under the given transmitter set: transmitting,
+  /// half-duplex respected, SINR >= beta.
+  [[nodiscard]] bool link_feasible(NodeId u, NodeId v,
+                                   std::span<const std::uint8_t> transmitting) const;
+
+ private:
+  std::span<const geom::Vec2> points_;
+  SinrParams params_;
+  std::vector<double> powers_;
+};
+
+}  // namespace rim::phy

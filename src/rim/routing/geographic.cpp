@@ -1,0 +1,194 @@
+#include "rim/routing/geographic.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <limits>
+#include <numbers>
+#include <set>
+
+#include "rim/graph/connectivity.hpp"
+#include "rim/sim/rng.hpp"
+
+namespace rim::routing {
+
+namespace {
+
+/// Greedy next hop: the neighbor strictly closer to target than u, closest
+/// first; kInvalidNode at a local minimum.
+NodeId greedy_next(std::span<const geom::Vec2> points, const graph::Graph& g,
+                   NodeId u, NodeId target) {
+  const double here = geom::dist2(points[u], points[target]);
+  NodeId best = kInvalidNode;
+  double best_d2 = here;
+  for (NodeId v : g.neighbors(u)) {
+    const double d2 = geom::dist2(points[v], points[target]);
+    if (d2 < best_d2 || (d2 == best_d2 && best != kInvalidNode && v < best)) {
+      best_d2 = d2;
+      best = v;
+    }
+  }
+  return best_d2 < here ? best : kInvalidNode;
+}
+
+/// Counterclockwise angle from direction `ref` to direction `dir`,
+/// in (0, 2π].
+double ccw_angle(geom::Vec2 ref, geom::Vec2 dir) {
+  const double a = std::atan2(dir.y, dir.x) - std::atan2(ref.y, ref.x);
+  double wrapped = std::fmod(a, 2.0 * std::numbers::pi);
+  if (wrapped <= 0.0) wrapped += 2.0 * std::numbers::pi;
+  return wrapped;
+}
+
+/// Right-hand rule: the neighbor whose direction is first counterclockwise
+/// from the reference direction.
+NodeId rhr_next(std::span<const geom::Vec2> points, const graph::Graph& g,
+                NodeId u, geom::Vec2 ref) {
+  NodeId best = kInvalidNode;
+  double best_angle = std::numeric_limits<double>::infinity();
+  for (NodeId v : g.neighbors(u)) {
+    const geom::Vec2 dir = points[v] - points[u];
+    if (dir.x == 0.0 && dir.y == 0.0) continue;
+    const double angle = ccw_angle(ref, dir);
+    if (angle < best_angle || (angle == best_angle && v < best)) {
+      best_angle = angle;
+      best = v;
+    }
+  }
+  return best;
+}
+
+std::size_t default_budget(const graph::Graph& g, std::size_t max_hops) {
+  // A perimeter traversal can visit every directed edge once.
+  return max_hops != 0 ? max_hops : 4 * g.edge_count() + g.node_count() + 16;
+}
+
+}  // namespace
+
+RouteResult greedy_route(std::span<const geom::Vec2> points,
+                         const graph::Graph& topology, NodeId source,
+                         NodeId target, std::size_t max_hops) {
+  assert(source < points.size() && target < points.size());
+  RouteResult result;
+  result.path.push_back(source);
+  const std::size_t budget = default_budget(topology, max_hops);
+  NodeId u = source;
+  while (u != target && result.path.size() <= budget) {
+    const NodeId next = greedy_next(points, topology, u, target);
+    if (next == kInvalidNode) {
+      result.stuck_at = u;
+      return result;
+    }
+    result.path.push_back(next);
+    ++result.greedy_hops;
+    u = next;
+  }
+  result.delivered = u == target;
+  return result;
+}
+
+RouteResult gfg_route(std::span<const geom::Vec2> points,
+                      const graph::Graph& topology, NodeId source, NodeId target,
+                      std::size_t max_hops) {
+  assert(source < points.size() && target < points.size());
+  RouteResult result;
+  result.path.push_back(source);
+  const std::size_t budget = default_budget(topology, max_hops);
+
+  NodeId u = source;
+  bool perimeter = false;
+  double entry_d2 = 0.0;   // distance² to target where perimeter mode began
+  NodeId prev = kInvalidNode;
+  // First directed perimeter edge of the current recovery phase, for loop
+  // detection: traversing it twice means the target is unreachable.
+  std::pair<NodeId, NodeId> first_edge{kInvalidNode, kInvalidNode};
+  bool first_edge_armed = false;
+
+  while (u != target) {
+    if (result.path.size() > budget) return result;  // budget exhausted
+    if (!perimeter) {
+      const NodeId next = greedy_next(points, topology, u, target);
+      if (next != kInvalidNode) {
+        result.path.push_back(next);
+        ++result.greedy_hops;
+        u = next;
+        continue;
+      }
+      // Local minimum: enter perimeter mode (GPSR: first edge
+      // counterclockwise about u from the line (u, target)).
+      result.stuck_at = result.stuck_at == kInvalidNode ? u : result.stuck_at;
+      perimeter = true;
+      entry_d2 = geom::dist2(points[u], points[target]);
+      const NodeId next_p =
+          rhr_next(points, topology, u, points[target] - points[u]);
+      if (next_p == kInvalidNode) return result;  // isolated node
+      first_edge = {u, next_p};
+      first_edge_armed = false;  // arm after leaving it once
+      prev = u;
+      result.path.push_back(next_p);
+      ++result.perimeter_hops;
+      u = next_p;
+      continue;
+    }
+    // Perimeter mode: return to greedy on progress past the entry point.
+    if (geom::dist2(points[u], points[target]) < entry_d2) {
+      perimeter = false;
+      prev = kInvalidNode;
+      continue;
+    }
+    const NodeId next =
+        rhr_next(points, topology, u, points[prev] - points[u]);
+    if (next == kInvalidNode) return result;
+    if (first_edge_armed && std::pair{u, next} == first_edge) {
+      return result;  // full face loop without progress: unreachable
+    }
+    first_edge_armed = true;
+    prev = u;
+    result.path.push_back(next);
+    ++result.perimeter_hops;
+    u = next;
+  }
+  result.delivered = true;
+  return result;
+}
+
+RoutingReport evaluate_routing(std::span<const geom::Vec2> points,
+                               const graph::Graph& topology, std::size_t pairs,
+                               std::uint64_t seed) {
+  RoutingReport report;
+  if (points.size() < 2) return report;
+  const auto labels = graph::component_labels(topology);
+  sim::Rng rng(seed);
+  double hop_stretch_sum = 0.0;
+  double euclid_stretch_sum = 0.0;
+  std::size_t delivered = 0;
+  for (std::size_t trial = 0; trial < pairs; ++trial) {
+    const NodeId s = static_cast<NodeId>(rng.next_below(points.size()));
+    NodeId t = static_cast<NodeId>(rng.next_below(points.size()));
+    if (s == t || labels[s] != labels[t]) continue;  // skip unconnected draws
+    ++report.attempted;
+    const RouteResult r = gfg_route(points, topology, s, t);
+    if (!r.delivered) continue;
+    ++delivered;
+    const auto hops = graph::bfs_hops(topology, s);
+    hop_stretch_sum += static_cast<double>(r.hops()) /
+                       static_cast<double>(std::max<std::uint32_t>(hops[t], 1));
+    double length = 0.0;
+    for (std::size_t i = 1; i < r.path.size(); ++i) {
+      length += geom::dist(points[r.path[i - 1]], points[r.path[i]]);
+    }
+    const double straight = geom::dist(points[s], points[t]);
+    euclid_stretch_sum += straight > 0.0 ? length / straight : 1.0;
+  }
+  if (report.attempted > 0) {
+    report.success_rate = static_cast<double>(delivered) /
+                          static_cast<double>(report.attempted);
+  }
+  if (delivered > 0) {
+    report.mean_hop_stretch = hop_stretch_sum / static_cast<double>(delivered);
+    report.mean_euclid_stretch =
+        euclid_stretch_sum / static_cast<double>(delivered);
+  }
+  return report;
+}
+
+}  // namespace rim::routing

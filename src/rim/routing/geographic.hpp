@@ -1,0 +1,62 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "rim/geom/vec2.hpp"
+#include "rim/graph/graph.hpp"
+
+/// \file geographic.hpp
+/// Geographic (position-based) routing over a topology: greedy forwarding
+/// and GPSR-style greedy+perimeter recovery (Karp & Kung, MOBICOM 2000;
+/// Bose et al., DIALM 1999 — both cited by the paper's related work).
+///
+/// Role in the library: topology control trades interference against path
+/// quality; these routers measure that trade on the actual forwarding
+/// plane. Perimeter recovery requires a planar topology (use the Gabriel
+/// graph or the RNG).
+
+namespace rim::routing {
+
+struct RouteResult {
+  bool delivered = false;
+  std::vector<NodeId> path;        ///< visited nodes, starting at the source
+  std::size_t greedy_hops = 0;
+  std::size_t perimeter_hops = 0;
+  NodeId stuck_at = kInvalidNode;  ///< local minimum (greedy failure), if any
+
+  [[nodiscard]] std::size_t hops() const {
+    return path.empty() ? 0 : path.size() - 1;
+  }
+};
+
+/// Pure greedy forwarding: each hop moves to the neighbor strictly closest
+/// to the destination; fails at a local minimum (a void).
+[[nodiscard]] RouteResult greedy_route(std::span<const geom::Vec2> points,
+                                       const graph::Graph& topology, NodeId source,
+                                       NodeId target, std::size_t max_hops = 0);
+
+/// GPSR-style greedy forwarding with right-hand-rule perimeter recovery on
+/// a planar \p topology. Returns to greedy as soon as a node closer to the
+/// target than the recovery entry point is reached; detects perimeter
+/// loops (undeliverable) and hop-budget exhaustion.
+[[nodiscard]] RouteResult gfg_route(std::span<const geom::Vec2> points,
+                                    const graph::Graph& topology, NodeId source,
+                                    NodeId target, std::size_t max_hops = 0);
+
+/// Aggregate routing quality over sampled source/target pairs.
+struct RoutingReport {
+  double success_rate = 0.0;        ///< delivered / attempted
+  double mean_hop_stretch = 0.0;    ///< hops / BFS-optimal hops, delivered pairs
+  double mean_euclid_stretch = 0.0; ///< path length / straight-line distance
+  std::size_t attempted = 0;
+};
+
+/// Route \p pairs random connected pairs with gfg_route and summarise.
+[[nodiscard]] RoutingReport evaluate_routing(std::span<const geom::Vec2> points,
+                                             const graph::Graph& topology,
+                                             std::size_t pairs,
+                                             std::uint64_t seed);
+
+}  // namespace rim::routing

@@ -1,0 +1,95 @@
+#include "rim/sim/adversarial.hpp"
+
+#include <cassert>
+#include <cmath>
+
+#include "rim/geom/aabb.hpp"
+#include "rim/sim/rng.hpp"
+
+namespace rim::sim {
+
+geom::PointSet figure1_instance(std::size_t n, std::uint64_t seed,
+                                double cluster_side) {
+  assert(n >= 2);
+  Rng rng(seed);
+  geom::PointSet points;
+  points.reserve(n);
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    points.push_back(
+        {rng.uniform(0.0, cluster_side), rng.uniform(0.0, cluster_side)});
+  }
+  // The outlier: reachable (distance < 1) from the cluster's right edge but
+  // far relative to the cluster diameter.
+  points.push_back({cluster_side + 0.95, cluster_side * 0.5});
+  return points;
+}
+
+TwoChainInstance two_exponential_chains(std::size_t m) {
+  assert(m >= 3 && m <= 512);
+  // Raw (unscaled) construction; eps keeps the strict inequalities of the
+  // paper's figure and f places t_i on the segment v_{i-1}v_i near v_{i-1}
+  // (f = 0.1 keeps |h_i t_i| > |h_i v_i|, verified below).
+  constexpr double kEps = 1e-3;
+  constexpr double kF = 0.1;
+
+  TwoChainInstance instance;
+  auto& points = instance.points;
+
+  // Horizontal chain h_0 .. h_{m-1} at x = 2^i - 1.
+  std::vector<geom::Vec2> h_pos(m);
+  for (std::size_t i = 0; i < m; ++i) {
+    h_pos[i] = {std::exp2(static_cast<double>(i)) - 1.0, 0.0};
+  }
+  // Diagonal chain: v_i above h_i at distance d_i = (1 + eps) * 2^(i-1),
+  // i = 1 .. m-1 ("a little more than h_i's distance to its left neighbor").
+  std::vector<geom::Vec2> v_pos(m);
+  for (std::size_t i = 1; i < m; ++i) {
+    const double d = (1.0 + kEps) * std::exp2(static_cast<double>(i) - 1.0);
+    v_pos[i] = {h_pos[i].x, d};
+  }
+  // Helpers: t_i on segment v_{i-1} v_i, i = 2 .. m-1.
+  std::vector<geom::Vec2> t_pos(m);
+  for (std::size_t i = 2; i < m; ++i) {
+    t_pos[i] = v_pos[i - 1] + kF * (v_pos[i] - v_pos[i - 1]);
+    assert(geom::dist(h_pos[i], t_pos[i]) > geom::dist(h_pos[i], v_pos[i]));
+  }
+
+  instance.h.resize(m);
+  instance.v.assign(m, kInvalidNode);
+  instance.t.assign(m, kInvalidNode);
+  for (std::size_t i = 0; i < m; ++i) {
+    instance.h[i] = static_cast<NodeId>(points.size());
+    points.push_back(h_pos[i]);
+  }
+  for (std::size_t i = 1; i < m; ++i) {
+    instance.v[i] = static_cast<NodeId>(points.size());
+    points.push_back(v_pos[i]);
+  }
+  for (std::size_t i = 2; i < m; ++i) {
+    instance.t[i] = static_cast<NodeId>(points.size());
+    points.push_back(t_pos[i]);
+  }
+
+  // Scale so the diameter fits inside the unit transmission range; bounding
+  // box diagonal upper-bounds the diameter.
+  const geom::Aabb box = geom::bounding_box(points);
+  const double diagonal = std::hypot(box.width(), box.height());
+  // Tiny slack keeps the scaled diameter strictly under 1 despite rounding.
+  const double scale = (1.0 - 1e-9) / diagonal;
+  for (geom::Vec2& p : points) p = (p - box.lo) * scale;
+  return instance;
+}
+
+graph::Graph TwoChainInstance::low_interference_tree() const {
+  const std::size_t m = h.size();
+  graph::Graph tree(points.size());
+  tree.add_edge(h[0], h[1]);
+  for (std::size_t i = 1; i < m; ++i) tree.add_edge(h[i], v[i]);
+  for (std::size_t i = 2; i < m; ++i) {
+    tree.add_edge(v[i - 1], t[i]);
+    tree.add_edge(t[i], v[i]);
+  }
+  return tree;
+}
+
+}  // namespace rim::sim

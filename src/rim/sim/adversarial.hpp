@@ -1,0 +1,51 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "rim/geom/vec2.hpp"
+#include "rim/graph/graph.hpp"
+
+/// \file adversarial.hpp
+/// The paper's hand-crafted instances: the Figure 1 cluster-plus-outlier
+/// network and the Figure 3 two-exponential-chains construction behind
+/// Theorem 4.1.
+
+namespace rim::sim {
+
+/// Figure 1: n-1 nodes roughly homogeneously placed in a small cluster
+/// (uniform in a square of side \p cluster_side) plus one outlier at
+/// distance just under the unit transmission radius from the cluster's
+/// right edge. Any connectivity-preserving topology must bridge to the
+/// outlier with a link covering the whole cluster — which explodes the
+/// sender-centric measure but adds only O(1) receiver-centric interference.
+/// The outlier is the last node id.
+[[nodiscard]] geom::PointSet figure1_instance(std::size_t n, std::uint64_t seed,
+                                              double cluster_side = 0.05);
+
+/// The Theorem 4.1 instance (Figures 3-5).
+struct TwoChainInstance {
+  geom::PointSet points;
+  std::vector<NodeId> h;  ///< horizontal exponential chain, left to right
+  std::vector<NodeId> v;  ///< diagonal chain; v[i] pairs with h[i] (i >= 1)
+  std::vector<NodeId> t;  ///< helper nodes; t[i] between v[i-1] and v[i] (i >= 2)
+
+  /// The Figure-5-style low-interference spanning tree: h_i hangs off v_i,
+  /// the v-chain is threaded through the helper nodes t_i, and h_0 attaches
+  /// to h_1. Constant interference regardless of size (asserted by tests).
+  [[nodiscard]] graph::Graph low_interference_tree() const;
+};
+
+/// Build the instance with \p m >= 3 horizontal nodes (total n = 3m - 3
+/// nodes), scaled so the whole point set has diameter <= 1 (complete UDG).
+///
+/// Geometry per Section 4: gap h_i -> h_{i+1} is (scaled) 2^i; v_i sits
+/// above h_i at distance d_i slightly larger than 2^{i-1}; t_i lies on the
+/// segment v_{i-1} v_i close to v_{i-1}, far enough from h_i that
+/// |h_i t_i| > |h_i v_i|. Under these constraints the Nearest Neighbor
+/// Forest wires the horizontal chain linearly, so every h_i covers all
+/// nodes to its left and the leftmost node suffers interference >= m - 2.
+[[nodiscard]] TwoChainInstance two_exponential_chains(std::size_t m);
+
+}  // namespace rim::sim

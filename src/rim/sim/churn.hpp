@@ -1,0 +1,51 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "rim/geom/vec2.hpp"
+#include "rim/topology/topology_algorithm.hpp"
+
+/// \file churn.hpp
+/// Dynamic churn traces: nodes arrive and depart over time, the topology is
+/// recomputed after every event, and both interference measures are
+/// recorded. This turns the paper's static robustness argument (Section 1,
+/// Figure 1) into a longitudinal experiment: the receiver-centric measure
+/// moves smoothly under churn while the sender-centric one spikes.
+
+namespace rim::sim {
+
+struct ChurnConfig {
+  std::size_t initial_nodes = 50;
+  std::size_t events = 100;
+  double add_probability = 0.5;  ///< P(arrival); otherwise a departure
+  double side = 2.0;             ///< deployment square side
+  std::uint64_t seed = 1;
+  double radius = 1.0;           ///< UDG radius
+  /// Fraction of arrivals placed as Figure-1-style outliers: just inside
+  /// UDG reach to the deployment's right edge, forcing a bridge link.
+  double outlier_probability = 0.0;
+};
+
+struct ChurnStep {
+  bool added = false;            ///< arrival (true) or departure
+  std::size_t node_count = 0;    ///< network size after the event
+  std::uint32_t receiver_max = 0;
+  std::uint32_t sender_max = 0;
+};
+
+struct ChurnTrace {
+  std::vector<ChurnStep> steps;
+
+  /// Largest one-event increase of the respective measure.
+  [[nodiscard]] std::uint32_t max_receiver_jump() const;
+  [[nodiscard]] std::uint32_t max_sender_jump() const;
+};
+
+/// Run a churn trace, recomputing the topology with \p builder (any entry
+/// of the registry) after every event. Departures never empty the network
+/// below 2 nodes.
+[[nodiscard]] ChurnTrace run_churn(const ChurnConfig& config,
+                                   const topology::Builder& builder);
+
+}  // namespace rim::sim

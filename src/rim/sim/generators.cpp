@@ -1,0 +1,79 @@
+#include "rim/sim/generators.hpp"
+
+#include <cassert>
+#include <vector>
+
+#include "rim/sim/rng.hpp"
+
+namespace rim::sim {
+
+geom::PointSet uniform_square(std::size_t n, double side, std::uint64_t seed) {
+  Rng rng(seed);
+  geom::PointSet points;
+  points.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    points.push_back({rng.uniform(0.0, side), rng.uniform(0.0, side)});
+  }
+  return points;
+}
+
+geom::PointSet gaussian_clusters(std::size_t n, std::size_t clusters, double side,
+                                 double stddev, std::uint64_t seed) {
+  assert(clusters >= 1);
+  Rng rng(seed);
+  std::vector<geom::Vec2> centers;
+  centers.reserve(clusters);
+  for (std::size_t c = 0; c < clusters; ++c) {
+    centers.push_back({rng.uniform(0.0, side), rng.uniform(0.0, side)});
+  }
+  geom::PointSet points;
+  points.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const geom::Vec2 center = centers[rng.next_below(clusters)];
+    points.push_back({center.x + stddev * rng.next_gaussian(),
+                      center.y + stddev * rng.next_gaussian()});
+  }
+  return points;
+}
+
+highway::HighwayInstance uniform_highway(std::size_t n, double length,
+                                         std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> xs;
+  xs.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) xs.push_back(rng.uniform(0.0, length));
+  return highway::HighwayInstance::from_positions(std::move(xs));
+}
+
+highway::HighwayInstance perturbed_exponential_chain(std::size_t n, double jitter,
+                                                     std::uint64_t seed, double span) {
+  assert(n >= 2 && jitter >= 0.0 && jitter < 1.0);
+  Rng rng(seed);
+  std::vector<double> xs(n, 0.0);
+  double gap = 1.0;
+  for (std::size_t i = 1; i < n; ++i) {
+    xs[i] = xs[i - 1] + gap * rng.uniform(1.0 - jitter, 1.0 + jitter);
+    gap *= 2.0;
+  }
+  const double scale = span / xs.back();
+  for (double& x : xs) x *= scale;
+  return highway::HighwayInstance::from_positions(std::move(xs));
+}
+
+highway::HighwayInstance blocked_highway(std::size_t blocks, std::size_t per_block,
+                                         double block_width, double stride,
+                                         std::uint64_t seed) {
+  assert(stride >= block_width);
+  Rng rng(seed);
+  std::vector<double> xs;
+  xs.reserve(blocks * per_block);
+  for (std::size_t b = 0; b < blocks; ++b) {
+    const double left = static_cast<double>(b) * stride;
+    for (std::size_t i = 0; i < per_block; ++i) {
+      xs.push_back(left + rng.uniform(0.0, block_width));
+    }
+  }
+  return highway::HighwayInstance::from_positions(std::move(xs));
+}
+
+}  // namespace rim::sim

@@ -1,0 +1,46 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "rim/geom/vec2.hpp"
+#include "rim/highway/highway_instance.hpp"
+
+/// \file generators.hpp
+/// Random deployment generators. Every generator is a pure function of its
+/// parameters plus a 64-bit seed, so experiment tables are reproducible.
+
+namespace rim::sim {
+
+/// n nodes i.i.d. uniform in the square [0, side] x [0, side].
+[[nodiscard]] geom::PointSet uniform_square(std::size_t n, double side,
+                                            std::uint64_t seed);
+
+/// n nodes in \p clusters Gaussian clusters: centers uniform in the square,
+/// points N(center, stddev^2 I). Models the inhomogeneous deployments where
+/// sender-centric interference misbehaves.
+[[nodiscard]] geom::PointSet gaussian_clusters(std::size_t n, std::size_t clusters,
+                                               double side, double stddev,
+                                               std::uint64_t seed);
+
+/// Uniform highway: n nodes i.i.d. uniform on [0, length].
+[[nodiscard]] highway::HighwayInstance uniform_highway(std::size_t n, double length,
+                                                       std::uint64_t seed);
+
+/// Perturbed exponential chain: the Section 5.1 instance with every gap
+/// multiplied by a uniform factor in [1-jitter, 1+jitter], then renormalised
+/// to the given span. jitter in [0, 1).
+[[nodiscard]] highway::HighwayInstance perturbed_exponential_chain(
+    std::size_t n, double jitter, std::uint64_t seed, double span = 1.0);
+
+/// A highway made of \p blocks dense blocks (each `per_block` nodes uniform
+/// in a sub-interval of width `block_width`) whose left edges are `stride`
+/// apart. Produces instances with large Δ but small γ when blocks are
+/// uniform — exercising A_apx's linear branch at scale.
+[[nodiscard]] highway::HighwayInstance blocked_highway(std::size_t blocks,
+                                                       std::size_t per_block,
+                                                       double block_width,
+                                                       double stride,
+                                                       std::uint64_t seed);
+
+}  // namespace rim::sim

@@ -1,0 +1,40 @@
+#pragma once
+
+#include <cstdint>
+
+/// \file rng.hpp
+/// Deterministic PRNG for experiment reproducibility.
+///
+/// A self-contained xoshiro256** implementation seeded via SplitMix64 —
+/// unlike std::mt19937 + std::uniform_real_distribution, its output is
+/// specified bit-for-bit, so tables regenerate identically across standard
+/// libraries and platforms.
+
+namespace rim::sim {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed);
+
+  /// Next 64 uniformly random bits.
+  std::uint64_t next_u64();
+
+  /// Uniform double in [0, 1).
+  double next_double();
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Uniform integer in [0, bound) (bound > 0), bias-free.
+  std::uint64_t next_below(std::uint64_t bound);
+
+  /// Standard normal (Box–Muller; one value per call, spare cached).
+  double next_gaussian();
+
+ private:
+  std::uint64_t s_[4];
+  double spare_ = 0.0;
+  bool has_spare_ = false;
+};
+
+}  // namespace rim::sim

@@ -1,0 +1,53 @@
+#include "rim/topology/cbtc.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <vector>
+
+namespace rim::topology {
+
+namespace {
+
+/// Largest angular gap (radians) between consecutive directions in the
+/// sorted list; 2π for an empty list, 2π for a single direction.
+double max_angular_gap(std::vector<double>& angles) {
+  if (angles.empty()) return 2.0 * std::numbers::pi;
+  std::sort(angles.begin(), angles.end());
+  double gap = angles.front() + 2.0 * std::numbers::pi - angles.back();
+  for (std::size_t i = 1; i < angles.size(); ++i) {
+    gap = std::max(gap, angles[i] - angles[i - 1]);
+  }
+  return gap;
+}
+
+}  // namespace
+
+graph::Graph cbtc(std::span<const geom::Vec2> points, const graph::Graph& udg,
+                  double alpha) {
+  graph::Graph out(points.size());
+  std::vector<NodeId> order;
+  std::vector<double> angles;
+  for (NodeId u = 0; u < points.size(); ++u) {
+    const auto neighbors = udg.neighbors(u);
+    order.assign(neighbors.begin(), neighbors.end());
+    // Grow the neighbor set nearest-first — the discrete analogue of
+    // increasing transmission power.
+    std::sort(order.begin(), order.end(), [&](NodeId a, NodeId b) {
+      const double da = geom::dist2(points[u], points[a]);
+      const double db = geom::dist2(points[u], points[b]);
+      return da < db || (da == db && a < b);
+    });
+    angles.clear();
+    for (NodeId v : order) {
+      const geom::Vec2 d = points[v] - points[u];
+      out.add_edge(u, v);  // union symmetrization: either side suffices
+      angles.push_back(std::atan2(d.y, d.x));
+      std::vector<double> scratch = angles;
+      if (max_angular_gap(scratch) <= alpha) break;  // every cone is covered
+    }
+  }
+  return out;
+}
+
+}  // namespace rim::topology

@@ -1,0 +1,26 @@
+#pragma once
+
+#include <span>
+
+#include "rim/geom/vec2.hpp"
+#include "rim/graph/graph.hpp"
+
+/// \file cbtc.hpp
+/// CBTC — Cone-Based Topology Control (Wattenhofer, Li, Bahl, Wang,
+/// INFOCOM 2001), the algorithm the paper credits with initiating the
+/// second wave of topology control.
+///
+/// Each node grows its transmission power (here: its neighbor set, nearest
+/// first) until every cone of opening angle alpha around it contains a
+/// reached neighbor, or its maximum power (the UDG neighborhood) is
+/// exhausted. For alpha <= 2π/3 the union-symmetrized result preserves
+/// connectivity of the UDG.
+
+namespace rim::topology {
+
+/// Basic CBTC with cone angle \p alpha (radians, default 2π/3).
+[[nodiscard]] graph::Graph cbtc(std::span<const geom::Vec2> points,
+                                const graph::Graph& udg,
+                                double alpha = 2.0943951023931953 /* 2π/3 */);
+
+}  // namespace rim::topology

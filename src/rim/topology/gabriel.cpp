@@ -1,0 +1,31 @@
+#include "rim/topology/gabriel.hpp"
+
+#include "rim/geom/disk.hpp"
+#include "rim/geom/grid_index.hpp"
+
+namespace rim::topology {
+
+graph::Graph gabriel_graph(std::span<const geom::Vec2> points,
+                           const graph::Graph& udg) {
+  graph::Graph out(points.size());
+  if (points.empty()) return out;
+  // Witnesses for edge {u,v} lie within |uv|/2 of the midpoint; query the
+  // grid rather than scanning all nodes.
+  const geom::GridIndex index(points, 0.25);
+  for (graph::Edge e : udg.edges()) {
+    const geom::Vec2 mid = geom::midpoint(points[e.u], points[e.v]);
+    const double r2 = geom::dist2(points[e.u], points[e.v]) * 0.25;
+    bool blocked = false;
+    index.for_each_in_disk(mid, std::sqrt(r2), [&](NodeId w) {
+      if (w == e.u || w == e.v || blocked) return;
+      // Strictly inside the diametral disk blocks the edge; boundary nodes
+      // (e.g. right angles) do not, keeping the graph a Gabriel supergraph
+      // of the MST even under degenerate co-circular inputs.
+      if (geom::dist2(points[w], mid) < r2) blocked = true;
+    });
+    if (!blocked) out.add_edge(e.u, e.v);
+  }
+  return out;
+}
+
+}  // namespace rim::topology

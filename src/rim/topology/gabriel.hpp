@@ -1,0 +1,19 @@
+#pragma once
+
+#include <span>
+
+#include "rim/geom/vec2.hpp"
+#include "rim/graph/graph.hpp"
+
+/// \file gabriel.hpp
+/// Gabriel graph restricted to the UDG: edge {u,v} survives iff no third
+/// node lies strictly inside the disk with diameter uv. A planar,
+/// connectivity-preserving structure used by geographic routing (GPSR) and
+/// first-generation topology control.
+
+namespace rim::topology {
+
+[[nodiscard]] graph::Graph gabriel_graph(std::span<const geom::Vec2> points,
+                                         const graph::Graph& udg);
+
+}  // namespace rim::topology

@@ -1,0 +1,28 @@
+#include "rim/topology/knn.hpp"
+
+#include <algorithm>
+#include <vector>
+
+namespace rim::topology {
+
+graph::Graph knn_topology(std::span<const geom::Vec2> points,
+                          const graph::Graph& udg, std::size_t k) {
+  graph::Graph out(points.size());
+  std::vector<NodeId> order;
+  for (NodeId u = 0; u < points.size(); ++u) {
+    const auto neighbors = udg.neighbors(u);
+    order.assign(neighbors.begin(), neighbors.end());
+    const std::size_t keep = std::min(k, order.size());
+    std::partial_sort(order.begin(),
+                      order.begin() + static_cast<std::ptrdiff_t>(keep), order.end(),
+                      [&](NodeId a, NodeId b) {
+                        const double da = geom::dist2(points[u], points[a]);
+                        const double db = geom::dist2(points[u], points[b]);
+                        return da < db || (da == db && a < b);
+                      });
+    for (std::size_t i = 0; i < keep; ++i) out.add_edge(u, order[i]);
+  }
+  return out;
+}
+
+}  // namespace rim::topology

@@ -1,0 +1,20 @@
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+#include "rim/geom/vec2.hpp"
+#include "rim/graph/graph.hpp"
+
+/// \file knn.hpp
+/// k-nearest-neighbors topology: every node links to its k nearest UDG
+/// neighbors; an undirected edge appears when either endpoint selected it.
+/// A common strawman: it contains the NNF (k >= 1) and does not guarantee
+/// connectivity preservation.
+
+namespace rim::topology {
+
+[[nodiscard]] graph::Graph knn_topology(std::span<const geom::Vec2> points,
+                                        const graph::Graph& udg, std::size_t k = 3);
+
+}  // namespace rim::topology

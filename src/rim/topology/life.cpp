@@ -1,0 +1,16 @@
+#include "rim/topology/life.hpp"
+
+#include "rim/core/sender_centric.hpp"
+#include "rim/graph/mst.hpp"
+
+namespace rim::topology {
+
+graph::Graph life(std::span<const geom::Vec2> points, const graph::Graph& udg) {
+  // kruskal() breaks coverage ties by canonical edge order, so the
+  // construction is deterministic.
+  return graph::kruskal(udg, [points](graph::Edge e) {
+    return static_cast<double>(core::edge_coverage(points, e));
+  });
+}
+
+}  // namespace rim::topology

@@ -1,0 +1,23 @@
+#pragma once
+
+#include <span>
+
+#include "rim/geom/vec2.hpp"
+#include "rim/graph/graph.hpp"
+
+/// \file life.hpp
+/// LIFE — Low Interference Forest Establisher (Burkhart et al., MobiHoc
+/// 2004): Kruskal over the UDG edges ordered by *sender-centric edge
+/// coverage* instead of length. The result is a spanning forest minimizing
+/// the maximum edge coverage among all connectivity-preserving topologies
+/// (optimal in the MobiHoc'04 model). The paper cites this as the notable
+/// exception that does not necessarily contain the NNF — and then shows it
+/// still performs badly under the receiver-centric measure (Section 4),
+/// which experiment E9 demonstrates numerically.
+
+namespace rim::topology {
+
+[[nodiscard]] graph::Graph life(std::span<const geom::Vec2> points,
+                                const graph::Graph& udg);
+
+}  // namespace rim::topology

@@ -1,0 +1,69 @@
+#include "rim/topology/lise.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+#include <queue>
+#include <vector>
+
+#include "rim/core/sender_centric.hpp"
+
+namespace rim::topology {
+
+namespace {
+
+/// Dijkstra from s, pruned at distance > limit; returns dist(s, target)
+/// or +inf. Cheaper than a full shortest-path run because the frontier
+/// stops expanding past the budget.
+double bounded_distance(const graph::Graph& g, std::span<const geom::Vec2> points,
+                        NodeId s, NodeId target, double limit) {
+  std::vector<double> dist(g.node_count(), std::numeric_limits<double>::infinity());
+  using Entry = std::pair<double, NodeId>;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
+  dist[s] = 0.0;
+  heap.emplace(0.0, s);
+  while (!heap.empty()) {
+    const auto [d, u] = heap.top();
+    heap.pop();
+    if (d > dist[u]) continue;
+    if (u == target) return d;
+    for (NodeId v : g.neighbors(u)) {
+      const double nd = d + geom::dist(points[u], points[v]);
+      if (nd <= limit && nd < dist[v]) {
+        dist[v] = nd;
+        heap.emplace(nd, v);
+      }
+    }
+  }
+  return dist[target];
+}
+
+}  // namespace
+
+graph::Graph lise(std::span<const geom::Vec2> points, const graph::Graph& udg,
+                  double t) {
+  assert(t >= 1.0);
+  const std::span<const graph::Edge> edges = udg.edges();
+  std::vector<std::uint32_t> coverage;
+  coverage.reserve(edges.size());
+  for (graph::Edge e : edges) coverage.push_back(core::edge_coverage(points, e));
+
+  std::vector<std::size_t> order(edges.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    if (coverage[a] != coverage[b]) return coverage[a] < coverage[b];
+    return edges[a] < edges[b];
+  });
+
+  graph::Graph out(points.size());
+  for (std::size_t i : order) {
+    const graph::Edge e = edges[i];
+    const double budget = t * geom::dist(points[e.u], points[e.v]);
+    if (bounded_distance(out, points, e.u, e.v, budget) > budget) {
+      out.add_edge(e.u, e.v);
+    }
+  }
+  return out;
+}
+
+}  // namespace rim::topology

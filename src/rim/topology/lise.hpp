@@ -1,0 +1,22 @@
+#pragma once
+
+#include <span>
+
+#include "rim/geom/vec2.hpp"
+#include "rim/graph/graph.hpp"
+
+/// \file lise.hpp
+/// LISE — Low Interference Spanner Establisher (Burkhart et al., MobiHoc
+/// 2004): process UDG edges in increasing sender-centric coverage order and
+/// add an edge only when the topology built so far does not yet contain a
+/// path of length <= t * |uv| between its endpoints. The output is a
+/// t-spanner of the UDG whose maximum edge coverage is minimal among
+/// t-spanners in their model.
+
+namespace rim::topology {
+
+/// \p t >= 1 is the Euclidean stretch bound.
+[[nodiscard]] graph::Graph lise(std::span<const geom::Vec2> points,
+                                const graph::Graph& udg, double t = 2.0);
+
+}  // namespace rim::topology

@@ -1,0 +1,89 @@
+#include "rim/topology/lmst.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <tuple>
+#include <vector>
+
+namespace rim::topology {
+
+namespace {
+
+using Weight = std::tuple<double, NodeId, NodeId>;
+
+Weight edge_weight(std::span<const geom::Vec2> points, NodeId a, NodeId b) {
+  if (a > b) std::swap(a, b);
+  return {geom::dist2(points[a], points[b]), a, b};
+}
+
+constexpr Weight kInfiniteWeight{std::numeric_limits<double>::infinity(),
+                                 kInvalidNode, kInvalidNode};
+
+}  // namespace
+
+graph::Graph lmst(std::span<const geom::Vec2> points, const graph::Graph& udg) {
+  const std::size_t n = points.size();
+  // selects[u] = sorted partners u keeps from its local MST.
+  std::vector<std::vector<NodeId>> selects(n);
+
+  std::vector<NodeId> local;          // u's closed neighborhood
+  std::vector<bool> in_tree;          // Prim state, indexed into `local`
+  std::vector<Weight> best;           // best connection weight per local node
+  std::vector<std::size_t> best_from; // local index the best edge comes from
+
+  for (NodeId u = 0; u < n; ++u) {
+    local.assign(1, u);
+    for (NodeId v : udg.neighbors(u)) local.push_back(v);
+    const std::size_t m = local.size();
+    if (m == 1) continue;
+
+    // Prim over the *visible* graph: nodes of `local`, edges of the UDG
+    // restricted to them (two neighbors of u are adjacent locally only when
+    // they are UDG neighbors of each other).
+    in_tree.assign(m, false);
+    best.assign(m, kInfiniteWeight);
+    best_from.assign(m, 0);
+    in_tree[0] = true;  // start at u itself
+    for (std::size_t j = 1; j < m; ++j) {
+      best[j] = edge_weight(points, u, local[j]);
+      best_from[j] = 0;
+    }
+    for (std::size_t step = 1; step < m; ++step) {
+      std::size_t pick = m;
+      for (std::size_t j = 0; j < m; ++j) {
+        if (!in_tree[j] && (pick == m || best[j] < best[pick])) pick = j;
+      }
+      if (pick == m || best[pick] == kInfiniteWeight) break;  // local graph split
+      in_tree[pick] = true;
+      // Record edges incident to u only.
+      if (best_from[pick] == 0) {
+        selects[u].push_back(local[pick]);
+      } else if (local[pick] == u) {
+        selects[u].push_back(local[best_from[pick]]);
+      }
+      for (std::size_t j = 0; j < m; ++j) {
+        if (in_tree[j]) continue;
+        if (!udg.has_edge(local[pick], local[j])) continue;
+        const Weight w = edge_weight(points, local[pick], local[j]);
+        if (w < best[j]) {
+          best[j] = w;
+          best_from[j] = pick;
+        }
+      }
+    }
+    std::sort(selects[u].begin(), selects[u].end());
+  }
+
+  graph::Graph out(n);
+  for (NodeId u = 0; u < n; ++u) {
+    for (NodeId v : selects[u]) {
+      if (v < u) continue;  // handle each pair once, from the smaller side
+      if (std::binary_search(selects[v].begin(), selects[v].end(), u)) {
+        out.add_edge(u, v);
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace rim::topology

@@ -1,0 +1,23 @@
+#pragma once
+
+#include <span>
+
+#include "rim/geom/vec2.hpp"
+#include "rim/graph/graph.hpp"
+
+/// \file lmst.hpp
+/// LMST (Li, Hou, Sha, INFOCOM 2003): each node u builds the minimum
+/// spanning tree of its closed 1-hop neighborhood and keeps the tree edges
+/// incident to itself; the final topology keeps an edge only when both
+/// endpoints selected it (the symmetric "LMST-" variant), which preserves
+/// connectivity and bounds degree by 6.
+///
+/// Edge weights use (distance, smaller id, larger id) lexicographically so
+/// the local MSTs are unique and mutually consistent.
+
+namespace rim::topology {
+
+[[nodiscard]] graph::Graph lmst(std::span<const geom::Vec2> points,
+                                const graph::Graph& udg);
+
+}  // namespace rim::topology

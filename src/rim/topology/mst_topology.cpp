@@ -1,0 +1,13 @@
+#include "rim/topology/mst_topology.hpp"
+
+#include "rim/graph/mst.hpp"
+
+namespace rim::topology {
+
+graph::Graph mst_topology(std::span<const geom::Vec2> points,
+                          const graph::Graph& udg) {
+  // Deterministic tie-breaking lives inside kruskal (edge order fallback).
+  return graph::euclidean_mst(udg, points);
+}
+
+}  // namespace rim::topology

@@ -1,0 +1,19 @@
+#pragma once
+
+#include <span>
+
+#include "rim/geom/vec2.hpp"
+#include "rim/graph/graph.hpp"
+
+/// \file mst_topology.hpp
+/// GMST topology control: the Euclidean minimum spanning forest of the UDG.
+/// The classic minimum-power connectivity-preserving construction (Li, Hou,
+/// Sha INFOCOM'03 build a localized variant, LMST; this is the global one).
+/// Note the Euclidean MST contains the NNF, so Theorem 4.1 applies to it.
+
+namespace rim::topology {
+
+[[nodiscard]] graph::Graph mst_topology(std::span<const geom::Vec2> points,
+                                        const graph::Graph& udg);
+
+}  // namespace rim::topology

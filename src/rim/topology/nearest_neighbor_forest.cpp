@@ -1,0 +1,25 @@
+#include "rim/topology/nearest_neighbor_forest.hpp"
+
+#include <limits>
+
+namespace rim::topology {
+
+graph::Graph nearest_neighbor_forest(std::span<const geom::Vec2> points,
+                                     const graph::Graph& udg) {
+  graph::Graph out(points.size());
+  for (NodeId u = 0; u < points.size(); ++u) {
+    NodeId best = kInvalidNode;
+    double best_d2 = std::numeric_limits<double>::infinity();
+    for (NodeId v : udg.neighbors(u)) {
+      const double d2 = geom::dist2(points[u], points[v]);
+      if (d2 < best_d2 || (d2 == best_d2 && v < best)) {
+        best_d2 = d2;
+        best = v;
+      }
+    }
+    if (best != kInvalidNode) out.add_edge(u, best);
+  }
+  return out;
+}
+
+}  // namespace rim::topology

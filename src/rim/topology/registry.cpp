@@ -1,0 +1,84 @@
+#include "rim/topology/registry.hpp"
+
+#include "rim/ext2d/grid_hub.hpp"
+#include "rim/geom/delaunay.hpp"
+#include "rim/topology/cbtc.hpp"
+#include "rim/topology/gabriel.hpp"
+#include "rim/topology/knn.hpp"
+#include "rim/topology/life.hpp"
+#include "rim/topology/lise.hpp"
+#include "rim/topology/lmst.hpp"
+#include "rim/topology/mst_topology.hpp"
+#include "rim/topology/nearest_neighbor_forest.hpp"
+#include "rim/topology/rng_graph.hpp"
+#include "rim/topology/xtc.hpp"
+#include "rim/topology/yao.hpp"
+
+namespace rim::topology {
+
+namespace {
+
+std::vector<NamedAlgorithm> make_registry() {
+  using geom::Vec2;
+  using graph::Graph;
+  std::vector<NamedAlgorithm> algorithms;
+  algorithms.push_back({"nnf", nearest_neighbor_forest,
+                        /*preserves_connectivity=*/false, /*contains_nnf=*/true});
+  algorithms.push_back({"mst", mst_topology, true, true});
+  algorithms.push_back({"gabriel", gabriel_graph, true, true});
+  algorithms.push_back({"rng", relative_neighborhood_graph, true, true});
+  algorithms.push_back({"yao6",
+                        [](std::span<const Vec2> p, const Graph& g) {
+                          return yao_graph(p, g, 6, Symmetrization::kUnion);
+                        },
+                        true, true});
+  algorithms.push_back({"xtc", xtc, true, true});
+  algorithms.push_back({"lmst", lmst, true, true});
+  algorithms.push_back({"life", life,
+                        /*preserves_connectivity=*/true,
+                        /*contains_nnf=*/false});
+  algorithms.push_back({"lise2",
+                        [](std::span<const Vec2> p, const Graph& g) {
+                          return lise(p, g, 2.0);
+                        },
+                        true, /*contains_nnf=*/false});
+  algorithms.push_back({"knn3",
+                        [](std::span<const Vec2> p, const Graph& g) {
+                          return knn_topology(p, g, 3);
+                        },
+                        /*preserves_connectivity=*/false, true});
+  algorithms.push_back({"cbtc", [](std::span<const Vec2> p, const Graph& g) {
+                          return cbtc(p, g);
+                        },
+                        true, true});
+  // Unit Delaunay contains Gabriel(UDG) and every nearest-neighbor link.
+  algorithms.push_back({"udel",
+                        [](std::span<const Vec2> p, const Graph& g) {
+                          (void)g;
+                          return geom::unit_delaunay(p, 1.0);
+                        },
+                        true, true});
+  // The 2-D lift of A_gen (paper Section 6 future work; experiment E13).
+  algorithms.push_back({"hub2d",
+                        [](std::span<const Vec2> p, const Graph& g) {
+                          return ext2d::grid_hub_2d(p, g).topology;
+                        },
+                        true, /*contains_nnf=*/false});
+  return algorithms;
+}
+
+}  // namespace
+
+std::span<const NamedAlgorithm> all_algorithms() {
+  static const std::vector<NamedAlgorithm> registry = make_registry();
+  return registry;
+}
+
+const NamedAlgorithm* find_algorithm(std::string_view name) {
+  for (const NamedAlgorithm& a : all_algorithms()) {
+    if (a.name == name) return &a;
+  }
+  return nullptr;
+}
+
+}  // namespace rim::topology

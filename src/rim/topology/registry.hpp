@@ -1,0 +1,21 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "rim/topology/topology_algorithm.hpp"
+
+/// \file registry.hpp
+/// Catalogue of every topology-control algorithm in the library, for
+/// surveys (experiment E9) and the example applications.
+
+namespace rim::topology {
+
+/// All algorithms, in presentation order. The list is constructed once;
+/// the reference stays valid for the process lifetime.
+[[nodiscard]] std::span<const NamedAlgorithm> all_algorithms();
+
+/// Lookup by name; nullptr when unknown.
+[[nodiscard]] const NamedAlgorithm* find_algorithm(std::string_view name);
+
+}  // namespace rim::topology

@@ -1,0 +1,32 @@
+#include "rim/topology/rng_graph.hpp"
+
+#include <cmath>
+
+#include "rim/geom/grid_index.hpp"
+
+namespace rim::topology {
+
+graph::Graph relative_neighborhood_graph(std::span<const geom::Vec2> points,
+                                         const graph::Graph& udg) {
+  graph::Graph out(points.size());
+  if (points.empty()) return out;
+  const geom::GridIndex index(points, 0.25);
+  for (graph::Edge e : udg.edges()) {
+    const geom::Vec2 pu = points[e.u];
+    const geom::Vec2 pv = points[e.v];
+    const double d2 = geom::dist2(pu, pv);
+    const double d = std::sqrt(d2);
+    bool blocked = false;
+    // The lune is contained in the disk of radius d around the midpoint.
+    index.for_each_in_disk(geom::midpoint(pu, pv), d, [&](NodeId w) {
+      if (w == e.u || w == e.v || blocked) return;
+      if (geom::dist2(points[w], pu) < d2 && geom::dist2(points[w], pv) < d2) {
+        blocked = true;
+      }
+    });
+    if (!blocked) out.add_edge(e.u, e.v);
+  }
+  return out;
+}
+
+}  // namespace rim::topology

@@ -1,0 +1,19 @@
+#pragma once
+
+#include <span>
+
+#include "rim/geom/vec2.hpp"
+#include "rim/graph/graph.hpp"
+
+/// \file rng_graph.hpp
+/// Relative Neighborhood Graph restricted to the UDG: edge {u,v} survives
+/// iff no third node w is strictly closer to both endpoints than they are to
+/// each other (the "lune" is empty). Subgraph of the Gabriel graph,
+/// supergraph of the Euclidean MST — hence connectivity-preserving.
+
+namespace rim::topology {
+
+[[nodiscard]] graph::Graph relative_neighborhood_graph(
+    std::span<const geom::Vec2> points, const graph::Graph& udg);
+
+}  // namespace rim::topology

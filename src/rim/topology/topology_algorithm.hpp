@@ -1,0 +1,36 @@
+#pragma once
+
+#include <functional>
+#include <span>
+#include <string>
+
+#include "rim/geom/vec2.hpp"
+#include "rim/graph/graph.hpp"
+
+/// \file topology_algorithm.hpp
+/// Common shape of every topology-control algorithm in the library.
+///
+/// An algorithm maps the input communication graph — a UDG over positioned
+/// nodes — to a spanning subgraph with only symmetric links (the paper's
+/// Section 3 restriction). All algorithms here are deterministic functions
+/// of (points, udg).
+
+namespace rim::topology {
+
+/// Builder signature shared by the whole zoo.
+using Builder = std::function<graph::Graph(std::span<const geom::Vec2>,
+                                           const graph::Graph&)>;
+
+/// A named algorithm, as listed by the registry (registry.hpp).
+struct NamedAlgorithm {
+  std::string name;
+  Builder build;
+  /// Whether the construction is guaranteed to preserve the connectivity of
+  /// the input graph (NNF and kNN are not).
+  bool preserves_connectivity = true;
+  /// Whether the output contains the Nearest Neighbor Forest as a subgraph —
+  /// the structural property Theorem 4.1 exploits.
+  bool contains_nnf = true;
+};
+
+}  // namespace rim::topology

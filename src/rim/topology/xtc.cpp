@@ -1,0 +1,38 @@
+#include "rim/topology/xtc.hpp"
+
+#include <utility>
+
+namespace rim::topology {
+
+namespace {
+
+/// XTC link-quality order seen from x: smaller is better. Total order via
+/// the id tie-break, as the protocol requires.
+std::pair<double, NodeId> rank(std::span<const geom::Vec2> points, NodeId x,
+                               NodeId other) {
+  return {geom::dist2(points[x], points[other]), other};
+}
+
+}  // namespace
+
+graph::Graph xtc(std::span<const geom::Vec2> points, const graph::Graph& udg) {
+  graph::Graph out(points.size());
+  for (graph::Edge e : udg.edges()) {
+    // Drop {u,v} iff some common neighbor w beats v from u's view and beats
+    // u from v's view. The condition is symmetric, so one check suffices.
+    bool dropped = false;
+    for (NodeId w : udg.neighbors(e.u)) {
+      if (w == e.v) continue;
+      if (!udg.has_edge(w, e.v)) continue;  // w must be heard by both
+      if (rank(points, e.u, w) < rank(points, e.u, e.v) &&
+          rank(points, e.v, w) < rank(points, e.v, e.u)) {
+        dropped = true;
+        break;
+      }
+    }
+    if (!dropped) out.add_edge(e.u, e.v);
+  }
+  return out;
+}
+
+}  // namespace rim::topology

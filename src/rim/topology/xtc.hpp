@@ -1,0 +1,20 @@
+#pragma once
+
+#include <span>
+
+#include "rim/geom/vec2.hpp"
+#include "rim/graph/graph.hpp"
+
+/// \file xtc.hpp
+/// XTC (Wattenhofer & Zollinger, WMAN 2004): each node ranks its UDG
+/// neighbors by link quality — here Euclidean distance with node-id
+/// tie-break — and drops the link to v when some w is ranked better than v
+/// by u *and* better than u by v. With Euclidean distances the result is a
+/// connected (per UDG component) subgraph of the RNG with degree <= 6.
+
+namespace rim::topology {
+
+[[nodiscard]] graph::Graph xtc(std::span<const geom::Vec2> points,
+                               const graph::Graph& udg);
+
+}  // namespace rim::topology

@@ -1,0 +1,66 @@
+#include "rim/topology/yao.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <limits>
+#include <numbers>
+#include <vector>
+
+namespace rim::topology {
+
+namespace {
+
+/// Cone index of direction d (non-zero) among k cones anchored at angle 0.
+std::size_t cone_of(geom::Vec2 d, std::size_t k) {
+  double angle = std::atan2(d.y, d.x);  // (-pi, pi]
+  if (angle < 0.0) angle += 2.0 * std::numbers::pi;
+  auto cone = static_cast<std::size_t>(angle / (2.0 * std::numbers::pi) *
+                                       static_cast<double>(k));
+  return cone >= k ? k - 1 : cone;  // guard the angle == 2*pi rounding edge
+}
+
+}  // namespace
+
+graph::Graph yao_graph(std::span<const geom::Vec2> points, const graph::Graph& udg,
+                       std::size_t k, Symmetrization sym) {
+  assert(k >= 1);
+  const std::size_t n = points.size();
+  // selected[u] holds u's chosen partner per cone.
+  std::vector<std::vector<NodeId>> selected(n, std::vector<NodeId>(k, kInvalidNode));
+  std::vector<std::vector<double>> best_d2(
+      n, std::vector<double>(k, std::numeric_limits<double>::infinity()));
+
+  for (NodeId u = 0; u < n; ++u) {
+    for (NodeId v : udg.neighbors(u)) {
+      const geom::Vec2 d = points[v] - points[u];
+      if (d.x == 0.0 && d.y == 0.0) continue;  // coincident points: skip
+      const std::size_t c = cone_of(d, k);
+      const double d2 = geom::norm2(d);
+      if (d2 < best_d2[u][c] || (d2 == best_d2[u][c] && v < selected[u][c])) {
+        best_d2[u][c] = d2;
+        selected[u][c] = v;
+      }
+    }
+  }
+
+  graph::Graph out(n);
+  for (NodeId u = 0; u < n; ++u) {
+    for (std::size_t c = 0; c < k; ++c) {
+      const NodeId v = selected[u][c];
+      if (v == kInvalidNode) continue;
+      if (sym == Symmetrization::kUnion) {
+        out.add_edge(u, v);
+      } else {
+        // Intersection: v must have selected u in some cone of its own.
+        bool mutual = false;
+        for (std::size_t c2 = 0; c2 < k && !mutual; ++c2) {
+          mutual = selected[v][c2] == u;
+        }
+        if (mutual) out.add_edge(u, v);
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace rim::topology

@@ -1,0 +1,29 @@
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+#include "rim/geom/vec2.hpp"
+#include "rim/graph/graph.hpp"
+
+/// \file yao.hpp
+/// Yao graph on the UDG: each node partitions the plane into k equal cones
+/// (anchored at angle 0) and keeps a link to its nearest UDG neighbor in
+/// each cone. The native construction is directed; we expose both
+/// symmetrisations used in the literature.
+
+namespace rim::topology {
+
+enum class Symmetrization {
+  kUnion,         ///< undirected edge when either endpoint selected it (Yao)
+  kIntersection,  ///< only when both selected it (Yao ∩, sparser, may disconnect)
+};
+
+/// Yao graph with k >= 1 cones. For k >= 6 and kUnion the result preserves
+/// UDG connectivity (each cone's nearest neighbor is closer than the cone's
+/// far side). Ties break toward the smaller node id.
+[[nodiscard]] graph::Graph yao_graph(std::span<const geom::Vec2> points,
+                                     const graph::Graph& udg, std::size_t k = 6,
+                                     Symmetrization sym = Symmetrization::kUnion);
+
+}  // namespace rim::topology

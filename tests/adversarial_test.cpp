@@ -1,0 +1,122 @@
+#include <gtest/gtest.h>
+
+#include "rim/core/interference.hpp"
+#include "rim/core/sender_centric.hpp"
+#include "rim/graph/connectivity.hpp"
+#include "rim/graph/udg.hpp"
+#include "rim/sim/adversarial.hpp"
+#include "rim/topology/mst_topology.hpp"
+#include "rim/topology/nearest_neighbor_forest.hpp"
+
+namespace rim::sim {
+namespace {
+
+TEST(Figure1, InstanceShape) {
+  const auto points = figure1_instance(50, 3);
+  ASSERT_EQ(points.size(), 50u);
+  // Cluster is tiny; outlier is the last point, within UDG reach.
+  const graph::Graph udg = graph::build_udg(points, 1.0);
+  EXPECT_TRUE(graph::is_connected(udg));
+  EXPECT_GE(points.back().x, 0.9);
+}
+
+TEST(Figure1, BridgeEdgeCoverageIsOrderN) {
+  for (std::size_t n : {20u, 50u, 100u}) {
+    const auto points = figure1_instance(n, 4);
+    const graph::Graph udg = graph::build_udg(points, 1.0);
+    const graph::Graph mst = topology::mst_topology(points, udg);
+    const core::SenderCentricSummary s =
+        core::evaluate_sender_centric(mst, points);
+    EXPECT_GE(s.max, static_cast<std::uint32_t>(n) - 5) << "n=" << n;
+  }
+}
+
+TEST(Figure1, ReceiverCentricStaysModest) {
+  // Receiver-centric interference of the MST on the same instance stays far
+  // below n: only the bridge endpoints' two disks blanket the cluster.
+  const std::size_t n = 100;
+  const auto points = figure1_instance(n, 4);
+  const graph::Graph udg = graph::build_udg(points, 1.0);
+  const graph::Graph mst = topology::mst_topology(points, udg);
+  const core::InterferenceSummary cluster_only = [&] {
+    // Interference of the cluster without the outlier, as baseline.
+    geom::PointSet cluster(points.begin(), points.end() - 1);
+    const graph::Graph cluster_udg = graph::build_udg(cluster, 1.0);
+    const graph::Graph cluster_mst = topology::mst_topology(cluster, cluster_udg);
+    return core::evaluate_interference(cluster_mst, cluster);
+  }();
+  const core::InterferenceSummary with_outlier =
+      core::evaluate_interference(mst, points);
+  // Bridging adds at most two blanket disks.
+  EXPECT_LE(with_outlier.max, cluster_only.max + 2);
+}
+
+TEST(TwoChains, ConstructionInvariants) {
+  for (std::size_t m : {3u, 5u, 10u, 20u}) {
+    const TwoChainInstance inst = two_exponential_chains(m);
+    EXPECT_EQ(inst.points.size(), 3 * m - 3) << m;
+    EXPECT_EQ(inst.h.size(), m);
+    // Diameter <= 1: the UDG is complete.
+    const graph::Graph udg = graph::build_udg(inst.points, 1.0);
+    EXPECT_EQ(udg.edge_count(),
+              inst.points.size() * (inst.points.size() - 1) / 2)
+        << m;
+  }
+}
+
+TEST(TwoChains, NnfWiresHorizontalChainLinearly) {
+  const TwoChainInstance inst = two_exponential_chains(12);
+  const graph::Graph udg = graph::build_udg(inst.points, 1.0);
+  const graph::Graph nnf =
+      topology::nearest_neighbor_forest(inst.points, udg);
+  for (std::size_t i = 0; i + 1 < inst.h.size(); ++i) {
+    EXPECT_TRUE(nnf.has_edge(inst.h[i], inst.h[i + 1])) << "i=" << i;
+  }
+}
+
+TEST(TwoChains, Theorem41NnfInterferenceIsOrderN) {
+  // The leftmost horizontal node is covered by (at least) every other
+  // horizontal node: interference >= m - 2.
+  for (std::size_t m : {8u, 16u, 32u}) {
+    const TwoChainInstance inst = two_exponential_chains(m);
+    const graph::Graph udg = graph::build_udg(inst.points, 1.0);
+    const graph::Graph nnf =
+        topology::nearest_neighbor_forest(inst.points, udg);
+    const core::InterferenceSummary s =
+        core::evaluate_interference(nnf, inst.points);
+    EXPECT_GE(s.per_node[inst.h[0]], static_cast<std::uint32_t>(m) - 2) << m;
+  }
+}
+
+TEST(TwoChains, ExplicitTreeIsSpanningAndConstantInterference) {
+  std::uint32_t worst = 0;
+  for (std::size_t m : {5u, 10u, 20u, 40u, 80u}) {
+    const TwoChainInstance inst = two_exponential_chains(m);
+    const graph::Graph tree = inst.low_interference_tree();
+    EXPECT_TRUE(graph::is_connected(tree)) << m;
+    EXPECT_TRUE(graph::is_forest(tree)) << m;
+    const std::uint32_t interference =
+        core::graph_interference(tree, inst.points);
+    worst = std::max(worst, interference);
+  }
+  // "Optimal tree with constant interference" (Figure 5): the measured
+  // value must not grow with m. Constant observed: 3-4.
+  EXPECT_LE(worst, 5u);
+}
+
+TEST(TwoChains, GapBetweenNnfAndOptimalGrowsLinearly) {
+  const TwoChainInstance small = two_exponential_chains(8);
+  const TwoChainInstance large = two_exponential_chains(64);
+  const auto ratio = [](const TwoChainInstance& inst) {
+    const graph::Graph udg = graph::build_udg(inst.points, 1.0);
+    const double nnf = core::graph_interference(
+        topology::nearest_neighbor_forest(inst.points, udg), inst.points);
+    const double opt =
+        core::graph_interference(inst.low_interference_tree(), inst.points);
+    return nnf / opt;
+  };
+  EXPECT_GT(ratio(large), ratio(small) * 4.0);
+}
+
+}  // namespace
+}  // namespace rim::sim

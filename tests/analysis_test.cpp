@@ -1,0 +1,118 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "rim/analysis/experiment.hpp"
+#include "rim/analysis/fit.hpp"
+#include "rim/analysis/stats.hpp"
+
+#include <sstream>
+
+namespace rim::analysis {
+namespace {
+
+TEST(Stats, SummaryOfKnownSamples) {
+  const std::vector<double> samples{1.0, 2.0, 3.0, 4.0, 5.0};
+  const Summary s = summarize(samples);
+  EXPECT_EQ(s.count, 5u);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 5.0);
+  EXPECT_DOUBLE_EQ(s.mean, 3.0);
+  EXPECT_DOUBLE_EQ(s.median, 3.0);
+  EXPECT_NEAR(s.stddev, std::sqrt(2.5), 1e-12);
+}
+
+TEST(Stats, EmptyAndSingleton) {
+  EXPECT_EQ(summarize({}).count, 0u);
+  const Summary one = summarize(std::vector<double>{7.0});
+  EXPECT_DOUBLE_EQ(one.mean, 7.0);
+  EXPECT_DOUBLE_EQ(one.stddev, 0.0);
+  EXPECT_DOUBLE_EQ(one.median, 7.0);
+}
+
+TEST(Stats, QuantileInterpolates) {
+  const std::vector<double> samples{0.0, 10.0};
+  EXPECT_DOUBLE_EQ(quantile(samples, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(quantile(samples, 0.5), 5.0);
+  EXPECT_DOUBLE_EQ(quantile(samples, 1.0), 10.0);
+  EXPECT_DOUBLE_EQ(quantile(samples, 0.25), 2.5);
+}
+
+TEST(Stats, QuantileUnsortedInput) {
+  const std::vector<double> samples{5.0, 1.0, 3.0, 2.0, 4.0};
+  EXPECT_DOUBLE_EQ(quantile(samples, 0.5), 3.0);
+}
+
+TEST(Stats, PearsonPerfectCorrelation) {
+  const std::vector<double> xs{1, 2, 3, 4};
+  const std::vector<double> ys{2, 4, 6, 8};
+  EXPECT_NEAR(pearson(xs, ys), 1.0, 1e-12);
+  const std::vector<double> neg{8, 6, 4, 2};
+  EXPECT_NEAR(pearson(xs, neg), -1.0, 1e-12);
+}
+
+TEST(Stats, PearsonDegenerateSeries) {
+  const std::vector<double> xs{1, 1, 1};
+  const std::vector<double> ys{1, 2, 3};
+  EXPECT_DOUBLE_EQ(pearson(xs, ys), 0.0);
+}
+
+TEST(Fit, LinearRecovery) {
+  std::vector<double> xs;
+  std::vector<double> ys;
+  for (int i = 0; i < 20; ++i) {
+    xs.push_back(i);
+    ys.push_back(3.0 * i - 7.0);
+  }
+  const LinearFit fit = fit_linear(xs, ys);
+  EXPECT_NEAR(fit.slope, 3.0, 1e-12);
+  EXPECT_NEAR(fit.intercept, -7.0, 1e-10);
+  EXPECT_NEAR(fit.r_squared, 1.0, 1e-12);
+}
+
+TEST(Fit, LinearWithNoise) {
+  std::vector<double> xs;
+  std::vector<double> ys;
+  for (int i = 0; i < 100; ++i) {
+    xs.push_back(i);
+    ys.push_back(2.0 * i + ((i % 2 == 0) ? 0.5 : -0.5));
+  }
+  const LinearFit fit = fit_linear(xs, ys);
+  EXPECT_NEAR(fit.slope, 2.0, 0.01);
+  EXPECT_GT(fit.r_squared, 0.999);
+}
+
+TEST(Fit, PowerLawRecoversExponent) {
+  std::vector<double> xs;
+  std::vector<double> ys;
+  for (int i = 1; i <= 50; ++i) {
+    xs.push_back(i);
+    ys.push_back(4.0 * std::pow(static_cast<double>(i), 0.5));
+  }
+  const LinearFit fit = fit_power_law(xs, ys);
+  EXPECT_NEAR(fit.slope, 0.5, 1e-10);
+  EXPECT_NEAR(std::exp(fit.intercept), 4.0, 1e-9);
+}
+
+TEST(Fit, DegenerateInputs) {
+  const LinearFit empty = fit_linear({}, {});
+  EXPECT_DOUBLE_EQ(empty.slope, 0.0);
+  const std::vector<double> same_x{2.0, 2.0};
+  const std::vector<double> ys{1.0, 3.0};
+  EXPECT_DOUBLE_EQ(fit_linear(same_x, ys).slope, 0.0);
+}
+
+TEST(Experiment, BannerContainsMetadataAndBodyOutput) {
+  std::ostringstream out;
+  run_experiment({"E0", "Test experiment", "Figure 0", "nothing"}, out,
+                 [](std::ostream& os) { os << "BODY-MARKER\n"; });
+  const std::string text = out.str();
+  EXPECT_NE(text.find("[E0] Test experiment"), std::string::npos);
+  EXPECT_NE(text.find("Figure 0"), std::string::npos);
+  EXPECT_NE(text.find("BODY-MARKER"), std::string::npos);
+  EXPECT_NE(text.find("[E0] done in"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace rim::analysis

@@ -1,0 +1,109 @@
+#include <gtest/gtest.h>
+
+#include "rim/core/interference.hpp"
+#include "rim/graph/connectivity.hpp"
+#include "rim/graph/udg.hpp"
+#include "rim/highway/a_exp.hpp"
+#include "rim/highway/bounds.hpp"
+#include "rim/highway/exact_optimum.hpp"
+#include "rim/highway/highway_instance.hpp"
+#include "rim/sim/generators.hpp"
+
+namespace rim::highway {
+namespace {
+
+class BbMatchesEnumeration : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BbMatchesEnumeration, SameOptimumOnRandom2D) {
+  const auto points = sim::uniform_square(7, 1.1, GetParam());
+  const graph::Graph udg = graph::build_udg(points, 2.0);  // complete
+  const auto enumerated = exact_minimum_interference_tree(points, udg);
+  const auto bb = exact_minimum_interference_tree_bb(points, udg);
+  ASSERT_TRUE(enumerated.has_value());
+  ASSERT_TRUE(bb.has_value());
+  EXPECT_TRUE(bb->proven);
+  EXPECT_EQ(bb->interference, enumerated->interference);
+  EXPECT_TRUE(graph::is_connected(bb->tree));
+  EXPECT_TRUE(graph::is_forest(bb->tree));
+  EXPECT_EQ(core::graph_interference(bb->tree, points), bb->interference);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BbMatchesEnumeration,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u));
+
+class BbOnChains : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(BbOnChains, MatchesEnumerationUpToNine) {
+  const std::size_t n = GetParam();
+  const auto chain = exponential_chain(n);
+  const auto points = chain.to_points();
+  const auto enumerated =
+      exact_minimum_interference_tree(points, chain.udg(1.0));
+  const auto bb = exact_minimum_interference_tree_bb(points, chain.udg(1.0));
+  ASSERT_TRUE(bb.has_value());
+  EXPECT_TRUE(bb->proven);
+  EXPECT_EQ(bb->interference, enumerated->interference) << "n=" << n;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, BbOnChains,
+                         ::testing::Values(3u, 4u, 5u, 6u, 7u, 8u, 9u));
+
+TEST(BranchBound, ExtendsFrontierPastPrufer) {
+  // n = 11 chain: 11^9 ≈ 2.4e9 Prüfer trees, but B&B proves the optimum in
+  // a modest state count.
+  const auto chain = exponential_chain(11);
+  const auto points = chain.to_points();
+  const AExpResult aexp = a_exp(chain);
+  const auto bb = exact_minimum_interference_tree_bb(
+      points, chain.udg(1.0), 20'000'000, aexp.interference + 1);
+  ASSERT_TRUE(bb.has_value());
+  EXPECT_TRUE(bb->proven);
+  EXPECT_GE(bb->interference, exponential_chain_lower_bound(11));
+  EXPECT_LE(bb->interference, aexp.interference);
+}
+
+TEST(BranchBound, IncumbentPrimingPrunesHarder) {
+  const auto chain = exponential_chain(10);
+  const auto points = chain.to_points();
+  const auto cold = exact_minimum_interference_tree_bb(points, chain.udg(1.0));
+  const auto primed = exact_minimum_interference_tree_bb(
+      points, chain.udg(1.0), 20'000'000, a_exp(chain).interference + 1);
+  ASSERT_TRUE(cold.has_value() && primed.has_value());
+  EXPECT_EQ(cold->interference, primed->interference);
+  EXPECT_LE(primed->states_visited, cold->states_visited);
+}
+
+TEST(BranchBound, DisconnectedReturnsNullopt) {
+  const geom::PointSet points{{0, 0}, {9, 9}};
+  EXPECT_FALSE(exact_minimum_interference_tree_bb(
+                   points, graph::build_udg(points, 1.0))
+                   .has_value());
+}
+
+TEST(BranchBound, BudgetExhaustionReportsUnproven) {
+  const auto points = sim::uniform_square(12, 1.0, 9);
+  const graph::Graph udg = graph::build_udg(points, 2.0);
+  const auto bb = exact_minimum_interference_tree_bb(points, udg, /*max_states=*/50);
+  ASSERT_TRUE(bb.has_value());
+  EXPECT_FALSE(bb->proven);
+  // The fallback answer is still a valid spanning tree.
+  EXPECT_TRUE(graph::is_connected(bb->tree));
+}
+
+TEST(BranchBound, RespectsUdgRestriction) {
+  // Sparse UDG: the optimum must use only UDG edges.
+  const auto inst = sim::uniform_highway(9, 4.0, 12);
+  if (!inst.udg_connected(1.0)) GTEST_SKIP();
+  const auto points = inst.to_points();
+  const graph::Graph udg = inst.udg(1.0);
+  const auto bb = exact_minimum_interference_tree_bb(points, udg);
+  ASSERT_TRUE(bb.has_value());
+  for (graph::Edge e : bb->tree.edges()) {
+    EXPECT_TRUE(udg.has_edge(e.u, e.v));
+  }
+  const auto enumerated = exact_minimum_interference_tree(points, udg);
+  EXPECT_EQ(bb->interference, enumerated->interference);
+}
+
+}  // namespace
+}  // namespace rim::highway

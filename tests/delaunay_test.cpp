@@ -1,0 +1,150 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "rim/geom/convex_hull.hpp"
+#include "rim/geom/delaunay.hpp"
+#include "rim/graph/connectivity.hpp"
+#include "rim/graph/mst.hpp"
+#include "rim/graph/udg.hpp"
+#include "rim/sim/generators.hpp"
+#include "rim/topology/gabriel.hpp"
+
+namespace rim::geom {
+namespace {
+
+TEST(ConvexHull, Square) {
+  const PointSet points{{0, 0}, {1, 0}, {1, 1}, {0, 1}, {0.5, 0.5}};
+  const auto hull = convex_hull(points);
+  EXPECT_EQ(hull.size(), 4u);
+  // CCW from the lexicographic minimum (0,0).
+  EXPECT_EQ(hull[0], 0u);
+  EXPECT_EQ(std::set<NodeId>(hull.begin(), hull.end()),
+            (std::set<NodeId>{0, 1, 2, 3}));
+}
+
+TEST(ConvexHull, CollinearPointsReduceToExtremes) {
+  const PointSet points{{0, 0}, {1, 1}, {2, 2}, {3, 3}};
+  const auto hull = convex_hull(points);
+  ASSERT_EQ(hull.size(), 2u);
+  EXPECT_EQ(hull[0], 0u);
+  EXPECT_EQ(hull[1], 3u);
+}
+
+TEST(ConvexHull, DuplicatesAndTiny) {
+  EXPECT_EQ(convex_hull(PointSet{{1, 1}}).size(), 1u);
+  EXPECT_EQ(convex_hull(PointSet{{1, 1}, {1, 1}}).size(), 1u);
+  EXPECT_EQ(convex_hull(PointSet{}).size(), 0u);
+}
+
+TEST(ConvexHull, ContainsAllInputPoints) {
+  const auto points = sim::uniform_square(200, 3.0, 11);
+  const auto hull = convex_hull(points);
+  for (const Vec2& p : points) {
+    EXPECT_TRUE(hull_contains(points, hull, p));
+  }
+  EXPECT_FALSE(hull_contains(points, hull, {-1.0, -1.0}));
+  EXPECT_FALSE(hull_contains(points, hull, {4.0, 4.0}));
+}
+
+TEST(InCircumcircle, UnitCircleCases) {
+  const Vec2 a{1, 0};
+  const Vec2 b{0, 1};
+  const Vec2 c{-1, 0};  // CCW on the unit circle
+  EXPECT_TRUE(in_circumcircle(a, b, c, {0, 0}));
+  EXPECT_FALSE(in_circumcircle(a, b, c, {0, -1.0001}));
+  EXPECT_FALSE(in_circumcircle(a, b, c, {2, 0}));
+}
+
+class DelaunayProperties : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DelaunayProperties, EmptyCircumcircleProperty) {
+  const auto points = sim::uniform_square(60, 2.0, GetParam());
+  const Delaunay del(points);
+  ASSERT_FALSE(del.triangles().empty());
+  for (const Triangle& t : del.triangles()) {
+    for (NodeId w = 0; w < points.size(); ++w) {
+      if (w == t.v[0] || w == t.v[1] || w == t.v[2]) continue;
+      EXPECT_FALSE(in_circumcircle(points[t.v[0]], points[t.v[1]],
+                                   points[t.v[2]], points[w]))
+          << "point " << w << " inside circumcircle of triangle " << t.v[0]
+          << "," << t.v[1] << "," << t.v[2];
+    }
+  }
+}
+
+TEST_P(DelaunayProperties, SatisfiesEulerFormula) {
+  // V - E + F = 2 with F = triangles + outer face — exact for any planar
+  // triangulation regardless of collinear hull vertices (which make the
+  // classic 3n-3-h count off by the number of such vertices).
+  const auto points = sim::uniform_square(80, 2.0, GetParam() + 100);
+  const Delaunay del(points);
+  const std::size_t n = points.size();
+  EXPECT_EQ(del.edges().edge_count(), n + del.triangles().size() - 1);
+  // And h from the convex hull bounds the triangle count from both sides.
+  const std::size_t h = convex_hull(points).size();
+  EXPECT_LE(del.triangles().size(), 2 * n - 2 - h);
+  EXPECT_GE(del.triangles().size() + 2, 2 * n - 2 - h - n / 10);
+}
+
+TEST_P(DelaunayProperties, ContainsGabrielAndMst) {
+  const auto points = sim::uniform_square(70, 2.0, GetParam() + 200);
+  const Delaunay del(points);
+  // Euclidean MST of the complete graph is a Delaunay subgraph.
+  const graph::Graph mst = graph::euclidean_mst_complete(points);
+  for (graph::Edge e : mst.edges()) {
+    EXPECT_TRUE(del.edges().has_edge(e.u, e.v)) << e.u << "-" << e.v;
+  }
+  // Gabriel(UDG) is a Delaunay subgraph too.
+  const graph::Graph udg = graph::build_udg(points, 1.0);
+  const graph::Graph gg = topology::gabriel_graph(points, udg);
+  for (graph::Edge e : gg.edges()) {
+    EXPECT_TRUE(del.edges().has_edge(e.u, e.v)) << e.u << "-" << e.v;
+  }
+}
+
+TEST_P(DelaunayProperties, DelaunayIsConnectedAndPlanarSized) {
+  const auto points = sim::uniform_square(100, 2.5, GetParam() + 300);
+  const Delaunay del(points);
+  EXPECT_TRUE(graph::is_connected(del.edges()));
+  EXPECT_LE(del.edges().edge_count(), 3 * points.size());  // planarity bound
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DelaunayProperties,
+                         ::testing::Values(1u, 2u, 3u, 4u));
+
+TEST(Delaunay, TinyInputs) {
+  EXPECT_EQ(Delaunay(PointSet{}).edges().node_count(), 0u);
+  EXPECT_EQ(Delaunay(PointSet{{0, 0}}).edges().edge_count(), 0u);
+  const Delaunay two(PointSet{{0, 0}, {1, 0}});
+  EXPECT_EQ(two.edges().edge_count(), 1u);
+  const Delaunay tri(PointSet{{0, 0}, {1, 0}, {0, 1}});
+  EXPECT_EQ(tri.edges().edge_count(), 3u);
+  EXPECT_EQ(tri.triangles().size(), 1u);
+}
+
+TEST(Delaunay, CollinearFallbackIsPath) {
+  const PointSet points{{3, 0}, {0, 0}, {1, 0}, {2, 0}};
+  const Delaunay del(points);
+  EXPECT_EQ(del.edges().edge_count(), 3u);
+  EXPECT_TRUE(del.edges().has_edge(1, 2));
+  EXPECT_TRUE(del.edges().has_edge(2, 3));
+  EXPECT_TRUE(del.edges().has_edge(3, 0));
+  EXPECT_TRUE(graph::is_connected(del.edges()));
+}
+
+TEST(UnitDelaunay, SubgraphOfUdgAndPreservesConnectivity) {
+  for (std::uint64_t seed : {5u, 6u}) {
+    const auto points = sim::uniform_square(120, 2.5, seed);
+    const graph::Graph udg = graph::build_udg(points, 1.0);
+    const graph::Graph udel = unit_delaunay(points, 1.0);
+    for (graph::Edge e : udel.edges()) {
+      EXPECT_TRUE(udg.has_edge(e.u, e.v));
+    }
+    EXPECT_TRUE(graph::preserves_connectivity(udg, udel)) << seed;
+  }
+}
+
+}  // namespace
+}  // namespace rim::geom

@@ -1,0 +1,96 @@
+#include <gtest/gtest.h>
+
+#include "rim/dist/engine.hpp"
+#include "rim/dist/protocols.hpp"
+#include "rim/graph/udg.hpp"
+#include "rim/sim/generators.hpp"
+#include "rim/topology/lmst.hpp"
+#include "rim/topology/nearest_neighbor_forest.hpp"
+#include "rim/topology/xtc.hpp"
+
+namespace rim::dist {
+namespace {
+
+bool same_edges(const graph::Graph& a, const graph::Graph& b) {
+  if (a.edge_count() != b.edge_count()) return false;
+  for (graph::Edge e : a.edges()) {
+    if (!b.has_edge(e.u, e.v)) return false;
+  }
+  return true;
+}
+
+TEST(Engine, CountsMessagesAndPayload) {
+  // A 3-node path: round-0 position exchange is 2+2... node degrees are
+  // 1, 2, 1 -> 4 messages, 8 payload doubles.
+  const geom::PointSet points{{0, 0}, {0.5, 0}, {1.0, 0}};
+  const graph::Graph udg = graph::build_udg(points, 0.6);
+  DistributedNnf protocol(points, udg);
+  const ExecutionStats stats = run_protocol(udg, protocol);
+  EXPECT_EQ(stats.rounds, 1u);
+  EXPECT_EQ(stats.messages, 4u);
+  EXPECT_EQ(stats.payload_doubles, 8u);
+}
+
+class ProtocolEquivalence : public ::testing::TestWithParam<std::uint64_t> {
+ protected:
+  geom::PointSet points_ = sim::uniform_square(130, 2.4, GetParam());
+  graph::Graph udg_ = graph::build_udg(points_, 1.0);
+};
+
+TEST_P(ProtocolEquivalence, DistributedNnfMatchesCentralized) {
+  DistributedNnf protocol(points_, udg_);
+  (void)run_protocol(udg_, protocol);
+  EXPECT_TRUE(same_edges(protocol.result(),
+                         topology::nearest_neighbor_forest(points_, udg_)));
+}
+
+TEST_P(ProtocolEquivalence, DistributedXtcMatchesCentralized) {
+  DistributedXtc protocol(points_, udg_);
+  (void)run_protocol(udg_, protocol);
+  EXPECT_TRUE(same_edges(protocol.result(), topology::xtc(points_, udg_)));
+}
+
+TEST_P(ProtocolEquivalence, DistributedLmstMatchesCentralized) {
+  DistributedLmst protocol(points_, udg_, 1.0);
+  (void)run_protocol(udg_, protocol);
+  EXPECT_TRUE(same_edges(protocol.result(), topology::lmst(points_, udg_)));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ProtocolEquivalence,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u));
+
+TEST(ProtocolCosts, RoundZeroIsTwoMessagesPerEdge) {
+  const auto points = sim::uniform_square(100, 2.0, 9);
+  const graph::Graph udg = graph::build_udg(points, 1.0);
+  DistributedXtc protocol(points, udg);
+  const ExecutionStats stats = run_protocol(udg, protocol);
+  EXPECT_EQ(stats.messages, 2 * udg.edge_count());
+}
+
+TEST(ProtocolCosts, LmstSecondRoundIsSelectionsOnly) {
+  const auto points = sim::uniform_square(100, 2.0, 10);
+  const graph::Graph udg = graph::build_udg(points, 1.0);
+  DistributedLmst protocol(points, udg, 1.0);
+  const ExecutionStats stats = run_protocol(udg, protocol);
+  EXPECT_EQ(stats.rounds, 2u);
+  // Round 0: 2 per UDG edge. Round 1: one notice per (directed) selection,
+  // bounded by 6 per node (local-MST degree bound).
+  const std::uint64_t round1 = stats.messages - 2 * udg.edge_count();
+  EXPECT_LE(round1, 6 * points.size());
+  EXPECT_GT(round1, 0u);
+}
+
+TEST(Protocols, EmptyAndIsolatedNodes) {
+  const geom::PointSet points{{0, 0}, {10, 10}};
+  const graph::Graph udg = graph::build_udg(points, 1.0);  // no edges
+  DistributedNnf nnf(points, udg);
+  const ExecutionStats stats = run_protocol(udg, nnf);
+  EXPECT_EQ(stats.messages, 0u);
+  EXPECT_EQ(nnf.result().edge_count(), 0u);
+  DistributedLmst lmst_p(points, udg, 1.0);
+  (void)run_protocol(udg, lmst_p);
+  EXPECT_EQ(lmst_p.result().edge_count(), 0u);
+}
+
+}  // namespace
+}  // namespace rim::dist

@@ -1,0 +1,139 @@
+#include <gtest/gtest.h>
+
+#include "rim/core/interference.hpp"
+#include "rim/graph/connectivity.hpp"
+#include "rim/graph/tree_enum.hpp"
+#include "rim/graph/udg.hpp"
+#include "rim/highway/a_apx.hpp"
+#include "rim/highway/a_exp.hpp"
+#include "rim/highway/bounds.hpp"
+#include "rim/highway/exact_optimum.hpp"
+#include "rim/highway/highway_instance.hpp"
+#include "rim/highway/interference_1d.hpp"
+#include "rim/highway/local_search.hpp"
+#include "rim/highway/linear_chain.hpp"
+#include "rim/sim/generators.hpp"
+#include "rim/topology/mst_topology.hpp"
+
+namespace rim::highway {
+namespace {
+
+TEST(ExactOptimum, TwoNodes) {
+  const geom::PointSet points{{0, 0}, {0.5, 0}};
+  const auto result =
+      exact_minimum_interference_tree(points, graph::build_udg(points, 1.0));
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result->interference, 1u);
+  EXPECT_EQ(result->tree.edge_count(), 1u);
+  EXPECT_EQ(result->trees_considered, 1u);
+}
+
+TEST(ExactOptimum, DisconnectedUdgYieldsNullopt) {
+  const geom::PointSet points{{0, 0}, {5, 0}};
+  EXPECT_FALSE(
+      exact_minimum_interference_tree(points, graph::build_udg(points, 1.0))
+          .has_value());
+}
+
+TEST(ExactOptimum, ResultIsASpanningTree) {
+  const auto points = sim::uniform_square(7, 1.2, 42);
+  const graph::Graph udg = graph::build_udg(points, 1.0);
+  if (!graph::is_connected(udg)) GTEST_SKIP() << "instance disconnected";
+  const auto result = exact_minimum_interference_tree(points, udg);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_TRUE(graph::is_connected(result->tree));
+  EXPECT_TRUE(graph::is_forest(result->tree));
+  EXPECT_EQ(result->tree.edge_count(), points.size() - 1);
+  EXPECT_EQ(core::graph_interference(result->tree, points), result->interference);
+}
+
+class ExactVsEverything : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ExactVsEverything, NoTreeBeatsTheOptimum) {
+  const auto points = sim::uniform_square(6, 1.0, GetParam());
+  const graph::Graph udg = graph::build_udg(points, 2.0);  // complete
+  const auto result = exact_minimum_interference_tree(points, udg);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result->trees_considered, graph::cayley_count(6));
+  // Re-verify optimality independently over the same enumeration.
+  graph::for_each_labeled_tree(6, [&](std::span<const graph::Edge> edges) {
+    const graph::Graph tree(6, edges);
+    EXPECT_GE(core::graph_interference(tree, points), result->interference);
+    return true;
+  });
+  // The MST is a feasible tree, so it upper-bounds the optimum.
+  const graph::Graph mst = topology::mst_topology(points, udg);
+  EXPECT_LE(result->interference, core::graph_interference(mst, points));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ExactVsEverything, ::testing::Values(1u, 2u, 3u));
+
+class ExactOnExponentialChain : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(ExactOnExponentialChain, Theorem52LowerBoundHolds) {
+  const std::size_t n = GetParam();
+  const auto chain = exponential_chain(n);
+  const auto points = chain.to_points();
+  const auto result =
+      exact_minimum_interference_tree(points, chain.udg(1.0));
+  ASSERT_TRUE(result.has_value());
+  EXPECT_GE(result->interference, exponential_chain_lower_bound(n)) << n;
+  // And of course no worse than what A_exp achieves.
+  EXPECT_LE(result->interference, a_exp(chain).interference) << n;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, ExactOnExponentialChain,
+                         ::testing::Values(2u, 3u, 4u, 5u, 6u, 7u, 8u));
+
+TEST(LocalSearch, NeverWorseThanSeed) {
+  const auto inst = sim::uniform_highway(24, 4.0, 77);
+  const graph::Graph udg = inst.udg(1.0);
+  const auto points = inst.to_points();
+  const graph::Graph seed = topology::mst_topology(points, udg);
+  const std::uint32_t before = core::graph_interference(seed, points);
+  const auto result = local_search_min_interference(points, udg, seed);
+  EXPECT_LE(result.interference, before);
+  EXPECT_TRUE(graph::preserves_connectivity(udg, result.tree));
+  EXPECT_TRUE(graph::is_forest(result.tree));
+}
+
+TEST(LocalSearch, FindsOptimumOnTinyInstances) {
+  for (std::uint64_t seed : {1u, 2u, 3u, 4u}) {
+    const auto points = sim::uniform_square(7, 1.0, seed);
+    const graph::Graph udg = graph::build_udg(points, 2.0);
+    const auto exact = exact_minimum_interference_tree(points, udg);
+    ASSERT_TRUE(exact.has_value());
+    const graph::Graph mst = topology::mst_topology(points, udg);
+    const auto ls = local_search_min_interference(points, udg, mst);
+    // Local search reaches within 1 of the optimum on these tiny instances
+    // (it often matches it; a gap of 1 is accepted to avoid flakiness).
+    EXPECT_LE(ls.interference, exact->interference + 1) << seed;
+    EXPECT_GE(ls.interference, exact->interference) << seed;
+  }
+}
+
+TEST(LocalSearch, ImprovesLinearExponentialChain) {
+  const auto chain = exponential_chain(16);
+  const graph::Graph udg = chain.udg(1.0);
+  const auto points = chain.to_points();
+  const graph::Graph seed = linear_chain(chain, 1.0);
+  const auto result = local_search_min_interference(points, udg, seed);
+  EXPECT_LT(result.interference, 14u);  // strictly better than n-2 = 14
+  EXPECT_GT(result.swaps_applied, 0u);
+}
+
+TEST(LocalSearch, RespectsRoundBudget) {
+  const auto chain = exponential_chain(24);
+  const graph::Graph udg = chain.udg(1.0);
+  const auto points = chain.to_points();
+  LocalSearchParams params;
+  params.max_rounds = 1;
+  const auto result =
+      local_search_min_interference(points, udg, linear_chain(chain, 1.0), params);
+  // One round may or may not reach a local optimum, but must terminate and
+  // stay valid.
+  EXPECT_TRUE(graph::preserves_connectivity(udg, result.tree));
+}
+
+}  // namespace
+}  // namespace rim::highway

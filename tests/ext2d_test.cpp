@@ -1,0 +1,133 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "rim/core/interference.hpp"
+#include "rim/ext2d/grid_hub.hpp"
+#include "rim/ext2d/min_interference.hpp"
+#include "rim/graph/connectivity.hpp"
+#include "rim/graph/udg.hpp"
+#include "rim/sim/adversarial.hpp"
+#include "rim/sim/generators.hpp"
+#include "rim/topology/mst_topology.hpp"
+
+namespace rim::ext2d {
+namespace {
+
+class GridHub2D : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(GridHub2D, PreservesConnectivityOnUniformAndClustered) {
+  const auto uniform = sim::uniform_square(200, 3.0, GetParam());
+  const graph::Graph udg_u = graph::build_udg(uniform, 1.0);
+  EXPECT_TRUE(graph::preserves_connectivity(
+      udg_u, grid_hub_2d(uniform, udg_u).topology));
+
+  const auto clustered = sim::gaussian_clusters(200, 4, 3.0, 0.2, GetParam());
+  const graph::Graph udg_c = graph::build_udg(clustered, 1.0);
+  EXPECT_TRUE(graph::preserves_connectivity(
+      udg_c, grid_hub_2d(clustered, udg_c).topology));
+}
+
+TEST_P(GridHub2D, EdgesAreUdgEdges) {
+  const auto points = sim::uniform_square(150, 2.5, GetParam());
+  const graph::Graph udg = graph::build_udg(points, 1.0);
+  const GridHubResult result = grid_hub_2d(points, udg);
+  for (graph::Edge e : result.topology.edges()) {
+    EXPECT_TRUE(udg.has_edge(e.u, e.v)) << e.u << "-" << e.v;
+  }
+}
+
+TEST_P(GridHub2D, InterferenceScalesLikeSqrtDelta) {
+  // Empirical O(sqrt Δ) shape with a generous constant: interference at
+  // most 16 * (sqrt Δ + 2) on dense deployments.
+  const auto points = sim::uniform_square(600, 3.0, GetParam());
+  const graph::Graph udg = graph::build_udg(points, 1.0);
+  const GridHubResult result = grid_hub_2d(points, udg);
+  const std::uint32_t interference =
+      core::graph_interference(result.topology, points);
+  const double bound =
+      16.0 * (std::sqrt(static_cast<double>(result.delta)) + 2.0);
+  EXPECT_LE(static_cast<double>(interference), bound)
+      << "delta = " << result.delta;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GridHub2D, ::testing::Values(1u, 2u, 3u, 4u));
+
+TEST(GridHub2D, BeatsMstOnTheTwoChainsInstance) {
+  // The Theorem 4.1 instance in the plane: the MST contains the NNF and
+  // pays Θ(n); the hub construction pays O(sqrt Δ) — a genuine 2-D win for
+  // the paper's future-work direction.
+  const auto measure = [](std::size_t m) {
+    const sim::TwoChainInstance inst = sim::two_exponential_chains(m);
+    const graph::Graph udg = graph::build_udg(inst.points, 1.0);
+    const double hub = core::graph_interference(
+        grid_hub_2d(inst.points, udg).topology, inst.points);
+    const double mst = core::graph_interference(
+        topology::mst_topology(inst.points, udg), inst.points);
+    return std::pair{hub, mst};
+  };
+  const auto [hub40, mst40] = measure(40);
+  EXPECT_GE(mst40, 38.0);
+  EXPECT_LT(hub40, mst40);
+  // The gap widens with size: Θ(n) vs O(sqrt Δ).
+  const auto [hub120, mst120] = measure(120);
+  EXPECT_LT(hub120 / mst120, 0.75 * hub40 / mst40);
+}
+
+TEST(GridHub2D, SpacingOverrideAndMetadata) {
+  const auto points = sim::uniform_square(100, 2.0, 5);
+  const graph::Graph udg = graph::build_udg(points, 1.0);
+  const GridHubResult result = grid_hub_2d(points, udg, 1.0, 7);
+  EXPECT_EQ(result.hub_spacing, 7u);
+  EXPECT_GT(result.occupied_cells, 0u);
+  EXPECT_FALSE(result.hubs.empty());
+  const GridHubResult def = grid_hub_2d(points, udg);
+  EXPECT_EQ(def.hub_spacing,
+            static_cast<std::size_t>(
+                std::ceil(std::sqrt(static_cast<double>(def.delta)))));
+}
+
+TEST(GridHub2D, EmptyAndSingleton) {
+  const geom::PointSet empty;
+  const graph::Graph udg0 = graph::build_udg(empty, 1.0);
+  EXPECT_EQ(grid_hub_2d(empty, udg0).topology.node_count(), 0u);
+  const geom::PointSet one{{0.5, 0.5}};
+  const graph::Graph udg1 = graph::build_udg(one, 1.0);
+  const GridHubResult r = grid_hub_2d(one, udg1);
+  EXPECT_EQ(r.topology.edge_count(), 0u);
+  EXPECT_EQ(r.hubs.size(), 1u);
+}
+
+TEST(GridHub2D, DisconnectedComponentsStayDisconnected) {
+  geom::PointSet points = sim::uniform_square(40, 1.0, 6);
+  for (const geom::Vec2& p : sim::uniform_square(40, 1.0, 7)) {
+    points.push_back({p.x + 20.0, p.y});
+  }
+  const graph::Graph udg = graph::build_udg(points, 1.0);
+  ASSERT_GT(graph::component_count(udg), 1u);
+  EXPECT_TRUE(
+      graph::preserves_connectivity(udg, grid_hub_2d(points, udg).topology));
+}
+
+TEST(MinInterference2D, ImprovesOrMatchesBothSeeds) {
+  const auto points = sim::uniform_square(60, 1.5, 8);
+  const graph::Graph udg = graph::build_udg(points, 1.0);
+  const MinInterferenceResult result = min_interference_2d(points, udg, 2);
+  EXPECT_TRUE(graph::preserves_connectivity(udg, result.tree));
+  EXPECT_TRUE(graph::is_forest(result.tree));
+  const std::uint32_t mst_i = core::graph_interference(
+      topology::mst_topology(points, udg), points);
+  EXPECT_LE(result.interference, mst_i);
+  EXPECT_EQ(core::graph_interference(result.tree, points), result.interference);
+}
+
+TEST(MinInterference2D, ReportsWinningSeed) {
+  const auto points = sim::uniform_square(40, 1.2, 9);
+  const graph::Graph udg = graph::build_udg(points, 1.0);
+  const MinInterferenceResult result = min_interference_2d(points, udg, 1);
+  EXPECT_TRUE(std::string(result.seed_name) == "mst" ||
+              std::string(result.seed_name) == "grid_hub");
+}
+
+}  // namespace
+}  // namespace rim::ext2d

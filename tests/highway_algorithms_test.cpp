@@ -1,0 +1,228 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "rim/graph/connectivity.hpp"
+#include "rim/highway/a_apx.hpp"
+#include "rim/highway/a_exp.hpp"
+#include "rim/highway/a_gen.hpp"
+#include "rim/highway/bounds.hpp"
+#include "rim/highway/critical.hpp"
+#include "rim/highway/interference_1d.hpp"
+#include "rim/highway/linear_chain.hpp"
+#include "rim/sim/generators.hpp"
+
+namespace rim::highway {
+namespace {
+
+class AExpOnChain : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(AExpOnChain, ConnectedAndWithinTheorem51Bound) {
+  const std::size_t n = GetParam();
+  const auto chain = exponential_chain(n);
+  const AExpResult result = a_exp(chain);
+  EXPECT_TRUE(graph::is_connected(result.topology));
+  EXPECT_TRUE(graph::is_forest(result.topology));
+  // Reported interference matches a from-scratch evaluation.
+  EXPECT_EQ(result.interference, graph_interference_1d(chain, result.topology));
+  // Theorem 5.1: I(G_exp) in O(sqrt n); the proof's exact counting gives
+  // I <= (1 + sqrt(8n-15))/2.
+  EXPECT_LE(result.interference, aexp_upper_bound(n)) << "n=" << n;
+  // ... and the Theorem 5.2 lower bound holds for any topology.
+  EXPECT_GE(result.interference, exponential_chain_lower_bound(n)) << "n=" << n;
+}
+
+TEST_P(AExpOnChain, HubStructureMatchesTheorem51Proof) {
+  // "Each hub, not taking into account the first two, is connected to one
+  // more node to its right than its predecessor hub": hub-to-hub gaps grow
+  // (essentially) by one — 1, 1, 2, 3, 4, ... Boundary effects occasionally
+  // hold a gap for one extra step or stretch the final gap, so we assert
+  // the proof-relevant structure: gaps are non-decreasing past the first
+  // two and grow by at most 2, which forces #hubs = O(sqrt n).
+  const std::size_t n = GetParam();
+  const AExpResult result = a_exp(exponential_chain(n));
+  const auto& hubs = result.hubs;
+  ASSERT_GE(hubs.size(), 1u);
+  EXPECT_EQ(hubs[0], 0u);
+  for (std::size_t k = 2; k + 1 < hubs.size(); ++k) {
+    const std::uint32_t prev = hubs[k] - hubs[k - 1];
+    const std::uint32_t next = hubs[k + 1] - hubs[k];
+    EXPECT_GE(next, prev) << "hub " << k << " of n=" << n;
+    EXPECT_LE(next, prev + 2) << "hub " << k << " of n=" << n;
+  }
+  // Hub count is what drives I(G_exp): it must obey the O(sqrt n) budget.
+  EXPECT_LE(hubs.size(), static_cast<std::size_t>(aexp_upper_bound(n)) + 1)
+      << "n=" << n;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, AExpOnChain,
+                         ::testing::Values(2u, 3u, 4u, 8u, 16u, 32u, 64u, 128u,
+                                           256u, 512u, 1024u));
+
+TEST(AExp, BeatsLinearChainAsymptotically) {
+  const auto chain = exponential_chain(256);
+  const AExpResult aexp = a_exp(chain);
+  const std::uint32_t linear =
+      graph_interference_1d(chain, linear_chain(chain, 1.0));
+  EXPECT_EQ(linear, 254u);
+  EXPECT_LT(aexp.interference, linear / 5);
+}
+
+TEST(AExp, TinyInstances) {
+  const auto two = exponential_chain(2);
+  const AExpResult r2 = a_exp(two);
+  EXPECT_EQ(r2.topology.edge_count(), 1u);
+  EXPECT_EQ(r2.interference, 1u);
+}
+
+TEST(AExp, WorksOnPerturbedChains) {
+  for (std::uint64_t seed : {1u, 2u, 3u, 4u, 5u}) {
+    const auto inst = sim::perturbed_exponential_chain(64, 0.3, seed);
+    const AExpResult result = a_exp(inst);
+    EXPECT_TRUE(graph::is_connected(result.topology)) << seed;
+    // Shape check: still O(sqrt n)-ish, generously bounded.
+    EXPECT_LE(result.interference, 4u * aexp_upper_bound(64)) << seed;
+  }
+}
+
+class AGenOnRandomHighway
+    : public ::testing::TestWithParam<std::tuple<std::size_t, double, std::uint64_t>> {
+};
+
+TEST_P(AGenOnRandomHighway, PreservesConnectivityAndMeetsTheorem54) {
+  const auto [n, length, seed] = GetParam();
+  const auto inst = sim::uniform_highway(n, length, seed);
+  const AGenResult result = a_gen(inst, 1.0);
+  EXPECT_TRUE(graph::preserves_connectivity(inst.udg(1.0), result.topology));
+  const std::uint32_t interference =
+      graph_interference_1d(inst, result.topology);
+  // Theorem 5.4: O(sqrt Δ); the proof's constants give <= ~3 * (regular
+  // nodes per interval + hubs per segment) per segment and three adjacent
+  // segments. 12 * (sqrt Δ + 2) is a comfortably safe concrete ceiling.
+  const double bound = 12.0 * (std::sqrt(static_cast<double>(result.delta)) + 2.0);
+  EXPECT_LE(static_cast<double>(interference), bound)
+      << "n=" << n << " len=" << length << " seed=" << seed
+      << " delta=" << result.delta;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, AGenOnRandomHighway,
+    ::testing::Combine(::testing::Values(std::size_t{50}, std::size_t{200},
+                                         std::size_t{800}),
+                       ::testing::Values(5.0, 20.0),
+                       ::testing::Values(1u, 2u, 3u)));
+
+TEST(AGen, HubSpacingDefaultsToCeilSqrtDelta) {
+  const auto inst = sim::uniform_highway(300, 6.0, 9);
+  const AGenResult result = a_gen(inst, 1.0);
+  EXPECT_EQ(result.hub_spacing,
+            static_cast<std::size_t>(
+                std::ceil(std::sqrt(static_cast<double>(result.delta)))));
+}
+
+TEST(AGen, SpacingOverrideRespected) {
+  const auto inst = sim::uniform_highway(100, 4.0, 10);
+  const AGenResult result = a_gen(inst, 1.0, 5);
+  EXPECT_EQ(result.hub_spacing, 5u);
+}
+
+TEST(AGen, SegmentsOfUnitLength) {
+  // 3 well-separated unit segments, still within radius of each other.
+  const auto inst = HighwayInstance::from_positions(
+      {0.0, 0.2, 0.4, 1.1, 1.3, 2.2, 2.4, 2.6});
+  const AGenResult result = a_gen(inst, 1.0);
+  EXPECT_EQ(result.segment_count, 3u);
+  EXPECT_TRUE(graph::is_connected(result.topology));
+  // Boundary stitches exist.
+  EXPECT_TRUE(result.topology.has_edge(2, 3));
+  EXPECT_TRUE(result.topology.has_edge(4, 5));
+}
+
+TEST(AGen, DisconnectedUdgStaysDisconnected) {
+  const auto inst = HighwayInstance::from_positions({0.0, 0.5, 5.0, 5.5});
+  const AGenResult result = a_gen(inst, 1.0);
+  EXPECT_TRUE(graph::preserves_connectivity(inst.udg(1.0), result.topology));
+  EXPECT_FALSE(graph::is_connected(result.topology));
+}
+
+TEST(AGen, RegularNodesConnectToNearestHubOnly) {
+  // Regular node degree is exactly 1 (its hub); hubs can be busier.
+  const auto inst = sim::uniform_highway(200, 3.0, 11);
+  const AGenResult result = a_gen(inst, 1.0);
+  std::vector<bool> is_hub(inst.size(), false);
+  for (NodeId h : result.hubs) is_hub[h] = true;
+  for (NodeId v = 0; v < inst.size(); ++v) {
+    if (!is_hub[v]) {
+      EXPECT_EQ(result.topology.degree(v), 1u) << "regular node " << v;
+      const NodeId hub = result.topology.neighbors(v)[0];
+      EXPECT_TRUE(is_hub[hub]);
+    }
+  }
+}
+
+TEST(AGen, EmptyAndSingleton) {
+  const AGenResult empty = a_gen(HighwayInstance::from_positions({}), 1.0);
+  EXPECT_EQ(empty.topology.node_count(), 0u);
+  const AGenResult one = a_gen(HighwayInstance::from_positions({3.0}), 1.0);
+  EXPECT_EQ(one.topology.node_count(), 1u);
+  EXPECT_EQ(one.topology.edge_count(), 0u);
+}
+
+TEST(AApx, PicksLinearForUniformInstances) {
+  std::vector<double> xs;
+  for (int i = 0; i < 400; ++i) xs.push_back(0.01 * i);
+  const auto inst = HighwayInstance::from_positions(std::move(xs));
+  const AApxResult result = a_apx(inst, 1.0);
+  EXPECT_FALSE(result.used_agen);
+  // Uniform: gamma is tiny, delta is large.
+  EXPECT_LE(result.gamma, 4u);
+  EXPECT_GT(result.delta, 100u);
+  EXPECT_TRUE(graph::preserves_connectivity(inst.udg(1.0), result.topology));
+}
+
+TEST(AApx, PicksAGenForExponentialChain) {
+  const auto chain = exponential_chain(64);
+  const AApxResult result = a_apx(chain, 1.0);
+  EXPECT_TRUE(result.used_agen);
+  EXPECT_EQ(result.gamma, 62u);
+  EXPECT_EQ(result.delta, 63u);
+}
+
+class AApxApproximation : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(AApxApproximation, WithinTheorem56RatioOfLemma55Bound) {
+  // Measured interference must stay within O(Δ^{1/4}) of the Lemma 5.5
+  // lower bound; constant chosen generously but finitely (12).
+  for (std::size_t n : {50u, 150u, 400u}) {
+    const auto inst = sim::uniform_highway(n, 8.0, GetParam());
+    const AApxResult result = a_apx(inst, 1.0);
+    EXPECT_TRUE(graph::preserves_connectivity(inst.udg(1.0), result.topology));
+    const double measured =
+        static_cast<double>(graph_interference_1d(inst, result.topology));
+    const double opt_lb = std::max(1.0, lemma55_lower_bound(result.gamma));
+    const double ratio_bound =
+        12.0 * std::pow(static_cast<double>(std::max<std::size_t>(result.delta, 2)),
+                        0.25);
+    EXPECT_LE(measured / opt_lb, ratio_bound)
+        << "n=" << n << " seed=" << GetParam() << " gamma=" << result.gamma
+        << " delta=" << result.delta;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AApxApproximation,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u));
+
+TEST(AApx, BlockedHighwayUsesLinearBranch) {
+  // Dense uniform blocks: high Δ, low gamma — the instance class where
+  // A_gen alone would be a sqrt(Δ) mistake (Section 5.3's motivation).
+  const auto inst = sim::blocked_highway(10, 40, 0.5, 1.0, 31);
+  const AApxResult result = a_apx(inst, 1.0);
+  EXPECT_FALSE(result.used_agen);
+  const std::uint32_t apx = graph_interference_1d(inst, result.topology);
+  const std::uint32_t agen =
+      graph_interference_1d(inst, a_gen(inst, 1.0).topology);
+  EXPECT_LT(apx, agen);
+}
+
+}  // namespace
+}  // namespace rim::highway

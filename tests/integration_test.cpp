@@ -1,0 +1,173 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "rim/analysis/fit.hpp"
+#include "rim/core/interference.hpp"
+#include "rim/core/sender_centric.hpp"
+#include "rim/graph/connectivity.hpp"
+#include "rim/graph/stretch.hpp"
+#include "rim/graph/udg.hpp"
+#include "rim/highway/a_apx.hpp"
+#include "rim/highway/a_exp.hpp"
+#include "rim/highway/a_gen.hpp"
+#include "rim/highway/bounds.hpp"
+#include "rim/highway/exact_optimum.hpp"
+#include "rim/highway/interference_1d.hpp"
+#include "rim/highway/linear_chain.hpp"
+#include "rim/mac/simulation.hpp"
+#include "rim/sim/adversarial.hpp"
+#include "rim/sim/generators.hpp"
+#include "rim/topology/registry.hpp"
+
+namespace rim {
+namespace {
+
+/// End-to-end reproduction of the paper's headline asymptotics: the same
+/// instance family processed through generators -> algorithms -> the
+/// interference core -> the fitting code, exactly as the bench binaries do.
+TEST(EndToEnd, AexpScalesLikeSqrtNAndLinearChainLikeN) {
+  std::vector<double> ns;
+  std::vector<double> aexp_values;
+  std::vector<double> linear_values;
+  for (std::size_t n = 16; n <= 1024; n *= 2) {
+    const auto chain = highway::exponential_chain(n);
+    ns.push_back(static_cast<double>(n));
+    aexp_values.push_back(static_cast<double>(highway::a_exp(chain).interference));
+    linear_values.push_back(static_cast<double>(
+        highway::graph_interference_1d(chain, highway::linear_chain(chain, 1.0))));
+  }
+  const auto aexp_fit = analysis::fit_power_law(ns, aexp_values);
+  const auto linear_fit = analysis::fit_power_law(ns, linear_values);
+  EXPECT_NEAR(aexp_fit.slope, 0.5, 0.08);    // Theorem 5.1: O(sqrt n)
+  EXPECT_NEAR(linear_fit.slope, 1.0, 0.05);  // Figure 7: Θ(n), I = n - 2
+  EXPECT_GT(aexp_fit.r_squared, 0.98);
+  EXPECT_GT(linear_fit.r_squared, 0.999);
+}
+
+TEST(EndToEnd, EveryRegisteredTopologyEvaluatesOnCommonInstance) {
+  const auto points = sim::uniform_square(150, 3.0, 2024);
+  const graph::Graph udg = graph::build_udg(points, 1.0);
+  const std::uint32_t udg_interference = core::graph_interference(udg, points);
+  for (const auto& algorithm : topology::all_algorithms()) {
+    const graph::Graph result = algorithm.build(points, udg);
+    const core::InterferenceSummary s = core::evaluate_interference(result, points);
+    // Any subgraph's interference is bounded by Δ(UDG) (Section 3) and its
+    // per-node values by its degrees from below.
+    EXPECT_LE(s.max, udg.max_degree()) << algorithm.name;
+    for (NodeId v = 0; v < points.size(); ++v) {
+      EXPECT_GE(s.per_node[v], result.degree(v)) << algorithm.name;
+    }
+    // Sparser-than-UDG constructions cannot exceed the UDG's interference.
+    EXPECT_LE(s.max, udg_interference) << algorithm.name;
+  }
+}
+
+TEST(EndToEnd, ApproximationPipelineOnSmallChains) {
+  // gamma / Lemma 5.5 / exact optimum / A_apx agree on the ordering the
+  // theory requires: lb <= OPT <= A_apx <= c * Δ^{1/4} * OPT.
+  for (std::size_t n = 4; n <= 8; ++n) {
+    const auto chain = highway::exponential_chain(n);
+    const auto points = chain.to_points();
+    const auto exact =
+        highway::exact_minimum_interference_tree(points, chain.udg(1.0));
+    ASSERT_TRUE(exact.has_value());
+    const auto apx = highway::a_apx(chain, 1.0);
+    const std::uint32_t apx_value =
+        highway::graph_interference_1d(chain, apx.topology);
+    EXPECT_GE(static_cast<double>(exact->interference),
+              highway::lemma55_lower_bound(apx.gamma))
+        << n;
+    EXPECT_LE(exact->interference, apx_value) << n;
+    const double ratio_cap =
+        12.0 * std::pow(static_cast<double>(apx.delta), 0.25);
+    EXPECT_LE(static_cast<double>(apx_value),
+              ratio_cap * static_cast<double>(exact->interference))
+        << n;
+  }
+}
+
+TEST(EndToEnd, SenderAndReceiverModelsDivergeOnFigure1Family) {
+  // As the cluster grows, sender-centric interference of the MST bridge
+  // grows linearly while the receiver-centric measure stays near-constant.
+  std::vector<double> ns;
+  std::vector<double> sender;
+  std::vector<double> receiver;
+  for (std::size_t n = 25; n <= 400; n *= 2) {
+    const auto points = sim::figure1_instance(n, 9);
+    const graph::Graph udg = graph::build_udg(points, 1.0);
+    const auto* mst = topology::find_algorithm("mst");
+    ASSERT_NE(mst, nullptr);
+    const graph::Graph topo = mst->build(points, udg);
+    ns.push_back(static_cast<double>(n));
+    sender.push_back(
+        static_cast<double>(core::evaluate_sender_centric(topo, points).max));
+    receiver.push_back(
+        static_cast<double>(core::graph_interference(topo, points)));
+  }
+  const auto sender_fit = analysis::fit_power_law(ns, sender);
+  EXPECT_GT(sender_fit.slope, 0.9);  // ~linear in n
+  // Receiver-centric stays bounded: the largest value across the sweep is
+  // within a small constant of the smallest.
+  const double max_recv = *std::max_element(receiver.begin(), receiver.end());
+  const double min_recv = *std::min_element(receiver.begin(), receiver.end());
+  EXPECT_LE(max_recv, min_recv + 4.0);
+}
+
+TEST(EndToEnd, MacSimulationTracksInterferenceAcrossTopologies) {
+  // Over several topologies of one random instance, delivery ratio should
+  // be weakly decreasing in measured interference (rank agreement on the
+  // extremes rather than strict monotonicity, to stay robust).
+  const auto points = sim::uniform_square(60, 2.0, 31);
+  const graph::Graph udg = graph::build_udg(points, 1.0);
+  mac::SimulationConfig config;
+  config.slots = 1500;
+  config.arrival_rate = 0.04;
+  config.seed = 13;
+
+  double best_ratio = -1.0;
+  std::uint32_t best_interference = 0;
+  double worst_ratio = 2.0;
+  std::uint32_t worst_interference = 0;
+  for (const char* name : {"mst", "gabriel", "rng", "xtc"}) {
+    const auto* algorithm = topology::find_algorithm(name);
+    ASSERT_NE(algorithm, nullptr) << name;
+    const auto report =
+        mac::simulate_traffic(algorithm->build(points, udg), points, config);
+    if (report.mac.delivery_ratio() > best_ratio) {
+      best_ratio = report.mac.delivery_ratio();
+      best_interference = report.interference;
+    }
+    if (report.mac.delivery_ratio() < worst_ratio) {
+      worst_ratio = report.mac.delivery_ratio();
+      worst_interference = report.interference;
+    }
+  }
+  // The UDG itself (max interference) must not beat the best sparse
+  // topology in delivery ratio under contention.
+  const auto udg_report = mac::simulate_traffic(udg, points, config);
+  EXPECT_GE(best_ratio, udg_report.mac.delivery_ratio());
+  EXPECT_GE(udg_report.interference, best_interference);
+  (void)worst_interference;
+  (void)worst_ratio;
+}
+
+TEST(EndToEnd, AGenAblationDefaultSpacingIsNearBest) {
+  // The ⌈sqrt Δ⌉ spacing of A_gen should be within a small factor of the
+  // best spacing in {1, ..., Δ} on uniform highway instances.
+  const auto inst = sim::uniform_highway(400, 8.0, 17);
+  const auto def = highway::a_gen(inst, 1.0);
+  const std::uint32_t def_i = highway::graph_interference_1d(inst, def.topology);
+  std::uint32_t best_i = def_i;
+  for (std::size_t spacing = 1; spacing <= def.delta; spacing *= 2) {
+    const auto alt = highway::a_gen(inst, 1.0, spacing);
+    best_i = std::min(best_i,
+                      highway::graph_interference_1d(inst, alt.topology));
+  }
+  EXPECT_LE(def_i, best_i * 3);
+}
+
+}  // namespace
+}  // namespace rim

@@ -1,0 +1,121 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "rim/io/csv.hpp"
+#include "rim/io/dot.hpp"
+#include "rim/io/table.hpp"
+#include "rim/sim/generators.hpp"
+#include "rim/graph/udg.hpp"
+
+namespace rim::io {
+namespace {
+
+TEST(Table, RendersHeaderRuleAndRows) {
+  Table t({"name", "value"});
+  t.row().cell("alpha").cell(std::uint64_t{42});
+  t.row().cell("beta").cell(3.14159, 2);
+  std::ostringstream out;
+  t.print(out);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("name"), std::string::npos);
+  EXPECT_EQ(text.rfind("| ", 0), 0u);  // rows start with the separator
+  EXPECT_NE(text.find("alpha"), std::string::npos);
+  EXPECT_NE(text.find("42"), std::string::npos);
+  EXPECT_NE(text.find("3.14"), std::string::npos);
+  EXPECT_NE(text.find("|-"), std::string::npos);
+  EXPECT_EQ(t.row_count(), 2u);
+}
+
+TEST(Table, AlignsColumns) {
+  Table t({"x"});
+  t.row().cell("short");
+  t.row().cell("a-much-longer-cell");
+  std::ostringstream out;
+  t.print(out);
+  std::istringstream lines(out.str());
+  std::string first;
+  std::getline(lines, first);
+  std::string rule;
+  std::getline(lines, rule);
+  std::string row1;
+  std::getline(lines, row1);
+  std::string row2;
+  std::getline(lines, row2);
+  EXPECT_EQ(first.size(), row1.size());
+  EXPECT_EQ(row1.size(), row2.size());
+}
+
+TEST(Table, BooleanCells) {
+  Table t({"flag"});
+  t.row().cell(true);
+  t.row().cell(false);
+  std::ostringstream out;
+  t.print(out);
+  EXPECT_NE(out.str().find("yes"), std::string::npos);
+  EXPECT_NE(out.str().find("no"), std::string::npos);
+}
+
+TEST(Csv, PointsRoundTrip) {
+  const auto points = sim::uniform_square(25, 2.0, 3);
+  std::stringstream buffer;
+  write_points_csv(buffer, points);
+  const auto parsed = read_points_csv(buffer);
+  ASSERT_EQ(parsed.size(), points.size());
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    EXPECT_DOUBLE_EQ(parsed[i].x, points[i].x);
+    EXPECT_DOUBLE_EQ(parsed[i].y, points[i].y);
+  }
+}
+
+TEST(Csv, EdgesRoundTrip) {
+  const auto points = sim::uniform_square(30, 1.5, 4);
+  const graph::Graph udg = graph::build_udg(points, 1.0);
+  std::stringstream buffer;
+  write_edges_csv(buffer, udg);
+  const graph::Graph parsed = read_edges_csv(buffer, points.size());
+  ASSERT_EQ(parsed.edge_count(), udg.edge_count());
+  for (graph::Edge e : udg.edges()) EXPECT_TRUE(parsed.has_edge(e.u, e.v));
+}
+
+TEST(Csv, RejectsMissingHeader) {
+  std::istringstream in("1.0,2.0\n");
+  EXPECT_THROW((void)read_points_csv(in), std::runtime_error);
+}
+
+TEST(Csv, RejectsMalformedRow) {
+  std::istringstream in("x,y\n1.0;2.0\n");
+  EXPECT_THROW((void)read_points_csv(in), std::runtime_error);
+}
+
+TEST(Csv, RejectsOutOfRangeEdge) {
+  std::istringstream in("u,v\n0,9\n");
+  EXPECT_THROW((void)read_edges_csv(in, 3), std::runtime_error);
+}
+
+TEST(Dot, ContainsNodesEdgesAndPositions) {
+  const geom::PointSet points{{0, 0}, {1, 0}, {0, 1}};
+  graph::Graph g(3);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  std::ostringstream out;
+  write_dot(out, g, points);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("graph topology {"), std::string::npos);
+  EXPECT_NE(text.find("n0 -- n1"), std::string::npos);
+  EXPECT_NE(text.find("n1 -- n2"), std::string::npos);
+  EXPECT_NE(text.find("pos=\"10,0!\""), std::string::npos);
+}
+
+TEST(Dot, LabelsCanBeDisabled) {
+  const geom::PointSet points{{0, 0}};
+  const graph::Graph g(1);
+  DotOptions options;
+  options.include_labels = false;
+  std::ostringstream out;
+  write_dot(out, g, points, options);
+  EXPECT_EQ(out.str().find("xlabel"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace rim::io

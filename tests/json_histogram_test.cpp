@@ -1,0 +1,92 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+#include "rim/analysis/histogram.hpp"
+#include "rim/io/json.hpp"
+
+namespace rim {
+namespace {
+
+TEST(Json, Scalars) {
+  EXPECT_EQ(io::Json(nullptr).dump(), "null");
+  EXPECT_EQ(io::Json(true).dump(), "true");
+  EXPECT_EQ(io::Json(false).dump(), "false");
+  EXPECT_EQ(io::Json(42).dump(), "42");
+  EXPECT_EQ(io::Json(3.5).dump(), "3.5");
+  EXPECT_EQ(io::Json(-7).dump(), "-7");
+  EXPECT_EQ(io::Json("hello").dump(), "\"hello\"");
+}
+
+TEST(Json, NonFiniteBecomesNull) {
+  EXPECT_EQ(io::Json(std::numeric_limits<double>::infinity()).dump(), "null");
+  EXPECT_EQ(io::Json(std::nan("")).dump(), "null");
+}
+
+TEST(Json, Escaping) {
+  EXPECT_EQ(io::json_escape("a\"b"), "a\\\"b");
+  EXPECT_EQ(io::json_escape("back\\slash"), "back\\\\slash");
+  EXPECT_EQ(io::json_escape("line\nbreak"), "line\\nbreak");
+  EXPECT_EQ(io::json_escape(std::string(1, '\x01')), "\\u0001");
+}
+
+TEST(Json, ArraysAndObjects) {
+  io::JsonArray arr{io::Json(1), io::Json("two"), io::Json(true)};
+  EXPECT_EQ(io::Json(arr).dump(), "[1,\"two\",true]");
+  io::JsonObject obj;
+  obj["beta"] = io::Json(2);
+  obj["alpha"] = io::Json(1);
+  // Keys serialise in map (sorted) order: deterministic output.
+  EXPECT_EQ(io::Json(obj).dump(), "{\"alpha\":1,\"beta\":2}");
+}
+
+TEST(Json, Nested) {
+  io::JsonObject inner;
+  inner["values"] = io::Json(io::JsonArray{io::Json(1), io::Json(2)});
+  io::JsonObject outer;
+  outer["experiment"] = io::Json("E5");
+  outer["data"] = io::Json(inner);
+  EXPECT_EQ(io::Json(outer).dump(),
+            "{\"data\":{\"values\":[1,2]},\"experiment\":\"E5\"}");
+}
+
+TEST(Json, LargeIntegralDoublesStayIntegral) {
+  EXPECT_EQ(io::Json(1e6).dump(), "1000000");
+  EXPECT_EQ(io::Json(123456789.0).dump(), "123456789");
+}
+
+TEST(Histogram, CountsAndMode) {
+  const std::vector<std::uint32_t> samples{1, 2, 2, 3, 3, 3, 7};
+  const analysis::Histogram h = analysis::Histogram::of_values(samples);
+  ASSERT_EQ(h.buckets().size(), 8u);
+  EXPECT_EQ(h.buckets()[0], 0u);
+  EXPECT_EQ(h.buckets()[2], 2u);
+  EXPECT_EQ(h.buckets()[3], 3u);
+  EXPECT_EQ(h.buckets()[7], 1u);
+  EXPECT_EQ(h.total(), 7u);
+  EXPECT_EQ(h.mode(), 3u);
+}
+
+TEST(Histogram, RenderSkipsEmptyBucketsAndScalesBars) {
+  const std::vector<std::uint32_t> samples{0, 0, 0, 0, 5};
+  const analysis::Histogram h = analysis::Histogram::of_values(samples);
+  std::ostringstream out;
+  h.render(out, 8);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("0 | ########  (4)"), std::string::npos);
+  EXPECT_NE(text.find("5 | ##  (1)"), std::string::npos);
+  EXPECT_EQ(text.find(" 3 |"), std::string::npos);  // empty bucket hidden
+}
+
+TEST(Histogram, EmptyInput) {
+  const analysis::Histogram h = analysis::Histogram::of_values({});
+  EXPECT_EQ(h.total(), 0u);
+  std::ostringstream out;
+  h.render(out);
+  EXPECT_EQ(out.str(), "(empty histogram)\n");
+}
+
+}  // namespace
+}  // namespace rim

@@ -1,0 +1,122 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include "rim/parallel/parallel_for.hpp"
+#include "rim/parallel/thread_pool.hpp"
+
+namespace rim::parallel {
+namespace {
+
+TEST(ThreadPool, RunsSubmittedTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.submit([&counter] { counter.fetch_add(1, std::memory_order_relaxed); });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPool, WaitIdleOnEmptyPoolReturnsImmediately) {
+  ThreadPool pool(2);
+  pool.wait_idle();  // must not hang
+  SUCCEED();
+}
+
+TEST(ThreadPool, DestructorDrainsQueue) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 50; ++i) {
+      pool.submit([&counter] { counter.fetch_add(1); });
+    }
+  }  // destructor joins
+  EXPECT_EQ(counter.load(), 50);
+}
+
+TEST(ThreadPool, ThreadCountMatchesRequest) {
+  ThreadPool pool(3);
+  EXPECT_EQ(pool.thread_count(), 3u);
+}
+
+TEST(ThreadPool, SharedPoolIsUsable) {
+  std::atomic<int> counter{0};
+  ThreadPool::shared().submit([&counter] { counter.fetch_add(1); });
+  ThreadPool::shared().wait_idle();
+  EXPECT_EQ(counter.load(), 1);
+}
+
+TEST(ParallelFor, CoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> touched(10000);
+  parallel_for(0, touched.size(),
+               [&](std::size_t i) { touched[i].fetch_add(1); }, pool, 64);
+  for (const auto& t : touched) EXPECT_EQ(t.load(), 1);
+}
+
+TEST(ParallelFor, EmptyAndSingleRanges) {
+  ThreadPool pool(2);
+  int count = 0;
+  parallel_for(5, 5, [&](std::size_t) { ++count; }, pool);
+  EXPECT_EQ(count, 0);
+  parallel_for(7, 8, [&](std::size_t i) { EXPECT_EQ(i, 7u); ++count; }, pool);
+  EXPECT_EQ(count, 1);
+}
+
+TEST(ParallelFor, OffsetRange) {
+  ThreadPool pool(4);
+  std::atomic<std::size_t> sum{0};
+  parallel_for(100, 200, [&](std::size_t i) { sum.fetch_add(i); }, pool, 8);
+  EXPECT_EQ(sum.load(), (100u + 199u) * 100u / 2u);
+}
+
+TEST(ParallelReduce, SumMatchesSerial) {
+  ThreadPool pool(4);
+  const std::size_t n = 100000;
+  const auto sum = parallel_reduce<std::uint64_t>(
+      0, n, 0ull, [](std::size_t i) { return static_cast<std::uint64_t>(i); },
+      [](std::uint64_t a, std::uint64_t b) { return a + b; }, pool, 128);
+  EXPECT_EQ(sum, static_cast<std::uint64_t>(n) * (n - 1) / 2);
+}
+
+TEST(ParallelReduce, MaxReduction) {
+  ThreadPool pool(3);
+  std::vector<double> values(5000);
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    values[i] = static_cast<double>((i * 7919) % 4999);
+  }
+  const double expected = *std::max_element(values.begin(), values.end());
+  const double got = parallel_reduce<double>(
+      0, values.size(), 0.0, [&](std::size_t i) { return values[i]; },
+      [](double a, double b) { return a > b ? a : b; }, pool, 100);
+  EXPECT_DOUBLE_EQ(got, expected);
+}
+
+TEST(ParallelReduce, DeterministicAcrossRuns) {
+  ThreadPool pool(8);
+  const auto run = [&] {
+    return parallel_reduce<double>(
+        0, 50000, 0.0,
+        [](std::size_t i) { return 1.0 / (1.0 + static_cast<double>(i)); },
+        [](double a, double b) { return a + b; }, pool, 64);
+  };
+  const double first = run();
+  for (int trial = 0; trial < 5; ++trial) {
+    EXPECT_EQ(run(), first);  // bitwise equal: block-ordered combine
+  }
+}
+
+TEST(ParallelReduce, EmptyRangeReturnsInit) {
+  ThreadPool pool(2);
+  const int result = parallel_reduce<int>(
+      3, 3, 42, [](std::size_t) { return 0; },
+      [](int a, int b) { return a + b; }, pool);
+  EXPECT_EQ(result, 42);
+}
+
+}  // namespace
+}  // namespace rim::parallel

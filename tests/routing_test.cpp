@@ -1,0 +1,150 @@
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "rim/graph/connectivity.hpp"
+#include "rim/graph/udg.hpp"
+#include "rim/routing/geographic.hpp"
+#include "rim/sim/generators.hpp"
+#include "rim/topology/gabriel.hpp"
+#include "rim/topology/rng_graph.hpp"
+
+namespace rim::routing {
+namespace {
+
+TEST(Greedy, StraightChainDelivers) {
+  const geom::PointSet points{{0, 0}, {1, 0}, {2, 0}, {3, 0}};
+  const graph::Graph g = graph::build_udg(points, 1.0);
+  const RouteResult r = greedy_route(points, g, 0, 3);
+  EXPECT_TRUE(r.delivered);
+  EXPECT_EQ(r.path, (std::vector<NodeId>{0, 1, 2, 3}));
+  EXPECT_EQ(r.hops(), 3u);
+}
+
+TEST(Greedy, SourceEqualsTarget) {
+  const geom::PointSet points{{0, 0}, {1, 0}};
+  const graph::Graph g = graph::build_udg(points, 1.0);
+  const RouteResult r = greedy_route(points, g, 1, 1);
+  EXPECT_TRUE(r.delivered);
+  EXPECT_EQ(r.hops(), 0u);
+}
+
+TEST(Greedy, FailsAtVoid) {
+  // A "C"-shaped void: the node nearest the target has no closer neighbor.
+  //   s(0,0) -- a(0.9,0) ... target t(2.2,0) reachable only via the detour
+  //   b(0.9,0.9) -- c(1.8,0.9) -- t.
+  const geom::PointSet points{
+      {0.0, 0.0}, {0.9, 0.0}, {0.9, 0.9}, {1.8, 0.9}, {2.2, 0.0}};
+  graph::Graph g(5);
+  g.add_edge(0, 1);
+  g.add_edge(0, 2);
+  g.add_edge(2, 3);
+  g.add_edge(3, 4);
+  const RouteResult r = greedy_route(points, g, 0, 4);
+  EXPECT_FALSE(r.delivered);
+  EXPECT_EQ(r.stuck_at, 1u);  // greedy moved to node 1 and got stuck
+}
+
+TEST(Gfg, RecoversAroundVoid) {
+  const geom::PointSet points{
+      {0.0, 0.0}, {0.9, 0.0}, {0.9, 0.9}, {1.8, 0.9}, {2.2, 0.0}};
+  graph::Graph g(5);
+  g.add_edge(0, 1);
+  g.add_edge(0, 2);
+  g.add_edge(2, 3);
+  g.add_edge(3, 4);
+  const RouteResult r = gfg_route(points, g, 0, 4);
+  EXPECT_TRUE(r.delivered);
+  EXPECT_GT(r.perimeter_hops, 0u);
+  EXPECT_EQ(r.path.back(), 4u);
+}
+
+TEST(Gfg, UnreachableTargetTerminates) {
+  const geom::PointSet points{{0, 0}, {0.5, 0}, {5, 5}};
+  const graph::Graph g = graph::build_udg(points, 1.0);
+  const RouteResult r = gfg_route(points, g, 0, 2);
+  EXPECT_FALSE(r.delivered);
+  EXPECT_LT(r.path.size(), 100u);  // terminated, not budget-exhausted
+}
+
+class GfgOnPlanarTopologies : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(GfgOnPlanarTopologies, DeliversAllConnectedPairsOnGabriel) {
+  const auto points = sim::uniform_square(80, 2.2, GetParam());
+  const graph::Graph udg = graph::build_udg(points, 1.0);
+  const graph::Graph gg = topology::gabriel_graph(points, udg);
+  const auto labels = graph::component_labels(gg);
+  std::size_t attempted = 0;
+  std::size_t delivered = 0;
+  for (NodeId s = 0; s < points.size(); s += 7) {
+    for (NodeId t = 1; t < points.size(); t += 11) {
+      if (s == t || labels[s] != labels[t]) continue;
+      ++attempted;
+      delivered += gfg_route(points, gg, s, t).delivered ? 1 : 0;
+    }
+  }
+  ASSERT_GT(attempted, 10u);
+  EXPECT_EQ(delivered, attempted);  // planar + connected => always delivered
+}
+
+TEST_P(GfgOnPlanarTopologies, DeliversOnRng) {
+  const auto points = sim::uniform_square(70, 2.0, GetParam() + 50);
+  const graph::Graph udg = graph::build_udg(points, 1.0);
+  const graph::Graph rng = topology::relative_neighborhood_graph(points, udg);
+  const auto labels = graph::component_labels(rng);
+  std::size_t attempted = 0;
+  std::size_t delivered = 0;
+  for (NodeId s = 0; s < points.size(); s += 5) {
+    for (NodeId t = 2; t < points.size(); t += 9) {
+      if (s == t || labels[s] != labels[t]) continue;
+      ++attempted;
+      delivered += gfg_route(points, rng, s, t).delivered ? 1 : 0;
+    }
+  }
+  ASSERT_GT(attempted, 10u);
+  EXPECT_EQ(delivered, attempted);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GfgOnPlanarTopologies,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u));
+
+TEST(Gfg, PathIsValidWalk) {
+  const auto points = sim::uniform_square(60, 2.0, 13);
+  const graph::Graph udg = graph::build_udg(points, 1.0);
+  const graph::Graph gg = topology::gabriel_graph(points, udg);
+  const auto labels = graph::component_labels(gg);
+  for (NodeId t = 1; t < 20; ++t) {
+    if (labels[0] != labels[t]) continue;
+    const RouteResult r = gfg_route(points, gg, 0, t);
+    ASSERT_TRUE(r.delivered);
+    for (std::size_t i = 1; i < r.path.size(); ++i) {
+      EXPECT_TRUE(gg.has_edge(r.path[i - 1], r.path[i]))
+          << "hop " << i << " to target " << t;
+    }
+    EXPECT_EQ(r.hops(), r.greedy_hops + r.perimeter_hops);
+  }
+}
+
+TEST(EvaluateRouting, ReportSanity) {
+  const auto points = sim::uniform_square(100, 2.2, 17);
+  const graph::Graph udg = graph::build_udg(points, 1.0);
+  const graph::Graph gg = topology::gabriel_graph(points, udg);
+  const RoutingReport report = evaluate_routing(points, gg, 200, 3);
+  EXPECT_GT(report.attempted, 50u);
+  EXPECT_DOUBLE_EQ(report.success_rate, 1.0);
+  EXPECT_GE(report.mean_hop_stretch, 1.0);
+  EXPECT_GE(report.mean_euclid_stretch, 1.0);
+}
+
+TEST(EvaluateRouting, GreedyOnUdgBeatsGabrielInStretch) {
+  // Denser graphs give straighter paths; the report must reflect that.
+  const auto points = sim::uniform_square(100, 2.2, 19);
+  const graph::Graph udg = graph::build_udg(points, 1.0);
+  const graph::Graph gg = topology::gabriel_graph(points, udg);
+  const RoutingReport dense = evaluate_routing(points, udg, 150, 5);
+  const RoutingReport sparse = evaluate_routing(points, gg, 150, 5);
+  EXPECT_LE(dense.mean_hop_stretch, sparse.mean_hop_stretch + 0.2);
+}
+
+}  // namespace
+}  // namespace rim::routing

@@ -1,0 +1,78 @@
+#include <gtest/gtest.h>
+
+#include "rim/core/sender_centric.hpp"
+#include "rim/graph/udg.hpp"
+#include "rim/sim/generators.hpp"
+
+namespace rim::core {
+namespace {
+
+TEST(EdgeCoverage, IsolatedPairCoversNothing) {
+  const geom::PointSet points{{0, 0}, {1, 0}};
+  EXPECT_EQ(edge_coverage(points, {0, 1}), 0u);
+}
+
+TEST(EdgeCoverage, ThirdNodeInsideEitherDisk) {
+  // w within |uv| of u -> covered.
+  const geom::PointSet points{{0, 0}, {1, 0}, {-0.5, 0}};
+  EXPECT_EQ(edge_coverage(points, {0, 1}), 1u);
+}
+
+TEST(EdgeCoverage, NodeOutsideBothDisks) {
+  const geom::PointSet points{{0, 0}, {1, 0}, {3, 0}};
+  EXPECT_EQ(edge_coverage(points, {0, 1}), 0u);
+}
+
+TEST(EdgeCoverage, BoundaryCounts) {
+  // w exactly at distance |uv| from v.
+  const geom::PointSet points{{0, 0}, {1, 0}, {2, 0}};
+  EXPECT_EQ(edge_coverage(points, {0, 1}), 1u);
+}
+
+TEST(EdgeCoverage, LongEdgeOverClusterCoversEveryone) {
+  // The Figure 1 pathology: bridging edge covers the whole cluster.
+  geom::PointSet points;
+  for (int i = 0; i < 20; ++i) {
+    points.push_back({0.01 * i, 0.0});
+  }
+  points.push_back({1.1, 0.0});  // outlier
+  // Edge from the cluster's right edge (node 19 at x=0.19) to the outlier.
+  EXPECT_EQ(edge_coverage(points, {19, 20}), 19u);
+}
+
+TEST(SenderCentric, SummaryAggregates) {
+  const geom::PointSet points{{0, 0}, {1, 0}, {2, 0}, {3, 0}};
+  graph::Graph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(2, 3);
+  const SenderCentricSummary s = evaluate_sender_centric(g, points);
+  ASSERT_EQ(s.per_edge.size(), 3u);
+  // Edge {0,1}: covers node 2 (distance 1 from node 1). Edge {1,2}: covers
+  // nodes 0 and 3. Edge {2,3}: covers node 1.
+  EXPECT_EQ(s.per_edge[0], 1u);
+  EXPECT_EQ(s.per_edge[1], 2u);
+  EXPECT_EQ(s.per_edge[2], 1u);
+  EXPECT_EQ(s.max, 2u);
+  EXPECT_DOUBLE_EQ(s.mean, 4.0 / 3.0);
+}
+
+TEST(SenderCentric, EmptyTopology) {
+  const geom::PointSet points{{0, 0}, {1, 1}};
+  const graph::Graph g(2);
+  const SenderCentricSummary s = evaluate_sender_centric(g, points);
+  EXPECT_EQ(s.max, 0u);
+  EXPECT_TRUE(s.per_edge.empty());
+}
+
+TEST(SenderCentric, CoverageBoundedByNMinusTwo) {
+  const auto points = sim::uniform_square(60, 1.5, 17);
+  const graph::Graph udg = graph::build_udg(points, 1.0);
+  const SenderCentricSummary s = evaluate_sender_centric(udg, points);
+  for (std::uint32_t c : s.per_edge) {
+    EXPECT_LE(c, points.size() - 2);
+  }
+}
+
+}  // namespace
+}  // namespace rim::core

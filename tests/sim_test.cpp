@@ -1,0 +1,137 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "rim/sim/generators.hpp"
+#include "rim/sim/rng.hpp"
+
+namespace rim::sim {
+namespace {
+
+TEST(Rng, Deterministic) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) equal += a.next_u64() == b.next_u64() ? 1 : 0;
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, DoublesInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.next_double();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(Rng, UniformRange) {
+  Rng rng(8);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.uniform(-2.0, 3.0);
+    EXPECT_GE(x, -2.0);
+    EXPECT_LT(x, 3.0);
+  }
+}
+
+TEST(Rng, NextBelowCoversRangeUniformlyEnough) {
+  Rng rng(9);
+  std::vector<int> counts(5, 0);
+  const int draws = 50000;
+  for (int i = 0; i < draws; ++i) ++counts[rng.next_below(5)];
+  for (int c : counts) {
+    EXPECT_NEAR(static_cast<double>(c), draws / 5.0, draws * 0.02);
+  }
+}
+
+TEST(Rng, GaussianMomentsRoughlyStandard) {
+  Rng rng(10);
+  const int n = 100000;
+  double sum = 0.0;
+  double sum2 = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double g = rng.next_gaussian();
+    sum += g;
+    sum2 += g * g;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sum2 / n, 1.0, 0.03);
+}
+
+TEST(Generators, UniformSquareBoundsAndDeterminism) {
+  const auto a = uniform_square(100, 3.0, 5);
+  const auto b = uniform_square(100, 3.0, 5);
+  EXPECT_EQ(a, b);
+  for (const auto& p : a) {
+    EXPECT_GE(p.x, 0.0);
+    EXPECT_LT(p.x, 3.0);
+    EXPECT_GE(p.y, 0.0);
+    EXPECT_LT(p.y, 3.0);
+  }
+}
+
+TEST(Generators, GaussianClustersCenterSpread) {
+  const auto points = gaussian_clusters(500, 3, 10.0, 0.1, 6);
+  EXPECT_EQ(points.size(), 500u);
+  // With stddev 0.1 and 3 clusters, x-coordinates concentrate near at most
+  // 3 values: check that the empirical spread is far from uniform by
+  // verifying many points share a small neighborhood.
+  std::size_t close_pairs = 0;
+  for (std::size_t i = 0; i < 100; ++i) {
+    for (std::size_t j = i + 1; j < 100; ++j) {
+      if (geom::dist(points[i], points[j]) < 0.5) ++close_pairs;
+    }
+  }
+  EXPECT_GT(close_pairs, 500u);
+}
+
+TEST(Generators, UniformHighwaySortedWithinRange) {
+  const auto inst = uniform_highway(200, 12.0, 7);
+  const auto& xs = inst.positions();
+  EXPECT_TRUE(std::is_sorted(xs.begin(), xs.end()));
+  EXPECT_GE(xs.front(), 0.0);
+  EXPECT_LT(xs.back(), 12.0);
+}
+
+TEST(Generators, PerturbedExponentialChainKeepsGrowth) {
+  const auto inst = perturbed_exponential_chain(32, 0.2, 8);
+  const auto& xs = inst.positions();
+  EXPECT_DOUBLE_EQ(xs.back() - xs.front(), 1.0);
+  // Gap ratios stay near 2 within the jitter envelope.
+  for (std::size_t i = 2; i < xs.size(); ++i) {
+    const double ratio = (xs[i] - xs[i - 1]) / (xs[i - 1] - xs[i - 2]);
+    EXPECT_GT(ratio, 2.0 * 0.8 / 1.2 - 1e-9);
+    EXPECT_LT(ratio, 2.0 * 1.2 / 0.8 + 1e-9);
+  }
+}
+
+TEST(Generators, PerturbedChainWithZeroJitterIsExactChain) {
+  const auto jittered = perturbed_exponential_chain(16, 0.0, 9);
+  const auto exact = highway::exponential_chain(16);
+  for (std::size_t i = 0; i < 16; ++i) {
+    EXPECT_NEAR(jittered.position(static_cast<NodeId>(i)),
+                exact.position(static_cast<NodeId>(i)), 1e-12);
+  }
+}
+
+TEST(Generators, BlockedHighwayStructure) {
+  const auto inst = blocked_highway(4, 25, 0.5, 2.0, 10);
+  EXPECT_EQ(inst.size(), 100u);
+  // Every point lies inside its block's [left, left + width) interval.
+  for (std::size_t i = 0; i < inst.size(); ++i) {
+    const double x = inst.position(static_cast<NodeId>(i));
+    const double offset = std::fmod(x, 2.0);
+    EXPECT_LT(offset, 0.5);
+  }
+}
+
+}  // namespace
+}  // namespace rim::sim

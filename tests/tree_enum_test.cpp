@@ -1,0 +1,108 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "rim/graph/connectivity.hpp"
+#include "rim/graph/tree_enum.hpp"
+
+namespace rim::graph {
+namespace {
+
+TEST(Cayley, KnownCounts) {
+  EXPECT_EQ(cayley_count(1), 1u);
+  EXPECT_EQ(cayley_count(2), 1u);
+  EXPECT_EQ(cayley_count(3), 3u);
+  EXPECT_EQ(cayley_count(4), 16u);
+  EXPECT_EQ(cayley_count(5), 125u);
+  EXPECT_EQ(cayley_count(8), 262144u);
+}
+
+TEST(Prufer, DecodeKnownSequence) {
+  // Sequence (3,3,3,4) on n=6 is the classic textbook example.
+  const std::vector<NodeId> seq{3, 3, 3, 4};
+  const auto edges = prufer_decode(seq, 6);
+  ASSERT_EQ(edges.size(), 5u);
+  const Graph g(6, edges);
+  EXPECT_TRUE(is_connected(g));
+  EXPECT_TRUE(is_forest(g));
+  EXPECT_EQ(g.degree(3), 4u);  // appears 3 times in seq => degree 4
+  EXPECT_EQ(g.degree(4), 2u);
+}
+
+TEST(Prufer, DecodeStarAndPath) {
+  // All-same sequence => star centered at that node.
+  const auto star = prufer_decode(std::vector<NodeId>{2, 2, 2}, 5);
+  const Graph gs(5, star);
+  EXPECT_EQ(gs.degree(2), 4u);
+  // n=2: empty sequence => single edge.
+  const auto pair = prufer_decode(std::vector<NodeId>{}, 2);
+  ASSERT_EQ(pair.size(), 1u);
+  EXPECT_EQ(pair[0], (Edge{0, 1}));
+}
+
+class PruferRoundTrip : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(PruferRoundTrip, EncodeInvertsDecode) {
+  const std::size_t n = GetParam();
+  std::vector<NodeId> seq(n - 2, 0);
+  std::size_t checked = 0;
+  while (true) {
+    const auto edges = prufer_decode(seq, n);
+    const Graph tree(n, edges);
+    EXPECT_EQ(prufer_encode(tree), seq);
+    ++checked;
+    std::size_t i = 0;
+    while (i < seq.size() && ++seq[i] == n) seq[i++] = 0;
+    if (i == seq.size()) break;
+  }
+  EXPECT_EQ(checked, cayley_count(n));
+}
+
+INSTANTIATE_TEST_SUITE_P(SmallN, PruferRoundTrip, ::testing::Values(3u, 4u, 5u, 6u));
+
+class TreeEnumeration : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(TreeEnumeration, VisitsExactlyCayleyManyDistinctTrees) {
+  const std::size_t n = GetParam();
+  std::set<std::vector<Edge>> seen;
+  std::uint64_t count = 0;
+  for_each_labeled_tree(n, [&](std::span<const Edge> edges) {
+    std::vector<Edge> sorted(edges.begin(), edges.end());
+    std::sort(sorted.begin(), sorted.end());
+    seen.insert(sorted);
+    ++count;
+    // Every visited edge set must be a spanning tree.
+    const Graph g(n, edges);
+    EXPECT_TRUE(is_connected(g));
+    EXPECT_TRUE(is_forest(g));
+    return true;
+  });
+  EXPECT_EQ(count, cayley_count(n));
+  EXPECT_EQ(seen.size(), cayley_count(n));  // all distinct
+}
+
+INSTANTIATE_TEST_SUITE_P(SmallN, TreeEnumeration,
+                         ::testing::Values(2u, 3u, 4u, 5u, 6u, 7u));
+
+TEST(TreeEnumeration, EarlyStopRespected) {
+  std::uint64_t count = 0;
+  for_each_labeled_tree(6, [&](std::span<const Edge>) {
+    ++count;
+    return count < 10;
+  });
+  EXPECT_EQ(count, 10u);
+}
+
+TEST(TreeEnumeration, NoTreesBelowTwoNodes) {
+  std::uint64_t count = 0;
+  for_each_labeled_tree(1, [&](std::span<const Edge>) {
+    ++count;
+    return true;
+  });
+  EXPECT_EQ(count, 0u);
+}
+
+}  // namespace
+}  // namespace rim::graph
