@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_2d_extension.dir/bench_2d_extension.cpp.o"
+  "CMakeFiles/bench_2d_extension.dir/bench_2d_extension.cpp.o.d"
+  "bench_2d_extension"
+  "bench_2d_extension.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_2d_extension.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_robustness.dir/bench_fig1_robustness.cpp.o"
+  "CMakeFiles/bench_fig1_robustness.dir/bench_fig1_robustness.cpp.o.d"
+  "bench_fig1_robustness"
+  "bench_fig1_robustness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_robustness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig35_nnf.dir/bench_fig35_nnf.cpp.o"
+  "CMakeFiles/bench_fig35_nnf.dir/bench_fig35_nnf.cpp.o.d"
+  "bench_fig35_nnf"
+  "bench_fig35_nnf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig35_nnf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_aexp.dir/bench_fig8_aexp.cpp.o"
+  "CMakeFiles/bench_fig8_aexp.dir/bench_fig8_aexp.cpp.o.d"
+  "bench_fig8_aexp"
+  "bench_fig8_aexp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_aexp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

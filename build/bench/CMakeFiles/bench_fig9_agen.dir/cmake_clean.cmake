@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_agen.dir/bench_fig9_agen.cpp.o"
+  "CMakeFiles/bench_fig9_agen.dir/bench_fig9_agen.cpp.o.d"
+  "bench_fig9_agen"
+  "bench_fig9_agen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_agen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_mac_collisions.dir/bench_mac_collisions.cpp.o"
+  "CMakeFiles/bench_mac_collisions.dir/bench_mac_collisions.cpp.o.d"
+  "bench_mac_collisions"
+  "bench_mac_collisions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_mac_collisions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_model_compare.dir/bench_model_compare.cpp.o"
+  "CMakeFiles/bench_model_compare.dir/bench_model_compare.cpp.o.d"
+  "bench_model_compare"
+  "bench_model_compare.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_model_compare.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sinr_schedule.dir/bench_sinr_schedule.cpp.o"
+  "CMakeFiles/bench_sinr_schedule.dir/bench_sinr_schedule.cpp.o.d"
+  "bench_sinr_schedule"
+  "bench_sinr_schedule.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sinr_schedule.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_thm56_aapx.dir/bench_thm56_aapx.cpp.o"
+  "CMakeFiles/bench_thm56_aapx.dir/bench_thm56_aapx.cpp.o.d"
+  "bench_thm56_aapx"
+  "bench_thm56_aapx.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_thm56_aapx.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_topology_zoo.dir/bench_topology_zoo.cpp.o"
+  "CMakeFiles/bench_topology_zoo.dir/bench_topology_zoo.cpp.o.d"
+  "bench_topology_zoo"
+  "bench_topology_zoo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_topology_zoo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/highway_demo.dir/highway_demo.cpp.o"
+  "CMakeFiles/highway_demo.dir/highway_demo.cpp.o.d"
+  "highway_demo"
+  "highway_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/highway_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

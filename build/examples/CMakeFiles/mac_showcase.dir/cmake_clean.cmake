@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mac_showcase.dir/mac_showcase.cpp.o"
+  "CMakeFiles/mac_showcase.dir/mac_showcase.cpp.o.d"
+  "mac_showcase"
+  "mac_showcase.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mac_showcase.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rim_cli.dir/rim_cli.cpp.o"
+  "CMakeFiles/rim_cli.dir/rim_cli.cpp.o.d"
+  "rim_cli"
+  "rim_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rim_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

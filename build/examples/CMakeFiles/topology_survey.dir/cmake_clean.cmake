@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/topology_survey.dir/topology_survey.cpp.o"
+  "CMakeFiles/topology_survey.dir/topology_survey.cpp.o.d"
+  "topology_survey"
+  "topology_survey.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/topology_survey.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,81 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rim/analysis/experiment.cpp" "src/CMakeFiles/rim.dir/rim/analysis/experiment.cpp.o" "gcc" "src/CMakeFiles/rim.dir/rim/analysis/experiment.cpp.o.d"
+  "/root/repo/src/rim/analysis/fit.cpp" "src/CMakeFiles/rim.dir/rim/analysis/fit.cpp.o" "gcc" "src/CMakeFiles/rim.dir/rim/analysis/fit.cpp.o.d"
+  "/root/repo/src/rim/analysis/histogram.cpp" "src/CMakeFiles/rim.dir/rim/analysis/histogram.cpp.o" "gcc" "src/CMakeFiles/rim.dir/rim/analysis/histogram.cpp.o.d"
+  "/root/repo/src/rim/analysis/stats.cpp" "src/CMakeFiles/rim.dir/rim/analysis/stats.cpp.o" "gcc" "src/CMakeFiles/rim.dir/rim/analysis/stats.cpp.o.d"
+  "/root/repo/src/rim/core/incremental.cpp" "src/CMakeFiles/rim.dir/rim/core/incremental.cpp.o" "gcc" "src/CMakeFiles/rim.dir/rim/core/incremental.cpp.o.d"
+  "/root/repo/src/rim/core/interference.cpp" "src/CMakeFiles/rim.dir/rim/core/interference.cpp.o" "gcc" "src/CMakeFiles/rim.dir/rim/core/interference.cpp.o.d"
+  "/root/repo/src/rim/core/radii.cpp" "src/CMakeFiles/rim.dir/rim/core/radii.cpp.o" "gcc" "src/CMakeFiles/rim.dir/rim/core/radii.cpp.o.d"
+  "/root/repo/src/rim/core/sender_centric.cpp" "src/CMakeFiles/rim.dir/rim/core/sender_centric.cpp.o" "gcc" "src/CMakeFiles/rim.dir/rim/core/sender_centric.cpp.o.d"
+  "/root/repo/src/rim/dist/engine.cpp" "src/CMakeFiles/rim.dir/rim/dist/engine.cpp.o" "gcc" "src/CMakeFiles/rim.dir/rim/dist/engine.cpp.o.d"
+  "/root/repo/src/rim/dist/protocols.cpp" "src/CMakeFiles/rim.dir/rim/dist/protocols.cpp.o" "gcc" "src/CMakeFiles/rim.dir/rim/dist/protocols.cpp.o.d"
+  "/root/repo/src/rim/ext2d/grid_hub.cpp" "src/CMakeFiles/rim.dir/rim/ext2d/grid_hub.cpp.o" "gcc" "src/CMakeFiles/rim.dir/rim/ext2d/grid_hub.cpp.o.d"
+  "/root/repo/src/rim/ext2d/min_interference.cpp" "src/CMakeFiles/rim.dir/rim/ext2d/min_interference.cpp.o" "gcc" "src/CMakeFiles/rim.dir/rim/ext2d/min_interference.cpp.o.d"
+  "/root/repo/src/rim/geom/closest_pair.cpp" "src/CMakeFiles/rim.dir/rim/geom/closest_pair.cpp.o" "gcc" "src/CMakeFiles/rim.dir/rim/geom/closest_pair.cpp.o.d"
+  "/root/repo/src/rim/geom/convex_hull.cpp" "src/CMakeFiles/rim.dir/rim/geom/convex_hull.cpp.o" "gcc" "src/CMakeFiles/rim.dir/rim/geom/convex_hull.cpp.o.d"
+  "/root/repo/src/rim/geom/delaunay.cpp" "src/CMakeFiles/rim.dir/rim/geom/delaunay.cpp.o" "gcc" "src/CMakeFiles/rim.dir/rim/geom/delaunay.cpp.o.d"
+  "/root/repo/src/rim/geom/grid_index.cpp" "src/CMakeFiles/rim.dir/rim/geom/grid_index.cpp.o" "gcc" "src/CMakeFiles/rim.dir/rim/geom/grid_index.cpp.o.d"
+  "/root/repo/src/rim/geom/kdtree.cpp" "src/CMakeFiles/rim.dir/rim/geom/kdtree.cpp.o" "gcc" "src/CMakeFiles/rim.dir/rim/geom/kdtree.cpp.o.d"
+  "/root/repo/src/rim/graph/connectivity.cpp" "src/CMakeFiles/rim.dir/rim/graph/connectivity.cpp.o" "gcc" "src/CMakeFiles/rim.dir/rim/graph/connectivity.cpp.o.d"
+  "/root/repo/src/rim/graph/graph.cpp" "src/CMakeFiles/rim.dir/rim/graph/graph.cpp.o" "gcc" "src/CMakeFiles/rim.dir/rim/graph/graph.cpp.o.d"
+  "/root/repo/src/rim/graph/mst.cpp" "src/CMakeFiles/rim.dir/rim/graph/mst.cpp.o" "gcc" "src/CMakeFiles/rim.dir/rim/graph/mst.cpp.o.d"
+  "/root/repo/src/rim/graph/shortest_path.cpp" "src/CMakeFiles/rim.dir/rim/graph/shortest_path.cpp.o" "gcc" "src/CMakeFiles/rim.dir/rim/graph/shortest_path.cpp.o.d"
+  "/root/repo/src/rim/graph/stretch.cpp" "src/CMakeFiles/rim.dir/rim/graph/stretch.cpp.o" "gcc" "src/CMakeFiles/rim.dir/rim/graph/stretch.cpp.o.d"
+  "/root/repo/src/rim/graph/tree_enum.cpp" "src/CMakeFiles/rim.dir/rim/graph/tree_enum.cpp.o" "gcc" "src/CMakeFiles/rim.dir/rim/graph/tree_enum.cpp.o.d"
+  "/root/repo/src/rim/graph/udg.cpp" "src/CMakeFiles/rim.dir/rim/graph/udg.cpp.o" "gcc" "src/CMakeFiles/rim.dir/rim/graph/udg.cpp.o.d"
+  "/root/repo/src/rim/highway/a_apx.cpp" "src/CMakeFiles/rim.dir/rim/highway/a_apx.cpp.o" "gcc" "src/CMakeFiles/rim.dir/rim/highway/a_apx.cpp.o.d"
+  "/root/repo/src/rim/highway/a_exp.cpp" "src/CMakeFiles/rim.dir/rim/highway/a_exp.cpp.o" "gcc" "src/CMakeFiles/rim.dir/rim/highway/a_exp.cpp.o.d"
+  "/root/repo/src/rim/highway/a_gen.cpp" "src/CMakeFiles/rim.dir/rim/highway/a_gen.cpp.o" "gcc" "src/CMakeFiles/rim.dir/rim/highway/a_gen.cpp.o.d"
+  "/root/repo/src/rim/highway/bounds.cpp" "src/CMakeFiles/rim.dir/rim/highway/bounds.cpp.o" "gcc" "src/CMakeFiles/rim.dir/rim/highway/bounds.cpp.o.d"
+  "/root/repo/src/rim/highway/critical.cpp" "src/CMakeFiles/rim.dir/rim/highway/critical.cpp.o" "gcc" "src/CMakeFiles/rim.dir/rim/highway/critical.cpp.o.d"
+  "/root/repo/src/rim/highway/exact_optimum.cpp" "src/CMakeFiles/rim.dir/rim/highway/exact_optimum.cpp.o" "gcc" "src/CMakeFiles/rim.dir/rim/highway/exact_optimum.cpp.o.d"
+  "/root/repo/src/rim/highway/highway_instance.cpp" "src/CMakeFiles/rim.dir/rim/highway/highway_instance.cpp.o" "gcc" "src/CMakeFiles/rim.dir/rim/highway/highway_instance.cpp.o.d"
+  "/root/repo/src/rim/highway/interference_1d.cpp" "src/CMakeFiles/rim.dir/rim/highway/interference_1d.cpp.o" "gcc" "src/CMakeFiles/rim.dir/rim/highway/interference_1d.cpp.o.d"
+  "/root/repo/src/rim/highway/linear_chain.cpp" "src/CMakeFiles/rim.dir/rim/highway/linear_chain.cpp.o" "gcc" "src/CMakeFiles/rim.dir/rim/highway/linear_chain.cpp.o.d"
+  "/root/repo/src/rim/highway/local_search.cpp" "src/CMakeFiles/rim.dir/rim/highway/local_search.cpp.o" "gcc" "src/CMakeFiles/rim.dir/rim/highway/local_search.cpp.o.d"
+  "/root/repo/src/rim/io/csv.cpp" "src/CMakeFiles/rim.dir/rim/io/csv.cpp.o" "gcc" "src/CMakeFiles/rim.dir/rim/io/csv.cpp.o.d"
+  "/root/repo/src/rim/io/dot.cpp" "src/CMakeFiles/rim.dir/rim/io/dot.cpp.o" "gcc" "src/CMakeFiles/rim.dir/rim/io/dot.cpp.o.d"
+  "/root/repo/src/rim/io/json.cpp" "src/CMakeFiles/rim.dir/rim/io/json.cpp.o" "gcc" "src/CMakeFiles/rim.dir/rim/io/json.cpp.o.d"
+  "/root/repo/src/rim/io/table.cpp" "src/CMakeFiles/rim.dir/rim/io/table.cpp.o" "gcc" "src/CMakeFiles/rim.dir/rim/io/table.cpp.o.d"
+  "/root/repo/src/rim/mac/csma_mac.cpp" "src/CMakeFiles/rim.dir/rim/mac/csma_mac.cpp.o" "gcc" "src/CMakeFiles/rim.dir/rim/mac/csma_mac.cpp.o.d"
+  "/root/repo/src/rim/mac/event_queue.cpp" "src/CMakeFiles/rim.dir/rim/mac/event_queue.cpp.o" "gcc" "src/CMakeFiles/rim.dir/rim/mac/event_queue.cpp.o.d"
+  "/root/repo/src/rim/mac/medium.cpp" "src/CMakeFiles/rim.dir/rim/mac/medium.cpp.o" "gcc" "src/CMakeFiles/rim.dir/rim/mac/medium.cpp.o.d"
+  "/root/repo/src/rim/mac/simulation.cpp" "src/CMakeFiles/rim.dir/rim/mac/simulation.cpp.o" "gcc" "src/CMakeFiles/rim.dir/rim/mac/simulation.cpp.o.d"
+  "/root/repo/src/rim/mac/slotted_mac.cpp" "src/CMakeFiles/rim.dir/rim/mac/slotted_mac.cpp.o" "gcc" "src/CMakeFiles/rim.dir/rim/mac/slotted_mac.cpp.o.d"
+  "/root/repo/src/rim/parallel/thread_pool.cpp" "src/CMakeFiles/rim.dir/rim/parallel/thread_pool.cpp.o" "gcc" "src/CMakeFiles/rim.dir/rim/parallel/thread_pool.cpp.o.d"
+  "/root/repo/src/rim/phy/scheduling.cpp" "src/CMakeFiles/rim.dir/rim/phy/scheduling.cpp.o" "gcc" "src/CMakeFiles/rim.dir/rim/phy/scheduling.cpp.o.d"
+  "/root/repo/src/rim/phy/sinr.cpp" "src/CMakeFiles/rim.dir/rim/phy/sinr.cpp.o" "gcc" "src/CMakeFiles/rim.dir/rim/phy/sinr.cpp.o.d"
+  "/root/repo/src/rim/routing/geographic.cpp" "src/CMakeFiles/rim.dir/rim/routing/geographic.cpp.o" "gcc" "src/CMakeFiles/rim.dir/rim/routing/geographic.cpp.o.d"
+  "/root/repo/src/rim/sim/adversarial.cpp" "src/CMakeFiles/rim.dir/rim/sim/adversarial.cpp.o" "gcc" "src/CMakeFiles/rim.dir/rim/sim/adversarial.cpp.o.d"
+  "/root/repo/src/rim/sim/churn.cpp" "src/CMakeFiles/rim.dir/rim/sim/churn.cpp.o" "gcc" "src/CMakeFiles/rim.dir/rim/sim/churn.cpp.o.d"
+  "/root/repo/src/rim/sim/generators.cpp" "src/CMakeFiles/rim.dir/rim/sim/generators.cpp.o" "gcc" "src/CMakeFiles/rim.dir/rim/sim/generators.cpp.o.d"
+  "/root/repo/src/rim/sim/rng.cpp" "src/CMakeFiles/rim.dir/rim/sim/rng.cpp.o" "gcc" "src/CMakeFiles/rim.dir/rim/sim/rng.cpp.o.d"
+  "/root/repo/src/rim/topology/cbtc.cpp" "src/CMakeFiles/rim.dir/rim/topology/cbtc.cpp.o" "gcc" "src/CMakeFiles/rim.dir/rim/topology/cbtc.cpp.o.d"
+  "/root/repo/src/rim/topology/gabriel.cpp" "src/CMakeFiles/rim.dir/rim/topology/gabriel.cpp.o" "gcc" "src/CMakeFiles/rim.dir/rim/topology/gabriel.cpp.o.d"
+  "/root/repo/src/rim/topology/knn.cpp" "src/CMakeFiles/rim.dir/rim/topology/knn.cpp.o" "gcc" "src/CMakeFiles/rim.dir/rim/topology/knn.cpp.o.d"
+  "/root/repo/src/rim/topology/life.cpp" "src/CMakeFiles/rim.dir/rim/topology/life.cpp.o" "gcc" "src/CMakeFiles/rim.dir/rim/topology/life.cpp.o.d"
+  "/root/repo/src/rim/topology/lise.cpp" "src/CMakeFiles/rim.dir/rim/topology/lise.cpp.o" "gcc" "src/CMakeFiles/rim.dir/rim/topology/lise.cpp.o.d"
+  "/root/repo/src/rim/topology/lmst.cpp" "src/CMakeFiles/rim.dir/rim/topology/lmst.cpp.o" "gcc" "src/CMakeFiles/rim.dir/rim/topology/lmst.cpp.o.d"
+  "/root/repo/src/rim/topology/mst_topology.cpp" "src/CMakeFiles/rim.dir/rim/topology/mst_topology.cpp.o" "gcc" "src/CMakeFiles/rim.dir/rim/topology/mst_topology.cpp.o.d"
+  "/root/repo/src/rim/topology/nearest_neighbor_forest.cpp" "src/CMakeFiles/rim.dir/rim/topology/nearest_neighbor_forest.cpp.o" "gcc" "src/CMakeFiles/rim.dir/rim/topology/nearest_neighbor_forest.cpp.o.d"
+  "/root/repo/src/rim/topology/registry.cpp" "src/CMakeFiles/rim.dir/rim/topology/registry.cpp.o" "gcc" "src/CMakeFiles/rim.dir/rim/topology/registry.cpp.o.d"
+  "/root/repo/src/rim/topology/rng_graph.cpp" "src/CMakeFiles/rim.dir/rim/topology/rng_graph.cpp.o" "gcc" "src/CMakeFiles/rim.dir/rim/topology/rng_graph.cpp.o.d"
+  "/root/repo/src/rim/topology/xtc.cpp" "src/CMakeFiles/rim.dir/rim/topology/xtc.cpp.o" "gcc" "src/CMakeFiles/rim.dir/rim/topology/xtc.cpp.o.d"
+  "/root/repo/src/rim/topology/yao.cpp" "src/CMakeFiles/rim.dir/rim/topology/yao.cpp.o" "gcc" "src/CMakeFiles/rim.dir/rim/topology/yao.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

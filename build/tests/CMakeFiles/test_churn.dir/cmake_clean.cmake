@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_churn.dir/churn_test.cpp.o"
+  "CMakeFiles/test_churn.dir/churn_test.cpp.o.d"
+  "test_churn"
+  "test_churn.pdb"
+  "test_churn[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_churn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_exact_optimum.dir/exact_optimum_test.cpp.o"
+  "CMakeFiles/test_exact_optimum.dir/exact_optimum_test.cpp.o.d"
+  "test_exact_optimum"
+  "test_exact_optimum.pdb"
+  "test_exact_optimum[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_exact_optimum.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ext2d.dir/ext2d_test.cpp.o"
+  "CMakeFiles/test_ext2d.dir/ext2d_test.cpp.o.d"
+  "test_ext2d"
+  "test_ext2d.pdb"
+  "test_ext2d[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ext2d.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_highway_algorithms.dir/highway_algorithms_test.cpp.o"
+  "CMakeFiles/test_highway_algorithms.dir/highway_algorithms_test.cpp.o.d"
+  "test_highway_algorithms"
+  "test_highway_algorithms.pdb"
+  "test_highway_algorithms[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_highway_algorithms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

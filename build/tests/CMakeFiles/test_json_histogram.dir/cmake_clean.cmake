@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_json_histogram.dir/json_histogram_test.cpp.o"
+  "CMakeFiles/test_json_histogram.dir/json_histogram_test.cpp.o.d"
+  "test_json_histogram"
+  "test_json_histogram.pdb"
+  "test_json_histogram[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_json_histogram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sender_centric.dir/sender_centric_test.cpp.o"
+  "CMakeFiles/test_sender_centric.dir/sender_centric_test.cpp.o.d"
+  "test_sender_centric"
+  "test_sender_centric.pdb"
+  "test_sender_centric[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sender_centric.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

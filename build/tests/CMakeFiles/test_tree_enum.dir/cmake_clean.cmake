@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tree_enum.dir/tree_enum_test.cpp.o"
+  "CMakeFiles/test_tree_enum.dir/tree_enum_test.cpp.o.d"
+  "test_tree_enum"
+  "test_tree_enum.pdb"
+  "test_tree_enum[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tree_enum.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
