@@ -6,6 +6,7 @@
 
 #include "rim/core/interference.hpp"
 #include "rim/core/radii.hpp"
+#include "rim/core/scenario.hpp"
 #include "rim/geom/grid_index.hpp"
 #include "rim/geom/kdtree.hpp"
 #include "rim/graph/udg.hpp"
@@ -15,6 +16,7 @@
 #include "rim/highway/highway_instance.hpp"
 #include "rim/highway/interference_1d.hpp"
 #include "rim/sim/generators.hpp"
+#include "rim/sim/rng.hpp"
 #include "rim/topology/mst_topology.hpp"
 #include "rim/topology/registry.hpp"
 
@@ -69,6 +71,56 @@ void BM_InterferenceParallel(benchmark::State& state) {
   state.SetComplexityN(state.range(0));
 }
 BENCHMARK(BM_InterferenceParallel)
+    ->RangeMultiplier(4)
+    ->Range(256, 65536)
+    ->Complexity();
+
+void BM_ScenarioChurnEvent(benchmark::State& state) {
+  // One fully-evaluated churn tick on the incremental engine: alternating
+  // arrival (nearest-neighbor attachment) and departure, with the
+  // interference cache refreshed after every event. Compare against
+  // BM_InterferenceGrid at the same n for the incremental-vs-full gap.
+  const Prepared p = prepare(static_cast<std::size_t>(state.range(0)));
+  const double side = std::sqrt(static_cast<double>(p.points.size()) / 12.5);
+  core::Scenario scenario(p.points, p.mst);
+  benchmark::DoNotOptimize(scenario.max_interference());
+  sim::Rng rng(19);
+  bool add = true;
+  for (auto _ : state) {
+    if (add) {
+      const geom::Vec2 q{rng.uniform(0.0, side), rng.uniform(0.0, side)};
+      const NodeId id = scenario.add_node(q);
+      const NodeId partner = scenario.nearest_node(q, id);
+      if (partner != kInvalidNode) scenario.add_edge(id, partner);
+    } else {
+      scenario.remove_node(
+          static_cast<NodeId>(rng.next_below(scenario.node_count())));
+    }
+    add = !add;
+    benchmark::DoNotOptimize(scenario.max_interference());
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_ScenarioChurnEvent)
+    ->RangeMultiplier(4)
+    ->Range(256, 65536)
+    ->Complexity();
+
+void BM_ScenarioMoveNode(benchmark::State& state) {
+  const Prepared p = prepare(static_cast<std::size_t>(state.range(0)));
+  core::Scenario scenario(p.points, p.mst);
+  benchmark::DoNotOptimize(scenario.max_interference());
+  sim::Rng rng(23);
+  for (auto _ : state) {
+    const auto v = static_cast<NodeId>(rng.next_below(scenario.node_count()));
+    const geom::Vec2 q = scenario.position(v);
+    scenario.move_node(v, {q.x + 0.1 * (rng.next_double() - 0.5),
+                           q.y + 0.1 * (rng.next_double() - 0.5)});
+    benchmark::DoNotOptimize(scenario.max_interference());
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_ScenarioMoveNode)
     ->RangeMultiplier(4)
     ->Range(256, 65536)
     ->Complexity();

@@ -2,29 +2,12 @@
 
 #include <algorithm>
 #include <cassert>
-#include <limits>
 
 #include "rim/core/interference.hpp"
+#include "rim/core/scenario.hpp"
 #include "rim/core/sender_centric.hpp"
 
 namespace rim::core {
-
-namespace {
-
-NodeId nearest_node(std::span<const geom::Vec2> points, geom::Vec2 q) {
-  NodeId best = kInvalidNode;
-  double best_d2 = std::numeric_limits<double>::infinity();
-  for (NodeId v = 0; v < points.size(); ++v) {
-    const double d2 = geom::dist2(points[v], q);
-    if (d2 < best_d2) {
-      best_d2 = d2;
-      best = v;
-    }
-  }
-  return best;
-}
-
-}  // namespace
 
 NodeAdditionImpact assess_node_addition(std::span<const geom::Vec2> points,
                                         const graph::Graph& topology,
@@ -32,28 +15,29 @@ NodeAdditionImpact assess_node_addition(std::span<const geom::Vec2> points,
   assert(points.size() == topology.node_count());
   NodeAdditionImpact impact;
 
-  const InterferenceSummary before = evaluate_interference(topology, points);
+  // One full evaluation for the "before" state; the addition itself is an
+  // O(affected-disk) Scenario delta, not a second full recompute.
+  Scenario scenario(points, topology);
+  const InterferenceSummary before = scenario.summary();
   impact.receiver_before = before.max;
   impact.sender_before = evaluate_sender_centric(topology, points).max;
 
-  geom::PointSet extended(points.begin(), points.end());
-  extended.push_back(new_point);
-  graph::Graph after(topology.node_count(), topology.edges());
-  const NodeId newcomer = after.add_node();
+  const NodeId newcomer = scenario.add_node(new_point);
   if (policy == AttachPolicy::kNearestNeighbor && !points.empty()) {
-    after.add_edge(newcomer, nearest_node(points, new_point));
+    scenario.add_edge(newcomer, scenario.nearest_node(new_point, newcomer));
   }
 
-  const InterferenceSummary summary_after = evaluate_interference(after, extended);
-  impact.receiver_after = summary_after.max;
-  impact.newcomer_interference = summary_after.per_node[newcomer];
+  const std::span<const std::uint32_t> after = scenario.interference();
+  impact.receiver_after = scenario.max_interference();
+  impact.newcomer_interference = after[newcomer];
   for (NodeId v = 0; v < points.size(); ++v) {
-    const std::uint32_t inc = summary_after.per_node[v] > before.per_node[v]
-                                  ? summary_after.per_node[v] - before.per_node[v]
-                                  : 0;
-    impact.receiver_max_node_increase = std::max(impact.receiver_max_node_increase, inc);
+    const std::uint32_t inc =
+        after[v] > before.per_node[v] ? after[v] - before.per_node[v] : 0;
+    impact.receiver_max_node_increase =
+        std::max(impact.receiver_max_node_increase, inc);
   }
-  impact.sender_after = evaluate_sender_centric(after, extended).max;
+  impact.sender_after =
+      evaluate_sender_centric(scenario.topology(), scenario.points()).max;
   return impact;
 }
 
@@ -61,29 +45,21 @@ NodeRemovalImpact assess_node_removal(std::span<const geom::Vec2> points,
                                       const graph::Graph& topology, NodeId victim) {
   assert(victim < topology.node_count());
   NodeRemovalImpact impact;
-  const InterferenceSummary before = evaluate_interference(topology, points);
+
+  Scenario scenario(points, topology);
+  const InterferenceSummary before = scenario.summary();
   impact.receiver_before = before.max;
 
-  // Rebuild without the victim; surviving nodes keep their ids via remap.
-  geom::PointSet kept;
-  std::vector<NodeId> remap(points.size(), kInvalidNode);
-  for (NodeId v = 0; v < points.size(); ++v) {
-    if (v == victim) continue;
-    remap[v] = static_cast<NodeId>(kept.size());
-    kept.push_back(points[v]);
-  }
-  graph::Graph after(kept.size());
-  for (graph::Edge e : topology.edges()) {
-    if (e.u == victim || e.v == victim) continue;
-    after.add_edge(remap[e.u], remap[e.v]);
-  }
+  // Scenario keeps ids dense by renaming the last node into the vacated
+  // slot; `renamed` records that survivor's former id.
+  const NodeId renamed = scenario.remove_node(victim);
 
-  const InterferenceSummary summary_after = evaluate_interference(after, kept);
-  impact.receiver_after = summary_after.max;
+  const std::span<const std::uint32_t> after = scenario.interference();
+  impact.receiver_after = scenario.max_interference();
   for (NodeId v = 0; v < points.size(); ++v) {
     if (v == victim) continue;
     const std::uint32_t old_i = before.per_node[v];
-    const std::uint32_t new_i = summary_after.per_node[remap[v]];
+    const std::uint32_t new_i = after[v == renamed ? victim : v];
     if (new_i > old_i) {
       impact.receiver_max_node_increase =
           std::max(impact.receiver_max_node_increase, new_i - old_i);

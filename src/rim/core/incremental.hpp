@@ -17,6 +17,11 @@
 /// partner enlarges its range to reach it. The sender-centric model has no
 /// such bound: a single added node can force an edge whose coverage is n
 /// (Figure 1). These helpers quantify both effects for experiments E1/E11.
+///
+/// Both assessors are thin wrappers over a temporary core::Scenario: the
+/// "before" state costs one full evaluation, the mutation itself is an
+/// O(affected-disk) incremental delta. Long-lived churn loops should hold
+/// a Scenario directly instead of calling these per event.
 
 namespace rim::core {
 

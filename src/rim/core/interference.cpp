@@ -6,6 +6,7 @@
 #include <cmath>
 
 #include "rim/core/radii.hpp"
+#include "rim/core/scenario.hpp"
 #include "rim/geom/grid_index.hpp"
 #include "rim/parallel/parallel_for.hpp"
 
@@ -78,29 +79,17 @@ std::vector<std::uint32_t> eval_brute(std::span<const geom::Vec2> points,
   return covered;
 }
 
-EvalStrategy resolve(EvalStrategy strategy, std::size_t n) {
+}  // namespace
+
+EvalStrategy resolve_strategy(EvalStrategy strategy, std::size_t node_count) {
   if (strategy != EvalStrategy::kAuto) return strategy;
-  if (n <= 64) return EvalStrategy::kBrute;
-  if (n <= 4096) return EvalStrategy::kGrid;
+  if (node_count <= kAutoBruteMaxNodes) return EvalStrategy::kBrute;
+  if (node_count <= kAutoGridMaxNodes) return EvalStrategy::kGrid;
   return EvalStrategy::kParallel;
 }
 
-std::vector<std::uint32_t> dispatch(std::span<const geom::Vec2> points,
-                                    std::span<const double> radii2,
-                                    EvalStrategy strategy) {
-  switch (resolve(strategy, points.size())) {
-    case EvalStrategy::kGrid:
-      return eval_grid(points, radii2);
-    case EvalStrategy::kParallel:
-      return eval_parallel(points, radii2);
-    case EvalStrategy::kBrute:
-    case EvalStrategy::kAuto:
-      break;
-  }
-  return eval_brute(points, radii2);
-}
-
-InterferenceSummary summarize(std::vector<std::uint32_t> per_node) {
+InterferenceSummary InterferenceSummary::from_per_node(
+    std::vector<std::uint32_t> per_node) {
   InterferenceSummary summary;
   summary.per_node = std::move(per_node);
   for (std::uint32_t i : summary.per_node) {
@@ -113,8 +102,6 @@ InterferenceSummary summarize(std::vector<std::uint32_t> per_node) {
                            static_cast<double>(summary.per_node.size());
   return summary;
 }
-
-}  // namespace
 
 std::vector<std::uint32_t> InterferenceSummary::histogram() const {
   std::vector<std::uint32_t> bins(static_cast<std::size_t>(max) + 1, 0);
@@ -139,15 +126,33 @@ std::vector<std::uint32_t> interference_vector(std::span<const geom::Vec2> point
   assert(points.size() == radii.size());
   std::vector<double> radii2(radii.size());
   for (std::size_t i = 0; i < radii.size(); ++i) radii2[i] = radii[i] * radii[i];
-  return dispatch(points, radii2, strategy);
+  return interference_vector_squared(points, radii2, strategy);
+}
+
+std::vector<std::uint32_t> interference_vector_squared(
+    std::span<const geom::Vec2> points, std::span<const double> radii2,
+    EvalStrategy strategy) {
+  assert(points.size() == radii2.size());
+  switch (resolve_strategy(strategy, points.size())) {
+    case EvalStrategy::kGrid:
+      return eval_grid(points, radii2);
+    case EvalStrategy::kParallel:
+      return eval_parallel(points, radii2);
+    case EvalStrategy::kBrute:
+    case EvalStrategy::kAuto:
+      break;
+  }
+  return eval_brute(points, radii2);
 }
 
 InterferenceSummary evaluate_interference(const graph::Graph& topology,
                                           std::span<const geom::Vec2> points,
                                           EvalStrategy strategy) {
   assert(topology.node_count() == points.size());
-  const std::vector<double> radii2 = transmission_radii_squared(topology, points);
-  return summarize(dispatch(points, radii2, strategy));
+  // Thin wrapper over a one-shot Scenario so every evaluation, static or
+  // incremental, flows through the same engine.
+  Scenario scenario(points, topology, strategy);
+  return scenario.summary();
 }
 
 std::uint32_t graph_interference(const graph::Graph& topology,

@@ -21,6 +21,12 @@
 ///  - Grid:     per-node disk queries on a uniform grid keyed by the median
 ///              radius; expected near-linear for bounded-density instances.
 ///  - Parallel: Grid partitioned over the shared thread pool.
+///
+/// All of them recompute from scratch. For evolving networks (churn, local
+/// search, simulation ticks) prefer core::Scenario (scenario.hpp), the
+/// stateful engine that maintains the interference vector under
+/// add/remove/move mutations with O(affected-disk) work per event; the free
+/// functions below are one-shot conveniences layered on the same kernels.
 
 namespace rim::core {
 
@@ -30,6 +36,11 @@ struct InterferenceSummary {
   std::uint32_t max = 0;                ///< I(G'), Definition 3.2.
   double mean = 0.0;                    ///< average node interference.
   std::uint64_t total = 0;              ///< sum of I(v); equals total coverage.
+
+  /// Aggregate a per-node vector into a summary (max/mean/total). The single
+  /// aggregation point shared by every evaluation strategy and by Scenario.
+  [[nodiscard]] static InterferenceSummary from_per_node(
+      std::vector<std::uint32_t> per_node);
 
   /// Histogram: bucket k counts nodes with I(v) == k (size max+1).
   [[nodiscard]] std::vector<std::uint32_t> histogram() const;
@@ -42,6 +53,18 @@ enum class EvalStrategy : std::uint8_t {
   kAuto,      ///< pick by instance size.
 };
 
+/// EvalStrategy::kAuto thresholds, in one place (see resolve_strategy):
+/// instances up to kAutoBruteMaxNodes use the O(n^2) oracle (cheaper than
+/// building a grid), up to kAutoGridMaxNodes the serial grid, and anything
+/// larger the parallel grid.
+inline constexpr std::size_t kAutoBruteMaxNodes = 64;
+inline constexpr std::size_t kAutoGridMaxNodes = 4096;
+
+/// The concrete strategy kAuto resolves to for an instance of
+/// \p node_count nodes; non-kAuto strategies pass through unchanged.
+[[nodiscard]] EvalStrategy resolve_strategy(EvalStrategy strategy,
+                                            std::size_t node_count);
+
 /// Interference of node \p v under the given radii (Definition 3.1).
 /// A node exactly on a disk boundary counts as covered; self-interference
 /// is excluded.
@@ -50,12 +73,27 @@ enum class EvalStrategy : std::uint8_t {
                                               NodeId v);
 
 /// Per-node interference for all nodes under the given radii.
+///
+/// \deprecated For repeated evaluation of an evolving network, direct use
+/// of interference_vector (recomputing every node per call) is deprecated
+/// in favour of core::Scenario, which keeps the vector current under
+/// mutations at O(affected-disk) cost. One-shot callers are unaffected.
 [[nodiscard]] std::vector<std::uint32_t> interference_vector(
     std::span<const geom::Vec2> points, std::span<const double> radii,
     EvalStrategy strategy = EvalStrategy::kAuto);
 
+/// Like interference_vector but over *squared* radii — the exact form every
+/// evaluator uses internally (containment is dist2 <= radii2[u], no
+/// sqrt/square roundtrip). This is the batched full-evaluation kernel that
+/// Scenario falls back to when a delta touches too much of the instance.
+[[nodiscard]] std::vector<std::uint32_t> interference_vector_squared(
+    std::span<const geom::Vec2> points, std::span<const double> radii2,
+    EvalStrategy strategy = EvalStrategy::kAuto);
+
 /// Full summary for a topology: computes radii from the topology (r_u =
 /// distance to farthest neighbor) and evaluates Definition 3.1/3.2.
+/// Equivalent to constructing a one-shot Scenario and asking for summary();
+/// hold a Scenario instead when the network evolves.
 [[nodiscard]] InterferenceSummary evaluate_interference(
     const graph::Graph& topology, std::span<const geom::Vec2> points,
     EvalStrategy strategy = EvalStrategy::kAuto);

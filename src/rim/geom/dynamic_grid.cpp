@@ -1,0 +1,171 @@
+#include "rim/geom/dynamic_grid.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+namespace rim::geom {
+
+DynamicGrid::DynamicGrid(double cell_size) : cell_size_(cell_size) {
+  assert(cell_size_ > 0.0);
+}
+
+void DynamicGrid::clear(double cell_size) {
+  assert(cell_size > 0.0);
+  cell_size_ = cell_size;
+  count_ = 0;
+  cells_.clear();
+  pos_.clear();
+  key_.clear();
+  present_.clear();
+}
+
+std::int64_t DynamicGrid::coord(double x) const {
+  return static_cast<std::int64_t>(std::floor(x / cell_size_));
+}
+
+DynamicGrid::CellKey DynamicGrid::key_of(Vec2 p) const {
+  return pack(coord(p.x), coord(p.y));
+}
+
+void DynamicGrid::insert(NodeId id, Vec2 p) {
+  assert(!contains(id));
+  if (id >= present_.size()) {
+    pos_.resize(id + 1);
+    key_.resize(id + 1);
+    present_.resize(id + 1, 0);
+  }
+  pos_[id] = p;
+  key_[id] = key_of(p);
+  present_[id] = 1;
+  cells_[key_[id]].push_back(id);
+  ++count_;
+}
+
+void DynamicGrid::detach_from_cell(NodeId id) {
+  const auto it = cells_.find(key_[id]);
+  assert(it != cells_.end());
+  auto& bucket = it->second;
+  const auto pos = std::find(bucket.begin(), bucket.end(), id);
+  assert(pos != bucket.end());
+  *pos = bucket.back();
+  bucket.pop_back();
+  if (bucket.empty()) cells_.erase(it);
+}
+
+void DynamicGrid::erase(NodeId id) {
+  assert(contains(id));
+  detach_from_cell(id);
+  present_[id] = 0;
+  --count_;
+}
+
+void DynamicGrid::move(NodeId id, Vec2 p) {
+  assert(contains(id));
+  const CellKey key = key_of(p);
+  if (key != key_[id]) {
+    detach_from_cell(id);
+    key_[id] = key;
+    cells_[key].push_back(id);
+  }
+  pos_[id] = p;
+}
+
+void DynamicGrid::relabel(NodeId from, NodeId to) {
+  assert(contains(from) && !contains(to));
+  auto& bucket = cells_[key_[from]];
+  *std::find(bucket.begin(), bucket.end(), from) = to;
+  if (to >= present_.size()) {
+    pos_.resize(to + 1);
+    key_.resize(to + 1);
+    present_.resize(to + 1, 0);
+  }
+  pos_[to] = pos_[from];
+  key_[to] = key_[from];
+  present_[to] = 1;
+  present_[from] = 0;
+}
+
+std::size_t DynamicGrid::for_each_in_disk_squared(
+    Vec2 center, double radius2,
+    const std::function<void(NodeId, Vec2)>& fn) const {
+  if (count_ == 0 || radius2 < 0.0) return 0;
+  // Same ulp inflation as GridIndex: a point whose exact squared distance
+  // equals radius2 must never fall outside the visited cells.
+  const double walk = std::sqrt(radius2) * (1.0 + 4e-16) +
+                      std::numeric_limits<double>::denorm_min();
+  const std::int64_t lox = coord(center.x - walk);
+  const std::int64_t hix = coord(center.x + walk);
+  const std::int64_t loy = coord(center.y - walk);
+  const std::int64_t hiy = coord(center.y + walk);
+  const auto span_x = static_cast<double>(hix - lox + 1);
+  const auto span_y = static_cast<double>(hiy - loy + 1);
+  std::size_t cells_visited = 0;
+  // When the walk rectangle holds more cells than are occupied, scanning
+  // the occupied cells directly is cheaper (and bounds a huge-radius query
+  // by O(points) instead of O(rectangle area)).
+  if (span_x * span_y > static_cast<double>(cells_.size())) {
+    for (const auto& [key, bucket] : cells_) {
+      ++cells_visited;
+      for (NodeId id : bucket) {
+        if (dist2(pos_[id], center) <= radius2) fn(id, pos_[id]);
+      }
+    }
+    return cells_visited;
+  }
+  for (std::int64_t cy = loy; cy <= hiy; ++cy) {
+    for (std::int64_t cx = lox; cx <= hix; ++cx) {
+      const auto it = cells_.find(pack(cx, cy));
+      if (it == cells_.end()) continue;
+      ++cells_visited;
+      for (NodeId id : it->second) {
+        if (dist2(pos_[id], center) <= radius2) fn(id, pos_[id]);
+      }
+    }
+  }
+  return cells_visited;
+}
+
+std::size_t DynamicGrid::estimate_in_disk(Vec2 center, double radius) const {
+  (void)center;
+  if (count_ == 0 || radius < 0.0) return 0;
+  const double cells_across = std::floor(2.0 * radius / cell_size_) + 1.0;
+  const double rect_cells = cells_across * cells_across;
+  const auto occupied = static_cast<double>(cells_.size());
+  if (rect_cells >= occupied) return count_;
+  const double estimate =
+      rect_cells * static_cast<double>(count_) / occupied;
+  return static_cast<std::size_t>(
+      std::min(estimate, static_cast<double>(count_)));
+}
+
+NodeId DynamicGrid::nearest(Vec2 center, NodeId exclude) const {
+  if (count_ == 0 || (count_ == 1 && contains(exclude))) return kInvalidNode;
+  double radius = cell_size_;
+  while (true) {
+    NodeId best = kInvalidNode;
+    double best_d2 = std::numeric_limits<double>::infinity();
+    // A walk that degenerates to scanning every occupied cell has seen all
+    // points, so its best candidate is certainly the nearest.
+    const double walk_cells =
+        (std::floor(2.0 * radius / cell_size_) + 1.0) *
+        (std::floor(2.0 * radius / cell_size_) + 1.0);
+    for_each_in_disk_squared(center, radius * radius, [&](NodeId id, Vec2 p) {
+      if (id == exclude) return;
+      const double d2 = dist2(p, center);
+      if (d2 < best_d2 || (d2 == best_d2 && id < best)) {
+        best_d2 = d2;
+        best = id;
+      }
+    });
+    if (best != kInvalidNode && best_d2 <= radius * radius) return best;
+    if (walk_cells > static_cast<double>(cells_.size()) &&
+        best != kInvalidNode) {
+      return best;
+    }
+    radius *= 2.0;
+  }
+}
+
+}  // namespace rim::geom

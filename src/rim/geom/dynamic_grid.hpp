@@ -1,0 +1,99 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "rim/common/types.hpp"
+#include "rim/geom/vec2.hpp"
+
+/// \file dynamic_grid.hpp
+/// Mutable uniform-grid spatial index over an evolving point set.
+///
+/// The immutable geom::GridIndex is rebuilt from scratch for every
+/// evaluation — fine for one-shot queries, fatal for churn workloads where
+/// a single node arrives, departs, or moves per tick. DynamicGrid keeps the
+/// same cell decomposition in a hash map keyed by cell coordinate, so
+/// points can be inserted, erased, moved, and relabelled in O(1) expected
+/// time while disk queries stay O(cells ∩ disk). It is the persistent index
+/// behind core::Scenario's incremental interference engine.
+///
+/// Ids must be dense-ish small integers (they index internal arrays); the
+/// engine's swap-with-last removal keeps them dense. Unlike GridIndex the
+/// grid is unbounded: cells are materialised on demand, so points may roam
+/// anywhere without a prior bounding box.
+
+namespace rim::geom {
+
+class DynamicGrid {
+ public:
+  /// \p cell_size must be positive; pick it near the median query radius.
+  explicit DynamicGrid(double cell_size = 1.0);
+
+  /// Drop all points and start over with a new cell size.
+  void clear(double cell_size);
+
+  [[nodiscard]] std::size_t size() const { return count_; }
+  [[nodiscard]] double cell_size() const { return cell_size_; }
+  [[nodiscard]] bool contains(NodeId id) const {
+    return id < present_.size() && present_[id] != 0;
+  }
+  [[nodiscard]] Vec2 position(NodeId id) const { return pos_[id]; }
+
+  /// Insert \p id at \p p. \p id must not currently be present.
+  void insert(NodeId id, Vec2 p);
+
+  /// Remove \p id (must be present).
+  void erase(NodeId id);
+
+  /// Move \p id (must be present) to \p p.
+  void move(NodeId id, Vec2 p);
+
+  /// Rename \p from to \p to without moving the point. \p to must not be
+  /// present. Supports the engine's swap-with-last node removal.
+  void relabel(NodeId from, NodeId to);
+
+  /// Invoke fn(id, position) for every point with dist2(position, center)
+  /// <= radius2 (closed disk, exact squared test — same contract as
+  /// GridIndex::for_each_in_disk_squared). Returns the number of grid cells
+  /// visited, for the caller's observability counters.
+  std::size_t for_each_in_disk_squared(
+      Vec2 center, double radius2,
+      const std::function<void(NodeId, Vec2)>& fn) const;
+
+  /// O(1) estimate of how many points a disk query would touch, from the
+  /// cell count of the walk rectangle and the average cell occupancy. Used
+  /// by the engine's incremental-vs-full fallback heuristic; never an
+  /// undercount bound, just a density estimate.
+  [[nodiscard]] std::size_t estimate_in_disk(Vec2 center, double radius) const;
+
+  /// Nearest point to \p center other than \p exclude, by expanding-ring
+  /// search; ties break toward the smaller id (deterministic, matching
+  /// GridIndex::nearest). kInvalidNode when no eligible point exists.
+  [[nodiscard]] NodeId nearest(Vec2 center, NodeId exclude = kInvalidNode) const;
+
+ private:
+  /// Cells are keyed by their packed (cx, cy) coordinate. The pack wraps
+  /// coordinates to 32 bits; a wrap collision merely co-buckets two far
+  /// apart cells, and the exact distance test rejects their points.
+  using CellKey = std::uint64_t;
+
+  [[nodiscard]] static CellKey pack(std::int64_t cx, std::int64_t cy) {
+    return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(cx)) << 32) |
+           static_cast<std::uint64_t>(static_cast<std::uint32_t>(cy));
+  }
+  [[nodiscard]] std::int64_t coord(double x) const;
+  [[nodiscard]] CellKey key_of(Vec2 p) const;
+  void detach_from_cell(NodeId id);
+
+  double cell_size_;
+  std::size_t count_ = 0;
+  std::unordered_map<CellKey, std::vector<NodeId>> cells_;
+  // Per-id mirrors (indexed by id, grown on demand).
+  std::vector<Vec2> pos_;
+  std::vector<CellKey> key_;
+  std::vector<std::uint8_t> present_;
+};
+
+}  // namespace rim::geom

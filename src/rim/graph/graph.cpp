@@ -29,10 +29,16 @@ bool Graph::remove_edge(NodeId u, NodeId v) {
   const auto it = std::find(edges_.begin(), edges_.end(), target);
   if (it == edges_.end()) return false;
   edges_.erase(it);
+  // The edge list and both adjacency lists must agree; a missing adjacency
+  // entry here means the two representations diverged.
   auto& au = adjacency_[u];
-  au.erase(std::find(au.begin(), au.end(), v));
+  const auto at_u = std::find(au.begin(), au.end(), v);
+  assert(at_u != au.end() && "edge list and adjacency out of sync");
+  au.erase(at_u);
   auto& av = adjacency_[v];
-  av.erase(std::find(av.begin(), av.end(), u));
+  const auto at_v = std::find(av.begin(), av.end(), u);
+  assert(at_v != av.end() && "edge list and adjacency out of sync");
+  av.erase(at_v);
   return true;
 }
 

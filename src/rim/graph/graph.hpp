@@ -48,6 +48,13 @@ class Graph {
   bool add_edge(NodeId u, NodeId v);
 
   /// Remove the undirected edge {u, v} if present; returns whether it was.
+  ///
+  /// Contract: the edge list is compacted in place, so the positional
+  /// EdgeId of every edge stored after the removed one shifts down by one.
+  /// Never hold an EdgeId (an index into edges()) across remove_edge —
+  /// re-derive indices from edges() afterwards. Removal is O(E) for the
+  /// edge-list scan plus O(deg) for the adjacency fixups; adjacency and
+  /// edge list are kept consistent (asserted in debug builds).
   bool remove_edge(NodeId u, NodeId v);
 
   [[nodiscard]] bool has_edge(NodeId u, NodeId v) const;
@@ -63,7 +70,9 @@ class Graph {
   /// notation this is Δ when applied to the input UDG.
   [[nodiscard]] std::size_t max_degree() const;
 
-  /// All edges, in insertion order, canonical (u < v).
+  /// All edges, in insertion order, canonical (u < v). The index of an
+  /// edge in this span is its EdgeId; remove_edge invalidates the ids of
+  /// all edges inserted after the removed one (see remove_edge).
   [[nodiscard]] std::span<const Edge> edges() const { return edges_; }
 
   /// Append an isolated node, returning its id.

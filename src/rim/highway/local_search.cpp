@@ -5,7 +5,7 @@
 #include <utility>
 #include <vector>
 
-#include "rim/core/interference.hpp"
+#include "rim/core/scenario.hpp"
 #include "rim/graph/connectivity.hpp"
 #include "rim/graph/union_find.hpp"
 
@@ -16,9 +16,11 @@ namespace {
 /// Objective: lexicographic (max interference, total interference).
 using Objective = std::pair<std::uint32_t, std::uint64_t>;
 
-Objective evaluate(const graph::Graph& g, std::span<const geom::Vec2> points) {
-  const core::InterferenceSummary s = core::evaluate_interference(g, points);
-  return {s.max, s.total};
+/// Probing a candidate swap costs one incremental edge delta on the live
+/// Scenario (plus an O(n) aggregate scan) instead of the full from-scratch
+/// evaluation the pre-Scenario implementation paid per candidate.
+Objective evaluate(core::Scenario& scenario) {
+  return {scenario.max_interference(), scenario.total_interference()};
 }
 
 /// Component labels of `tree` with edge `skip` removed.
@@ -44,7 +46,10 @@ LocalSearchResult local_search_min_interference(std::span<const geom::Vec2> poin
 
   LocalSearchResult result;
   result.tree = graph::Graph(seed.node_count(), seed.edges());
-  Objective current = evaluate(result.tree, points);
+  // The Scenario mirrors result.tree edge-for-edge throughout the search;
+  // candidate swaps are probed as add/remove deltas and rolled back.
+  core::Scenario scenario(points, result.tree);
+  Objective current = evaluate(scenario);
 
   for (std::size_t round = 0; round < params.max_rounds; ++round) {
     bool improved = false;
@@ -79,16 +84,18 @@ LocalSearchResult local_search_min_interference(std::span<const geom::Vec2> poin
       graph::Edge best_edge = removed;
       Objective best = current;
       result.tree.remove_edge(removed.u, removed.v);
+      scenario.remove_edge(removed.u, removed.v);
       for (graph::Edge candidate : candidates) {
-        result.tree.add_edge(candidate.u, candidate.v);
-        const Objective obj = evaluate(result.tree, points);
-        result.tree.remove_edge(candidate.u, candidate.v);
+        scenario.add_edge(candidate.u, candidate.v);
+        const Objective obj = evaluate(scenario);
+        scenario.remove_edge(candidate.u, candidate.v);
         if (obj < best) {
           best = obj;
           best_edge = candidate;
         }
       }
       result.tree.add_edge(best_edge.u, best_edge.v);
+      scenario.add_edge(best_edge.u, best_edge.v);
       if (best < current) {
         current = best;
         improved = true;

@@ -2,7 +2,7 @@
 
 #include <algorithm>
 
-#include "rim/core/interference.hpp"
+#include "rim/core/scenario.hpp"
 #include "rim/core/sender_centric.hpp"
 #include "rim/graph/udg.hpp"
 #include "rim/sim/rng.hpp"
@@ -42,10 +42,14 @@ ChurnTrace run_churn(const ChurnConfig& config, const topology::Builder& builder
   const auto record = [&](bool added) {
     const graph::Graph udg = graph::build_udg(points, config.radius);
     const graph::Graph topo = builder(points, udg);
+    // The builder rewires the whole topology per event, so each step is a
+    // fresh one-shot Scenario; workloads that mutate a fixed topology
+    // should hold one Scenario across events instead (bench_incremental).
+    core::Scenario scenario(points, topo);
     ChurnStep step;
     step.added = added;
     step.node_count = points.size();
-    step.receiver_max = core::graph_interference(topo, points);
+    step.receiver_max = scenario.max_interference();
     step.sender_max = core::evaluate_sender_centric(topo, points).max;
     trace.steps.push_back(step);
   };
