@@ -1,0 +1,313 @@
+/// Experiment E19 — the parallel batch pipeline: replaying a 100k-node
+/// churn trace in batches of 256 through Scenario::apply_batch() (conflict
+/// waves on the shared thread pool) against the same trace applied one
+/// mutation at a time. Exactness is asserted bit-for-bit against the
+/// serial replay at full scale and against Strategy::kBrute at small
+/// scale; the observability registry snapshot is written to BENCH_2.json.
+
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <thread>
+#include <vector>
+
+#include "rim/analysis/experiment.hpp"
+#include "rim/core/interference.hpp"
+#include "rim/core/scenario.hpp"
+#include "rim/geom/dynamic_grid.hpp"
+#include "rim/graph/udg.hpp"
+#include "rim/io/table.hpp"
+#include "rim/obs/registry.hpp"
+#include "rim/parallel/thread_pool.hpp"
+#include "rim/sim/generators.hpp"
+#include "rim/sim/rng.hpp"
+#include "rim/sim/workload.hpp"
+#include "rim/topology/mst_topology.hpp"
+
+namespace {
+
+using namespace rim;
+using Clock = std::chrono::steady_clock;
+
+double ns_since(Clock::time_point start) {
+  return static_cast<double>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() - start)
+          .count());
+}
+
+std::vector<std::uint32_t> snapshot_interference(core::Scenario& scenario) {
+  const auto view = scenario.interference();
+  return {view.begin(), view.end()};
+}
+
+/// Pre-generates the whole trace so both replays see identical batches.
+/// Node counts evolve exactly as a (serial or batch) replay would: each
+/// removal shrinks the id space by one, each addition grows it by one.
+std::vector<std::vector<core::Mutation>> make_trace(
+    std::size_t nodes, std::size_t batches, const sim::WorkloadConfig& config,
+    std::uint64_t seed) {
+  std::vector<std::vector<core::Mutation>> trace;
+  trace.reserve(batches);
+  sim::Rng rng(seed);
+  std::size_t n = nodes;
+  for (std::size_t b = 0; b < batches; ++b) {
+    trace.push_back(sim::make_churn_batch(rng, n, config));
+    for (const core::Mutation& m : trace.back()) {
+      if (m.kind == core::Mutation::Kind::kAddNode) ++n;
+      if (m.kind == core::Mutation::Kind::kRemoveNode) --n;
+    }
+  }
+  return trace;
+}
+
+/// Spatially local churn generator for the large-scale throughput run.
+/// make_churn_batch() teleports moved nodes anywhere in the square, which
+/// is fine for small tenants but at 100k nodes over an MST would stretch
+/// disks across the deployment and push every batch into the deferred
+/// full-evaluation path — measuring nothing. This generator tracks node
+/// positions through renames and keeps moves and new edges local, so the
+/// batch pipeline's incremental waves are what gets timed.
+class LocalTrace {
+ public:
+  LocalTrace(std::span<const geom::Vec2> points, double side,
+             std::uint64_t seed)
+      : pos_(points.begin(), points.end()),
+        grid_(1.0),
+        side_(side),
+        rng_(seed) {
+    for (NodeId v = 0; v < pos_.size(); ++v) grid_.insert(v, pos_[v]);
+  }
+
+  std::vector<core::Mutation> next_batch(std::size_t size) {
+    using core::Mutation;
+    std::vector<Mutation> batch;
+    batch.reserve(size + size / 8);
+    const std::size_t removes = size * 15 / 100;
+    for (std::size_t i = 0; i < removes && pos_.size() > 8; ++i) {
+      const auto victim = static_cast<NodeId>(rng_.next_below(pos_.size()));
+      const auto last = static_cast<NodeId>(pos_.size() - 1);
+      batch.push_back(Mutation::remove_node(victim));
+      grid_.erase(victim);  // mirror the engine's swap-with-last
+      if (victim != last) grid_.relabel(last, victim);
+      pos_[victim] = pos_.back();
+      pos_.pop_back();
+    }
+    const std::size_t moves = size * 35 / 100;
+    for (std::size_t i = 0; i < moves; ++i) {
+      const auto v = static_cast<NodeId>(rng_.next_below(pos_.size()));
+      const geom::Vec2 p{clamp(pos_[v].x + rng_.uniform(-0.4, 0.4)),
+                         clamp(pos_[v].y + rng_.uniform(-0.4, 0.4))};
+      batch.push_back(Mutation::move_node(v, p));
+      grid_.move(v, p);
+      pos_[v] = p;
+    }
+    const std::size_t adds = size * 15 / 100;
+    for (std::size_t i = 0; i < adds; ++i) {
+      const auto anchor = static_cast<NodeId>(rng_.next_below(pos_.size()));
+      const geom::Vec2 p{clamp(pos_[anchor].x + rng_.uniform(-0.5, 0.5)),
+                         clamp(pos_[anchor].y + rng_.uniform(-0.5, 0.5))};
+      const auto id = static_cast<NodeId>(pos_.size());
+      batch.push_back(Mutation::add_node(p));
+      batch.push_back(Mutation::add_edge(id, grid_.nearest(p)));
+      grid_.insert(id, p);
+      pos_.push_back(p);
+    }
+    for (std::size_t i = removes + moves + adds; i < size; ++i) {
+      // Edge flips between nearest-neighbor pairs keep disks bounded.
+      const auto u = static_cast<NodeId>(rng_.next_below(pos_.size()));
+      const NodeId v = grid_.nearest(pos_[u], u);
+      if (v == kInvalidNode) continue;
+      batch.push_back(rng_.next_double() < 0.5 ? Mutation::add_edge(u, v)
+                                               : Mutation::remove_edge(u, v));
+    }
+    return batch;
+  }
+
+ private:
+  [[nodiscard]] double clamp(double x) const {
+    return x < 0.0 ? 0.0 : (x > side_ ? side_ : x);
+  }
+
+  std::vector<geom::Vec2> pos_;
+  geom::DynamicGrid grid_;
+  double side_;
+  sim::Rng rng_;
+};
+
+bool identical(const std::vector<std::uint32_t>& a,
+               const std::vector<std::uint32_t>& b) {
+  return a == b;
+}
+
+}  // namespace
+
+int main() {
+  bool ok = true;
+  analysis::run_experiment(
+      {"E19", "Parallel batch pipeline vs one-at-a-time replay",
+       "Section 1 & 3 (locality of updates => conflict-free batch waves)",
+       "apply_batch on a 100k-node churn trace (batches of 256) is >= 3x "
+       "faster than serial replay on >= 8 hardware threads, bit-identical "
+       "throughout"},
+      std::cout, [&ok](std::ostream& out) {
+        const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+
+        // --- Exactness at small scale, cross-checked against kBrute. ---
+        {
+          sim::WorkloadConfig config;
+          config.initial_nodes = 500;
+          config.batch_size = 64;
+          config.side = 6.0;
+          core::Scenario serial = sim::make_tenant_scenario(config, 0);
+          core::Scenario batched = sim::make_tenant_scenario(config, 0);
+          const auto trace = make_trace(serial.node_count(), 12, config, 99);
+          for (const auto& batch : trace) {
+            for (const core::Mutation& m : batch) serial.apply(m);
+            (void)batched.apply_batch(batch);
+            if (!identical(snapshot_interference(serial),
+                           snapshot_interference(batched))) {
+              out << "EXACTNESS: batch replay diverged from serial at 500 "
+                     "nodes\n";
+              ok = false;
+              return;
+            }
+          }
+          const geom::PointSet points(serial.points().begin(),
+                                      serial.points().end());
+          const auto brute = core::evaluate_interference(
+              serial.topology(), points, core::Strategy::kBrute);
+          if (!identical(brute.per_node, snapshot_interference(batched))) {
+            out << "EXACTNESS: batch replay diverged from kBrute\n";
+            ok = false;
+            return;
+          }
+          out << "exactness: 12 batches @ 500 nodes bit-identical to serial "
+                 "and kBrute\n";
+        }
+
+        // --- Throughput at 100k nodes, batches of 256. ---
+        io::Table table({"nodes", "batches", "batch size", "serial ms",
+                         "batch ms", "speedup", "waves", "deferred"});
+        double speedup = 0.0;
+        {
+          // Constant density (~12.5 nodes per unit square), MST topology —
+          // the same network family as E18, so disks stay local and the
+          // incremental waves (not the deferred fallback) are measured.
+          const std::size_t n = 100000;
+          const std::size_t batch_size = 256;
+          const std::size_t batches = 40;
+          const double side = std::sqrt(static_cast<double>(n) / 12.5);
+          const geom::PointSet points = sim::uniform_square(n, side, 42);
+          const graph::Graph udg = graph::build_udg(points, 1.0);
+          const graph::Graph mst = topology::mst_topology(points, udg);
+
+          core::Scenario serial(points, mst);
+          core::Scenario batched(points, mst);
+          (void)serial.interference();
+          (void)batched.interference();
+          LocalTrace gen(points, side, 1234);
+          std::vector<std::vector<core::Mutation>> trace;
+          trace.reserve(batches);
+          for (std::size_t b = 0; b < batches; ++b) {
+            trace.push_back(gen.next_batch(batch_size));
+          }
+
+          const auto t_serial = Clock::now();
+          for (const auto& batch : trace) {
+            for (const core::Mutation& m : batch) serial.apply(m);
+            (void)serial.interference();
+          }
+          const double serial_ms = ns_since(t_serial) / 1e6;
+
+          parallel::ThreadPool& pool = parallel::ThreadPool::shared();
+          std::uint64_t waves = 0;
+          std::uint64_t deferred = 0;
+          const auto t_batch = Clock::now();
+          for (const auto& batch : trace) {
+            const core::BatchResult r = batched.apply_batch(batch, &pool);
+            waves += r.waves;
+            deferred += r.deferred;
+            (void)batched.interference();
+          }
+          const double batch_ms = ns_since(t_batch) / 1e6;
+
+          if (!identical(snapshot_interference(serial),
+                         snapshot_interference(batched))) {
+            out << "EXACTNESS: batch replay diverged from serial at 100k "
+                   "nodes\n";
+            ok = false;
+            return;
+          }
+          speedup = serial_ms / batch_ms;
+          table.row()
+              .cell(static_cast<std::uint64_t>(n))
+              .cell(static_cast<std::uint64_t>(batches))
+              .cell(static_cast<std::uint64_t>(batch_size))
+              .cell(serial_ms, 1)
+              .cell(batch_ms, 1)
+              .cell(speedup, 2)
+              .cell(waves)
+              .cell(deferred);
+          table.print(out);
+
+          obs::Registry::global().add_source(
+              "scenario_batch", [stats = batched.stats_json()] { return stats; });
+        }
+
+        // --- WorkloadDriver: many tenants replayed concurrently. ---
+        {
+          sim::WorkloadConfig config;
+          config.tenants = 4;
+          config.initial_nodes = 2000;
+          config.batches = 8;
+          config.batch_size = 128;
+          config.side = 12.0;
+          sim::WorkloadDriver driver(config);
+          const sim::WorkloadReport serial_report =
+              driver.run(sim::ReplayMode::kSerial);
+          const sim::WorkloadReport conc_report =
+              driver.run(sim::ReplayMode::kConcurrentTenants);
+          for (std::size_t t = 0; t < serial_report.tenants.size(); ++t) {
+            if (serial_report.tenants[t].interference_checksum !=
+                conc_report.tenants[t].interference_checksum) {
+              out << "EXACTNESS: concurrent tenant replay diverged\n";
+              ok = false;
+              return;
+            }
+          }
+          out << "workload: " << config.tenants
+              << " tenants bit-identical serial vs concurrent, serial "
+              << serial_report.elapsed_ns / 1000000 << " ms vs concurrent "
+              << conc_report.elapsed_ns / 1000000 << " ms\n";
+          obs::Registry::global().add_source(
+              "workload", [stats = driver.stats_json()] { return stats; });
+        }
+
+        // --- Observability snapshot => BENCH_2.json artifact. ---
+        {
+          io::JsonObject bench;
+          bench["experiment"] = io::Json(std::string("E19"));
+          bench["hardware_threads"] = io::Json(hw);
+          bench["speedup"] = io::Json(speedup);
+          obs::Registry::global().add_source(
+              "bench", [b = io::Json(std::move(bench))] { return b; });
+          std::ofstream file("BENCH_2.json");
+          file << obs::Registry::global().snapshot().dump() << "\n";
+          out << "metrics snapshot written to BENCH_2.json\n";
+        }
+
+        if (hw < 8) {
+          out << "ACCEPTANCE: batch speedup >= 3x SKIPPED (" << hw
+              << " hardware threads < 8)\n";
+        } else if (speedup >= 3.0) {
+          out << "ACCEPTANCE: batch speedup >= 3x PASS\n";
+        } else {
+          out << "ACCEPTANCE: batch speedup >= 3x FAIL (" << speedup << "x)\n";
+          ok = false;
+        }
+      });
+  return ok ? 0 : 1;
+}

@@ -92,7 +92,7 @@ int main() {
           const auto t_full = Clock::now();
           for (std::size_t r = 0; r < full_reps; ++r) {
             const auto summary = core::evaluate_interference(
-                topo_now, points_now, core::EvalStrategy::kGrid);
+                topo_now, points_now, core::Strategy::kGrid);
             if (summary.max == 0xffffffffu) out << "";  // defeat DCE
           }
           const double full_us =

@@ -46,7 +46,7 @@ void BM_InterferenceBrute(benchmark::State& state) {
   const Prepared p = prepare(static_cast<std::size_t>(state.range(0)));
   for (auto _ : state) {
     benchmark::DoNotOptimize(core::interference_vector(
-        p.points, p.radii, core::EvalStrategy::kBrute));
+        p.points, p.radii, core::Strategy::kBrute));
   }
   state.SetComplexityN(state.range(0));
 }
@@ -56,7 +56,7 @@ void BM_InterferenceGrid(benchmark::State& state) {
   const Prepared p = prepare(static_cast<std::size_t>(state.range(0)));
   for (auto _ : state) {
     benchmark::DoNotOptimize(core::interference_vector(
-        p.points, p.radii, core::EvalStrategy::kGrid));
+        p.points, p.radii, core::Strategy::kGrid));
   }
   state.SetComplexityN(state.range(0));
 }
@@ -66,7 +66,7 @@ void BM_InterferenceParallel(benchmark::State& state) {
   const Prepared p = prepare(static_cast<std::size_t>(state.range(0)));
   for (auto _ : state) {
     benchmark::DoNotOptimize(core::interference_vector(
-        p.points, p.radii, core::EvalStrategy::kParallel));
+        p.points, p.radii, core::Strategy::kParallel));
   }
   state.SetComplexityN(state.range(0));
 }

@@ -1,6 +1,7 @@
 #include "rim/core/incremental.hpp"
 
 #include <algorithm>
+#include <array>
 #include <cassert>
 
 #include "rim/core/interference.hpp"
@@ -15,27 +16,35 @@ NodeAdditionImpact assess_node_addition(std::span<const geom::Vec2> points,
   assert(points.size() == topology.node_count());
   NodeAdditionImpact impact;
 
-  // One full evaluation for the "before" state; the addition itself is an
-  // O(affected-disk) Scenario delta, not a second full recompute.
   Scenario scenario(points, topology);
-  const InterferenceSummary before = scenario.summary();
-  impact.receiver_before = before.max;
   impact.sender_before = evaluate_sender_centric(topology, points).max;
 
-  const NodeId newcomer = scenario.add_node(new_point);
+  // The arrival as a mutation sequence: the node itself, plus (policy
+  // permitting) the attachment edge to its nearest pre-existing neighbor.
+  // Scenario::assess measures the sequence on a probe copy.
+  const auto newcomer = static_cast<NodeId>(points.size());
+  std::array<Mutation, 2> sequence{Mutation::add_node(new_point), {}};
+  std::size_t length = 1;
   if (policy == AttachPolicy::kNearestNeighbor && !points.empty()) {
-    scenario.add_edge(newcomer, scenario.nearest_node(new_point, newcomer));
+    sequence[length++] =
+        Mutation::add_edge(newcomer, scenario.nearest_node(new_point));
+  }
+  const Assessment assessment =
+      scenario.assess(std::span<const Mutation>(sequence.data(), length));
+
+  impact.receiver_before = assessment.max_before;
+  impact.receiver_after = assessment.max_after;
+  impact.newcomer_interference = assessment.newcomer_interference;
+  for (const std::int64_t delta : assessment.delta_per_node) {
+    if (delta > 0) {
+      impact.receiver_max_node_increase =
+          std::max(impact.receiver_max_node_increase,
+                   static_cast<std::uint32_t>(delta));
+    }
   }
 
-  const std::span<const std::uint32_t> after = scenario.interference();
-  impact.receiver_after = scenario.max_interference();
-  impact.newcomer_interference = after[newcomer];
-  for (NodeId v = 0; v < points.size(); ++v) {
-    const std::uint32_t inc =
-        after[v] > before.per_node[v] ? after[v] - before.per_node[v] : 0;
-    impact.receiver_max_node_increase =
-        std::max(impact.receiver_max_node_increase, inc);
-  }
+  // The sender-centric comparison needs the mutated topology for real.
+  for (std::size_t i = 0; i < length; ++i) scenario.apply(sequence[i]);
   impact.sender_after =
       evaluate_sender_centric(scenario.topology(), scenario.points()).max;
   return impact;
@@ -47,22 +56,16 @@ NodeRemovalImpact assess_node_removal(std::span<const geom::Vec2> points,
   NodeRemovalImpact impact;
 
   Scenario scenario(points, topology);
-  const InterferenceSummary before = scenario.summary();
-  impact.receiver_before = before.max;
+  const Assessment assessment = scenario.assess(Mutation::remove_node(victim));
 
-  // Scenario keeps ids dense by renaming the last node into the vacated
-  // slot; `renamed` records that survivor's former id.
-  const NodeId renamed = scenario.remove_node(victim);
-
-  const std::span<const std::uint32_t> after = scenario.interference();
-  impact.receiver_after = scenario.max_interference();
-  for (NodeId v = 0; v < points.size(); ++v) {
-    if (v == victim) continue;
-    const std::uint32_t old_i = before.per_node[v];
-    const std::uint32_t new_i = after[v == renamed ? victim : v];
-    if (new_i > old_i) {
+  impact.receiver_before = assessment.max_before;
+  impact.receiver_after = assessment.max_after;
+  // The victim's own delta is -I(victim); only survivors can increase.
+  for (const std::int64_t delta : assessment.delta_per_node) {
+    if (delta > 0) {
       impact.receiver_max_node_increase =
-          std::max(impact.receiver_max_node_increase, new_i - old_i);
+          std::max(impact.receiver_max_node_increase,
+                   static_cast<std::uint32_t>(delta));
     }
   }
   return impact;

@@ -18,10 +18,12 @@
 /// such bound: a single added node can force an edge whose coverage is n
 /// (Figure 1). These helpers quantify both effects for experiments E1/E11.
 ///
-/// Both assessors are thin wrappers over a temporary core::Scenario: the
-/// "before" state costs one full evaluation, the mutation itself is an
-/// O(affected-disk) incremental delta. Long-lived churn loops should hold
-/// a Scenario directly instead of calling these per event.
+/// Both assessors are thin wrappers over core::Scenario::assess — the
+/// mutation is expressed as a core::Mutation sequence and measured on a
+/// probe copy of a temporary Scenario (the "before" state costs one full
+/// evaluation, the mutation itself an O(affected-disk) incremental delta).
+/// Long-lived churn loops should hold a Scenario directly and call
+/// assess()/apply() per event instead.
 
 namespace rim::core {
 

@@ -81,11 +81,8 @@ std::vector<std::uint32_t> eval_brute(std::span<const geom::Vec2> points,
 
 }  // namespace
 
-EvalStrategy resolve_strategy(EvalStrategy strategy, std::size_t node_count) {
-  if (strategy != EvalStrategy::kAuto) return strategy;
-  if (node_count <= kAutoBruteMaxNodes) return EvalStrategy::kBrute;
-  if (node_count <= kAutoGridMaxNodes) return EvalStrategy::kGrid;
-  return EvalStrategy::kParallel;
+Strategy resolve_strategy(Strategy strategy, std::size_t node_count) {
+  return EvalOptions{.strategy = strategy}.resolve(node_count);
 }
 
 InterferenceSummary InterferenceSummary::from_per_node(
@@ -122,7 +119,7 @@ std::uint32_t node_interference(std::span<const geom::Vec2> points,
 
 std::vector<std::uint32_t> interference_vector(std::span<const geom::Vec2> points,
                                                std::span<const double> radii,
-                                               EvalStrategy strategy) {
+                                               Strategy strategy) {
   assert(points.size() == radii.size());
   std::vector<double> radii2(radii.size());
   for (std::size_t i = 0; i < radii.size(); ++i) radii2[i] = radii[i] * radii[i];
@@ -131,15 +128,22 @@ std::vector<std::uint32_t> interference_vector(std::span<const geom::Vec2> point
 
 std::vector<std::uint32_t> interference_vector_squared(
     std::span<const geom::Vec2> points, std::span<const double> radii2,
-    EvalStrategy strategy) {
+    Strategy strategy) {
+  return interference_vector_squared(points, radii2,
+                                     EvalOptions{.strategy = strategy});
+}
+
+std::vector<std::uint32_t> interference_vector_squared(
+    std::span<const geom::Vec2> points, std::span<const double> radii2,
+    const EvalOptions& options) {
   assert(points.size() == radii2.size());
-  switch (resolve_strategy(strategy, points.size())) {
-    case EvalStrategy::kGrid:
+  switch (options.resolve(points.size())) {
+    case Strategy::kGrid:
       return eval_grid(points, radii2);
-    case EvalStrategy::kParallel:
+    case Strategy::kParallel:
       return eval_parallel(points, radii2);
-    case EvalStrategy::kBrute:
-    case EvalStrategy::kAuto:
+    case Strategy::kBrute:
+    case Strategy::kAuto:
       break;
   }
   return eval_brute(points, radii2);
@@ -147,18 +151,31 @@ std::vector<std::uint32_t> interference_vector_squared(
 
 InterferenceSummary evaluate_interference(const graph::Graph& topology,
                                           std::span<const geom::Vec2> points,
-                                          EvalStrategy strategy) {
+                                          Strategy strategy) {
+  return evaluate_interference(topology, points,
+                               EvalOptions{.strategy = strategy});
+}
+
+InterferenceSummary evaluate_interference(const graph::Graph& topology,
+                                          std::span<const geom::Vec2> points,
+                                          const EvalOptions& options) {
   assert(topology.node_count() == points.size());
   // Thin wrapper over a one-shot Scenario so every evaluation, static or
   // incremental, flows through the same engine.
-  Scenario scenario(points, topology, strategy);
+  Scenario scenario(points, topology, options);
   return scenario.summary();
 }
 
 std::uint32_t graph_interference(const graph::Graph& topology,
                                  std::span<const geom::Vec2> points,
-                                 EvalStrategy strategy) {
+                                 Strategy strategy) {
   return evaluate_interference(topology, points, strategy).max;
+}
+
+std::uint32_t graph_interference(const graph::Graph& topology,
+                                 std::span<const geom::Vec2> points,
+                                 const EvalOptions& options) {
+  return evaluate_interference(topology, points, options).max;
 }
 
 std::vector<std::vector<NodeId>> covering_sets(const graph::Graph& topology,

@@ -46,24 +46,67 @@ struct InterferenceSummary {
   [[nodiscard]] std::vector<std::uint32_t> histogram() const;
 };
 
-enum class EvalStrategy : std::uint8_t {
+enum class Strategy : std::uint8_t {
   kBrute,     ///< O(n^2) oracle.
   kGrid,      ///< uniform-grid accelerated.
   kParallel,  ///< grid + thread pool.
   kAuto,      ///< pick by instance size.
 };
 
-/// EvalStrategy::kAuto thresholds, in one place (see resolve_strategy):
-/// instances up to kAutoBruteMaxNodes use the O(n^2) oracle (cheaper than
-/// building a grid), up to kAutoGridMaxNodes the serial grid, and anything
-/// larger the parallel grid.
+/// The one evaluation-configuration surface shared by the free evaluators,
+/// core::Scenario, highway::local_search, and ext2d — every threshold that
+/// used to be a scattered constant lives here, overridable per call site.
+struct EvalOptions {
+  Strategy strategy = Strategy::kAuto;
+
+  /// Strategy::kAuto resolution (see resolve()): instances up to
+  /// auto_brute_max_nodes use the O(n^2) oracle (cheaper than building a
+  /// grid), up to auto_grid_max_nodes the serial grid, and anything larger
+  /// the parallel grid.
+  std::size_t auto_brute_max_nodes = 64;
+  std::size_t auto_grid_max_nodes = 4096;
+
+  /// Scenario's incremental-vs-full fallback: a single delta estimated to
+  /// touch more than max(touched_floor, max_touched_fraction * n) nodes
+  /// invalidates the cache instead of patching it.
+  double max_touched_fraction = 0.25;
+  std::size_t touched_floor = 64;
+
+  /// Scenario::apply_batch: waves with fewer independent region tasks than
+  /// this run inline rather than on the thread pool (submit overhead would
+  /// exceed the work).
+  std::size_t batch_min_parallel_tasks = 4;
+
+  /// The concrete strategy `strategy` resolves to for an instance of
+  /// \p node_count nodes; non-kAuto strategies pass through unchanged.
+  [[nodiscard]] Strategy resolve(std::size_t node_count) const {
+    if (strategy != Strategy::kAuto) return strategy;
+    if (node_count <= auto_brute_max_nodes) return Strategy::kBrute;
+    if (node_count <= auto_grid_max_nodes) return Strategy::kGrid;
+    return Strategy::kParallel;
+  }
+
+  /// The incremental fallback threshold for an instance of \p node_count
+  /// nodes (see max_touched_fraction).
+  [[nodiscard]] std::size_t touched_threshold(std::size_t node_count) const {
+    const auto scaled = static_cast<std::size_t>(
+        max_touched_fraction * static_cast<double>(node_count));
+    return touched_floor > scaled ? touched_floor : scaled;
+  }
+};
+
+// --- deprecated aliases (kept for one PR; migrate to Strategy/EvalOptions) --
+
+using EvalStrategy [[deprecated("use core::Strategy")]] = Strategy;
+
+[[deprecated("use EvalOptions::auto_brute_max_nodes")]]
 inline constexpr std::size_t kAutoBruteMaxNodes = 64;
+[[deprecated("use EvalOptions::auto_grid_max_nodes")]]
 inline constexpr std::size_t kAutoGridMaxNodes = 4096;
 
-/// The concrete strategy kAuto resolves to for an instance of
-/// \p node_count nodes; non-kAuto strategies pass through unchanged.
-[[nodiscard]] EvalStrategy resolve_strategy(EvalStrategy strategy,
-                                            std::size_t node_count);
+/// \deprecated Use EvalOptions::resolve.
+[[deprecated("use EvalOptions::resolve")]] [[nodiscard]] Strategy
+resolve_strategy(Strategy strategy, std::size_t node_count);
 
 /// Interference of node \p v under the given radii (Definition 3.1).
 /// A node exactly on a disk boundary counts as covered; self-interference
@@ -80,7 +123,7 @@ inline constexpr std::size_t kAutoGridMaxNodes = 4096;
 /// mutations at O(affected-disk) cost. One-shot callers are unaffected.
 [[nodiscard]] std::vector<std::uint32_t> interference_vector(
     std::span<const geom::Vec2> points, std::span<const double> radii,
-    EvalStrategy strategy = EvalStrategy::kAuto);
+    Strategy strategy = Strategy::kAuto);
 
 /// Like interference_vector but over *squared* radii — the exact form every
 /// evaluator uses internally (containment is dist2 <= radii2[u], no
@@ -88,7 +131,10 @@ inline constexpr std::size_t kAutoGridMaxNodes = 4096;
 /// Scenario falls back to when a delta touches too much of the instance.
 [[nodiscard]] std::vector<std::uint32_t> interference_vector_squared(
     std::span<const geom::Vec2> points, std::span<const double> radii2,
-    EvalStrategy strategy = EvalStrategy::kAuto);
+    Strategy strategy = Strategy::kAuto);
+[[nodiscard]] std::vector<std::uint32_t> interference_vector_squared(
+    std::span<const geom::Vec2> points, std::span<const double> radii2,
+    const EvalOptions& options);
 
 /// Full summary for a topology: computes radii from the topology (r_u =
 /// distance to farthest neighbor) and evaluates Definition 3.1/3.2.
@@ -96,12 +142,18 @@ inline constexpr std::size_t kAutoGridMaxNodes = 4096;
 /// hold a Scenario instead when the network evolves.
 [[nodiscard]] InterferenceSummary evaluate_interference(
     const graph::Graph& topology, std::span<const geom::Vec2> points,
-    EvalStrategy strategy = EvalStrategy::kAuto);
+    Strategy strategy = Strategy::kAuto);
+[[nodiscard]] InterferenceSummary evaluate_interference(
+    const graph::Graph& topology, std::span<const geom::Vec2> points,
+    const EvalOptions& options);
 
 /// Convenience: I(G') only.
 [[nodiscard]] std::uint32_t graph_interference(
     const graph::Graph& topology, std::span<const geom::Vec2> points,
-    EvalStrategy strategy = EvalStrategy::kAuto);
+    Strategy strategy = Strategy::kAuto);
+[[nodiscard]] std::uint32_t graph_interference(
+    const graph::Graph& topology, std::span<const geom::Vec2> points,
+    const EvalOptions& options);
 
 /// The witnesses behind Definition 3.1: for every node v, the ascending
 /// list of nodes u whose disks D(u, r_u) cover v. Row sizes equal the

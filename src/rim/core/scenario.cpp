@@ -1,0 +1,480 @@
+#include "rim/core/scenario.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cassert>
+#include <cmath>
+#include <numeric>
+
+#include "rim/parallel/parallel_for.hpp"
+
+namespace rim::core {
+
+namespace {
+
+/// Same heuristic as the stateless grid evaluator: square cells keyed by
+/// the median positive transmission radius.
+double pick_cell_size(std::span<const double> radii2) {
+  std::vector<double> positive;
+  positive.reserve(radii2.size());
+  for (double r2 : radii2) {
+    if (r2 > 0.0) positive.push_back(r2);
+  }
+  if (positive.empty()) return 1.0;
+  const auto mid =
+      positive.begin() + static_cast<std::ptrdiff_t>(positive.size() / 2);
+  std::nth_element(positive.begin(), mid, positive.end());
+  return std::max(std::sqrt(*mid), 1e-12);
+}
+
+}  // namespace
+
+io::Json ScenarioStats::to_json() const {
+  io::JsonObject o;
+  o["incremental_updates"] = incremental_updates.to_json();
+  o["deferred_mutations"] = deferred_mutations.to_json();
+  o["full_evaluations"] = full_evaluations.to_json();
+  o["nodes_touched"] = nodes_touched.to_json();
+  o["cells_touched"] = cells_touched.to_json();
+  o["incremental_ns"] = incremental_ns.to_json();
+  o["full_ns"] = full_ns.to_json();
+  o["batches"] = batches.to_json();
+  o["batch_mutations"] = batch_mutations.to_json();
+  o["batch_disk_tasks"] = batch_disk_tasks.to_json();
+  o["batch_recounts"] = batch_recounts.to_json();
+  o["batch_waves"] = batch_waves.to_json();
+  o["batch_deferred"] = batch_deferred.to_json();
+  o["batch_ns"] = batch_ns.to_json();
+  o["batch_wave_tasks"] = batch_wave_tasks.to_json();
+  return io::Json(std::move(o));
+}
+
+Scenario::Scenario(EvalOptions options) : options_(options) {}
+
+Scenario::Scenario(std::span<const geom::Vec2> points,
+                   const graph::Graph& topology, EvalOptions options)
+    : points_(points.begin(), points.end()),
+      adjacency_(topology.node_count()),
+      edge_count_(topology.edge_count()),
+      radii2_(topology.node_count(), 0.0),
+      options_(options) {
+  assert(topology.node_count() == points.size());
+  for (NodeId u = 0; u < topology.node_count(); ++u) {
+    const auto neighbors = topology.neighbors(u);
+    adjacency_[u].assign(neighbors.begin(), neighbors.end());
+    radii2_[u] = farthest_neighbor_squared(u);
+    max_radius2_ = std::max(max_radius2_, radii2_[u]);
+  }
+}
+
+void Scenario::ensure_grid() {
+  if (grid_built_) return;
+  grid_.clear(pick_cell_size(radii2_));
+  for (NodeId v = 0; v < points_.size(); ++v) grid_.insert(v, points_[v]);
+  grid_built_ = true;
+}
+
+std::vector<std::uint32_t> Scenario::full_evaluate() {
+  // When the persistent index already exists and the instance resolves to
+  // the parallel strategy, shard the counting pass over the live grid
+  // instead of rebuilding an immutable GridIndex — same exact integer
+  // counts, one less O(n) rebuild per deferred delta.
+  if (grid_built_ && options_.resolve(points_.size()) == Strategy::kParallel) {
+    std::vector<std::atomic<std::uint32_t>> covered(points_.size());
+    parallel::parallel_for(0, points_.size(), [&](std::size_t ui) {
+      const auto u = static_cast<NodeId>(ui);
+      if (radii2_[u] <= 0.0) return;
+      grid_.for_each_in_disk_squared(points_[u], radii2_[u],
+                                     [&](NodeId v, geom::Vec2) {
+                                       if (v != u) {
+                                         covered[v].fetch_add(
+                                             1, std::memory_order_relaxed);
+                                       }
+                                     });
+    });
+    std::vector<std::uint32_t> out(points_.size());
+    for (std::size_t i = 0; i < out.size(); ++i) {
+      out[i] = covered[i].load(std::memory_order_relaxed);
+    }
+    return out;
+  }
+  return interference_vector_squared(points_, radii2_, options_);
+}
+
+void Scenario::ensure_cache() {
+  if (!dirty_) return;
+  const obs::ScopedTimer timer(stats_.full_ns);
+  interference_ = full_evaluate();
+  max_radius2_ = 0.0;
+  for (double r2 : radii2_) max_radius2_ = std::max(max_radius2_, r2);
+  dirty_ = false;
+  ++stats_.full_evaluations;
+}
+
+bool Scenario::delta_deferred(geom::Vec2 center, double radius2) {
+  if (grid_.estimate_in_disk(center, std::sqrt(std::max(radius2, 0.0))) >
+      options_.touched_threshold(points_.size())) {
+    dirty_ = true;
+    ++stats_.deferred_mutations;
+    return true;
+  }
+  return false;
+}
+
+void Scenario::apply_disk_delta(NodeId u, geom::Vec2 center, double old_r2,
+                                double new_r2) {
+  if (dirty_) return;
+  if (old_r2 <= 0.0 && new_r2 <= 0.0) return;
+  if (delta_deferred(center, std::max(old_r2, new_r2))) return;
+  run_disk_delta(u, center, old_r2, new_r2);
+}
+
+void Scenario::run_disk_delta(NodeId exclude, geom::Vec2 center, double old_r2,
+                              double new_r2) {
+  // Un-deferred kernel: also runs on pool workers during apply_batch.
+  // Region-disjoint waves guarantee the interference_ writes never overlap;
+  // the stats counters are relaxed atomics.
+  std::uint64_t visited = 0;
+  const double query_r2 = std::max(old_r2, new_r2);
+  const std::size_t cells = grid_.for_each_in_disk_squared(
+      center, query_r2, [&](NodeId v, geom::Vec2 p) {
+        if (v == exclude) return;
+        ++visited;
+        const double d2 = geom::dist2(p, center);
+        const bool in_old = old_r2 > 0.0 && d2 <= old_r2;
+        const bool in_new = new_r2 > 0.0 && d2 <= new_r2;
+        if (in_new && !in_old) {
+          ++interference_[v];
+        } else if (in_old && !in_new) {
+          --interference_[v];
+        }
+      });
+  stats_.cells_touched += cells;
+  stats_.nodes_touched += visited;
+}
+
+void Scenario::set_radius(NodeId u, double new_r2) {
+  const double old_r2 = radii2_[u];
+  if (old_r2 == new_r2) return;
+  apply_disk_delta(u, points_[u], old_r2, new_r2);
+  radii2_[u] = new_r2;
+  if (new_r2 > max_radius2_) {
+    max_radius2_ = new_r2;
+  } else if (old_r2 == max_radius2_ && new_r2 < old_r2) {
+    // The argmax node shrank: rescan. Rare (once per removal of the
+    // widest-reaching node), so the O(n) pass amortises away.
+    max_radius2_ = 0.0;
+    for (double r2 : radii2_) max_radius2_ = std::max(max_radius2_, r2);
+  }
+}
+
+double Scenario::farthest_neighbor_squared(NodeId u) const {
+  double best = 0.0;
+  for (NodeId w : adjacency_[u]) {
+    best = std::max(best, geom::dist2(points_[u], points_[w]));
+  }
+  return best;
+}
+
+std::uint32_t Scenario::recount_coverage(NodeId v) {
+  if (delta_deferred(points_[v], max_radius2_)) return 0;
+  return run_recount(v);
+}
+
+std::uint32_t Scenario::run_recount(NodeId v) {
+  // Un-deferred kernel: also runs on pool workers during apply_batch (pure
+  // reads of frozen points_/radii2_; the caller owns interference_[v]).
+  std::uint32_t covered = 0;
+  std::uint64_t visited = 0;
+  const std::size_t cells = grid_.for_each_in_disk_squared(
+      points_[v], max_radius2_, [&](NodeId u, geom::Vec2 p) {
+        if (u == v) return;
+        ++visited;
+        if (radii2_[u] > 0.0 && geom::dist2(p, points_[v]) <= radii2_[u]) {
+          ++covered;
+        }
+      });
+  stats_.cells_touched += cells;
+  stats_.nodes_touched += visited;
+  return covered;
+}
+
+NodeId Scenario::add_node(geom::Vec2 position) {
+  ensure_grid();
+  const obs::ScopedTimer timer(stats_.incremental_ns);
+  const auto id = static_cast<NodeId>(points_.size());
+  points_.push_back(position);
+  adjacency_.emplace_back();
+  radii2_.push_back(0.0);
+  grid_.insert(id, position);
+  if (!dirty_) {
+    const std::uint32_t covered = recount_coverage(id);
+    interference_.push_back(dirty_ ? 0u : covered);
+    if (!dirty_) ++stats_.incremental_updates;
+  } else {
+    interference_.push_back(0u);
+  }
+  return id;
+}
+
+NodeId Scenario::remove_node(NodeId v) {
+  assert(v < points_.size());
+  ensure_grid();
+  const obs::ScopedTimer timer(stats_.incremental_ns);
+  const std::size_t count_before = points_.size();
+  // Retire incident edges: each neighbor's disk shrinks to its new
+  // farthest neighbor, and v's own disk shrinks to nothing — after this,
+  // v no longer transmits and nobody's radius depends on it.
+  for (const NodeId w : adjacency_[v]) {
+    auto& aw = adjacency_[w];
+    aw.erase(std::find(aw.begin(), aw.end(), v));
+    --edge_count_;
+  }
+  const std::vector<NodeId> former_neighbors = std::move(adjacency_[v]);
+  adjacency_[v].clear();
+  set_radius(v, 0.0);
+  for (const NodeId w : former_neighbors) {
+    set_radius(w, farthest_neighbor_squared(w));
+  }
+  // Swap-with-last keeps ids dense: the last node takes over id v.
+  const auto last = static_cast<NodeId>(count_before - 1);
+  grid_.erase(v);
+  NodeId renamed = kInvalidNode;
+  if (v != last) {
+    points_[v] = points_[last];
+    radii2_[v] = radii2_[last];
+    adjacency_[v] = std::move(adjacency_[last]);
+    for (NodeId w : adjacency_[v]) {
+      std::replace(adjacency_[w].begin(), adjacency_[w].end(), last, v);
+    }
+    grid_.relabel(last, v);
+    renamed = last;
+  }
+  if (interference_.size() == count_before) {
+    if (v != last) interference_[v] = interference_[last];
+    interference_.pop_back();
+  }
+  points_.pop_back();
+  adjacency_.pop_back();
+  radii2_.pop_back();
+  if (!dirty_) ++stats_.incremental_updates;
+  return renamed;
+}
+
+bool Scenario::add_edge(NodeId u, NodeId v) {
+  assert(u < points_.size() && v < points_.size());
+  if (u == v || has_edge(u, v)) return false;
+  ensure_grid();
+  const obs::ScopedTimer timer(stats_.incremental_ns);
+  adjacency_[u].push_back(v);
+  adjacency_[v].push_back(u);
+  ++edge_count_;
+  const double d2 = geom::dist2(points_[u], points_[v]);
+  if (d2 > radii2_[u]) set_radius(u, d2);
+  if (d2 > radii2_[v]) set_radius(v, d2);
+  if (!dirty_) ++stats_.incremental_updates;
+  return true;
+}
+
+bool Scenario::remove_edge(NodeId u, NodeId v) {
+  assert(u < points_.size() && v < points_.size());
+  auto& au = adjacency_[u];
+  const auto it = std::find(au.begin(), au.end(), v);
+  if (it == au.end()) return false;
+  ensure_grid();
+  const obs::ScopedTimer timer(stats_.incremental_ns);
+  au.erase(it);
+  auto& av = adjacency_[v];
+  av.erase(std::find(av.begin(), av.end(), u));
+  --edge_count_;
+  set_radius(u, farthest_neighbor_squared(u));
+  set_radius(v, farthest_neighbor_squared(v));
+  if (!dirty_) ++stats_.incremental_updates;
+  return true;
+}
+
+void Scenario::move_node(NodeId v, geom::Vec2 position) {
+  assert(v < points_.size());
+  if (points_[v] == position) return;
+  ensure_grid();
+  const obs::ScopedTimer timer(stats_.incremental_ns);
+  // Retire the disk at the old position...
+  const double old_r2 = radii2_[v];
+  apply_disk_delta(v, points_[v], old_r2, 0.0);
+  radii2_[v] = 0.0;
+  if (old_r2 > 0.0 && old_r2 == max_radius2_) {
+    max_radius2_ = 0.0;
+    for (double r2 : radii2_) max_radius2_ = std::max(max_radius2_, r2);
+  }
+  points_[v] = position;
+  grid_.move(v, position);
+  // ...re-apply it at the new one, and re-derive every affected radius.
+  set_radius(v, farthest_neighbor_squared(v));
+  for (NodeId w : adjacency_[v]) set_radius(w, farthest_neighbor_squared(w));
+  // The node now sits inside a different set of disks.
+  if (!dirty_) {
+    const std::uint32_t covered = recount_coverage(v);
+    if (!dirty_) {
+      interference_[v] = covered;
+      ++stats_.incremental_updates;
+    }
+  }
+}
+
+NodeId Scenario::apply(const Mutation& mutation) {
+  const std::size_t n = points_.size();
+  switch (mutation.kind) {
+    case Mutation::Kind::kAddNode:
+      return add_node(mutation.position);
+    case Mutation::Kind::kRemoveNode:
+      if (mutation.v >= n) return kInvalidNode;
+      return remove_node(mutation.v);
+    case Mutation::Kind::kAddEdge:
+      if (mutation.u >= n || mutation.v >= n) return kInvalidNode;
+      add_edge(mutation.u, mutation.v);
+      return kInvalidNode;
+    case Mutation::Kind::kRemoveEdge:
+      if (mutation.u >= n || mutation.v >= n) return kInvalidNode;
+      remove_edge(mutation.u, mutation.v);
+      return kInvalidNode;
+    case Mutation::Kind::kMoveNode:
+      if (mutation.v >= n) return kInvalidNode;
+      move_node(mutation.v, mutation.position);
+      return kInvalidNode;
+  }
+  return kInvalidNode;
+}
+
+Assessment Scenario::assess(const Mutation& mutation) {
+  return assess(std::span<const Mutation>(&mutation, 1));
+}
+
+Assessment Scenario::assess(std::span<const Mutation> mutations) {
+  ensure_cache();
+  const std::size_t n0 = points_.size();
+  const std::vector<std::uint32_t> before(interference_.begin(),
+                                          interference_.end());
+
+  Assessment result;
+  for (std::uint32_t i : before) {
+    result.max_before = std::max(result.max_before, i);
+  }
+
+  // Run the sequence on a probe copy; `tag[cur]` names each current probe
+  // id in the pre-mutation space (pre ids 0..n0-1, added nodes n0, n0+1,
+  // ...), maintained across swap-with-last renames from removals.
+  Scenario probe(*this);
+  std::vector<std::size_t> tag(n0);
+  std::iota(tag.begin(), tag.end(), std::size_t{0});
+  std::size_t next_added = n0;
+  for (const Mutation& m : mutations) {
+    if (m.kind == Mutation::Kind::kAddNode) {
+      probe.apply(m);
+      tag.push_back(next_added++);
+    } else if (m.kind == Mutation::Kind::kRemoveNode) {
+      if (m.v >= probe.node_count()) continue;
+      const auto last = static_cast<NodeId>(probe.node_count() - 1);
+      probe.apply(m);
+      if (last != m.v) tag[m.v] = tag[last];
+      tag.pop_back();
+    } else {
+      probe.apply(m);
+    }
+  }
+  const std::span<const std::uint32_t> after = probe.interference();
+
+  // Resolve where every pre-existing node ended up (kInvalidNode: removed)
+  // and find the newest surviving addition.
+  std::vector<NodeId> current_of(n0, kInvalidNode);
+  std::size_t newest_tag = 0;
+  NodeId newest_id = kInvalidNode;
+  for (NodeId cur = 0; cur < tag.size(); ++cur) {
+    if (tag[cur] < n0) {
+      current_of[tag[cur]] = cur;
+    } else if (tag[cur] >= newest_tag) {
+      newest_tag = tag[cur];
+      newest_id = cur;
+    }
+  }
+
+  result.delta_per_node.resize(n0, 0);
+  for (NodeId pre = 0; pre < n0; ++pre) {
+    const NodeId cur = current_of[pre];
+    const std::int64_t delta =
+        cur == kInvalidNode
+            ? -static_cast<std::int64_t>(before[pre])
+            : static_cast<std::int64_t>(after[cur]) -
+                  static_cast<std::int64_t>(before[pre]);
+    result.delta_per_node[pre] = delta;
+    if (delta != 0) result.affected_ids.push_back(pre);
+  }
+  result.max_after = probe.max_interference();
+  if (newest_id != kInvalidNode) {
+    result.newcomer_interference = after[newest_id];
+  }
+  return result;
+}
+
+bool Scenario::has_edge(NodeId u, NodeId v) const {
+  const auto& a = adjacency_[u].size() <= adjacency_[v].size() ? adjacency_[u]
+                                                               : adjacency_[v];
+  const NodeId target = adjacency_[u].size() <= adjacency_[v].size() ? v : u;
+  return std::find(a.begin(), a.end(), target) != a.end();
+}
+
+graph::Graph Scenario::topology() const {
+  graph::Graph g(points_.size());
+  for (NodeId u = 0; u < points_.size(); ++u) {
+    for (NodeId w : adjacency_[u]) {
+      if (u < w) g.add_edge(u, w);
+    }
+  }
+  return g;
+}
+
+NodeId Scenario::nearest_node(geom::Vec2 p, NodeId exclude) {
+  ensure_grid();
+  return grid_.nearest(p, exclude);
+}
+
+std::span<const std::uint32_t> Scenario::interference() {
+  ensure_cache();
+  return interference_;
+}
+
+std::uint32_t Scenario::interference_of(NodeId v) {
+  assert(v < points_.size());
+  ensure_cache();
+  return interference_[v];
+}
+
+std::uint32_t Scenario::max_interference() {
+  ensure_cache();
+  std::uint32_t max = 0;
+  for (std::uint32_t i : interference_) max = std::max(max, i);
+  return max;
+}
+
+std::uint64_t Scenario::total_interference() {
+  ensure_cache();
+  std::uint64_t total = 0;
+  for (std::uint32_t i : interference_) total += i;
+  return total;
+}
+
+InterferenceSummary Scenario::summary() {
+  ensure_cache();
+  return InterferenceSummary::from_per_node(interference_);
+}
+
+io::Json Scenario::stats_json() const {
+  io::JsonObject o;
+  o["nodes"] = io::Json(points_.size());
+  o["edges"] = io::Json(edge_count_);
+  o["grid_cell_size"] = io::Json(grid_built_ ? grid_.cell_size() : 0.0);
+  o["counters"] = stats_.to_json();
+  o["grid"] = grid_.stats().to_json();
+  return io::Json(std::move(o));
+}
+
+}  // namespace rim::core

@@ -1,0 +1,320 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "rim/core/interference.hpp"
+#include "rim/geom/dynamic_grid.hpp"
+#include "rim/geom/vec2.hpp"
+#include "rim/graph/graph.hpp"
+#include "rim/io/json.hpp"
+#include "rim/obs/metrics.hpp"
+
+/// \file scenario.hpp
+/// The incremental interference engine: a stateful network scenario.
+///
+/// Every stateless evaluation of Definition 3.1/3.2 costs at least one pass
+/// over the whole instance. The paper's own robustness result (Section 1,
+/// Figure 1) guarantees the opposite locality: one arriving node perturbs
+/// any I(v) by at most 1, because all it adds is its own disk (plus its
+/// attachment partner's enlarged disk). Scenario exploits exactly that:
+/// it owns the points, the topology, the cached per-node radii and
+/// interference vector, and a persistent mutable spatial index
+/// (geom::DynamicGrid), and re-evaluates only the O(affected-disk) region
+/// around each mutation:
+///
+///  - add_edge/remove_edge: the endpoint radii change; nodes entering or
+///    leaving the two disks gain/lose one unit of interference.
+///  - add_node: the newcomer transmits nothing yet; only its own I(v) is
+///    counted (one coverage query).
+///  - remove_node: incident edges are retired one by one, then the id of
+///    the last node is swapped into the vacated slot (dense ids, O(degree)).
+///  - move_node: the node's disk is retired at the old position and
+///    re-applied at the new one; neighbor radii and its own coverage are
+///    re-derived locally.
+///
+/// Mutations also come reified as core::Mutation values, applied one at a
+/// time via apply() or — the batch pipeline — many at once via
+/// apply_batch(): one structural pass coalesces per-node disk changes, the
+/// surviving region deltas are grouped by grid-region conflict (disjoint
+/// affected-disk regions run concurrently on parallel::ThreadPool,
+/// conflicting ones serialize deterministically by batch index), and the
+/// result is bit-identical to applying the same mutations serially. The
+/// robustness property is what makes this sound: each delta is a commuting
+/// integer +-1 over its own disk region.
+///
+/// When a single delta would touch more than
+/// EvalOptions::max_touched_fraction of the instance (estimated from grid
+/// occupancy), the engine marks the cache dirty instead and the next query
+/// performs one batched full evaluation — sharded over the live grid with
+/// parallel_for for large n — so adversarial giant disks degrade to the
+/// stateless cost, never worse.
+///
+/// Counters for full vs. incremental evaluations, batch pipeline activity,
+/// nodes/cells touched, and nanoseconds per phase are kept in ScenarioStats
+/// (obs::Counter/obs::Histogram), dumpable via io::Json.
+
+namespace rim::parallel {
+class ThreadPool;
+}
+
+namespace rim::core {
+
+/// \deprecated Use EvalOptions::max_touched_fraction.
+[[deprecated("use EvalOptions::max_touched_fraction")]]
+inline constexpr double kIncrementalMaxTouchedFraction = 0.25;
+
+/// \deprecated Use EvalOptions::touched_floor.
+[[deprecated("use EvalOptions::touched_floor")]]
+inline constexpr std::size_t kIncrementalTouchedFloor = 64;
+
+/// One reified network mutation — the unit of apply(), apply_batch(), and
+/// assess(). Node ids refer to the id space at the moment the mutation is
+/// applied (batch semantics are identical to applying the batch serially,
+/// including swap-with-last renames from earlier removals in the batch).
+struct Mutation {
+  enum class Kind : std::uint8_t {
+    kAddNode,     ///< append an isolated node at `position`
+    kRemoveNode,  ///< remove node `v` and its incident edges
+    kAddEdge,     ///< add the undirected edge {u, v}
+    kRemoveEdge,  ///< remove the undirected edge {u, v}
+    kMoveNode,    ///< move node `v` to `position`
+  };
+
+  Kind kind = Kind::kAddNode;
+  NodeId u = kInvalidNode;
+  NodeId v = kInvalidNode;
+  geom::Vec2 position{};
+
+  [[nodiscard]] static Mutation add_node(geom::Vec2 p) {
+    return {Kind::kAddNode, kInvalidNode, kInvalidNode, p};
+  }
+  [[nodiscard]] static Mutation remove_node(NodeId v) {
+    return {Kind::kRemoveNode, kInvalidNode, v, {}};
+  }
+  [[nodiscard]] static Mutation add_edge(NodeId u, NodeId v) {
+    return {Kind::kAddEdge, u, v, {}};
+  }
+  [[nodiscard]] static Mutation remove_edge(NodeId u, NodeId v) {
+    return {Kind::kRemoveEdge, u, v, {}};
+  }
+  [[nodiscard]] static Mutation move_node(NodeId v, geom::Vec2 p) {
+    return {Kind::kMoveNode, kInvalidNode, v, p};
+  }
+};
+
+/// What one apply_batch() call did.
+struct BatchResult {
+  std::size_t applied = 0;     ///< mutations that changed state
+  std::size_t disk_tasks = 0;  ///< coalesced region deltas executed
+  std::size_t recounts = 0;    ///< receiver coverage recounts executed
+  std::size_t waves = 0;       ///< conflict-free parallel waves run
+  bool deferred = false;       ///< fell back to a full evaluation instead
+};
+
+/// Impact of a (sequence of) mutation(s), measured by Scenario::assess()
+/// without disturbing the scenario. All per-node data is indexed by the
+/// *pre-mutation* id space; renames from removals are resolved internally.
+struct Assessment {
+  /// I_after - I_before per pre-existing node; a removed node's entry is
+  /// -I_before (its slot disappeared).
+  std::vector<std::int64_t> delta_per_node;
+  /// Pre-mutation ids with a non-zero delta, ascending.
+  std::vector<NodeId> affected_ids;
+  std::uint32_t max_before = 0;  ///< I(G') before
+  std::uint32_t max_after = 0;   ///< I(G') after
+  /// When the sequence net-added nodes: I(v) of the newest node after the
+  /// sequence (the paper's "newcomer interference"); 0 otherwise.
+  std::uint32_t newcomer_interference = 0;
+};
+
+/// Observability counters of the engine (obs layer; all monotone, relaxed
+/// atomics — batch tasks on the thread pool record concurrently).
+struct ScenarioStats {
+  obs::Counter incremental_updates;  ///< mutations applied as local deltas
+  obs::Counter deferred_mutations;   ///< deltas too large: cache invalidated
+  obs::Counter full_evaluations;     ///< batched full recomputes
+  obs::Counter nodes_touched;        ///< candidates visited by delta queries
+  obs::Counter cells_touched;        ///< grid cells visited by delta queries
+  obs::Counter incremental_ns;       ///< time spent in delta maintenance
+  obs::Counter full_ns;              ///< time spent in full recomputes
+
+  // Batch pipeline (apply_batch).
+  obs::Counter batches;           ///< apply_batch calls
+  obs::Counter batch_mutations;   ///< mutations applied through batches
+  obs::Counter batch_disk_tasks;  ///< coalesced region deltas executed
+  obs::Counter batch_recounts;    ///< receiver recounts executed
+  obs::Counter batch_waves;       ///< conflict-free waves dispatched
+  obs::Counter batch_deferred;    ///< batches that fell back to full eval
+  obs::Counter batch_ns;          ///< time spent inside apply_batch
+  obs::Histogram batch_wave_tasks;  ///< tasks per wave distribution
+
+  /// Machine-readable dump (io::Json) for experiment harnesses.
+  [[nodiscard]] io::Json to_json() const;
+};
+
+/// Stateful interference engine over an evolving network. Node ids are kept
+/// dense (0..n-1): remove_node moves the last id into the vacated slot and
+/// reports the rename. All queries return exactly what a from-scratch
+/// evaluation of the current topology would — the property tests assert
+/// bit-identical agreement with Strategy::kBrute under randomized mutation
+/// sequences and randomized batches.
+class Scenario {
+ public:
+  /// An empty scenario; \p options configures strategy resolution and the
+  /// incremental/batch thresholds (EvalOptions is the one shared surface).
+  explicit Scenario(EvalOptions options);
+  explicit Scenario(Strategy full_strategy = Strategy::kAuto)
+      : Scenario(EvalOptions{.strategy = full_strategy}) {}
+
+  /// Adopt an existing instance. \p topology.node_count() must equal
+  /// \p points.size(). The evaluation cache starts cold; the first query
+  /// performs one full evaluation.
+  Scenario(std::span<const geom::Vec2> points, const graph::Graph& topology,
+           EvalOptions options);
+  Scenario(std::span<const geom::Vec2> points, const graph::Graph& topology,
+           Strategy full_strategy = Strategy::kAuto)
+      : Scenario(points, topology, EvalOptions{.strategy = full_strategy}) {}
+
+  // --- mutations ---------------------------------------------------------
+
+  /// Append an isolated node at \p position, returning its id. The newcomer
+  /// transmits nothing until an edge attaches it (radius 0), so existing
+  /// interference values are untouched — the paper's robustness argument.
+  NodeId add_node(geom::Vec2 position);
+
+  /// Remove node \p v and its incident edges. To keep ids dense, the
+  /// current last node is renamed to \p v; returns that node's former id
+  /// (or kInvalidNode when \p v was the last node already).
+  NodeId remove_node(NodeId v);
+
+  /// Add the undirected edge {u, v}; returns false (no change) if it
+  /// already exists or u == v. Endpoint radii only ever grow.
+  bool add_edge(NodeId u, NodeId v);
+
+  /// Remove the edge {u, v} if present; endpoint radii shrink to the new
+  /// farthest neighbor. Returns whether the edge existed.
+  bool remove_edge(NodeId u, NodeId v);
+
+  /// Move node \p v to \p position: its disk is re-applied there, neighbor
+  /// radii are re-derived, and its own coverage is recounted. Moving a node
+  /// to its current position is a strict no-op (no cache invalidation, no
+  /// stats increment).
+  void move_node(NodeId v, geom::Vec2 position);
+
+  /// Apply one reified mutation. Returns the new node's id for kAddNode,
+  /// the renamed id for kRemoveNode (as remove_node), kInvalidNode
+  /// otherwise. Mutations with out-of-range ids are skipped (returning
+  /// kInvalidNode) rather than asserting, so recorded traces replay safely.
+  NodeId apply(const Mutation& mutation);
+
+  /// Apply a whole mutation batch, semantically identical to calling
+  /// apply() on each element in order, but pipelined: one serial structural
+  /// pass coalesces all radius/position changes per node, then the
+  /// surviving disk deltas are grouped into conflict-free waves (disjoint
+  /// affected regions, by bounding-box test) and executed concurrently on
+  /// \p pool; conflicting deltas land in later waves in batch-index order.
+  /// Falls back to one deferred full evaluation when the batch's region
+  /// estimate exceeds the EvalOptions thresholds. Results are bit-identical
+  /// to the serial path (and hence to the kBrute oracle) either way.
+  BatchResult apply_batch(std::span<const Mutation> batch,
+                          parallel::ThreadPool* pool);
+  /// Overload using the process-wide shared pool.
+  BatchResult apply_batch(std::span<const Mutation> batch);
+
+  // --- impact assessment -------------------------------------------------
+
+  /// Measure what applying \p mutation would do, without applying it: runs
+  /// the mutation on a probe copy and reports per-node deltas, affected
+  /// ids, and the before/after maxima. The scenario itself only refreshes
+  /// its evaluation cache. The free functions assess_node_addition /
+  /// assess_node_removal (incremental.hpp) are wrappers over this.
+  [[nodiscard]] Assessment assess(const Mutation& mutation);
+
+  /// Sequence form: assess a compound mutation (e.g. arrival + attachment
+  /// edge) applied in order.
+  [[nodiscard]] Assessment assess(std::span<const Mutation> mutations);
+
+  // --- views -------------------------------------------------------------
+
+  [[nodiscard]] std::size_t node_count() const { return points_.size(); }
+  [[nodiscard]] std::size_t edge_count() const { return edge_count_; }
+  [[nodiscard]] std::span<const geom::Vec2> points() const { return points_; }
+  [[nodiscard]] geom::Vec2 position(NodeId v) const { return points_[v]; }
+  [[nodiscard]] std::span<const NodeId> neighbors(NodeId v) const {
+    return adjacency_[v];
+  }
+  [[nodiscard]] bool has_edge(NodeId u, NodeId v) const;
+  /// r_v^2 — the cached farthest-neighbor squared radius.
+  [[nodiscard]] double radius_squared(NodeId v) const { return radii2_[v]; }
+  [[nodiscard]] const EvalOptions& options() const { return options_; }
+
+  /// Export the current topology as a graph::Graph snapshot (O(n + m)).
+  [[nodiscard]] graph::Graph topology() const;
+
+  /// Nearest node to \p p other than \p exclude via the persistent index
+  /// (ties toward the smaller id); kInvalidNode when none exists.
+  [[nodiscard]] NodeId nearest_node(geom::Vec2 p,
+                                    NodeId exclude = kInvalidNode);
+
+  // --- evaluation (refreshes the cache when a deferred delta dirtied it) --
+
+  /// Per-node interference I(v) of the current topology.
+  [[nodiscard]] std::span<const std::uint32_t> interference();
+
+  /// I(v) for a single node.
+  [[nodiscard]] std::uint32_t interference_of(NodeId v);
+
+  /// I(G') = max_v I(v), Definition 3.2.
+  [[nodiscard]] std::uint32_t max_interference();
+
+  /// Sum of I(v) — the lexicographic tiebreaker used by local search.
+  [[nodiscard]] std::uint64_t total_interference();
+
+  /// Full summary (per-node copy + aggregates via from_per_node).
+  [[nodiscard]] InterferenceSummary summary();
+
+  [[nodiscard]] const ScenarioStats& stats() const { return stats_; }
+  /// Engine configuration + counters (incl. the grid's) as one io::Json
+  /// object — the engine's obs surface, registerable with obs::Registry.
+  [[nodiscard]] io::Json stats_json() const;
+
+ private:
+  void ensure_grid();
+  void ensure_cache();
+  /// Full recompute sharded over the live grid with parallel_for (used for
+  /// large instances when the persistent index exists; small instances go
+  /// through the stateless kernels).
+  [[nodiscard]] std::vector<std::uint32_t> full_evaluate();
+  [[nodiscard]] bool delta_deferred(geom::Vec2 center, double radius2);
+  void apply_disk_delta(NodeId u, geom::Vec2 center, double old_r2,
+                        double new_r2);
+  /// The un-deferred kernel shared by the serial path and batch tasks:
+  /// +-1 over the symmetric difference of the old and new disks.
+  void run_disk_delta(NodeId exclude, geom::Vec2 center, double old_r2,
+                      double new_r2);
+  void set_radius(NodeId u, double new_r2);
+  [[nodiscard]] double farthest_neighbor_squared(NodeId u) const;
+  [[nodiscard]] std::uint32_t recount_coverage(NodeId v);
+  /// The un-deferred recount shared by the serial path and batch tasks.
+  [[nodiscard]] std::uint32_t run_recount(NodeId v);
+
+  geom::PointSet points_;
+  std::vector<std::vector<NodeId>> adjacency_;
+  std::size_t edge_count_ = 0;
+  std::vector<double> radii2_;
+  /// Exact max of radii2_ (coverage queries walk a disk of this radius).
+  double max_radius2_ = 0.0;
+
+  std::vector<std::uint32_t> interference_;
+  bool dirty_ = true;  ///< cache must be rebuilt by a full evaluation
+
+  geom::DynamicGrid grid_;
+  bool grid_built_ = false;
+
+  EvalOptions options_;
+  ScenarioStats stats_;
+};
+
+}  // namespace rim::core

@@ -1,0 +1,366 @@
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <unordered_map>
+#include <vector>
+
+#include "rim/core/scenario.hpp"
+#include "rim/parallel/thread_pool.hpp"
+
+/// \file scenario_batch.cpp
+/// Scenario::apply_batch — the parallel batch pipeline.
+///
+/// Semantics: identical, bit for bit, to applying the batch's mutations one
+/// at a time with Scenario::apply(). The pipeline exploits that the final
+/// interference vector is a pure function of the final configuration
+/// (containment tests are exact and contributions are commuting integer
+/// +-1s — the robustness property of the model), so intermediate states
+/// never need to materialise:
+///
+///  1. One serial *structural pass* applies all topology/position changes
+///     (adjacency, points, radii, grid, swap-with-last renames, cached
+///     interference slots) while coalescing, per surviving physical node,
+///     its pre-batch disk vs. its final disk, and collecting the pre-batch
+///     disks of removed nodes.
+///  2. The surviving *disk tasks* (one or two region deltas per changed
+///     transmitter) are scheduled into waves of pairwise AABB-disjoint
+///     regions — greedy first-fit in batch order, so the schedule is a
+///     deterministic function of the batch. Each wave runs concurrently on
+///     the thread pool: disjoint regions mean disjoint interference_ writes,
+///     no atomics needed, and any within-wave ordering yields the same sums.
+///  3. A final wave of *recount tasks* rebuilds I(v) from scratch for every
+///     added or moved node (each owns its slot; everything else is frozen
+///     reads), overwriting any stale deltas phase 2 wrote there.
+///
+/// When the grid-occupancy estimate says the batch's regions cover more of
+/// the instance than a full evaluation would (per-task over the
+/// EvalOptions::touched_threshold, or in total over n), the pipeline marks
+/// the cache dirty instead and the next query performs one sharded full
+/// evaluation — the same fallback the serial path uses, batched.
+
+namespace rim::core {
+
+namespace {
+
+/// Per-physical-node coalesced state, keyed by *current* id and re-keyed
+/// across swap-with-last renames.
+struct PendingNode {
+  geom::Vec2 orig_pos{};
+  double orig_r2 = 0.0;
+  bool existed = false;  ///< present before the batch (has a disk to retire)
+  bool recount = false;  ///< added or moved: final I(v) needs a recount
+};
+
+/// One coalesced region delta: remove the disk (center, old_r2) and apply
+/// (center, new_r2), skipping slot `exclude`.
+struct DiskTask {
+  NodeId exclude = kInvalidNode;
+  geom::Vec2 center{};
+  double old_r2 = 0.0;
+  double new_r2 = 0.0;
+
+  [[nodiscard]] double query_radius() const {
+    return std::sqrt(std::max({old_r2, new_r2, 0.0}));
+  }
+};
+
+/// Conservative conflict test: the tasks' axis-aligned bounding squares
+/// intersect (superset of disk intersection, cheap and exact-arithmetic
+/// free of false negatives).
+bool tasks_conflict(const DiskTask& a, const DiskTask& b) {
+  const double reach = a.query_radius() + b.query_radius();
+  return std::abs(a.center.x - b.center.x) <= reach &&
+         std::abs(a.center.y - b.center.y) <= reach;
+}
+
+}  // namespace
+
+BatchResult Scenario::apply_batch(std::span<const Mutation> batch) {
+  return apply_batch(batch, &parallel::ThreadPool::shared());
+}
+
+BatchResult Scenario::apply_batch(std::span<const Mutation> batch,
+                                  parallel::ThreadPool* pool) {
+  BatchResult result;
+  if (batch.empty()) return result;
+  ensure_grid();
+  const obs::ScopedTimer timer(stats_.batch_ns);
+  ++stats_.batches;
+  const bool was_dirty = dirty_;
+
+  // ---- 1. Serial structural pass --------------------------------------
+  std::unordered_map<NodeId, PendingNode> pending;
+  pending.reserve(batch.size() * 2);
+  std::vector<DiskTask> retired;  // pre-batch disks of removed nodes
+  bool rescan_max = false;
+
+  // First touch of a node this batch captures its pre-batch disk.
+  const auto note = [&](NodeId id) -> PendingNode& {
+    return pending
+        .try_emplace(id, PendingNode{points_[id], radii2_[id], true, false})
+        .first->second;
+  };
+  const auto change_radius = [&](NodeId id, double new_r2) {
+    if (radii2_[id] == new_r2) return;
+    note(id);
+    if (new_r2 > max_radius2_) {
+      max_radius2_ = new_r2;
+    } else if (radii2_[id] == max_radius2_ && new_r2 < radii2_[id]) {
+      rescan_max = true;
+    }
+    radii2_[id] = new_r2;
+  };
+
+  for (const Mutation& m : batch) {
+    const std::size_t n = points_.size();
+    switch (m.kind) {
+      case Mutation::Kind::kAddNode: {
+        const auto id = static_cast<NodeId>(n);
+        points_.push_back(m.position);
+        adjacency_.emplace_back();
+        radii2_.push_back(0.0);
+        grid_.insert(id, m.position);
+        if (!was_dirty) interference_.push_back(0u);
+        pending[id] = PendingNode{m.position, 0.0, false, true};
+        ++result.applied;
+        break;
+      }
+      case Mutation::Kind::kRemoveNode: {
+        if (m.v >= n) break;
+        const NodeId v = m.v;
+        for (const NodeId w : adjacency_[v]) {
+          auto& aw = adjacency_[w];
+          aw.erase(std::find(aw.begin(), aw.end(), v));
+          --edge_count_;
+        }
+        const std::vector<NodeId> former = std::move(adjacency_[v]);
+        adjacency_[v].clear();
+        change_radius(v, 0.0);
+        for (const NodeId w : former) {
+          change_radius(w, farthest_neighbor_squared(w));
+        }
+        // Retire the node's *pre-batch* disk (its only applied
+        // contribution); a node added this batch never contributed.
+        if (const auto it = pending.find(v); it != pending.end()) {
+          if (it->second.existed && it->second.orig_r2 > 0.0) {
+            retired.push_back({kInvalidNode, it->second.orig_pos,
+                               it->second.orig_r2, 0.0});
+          }
+          pending.erase(it);
+        }
+        const auto last = static_cast<NodeId>(n - 1);
+        grid_.erase(v);
+        if (v != last) {
+          points_[v] = points_[last];
+          radii2_[v] = radii2_[last];
+          adjacency_[v] = std::move(adjacency_[last]);
+          for (NodeId w : adjacency_[v]) {
+            std::replace(adjacency_[w].begin(), adjacency_[w].end(), last, v);
+          }
+          grid_.relabel(last, v);
+          if (const auto it = pending.find(last); it != pending.end()) {
+            const PendingNode moved = it->second;
+            pending.erase(it);
+            pending.emplace(v, moved);
+          }
+        }
+        if (!was_dirty && interference_.size() == n) {
+          if (v != last) interference_[v] = interference_[last];
+          interference_.pop_back();
+        }
+        points_.pop_back();
+        adjacency_.pop_back();
+        radii2_.pop_back();
+        ++result.applied;
+        break;
+      }
+      case Mutation::Kind::kAddEdge: {
+        if (m.u >= n || m.v >= n || m.u == m.v || has_edge(m.u, m.v)) break;
+        adjacency_[m.u].push_back(m.v);
+        adjacency_[m.v].push_back(m.u);
+        ++edge_count_;
+        const double d2 = geom::dist2(points_[m.u], points_[m.v]);
+        if (d2 > radii2_[m.u]) change_radius(m.u, d2);
+        if (d2 > radii2_[m.v]) change_radius(m.v, d2);
+        ++result.applied;
+        break;
+      }
+      case Mutation::Kind::kRemoveEdge: {
+        if (m.u >= n || m.v >= n) break;
+        auto& au = adjacency_[m.u];
+        const auto it = std::find(au.begin(), au.end(), m.v);
+        if (it == au.end()) break;
+        au.erase(it);
+        auto& av = adjacency_[m.v];
+        av.erase(std::find(av.begin(), av.end(), m.u));
+        --edge_count_;
+        change_radius(m.u, farthest_neighbor_squared(m.u));
+        change_radius(m.v, farthest_neighbor_squared(m.v));
+        ++result.applied;
+        break;
+      }
+      case Mutation::Kind::kMoveNode: {
+        if (m.v >= n) break;
+        if (points_[m.v] == m.position) break;  // strict no-op
+        PendingNode& p = note(m.v);
+        p.recount = true;
+        points_[m.v] = m.position;
+        grid_.move(m.v, m.position);
+        change_radius(m.v, farthest_neighbor_squared(m.v));
+        for (NodeId w : adjacency_[m.v]) {
+          change_radius(w, farthest_neighbor_squared(w));
+        }
+        ++result.applied;
+        break;
+      }
+    }
+  }
+  if (rescan_max) {
+    max_radius2_ = 0.0;
+    for (double r2 : radii2_) max_radius2_ = std::max(max_radius2_, r2);
+  }
+  stats_.batch_mutations += result.applied;
+
+  if (was_dirty) {
+    // Cache was already invalid: the structural pass is all there is to do.
+    result.deferred = true;
+    ++stats_.batch_deferred;
+    return result;
+  }
+
+  // ---- 2. Coalesce the surviving region deltas ------------------------
+  std::vector<DiskTask> tasks = std::move(retired);
+  std::vector<NodeId> recounts;
+  {
+    // Deterministic task order: ascending final id (the map iterates in
+    // hash order; the schedule below must not depend on it).
+    std::vector<NodeId> ids;
+    ids.reserve(pending.size());
+    for (const auto& [id, p] : pending) ids.push_back(id);
+    std::sort(ids.begin(), ids.end());
+    for (const NodeId id : ids) {
+      const PendingNode& p = pending[id];
+      const geom::Vec2 new_pos = points_[id];
+      const double new_r2 = radii2_[id];
+      if (p.existed && p.orig_pos == new_pos) {
+        // Radius-only change: one symmetric-difference delta.
+        if (p.orig_r2 != new_r2) {
+          tasks.push_back({id, new_pos, p.orig_r2, new_r2});
+        }
+      } else {
+        // Moved (or newly added): retire the old disk, apply the new one.
+        if (p.existed && p.orig_r2 > 0.0) {
+          tasks.push_back({id, p.orig_pos, p.orig_r2, 0.0});
+        }
+        if (new_r2 > 0.0) {
+          tasks.push_back({id, new_pos, 0.0, new_r2});
+        }
+      }
+      if (p.recount) recounts.push_back(id);
+    }
+  }
+  result.disk_tasks = tasks.size();
+  result.recounts = recounts.size();
+  stats_.batch_disk_tasks += tasks.size();
+  stats_.batch_recounts += recounts.size();
+
+  // ---- 3. Defer when the regions rival a full evaluation --------------
+  const std::size_t threshold = options_.touched_threshold(points_.size());
+  const double max_radius = std::sqrt(std::max(max_radius2_, 0.0));
+  std::size_t estimated = 0;
+  bool defer = false;
+  for (const DiskTask& t : tasks) {
+    const std::size_t est = grid_.estimate_in_disk(t.center, t.query_radius());
+    if (est > threshold) defer = true;
+    estimated += est;
+  }
+  for (const NodeId id : recounts) {
+    const std::size_t est = grid_.estimate_in_disk(points_[id], max_radius);
+    if (est > threshold) defer = true;
+    estimated += est;
+  }
+  if (defer || estimated > points_.size()) {
+    dirty_ = true;
+    result.deferred = true;
+    ++stats_.batch_deferred;
+    ++stats_.deferred_mutations;
+    return result;
+  }
+
+  // ---- 4. Wave-schedule and run the disk tasks ------------------------
+  // Greedy first-fit in task order: each task lands in the earliest wave
+  // whose members it conflicts with none of. Purely a function of the
+  // batch, so the schedule (and hence the execution) is deterministic.
+  std::vector<std::vector<std::size_t>> waves;
+  for (std::size_t i = 0; i < tasks.size(); ++i) {
+    bool placed = false;
+    for (auto& wave : waves) {
+      const bool conflicts =
+          std::any_of(wave.begin(), wave.end(), [&](std::size_t j) {
+            return tasks_conflict(tasks[i], tasks[j]);
+          });
+      if (!conflicts) {
+        wave.push_back(i);
+        placed = true;
+        break;
+      }
+    }
+    if (!placed) waves.push_back({i});
+  }
+  result.waves = waves.size();
+  stats_.batch_waves += waves.size();
+
+  const std::size_t workers = pool != nullptr ? pool->thread_count() : 0;
+  const auto run_wave = [&](const std::vector<std::size_t>& wave) {
+    stats_.batch_wave_tasks.record(wave.size());
+    if (workers <= 1 || wave.size() < options_.batch_min_parallel_tasks) {
+      for (const std::size_t i : wave) {
+        const DiskTask& t = tasks[i];
+        run_disk_delta(t.exclude, t.center, t.old_r2, t.new_r2);
+      }
+      return;
+    }
+    // Chunk the wave so submit overhead stays O(workers), not O(tasks).
+    const std::size_t chunks = std::min(wave.size(), workers * 2);
+    const std::size_t per = (wave.size() + chunks - 1) / chunks;
+    for (std::size_t c = 0; c < chunks; ++c) {
+      const std::size_t begin = c * per;
+      const std::size_t end = std::min(begin + per, wave.size());
+      if (begin >= end) break;
+      pool->submit([this, &tasks, &wave, begin, end] {
+        for (std::size_t k = begin; k < end; ++k) {
+          const DiskTask& t = tasks[wave[k]];
+          run_disk_delta(t.exclude, t.center, t.old_r2, t.new_r2);
+        }
+      });
+    }
+    pool->wait_idle();
+  };
+  for (const auto& wave : waves) run_wave(wave);
+
+  // ---- 5. Recount wave ------------------------------------------------
+  // Every recount owns its own interference_ slot and only reads the now
+  // frozen points_/radii2_/grid_, so the whole set is one parallel wave.
+  if (workers > 1 && recounts.size() >= options_.batch_min_parallel_tasks) {
+    const std::size_t chunks = std::min(recounts.size(), workers * 2);
+    const std::size_t per = (recounts.size() + chunks - 1) / chunks;
+    for (std::size_t c = 0; c < chunks; ++c) {
+      const std::size_t begin = c * per;
+      const std::size_t end = std::min(begin + per, recounts.size());
+      if (begin >= end) break;
+      pool->submit([this, &recounts, begin, end] {
+        for (std::size_t k = begin; k < end; ++k) {
+          const NodeId id = recounts[k];
+          interference_[id] = run_recount(id);
+        }
+      });
+    }
+    pool->wait_idle();
+  } else {
+    for (const NodeId id : recounts) interference_[id] = run_recount(id);
+  }
+  stats_.incremental_updates += result.applied;
+  return result;
+}
+
+}  // namespace rim::core

@@ -9,7 +9,8 @@ namespace rim::ext2d {
 
 MinInterferenceResult min_interference_2d(std::span<const geom::Vec2> points,
                                           const graph::Graph& udg,
-                                          std::size_t rounds) {
+                                          std::size_t rounds,
+                                          const core::EvalOptions& eval) {
   // Candidate seeds, each reduced to a spanning forest (the hub topology
   // can contain cycles; a Euclidean-minimal forest of its edges keeps the
   // same components).
@@ -25,7 +26,7 @@ MinInterferenceResult min_interference_2d(std::span<const geom::Vec2> points,
   const Seed* best = nullptr;
   std::uint32_t best_i = 0;
   for (const Seed& seed : seeds) {
-    const std::uint32_t i = core::graph_interference(seed.forest, points);
+    const std::uint32_t i = core::graph_interference(seed.forest, points, eval);
     if (best == nullptr || i < best_i) {
       best = &seed;
       best_i = i;
@@ -35,6 +36,7 @@ MinInterferenceResult min_interference_2d(std::span<const geom::Vec2> points,
   highway::LocalSearchParams params;
   params.max_rounds = rounds;
   params.max_candidates_per_cut = 32;  // keep dense UDGs tractable
+  params.eval = eval;
   const highway::LocalSearchResult ls =
       highway::local_search_min_interference(points, udg, best->forest, params);
 
@@ -43,6 +45,7 @@ MinInterferenceResult min_interference_2d(std::span<const geom::Vec2> points,
   result.interference = ls.interference;
   result.seed_name = best->name;
   result.swaps = ls.swaps_applied;
+  result.candidates_probed = ls.candidates_probed;
   return result;
 }
 

@@ -22,12 +22,15 @@ struct MinInterferenceResult {
   std::uint32_t interference = 0;
   const char* seed_name = "";   ///< which seed won
   std::size_t swaps = 0;
+  std::size_t candidates_probed = 0;  ///< local-search probe count (obs)
 };
 
 /// Optimise over \p points / \p udg. \p rounds bounds the local-search
 /// sweeps (each sweep is O(n * m * eval) — keep instances moderate).
+/// \p eval configures every interference evaluation involved (seed scoring
+/// and local-search probing) through the shared core::EvalOptions surface.
 [[nodiscard]] MinInterferenceResult min_interference_2d(
     std::span<const geom::Vec2> points, const graph::Graph& udg,
-    std::size_t rounds = 4);
+    std::size_t rounds = 4, const core::EvalOptions& eval = {});
 
 }  // namespace rim::ext2d

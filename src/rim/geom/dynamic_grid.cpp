@@ -7,6 +7,17 @@
 
 namespace rim::geom {
 
+io::Json GridStats::to_json() const {
+  io::JsonObject o;
+  o["inserts"] = inserts.to_json();
+  o["erases"] = erases.to_json();
+  o["moves"] = moves.to_json();
+  o["relabels"] = relabels.to_json();
+  o["disk_queries"] = disk_queries.to_json();
+  o["nearest_queries"] = nearest_queries.to_json();
+  return io::Json(std::move(o));
+}
+
 DynamicGrid::DynamicGrid(double cell_size) : cell_size_(cell_size) {
   assert(cell_size_ > 0.0);
 }
@@ -19,6 +30,7 @@ void DynamicGrid::clear(double cell_size) {
   pos_.clear();
   key_.clear();
   present_.clear();
+  stats_ = GridStats{};
 }
 
 std::int64_t DynamicGrid::coord(double x) const {
@@ -31,6 +43,7 @@ DynamicGrid::CellKey DynamicGrid::key_of(Vec2 p) const {
 
 void DynamicGrid::insert(NodeId id, Vec2 p) {
   assert(!contains(id));
+  ++stats_.inserts;
   if (id >= present_.size()) {
     pos_.resize(id + 1);
     key_.resize(id + 1);
@@ -56,6 +69,7 @@ void DynamicGrid::detach_from_cell(NodeId id) {
 
 void DynamicGrid::erase(NodeId id) {
   assert(contains(id));
+  ++stats_.erases;
   detach_from_cell(id);
   present_[id] = 0;
   --count_;
@@ -63,6 +77,7 @@ void DynamicGrid::erase(NodeId id) {
 
 void DynamicGrid::move(NodeId id, Vec2 p) {
   assert(contains(id));
+  ++stats_.moves;
   const CellKey key = key_of(p);
   if (key != key_[id]) {
     detach_from_cell(id);
@@ -74,6 +89,7 @@ void DynamicGrid::move(NodeId id, Vec2 p) {
 
 void DynamicGrid::relabel(NodeId from, NodeId to) {
   assert(contains(from) && !contains(to));
+  ++stats_.relabels;
   auto& bucket = cells_[key_[from]];
   *std::find(bucket.begin(), bucket.end(), from) = to;
   if (to >= present_.size()) {
@@ -90,6 +106,7 @@ void DynamicGrid::relabel(NodeId from, NodeId to) {
 std::size_t DynamicGrid::for_each_in_disk_squared(
     Vec2 center, double radius2,
     const std::function<void(NodeId, Vec2)>& fn) const {
+  ++stats_.disk_queries;
   if (count_ == 0 || radius2 < 0.0) return 0;
   // Same ulp inflation as GridIndex: a point whose exact squared distance
   // equals radius2 must never fall outside the visited cells.
@@ -141,6 +158,7 @@ std::size_t DynamicGrid::estimate_in_disk(Vec2 center, double radius) const {
 }
 
 NodeId DynamicGrid::nearest(Vec2 center, NodeId exclude) const {
+  ++stats_.nearest_queries;
   if (count_ == 0 || (count_ == 1 && contains(exclude))) return kInvalidNode;
   double radius = cell_size_;
   while (true) {

@@ -7,6 +7,7 @@
 
 #include "rim/common/types.hpp"
 #include "rim/geom/vec2.hpp"
+#include "rim/obs/metrics.hpp"
 
 /// \file dynamic_grid.hpp
 /// Mutable uniform-grid spatial index over an evolving point set.
@@ -25,6 +26,19 @@
 /// anywhere without a prior bounding box.
 
 namespace rim::geom {
+
+/// Observability counters of a DynamicGrid (obs layer; all monotone and
+/// thread-safe — queries from concurrent batch tasks record freely).
+struct GridStats {
+  obs::Counter inserts;          ///< insert() calls
+  obs::Counter erases;           ///< erase() calls
+  obs::Counter moves;            ///< move() calls
+  obs::Counter relabels;         ///< relabel() calls (swap-with-last renames)
+  obs::Counter disk_queries;     ///< for_each_in_disk_squared() calls
+  obs::Counter nearest_queries;  ///< nearest() calls
+
+  [[nodiscard]] io::Json to_json() const;
+};
 
 class DynamicGrid {
  public:
@@ -73,6 +87,9 @@ class DynamicGrid {
   /// GridIndex::nearest). kInvalidNode when no eligible point exists.
   [[nodiscard]] NodeId nearest(Vec2 center, NodeId exclude = kInvalidNode) const;
 
+  /// Lifetime operation counters (reset by clear()).
+  [[nodiscard]] const GridStats& stats() const { return stats_; }
+
  private:
   /// Cells are keyed by their packed (cx, cy) coordinate. The pack wraps
   /// coordinates to 32 bits; a wrap collision merely co-buckets two far
@@ -94,6 +111,8 @@ class DynamicGrid {
   std::vector<Vec2> pos_;
   std::vector<CellKey> key_;
   std::vector<std::uint8_t> present_;
+  // Mutable: const queries still count themselves (relaxed atomics).
+  mutable GridStats stats_;
 };
 
 }  // namespace rim::geom

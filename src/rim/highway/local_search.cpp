@@ -8,6 +8,7 @@
 #include "rim/core/scenario.hpp"
 #include "rim/graph/connectivity.hpp"
 #include "rim/graph/union_find.hpp"
+#include "rim/obs/metrics.hpp"
 
 namespace rim::highway {
 
@@ -48,8 +49,9 @@ LocalSearchResult local_search_min_interference(std::span<const geom::Vec2> poin
   result.tree = graph::Graph(seed.node_count(), seed.edges());
   // The Scenario mirrors result.tree edge-for-edge throughout the search;
   // candidate swaps are probed as add/remove deltas and rolled back.
-  core::Scenario scenario(points, result.tree);
+  core::Scenario scenario(points, result.tree, params.eval);
   Objective current = evaluate(scenario);
+  obs::Counter probe_ns;
 
   for (std::size_t round = 0; round < params.max_rounds; ++round) {
     bool improved = false;
@@ -86,9 +88,11 @@ LocalSearchResult local_search_min_interference(std::span<const geom::Vec2> poin
       result.tree.remove_edge(removed.u, removed.v);
       scenario.remove_edge(removed.u, removed.v);
       for (graph::Edge candidate : candidates) {
+        const obs::ScopedTimer probe_timer(probe_ns);
         scenario.add_edge(candidate.u, candidate.v);
         const Objective obj = evaluate(scenario);
         scenario.remove_edge(candidate.u, candidate.v);
+        ++result.candidates_probed;
         if (obj < best) {
           best = obj;
           best_edge = candidate;
@@ -108,6 +112,7 @@ LocalSearchResult local_search_min_interference(std::span<const geom::Vec2> poin
     }
   }
   result.interference = current.first;
+  result.probe_ns = probe_ns.value();
   return result;
 }
 

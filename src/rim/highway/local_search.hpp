@@ -3,6 +3,7 @@
 #include <cstdint>
 #include <span>
 
+#include "rim/core/interference.hpp"
 #include "rim/geom/vec2.hpp"
 #include "rim/graph/graph.hpp"
 
@@ -24,6 +25,9 @@ struct LocalSearchParams {
   /// UDG edges crossing the cut (0 = all). Each candidate costs a full
   /// interference evaluation, so dense UDGs need a cap.
   std::size_t max_candidates_per_cut = 0;
+  /// Evaluation configuration for the probing Scenario (strategy and
+  /// incremental thresholds) — the shared core::EvalOptions surface.
+  core::EvalOptions eval{};
 };
 
 struct LocalSearchResult {
@@ -31,6 +35,9 @@ struct LocalSearchResult {
   std::uint32_t interference = 0;
   std::size_t swaps_applied = 0;
   bool reached_local_optimum = false;
+  /// Observability: candidate swaps probed and wall time spent probing.
+  std::size_t candidates_probed = 0;
+  std::uint64_t probe_ns = 0;
 };
 
 /// Improve \p seed (must be a forest spanning the UDG's components; its

@@ -4,6 +4,7 @@
 #include "rim/mac/csma_mac.hpp"
 #include "rim/mac/event_queue.hpp"
 #include "rim/mac/medium.hpp"
+#include "rim/obs/metrics.hpp"
 #include "rim/sim/rng.hpp"
 
 namespace rim::mac {
@@ -44,6 +45,7 @@ SimulationReport simulate_traffic(const graph::Graph& topology,
                                   const SimulationConfig& config) {
   const Medium medium(topology, points);
   SimulationReport report;
+  const std::uint64_t started = obs::now_ns();
   if (config.kind == MacKind::kCsma) {
     CsmaMac::Params params;
     params.persistence = config.mac.transmit_probability;
@@ -55,12 +57,22 @@ SimulationReport simulate_traffic(const graph::Graph& topology,
     SlottedMac mac(medium, config.mac, config.seed ^ 0x5b4d5cull);
     report.mac = drive(mac, topology, config);
   }
+  report.elapsed_ns = obs::now_ns() - started;
   report.interference = core::graph_interference(topology, points);
   double sum_range = 0.0;
   for (NodeId u = 0; u < topology.node_count(); ++u) sum_range += medium.range(u);
   report.mean_range = points.empty() ? 0.0
                                      : sum_range / static_cast<double>(points.size());
   return report;
+}
+
+io::Json SimulationReport::to_json() const {
+  io::JsonObject o;
+  o["mac"] = mac.to_json();
+  o["interference"] = io::Json(interference);
+  o["mean_range"] = io::Json(mean_range);
+  o["elapsed_ns"] = io::Json(elapsed_ns);
+  return io::Json(std::move(o));
 }
 
 }  // namespace rim::mac

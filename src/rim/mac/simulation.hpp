@@ -34,6 +34,11 @@ struct SimulationReport {
   MacStats mac;
   std::uint32_t interference = 0;  ///< I(G') of the simulated topology
   double mean_range = 0.0;         ///< average transmission radius
+  std::uint64_t elapsed_ns = 0;    ///< wall time of the slot loop
+
+  /// Full report (MAC counters + topology figures) as io::Json, for the
+  /// obs registry and bench artifacts.
+  [[nodiscard]] io::Json to_json() const;
 };
 
 /// Run the simulation of \p topology over \p points. Nodes without

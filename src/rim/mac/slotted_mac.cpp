@@ -5,6 +5,22 @@
 
 namespace rim::mac {
 
+io::Json MacStats::to_json() const {
+  io::JsonObject o;
+  o["offered"] = io::Json(offered);
+  o["delivered"] = io::Json(delivered);
+  o["transmissions"] = io::Json(transmissions);
+  o["collisions"] = io::Json(collisions);
+  o["dropped"] = io::Json(dropped);
+  o["energy"] = io::Json(energy);
+  o["backlog"] = io::Json(backlog);
+  o["delivery_ratio"] = io::Json(delivery_ratio());
+  o["mean_delay"] = io::Json(mean_delay());
+  o["transmissions_per_delivery"] = io::Json(transmissions_per_delivery());
+  o["energy_per_delivery"] = io::Json(energy_per_delivery());
+  return io::Json(std::move(o));
+}
+
 SlottedMac::SlottedMac(const Medium& medium, Params params, std::uint64_t seed)
     : medium_(medium),
       params_(params),

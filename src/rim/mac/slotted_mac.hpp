@@ -4,6 +4,7 @@
 #include <deque>
 #include <vector>
 
+#include "rim/io/json.hpp"
 #include "rim/mac/medium.hpp"
 #include "rim/sim/rng.hpp"
 
@@ -50,6 +51,10 @@ struct MacStats {
   [[nodiscard]] double energy_per_delivery() const {
     return delivered == 0 ? 0.0 : energy / static_cast<double>(delivered);
   }
+
+  /// Counters plus the derived ratios, as one io::Json object (the obs
+  /// surface simulation reports and bench artifacts embed).
+  [[nodiscard]] io::Json to_json() const;
 };
 
 class SlottedMac {

@@ -1,0 +1,89 @@
+#include "rim/obs/metrics.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <ostream>
+
+namespace rim::obs {
+
+std::ostream& operator<<(std::ostream& out, const Counter& counter) {
+  return out << counter.value();
+}
+
+Histogram::Histogram(const Histogram& other) { *this = other; }
+
+Histogram& Histogram::operator=(const Histogram& other) {
+  if (this == &other) return *this;
+  for (std::size_t b = 0; b < kBuckets; ++b) {
+    buckets_[b].store(other.buckets_[b].load(std::memory_order_relaxed),
+                      std::memory_order_relaxed);
+  }
+  count_.store(other.count(), std::memory_order_relaxed);
+  sum_.store(other.sum(), std::memory_order_relaxed);
+  max_.store(other.max(), std::memory_order_relaxed);
+  return *this;
+}
+
+void Histogram::record(std::uint64_t value) noexcept {
+  const std::size_t bucket = static_cast<std::size_t>(std::bit_width(value));
+  buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value, std::memory_order_relaxed);
+  std::uint64_t seen = max_.load(std::memory_order_relaxed);
+  while (value > seen &&
+         !max_.compare_exchange_weak(seen, value, std::memory_order_relaxed)) {
+  }
+}
+
+double Histogram::mean() const noexcept {
+  const std::uint64_t n = count();
+  return n == 0 ? 0.0 : static_cast<double>(sum()) / static_cast<double>(n);
+}
+
+std::uint64_t Histogram::quantile(double q) const noexcept {
+  const std::uint64_t n = count();
+  if (n == 0) return 0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  // Nearest-rank quantile: 1-based rank ceil(q * n); walk buckets until
+  // the cumulative count reaches it.
+  auto rank = static_cast<std::uint64_t>(
+      std::ceil(q * static_cast<double>(n)));
+  if (rank < 1) rank = 1;
+  if (rank > n) rank = n;
+  std::uint64_t seen = 0;
+  for (std::size_t b = 0; b < kBuckets; ++b) {
+    seen += buckets_[b].load(std::memory_order_relaxed);
+    if (seen >= rank) {
+      // Upper bound of bucket b (0 for b == 0, else 2^b - 1), clamped to
+      // the true maximum so quantiles never exceed an observed value.
+      const std::uint64_t bound =
+          b == 0 ? 0
+                 : (b >= 64 ? ~std::uint64_t{0} : (std::uint64_t{1} << b) - 1);
+      return std::min(bound, max());
+    }
+  }
+  return max();
+}
+
+io::Json Histogram::to_json() const {
+  io::JsonObject o;
+  o["count"] = io::Json(count());
+  o["sum"] = io::Json(sum());
+  o["mean"] = io::Json(mean());
+  o["max"] = io::Json(max());
+  o["p50"] = io::Json(quantile(0.50));
+  o["p90"] = io::Json(quantile(0.90));
+  o["p99"] = io::Json(quantile(0.99));
+  return io::Json(std::move(o));
+}
+
+std::uint64_t now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace rim::obs

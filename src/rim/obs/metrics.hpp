@@ -1,0 +1,131 @@
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <iosfwd>
+
+#include "rim/io/json.hpp"
+
+/// \file metrics.hpp
+/// First-class observability primitives: counters, histograms, timers.
+///
+/// The engine's hot paths (core::Scenario deltas and batches, the dynamic
+/// grid, the local search, the MAC event loop) all record into these types
+/// instead of ad-hoc integer fields. Everything here is:
+///
+///  - thread-safe: counters and histogram buckets are relaxed atomics, so
+///    the parallel batch pipeline's concurrently executing disk tasks can
+///    record without locks (sums are order-independent, hence deterministic);
+///  - cheap: one relaxed fetch_add per record — a few nanoseconds, safe to
+///    leave enabled in Release hot loops;
+///  - machine-readable: every type dumps through io::Json, and
+///    obs::Registry (registry.hpp) aggregates named sources into the JSON
+///    trajectory artifacts the benches emit (BENCH_2.json).
+///
+/// Copying snapshots the current values (the atomics are re-seated), so
+/// stats structs made of these types keep their owners copyable —
+/// core::Scenario relies on this for assess()'s probe copies.
+
+namespace rim::obs {
+
+/// Monotone event counter (relaxed atomic).
+class Counter {
+ public:
+  Counter() = default;
+  Counter(const Counter& other) : value_(other.value()) {}
+  Counter& operator=(const Counter& other) {
+    value_.store(other.value(), std::memory_order_relaxed);
+    return *this;
+  }
+
+  void add(std::uint64_t n = 1) noexcept {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  Counter& operator++() noexcept {
+    add();
+    return *this;
+  }
+  Counter& operator+=(std::uint64_t n) noexcept {
+    add(n);
+    return *this;
+  }
+
+  [[nodiscard]] std::uint64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+  operator std::uint64_t() const noexcept { return value(); }  // NOLINT
+
+  [[nodiscard]] io::Json to_json() const { return io::Json(value()); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+std::ostream& operator<<(std::ostream& out, const Counter& counter);
+
+/// Fixed-footprint histogram over power-of-two buckets: bucket b counts
+/// samples v with bit_width(v) == b (bucket 0 holds v == 0). Good enough
+/// for latency-in-ns and size distributions, needs no configuration, and
+/// records lock-free from any thread.
+class Histogram {
+ public:
+  static constexpr std::size_t kBuckets = 65;  ///< 0 plus one per bit width
+
+  Histogram() = default;
+  Histogram(const Histogram& other);
+  Histogram& operator=(const Histogram& other);
+
+  void record(std::uint64_t value) noexcept;
+
+  [[nodiscard]] std::uint64_t count() const noexcept {
+    return count_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t sum() const noexcept {
+    return sum_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t max() const noexcept {
+    return max_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] double mean() const noexcept;
+
+  /// Upper bound of the bucket containing the q-quantile (q in [0, 1]);
+  /// 0 when the histogram is empty. An estimate within 2x of the true
+  /// value — the resolution of power-of-two buckets.
+  [[nodiscard]] std::uint64_t quantile(double q) const noexcept;
+
+  /// {count, sum, mean, max, p50, p90, p99}.
+  [[nodiscard]] io::Json to_json() const;
+
+ private:
+  std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_{0};
+  std::atomic<std::uint64_t> max_{0};
+};
+
+/// Monotonic wall-clock now, in nanoseconds (steady_clock).
+[[nodiscard]] std::uint64_t now_ns();
+
+/// RAII scope timer: on destruction adds the elapsed nanoseconds to a
+/// Counter and optionally records them into a Histogram.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Counter& ns_sink, Histogram* histogram = nullptr)
+      : sink_(ns_sink), histogram_(histogram), start_(now_ns()) {}
+  ~ScopedTimer() {
+    const std::uint64_t elapsed = now_ns() - start_;
+    sink_.add(elapsed);
+    if (histogram_ != nullptr) histogram_->record(elapsed);
+  }
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  Counter& sink_;
+  Histogram* histogram_;
+  std::uint64_t start_;
+};
+
+}  // namespace rim::obs

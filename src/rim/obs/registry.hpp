@@ -1,0 +1,49 @@
+#pragma once
+
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "rim/io/json.hpp"
+
+/// \file registry.hpp
+/// Named metric sources, aggregated into one JSON snapshot.
+///
+/// A Registry maps a source name to a producer returning that source's
+/// current metrics as io::Json. Long-lived subsystems (a Scenario, the MAC
+/// simulator, a workload driver) register a producer once; a bench then
+/// emits `registry.snapshot()` as its machine-readable trajectory artifact
+/// (BENCH_2.json). Producers are invoked under the registry lock, so
+/// registration and snapshotting may race freely; the producers themselves
+/// read relaxed-atomic obs counters and need no further synchronisation.
+
+namespace rim::obs {
+
+class Registry {
+ public:
+  using Producer = std::function<io::Json()>;
+
+  /// Register (or replace) the producer behind \p name.
+  void add_source(std::string name, Producer producer);
+
+  /// Drop the producer behind \p name (no-op when absent). Call before a
+  /// registered object goes out of scope.
+  void remove_source(const std::string& name);
+
+  [[nodiscard]] std::size_t size() const;
+
+  /// One JSON object keyed by source name; keys are emitted in
+  /// lexicographic order, so snapshots of the same state are byte-identical.
+  [[nodiscard]] io::Json snapshot() const;
+
+  /// Process-wide registry for code without an obvious owner to thread one
+  /// through. Prefer passing an explicit Registry where possible.
+  static Registry& global();
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, Producer> sources_;
+};
+
+}  // namespace rim::obs

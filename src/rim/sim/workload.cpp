@@ -1,0 +1,195 @@
+#include "rim/sim/workload.hpp"
+
+#include <algorithm>
+#include <thread>
+#include <utility>
+
+#include "rim/parallel/thread_pool.hpp"
+
+namespace rim::sim {
+
+namespace {
+
+/// Stable per-tenant seed derivation (SplitMix64-style mix keeps tenant
+/// streams decorrelated even for adjacent seeds).
+std::uint64_t tenant_seed(std::uint64_t seed, std::size_t tenant) {
+  std::uint64_t z = seed + 0x9E3779B97F4A7C15ULL * (tenant + 1);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t fnv1a(std::span<const std::uint32_t> values) {
+  std::uint64_t h = 0xCBF29CE484222325ULL;
+  for (const std::uint32_t v : values) {
+    for (int shift = 0; shift < 32; shift += 8) {
+      h ^= (v >> shift) & 0xFFU;
+      h *= 0x100000001B3ULL;
+    }
+  }
+  return h;
+}
+
+}  // namespace
+
+std::vector<core::Mutation> make_churn_batch(Rng& rng, std::size_t node_count,
+                                             const WorkloadConfig& config) {
+  using core::Mutation;
+  const std::size_t size = config.batch_size;
+  const auto share = [&](double fraction) {
+    return static_cast<std::size_t>(fraction *
+                                    static_cast<double>(size));
+  };
+  // Departures never shrink the network below a working floor.
+  std::size_t removes = share(config.remove_fraction);
+  const std::size_t floor = 8;
+  if (node_count < floor + removes) {
+    removes = node_count > floor ? node_count - floor : 0;
+  }
+  const std::size_t moves = share(config.move_fraction);
+  const std::size_t adds = share(config.add_fraction);
+  const std::size_t flips =
+      size > removes + moves + adds ? size - removes - moves - adds : 0;
+
+  std::vector<Mutation> batch;
+  batch.reserve(removes + moves + flips + 2 * adds);
+  // Order matters: departures first shrink the id space to a known n1 =
+  // node_count - removes, against which every later target is drawn — the
+  // whole batch stays valid under serial (and hence batch) semantics.
+  for (std::size_t i = 0; i < removes; ++i) {
+    batch.push_back(Mutation::remove_node(
+        static_cast<NodeId>(rng.next_below(node_count - i))));
+  }
+  const std::size_t n1 = node_count - removes;
+  if (n1 == 0) return batch;
+  for (std::size_t i = 0; i < moves; ++i) {
+    batch.push_back(Mutation::move_node(
+        static_cast<NodeId>(rng.next_below(n1)),
+        {rng.uniform(0.0, config.side), rng.uniform(0.0, config.side)}));
+  }
+  for (std::size_t i = 0; i < flips && n1 >= 2; ++i) {
+    const auto u = static_cast<NodeId>(rng.next_below(n1));
+    auto v = static_cast<NodeId>(rng.next_below(n1));
+    if (u == v) v = static_cast<NodeId>((u + 1) % n1);
+    batch.push_back(rng.next_double() < 0.5 ? Mutation::add_edge(u, v)
+                                            : Mutation::remove_edge(u, v));
+  }
+  for (std::size_t i = 0; i < adds; ++i) {
+    const auto id = static_cast<NodeId>(n1 + i);
+    batch.push_back(Mutation::add_node(
+        {rng.uniform(0.0, config.side), rng.uniform(0.0, config.side)}));
+    // Wire each arrival to a uniformly chosen earlier node so it actually
+    // transmits (isolated nodes have radius 0 and perturb nothing).
+    batch.push_back(Mutation::add_edge(
+        id, static_cast<NodeId>(rng.next_below(id))));
+  }
+  return batch;
+}
+
+core::Scenario make_tenant_scenario(const WorkloadConfig& config,
+                                    std::size_t tenant) {
+  Rng rng(tenant_seed(config.seed, tenant));
+  const std::size_t n = std::max<std::size_t>(config.initial_nodes, 2);
+  geom::PointSet points(n);
+  for (auto& p : points) {
+    p = {rng.uniform(0.0, config.side), rng.uniform(0.0, config.side)};
+  }
+  graph::Graph topology(n);
+  // Ring plus n/4 chords: connected, bounded degree, deterministic.
+  for (NodeId u = 0; u < n; ++u) {
+    topology.add_edge(u, static_cast<NodeId>((u + 1) % n));
+  }
+  for (std::size_t i = 0; i < n / 4; ++i) {
+    const auto u = static_cast<NodeId>(rng.next_below(n));
+    auto v = static_cast<NodeId>(rng.next_below(n));
+    if (u == v) v = static_cast<NodeId>((u + 1) % n);
+    if (!topology.has_edge(u, v)) topology.add_edge(u, v);
+  }
+  return core::Scenario(points, topology, config.eval);
+}
+
+TenantStats WorkloadDriver::run_tenant(std::size_t tenant,
+                                       parallel::ThreadPool* inner_pool) {
+  // The batch stream must not depend on the initial wiring's RNG draws:
+  // fresh stream, distinct mix constant.
+  Rng rng(tenant_seed(config_.seed ^ 0xA5A5A5A5A5A5A5A5ULL, tenant));
+  core::Scenario scenario = make_tenant_scenario(config_, tenant);
+
+  TenantStats stats;
+  stats.tenant = tenant;
+  for (std::size_t b = 0; b < config_.batches; ++b) {
+    const std::vector<core::Mutation> batch =
+        make_churn_batch(rng, scenario.node_count(), config_);
+    const core::BatchResult result = scenario.apply_batch(batch, inner_pool);
+    stats.mutations_applied += result.applied;
+    if (result.deferred) ++stats.batches_deferred;
+    ++batches_applied_;
+    mutations_applied_ += result.applied;
+  }
+  stats.final_nodes = scenario.node_count();
+  stats.final_edges = scenario.edge_count();
+  stats.final_max_interference = scenario.max_interference();
+  stats.interference_checksum = fnv1a(scenario.interference());
+  return stats;
+}
+
+WorkloadReport WorkloadDriver::run(ReplayMode mode) {
+  ++runs_;
+  const obs::ScopedTimer timer(replay_ns_);
+  WorkloadReport report;
+  report.tenants.resize(config_.tenants);
+  const std::uint64_t start = obs::now_ns();
+  if (mode == ReplayMode::kConcurrentTenants && config_.tenants > 1) {
+    // Driver-owned pool: tenants run concurrently, each applying its
+    // batches inline (never wait_idle() on the pool a tenant runs inside).
+    const auto hw = static_cast<std::size_t>(
+        std::max(1u, std::thread::hardware_concurrency()));
+    parallel::ThreadPool pool(std::min(config_.tenants, hw));
+    for (std::size_t t = 0; t < config_.tenants; ++t) {
+      pool.submit([this, t, &report] {
+        report.tenants[t] = run_tenant(t, nullptr);
+      });
+    }
+    pool.wait_idle();
+  } else {
+    parallel::ThreadPool* inner =
+        mode == ReplayMode::kParallelBatches ? &parallel::ThreadPool::shared()
+                                             : nullptr;
+    for (std::size_t t = 0; t < config_.tenants; ++t) {
+      report.tenants[t] = run_tenant(t, inner);
+    }
+  }
+  report.elapsed_ns = obs::now_ns() - start;
+  return report;
+}
+
+io::Json WorkloadReport::to_json() const {
+  io::JsonArray rows;
+  rows.reserve(tenants.size());
+  for (const TenantStats& t : tenants) {
+    io::JsonObject o;
+    o["tenant"] = io::Json(t.tenant);
+    o["final_nodes"] = io::Json(t.final_nodes);
+    o["final_edges"] = io::Json(t.final_edges);
+    o["final_max_interference"] = io::Json(t.final_max_interference);
+    o["interference_checksum"] = io::Json(t.interference_checksum);
+    o["mutations_applied"] = io::Json(t.mutations_applied);
+    o["batches_deferred"] = io::Json(t.batches_deferred);
+    rows.emplace_back(std::move(o));
+  }
+  io::JsonObject o;
+  o["tenants"] = io::Json(std::move(rows));
+  o["elapsed_ns"] = io::Json(elapsed_ns);
+  return io::Json(std::move(o));
+}
+
+io::Json WorkloadDriver::stats_json() const {
+  io::JsonObject o;
+  o["runs"] = runs_.to_json();
+  o["batches_applied"] = batches_applied_.to_json();
+  o["mutations_applied"] = mutations_applied_.to_json();
+  o["replay_ns"] = replay_ns_.to_json();
+  return io::Json(std::move(o));
+}
+
+}  // namespace rim::sim

@@ -1,0 +1,112 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "rim/core/scenario.hpp"
+#include "rim/io/json.hpp"
+#include "rim/obs/metrics.hpp"
+#include "rim/sim/rng.hpp"
+
+/// \file workload.hpp
+/// Multi-tenant churn replay over the batch pipeline.
+///
+/// A workload is T independent tenants, each a Scenario fed a deterministic
+/// churn trace in batches: per tick, a mix of departures, moves, edge flips,
+/// and arrivals (in that order, so every id in the batch is valid under
+/// serial semantics), generated as a pure function of (seed, tenant). The
+/// driver replays all tenants — concurrently on a driver-owned thread pool,
+/// or serially with the inner batch pipeline parallelised instead — and
+/// reports per-tenant end states plus a checksum of the final interference
+/// vector. Because Scenario::apply_batch is bit-identical to serial
+/// application, every replay mode must produce identical reports; the tests
+/// assert exactly that, and bench_batch_pipeline uses the driver as its
+/// churn harness.
+///
+/// The two parallelism axes are deliberately exclusive per run: a tenant
+/// replayed on the driver's pool applies its batches inline (the inner
+/// pipeline would otherwise wait_idle() on the pool it runs inside).
+
+namespace rim::parallel {
+class ThreadPool;
+}
+
+namespace rim::sim {
+
+struct WorkloadConfig {
+  std::size_t tenants = 4;
+  std::size_t initial_nodes = 256;
+  std::size_t batches = 16;
+  std::size_t batch_size = 64;
+  double side = 10.0;  ///< deployment square side
+  /// Mutation mix (fractions of batch_size; the remainder is edge flips).
+  double remove_fraction = 0.15;
+  double move_fraction = 0.35;
+  double add_fraction = 0.15;
+  std::uint64_t seed = 1;
+  core::EvalOptions eval{};
+};
+
+/// One tenant's end state. Everything here is a pure function of the
+/// config — identical across replay modes and thread counts.
+struct TenantStats {
+  std::size_t tenant = 0;
+  std::size_t final_nodes = 0;
+  std::size_t final_edges = 0;
+  std::uint32_t final_max_interference = 0;
+  /// FNV-1a over the final interference vector: a cheap bit-identity
+  /// witness for cross-mode comparisons.
+  std::uint64_t interference_checksum = 0;
+  std::size_t mutations_applied = 0;
+  std::size_t batches_deferred = 0;
+};
+
+struct WorkloadReport {
+  std::vector<TenantStats> tenants;
+  std::uint64_t elapsed_ns = 0;  ///< wall time (excluded from determinism)
+
+  [[nodiscard]] io::Json to_json() const;
+};
+
+/// How WorkloadDriver::run distributes the work.
+enum class ReplayMode : std::uint8_t {
+  kSerial,             ///< tenants in order, batches applied inline
+  kParallelBatches,    ///< tenants in order, batches on the shared pool
+  kConcurrentTenants,  ///< tenants on a driver-owned pool, batches inline
+};
+
+/// Generate the next churn batch for a tenant with \p node_count current
+/// nodes: departures first, then moves and edge flips, then arrivals (each
+/// wired to a uniformly chosen earlier node). Pure in (rng state, inputs).
+[[nodiscard]] std::vector<core::Mutation> make_churn_batch(
+    Rng& rng, std::size_t node_count, const WorkloadConfig& config);
+
+/// Build tenant \p tenant's deterministic initial scenario: initial_nodes
+/// uniform points on the square, wired as a ring plus seeded chords.
+[[nodiscard]] core::Scenario make_tenant_scenario(const WorkloadConfig& config,
+                                                  std::size_t tenant);
+
+class WorkloadDriver {
+ public:
+  explicit WorkloadDriver(WorkloadConfig config) : config_(std::move(config)) {}
+
+  [[nodiscard]] const WorkloadConfig& config() const { return config_; }
+
+  /// Replay every tenant's full trace. Reports are bit-identical across
+  /// modes; only elapsed_ns (and the obs counters' timing entries) differ.
+  WorkloadReport run(ReplayMode mode);
+
+  /// Driver-level obs counters (registerable with obs::Registry).
+  [[nodiscard]] io::Json stats_json() const;
+
+ private:
+  TenantStats run_tenant(std::size_t tenant, parallel::ThreadPool* inner_pool);
+
+  WorkloadConfig config_;
+  obs::Counter runs_;
+  obs::Counter batches_applied_;
+  obs::Counter mutations_applied_;
+  obs::Counter replay_ns_;
+};
+
+}  // namespace rim::sim

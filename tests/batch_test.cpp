@@ -1,0 +1,322 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "rim/core/radii.hpp"
+#include "rim/core/scenario.hpp"
+#include "rim/parallel/thread_pool.hpp"
+#include "rim/sim/generators.hpp"
+#include "rim/sim/rng.hpp"
+#include "rim/sim/workload.hpp"
+
+/// Tests for the parallel batch pipeline (Scenario::apply_batch) and the
+/// unified impact assessor (Scenario::assess). The contract under test is
+/// bit-identity: a batch must leave the scenario in exactly the state that
+/// applying its mutations one at a time would, which in turn must match the
+/// kBrute from-scratch oracle.
+
+namespace rim::core {
+namespace {
+
+std::vector<std::uint32_t> brute_reference(Scenario& scenario) {
+  const graph::Graph topo = scenario.topology();
+  const geom::PointSet points(scenario.points().begin(),
+                              scenario.points().end());
+  const std::vector<double> radii2 = transmission_radii_squared(topo, points);
+  return interference_vector_squared(points, radii2, Strategy::kBrute);
+}
+
+void expect_scenarios_identical(Scenario& a, Scenario& b, const char* context) {
+  ASSERT_EQ(a.node_count(), b.node_count()) << context;
+  ASSERT_EQ(a.edge_count(), b.edge_count()) << context;
+  const auto ia = a.interference();
+  const auto ib = b.interference();
+  ASSERT_EQ(ia.size(), ib.size()) << context;
+  for (std::size_t v = 0; v < ia.size(); ++v) {
+    ASSERT_EQ(ia[v], ib[v]) << context << ", node " << v;
+    ASSERT_EQ(a.position(v), b.position(v)) << context << ", node " << v;
+    ASSERT_EQ(a.radius_squared(v), b.radius_squared(v))
+        << context << ", node " << v;
+  }
+}
+
+void expect_matches_brute(Scenario& scenario, const char* context) {
+  const std::vector<std::uint32_t> expected = brute_reference(scenario);
+  const auto actual = scenario.interference();
+  ASSERT_EQ(actual.size(), expected.size()) << context;
+  for (std::size_t v = 0; v < expected.size(); ++v) {
+    ASSERT_EQ(actual[v], expected[v]) << context << ", node " << v;
+  }
+}
+
+sim::WorkloadConfig small_config(std::uint64_t seed) {
+  sim::WorkloadConfig config;
+  config.initial_nodes = 70;
+  config.batch_size = 48;
+  config.side = 2.0;
+  config.seed = seed;
+  return config;
+}
+
+/// The headline property: randomized batches, applied through the pipeline
+/// (both inline and on the shared pool), stay bit-identical to serial
+/// application and to the kBrute oracle after every batch.
+class BatchProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BatchProperty, RandomizedBatchesMatchSerialAndBrute) {
+  const sim::WorkloadConfig config = small_config(GetParam());
+  Scenario serial = sim::make_tenant_scenario(config, 0);
+  Scenario inline_batch = serial;
+  Scenario pooled_batch = serial;
+  (void)serial.interference();
+  (void)inline_batch.interference();
+  (void)pooled_batch.interference();
+
+  sim::Rng rng(GetParam() ^ 0xbadc0deu);
+  for (int round = 0; round < 12; ++round) {
+    const std::vector<Mutation> batch =
+        sim::make_churn_batch(rng, serial.node_count(), config);
+    for (const Mutation& m : batch) serial.apply(m);
+    inline_batch.apply_batch(batch, nullptr);
+    pooled_batch.apply_batch(batch, &parallel::ThreadPool::shared());
+
+    expect_scenarios_identical(serial, inline_batch, "inline vs serial");
+    expect_scenarios_identical(serial, pooled_batch, "pooled vs serial");
+    expect_matches_brute(inline_batch, "inline vs brute");
+  }
+  EXPECT_GT(inline_batch.stats().batches, 0u);
+  EXPECT_GT(inline_batch.stats().batch_mutations, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BatchProperty,
+                         ::testing::Values(11u, 22u, 33u, 44u));
+
+TEST(ApplyBatch, EmptyBatchIsNoOp) {
+  const auto points = sim::uniform_square(30, 1.5, 5);
+  graph::Graph topo(points.size());
+  for (NodeId v = 1; v < points.size(); ++v) topo.add_edge(v - 1, v);
+  Scenario scenario(points, topo);
+  (void)scenario.interference();
+  const std::vector<std::uint32_t> before(scenario.interference().begin(),
+                                          scenario.interference().end());
+  const BatchResult result = scenario.apply_batch({});
+  EXPECT_EQ(result.applied, 0u);
+  EXPECT_EQ(result.waves, 0u);
+  EXPECT_FALSE(result.deferred);
+  const auto after = scenario.interference();
+  EXPECT_EQ(before, std::vector<std::uint32_t>(after.begin(), after.end()));
+}
+
+TEST(ApplyBatch, SingleMutationBatchMatchesApply) {
+  const auto points = sim::uniform_square(40, 1.5, 7);
+  graph::Graph topo(points.size());
+  for (NodeId v = 1; v < points.size(); ++v) topo.add_edge(v - 1, v);
+  Scenario serial(points, topo);
+  Scenario batched = serial;
+  (void)serial.interference();
+  (void)batched.interference();
+  const Mutation m = Mutation::move_node(7, {0.33, 0.77});
+  serial.apply(m);
+  batched.apply_batch(std::span<const Mutation>(&m, 1), nullptr);
+  expect_scenarios_identical(serial, batched, "single-mutation batch");
+}
+
+TEST(ApplyBatch, InvalidIdsAreSkipped) {
+  const auto points = sim::uniform_square(25, 1.5, 9);
+  graph::Graph topo(points.size());
+  for (NodeId v = 1; v < points.size(); ++v) topo.add_edge(v - 1, v);
+  Scenario scenario(points, topo);
+  (void)scenario.interference();
+  const std::vector<std::uint32_t> before(scenario.interference().begin(),
+                                          scenario.interference().end());
+  const std::vector<Mutation> batch{
+      Mutation::remove_node(999),
+      Mutation::add_edge(0, 999),
+      Mutation::remove_edge(999, 1),
+      Mutation::move_node(999, {0.0, 0.0}),
+      Mutation::add_edge(3, 3),  // self-loop: also a no-op
+  };
+  const BatchResult result = scenario.apply_batch(batch, nullptr);
+  EXPECT_EQ(result.applied, 0u);
+  const auto after = scenario.interference();
+  EXPECT_EQ(before, std::vector<std::uint32_t>(after.begin(), after.end()));
+  expect_matches_brute(scenario, "after invalid batch");
+}
+
+TEST(ApplyBatch, MoveToCurrentPositionInBatchIsNoOp) {
+  const auto points = sim::uniform_square(25, 1.5, 13);
+  graph::Graph topo(points.size());
+  for (NodeId v = 1; v < points.size(); ++v) topo.add_edge(v - 1, v);
+  Scenario scenario(points, topo);
+  (void)scenario.interference();
+  const std::vector<Mutation> batch{
+      Mutation::move_node(4, scenario.position(4))};
+  const BatchResult result = scenario.apply_batch(batch, nullptr);
+  EXPECT_EQ(result.applied, 0u);
+  EXPECT_EQ(result.disk_tasks, 0u);
+  EXPECT_EQ(result.recounts, 0u);
+  expect_matches_brute(scenario, "after same-position move batch");
+}
+
+TEST(ApplyBatch, AddThenRemoveSameNodeWithinBatch) {
+  const auto points = sim::uniform_square(30, 1.5, 21);
+  graph::Graph topo(points.size());
+  for (NodeId v = 1; v < points.size(); ++v) topo.add_edge(v - 1, v);
+  Scenario serial(points, topo);
+  Scenario batched = serial;
+  (void)serial.interference();
+  (void)batched.interference();
+  const auto newcomer = static_cast<NodeId>(points.size());
+  const std::vector<Mutation> batch{
+      Mutation::add_node({0.7, 0.7}),
+      Mutation::add_edge(newcomer, 0),
+      Mutation::remove_node(newcomer),
+  };
+  for (const Mutation& m : batch) serial.apply(m);
+  batched.apply_batch(batch, nullptr);
+  EXPECT_EQ(batched.node_count(), points.size());
+  expect_scenarios_identical(serial, batched, "add+remove same batch");
+  expect_matches_brute(batched, "add+remove same batch vs brute");
+}
+
+TEST(ApplyBatch, RemovalChurnWithRenamesMatchesSerial) {
+  // Heavy removal mix: every removal triggers a swap-with-last rename, so
+  // later mutations in the same batch target renamed ids.
+  const auto points = sim::uniform_square(60, 2.0, 31);
+  graph::Graph topo(points.size());
+  for (NodeId v = 1; v < points.size(); ++v) topo.add_edge(v - 1, v);
+  Scenario serial(points, topo);
+  Scenario batched = serial;
+  (void)serial.interference();
+  (void)batched.interference();
+  sim::Rng rng(31);
+  std::vector<Mutation> batch;
+  std::size_t n = points.size();
+  for (int i = 0; i < 20; ++i) {
+    batch.push_back(Mutation::remove_node(
+        static_cast<NodeId>(rng.next_below(n--))));
+  }
+  for (int i = 0; i < 10; ++i) {
+    batch.push_back(Mutation::move_node(
+        static_cast<NodeId>(rng.next_below(n)),
+        {rng.uniform(0.0, 2.0), rng.uniform(0.0, 2.0)}));
+  }
+  for (const Mutation& m : batch) serial.apply(m);
+  batched.apply_batch(batch, nullptr);
+  expect_scenarios_identical(serial, batched, "removal churn");
+  expect_matches_brute(batched, "removal churn vs brute");
+}
+
+TEST(ApplyBatch, GiantDiskBatchDefersAndStaysExact) {
+  // A hub wired to everyone: moving it drags a deployment-spanning disk, so
+  // the pipeline must fall back to a deferred full evaluation — and still
+  // agree with the oracle.
+  const auto points = sim::uniform_square(400, 2.0, 37);
+  graph::Graph topo(points.size());
+  for (NodeId v = 1; v < points.size(); ++v) topo.add_edge(0, v);
+  Scenario scenario(points, topo);
+  (void)scenario.interference();
+  const std::vector<Mutation> batch{Mutation::move_node(0, {1.1, 0.9})};
+  const BatchResult result = scenario.apply_batch(batch, nullptr);
+  EXPECT_TRUE(result.deferred);
+  EXPECT_GT(scenario.stats().batch_deferred, 0u);
+  expect_matches_brute(scenario, "after deferred batch");
+}
+
+TEST(ApplyBatch, StatsJsonExposesBatchCounters) {
+  const auto points = sim::uniform_square(40, 1.5, 41);
+  graph::Graph topo(points.size());
+  for (NodeId v = 1; v < points.size(); ++v) topo.add_edge(v - 1, v);
+  Scenario scenario(points, topo);
+  (void)scenario.interference();
+  const std::vector<Mutation> batch{Mutation::move_node(3, {0.5, 0.5}),
+                                    Mutation::add_node({1.0, 1.0})};
+  scenario.apply_batch(batch, nullptr);
+  const std::string json = scenario.stats_json().dump();
+  EXPECT_NE(json.find("\"batches\":1"), std::string::npos) << json;
+  EXPECT_NE(json.find("batch_disk_tasks"), std::string::npos);
+  EXPECT_NE(json.find("batch_wave_tasks"), std::string::npos);
+  EXPECT_NE(json.find("\"grid\""), std::string::npos);
+}
+
+// --- Scenario::assess ----------------------------------------------------
+
+TEST(Assess, DoesNotMutateTheScenario) {
+  const auto points = sim::uniform_square(50, 2.0, 51);
+  graph::Graph topo(points.size());
+  for (NodeId v = 1; v < points.size(); ++v) topo.add_edge(v - 1, v);
+  Scenario scenario(points, topo);
+  const std::vector<std::uint32_t> before(scenario.interference().begin(),
+                                          scenario.interference().end());
+  const std::size_t edges_before = scenario.edge_count();
+
+  (void)scenario.assess(Mutation::remove_node(7));
+  (void)scenario.assess(Mutation::add_node({0.4, 0.6}));
+
+  EXPECT_EQ(scenario.node_count(), points.size());
+  EXPECT_EQ(scenario.edge_count(), edges_before);
+  const auto after = scenario.interference();
+  EXPECT_EQ(before, std::vector<std::uint32_t>(after.begin(), after.end()));
+}
+
+TEST(Assess, AdditionSequenceMatchesApplication) {
+  const auto points = sim::uniform_square(50, 2.0, 61);
+  graph::Graph topo(points.size());
+  for (NodeId v = 1; v < points.size(); ++v) topo.add_edge(v - 1, v);
+  Scenario scenario(points, topo);
+  const geom::Vec2 p{0.8, 1.2};
+  const auto newcomer = static_cast<NodeId>(points.size());
+  const NodeId partner = scenario.nearest_node(p);
+  const std::vector<Mutation> sequence{Mutation::add_node(p),
+                                       Mutation::add_edge(newcomer, partner)};
+  const Assessment assessment = scenario.assess(sequence);
+
+  Scenario applied = scenario;
+  for (const Mutation& m : sequence) applied.apply(m);
+  EXPECT_EQ(assessment.max_before, scenario.max_interference());
+  EXPECT_EQ(assessment.max_after, applied.max_interference());
+  EXPECT_EQ(assessment.newcomer_interference,
+            applied.interference_of(newcomer));
+  ASSERT_EQ(assessment.delta_per_node.size(), points.size());
+  for (NodeId v = 0; v < points.size(); ++v) {
+    EXPECT_EQ(assessment.delta_per_node[v],
+              static_cast<std::int64_t>(applied.interference_of(v)) -
+                  static_cast<std::int64_t>(scenario.interference_of(v)))
+        << "node " << v;
+  }
+}
+
+TEST(Assess, RemovalReportsVictimAndRenames) {
+  const auto points = sim::uniform_square(40, 2.0, 71);
+  graph::Graph topo(points.size());
+  for (NodeId v = 1; v < points.size(); ++v) topo.add_edge(v - 1, v);
+  Scenario scenario(points, topo);
+  const NodeId victim = 5;
+  const auto victim_before = scenario.interference_of(victim);
+  const Assessment assessment = scenario.assess(Mutation::remove_node(victim));
+
+  // The victim's slot disappeared: its delta is minus its old value.
+  EXPECT_EQ(assessment.delta_per_node[victim],
+            -static_cast<std::int64_t>(victim_before));
+  // affected_ids is ascending and exactly the non-zero deltas.
+  for (std::size_t i = 1; i < assessment.affected_ids.size(); ++i) {
+    EXPECT_LT(assessment.affected_ids[i - 1], assessment.affected_ids[i]);
+  }
+  for (const NodeId id : assessment.affected_ids) {
+    EXPECT_NE(assessment.delta_per_node[id], 0);
+  }
+  // Cross-check against real application with the rename resolved.
+  Scenario applied = scenario;
+  const NodeId renamed = applied.remove_node(victim);
+  for (NodeId v = 0; v < points.size(); ++v) {
+    if (v == victim) continue;
+    const NodeId where = v == renamed ? victim : v;
+    EXPECT_EQ(assessment.delta_per_node[v],
+              static_cast<std::int64_t>(applied.interference_of(where)) -
+                  static_cast<std::int64_t>(scenario.interference_of(v)))
+        << "node " << v;
+  }
+}
+
+}  // namespace
+}  // namespace rim::core

@@ -1,0 +1,144 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <unordered_map>
+#include <vector>
+
+#include "rim/geom/dynamic_grid.hpp"
+#include "rim/sim/rng.hpp"
+
+/// Focused coverage for geom::DynamicGrid under the engine's churn
+/// patterns: relabel() (the swap-with-last rename) and repeated
+/// insert/erase/move cycles, cross-checked against a naive id->position map.
+
+namespace rim::geom {
+namespace {
+
+std::vector<NodeId> ids_in_disk(const DynamicGrid& grid, Vec2 center,
+                                double radius2) {
+  std::vector<NodeId> out;
+  grid.for_each_in_disk_squared(center, radius2,
+                                [&](NodeId id, Vec2) { out.push_back(id); });
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<NodeId> ids_in_disk_naive(
+    const std::unordered_map<NodeId, Vec2>& reference, Vec2 center,
+    double radius2) {
+  std::vector<NodeId> out;
+  for (const auto& [id, p] : reference) {
+    if (dist2(p, center) <= radius2) out.push_back(id);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+TEST(DynamicGrid, RelabelMovesIdentityNotPosition) {
+  DynamicGrid grid(0.5);
+  grid.insert(0, {0.1, 0.1});
+  grid.insert(1, {1.0, 1.0});
+  grid.insert(2, {2.0, 2.0});
+
+  grid.erase(1);
+  grid.relabel(2, 1);  // swap-with-last: 2 takes over id 1
+
+  EXPECT_TRUE(grid.contains(0));
+  EXPECT_TRUE(grid.contains(1));
+  EXPECT_FALSE(grid.contains(2));
+  EXPECT_EQ(grid.size(), 2u);
+  EXPECT_EQ(grid.position(1), (Vec2{2.0, 2.0}));
+  // Queries see the new id at the old position, never the old id.
+  EXPECT_EQ(ids_in_disk(grid, {2.0, 2.0}, 0.01), (std::vector<NodeId>{1}));
+  EXPECT_EQ(ids_in_disk(grid, {10.0, 10.0}, 1000.0),
+            (std::vector<NodeId>{0, 1}));
+  EXPECT_EQ(grid.stats().relabels.value(), 1u);
+}
+
+TEST(DynamicGrid, RelabelIntoLargerIdGrowsMirrors) {
+  // relabel() must also work "upwards" (to > any id seen so far).
+  DynamicGrid grid(1.0);
+  grid.insert(0, {0.0, 0.0});
+  grid.relabel(0, 7);
+  EXPECT_FALSE(grid.contains(0));
+  EXPECT_TRUE(grid.contains(7));
+  EXPECT_EQ(grid.position(7), (Vec2{0.0, 0.0}));
+  EXPECT_EQ(grid.nearest({0.5, 0.0}), 7u);
+}
+
+/// The engine's removal pattern, repeated: erase a random id, then relabel
+/// the current max id into the vacated slot — exactly Scenario's
+/// swap-with-last. The grid must stay consistent with a naive reference
+/// through hundreds of such renames mixed with inserts and moves.
+TEST(DynamicGrid, SwapWithLastChurnStaysConsistent) {
+  sim::Rng rng(97);
+  DynamicGrid grid(0.4);
+  std::unordered_map<NodeId, Vec2> reference;
+
+  std::size_t n = 0;
+  const auto insert = [&](Vec2 p) {
+    const auto id = static_cast<NodeId>(n++);
+    grid.insert(id, p);
+    reference[id] = p;
+  };
+  for (int i = 0; i < 64; ++i) {
+    insert({rng.uniform(0.0, 4.0), rng.uniform(0.0, 4.0)});
+  }
+
+  for (int round = 0; round < 600; ++round) {
+    const double roll = rng.next_double();
+    if (roll < 0.35 || n < 8) {
+      insert({rng.uniform(0.0, 4.0), rng.uniform(0.0, 4.0)});
+    } else if (roll < 0.65) {
+      // Swap-with-last removal.
+      const auto victim = static_cast<NodeId>(rng.next_below(n));
+      const auto last = static_cast<NodeId>(n - 1);
+      grid.erase(victim);
+      reference.erase(victim);
+      if (victim != last) {
+        grid.relabel(last, victim);
+        reference[victim] = reference[last];
+        reference.erase(last);
+      }
+      --n;
+    } else {
+      const auto id = static_cast<NodeId>(rng.next_below(n));
+      const Vec2 p{rng.uniform(0.0, 4.0), rng.uniform(0.0, 4.0)};
+      grid.move(id, p);
+      reference[id] = p;
+    }
+
+    ASSERT_EQ(grid.size(), reference.size()) << "round " << round;
+    const Vec2 center{rng.uniform(0.0, 4.0), rng.uniform(0.0, 4.0)};
+    const double radius2 = rng.uniform(0.01, 2.0);
+    ASSERT_EQ(ids_in_disk(grid, center, radius2),
+              ids_in_disk_naive(reference, center, radius2))
+        << "round " << round;
+  }
+  EXPECT_GT(grid.stats().relabels.value(), 50u);
+  EXPECT_GT(grid.stats().erases.value(), 50u);
+}
+
+TEST(DynamicGrid, StatsCountersTrackOperations) {
+  DynamicGrid grid(1.0);
+  grid.insert(0, {0.0, 0.0});
+  grid.insert(1, {1.5, 0.0});
+  grid.move(0, {0.5, 0.5});
+  grid.erase(1);
+  (void)ids_in_disk(grid, {0.0, 0.0}, 4.0);
+  (void)grid.nearest({1.0, 1.0});
+  const auto& stats = grid.stats();
+  EXPECT_EQ(stats.inserts.value(), 2u);
+  EXPECT_EQ(stats.moves.value(), 1u);
+  EXPECT_EQ(stats.erases.value(), 1u);
+  EXPECT_GE(stats.disk_queries.value(), 2u);  // nearest() queries disks too
+  EXPECT_EQ(stats.nearest_queries.value(), 1u);
+  const std::string json = stats.to_json().dump();
+  EXPECT_NE(json.find("\"inserts\":2"), std::string::npos) << json;
+  // clear() resets the lifetime counters along with the contents.
+  grid.clear(1.0);
+  EXPECT_EQ(grid.stats().inserts.value(), 0u);
+}
+
+}  // namespace
+}  // namespace rim::geom

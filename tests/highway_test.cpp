@@ -87,7 +87,7 @@ TEST(Interference1D, MatchesGenericEvaluatorOnRandomInstances) {
     const auto radii = core::transmission_radii(chain, points);
     const auto fast = interference_1d(inst.positions(), radii);
     const auto generic =
-        core::interference_vector(points, radii, core::EvalStrategy::kBrute);
+        core::interference_vector(points, radii, core::Strategy::kBrute);
     EXPECT_EQ(fast, generic) << seed;
   }
 }

@@ -107,7 +107,7 @@ TEST(Interference, NodeInterferenceMatchesVectorEntry) {
   const graph::Graph udg = graph::build_udg(points, 1.0);
   const graph::Graph mst = topology::mst_topology(points, udg);
   const auto radii = transmission_radii(mst, points);
-  const auto vec = interference_vector(points, radii, EvalStrategy::kBrute);
+  const auto vec = interference_vector(points, radii, Strategy::kBrute);
   for (NodeId v = 0; v < points.size(); v += 5) {
     EXPECT_EQ(node_interference(points, radii, v), vec[v]);
   }
@@ -122,9 +122,9 @@ TEST_P(StrategyEquivalence, AllStrategiesAgree) {
   const graph::Graph udg = graph::build_udg(points, 1.0);
   const graph::Graph mst = topology::mst_topology(points, udg);
   const auto radii = transmission_radii(mst, points);
-  const auto brute = interference_vector(points, radii, EvalStrategy::kBrute);
-  const auto grid = interference_vector(points, radii, EvalStrategy::kGrid);
-  const auto par = interference_vector(points, radii, EvalStrategy::kParallel);
+  const auto brute = interference_vector(points, radii, Strategy::kBrute);
+  const auto grid = interference_vector(points, radii, Strategy::kGrid);
+  const auto par = interference_vector(points, radii, Strategy::kParallel);
   EXPECT_EQ(brute, grid);
   EXPECT_EQ(brute, par);
 }
@@ -146,10 +146,10 @@ TEST(Interference, StrategiesAgreeOnExponentialSpread) {
   graph::Graph chain(points.size());
   for (NodeId i = 0; i + 1 < points.size(); ++i) chain.add_edge(i, i + 1);
   const auto radii = transmission_radii(chain, points);
-  EXPECT_EQ(interference_vector(points, radii, EvalStrategy::kBrute),
-            interference_vector(points, radii, EvalStrategy::kGrid));
-  EXPECT_EQ(interference_vector(points, radii, EvalStrategy::kBrute),
-            interference_vector(points, radii, EvalStrategy::kParallel));
+  EXPECT_EQ(interference_vector(points, radii, Strategy::kBrute),
+            interference_vector(points, radii, Strategy::kGrid));
+  EXPECT_EQ(interference_vector(points, radii, Strategy::kBrute),
+            interference_vector(points, radii, Strategy::kParallel));
 }
 
 TEST(Interference, HistogramSumsToNodeCount) {

@@ -25,7 +25,7 @@ std::vector<std::uint32_t> brute_reference(Scenario& scenario) {
   const geom::PointSet points(scenario.points().begin(),
                               scenario.points().end());
   const std::vector<double> radii2 = transmission_radii_squared(topo, points);
-  return interference_vector_squared(points, radii2, EvalStrategy::kBrute);
+  return interference_vector_squared(points, radii2, Strategy::kBrute);
 }
 
 void expect_matches_brute(Scenario& scenario, const char* context) {
@@ -162,6 +162,30 @@ TEST(Scenario, OversizedDeltaFallsBackToFullEvaluation) {
   expect_matches_brute(scenario, "after oversized move");
   EXPECT_GT(scenario.stats().deferred_mutations, 0u);
   EXPECT_GT(scenario.stats().full_evaluations, full_before);
+}
+
+TEST(Scenario, MoveToCurrentPositionIsStrictNoOp) {
+  // Moving a node onto its own position must not recount, defer, or
+  // trigger a full evaluation — the engine treats it as a no-op.
+  const auto points = sim::uniform_square(80, 1.5, 23);
+  Scenario scenario(points, mst_of(points));
+  const std::vector<std::uint32_t> before(scenario.interference().begin(),
+                                          scenario.interference().end());
+  const std::uint64_t inc_before = scenario.stats().incremental_updates;
+  const std::uint64_t def_before = scenario.stats().deferred_mutations;
+  const std::uint64_t full_before = scenario.stats().full_evaluations;
+
+  for (NodeId v = 0; v < scenario.node_count(); v += 7) {
+    scenario.move_node(v, scenario.points()[v]);
+  }
+  scenario.apply(Mutation::move_node(3, scenario.points()[3]));
+
+  EXPECT_EQ(std::vector<std::uint32_t>(scenario.interference().begin(),
+                                       scenario.interference().end()),
+            before);
+  EXPECT_EQ(scenario.stats().incremental_updates.value(), inc_before);
+  EXPECT_EQ(scenario.stats().deferred_mutations.value(), def_before);
+  EXPECT_EQ(scenario.stats().full_evaluations.value(), full_before);
 }
 
 TEST(Scenario, StatsJsonExposesCounters) {

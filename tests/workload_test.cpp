@@ -1,0 +1,125 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "rim/sim/workload.hpp"
+
+/// sim::WorkloadDriver contract: the report (everything except wall time)
+/// is a pure function of the config — identical whether tenants run
+/// serially, with parallel batch application, or concurrently on the
+/// driver's own pool.
+
+namespace rim::sim {
+namespace {
+
+void expect_same_tenants(const WorkloadReport& a, const WorkloadReport& b,
+                         const char* context) {
+  ASSERT_EQ(a.tenants.size(), b.tenants.size()) << context;
+  for (std::size_t t = 0; t < a.tenants.size(); ++t) {
+    const TenantStats& x = a.tenants[t];
+    const TenantStats& y = b.tenants[t];
+    EXPECT_EQ(x.tenant, y.tenant) << context << " tenant " << t;
+    EXPECT_EQ(x.final_nodes, y.final_nodes) << context << " tenant " << t;
+    EXPECT_EQ(x.final_edges, y.final_edges) << context << " tenant " << t;
+    EXPECT_EQ(x.final_max_interference, y.final_max_interference)
+        << context << " tenant " << t;
+    EXPECT_EQ(x.interference_checksum, y.interference_checksum)
+        << context << " tenant " << t;
+    EXPECT_EQ(x.mutations_applied, y.mutations_applied)
+        << context << " tenant " << t;
+  }
+}
+
+WorkloadConfig test_config() {
+  WorkloadConfig config;
+  config.tenants = 3;
+  config.initial_nodes = 60;
+  config.batches = 6;
+  config.batch_size = 40;
+  config.side = 2.5;
+  config.seed = 2025;
+  return config;
+}
+
+TEST(Workload, ChurnBatchesAreValidAndOrdered) {
+  WorkloadConfig config = test_config();
+  Rng rng(7);
+  const std::vector<core::Mutation> batch =
+      make_churn_batch(rng, 100, config);
+  ASSERT_FALSE(batch.empty());
+  // Removals lead; no removal may follow the first non-removal.
+  bool seen_other = false;
+  for (const core::Mutation& m : batch) {
+    if (m.kind == core::Mutation::Kind::kRemoveNode) {
+      EXPECT_FALSE(seen_other) << "removal after non-removal";
+    } else {
+      seen_other = true;
+    }
+  }
+  // Replaying on a real scenario applies every mutation (all ids valid).
+  core::Scenario scenario = make_tenant_scenario(config, 0);
+  Rng rng2(7);
+  const std::vector<core::Mutation> batch2 =
+      make_churn_batch(rng2, scenario.node_count(), config);
+  const core::BatchResult result = scenario.apply_batch(batch2, nullptr);
+  EXPECT_GT(result.applied, 0u);
+}
+
+TEST(Workload, GenerationIsDeterministic) {
+  WorkloadConfig config = test_config();
+  Rng a(42);
+  Rng b(42);
+  const auto batch_a = make_churn_batch(a, 80, config);
+  const auto batch_b = make_churn_batch(b, 80, config);
+  ASSERT_EQ(batch_a.size(), batch_b.size());
+  for (std::size_t i = 0; i < batch_a.size(); ++i) {
+    EXPECT_EQ(static_cast<int>(batch_a[i].kind),
+              static_cast<int>(batch_b[i].kind));
+    EXPECT_EQ(batch_a[i].u, batch_b[i].u);
+    EXPECT_EQ(batch_a[i].v, batch_b[i].v);
+    EXPECT_EQ(batch_a[i].position, batch_b[i].position);
+  }
+}
+
+TEST(Workload, ReportIdenticalAcrossReplayModes) {
+  const WorkloadConfig config = test_config();
+  WorkloadDriver serial(config);
+  WorkloadDriver pooled(config);
+  WorkloadDriver concurrent(config);
+  const WorkloadReport r_serial = serial.run(ReplayMode::kSerial);
+  const WorkloadReport r_pooled = pooled.run(ReplayMode::kParallelBatches);
+  const WorkloadReport r_conc = concurrent.run(ReplayMode::kConcurrentTenants);
+  expect_same_tenants(r_serial, r_pooled, "serial vs pooled");
+  expect_same_tenants(r_serial, r_conc, "serial vs concurrent");
+  // The trace must actually do something.
+  for (const TenantStats& t : r_serial.tenants) {
+    EXPECT_GT(t.mutations_applied, 0u) << "tenant " << t.tenant;
+    EXPECT_GE(t.final_nodes, 8u) << "tenant " << t.tenant;
+  }
+}
+
+TEST(Workload, RunsAreRepeatable) {
+  const WorkloadConfig config = test_config();
+  WorkloadDriver driver(config);
+  const WorkloadReport first = driver.run(ReplayMode::kSerial);
+  const WorkloadReport second = driver.run(ReplayMode::kSerial);
+  expect_same_tenants(first, second, "repeat run");
+}
+
+TEST(Workload, ReportAndDriverEmitJson) {
+  WorkloadConfig config = test_config();
+  config.tenants = 2;
+  config.batches = 2;
+  WorkloadDriver driver(config);
+  const WorkloadReport report = driver.run(ReplayMode::kSerial);
+  const std::string report_json = report.to_json().dump();
+  EXPECT_NE(report_json.find("\"tenants\":["), std::string::npos)
+      << report_json;
+  EXPECT_NE(report_json.find("interference_checksum"), std::string::npos);
+  const std::string driver_json = driver.stats_json().dump();
+  EXPECT_NE(driver_json.find("\"runs\":1"), std::string::npos) << driver_json;
+  EXPECT_NE(driver_json.find("batches_applied"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace rim::sim
