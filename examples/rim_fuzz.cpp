@@ -1,0 +1,191 @@
+/// Invariant fuzzer: seeded churn + fault injection against the incremental
+/// engine, with the InvariantAuditor checking every receiver-centric
+/// invariant as the trace replays. A violation produces a minimized,
+/// replayable trace JSON — feed it back with --replay to reproduce.
+///
+///   $ ./rim_fuzz --steps 10000 --seed 1          # fuzz; exit 0 iff clean
+///   $ ./rim_fuzz --steps 2000 --fault-rate 0.5   # heavier fault schedule
+///   $ ./rim_fuzz --replay trace.json             # re-run a saved trace
+///
+/// Exit codes: 0 no violations, 1 violation found (trace written to --out),
+/// 2 usage or I/O error.
+
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "rim/sim/trace.hpp"
+
+namespace {
+
+struct Options {
+  std::size_t steps = 10000;
+  std::uint64_t seed = 1;
+  std::size_t nodes = 96;
+  std::size_t batch = 48;
+  double side = 10.0;
+  double fault_rate = 0.25;
+  std::size_t audit_every = 4;
+  std::string init = "tenant";
+  std::string out = "rim_fuzz_trace.json";
+  std::string replay;
+  bool minimize = true;
+  bool recover = true;
+};
+
+void usage(std::ostream& os) {
+  os << "usage: rim_fuzz [options]\n"
+        "  --steps N        total mutations to generate (default 10000)\n"
+        "  --seed N         churn seed (default 1)\n"
+        "  --nodes N        initial node count (default 96)\n"
+        "  --batch N        mutations per batch (default 48)\n"
+        "  --side F         deployment square side (default 10.0)\n"
+        "  --fault-rate F   per-batch fault probability (default 0.25)\n"
+        "  --audit-every N  audit cadence in batches (default 4)\n"
+        "  --init NAME      initial topology: tenant | pairs (default "
+        "tenant)\n"
+        "  --out PATH       failing-trace JSON path (default "
+        "rim_fuzz_trace.json)\n"
+        "  --replay PATH    replay a saved trace instead of fuzzing\n"
+        "  --no-minimize    keep a failing trace at full length\n"
+        "  --no-recover     leave engine faults unrecovered (expect "
+        "violations)\n";
+}
+
+bool parse_args(int argc, char** argv, Options& opt) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    const char* v = nullptr;
+    if (arg == "--steps" && (v = value())) {
+      opt.steps = static_cast<std::size_t>(std::atoll(v));
+    } else if (arg == "--seed" && (v = value())) {
+      opt.seed = static_cast<std::uint64_t>(std::atoll(v));
+    } else if (arg == "--nodes" && (v = value())) {
+      opt.nodes = static_cast<std::size_t>(std::atoll(v));
+    } else if (arg == "--batch" && (v = value())) {
+      opt.batch = static_cast<std::size_t>(std::atoll(v));
+    } else if (arg == "--side" && (v = value())) {
+      opt.side = std::atof(v);
+    } else if (arg == "--fault-rate" && (v = value())) {
+      opt.fault_rate = std::atof(v);
+    } else if (arg == "--audit-every" && (v = value())) {
+      opt.audit_every = static_cast<std::size_t>(std::atoll(v));
+    } else if (arg == "--init" && (v = value())) {
+      opt.init = v;
+    } else if (arg == "--out" && (v = value())) {
+      opt.out = v;
+    } else if (arg == "--replay" && (v = value())) {
+      opt.replay = v;
+    } else if (arg == "--minimize") {
+      opt.minimize = true;
+    } else if (arg == "--no-minimize") {
+      opt.minimize = false;
+    } else if (arg == "--no-recover") {
+      opt.recover = false;
+    } else if (arg == "--help" || arg == "-h") {
+      usage(std::cout);
+      std::exit(0);
+    } else {
+      std::cerr << "rim_fuzz: bad argument '" << arg << "'\n";
+      usage(std::cerr);
+      return false;
+    }
+  }
+  if (opt.batch == 0 || opt.nodes < 2 || opt.side <= 0.0) {
+    std::cerr << "rim_fuzz: need --batch >= 1, --nodes >= 2, --side > 0\n";
+    return false;
+  }
+  if (opt.init != "tenant" && opt.init != "pairs") {
+    std::cerr << "rim_fuzz: --init must be 'tenant' or 'pairs'\n";
+    return false;
+  }
+  return true;
+}
+
+bool load_trace(const std::string& path, rim::sim::FuzzTrace& trace) {
+  std::ifstream in(path);
+  if (!in) {
+    std::cerr << "rim_fuzz: cannot open '" << path << "'\n";
+    return false;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  rim::io::Json doc;
+  std::string error;
+  if (!rim::io::Json::parse(buffer.str(), doc, error) ||
+      !rim::sim::FuzzTrace::from_json(doc, trace, error)) {
+    std::cerr << "rim_fuzz: bad trace '" << path << "': " << error << '\n';
+    return false;
+  }
+  return true;
+}
+
+bool save_trace(const std::string& path, const rim::sim::FuzzTrace& trace) {
+  std::ofstream out(path);
+  if (!out) {
+    std::cerr << "rim_fuzz: cannot write '" << path << "'\n";
+    return false;
+  }
+  trace.to_json().write(out);
+  out << '\n';
+  return bool(out);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace rim;
+
+  Options opt;
+  if (!parse_args(argc, argv, opt)) return 2;
+
+  sim::FuzzTrace trace;
+  if (!opt.replay.empty()) {
+    if (!load_trace(opt.replay, trace)) return 2;
+    std::cout << "rim_fuzz: replaying '" << opt.replay << "' ("
+              << trace.epochs.size() << " epochs, "
+              << trace.faults.events().size() << " faults)\n";
+  } else {
+    sim::WorkloadConfig config;
+    config.seed = opt.seed;
+    config.initial_nodes = opt.nodes;
+    config.batch_size = opt.batch;
+    config.side = opt.side;
+    trace = sim::make_fuzz_trace(config, opt.steps, opt.fault_rate,
+                                 opt.seed ^ 0xFA017FA017FA017FULL);
+    trace.init = opt.init;
+    trace.recover = opt.recover;
+    trace.audit_every = opt.audit_every;
+    std::cout << "rim_fuzz: seed " << opt.seed << ", " << trace.epochs.size()
+              << " epochs of " << opt.batch << " mutations, "
+              << trace.faults.events().size() << " scheduled faults"
+              << (opt.recover ? "" : " (recovery disabled)") << '\n';
+  }
+
+  const sim::FuzzOutcome outcome = sim::run_trace(trace);
+  std::cout << "rim_fuzz: " << outcome.faults_fired << " faults fired, "
+            << outcome.restores << " snapshot restores\n";
+  if (outcome.ok) {
+    std::cout << "rim_fuzz: OK — zero invariant violations\n";
+    return 0;
+  }
+
+  std::cout << "rim_fuzz: VIOLATION at epoch " << outcome.failed_epoch << ": "
+            << outcome.violation << '\n';
+  trace.violation = outcome.violation;
+  if (opt.minimize) {
+    trace = sim::minimize_trace(std::move(trace));
+    std::size_t mutations = 0;
+    for (const auto& epoch : trace.epochs) mutations += epoch.size();
+    std::cout << "rim_fuzz: minimized to " << trace.epochs.size()
+              << " epochs / " << mutations << " mutations\n";
+  }
+  if (!save_trace(opt.out, trace)) return 2;
+  std::cout << "rim_fuzz: replayable trace written to " << opt.out << '\n';
+  return 1;
+}

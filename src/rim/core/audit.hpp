@@ -1,0 +1,79 @@
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "rim/core/scenario.hpp"
+#include "rim/io/json.hpp"
+#include "rim/obs/metrics.hpp"
+
+/// \file audit.hpp
+/// Receiver-centric invariant auditing for the incremental engine.
+///
+/// The engine's whole value proposition is that its cached state always
+/// equals what a from-scratch evaluation would produce. The auditor makes
+/// that checkable at runtime, after any epoch of mutations or faults:
+///
+///  - structure: adjacency lists are symmetric, self-loop- and
+///    duplicate-free, and the edge count matches; every cached r_v^2
+///    equals the exact farthest-neighbor squared distance (Section 2's
+///    induced radius assignment).
+///  - interference: the cached I(v) vector is bit-identical to the
+///    Strategy::kBrute oracle over the current points and radii
+///    (Definition 3.1/3.2).
+///  - robustness (Definition 3.2 / Figure 1): adding one node attached to
+///    its nearest neighbor perturbs every pre-existing I(v) by at most 1
+///    when the partner's disk already covers the newcomer (only the
+///    newcomer's own disk appears), at most 2 otherwise (the partner's
+///    disk may also grow); and no delta is ever negative.
+///
+/// rim_fuzz drives randomized mutation/fault schedules against these
+/// checks; sim::run_trace audits every epoch and reports the first
+/// violation as a replayable trace.
+
+namespace rim::core {
+
+struct AuditOptions {
+  bool check_structure = true;
+  bool check_interference = true;
+  /// Stop collecting after this many violations (the first one is what a
+  /// minimized trace reproduces; the rest are diagnostics).
+  std::size_t max_violations = 16;
+};
+
+struct AuditReport {
+  std::size_t checks = 0;  ///< individual assertions evaluated
+  std::vector<std::string> violations;
+
+  [[nodiscard]] bool ok() const { return violations.empty(); }
+  [[nodiscard]] io::Json to_json() const;
+};
+
+class InvariantAuditor {
+ public:
+  explicit InvariantAuditor(AuditOptions options = {}) : options_(options) {}
+
+  /// Verify structural and interference invariants of the scenario's
+  /// current state (refreshes the evaluation cache if dirty).
+  [[nodiscard]] AuditReport audit(Scenario& scenario) const;
+
+  /// Verify the single-addition robustness bound at each probe position
+  /// via Scenario::assess (the scenario itself is not mutated).
+  [[nodiscard]] AuditReport audit_robustness(
+      Scenario& scenario, std::span<const geom::Vec2> probes) const;
+
+  /// Lifetime counters (obs layer): audits run, checks evaluated,
+  /// violations found.
+  [[nodiscard]] io::Json stats_json() const;
+
+ private:
+  void record(AuditReport& report, std::string message) const;
+
+  AuditOptions options_;
+  mutable obs::Counter audits_;
+  mutable obs::Counter checks_;
+  mutable obs::Counter violations_;
+};
+
+}  // namespace rim::core

@@ -6,6 +6,7 @@
 #include <cmath>
 #include <numeric>
 
+#include "rim/core/snapshot.hpp"
 #include "rim/parallel/parallel_for.hpp"
 
 namespace rim::core {
@@ -46,6 +47,10 @@ io::Json ScenarioStats::to_json() const {
   o["batch_deferred"] = batch_deferred.to_json();
   o["batch_ns"] = batch_ns.to_json();
   o["batch_wave_tasks"] = batch_wave_tasks.to_json();
+  o["snapshots"] = snapshots.to_json();
+  o["restores"] = restores.to_json();
+  o["batch_aborts"] = batch_aborts.to_json();
+  o["hook_skipped_tasks"] = hook_skipped_tasks.to_json();
   return io::Json(std::move(o));
 }
 
@@ -465,6 +470,48 @@ std::uint64_t Scenario::total_interference() {
 InterferenceSummary Scenario::summary() {
   ensure_cache();
   return InterferenceSummary::from_per_node(interference_);
+}
+
+Snapshot Scenario::snapshot() {
+  Snapshot s;
+  s.cache_valid = !dirty_;
+  s.grid_built = grid_built_;
+  s.cell_size = grid_built_ ? grid_.cell_size() : 0.0;
+  s.options = options_;
+  s.edge_count = edge_count_;
+  s.points = points_;
+  s.adjacency = adjacency_;
+  s.radii2 = radii2_;
+  if (!dirty_) s.interference = interference_;
+  ++stats_.snapshots;
+  return s;
+}
+
+bool Scenario::restore(const Snapshot& snapshot, std::string* error) {
+  std::string local_error;
+  if (!snapshot.validate(local_error)) {
+    if (error != nullptr) *error = local_error;
+    return false;
+  }
+  points_ = snapshot.points;
+  adjacency_ = snapshot.adjacency;
+  edge_count_ = snapshot.edge_count;
+  radii2_ = snapshot.radii2;
+  max_radius2_ = 0.0;
+  for (const double r2 : radii2_) max_radius2_ = std::max(max_radius2_, r2);
+  interference_ = snapshot.interference;
+  dirty_ = !snapshot.cache_valid;
+  options_ = snapshot.options;
+  grid_built_ = false;
+  if (snapshot.grid_built) {
+    grid_.clear(snapshot.cell_size);
+    for (NodeId v = 0; v < points_.size(); ++v) grid_.insert(v, points_[v]);
+    grid_built_ = true;
+  } else {
+    grid_.clear(1.0);
+  }
+  ++stats_.restores;
+  return true;
 }
 
 io::Json Scenario::stats_json() const {

@@ -2,6 +2,7 @@
 
 #include <cstdint>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "rim/core/interference.hpp"
@@ -61,6 +62,8 @@ class ThreadPool;
 
 namespace rim::core {
 
+struct Snapshot;  // snapshot.hpp — full-state serialization of a Scenario
+
 /// \deprecated Use EvalOptions::max_touched_fraction.
 [[deprecated("use EvalOptions::max_touched_fraction")]]
 inline constexpr double kIncrementalMaxTouchedFraction = 0.25;
@@ -111,6 +114,44 @@ struct BatchResult {
   std::size_t recounts = 0;    ///< receiver coverage recounts executed
   std::size_t waves = 0;       ///< conflict-free parallel waves run
   bool deferred = false;       ///< fell back to a full evaluation instead
+  bool aborted = false;        ///< hooks aborted the structural pass
+  /// Index of the first mutation NOT applied when aborted (the crash
+  /// point); batch.size() otherwise.
+  std::size_t abort_index = 0;
+};
+
+/// Fault-injection/test hooks consulted by apply_batch (sim::FaultInjector
+/// is the production implementation). Default implementations are no-ops,
+/// so subclasses override only the fault points they model. before_*
+/// callbacks on the wave/recount phases run on thread-pool workers:
+/// implementations must be thread-safe and decide from immutable state.
+class BatchHooks {
+ public:
+  virtual ~BatchHooks() = default;
+  /// Before batch[index] is structurally applied. Returning false aborts
+  /// the batch at this point — a simulated crash: the already-applied
+  /// prefix remains, the evaluation cache is invalidated (so queries stay
+  /// correct), and BatchResult::aborted is set. Recovery is the caller's
+  /// job (Scenario::restore + replay).
+  virtual bool before_mutation(std::size_t index) {
+    (void)index;
+    return true;
+  }
+  /// Before disk task \p task (its index in the coalesced task list) of
+  /// wave \p wave runs. Returning false silently skips the task — a
+  /// poisoned wave task that corrupts the interference cache. The
+  /// InvariantAuditor exists to catch exactly this.
+  virtual bool before_disk_task(std::size_t wave, std::size_t task) {
+    (void)wave;
+    (void)task;
+    return true;
+  }
+  /// Before the recount of recount-task \p index runs; false skips it
+  /// (same corruption model as before_disk_task).
+  virtual bool before_recount(std::size_t index) {
+    (void)index;
+    return true;
+  }
 };
 
 /// Impact of a (sequence of) mutation(s), measured by Scenario::assess()
@@ -149,6 +190,12 @@ struct ScenarioStats {
   obs::Counter batch_deferred;    ///< batches that fell back to full eval
   obs::Counter batch_ns;          ///< time spent inside apply_batch
   obs::Histogram batch_wave_tasks;  ///< tasks per wave distribution
+
+  // Robustness subsystem (snapshot/restore + fault injection).
+  obs::Counter snapshots;        ///< Scenario::snapshot() calls
+  obs::Counter restores;         ///< successful Scenario::restore() calls
+  obs::Counter batch_aborts;     ///< batches aborted by hooks (crash faults)
+  obs::Counter hook_skipped_tasks;  ///< disk/recount tasks vetoed by hooks
 
   /// Machine-readable dump (io::Json) for experiment harnesses.
   [[nodiscard]] io::Json to_json() const;
@@ -218,10 +265,33 @@ class Scenario {
   /// Falls back to one deferred full evaluation when the batch's region
   /// estimate exceeds the EvalOptions thresholds. Results are bit-identical
   /// to the serial path (and hence to the kBrute oracle) either way.
+  /// \p hooks, when non-null, is consulted at every fault point
+  /// (BatchHooks); production callers pass nullptr.
   BatchResult apply_batch(std::span<const Mutation> batch,
-                          parallel::ThreadPool* pool);
+                          parallel::ThreadPool* pool,
+                          BatchHooks* hooks = nullptr);
   /// Overload using the process-wide shared pool.
   BatchResult apply_batch(std::span<const Mutation> batch);
+
+  // --- snapshot / restore -------------------------------------------------
+
+  /// Capture full engine state (points, adjacency in list order, radii,
+  /// interference cache when valid, grid configuration, options) as a
+  /// core::Snapshot. Restoring it — in this or any other Scenario — yields
+  /// an engine observationally indistinguishable from this one: identical
+  /// query answers, identical behavior under subsequent mutations, and a
+  /// bit-identical re-snapshot.
+  [[nodiscard]] Snapshot snapshot();
+
+  /// Replace this scenario's entire state with \p snapshot. The snapshot is
+  /// validated first (validate()); on failure returns false, fills
+  /// \p error when non-null, and leaves the scenario untouched. The grid is
+  /// rebuilt from the stored cell size by inserting ids in order — cell
+  /// bucket ordering may differ from the donor's, which is unobservable
+  /// through any query. Stats counters are preserved (monotone
+  /// observability), except restores which increments.
+  [[nodiscard]] bool restore(const Snapshot& snapshot,
+                             std::string* error = nullptr);
 
   // --- impact assessment -------------------------------------------------
 

@@ -80,8 +80,10 @@ BatchResult Scenario::apply_batch(std::span<const Mutation> batch) {
 }
 
 BatchResult Scenario::apply_batch(std::span<const Mutation> batch,
-                                  parallel::ThreadPool* pool) {
+                                  parallel::ThreadPool* pool,
+                                  BatchHooks* hooks) {
   BatchResult result;
+  result.abort_index = batch.size();
   if (batch.empty()) return result;
   ensure_grid();
   const obs::ScopedTimer timer(stats_.batch_ns);
@@ -111,7 +113,15 @@ BatchResult Scenario::apply_batch(std::span<const Mutation> batch,
     radii2_[id] = new_r2;
   };
 
-  for (const Mutation& m : batch) {
+  for (std::size_t bi = 0; bi < batch.size(); ++bi) {
+    if (hooks != nullptr && !hooks->before_mutation(bi)) {
+      // Simulated crash: stop dead mid-batch. The applied prefix is
+      // consistent structural state, but its region deltas never ran.
+      result.aborted = true;
+      result.abort_index = bi;
+      break;
+    }
+    const Mutation& m = batch[bi];
     const std::size_t n = points_.size();
     switch (m.kind) {
       case Mutation::Kind::kAddNode: {
@@ -221,6 +231,14 @@ BatchResult Scenario::apply_batch(std::span<const Mutation> batch,
   }
   stats_.batch_mutations += result.applied;
 
+  if (result.aborted) {
+    // Invalidate the cache so queries on the surviving prefix state stay
+    // correct; recovery (Scenario::restore + replay) is the caller's job.
+    dirty_ = true;
+    ++stats_.batch_aborts;
+    return result;
+  }
+
   if (was_dirty) {
     // Cache was already invalid: the structural pass is all there is to do.
     result.deferred = true;
@@ -311,13 +329,21 @@ BatchResult Scenario::apply_batch(std::span<const Mutation> batch,
   stats_.batch_waves += waves.size();
 
   const std::size_t workers = pool != nullptr ? pool->thread_count() : 0;
-  const auto run_wave = [&](const std::vector<std::size_t>& wave) {
+  // Hooks veto individual tasks (poisoned-wave faults). The veto is decided
+  // from immutable state, so calling it from pool workers is safe.
+  const auto run_task = [&](std::size_t wave_idx, std::size_t task_idx) {
+    if (hooks != nullptr && !hooks->before_disk_task(wave_idx, task_idx)) {
+      ++stats_.hook_skipped_tasks;
+      return;
+    }
+    const DiskTask& t = tasks[task_idx];
+    run_disk_delta(t.exclude, t.center, t.old_r2, t.new_r2);
+  };
+  const auto run_wave = [&](std::size_t wave_idx,
+                            const std::vector<std::size_t>& wave) {
     stats_.batch_wave_tasks.record(wave.size());
     if (workers <= 1 || wave.size() < options_.batch_min_parallel_tasks) {
-      for (const std::size_t i : wave) {
-        const DiskTask& t = tasks[i];
-        run_disk_delta(t.exclude, t.center, t.old_r2, t.new_r2);
-      }
+      for (const std::size_t i : wave) run_task(wave_idx, i);
       return;
     }
     // Chunk the wave so submit overhead stays O(workers), not O(tasks).
@@ -327,20 +353,27 @@ BatchResult Scenario::apply_batch(std::span<const Mutation> batch,
       const std::size_t begin = c * per;
       const std::size_t end = std::min(begin + per, wave.size());
       if (begin >= end) break;
-      pool->submit([this, &tasks, &wave, begin, end] {
+      pool->submit([&run_task, &wave, wave_idx, begin, end] {
         for (std::size_t k = begin; k < end; ++k) {
-          const DiskTask& t = tasks[wave[k]];
-          run_disk_delta(t.exclude, t.center, t.old_r2, t.new_r2);
+          run_task(wave_idx, wave[k]);
         }
       });
     }
     pool->wait_idle();
   };
-  for (const auto& wave : waves) run_wave(wave);
+  for (std::size_t w = 0; w < waves.size(); ++w) run_wave(w, waves[w]);
 
   // ---- 5. Recount wave ------------------------------------------------
   // Every recount owns its own interference_ slot and only reads the now
   // frozen points_/radii2_/grid_, so the whole set is one parallel wave.
+  const auto run_recount_task = [&](std::size_t k) {
+    if (hooks != nullptr && !hooks->before_recount(k)) {
+      ++stats_.hook_skipped_tasks;
+      return;
+    }
+    const NodeId id = recounts[k];
+    interference_[id] = run_recount(id);
+  };
   if (workers > 1 && recounts.size() >= options_.batch_min_parallel_tasks) {
     const std::size_t chunks = std::min(recounts.size(), workers * 2);
     const std::size_t per = (recounts.size() + chunks - 1) / chunks;
@@ -348,16 +381,13 @@ BatchResult Scenario::apply_batch(std::span<const Mutation> batch,
       const std::size_t begin = c * per;
       const std::size_t end = std::min(begin + per, recounts.size());
       if (begin >= end) break;
-      pool->submit([this, &recounts, begin, end] {
-        for (std::size_t k = begin; k < end; ++k) {
-          const NodeId id = recounts[k];
-          interference_[id] = run_recount(id);
-        }
+      pool->submit([&run_recount_task, begin, end] {
+        for (std::size_t k = begin; k < end; ++k) run_recount_task(k);
       });
     }
     pool->wait_idle();
   } else {
-    for (const NodeId id : recounts) interference_[id] = run_recount(id);
+    for (std::size_t k = 0; k < recounts.size(); ++k) run_recount_task(k);
   }
   stats_.incremental_updates += result.applied;
   return result;

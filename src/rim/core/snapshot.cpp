@@ -1,0 +1,518 @@
+#include "rim/core/snapshot.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+namespace rim::core {
+
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 0xCBF29CE484222325ULL;
+constexpr std::uint64_t kFnvPrime = 0x100000001B3ULL;
+constexpr char kMagic[8] = {'R', 'I', 'M', 'S', 'N', 'A', 'P', '1'};
+
+std::uint64_t fnv1a_bytes(std::span<const std::uint8_t> bytes) {
+  std::uint64_t h = kFnvOffset;
+  for (const std::uint8_t b : bytes) {
+    h ^= b;
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+std::uint64_t double_bits(double d) {
+  std::uint64_t bits = 0;
+  std::memcpy(&bits, &d, sizeof bits);
+  return bits;
+}
+
+double bits_double(std::uint64_t bits) {
+  double d = 0.0;
+  std::memcpy(&d, &bits, sizeof d);
+  return d;
+}
+
+class ByteWriter {
+ public:
+  void u8(std::uint8_t v) { out_.push_back(v); }
+  void u32(std::uint32_t v) {
+    for (int i = 0; i < 4; ++i) {
+      out_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+    }
+  }
+  void u64(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      out_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+    }
+  }
+  void f64(double v) { u64(double_bits(v)); }
+
+  [[nodiscard]] std::vector<std::uint8_t> take() { return std::move(out_); }
+
+ private:
+  std::vector<std::uint8_t> out_;
+};
+
+/// Bounds-checked little-endian reader; every accessor reports truncation
+/// instead of reading past the end.
+class ByteReader {
+ public:
+  explicit ByteReader(std::span<const std::uint8_t> bytes) : bytes_(bytes) {}
+
+  [[nodiscard]] bool u8(std::uint8_t& v) {
+    if (pos_ + 1 > bytes_.size()) return false;
+    v = bytes_[pos_++];
+    return true;
+  }
+  [[nodiscard]] bool u32(std::uint32_t& v) {
+    if (pos_ + 4 > bytes_.size()) return false;
+    v = 0;
+    for (int i = 0; i < 4; ++i) {
+      v |= static_cast<std::uint32_t>(bytes_[pos_++]) << (8 * i);
+    }
+    return true;
+  }
+  [[nodiscard]] bool u64(std::uint64_t& v) {
+    if (pos_ + 8 > bytes_.size()) return false;
+    v = 0;
+    for (int i = 0; i < 8; ++i) {
+      v |= static_cast<std::uint64_t>(bytes_[pos_++]) << (8 * i);
+    }
+    return true;
+  }
+  [[nodiscard]] bool f64(double& v) {
+    std::uint64_t bits = 0;
+    if (!u64(bits)) return false;
+    v = bits_double(bits);
+    return true;
+  }
+
+  [[nodiscard]] std::size_t position() const { return pos_; }
+  [[nodiscard]] std::size_t remaining() const { return bytes_.size() - pos_; }
+
+ private:
+  std::span<const std::uint8_t> bytes_;
+  std::size_t pos_ = 0;
+};
+
+/// Serialise everything except the trailing checksum.
+std::vector<std::uint8_t> encode_payload(const Snapshot& s) {
+  ByteWriter w;
+  for (const char c : kMagic) w.u8(static_cast<std::uint8_t>(c));
+  w.u32(Snapshot::kVersion);
+  w.u32((s.cache_valid ? 1u : 0u) | (s.grid_built ? 2u : 0u));
+  w.u64(s.points.size());
+  w.u64(s.edge_count);
+  w.f64(s.cell_size);
+  w.u8(static_cast<std::uint8_t>(s.options.strategy));
+  w.u64(s.options.auto_brute_max_nodes);
+  w.u64(s.options.auto_grid_max_nodes);
+  w.f64(s.options.max_touched_fraction);
+  w.u64(s.options.touched_floor);
+  w.u64(s.options.batch_min_parallel_tasks);
+  for (const geom::Vec2 p : s.points) {
+    w.f64(p.x);
+    w.f64(p.y);
+  }
+  for (const double r2 : s.radii2) w.f64(r2);
+  for (const auto& neighbors : s.adjacency) {
+    w.u32(static_cast<std::uint32_t>(neighbors.size()));
+    for (const NodeId v : neighbors) w.u32(v);
+  }
+  if (s.cache_valid) {
+    for (const std::uint32_t i : s.interference) w.u32(i);
+  }
+  return w.take();
+}
+
+bool decode_fail(std::string& error, const std::string& what) {
+  error = "snapshot decode error: " + what;
+  return false;
+}
+
+}  // namespace
+
+std::uint64_t fnv1a_words(std::span<const std::uint32_t> words) {
+  std::uint64_t h = kFnvOffset;
+  for (const std::uint32_t v : words) {
+    for (int shift = 0; shift < 32; shift += 8) {
+      h ^= (v >> shift) & 0xFFU;
+      h *= kFnvPrime;
+    }
+  }
+  return h;
+}
+
+std::string double_to_hex_bits(double value) {
+  static constexpr char kDigits[] = "0123456789abcdef";
+  const std::uint64_t bits = double_bits(value);
+  std::string out(16, '0');
+  for (int i = 0; i < 16; ++i) {
+    out[static_cast<std::size_t>(i)] =
+        kDigits[(bits >> (4 * (15 - i))) & 0xF];
+  }
+  return out;
+}
+
+bool double_from_hex_bits(const std::string& hex, double& value) {
+  if (hex.size() != 16) return false;
+  std::uint64_t bits = 0;
+  for (const char c : hex) {
+    bits <<= 4;
+    if (c >= '0' && c <= '9') {
+      bits |= static_cast<std::uint64_t>(c - '0');
+    } else if (c >= 'a' && c <= 'f') {
+      bits |= static_cast<std::uint64_t>(c - 'a' + 10);
+    } else if (c >= 'A' && c <= 'F') {
+      bits |= static_cast<std::uint64_t>(c - 'A' + 10);
+    } else {
+      return false;
+    }
+  }
+  value = bits_double(bits);
+  return true;
+}
+
+std::uint64_t Snapshot::payload_checksum() const {
+  return fnv1a_bytes(encode_payload(*this));
+}
+
+std::uint64_t Snapshot::interference_checksum() const {
+  if (!cache_valid) return 0;
+  return fnv1a_words(interference);
+}
+
+bool Snapshot::validate(std::string& error) const {
+  const std::size_t n = points.size();
+  if (radii2.size() != n) {
+    return decode_fail(error, "radii2 size mismatch");
+  }
+  if (adjacency.size() != n) {
+    return decode_fail(error, "adjacency size mismatch");
+  }
+  if (cache_valid ? interference.size() != n : !interference.empty()) {
+    return decode_fail(error, "interference size mismatch");
+  }
+  if (grid_built && !(cell_size > 0.0)) {
+    return decode_fail(error, "grid marked built but cell_size not positive");
+  }
+  std::size_t degree_sum = 0;
+  for (NodeId u = 0; u < n; ++u) {
+    const auto& neighbors = adjacency[u];
+    degree_sum += neighbors.size();
+    for (const NodeId v : neighbors) {
+      if (v >= n) return decode_fail(error, "neighbor id out of range");
+      if (v == u) return decode_fail(error, "self-loop in adjacency");
+      if (std::count(neighbors.begin(), neighbors.end(), v) != 1) {
+        return decode_fail(error, "duplicate neighbor entry");
+      }
+      const auto& back = adjacency[v];
+      if (std::find(back.begin(), back.end(), u) == back.end()) {
+        return decode_fail(error, "asymmetric adjacency");
+      }
+    }
+  }
+  if (degree_sum != 2 * edge_count) {
+    return decode_fail(error, "edge count disagrees with adjacency");
+  }
+  return true;
+}
+
+std::vector<std::uint8_t> Snapshot::to_bytes() const {
+  std::vector<std::uint8_t> payload = encode_payload(*this);
+  const std::uint64_t checksum = fnv1a_bytes(payload);
+  ByteWriter tail;
+  tail.u64(checksum);
+  const std::vector<std::uint8_t> checksum_bytes = tail.take();
+  payload.insert(payload.end(), checksum_bytes.begin(), checksum_bytes.end());
+  return payload;
+}
+
+bool Snapshot::from_bytes(std::span<const std::uint8_t> bytes, Snapshot& out,
+                          std::string& error) {
+  out = Snapshot{};
+  if (bytes.size() < sizeof kMagic + 8) {
+    return decode_fail(error, "truncated (shorter than header)");
+  }
+  // Checksum first: everything before the trailing u64 must hash to it.
+  const std::span<const std::uint8_t> payload =
+      bytes.subspan(0, bytes.size() - 8);
+  {
+    ByteReader tail(bytes.subspan(bytes.size() - 8));
+    std::uint64_t stored = 0;
+    (void)tail.u64(stored);
+    if (fnv1a_bytes(payload) != stored) {
+      return decode_fail(error, "checksum mismatch (corrupted or truncated)");
+    }
+  }
+  ByteReader r(payload);
+  for (const char c : kMagic) {
+    std::uint8_t b = 0;
+    if (!r.u8(b) || b != static_cast<std::uint8_t>(c)) {
+      return decode_fail(error, "bad magic (not a rim snapshot)");
+    }
+  }
+  std::uint32_t version = 0;
+  if (!r.u32(version)) return decode_fail(error, "truncated version");
+  if (version != kVersion) {
+    return decode_fail(error,
+                       "unsupported version " + std::to_string(version) +
+                           " (this build reads version " +
+                           std::to_string(kVersion) + ")");
+  }
+  std::uint32_t flags = 0;
+  std::uint64_t node_count = 0;
+  std::uint64_t edge_count = 0;
+  if (!r.u32(flags) || !r.u64(node_count) || !r.u64(edge_count) ||
+      !r.f64(out.cell_size)) {
+    return decode_fail(error, "truncated header");
+  }
+  out.cache_valid = (flags & 1u) != 0;
+  out.grid_built = (flags & 2u) != 0;
+  out.edge_count = static_cast<std::size_t>(edge_count);
+  std::uint8_t strategy = 0;
+  if (!r.u8(strategy) || !r.u64(out.options.auto_brute_max_nodes) ||
+      !r.u64(out.options.auto_grid_max_nodes) ||
+      !r.f64(out.options.max_touched_fraction) ||
+      !r.u64(out.options.touched_floor) ||
+      !r.u64(out.options.batch_min_parallel_tasks)) {
+    return decode_fail(error, "truncated options");
+  }
+  if (strategy > static_cast<std::uint8_t>(Strategy::kAuto)) {
+    return decode_fail(error, "invalid strategy value");
+  }
+  out.options.strategy = static_cast<Strategy>(strategy);
+  // Cheap sanity bound before reserving: every node needs at least
+  // 24 payload bytes (point + radius), so a huge count is corruption.
+  if (node_count > r.remaining() / 24 + 1) {
+    return decode_fail(error, "node count exceeds payload size");
+  }
+  const auto n = static_cast<std::size_t>(node_count);
+  out.points.resize(n);
+  for (geom::Vec2& p : out.points) {
+    if (!r.f64(p.x) || !r.f64(p.y)) {
+      return decode_fail(error, "truncated points");
+    }
+  }
+  out.radii2.resize(n);
+  for (double& r2 : out.radii2) {
+    if (!r.f64(r2)) return decode_fail(error, "truncated radii");
+  }
+  out.adjacency.resize(n);
+  for (auto& neighbors : out.adjacency) {
+    std::uint32_t degree = 0;
+    if (!r.u32(degree)) return decode_fail(error, "truncated adjacency");
+    if (degree > r.remaining() / 4) {
+      return decode_fail(error, "degree exceeds payload size");
+    }
+    neighbors.resize(degree);
+    for (NodeId& v : neighbors) {
+      if (!r.u32(v)) return decode_fail(error, "truncated adjacency list");
+    }
+  }
+  if (out.cache_valid) {
+    out.interference.resize(n);
+    for (std::uint32_t& i : out.interference) {
+      if (!r.u32(i)) return decode_fail(error, "truncated interference");
+    }
+  }
+  if (r.remaining() != 0) {
+    return decode_fail(error, "trailing bytes after payload");
+  }
+  return out.validate(error);
+}
+
+io::Json Snapshot::to_json() const {
+  io::JsonObject o;
+  o["format"] = io::Json("rim-snapshot");
+  o["version"] = io::Json(kVersion);
+  o["cache_valid"] = io::Json(cache_valid);
+  o["grid_built"] = io::Json(grid_built);
+  o["cell_size_bits"] = io::Json(double_to_hex_bits(cell_size));
+  o["node_count"] = io::Json(points.size());
+  o["edge_count"] = io::Json(edge_count);
+  {
+    io::JsonObject opt;
+    opt["strategy"] = io::Json(static_cast<unsigned>(options.strategy));
+    opt["auto_brute_max_nodes"] = io::Json(options.auto_brute_max_nodes);
+    opt["auto_grid_max_nodes"] = io::Json(options.auto_grid_max_nodes);
+    opt["max_touched_fraction_bits"] =
+        io::Json(double_to_hex_bits(options.max_touched_fraction));
+    opt["touched_floor"] = io::Json(options.touched_floor);
+    opt["batch_min_parallel_tasks"] =
+        io::Json(options.batch_min_parallel_tasks);
+    o["options"] = io::Json(std::move(opt));
+  }
+  {
+    io::JsonArray points_bits;
+    points_bits.reserve(points.size());
+    for (const geom::Vec2 p : points) {
+      points_bits.emplace_back(double_to_hex_bits(p.x) +
+                               double_to_hex_bits(p.y));
+    }
+    o["points_bits"] = io::Json(std::move(points_bits));
+  }
+  {
+    io::JsonArray radii_bits;
+    radii_bits.reserve(radii2.size());
+    for (const double r2 : radii2) {
+      radii_bits.emplace_back(double_to_hex_bits(r2));
+    }
+    o["radii2_bits"] = io::Json(std::move(radii_bits));
+  }
+  {
+    io::JsonArray adjacency_rows;
+    adjacency_rows.reserve(adjacency.size());
+    for (const auto& neighbors : adjacency) {
+      io::JsonArray row;
+      row.reserve(neighbors.size());
+      for (const NodeId v : neighbors) row.emplace_back(v);
+      adjacency_rows.emplace_back(std::move(row));
+    }
+    o["adjacency"] = io::Json(std::move(adjacency_rows));
+  }
+  if (cache_valid) {
+    io::JsonArray cache;
+    cache.reserve(interference.size());
+    for (const std::uint32_t i : interference) cache.emplace_back(i);
+    o["interference"] = io::Json(std::move(cache));
+  }
+  o["payload_checksum"] = io::Json(double_to_hex_bits(
+      bits_double(payload_checksum())));
+  return io::Json(std::move(o));
+}
+
+bool Snapshot::from_json(const io::Json& json, Snapshot& out,
+                         std::string& error) {
+  out = Snapshot{};
+  const auto* format = json.find("format");
+  if (format == nullptr || format->as_string() == nullptr ||
+      *format->as_string() != "rim-snapshot") {
+    return decode_fail(error, "not a rim-snapshot document");
+  }
+  const auto* version = json.find("version");
+  if (version == nullptr ||
+      static_cast<std::uint32_t>(version->as_number(0)) != kVersion) {
+    return decode_fail(error, "unsupported or missing version");
+  }
+  const auto read_hex_double = [&](const io::Json* node, double& value) {
+    return node != nullptr && node->as_string() != nullptr &&
+           double_from_hex_bits(*node->as_string(), value);
+  };
+  const auto* cache_valid = json.find("cache_valid");
+  const auto* grid_built = json.find("grid_built");
+  if (cache_valid == nullptr || !cache_valid->is_bool() ||
+      grid_built == nullptr || !grid_built->is_bool()) {
+    return decode_fail(error, "missing cache_valid/grid_built flags");
+  }
+  out.cache_valid = cache_valid->as_bool();
+  out.grid_built = grid_built->as_bool();
+  if (!read_hex_double(json.find("cell_size_bits"), out.cell_size)) {
+    return decode_fail(error, "missing or malformed cell_size_bits");
+  }
+  const auto* edge_count = json.find("edge_count");
+  if (edge_count == nullptr || !edge_count->is_number()) {
+    return decode_fail(error, "missing edge_count");
+  }
+  out.edge_count = static_cast<std::size_t>(edge_count->as_number());
+  const auto* opt = json.find("options");
+  if (opt == nullptr || !opt->is_object()) {
+    return decode_fail(error, "missing options object");
+  }
+  const double strategy = opt->find("strategy") != nullptr
+                              ? opt->find("strategy")->as_number(-1)
+                              : -1;
+  if (strategy < 0 ||
+      strategy > static_cast<double>(
+                     static_cast<std::uint8_t>(Strategy::kAuto))) {
+    return decode_fail(error, "invalid options.strategy");
+  }
+  out.options.strategy = static_cast<Strategy>(
+      static_cast<std::uint8_t>(strategy));
+  const auto read_size = [&](const char* key, std::size_t& value) {
+    const io::Json* node = opt->find(key);
+    if (node == nullptr || !node->is_number()) return false;
+    value = static_cast<std::size_t>(node->as_number());
+    return true;
+  };
+  if (!read_size("auto_brute_max_nodes", out.options.auto_brute_max_nodes) ||
+      !read_size("auto_grid_max_nodes", out.options.auto_grid_max_nodes) ||
+      !read_size("touched_floor", out.options.touched_floor) ||
+      !read_size("batch_min_parallel_tasks",
+                 out.options.batch_min_parallel_tasks) ||
+      !read_hex_double(opt->find("max_touched_fraction_bits"),
+                       out.options.max_touched_fraction)) {
+    return decode_fail(error, "missing or malformed options fields");
+  }
+  const auto* points_bits = json.find("points_bits");
+  if (points_bits == nullptr || !points_bits->is_array()) {
+    return decode_fail(error, "missing points_bits");
+  }
+  out.points.reserve(points_bits->as_array()->size());
+  for (const io::Json& entry : *points_bits->as_array()) {
+    const std::string* s = entry.as_string();
+    geom::Vec2 p;
+    if (s == nullptr || s->size() != 32 ||
+        !double_from_hex_bits(s->substr(0, 16), p.x) ||
+        !double_from_hex_bits(s->substr(16, 16), p.y)) {
+      return decode_fail(error, "malformed points_bits entry");
+    }
+    out.points.push_back(p);
+  }
+  const auto* node_count = json.find("node_count");
+  if (node_count == nullptr ||
+      static_cast<std::size_t>(node_count->as_number()) != out.points.size()) {
+    return decode_fail(error, "node_count disagrees with points_bits");
+  }
+  const auto* radii_bits = json.find("radii2_bits");
+  if (radii_bits == nullptr || !radii_bits->is_array()) {
+    return decode_fail(error, "missing radii2_bits");
+  }
+  out.radii2.reserve(radii_bits->as_array()->size());
+  for (const io::Json& entry : *radii_bits->as_array()) {
+    double r2 = 0.0;
+    if (!read_hex_double(&entry, r2)) {
+      return decode_fail(error, "malformed radii2_bits entry");
+    }
+    out.radii2.push_back(r2);
+  }
+  const auto* adjacency = json.find("adjacency");
+  if (adjacency == nullptr || !adjacency->is_array()) {
+    return decode_fail(error, "missing adjacency");
+  }
+  out.adjacency.reserve(adjacency->as_array()->size());
+  for (const io::Json& row : *adjacency->as_array()) {
+    if (!row.is_array()) return decode_fail(error, "malformed adjacency row");
+    std::vector<NodeId> neighbors;
+    neighbors.reserve(row.as_array()->size());
+    for (const io::Json& v : *row.as_array()) {
+      if (!v.is_number()) {
+        return decode_fail(error, "malformed adjacency entry");
+      }
+      neighbors.push_back(static_cast<NodeId>(v.as_number()));
+    }
+    out.adjacency.push_back(std::move(neighbors));
+  }
+  if (out.cache_valid) {
+    const auto* interference = json.find("interference");
+    if (interference == nullptr || !interference->is_array()) {
+      return decode_fail(error, "missing interference (cache_valid set)");
+    }
+    out.interference.reserve(interference->as_array()->size());
+    for (const io::Json& v : *interference->as_array()) {
+      if (!v.is_number()) {
+        return decode_fail(error, "malformed interference entry");
+      }
+      out.interference.push_back(static_cast<std::uint32_t>(v.as_number()));
+    }
+  }
+  if (!out.validate(error)) return false;
+  double stored_checksum = 0.0;
+  if (!read_hex_double(json.find("payload_checksum"), stored_checksum) ||
+      double_bits(stored_checksum) != out.payload_checksum()) {
+    return decode_fail(error, "payload checksum mismatch (tampered document)");
+  }
+  return true;
+}
+
+}  // namespace rim::core

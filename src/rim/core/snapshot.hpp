@@ -1,0 +1,101 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "rim/core/interference.hpp"
+#include "rim/geom/vec2.hpp"
+#include "rim/io/json.hpp"
+
+/// \file snapshot.hpp
+/// Versioned, checksummed serialization of full core::Scenario state.
+///
+/// A snapshot captures everything the incremental engine owns — points,
+/// adjacency lists (in list order), cached radii, the per-node interference
+/// cache, grid configuration, and the EvalOptions — such that
+/// Scenario::restore() yields an engine observationally indistinguishable
+/// from one that replayed the original mutation trace: every query answer,
+/// every subsequent mutation result, and every re-snapshot is bit-identical.
+/// This is the foundation of the crash-restore-replay fault model
+/// (sim::FaultPlan): snapshot before a batch, crash anywhere inside it,
+/// restore, replay, and the end state must equal the uninjected run's.
+///
+/// Two encodings share one logical payload:
+///  - to_bytes()/from_bytes(): compact native binary. Doubles are bit-cast
+///    to uint64 so round-trips are exact, including -0.0 and subnormals.
+///  - to_json()/from_json(): an io::Json document with doubles as 16-digit
+///    hex bit patterns (human-inspectable structure, machine-exact values).
+///
+/// Both end with an FNV-1a checksum over the canonical binary payload;
+/// decoding verifies magic, version, checksum, and structural consistency
+/// (array sizes, id ranges, adjacency symmetry) and fails with a clear
+/// error message on any mismatch — truncated or corrupted snapshots are
+/// rejected, never undefined behavior.
+
+namespace rim::core {
+
+struct Snapshot {
+  /// Bumped on any incompatible layout change; from_bytes/from_json reject
+  /// other versions (no silent migrations — the compatibility policy is
+  /// "same version restores, anything else errors", DESIGN.md §7).
+  static constexpr std::uint32_t kVersion = 1;
+
+  bool cache_valid = false;  ///< interference[] present (engine not dirty)
+  bool grid_built = false;   ///< persistent index existed (cell_size valid)
+  double cell_size = 0.0;
+  EvalOptions options{};
+  std::size_t edge_count = 0;
+  geom::PointSet points;
+  /// Full adjacency lists in stored order. Order does not change query
+  /// results, but preserving it makes re-snapshotting a restored scenario
+  /// reproduce these bytes exactly.
+  std::vector<std::vector<NodeId>> adjacency;
+  std::vector<double> radii2;
+  /// Cached I(v) per node; present iff cache_valid.
+  std::vector<std::uint32_t> interference;
+
+  [[nodiscard]] std::size_t node_count() const { return points.size(); }
+
+  /// Canonical binary encoding (magic, version, payload, FNV-1a checksum).
+  [[nodiscard]] std::vector<std::uint8_t> to_bytes() const;
+
+  /// Decode and fully validate \p bytes. On failure returns false and sets
+  /// \p error; \p out is left unspecified but destructible.
+  [[nodiscard]] static bool from_bytes(std::span<const std::uint8_t> bytes,
+                                       Snapshot& out, std::string& error);
+
+  /// JSON document form (doubles as hex bit patterns; includes the binary
+  /// payload checksum, so tampering with either form is detected).
+  [[nodiscard]] io::Json to_json() const;
+
+  /// Parse the to_json() form back. Validates structure and re-derives the
+  /// binary checksum against the embedded one.
+  [[nodiscard]] static bool from_json(const io::Json& json, Snapshot& out,
+                                      std::string& error);
+
+  /// FNV-1a over the canonical binary payload (excluding the trailing
+  /// checksum field itself) — the value embedded by both encoders.
+  [[nodiscard]] std::uint64_t payload_checksum() const;
+
+  /// FNV-1a over the cached interference vector (0 when cache_valid is
+  /// false); matches sim::TenantStats::interference_checksum for the same
+  /// state, so snapshots and workload reports cross-check directly.
+  [[nodiscard]] std::uint64_t interference_checksum() const;
+
+  /// Structural consistency shared by both decoders: size agreement, id
+  /// ranges, adjacency symmetry, edge count, no self-loops or duplicates.
+  [[nodiscard]] bool validate(std::string& error) const;
+};
+
+/// FNV-1a over a 32-bit word sequence (the library's one checksum kernel,
+/// shared by Snapshot and sim::WorkloadDriver).
+[[nodiscard]] std::uint64_t fnv1a_words(std::span<const std::uint32_t> words);
+
+/// Bit-exact double <-> 16-hex-digit text (used by the JSON encodings of
+/// snapshots and fuzz traces).
+[[nodiscard]] std::string double_to_hex_bits(double value);
+[[nodiscard]] bool double_from_hex_bits(const std::string& hex, double& value);
+
+}  // namespace rim::core

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <cstring>
 #include <limits>
 
 namespace rim::geom {
@@ -184,6 +185,31 @@ NodeId DynamicGrid::nearest(Vec2 center, NodeId exclude) const {
     }
     radius *= 2.0;
   }
+}
+
+std::uint64_t DynamicGrid::content_checksum() const {
+  std::uint64_t h = 0xCBF29CE484222325ULL;
+  const auto mix64 = [&h](std::uint64_t v) {
+    for (int shift = 0; shift < 64; shift += 8) {
+      h ^= (v >> shift) & 0xFFU;
+      h *= 0x100000001B3ULL;
+    }
+  };
+  mix64(static_cast<std::uint64_t>(count_));
+  std::uint64_t cell_bits = 0;
+  std::memcpy(&cell_bits, &cell_size_, sizeof cell_bits);
+  mix64(cell_bits);
+  for (NodeId id = 0; id < present_.size(); ++id) {
+    if (present_[id] == 0) continue;
+    mix64(id);
+    std::uint64_t bits = 0;
+    std::memcpy(&bits, &pos_[id].x, sizeof bits);
+    mix64(bits);
+    std::memcpy(&bits, &pos_[id].y, sizeof bits);
+    mix64(bits);
+    mix64(key_[id]);
+  }
+  return h;
 }
 
 }  // namespace rim::geom

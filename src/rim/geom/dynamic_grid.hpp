@@ -87,6 +87,14 @@ class DynamicGrid {
   /// GridIndex::nearest). kInvalidNode when no eligible point exists.
   [[nodiscard]] NodeId nearest(Vec2 center, NodeId exclude = kInvalidNode) const;
 
+  /// FNV-1a over (id, position bits, cell key) of every present point in
+  /// ascending id order — a pure function of logical content, independent
+  /// of per-cell bucket ordering and insertion history. Two grids holding
+  /// the same points at the same cell size (e.g. an evolved grid and one
+  /// rebuilt by Scenario::restore) checksum identically; snapshot tests
+  /// use this to witness grid-occupancy equivalence.
+  [[nodiscard]] std::uint64_t content_checksum() const;
+
   /// Lifetime operation counters (reset by clear()).
   [[nodiscard]] const GridStats& stats() const { return stats_; }
 

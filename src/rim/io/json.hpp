@@ -4,13 +4,16 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <string_view>
 #include <variant>
 #include <vector>
 
 /// \file json.hpp
-/// Minimal JSON value + writer: machine-readable experiment output next to
-/// the human-readable tables (no external dependencies, write-only — the
-/// library never needs to parse JSON).
+/// Minimal JSON value, writer, and parser: machine-readable experiment
+/// output next to the human-readable tables (no external dependencies).
+/// The parser exists for the robustness tooling — snapshots (core::Snapshot)
+/// and fuzz traces (sim::FuzzTrace) serialise to JSON and must be read back
+/// to replay; everything else in the library only ever writes.
 
 namespace rim::io {
 
@@ -40,6 +43,60 @@ class Json {
 
   /// Convenience: serialise to a string.
   [[nodiscard]] std::string dump() const;
+
+  /// Parse \p text into \p out. Returns false (with a position-annotated
+  /// message in \p error) on malformed input — never UB, never throws.
+  /// Accepts exactly what write() emits plus standard JSON whitespace.
+  [[nodiscard]] static bool parse(std::string_view text, Json& out,
+                                  std::string& error);
+
+  // --- read accessors (for parsed documents) -----------------------------
+
+  [[nodiscard]] bool is_null() const {
+    return std::holds_alternative<std::nullptr_t>(value_);
+  }
+  [[nodiscard]] bool is_bool() const {
+    return std::holds_alternative<bool>(value_);
+  }
+  [[nodiscard]] bool is_number() const {
+    return std::holds_alternative<double>(value_);
+  }
+  [[nodiscard]] bool is_string() const {
+    return std::holds_alternative<std::string>(value_);
+  }
+  [[nodiscard]] bool is_array() const {
+    return std::holds_alternative<JsonArray>(value_);
+  }
+  [[nodiscard]] bool is_object() const {
+    return std::holds_alternative<JsonObject>(value_);
+  }
+
+  [[nodiscard]] bool as_bool(bool fallback = false) const {
+    const bool* b = std::get_if<bool>(&value_);
+    return b != nullptr ? *b : fallback;
+  }
+  [[nodiscard]] double as_number(double fallback = 0.0) const {
+    const double* d = std::get_if<double>(&value_);
+    return d != nullptr ? *d : fallback;
+  }
+  /// nullptr when the value is not of the requested shape.
+  [[nodiscard]] const std::string* as_string() const {
+    return std::get_if<std::string>(&value_);
+  }
+  [[nodiscard]] const JsonArray* as_array() const {
+    return std::get_if<JsonArray>(&value_);
+  }
+  [[nodiscard]] const JsonObject* as_object() const {
+    return std::get_if<JsonObject>(&value_);
+  }
+
+  /// Object member lookup; nullptr when not an object or the key is absent.
+  [[nodiscard]] const Json* find(const std::string& key) const {
+    const JsonObject* o = as_object();
+    if (o == nullptr) return nullptr;
+    const auto it = o->find(key);
+    return it != o->end() ? &it->second : nullptr;
+  }
 
  private:
   std::variant<std::nullptr_t, bool, double, std::string, JsonArray, JsonObject>

@@ -1,0 +1,92 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "rim/core/scenario.hpp"
+#include "rim/io/json.hpp"
+#include "rim/sim/fault.hpp"
+#include "rim/sim/workload.hpp"
+
+/// \file trace.hpp
+/// Replayable fuzz traces: randomized mutation/fault schedules with
+/// per-epoch invariant auditing, JSON round-tripping, and minimization.
+///
+/// A FuzzTrace is fully concrete — every mutation (bit-exact positions) and
+/// every fault event is materialised, so a trace written by rim_fuzz on one
+/// machine replays identically on another: run_trace() rebuilds tenant 0's
+/// deterministic initial scenario from the embedded config, applies each
+/// epoch through the fault-recovery kernel, and audits the engine's
+/// receiver-centric invariants (core::InvariantAuditor) after every
+/// audit_every epochs plus Definition 3.2 robustness probes. The first
+/// violation makes the trace "failing"; minimize_trace() then shrinks it
+/// greedily (whole epochs, then single mutations) while the failure
+/// reproduces, which is what rim_fuzz emits as its artifact.
+
+namespace rim::sim {
+
+/// Mutation <-> JSON (kind as string, coordinates as hex bit patterns so
+/// replays are bit-exact).
+[[nodiscard]] io::Json mutation_to_json(const core::Mutation& mutation);
+[[nodiscard]] bool mutation_from_json(const io::Json& json,
+                                      core::Mutation& out, std::string& error);
+
+struct FuzzTrace {
+  /// Shape of the deterministic initial scenario (make_tenant_scenario,
+  /// tenant 0) and of the EvalOptions; batches/batch_size are ignored —
+  /// the epochs below are concrete.
+  WorkloadConfig config;
+  /// Initial topology: "tenant" (make_tenant_scenario: ring + chords over
+  /// uniform points — long edges, so most batches defer to full evaluation)
+  /// or "pairs" (isolated unit-distance dumbbells — local disks, so batches
+  /// run the coalesce/wave pipeline and poison faults can actually land).
+  std::string init = "tenant";
+  std::vector<std::vector<core::Mutation>> epochs;
+  FaultPlan faults;  ///< FaultEvent::batch indexes into epochs
+  /// Crash/poison faults are recovered (snapshot-restore-replay) when set;
+  /// clearing it leaves corruption in place — the auditor must then fail,
+  /// which is how detection itself is tested.
+  bool recover = true;
+  std::size_t audit_every = 1;        ///< audit after every k-th epoch
+  std::size_t robustness_probes = 2;  ///< Definition 3.2 probes per audit
+  std::string violation;              ///< first violation of a failing run
+
+  [[nodiscard]] io::Json to_json() const;
+  [[nodiscard]] static bool from_json(const io::Json& json, FuzzTrace& out,
+                                      std::string& error);
+};
+
+struct FuzzOutcome {
+  bool ok = true;
+  std::size_t failed_epoch = 0;  ///< epoch whose audit first failed
+  std::string violation;
+  std::size_t faults_fired = 0;
+  std::size_t restores = 0;
+
+  [[nodiscard]] io::Json to_json() const;
+};
+
+/// Materialise a randomized trace: `steps` mutations of seeded churn in
+/// config.batch_size-sized epochs, plus a FaultPlan at \p fault_rate.
+[[nodiscard]] FuzzTrace make_fuzz_trace(const WorkloadConfig& config,
+                                        std::size_t steps, double fault_rate,
+                                        std::uint64_t fault_seed);
+
+/// The "pairs" initial scenario: config.initial_nodes nodes as isolated
+/// unit-distance dumbbells three units apart (an odd trailing node stays
+/// isolated). Every radius is 1 and every I(v) is 1, so mutation deltas
+/// stay local — the wave pipeline runs instead of deferring.
+[[nodiscard]] core::Scenario make_pairs_scenario(const WorkloadConfig& config);
+
+/// Replay \p trace from scratch and audit. Pure function of the trace.
+[[nodiscard]] FuzzOutcome run_trace(const FuzzTrace& trace);
+
+/// Greedy delta-debugging: drop whole epochs (last to first), then single
+/// mutations, re-running the trace after each candidate removal and keeping
+/// it only if some violation still reproduces. Bounded by \p max_runs
+/// replays. Returns the shrunk trace with `violation` refreshed.
+[[nodiscard]] FuzzTrace minimize_trace(FuzzTrace trace,
+                                       std::size_t max_runs = 256);
+
+}  // namespace rim::sim

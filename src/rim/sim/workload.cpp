@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "rim/parallel/thread_pool.hpp"
+#include "rim/sim/fault.hpp"
 
 namespace rim::sim {
 
@@ -114,17 +115,33 @@ TenantStats WorkloadDriver::run_tenant(std::size_t tenant,
   // fresh stream, distinct mix constant.
   Rng rng(tenant_seed(config_.seed ^ 0xA5A5A5A5A5A5A5A5ULL, tenant));
   core::Scenario scenario = make_tenant_scenario(config_, tenant);
+  // Faults draw from their own per-tenant seeded plan so enabling them
+  // never perturbs the churn stream itself.
+  const FaultPlan faults =
+      config_.fault_rate > 0.0
+          ? FaultPlan::generate(tenant_seed(config_.fault_seed, tenant),
+                                config_.batches, config_.fault_rate)
+          : FaultPlan{};
 
   TenantStats stats;
   stats.tenant = tenant;
   for (std::size_t b = 0; b < config_.batches; ++b) {
     const std::vector<core::Mutation> batch =
         make_churn_batch(rng, scenario.node_count(), config_);
-    const core::BatchResult result = scenario.apply_batch(batch, inner_pool);
-    stats.mutations_applied += result.applied;
-    if (result.deferred) ++stats.batches_deferred;
+    const FaultedBatchOutcome outcome = apply_batch_with_faults(
+        scenario, batch, faults.find(b), inner_pool, config_.recover_faults);
+    stats.mutations_applied += outcome.result.applied;
+    if (outcome.result.deferred) ++stats.batches_deferred;
+    if (outcome.fault_fired) {
+      ++stats.faults_injected;
+      ++faults_injected_;
+    }
+    if (outcome.restored) {
+      ++stats.restores;
+      ++fault_restores_;
+    }
     ++batches_applied_;
-    mutations_applied_ += result.applied;
+    mutations_applied_ += outcome.result.applied;
   }
   stats.final_nodes = scenario.node_count();
   stats.final_edges = scenario.edge_count();
@@ -175,6 +192,8 @@ io::Json WorkloadReport::to_json() const {
     o["interference_checksum"] = io::Json(t.interference_checksum);
     o["mutations_applied"] = io::Json(t.mutations_applied);
     o["batches_deferred"] = io::Json(t.batches_deferred);
+    o["faults_injected"] = io::Json(t.faults_injected);
+    o["restores"] = io::Json(t.restores);
     rows.emplace_back(std::move(o));
   }
   io::JsonObject o;
@@ -188,6 +207,8 @@ io::Json WorkloadDriver::stats_json() const {
   o["runs"] = runs_.to_json();
   o["batches_applied"] = batches_applied_.to_json();
   o["mutations_applied"] = mutations_applied_.to_json();
+  o["faults_injected"] = faults_injected_.to_json();
+  o["fault_restores"] = fault_restores_.to_json();
   o["replay_ns"] = replay_ns_.to_json();
   return io::Json(std::move(o));
 }

@@ -45,6 +45,13 @@ struct WorkloadConfig {
   double add_fraction = 0.15;
   std::uint64_t seed = 1;
   core::EvalOptions eval{};
+  /// Fault injection (sim::FaultPlan): probability that a batch is struck.
+  /// Zero disables injection entirely; with recover_faults set, engine
+  /// faults are healed by snapshot-restore-replay, so the report stays
+  /// bit-identical to the fault-free run — the equivalence tests assert it.
+  double fault_rate = 0.0;
+  std::uint64_t fault_seed = 7;
+  bool recover_faults = true;
 };
 
 /// One tenant's end state. Everything here is a pure function of the
@@ -59,6 +66,8 @@ struct TenantStats {
   std::uint64_t interference_checksum = 0;
   std::size_t mutations_applied = 0;
   std::size_t batches_deferred = 0;
+  std::size_t faults_injected = 0;  ///< fault events that actually struck
+  std::size_t restores = 0;         ///< snapshot-restore-replay recoveries
 };
 
 struct WorkloadReport {
@@ -106,6 +115,8 @@ class WorkloadDriver {
   obs::Counter runs_;
   obs::Counter batches_applied_;
   obs::Counter mutations_applied_;
+  obs::Counter faults_injected_;
+  obs::Counter fault_restores_;
   obs::Counter replay_ns_;
 };
 

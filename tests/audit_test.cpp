@@ -1,0 +1,132 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "rim/core/audit.hpp"
+#include "rim/core/scenario.hpp"
+#include "rim/sim/rng.hpp"
+#include "rim/sim/trace.hpp"
+#include "rim/sim/workload.hpp"
+
+/// Tests for core::InvariantAuditor: a healthy engine passes every check,
+/// deliberately corrupted caches (a silently skipped batch task — the
+/// poison fault model) are detected, and the Definition 3.2 robustness
+/// bound holds at randomized probe positions.
+
+namespace rim::core {
+namespace {
+
+Scenario make_scenario(std::uint64_t seed, std::size_t nodes = 40) {
+  sim::WorkloadConfig config;
+  config.initial_nodes = nodes;
+  config.seed = seed;
+  return sim::make_tenant_scenario(config, 0);
+}
+
+/// Locally-wired instance (unit-distance dumbbells): small disks, so
+/// batches run the coalesce/wave path instead of deferring — which is what
+/// the poison-detection tests need.
+Scenario make_pairs(std::size_t nodes) {
+  sim::WorkloadConfig config;
+  config.initial_nodes = nodes;
+  return sim::make_pairs_scenario(config);
+}
+
+TEST(AuditTest, CleanScenarioPasses) {
+  Scenario scenario = make_scenario(1);
+  const InvariantAuditor auditor;
+  const AuditReport report = auditor.audit(scenario);
+  EXPECT_TRUE(report.ok()) << report.violations.front();
+  EXPECT_GT(report.checks, 0u);
+}
+
+TEST(AuditTest, PassesAfterChurn) {
+  Scenario scenario = make_scenario(2);
+  sim::Rng rng(7);
+  sim::WorkloadConfig config;
+  config.initial_nodes = 40;
+  const InvariantAuditor auditor;
+  for (int epoch = 0; epoch < 5; ++epoch) {
+    const std::vector<Mutation> batch =
+        sim::make_churn_batch(rng, scenario.node_count(), config);
+    (void)scenario.apply_batch(batch, nullptr);
+    const AuditReport report = auditor.audit(scenario);
+    EXPECT_TRUE(report.ok()) << "epoch " << epoch << ": "
+                             << report.violations.front();
+  }
+}
+
+TEST(AuditTest, DetectsPoisonedDiskTask) {
+  // The poison fault model: a wave task silently skipped mid-batch leaves
+  // the interference cache stale. The auditor must notice.
+  struct SkipAllDiskTasks final : BatchHooks {
+    bool before_disk_task(std::size_t, std::size_t) override { return false; }
+  };
+
+  Scenario scenario = make_pairs(64);
+  (void)scenario.interference();  // warm the cache so staleness can exist
+
+  // Removing dumbbell edges shrinks both endpoint disks — guaranteed
+  // disk tasks, all of which the hook swallows.
+  std::vector<Mutation> batch;
+  batch.push_back(Mutation::remove_edge(0, 1));
+  batch.push_back(Mutation::remove_edge(2, 3));
+  SkipAllDiskTasks hooks;
+  const BatchResult result = scenario.apply_batch(batch, nullptr, &hooks);
+  ASSERT_EQ(result.applied, 2u);
+  ASSERT_FALSE(result.deferred);
+  ASSERT_GT(scenario.stats().hook_skipped_tasks.value(), 0u);
+
+  const InvariantAuditor auditor;
+  const AuditReport report = auditor.audit(scenario);
+  EXPECT_FALSE(report.ok())
+      << "auditor missed a corrupted interference cache";
+}
+
+TEST(AuditTest, MaxViolationsCapsTheReport) {
+  struct SkipAllDiskTasks final : BatchHooks {
+    bool before_disk_task(std::size_t, std::size_t) override { return false; }
+  };
+  Scenario scenario = make_pairs(64);
+  (void)scenario.interference();
+  std::vector<Mutation> batch;
+  for (NodeId u = 0; u < 6; u += 2) {
+    batch.push_back(Mutation::remove_edge(u, u + 1));
+  }
+  SkipAllDiskTasks hooks;
+  (void)scenario.apply_batch(batch, nullptr, &hooks);
+
+  AuditOptions options;
+  options.max_violations = 2;
+  const InvariantAuditor auditor(options);
+  const AuditReport report = auditor.audit(scenario);
+  EXPECT_FALSE(report.ok());
+  EXPECT_LE(report.violations.size(), 2u);
+}
+
+TEST(AuditTest, RobustnessBoundHoldsAtRandomProbes) {
+  Scenario scenario = make_scenario(5, 60);
+  sim::Rng rng(11);
+  std::vector<geom::Vec2> probes(24);
+  for (auto& p : probes) {
+    p = {rng.uniform(0.0, 10.0), rng.uniform(0.0, 10.0)};
+  }
+  const InvariantAuditor auditor;
+  const AuditReport report = auditor.audit_robustness(scenario, probes);
+  EXPECT_TRUE(report.ok()) << report.violations.front();
+  EXPECT_GT(report.checks, 0u);
+}
+
+TEST(AuditTest, StatsAccumulate) {
+  Scenario scenario = make_scenario(6);
+  const InvariantAuditor auditor;
+  (void)auditor.audit(scenario);
+  (void)auditor.audit(scenario);
+  const io::Json stats = auditor.stats_json();
+  const io::Json* audits = stats.find("audits");
+  ASSERT_NE(audits, nullptr);
+}
+
+}  // namespace
+}  // namespace rim::core
