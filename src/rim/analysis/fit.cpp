@@ -27,6 +27,8 @@ LinearFit fit_linear(std::span<const double> xs, std::span<const double> ys) {
     sxx += (xs[i] - mx) * (xs[i] - mx);
     syy += (ys[i] - my) * (ys[i] - my);
   }
+  // RIM_LINT_ALLOW(float-equality): sxx is a sum of squares; it is exactly
+  // 0.0 iff every x equals the mean — the degenerate-fit guard.
   if (sxx == 0.0) return fit;
   fit.slope = sxy / sxx;
   fit.intercept = my - fit.slope * mx;

@@ -60,6 +60,8 @@ double pearson(std::span<const double> xs, std::span<const double> ys) {
     sxx += (xs[i] - mx) * (xs[i] - mx);
     syy += (ys[i] - my) * (ys[i] - my);
   }
+  // RIM_LINT_ALLOW(float-equality): sums of squares are exactly 0.0 iff a
+  // series is constant — the undefined-correlation guard.
   if (sxx == 0.0 || syy == 0.0) return 0.0;
   return sxy / std::sqrt(sxx * syy);
 }

@@ -1,0 +1,57 @@
+#pragma once
+
+#include <mutex>
+
+#include "rim/common/thread_annotations.hpp"
+
+/// \file mutex.hpp
+/// `std::mutex` wrapped as an annotated capability (DESIGN.md §8).
+///
+/// libstdc++ ships `std::mutex`/`std::lock_guard` without thread-safety
+/// attributes, so clang's analysis treats them as opaque. These two types
+/// restore visibility: `Mutex` is the capability, `MutexLock` the scoped
+/// acquisition. Condition-variable waits go through `MutexLock::native()`
+/// — from the analysis's perspective the capability is held across the
+/// wait, the same fiction libc++ uses for `std::condition_variable::wait`.
+/// Predicate re-checks therefore belong in an explicit `while` loop in the
+/// locking function (where the analysis sees the capability), not in a
+/// wait-predicate lambda (which it analyzes as an unlocked function).
+
+namespace rim::common {
+
+class RIM_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() RIM_ACQUIRE() { inner_.lock(); }
+  void unlock() RIM_RELEASE() { inner_.unlock(); }
+  [[nodiscard]] bool try_lock() RIM_TRY_ACQUIRE(true) {
+    return inner_.try_lock();
+  }
+
+ private:
+  friend class MutexLock;
+  std::mutex inner_;
+};
+
+/// RAII lock over a Mutex; holds for its whole lifetime.
+class RIM_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mutex) RIM_ACQUIRE(mutex) : lock_(mutex.inner_) {}
+  ~MutexLock() RIM_RELEASE() = default;
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+  /// The underlying std::unique_lock, for std::condition_variable::wait.
+  /// The capability stays notionally held across the wait (see file
+  /// comment); do not unlock() through this handle.
+  [[nodiscard]] std::unique_lock<std::mutex>& native() { return lock_; }
+
+ private:
+  std::unique_lock<std::mutex> lock_;
+};
+
+}  // namespace rim::common

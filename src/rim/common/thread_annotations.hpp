@@ -1,0 +1,82 @@
+#pragma once
+
+/// \file thread_annotations.hpp
+/// Portable Clang thread-safety-analysis attributes (DESIGN.md §8).
+///
+/// Under clang with `-Wthread-safety` these macros expand to the
+/// `capability`-family attributes and the analysis statically proves that
+/// every access to a `RIM_GUARDED_BY(mu)` member happens with `mu` held;
+/// under every other compiler they expand to nothing. CI builds the tree
+/// with `-Werror=thread-safety-analysis`, so the annotations are a checked
+/// contract, not documentation.
+///
+/// libstdc++'s `std::mutex` carries none of these attributes, which makes it
+/// invisible to the analysis — use `rim::common::Mutex` / `MutexLock`
+/// (mutex.hpp) for lockable state instead of a raw `std::mutex`.
+///
+/// Attribute reference:
+/// https://clang.llvm.org/docs/ThreadSafetyAnalysis.html
+
+#if defined(__clang__) && !defined(SWIG)
+#define RIM_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define RIM_THREAD_ANNOTATION(x)  // no-op outside clang
+#endif
+
+/// Marks a type as a capability (a lockable resource).
+#define RIM_CAPABILITY(name) RIM_THREAD_ANNOTATION(capability(name))
+
+/// Marks an RAII type that acquires a capability in its constructor and
+/// releases it in its destructor.
+#define RIM_SCOPED_CAPABILITY RIM_THREAD_ANNOTATION(scoped_lockable)
+
+/// Data member readable/writable only with the given capability held.
+#define RIM_GUARDED_BY(x) RIM_THREAD_ANNOTATION(guarded_by(x))
+
+/// Pointer member whose *pointee* is protected by the given capability.
+#define RIM_PT_GUARDED_BY(x) RIM_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// Function that must be called with the capability/ies already held.
+#define RIM_REQUIRES(...) \
+  RIM_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+/// Function that must be called with the capability/ies held in shared mode.
+#define RIM_REQUIRES_SHARED(...) \
+  RIM_THREAD_ANNOTATION(requires_shared_capability(__VA_ARGS__))
+
+/// Function that acquires the capability/ies and holds them on return.
+#define RIM_ACQUIRE(...) \
+  RIM_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+/// Function that acquires the capability/ies in shared mode.
+#define RIM_ACQUIRE_SHARED(...) \
+  RIM_THREAD_ANNOTATION(acquire_shared_capability(__VA_ARGS__))
+
+/// Function that releases the capability/ies (held on entry).
+#define RIM_RELEASE(...) \
+  RIM_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+/// Function that releases a shared hold of the capability/ies.
+#define RIM_RELEASE_SHARED(...) \
+  RIM_THREAD_ANNOTATION(release_shared_capability(__VA_ARGS__))
+
+/// Function that attempts the acquisition; first argument is the return
+/// value that signals success.
+#define RIM_TRY_ACQUIRE(...) \
+  RIM_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+
+/// Function that must NOT be called with the capability/ies held (would
+/// self-deadlock a non-recursive mutex).
+#define RIM_EXCLUDES(...) RIM_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// Runtime assertion that the calling thread holds the capability.
+#define RIM_ASSERT_CAPABILITY(x) \
+  RIM_THREAD_ANNOTATION(assert_capability(x))
+
+/// Function returning a reference to the given capability.
+#define RIM_RETURN_CAPABILITY(x) RIM_THREAD_ANNOTATION(lock_returned(x))
+
+/// Escape hatch: disables the analysis for one function. Every use needs a
+/// comment explaining why the analysis cannot see the invariant.
+#define RIM_NO_THREAD_SAFETY_ANALYSIS \
+  RIM_THREAD_ANNOTATION(no_thread_safety_analysis)

@@ -124,7 +124,10 @@ struct BatchResult {
 /// is the production implementation). Default implementations are no-ops,
 /// so subclasses override only the fault points they model. before_*
 /// callbacks on the wave/recount phases run on thread-pool workers:
-/// implementations must be thread-safe and decide from immutable state.
+/// implementations must be thread-safe and decide from immutable state —
+/// per the §8 contract, "thread-safe" here means lock-free (immutable
+/// members plus relaxed atomics, as FaultInjector does); taking a
+/// common::Mutex inside a hook would serialize the waves it observes.
 class BatchHooks {
  public:
   virtual ~BatchHooks() = default;

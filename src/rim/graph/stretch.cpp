@@ -25,6 +25,8 @@ StretchReport measure_stretch(const Graph& reference, const Graph& topology,
     for (NodeId v = s + 1; v < n; ++v) {
       if (ref_d[v] == kUnreachable) continue;  // pair not connected in input
       ++pairs;
+      // RIM_LINT_ALLOW(float-equality): 0.0 is an exact sentinel for a
+      // zero-length reference path (coincident endpoints), never computed.
       const double es = top_d[v] == kUnreachable || ref_d[v] == 0.0
                             ? std::numeric_limits<double>::infinity()
                             : top_d[v] / ref_d[v];

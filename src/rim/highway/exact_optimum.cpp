@@ -103,6 +103,8 @@ struct BbContext {
       min_avail[edges[j].v] = std::min(min_avail[edges[j].v], edge_d2[j]);
     }
     for (NodeId v = 0; v < n; ++v) {
+      // RIM_LINT_ALLOW(float-equality): radius 0.0 is the exact "isolated
+      // node" state assigned above, not an arithmetic result.
       if (radii2[v] == 0.0 && std::isfinite(min_avail[v])) {
         radii2[v] = min_avail[v];
       }

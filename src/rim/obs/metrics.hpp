@@ -27,6 +27,13 @@
 /// Copying snapshots the current values (the atomics are re-seated), so
 /// stats structs made of these types keep their owners copyable —
 /// core::Scenario relies on this for assess()'s probe copies.
+///
+/// Thread-safety contract (DESIGN.md §8): everything in this header is
+/// lock-free — there is deliberately no mutex for the clang thread-safety
+/// analysis to track. The checked invariant is the inverse one: none of
+/// these types may ever grow a RIM_GUARDED_BY member, because hot-path
+/// recording must stay wait-free (tests/obs_stress_test.cpp pins the
+/// exact-total semantics under concurrent writers).
 
 namespace rim::obs {
 

@@ -3,22 +3,22 @@
 namespace rim::obs {
 
 void Registry::add_source(std::string name, Producer producer) {
-  const std::lock_guard lock(mutex_);
+  const common::MutexLock lock(mutex_);
   sources_[std::move(name)] = std::move(producer);
 }
 
 void Registry::remove_source(const std::string& name) {
-  const std::lock_guard lock(mutex_);
+  const common::MutexLock lock(mutex_);
   sources_.erase(name);
 }
 
 std::size_t Registry::size() const {
-  const std::lock_guard lock(mutex_);
+  const common::MutexLock lock(mutex_);
   return sources_.size();
 }
 
 io::Json Registry::snapshot() const {
-  const std::lock_guard lock(mutex_);
+  const common::MutexLock lock(mutex_);
   io::JsonObject o;
   for (const auto& [name, producer] : sources_) {
     o[name] = producer ? producer() : io::Json(nullptr);

@@ -2,9 +2,10 @@
 
 #include <functional>
 #include <map>
-#include <mutex>
 #include <string>
 
+#include "rim/common/mutex.hpp"
+#include "rim/common/thread_annotations.hpp"
 #include "rim/io/json.hpp"
 
 /// \file registry.hpp
@@ -25,25 +26,31 @@ class Registry {
   using Producer = std::function<io::Json()>;
 
   /// Register (or replace) the producer behind \p name.
-  void add_source(std::string name, Producer producer);
+  void add_source(std::string name, Producer producer) RIM_EXCLUDES(mutex_);
 
   /// Drop the producer behind \p name (no-op when absent). Call before a
   /// registered object goes out of scope.
-  void remove_source(const std::string& name);
+  void remove_source(const std::string& name) RIM_EXCLUDES(mutex_);
 
-  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] std::size_t size() const RIM_EXCLUDES(mutex_);
 
   /// One JSON object keyed by source name; keys are emitted in
   /// lexicographic order, so snapshots of the same state are byte-identical.
-  [[nodiscard]] io::Json snapshot() const;
+  /// Producers run under the registry lock: a producer that calls back into
+  /// this registry would self-deadlock (and the RIM_EXCLUDES annotations
+  /// flag exactly that when the analysis can see the call chain).
+  [[nodiscard]] io::Json snapshot() const RIM_EXCLUDES(mutex_);
 
   /// Process-wide registry for code without an obvious owner to thread one
   /// through. Prefer passing an explicit Registry where possible.
   static Registry& global();
 
  private:
-  mutable std::mutex mutex_;
-  std::map<std::string, Producer> sources_;
+  mutable common::Mutex mutex_;
+  /// std::map, not unordered: snapshot() iterates it into the JSON artifact,
+  /// and serialization paths must be iteration-order deterministic
+  /// (rim_lint rule `unordered-container`).
+  std::map<std::string, Producer> sources_ RIM_GUARDED_BY(mutex_);
 };
 
 }  // namespace rim::obs

@@ -8,6 +8,12 @@
 /// \file parallel_for.hpp
 /// Blocked parallel loop over an index range, in the OpenMP
 /// `parallel for schedule(static)` spirit but with explicit pool ownership.
+///
+/// Thread-safety contract (DESIGN.md §8): these helpers hold no locks of
+/// their own — all synchronisation lives behind ThreadPool::submit /
+/// wait_idle, whose RIM_EXCLUDES(mutex_) annotations propagate the
+/// no-reentrancy rule: never call parallel_for from inside a task running
+/// on the same pool (wait_idle would deadlock on its own worker).
 
 namespace rim::parallel {
 

@@ -4,6 +4,8 @@
 
 namespace rim::parallel {
 
+using common::MutexLock;
+
 ThreadPool::ThreadPool(std::size_t thread_count) {
   if (thread_count == 0) {
     thread_count = std::max<std::size_t>(1, std::thread::hardware_concurrency());
@@ -16,7 +18,7 @@ ThreadPool::ThreadPool(std::size_t thread_count) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::unique_lock lock(mutex_);
+    MutexLock lock(mutex_);
     stopping_ = true;
   }
   work_available_.notify_all();
@@ -25,7 +27,7 @@ ThreadPool::~ThreadPool() {
 
 void ThreadPool::submit(std::function<void()> task) {
   {
-    std::unique_lock lock(mutex_);
+    MutexLock lock(mutex_);
     queue_.push(std::move(task));
     ++in_flight_;
   }
@@ -33,23 +35,26 @@ void ThreadPool::submit(std::function<void()> task) {
 }
 
 void ThreadPool::wait_idle() {
-  std::unique_lock lock(mutex_);
-  idle_.wait(lock, [this] { return in_flight_ == 0; });
+  MutexLock lock(mutex_);
+  // Explicit re-check loop (not a wait-predicate lambda): the thread-safety
+  // analysis treats a lambda as a separate unlocked function, but sees the
+  // capability held across this wait (mutex.hpp).
+  while (in_flight_ != 0) idle_.wait(lock.native());
 }
 
 void ThreadPool::worker_loop() {
   while (true) {
     std::function<void()> task;
     {
-      std::unique_lock lock(mutex_);
-      work_available_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      MutexLock lock(mutex_);
+      while (!stopping_ && queue_.empty()) work_available_.wait(lock.native());
       if (queue_.empty()) return;  // stopping_ with drained queue
       task = std::move(queue_.front());
       queue_.pop();
     }
     task();
     {
-      std::unique_lock lock(mutex_);
+      MutexLock lock(mutex_);
       if (--in_flight_ == 0) idle_.notify_all();
     }
   }

@@ -3,10 +3,12 @@
 #include <condition_variable>
 #include <cstddef>
 #include <functional>
-#include <mutex>
 #include <queue>
 #include <thread>
 #include <vector>
+
+#include "rim/common/mutex.hpp"
+#include "rim/common/thread_annotations.hpp"
 
 /// \file thread_pool.hpp
 /// A small fixed-size worker pool.
@@ -15,6 +17,12 @@
 /// parallel; the pool only executes. RAII owns the workers: destruction
 /// drains the queue and joins every thread, so no thread ever outlives the
 /// pool object.
+///
+/// All mutable pool state is guarded by `mutex_` and statically checked by
+/// clang's thread-safety analysis (DESIGN.md §8): `queue_`, `in_flight_` and
+/// `stopping_` carry RIM_GUARDED_BY, and the public entry points are
+/// RIM_EXCLUDES(mutex_) — submitting from inside a task that somehow holds
+/// the pool lock is a compile error under `-Werror=thread-safety-analysis`.
 
 namespace rim::parallel {
 
@@ -33,24 +41,24 @@ class ThreadPool {
 
   /// Enqueue a task. Tasks must not throw (the pool std::terminates on
   /// escaping exceptions, matching the no-exceptions-in-kernels policy).
-  void submit(std::function<void()> task);
+  void submit(std::function<void()> task) RIM_EXCLUDES(mutex_);
 
   /// Block until every submitted task has finished.
-  void wait_idle();
+  void wait_idle() RIM_EXCLUDES(mutex_);
 
   /// Process-wide shared pool (lazily constructed, sized to the hardware).
   static ThreadPool& shared();
 
  private:
-  void worker_loop();
+  void worker_loop() RIM_EXCLUDES(mutex_);
 
   std::vector<std::thread> workers_;
-  std::queue<std::function<void()>> queue_;
-  std::mutex mutex_;
+  common::Mutex mutex_;
+  std::queue<std::function<void()>> queue_ RIM_GUARDED_BY(mutex_);
   std::condition_variable work_available_;
   std::condition_variable idle_;
-  std::size_t in_flight_ = 0;
-  bool stopping_ = false;
+  std::size_t in_flight_ RIM_GUARDED_BY(mutex_) = 0;
+  bool stopping_ RIM_GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace rim::parallel

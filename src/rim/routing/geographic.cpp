@@ -47,6 +47,8 @@ NodeId rhr_next(std::span<const geom::Vec2> points, const graph::Graph& g,
   double best_angle = std::numeric_limits<double>::infinity();
   for (NodeId v : g.neighbors(u)) {
     const geom::Vec2 dir = points[v] - points[u];
+    // RIM_LINT_ALLOW(float-equality): exact zero-vector test for coincident
+    // points; any nonzero component, however tiny, defines an angle.
     if (dir.x == 0.0 && dir.y == 0.0) continue;
     const double angle = ccw_angle(ref, dir);
     if (angle < best_angle || (angle == best_angle && v < best)) {

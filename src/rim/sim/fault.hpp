@@ -103,7 +103,9 @@ class FaultPlan {
 /// BatchHooks implementation delivering one engine FaultEvent into a single
 /// apply_batch call. Decisions are pure functions of the (immutable) event,
 /// so concurrent wave workers may consult them freely; `fired` is a relaxed
-/// atomic flag.
+/// atomic flag. This is the reference implementation of the §8 lock-free
+/// hook contract (core::BatchHooks): no mutex, no RIM_GUARDED_BY state —
+/// only immutable members plus one atomic.
 class FaultInjector final : public core::BatchHooks {
  public:
   /// \p batch_size wraps a crash index so it always lands inside the batch.

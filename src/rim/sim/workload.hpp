@@ -26,6 +26,12 @@
 /// The two parallelism axes are deliberately exclusive per run: a tenant
 /// replayed on the driver's pool applies its batches inline (the inner
 /// pipeline would otherwise wait_idle() on the pool it runs inside).
+///
+/// Thread-safety contract (DESIGN.md §8): the driver holds no locks.
+/// Concurrent tenants write disjoint TenantStats slots (indexed by tenant
+/// id) and record into the obs::Counter members, which are relaxed atomics;
+/// everything else is tenant-local. That is why kConcurrentTenants needs no
+/// mutex and stays bit-identical to kSerial.
 
 namespace rim::parallel {
 class ThreadPool;

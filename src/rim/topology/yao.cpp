@@ -33,6 +33,8 @@ graph::Graph yao_graph(std::span<const geom::Vec2> points, const graph::Graph& u
   for (NodeId u = 0; u < n; ++u) {
     for (NodeId v : udg.neighbors(u)) {
       const geom::Vec2 d = points[v] - points[u];
+      // RIM_LINT_ALLOW(float-equality): exact zero-vector test for
+      // coincident points, matching routing/geographic.cpp.
       if (d.x == 0.0 && d.y == 0.0) continue;  // coincident points: skip
       const std::size_t c = cone_of(d, k);
       const double d2 = geom::norm2(d);

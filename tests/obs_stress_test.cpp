@@ -1,0 +1,118 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "rim/obs/metrics.hpp"
+#include "rim/obs/registry.hpp"
+#include "rim/parallel/parallel_for.hpp"
+#include "rim/parallel/thread_pool.hpp"
+
+// TSan-targeted stress tests for the obs layer (ISSUE 4): N threads x M
+// increments against Counter/Histogram/Registry, with exact final totals.
+// The Debug+TSan CI leg runs these to exercise the metrics path under real
+// contention, not just the batch pipeline. Totals must be exact — the
+// relaxed atomics guarantee no lost updates, only unordered ones.
+
+namespace {
+
+constexpr std::size_t kThreads = 8;
+constexpr std::size_t kIncrements = 20000;
+
+TEST(ObsStress, CounterExactUnderConcurrentWriters) {
+  rim::obs::Counter counter;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&counter] {
+      for (std::size_t i = 0; i < kIncrements; ++i) counter.add(1);
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(counter.value(), kThreads * kIncrements);
+}
+
+TEST(ObsStress, CounterMixedOperatorsExact) {
+  rim::obs::Counter counter;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&counter] {
+      for (std::size_t i = 0; i < kIncrements; ++i) {
+        if (i % 2 == 0) {
+          ++counter;
+        } else {
+          counter += 3;
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  // Per thread: kIncrements/2 times +1 and kIncrements/2 times +3.
+  EXPECT_EQ(counter.value(), kThreads * (kIncrements / 2) * 4);
+}
+
+TEST(ObsStress, HistogramExactCountAndSumUnderConcurrentWriters) {
+  rim::obs::Histogram histogram;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&histogram, t] {
+      for (std::size_t i = 0; i < kIncrements; ++i) {
+        histogram.record(t * kIncrements + i);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  const std::uint64_t n = kThreads * kIncrements;
+  EXPECT_EQ(histogram.count(), n);
+  EXPECT_EQ(histogram.sum(), n * (n - 1) / 2);  // sum of 0..n-1, each once
+  EXPECT_EQ(histogram.max(), n - 1);
+}
+
+TEST(ObsStress, CountersRecordedFromPoolTasksAreExact) {
+  rim::parallel::ThreadPool pool(4);
+  rim::obs::Counter counter;
+  rim::obs::Histogram histogram;
+  rim::parallel::parallel_for(
+      0, kThreads * kIncrements,
+      [&](std::size_t i) {
+        counter.add(1);
+        histogram.record(i % 1024);
+      },
+      pool, /*grain=*/128);
+  EXPECT_EQ(counter.value(), kThreads * kIncrements);
+  EXPECT_EQ(histogram.count(), kThreads * kIncrements);
+}
+
+TEST(ObsStress, RegistryConcurrentMutationAndSnapshot) {
+  rim::obs::Registry registry;
+  rim::obs::Counter counter;
+  registry.add_source("stable",
+                      [&counter] { return rim::io::Json(counter.value()); });
+
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&registry, &counter, t] {
+      const std::string name = "source_" + std::to_string(t);
+      for (std::size_t i = 0; i < 500; ++i) {
+        counter.add(1);
+        registry.add_source(name, [] { return rim::io::Json(1.5); });
+        // Producers run under the registry lock; snapshotting while other
+        // threads add/remove sources must stay race-free.
+        const rim::io::Json snapshot = registry.snapshot();
+        EXPECT_FALSE(snapshot.dump().empty());
+        registry.remove_source(name);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  EXPECT_EQ(registry.size(), 1u);  // only "stable" survives
+  EXPECT_EQ(counter.value(), kThreads * 500);
+}
+
+}  // namespace

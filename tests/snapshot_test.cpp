@@ -185,7 +185,10 @@ TEST(SnapshotTest, JsonTamperIsRejected) {
     std::string tampered = text;
     const std::size_t at = tampered.find("\"edge_count\":");
     ASSERT_NE(at, std::string::npos);
-    tampered.insert(at + 13, "1");  // prepend a digit to the value
+    // Prepend a digit to the value. (Rebuilt by concatenation rather than
+    // insert(): gcc 12's -Wrestrict false-positives on in-place insert
+    // after find(), and the gate builds with -Werror.)
+    tampered = tampered.substr(0, at + 13) + "1" + tampered.substr(at + 13);
     io::Json doc;
     std::string error;
     ASSERT_TRUE(io::Json::parse(tampered, doc, error)) << error;

@@ -1,0 +1,65 @@
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+/// \file lint.hpp
+/// rim_lint: a structural linter for the project's determinism and layering
+/// invariants (DESIGN.md §8).
+///
+/// Deliberately NOT a libclang tool: the rules below are token-shaped, and a
+/// dependency-free tokenizer keeps the linter buildable everywhere the
+/// library builds (it compiles with the same toolchain, links nothing, and
+/// runs as the `lint` CTest target). The tokenizer strips comments, string
+/// and char literals (so rule patterns inside strings never fire) and keeps
+/// line numbers; each rule is a small matcher over the token stream or the
+/// raw include lines.
+///
+/// Suppression: a violation on line N is suppressed by
+///     // RIM_LINT_ALLOW(rule-name): reason why this is safe
+/// on line N or N-1. The reason is mandatory and the rule name must exist —
+/// a malformed or dangling suppression is itself a violation
+/// (`allow-format`), so suppressions cannot rot silently.
+
+namespace rim::lint {
+
+struct Violation {
+  std::string file;
+  std::size_t line = 0;
+  std::string rule;
+  std::string message;
+};
+
+struct RuleInfo {
+  std::string_view name;
+  std::string_view summary;
+};
+
+/// The rule catalog, in reporting order.
+[[nodiscard]] const std::vector<RuleInfo>& rules();
+
+/// Lint one translation unit given as an in-memory string. \p path is the
+/// repo-relative path used for path-scoped rules (forward slashes).
+[[nodiscard]] std::vector<Violation> lint_source(std::string_view path,
+                                                 std::string_view source);
+
+/// Lint one file from disk (text rules for C++ sources, plus the
+/// binary-file rule for every file).
+[[nodiscard]] std::vector<Violation> lint_file(const std::string& path);
+
+/// Apply only the binary-file rule to \p path (CI runs this over every
+/// git-tracked file, not just C++ sources).
+[[nodiscard]] std::vector<Violation> check_binary(const std::string& path);
+
+/// Recursively lint \p roots (files or directories; directories are walked
+/// for .hpp/.cpp/.h/.cc/.cxx/.hxx sources). Violations are sorted by
+/// (file, line).
+[[nodiscard]] std::vector<Violation> lint_tree(
+    const std::vector<std::string>& roots);
+
+/// True when \p contents looks binary (a NUL byte in the leading window).
+[[nodiscard]] bool looks_binary(std::string_view contents);
+
+}  // namespace rim::lint

@@ -1,0 +1,75 @@
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "lint.hpp"
+
+/// rim_lint CLI (DESIGN.md §8).
+///
+///   rim_lint [paths...]            lint C++ sources under paths
+///                                  (default: src tests bench examples)
+///   rim_lint --binary-check f...   only the binary-file rule, any file type
+///                                  (CI pipes `git ls-files` through this)
+///   rim_lint --list-rules          print the rule catalog
+///
+/// Exit status: 0 clean, 1 violations found, 2 usage error.
+
+namespace {
+
+void print(const std::vector<rim::lint::Violation>& violations) {
+  for (const rim::lint::Violation& v : violations) {
+    std::printf("%s:%zu: [%s] %s\n", v.file.c_str(), v.line, v.rule.c_str(),
+                v.message.c_str());
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool binary_only = false;
+  bool list_rules = false;
+  std::vector<std::string> paths;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--binary-check") {
+      binary_only = true;
+    } else if (arg == "--list-rules") {
+      list_rules = true;
+    } else if (arg == "--help" || arg == "-h") {
+      std::printf(
+          "usage: rim_lint [--binary-check | --list-rules] [paths...]\n");
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "rim_lint: unknown option '%s'\n", arg.c_str());
+      return 2;
+    } else {
+      paths.push_back(arg);
+    }
+  }
+
+  if (list_rules) {
+    for (const rim::lint::RuleInfo& rule : rim::lint::rules()) {
+      std::printf("%-20s %s\n", std::string(rule.name).c_str(),
+                  std::string(rule.summary).c_str());
+    }
+    return 0;
+  }
+
+  std::vector<rim::lint::Violation> violations;
+  if (binary_only) {
+    for (const std::string& path : paths) {
+      const std::vector<rim::lint::Violation> v = rim::lint::check_binary(path);
+      violations.insert(violations.end(), v.begin(), v.end());
+    }
+  } else {
+    if (paths.empty()) paths = {"src", "tests", "bench", "examples"};
+    violations = rim::lint::lint_tree(paths);
+  }
+
+  print(violations);
+  if (!violations.empty()) {
+    std::fprintf(stderr, "rim_lint: %zu violation(s)\n", violations.size());
+    return 1;
+  }
+  return 0;
+}

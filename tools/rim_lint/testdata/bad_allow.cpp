@@ -1,0 +1,8 @@
+// Fixture: every RIM_LINT_ALLOW below is malformed or dangling and must
+// trigger `allow-format`.
+
+// RIM_LINT_ALLOW(no-such-rule): unknown rule name
+// RIM_LINT_ALLOW(raw-random)
+// RIM_LINT_ALLOW(raw-random):
+// RIM_LINT_ALLOW(float-equality): dangling — nothing to suppress here
+int fixture_bad_allow() { return 0; }

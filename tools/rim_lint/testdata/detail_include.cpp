@@ -1,0 +1,6 @@
+// Fixture: triggers `detail-include` when presented as a rim/core source —
+// it reaches into another module's private detail headers.
+#include "rim/geom/detail/cell_key.hpp"
+#include "rim/obs/detail/bucket_math.hpp"
+
+int fixture_detail_include() { return 0; }

@@ -1,0 +1,7 @@
+// Fixture: triggers `float-equality` (naked ==/!= against float literals).
+bool fixture_float_equality(double x, float y) {
+  const bool a = x == 1.0;
+  const bool b = 0.5f != y;
+  const bool c = x == 1e-9;
+  return a || b || c;
+}

@@ -1,0 +1,10 @@
+// Fixture: every line here must trigger the `raw-random` rule.
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+int fixture_raw_random() {
+  std::srand(static_cast<unsigned>(std::time(nullptr)));  // srand + time
+  std::random_device entropy;                             // random_device
+  return std::rand() + static_cast<int>(entropy());       // rand
+}

@@ -1,0 +1,10 @@
+// Fixture: the same violations as the trigger fixtures, each carrying a
+// well-formed RIM_LINT_ALLOW — linting this file must report nothing.
+#include <cstdlib>
+
+bool fixture_suppressed(double x) {
+  // RIM_LINT_ALLOW(raw-random): fixture demonstrating the above-line form
+  const int noise = std::rand();
+  const bool exact = x == 0.0;  // RIM_LINT_ALLOW(float-equality): exact sentinel, same-line form
+  return exact && noise == 0;
+}

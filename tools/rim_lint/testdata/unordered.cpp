@@ -1,0 +1,15 @@
+// Fixture: triggers `unordered-container` when linted under a
+// serialization path (the test presents it as src/rim/io/fixture.cpp).
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+
+int fixture_unordered() {
+  std::unordered_map<std::string, int> by_name;
+  std::unordered_set<int> seen;
+  by_name["x"] = 1;
+  seen.insert(1);
+  int sum = 0;
+  for (const auto& [name, value] : by_name) sum += value + name.empty();
+  return sum + static_cast<int>(seen.size());
+}
