@@ -6,6 +6,12 @@
 ///
 ///   $ ./quickstart
 ///   $ ./quickstart --dot | neato -n2 -Tpng > figure2.png
+///
+/// Linking against librim is one way in; the same engine also serves
+/// multi-tenant sessions over a wire protocol (rim::svc, DESIGN.md §9):
+///
+///   $ ./rim_cli serve --port 7421 &
+///   $ ./rim_cli client --port 7421 --demo --shutdown
 
 #include <cstring>
 #include <iostream>

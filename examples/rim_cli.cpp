@@ -6,10 +6,14 @@
 ///   rim_cli survey    --points points.csv
 ///   rim_cli schedule  --points points.csv --edges edges.csv --model disk
 ///   rim_cli route     --points points.csv --edges edges.csv --from 0 --to 7
+///   rim_cli serve     --port 7421 --max-sessions 64
+///   rim_cli client    --port 7421 --demo --shutdown
 ///
 /// All data flows through the CSV formats of rim/io/csv.hpp, so results can
-/// be piped to external plotting tools.
+/// be piped to external plotting tools. `serve`/`client` speak the rim::svc
+/// wire protocol (DESIGN.md §9) over localhost TCP.
 
+#include <csignal>
 #include <fstream>
 #include <iostream>
 #include <map>
@@ -31,6 +35,9 @@
 #include "rim/routing/geographic.hpp"
 #include "rim/sim/adversarial.hpp"
 #include "rim/sim/generators.hpp"
+#include "rim/svc/client.hpp"
+#include "rim/svc/service.hpp"
+#include "rim/svc/tcp.hpp"
 #include "rim/topology/registry.hpp"
 
 namespace {
@@ -41,15 +48,18 @@ using namespace rim;
 class Args {
  public:
   Args(int argc, char** argv) {
-    for (int i = 2; i + 1 < argc; i += 2) {
+    for (int i = 2; i < argc; ++i) {
       std::string key = argv[i];
       if (key.rfind("--", 0) == 0) key = key.substr(2);
-      values_[key] = argv[i + 1];
-    }
-    if (argc % 2 == 1 && argc > 2) {
-      // Trailing flag without value (e.g. --json) — store as "true".
-      std::string key = argv[argc - 1];
-      if (key.rfind("--", 0) == 0) values_[key.substr(2)] = "true";
+      // `--key value` pair unless the next token is another option (or
+      // missing) — then a bare flag like --json or --shutdown. Negative
+      // numbers ("-0.2") are values: only "--" marks an option.
+      if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+        values_[key] = argv[i + 1];
+        ++i;
+      } else {
+        values_[key] = "true";
+      }
     }
   }
 
@@ -207,13 +217,128 @@ int cmd_route(const Args& args) {
   return r.delivered ? 0 : 2;
 }
 
+// ---------------------------------------------------------------------------
+// serve / client: the rim::svc wire protocol over localhost TCP.
+
+svc::Service* g_serving = nullptr;
+
+void handle_stop_signal(int) {
+  if (g_serving != nullptr) g_serving->request_shutdown();
+}
+
+/// `rim_cli serve --port N --max-sessions K [--max-live L] [--threads T]
+///  [--spill-dir DIR]` — serve sessions until SIGINT/SIGTERM or a wire
+/// `shutdown` command, then stop cleanly (joining every thread).
+int cmd_serve(const Args& args) {
+  svc::ServiceConfig config;
+  config.limits.max_sessions =
+      static_cast<std::size_t>(args.num("max-sessions", 64));
+  config.limits.max_live_sessions = static_cast<std::size_t>(
+      args.num("max-live", double(config.limits.max_live_sessions)));
+  config.limits.max_in_flight = static_cast<std::size_t>(
+      args.num("max-in-flight", double(config.limits.max_in_flight)));
+  config.limits.spill_dir = args.get("spill-dir");
+  config.batch_pool_threads = static_cast<std::size_t>(args.num("threads", 0));
+  config.allow_shutdown = true;
+
+  svc::Service service(config);
+  svc::TcpServerConfig tcp;
+  tcp.port = static_cast<std::uint16_t>(args.num("port", 7421));
+  tcp.dispatch_threads = static_cast<std::size_t>(args.num("threads", 0));
+  svc::TcpServer server(service, tcp);
+  std::string error;
+  if (!server.start(error)) {
+    std::cerr << "serve: " << error << '\n';
+    return 1;
+  }
+  g_serving = &service;
+  std::signal(SIGINT, handle_stop_signal);
+  std::signal(SIGTERM, handle_stop_signal);
+  std::cout << "rim_cli serve: listening on 127.0.0.1:" << server.port()
+            << " (max " << config.limits.max_sessions << " sessions, "
+            << config.limits.max_live_sessions << " live)" << std::endl;
+  service.wait_shutdown();
+  server.stop();
+  g_serving = nullptr;
+  const svc::ServiceCounters& c = service.counters();
+  std::cout << "rim_cli serve: clean shutdown after " << c.requests.value()
+            << " requests (" << c.ok.value() << " ok, " << c.errors.value()
+            << " errors, " << c.rejected_overloaded.value() << " shed)\n";
+  return 0;
+}
+
+/// `rim_cli client --port N [--host H] [--demo] [--shutdown]` — pings the
+/// server; with --demo drives one session of topology churn through the
+/// wire and prints the interference answer; with --shutdown stops the
+/// server afterwards.
+int cmd_client(const Args& args) {
+  svc::TcpClientTransport transport;
+  std::string error;
+  const std::string host = args.get("host", "127.0.0.1");
+  const auto port = static_cast<std::uint16_t>(args.num("port", 7421));
+  if (!transport.connect_to(host, port, error)) {
+    std::cerr << "client: " << error << '\n';
+    return 1;
+  }
+  svc::Client client(transport);
+  if (!client.ping()) {
+    std::cerr << "client: ping failed: " << client.error() << '\n';
+    return 1;
+  }
+  std::cout << "client: ping ok (" << host << ':' << port << ")\n";
+
+  if (args.flag("demo")) {
+    std::uint64_t session = 0;
+    if (!client.create_session(session)) {
+      std::cerr << "client: create_session: " << client.error() << '\n';
+      return 1;
+    }
+    const std::vector<core::Mutation> batch = {
+        core::Mutation::add_node({0.0, 0.0}),
+        core::Mutation::add_node({1.0, 0.0}),
+        core::Mutation::add_node({0.5, 0.8}),
+        core::Mutation::add_node({2.25, 0.5}),
+        core::Mutation::add_edge(0, 1),
+        core::Mutation::add_edge(1, 2),
+        core::Mutation::add_edge(0, 2),
+        core::Mutation::add_edge(1, 3),
+    };
+    core::BatchResult applied;
+    if (!client.apply_batch(session, batch, applied)) {
+      std::cerr << "client: apply_batch: " << client.error() << '\n';
+      return 1;
+    }
+    io::Json interference;
+    if (!client.query_interference(session, interference)) {
+      std::cerr << "client: query_interference: " << client.error() << '\n';
+      return 1;
+    }
+    std::cout << "client: session " << session << " applied "
+              << applied.applied << " mutations; interference ";
+    interference.write(std::cout);
+    std::cout << '\n';
+    if (!client.close_session(session)) {
+      std::cerr << "client: close_session: " << client.error() << '\n';
+      return 1;
+    }
+  }
+  if (args.flag("shutdown")) {
+    if (!client.shutdown()) {
+      std::cerr << "client: shutdown: " << client.error() << '\n';
+      return 1;
+    }
+    std::cout << "client: server shutdown acknowledged\n";
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc < 2) {
     std::cerr << "usage: rim_cli "
-                 "<generate|topology|interference|survey|schedule|route> "
-                 "[--key value ...]\n";
+                 "<generate|topology|interference|survey|schedule|route"
+                 "|serve|client> [--key value ...]\n";
     return 1;
   }
   const std::string command = argv[1];
@@ -225,6 +350,8 @@ int main(int argc, char** argv) {
     if (command == "survey") return cmd_survey(args);
     if (command == "schedule") return cmd_schedule(args);
     if (command == "route") return cmd_route(args);
+    if (command == "serve") return cmd_serve(args);
+    if (command == "client") return cmd_client(args);
     std::cerr << "unknown command '" << command << "'\n";
     return 1;
   } catch (const std::exception& error) {

@@ -113,8 +113,6 @@ class Parser {
   }
 
  private:
-  static constexpr std::size_t kMaxDepth = 64;
-
   bool fail(const std::string& what) {
     error_ = "JSON parse error at offset " + std::to_string(pos_) + ": " + what;
     return false;
@@ -216,6 +214,13 @@ class Parser {
       }
     }
     if (pos_ == start) return fail("expected number");
+    // JSON numbers begin with '-' or a digit; strtod is laxer ("+1",
+    // ".5", "infinity") — reject those spellings before it sees them.
+    const std::size_t digit_at = text_[start] == '-' ? start + 1 : start;
+    if (digit_at >= pos_ || text_[digit_at] < '0' || text_[digit_at] > '9') {
+      pos_ = start;
+      return fail("malformed number");
+    }
     const std::string token(text_.substr(start, pos_ - start));
     char* end = nullptr;
     const double value = std::strtod(token.c_str(), &end);
@@ -223,12 +228,19 @@ class Parser {
       pos_ = start;
       return fail("malformed number");
     }
+    // strtod saturates overflow to ±inf; JSON has no Inf/NaN, and the
+    // writer never emits them, so an overflowing literal is hostile or
+    // corrupt input — reject it rather than smuggle a non-finite through.
+    if (!std::isfinite(value)) {
+      pos_ = start;
+      return fail("number overflows double");
+    }
     out = Json(value);
     return true;
   }
 
   bool parse_value(Json& out, std::size_t depth) {
-    if (depth > kMaxDepth) return fail("nesting too deep");
+    if (depth > Json::kMaxParseDepth) return fail("nesting too deep");
     char c = 0;
     if (!peek(c)) return fail("unexpected end of input");
     switch (c) {

@@ -44,9 +44,20 @@ class Json {
   /// Convenience: serialise to a string.
   [[nodiscard]] std::string dump() const;
 
+  /// Maximum container nesting parse() accepts. The parser recurses once
+  /// per nesting level, so this bounds stack use against hostile input (a
+  /// kilobyte of '[' must be a parse error, not a stack overflow). 64 is
+  /// far beyond any document the library writes (snapshots nest < 8 deep)
+  /// while keeping worst-case recursion trivially safe on any thread's
+  /// stack. Part of the wire contract: svc transports reject frames whose
+  /// payloads exceed it with "bad_frame".
+  static constexpr std::size_t kMaxParseDepth = 64;
+
   /// Parse \p text into \p out. Returns false (with a position-annotated
   /// message in \p error) on malformed input — never UB, never throws.
   /// Accepts exactly what write() emits plus standard JSON whitespace.
+  /// Hardened for untrusted input: nesting beyond kMaxParseDepth and
+  /// numbers that overflow double (JSON has no Inf/NaN) are parse errors.
   [[nodiscard]] static bool parse(std::string_view text, Json& out,
                                   std::string& error);
 

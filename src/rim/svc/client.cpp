@@ -1,0 +1,251 @@
+#include "rim/svc/client.hpp"
+
+#include <limits>
+#include <utility>
+
+namespace rim::svc {
+
+namespace {
+
+/// Read an unsigned field out of a result document (fallback on absence).
+std::uint64_t u64_field(const io::Json& result, const char* key,
+                        std::uint64_t fallback = 0) {
+  const io::Json* field = result.find(key);
+  std::uint64_t value = 0;
+  if (field == nullptr ||
+      !json_to_u64(*field, std::numeric_limits<std::uint64_t>::max(), value)) {
+    return fallback;
+  }
+  return value;
+}
+
+}  // namespace
+
+bool Client::transport_failure(std::string message) {
+  error_ = std::move(message);
+  error_code_ = "transport";
+  return false;
+}
+
+bool Client::call(const std::string& command, io::JsonObject params,
+                  io::Json& result) {
+  error_.clear();
+  error_code_.clear();
+  last_response_payload_.clear();
+  last_id_ = next_id_++;
+  params["cmd"] = io::Json(command);
+  params["id"] = io::Json(last_id_);
+  const std::string payload = io::Json(std::move(params)).dump();
+  std::string response_frame;
+  std::string transport_error;
+  if (!transport_.roundtrip(encode_frame(payload), response_frame,
+                            transport_error)) {
+    return transport_failure(std::move(transport_error));
+  }
+  std::size_t consumed = 0;
+  const FrameStatus status = try_decode_frame(
+      response_frame, std::numeric_limits<std::uint32_t>::max(), consumed,
+      last_response_payload_);
+  if (status != FrameStatus::kFrame) {
+    return transport_failure("transport returned an incomplete frame");
+  }
+  io::Json response;
+  std::string parse_error;
+  if (!io::Json::parse(last_response_payload_, response, parse_error)) {
+    return transport_failure("unparseable response: " + parse_error);
+  }
+  if (!response.is_object()) {
+    return transport_failure("response is not a JSON object");
+  }
+  const io::Json* ok = response.find("ok");
+  if (ok == nullptr) {
+    return transport_failure("response carries no 'ok' field");
+  }
+  if (!ok->as_bool(false)) {
+    const io::Json* code = response.find("code");
+    const io::Json* message = response.find("error");
+    const std::string* code_str =
+        code != nullptr ? code->as_string() : nullptr;
+    const std::string* message_str =
+        message != nullptr ? message->as_string() : nullptr;
+    error_code_ = code_str != nullptr ? *code_str : std::string(code::kInternal);
+    error_ = message_str != nullptr ? *message_str : "unknown error";
+    return false;
+  }
+  const io::Json* result_field = response.find("result");
+  result = result_field != nullptr ? *result_field : io::Json();
+  return true;
+}
+
+bool Client::ping() {
+  io::Json result;
+  return call(cmd::kPing, {}, result);
+}
+
+bool Client::create_session(std::uint64_t& session) {
+  io::Json result;
+  if (!call(cmd::kCreateSession, {}, result)) return false;
+  session = u64_field(result, "session");
+  return true;
+}
+
+bool Client::close_session(std::uint64_t session) {
+  io::JsonObject params;
+  params["session"] = io::Json(session);
+  io::Json result;
+  return call(cmd::kCloseSession, std::move(params), result);
+}
+
+bool Client::add_node(std::uint64_t session, double x, double y,
+                      NodeId& node) {
+  io::JsonObject params;
+  params["session"] = io::Json(session);
+  params["x"] = io::Json(x);
+  params["y"] = io::Json(y);
+  io::Json result;
+  if (!call(cmd::kAddNode, std::move(params), result)) return false;
+  node = static_cast<NodeId>(u64_field(result, "node", kInvalidNode));
+  return true;
+}
+
+bool Client::remove_node(std::uint64_t session, NodeId v, NodeId& renamed) {
+  io::JsonObject params;
+  params["session"] = io::Json(session);
+  params["v"] = io::Json(v);
+  io::Json result;
+  if (!call(cmd::kRemoveNode, std::move(params), result)) return false;
+  renamed = static_cast<NodeId>(u64_field(result, "renamed", kInvalidNode));
+  return true;
+}
+
+bool Client::add_edge(std::uint64_t session, NodeId u, NodeId v,
+                      bool& added) {
+  io::JsonObject params;
+  params["session"] = io::Json(session);
+  params["u"] = io::Json(u);
+  params["v"] = io::Json(v);
+  io::Json result;
+  if (!call(cmd::kAddEdge, std::move(params), result)) return false;
+  const io::Json* field = result.find("added");
+  added = field != nullptr && field->as_bool(false);
+  return true;
+}
+
+bool Client::remove_edge(std::uint64_t session, NodeId u, NodeId v,
+                         bool& removed) {
+  io::JsonObject params;
+  params["session"] = io::Json(session);
+  params["u"] = io::Json(u);
+  params["v"] = io::Json(v);
+  io::Json result;
+  if (!call(cmd::kRemoveEdge, std::move(params), result)) return false;
+  const io::Json* field = result.find("removed");
+  removed = field != nullptr && field->as_bool(false);
+  return true;
+}
+
+bool Client::move_node(std::uint64_t session, NodeId v, double x, double y) {
+  io::JsonObject params;
+  params["session"] = io::Json(session);
+  params["v"] = io::Json(v);
+  params["x"] = io::Json(x);
+  params["y"] = io::Json(y);
+  io::Json result;
+  return call(cmd::kMove, std::move(params), result);
+}
+
+bool Client::apply_batch(std::uint64_t session,
+                         std::span<const core::Mutation> batch,
+                         core::BatchResult& result) {
+  io::JsonObject params;
+  params["session"] = io::Json(session);
+  io::JsonArray mutations;
+  mutations.reserve(batch.size());
+  for (const core::Mutation& mutation : batch) {
+    mutations.push_back(mutation_to_json(mutation));
+  }
+  params["batch"] = io::Json(std::move(mutations));
+  io::Json reply;
+  if (!call(cmd::kApplyBatch, std::move(params), reply)) return false;
+  result.applied = static_cast<std::size_t>(u64_field(reply, "applied"));
+  result.disk_tasks =
+      static_cast<std::size_t>(u64_field(reply, "disk_tasks"));
+  result.recounts = static_cast<std::size_t>(u64_field(reply, "recounts"));
+  result.waves = static_cast<std::size_t>(u64_field(reply, "waves"));
+  result.abort_index =
+      static_cast<std::size_t>(u64_field(reply, "abort_index"));
+  const io::Json* deferred = reply.find("deferred");
+  const io::Json* aborted = reply.find("aborted");
+  result.deferred = deferred != nullptr && deferred->as_bool(false);
+  result.aborted = aborted != nullptr && aborted->as_bool(false);
+  return true;
+}
+
+bool Client::assess(std::uint64_t session,
+                    std::span<const core::Mutation> mutations,
+                    io::Json& assessment) {
+  io::JsonObject params;
+  params["session"] = io::Json(session);
+  io::JsonArray array;
+  array.reserve(mutations.size());
+  for (const core::Mutation& mutation : mutations) {
+    array.push_back(mutation_to_json(mutation));
+  }
+  params["mutations"] = io::Json(std::move(array));
+  return call(cmd::kAssess, std::move(params), assessment);
+}
+
+bool Client::query_interference(std::uint64_t session, io::Json& result) {
+  io::JsonObject params;
+  params["session"] = io::Json(session);
+  return call(cmd::kQueryInterference, std::move(params), result);
+}
+
+bool Client::query_interference_of(std::uint64_t session, NodeId v,
+                                   std::uint32_t& value) {
+  io::JsonObject params;
+  params["session"] = io::Json(session);
+  params["v"] = io::Json(v);
+  io::Json result;
+  if (!call(cmd::kQueryInterference, std::move(params), result)) return false;
+  value = static_cast<std::uint32_t>(u64_field(result, "value"));
+  return true;
+}
+
+bool Client::snapshot(std::uint64_t session, io::Json& snapshot_doc) {
+  io::JsonObject params;
+  params["session"] = io::Json(session);
+  io::Json result;
+  if (!call(cmd::kSnapshot, std::move(params), result)) return false;
+  const io::Json* doc = result.find("snapshot");
+  if (doc == nullptr) {
+    return transport_failure("snapshot result carries no 'snapshot' field");
+  }
+  snapshot_doc = *doc;
+  return true;
+}
+
+bool Client::restore(std::uint64_t session, const io::Json& snapshot_doc) {
+  io::JsonObject params;
+  params["session"] = io::Json(session);
+  params["snapshot"] = snapshot_doc;
+  io::Json result;
+  return call(cmd::kRestore, std::move(params), result);
+}
+
+bool Client::session_stats(std::uint64_t session, io::Json& stats) {
+  io::JsonObject params;
+  params["session"] = io::Json(session);
+  return call(cmd::kSessionStats, std::move(params), stats);
+}
+
+bool Client::metrics(io::Json& snapshot) {
+  return call(cmd::kMetrics, {}, snapshot);
+}
+
+bool Client::shutdown() {
+  io::Json result;
+  return call(cmd::kShutdown, {}, result);
+}
+
+}  // namespace rim::svc

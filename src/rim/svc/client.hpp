@@ -1,0 +1,98 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+
+#include "rim/core/scenario.hpp"
+#include "rim/io/json.hpp"
+#include "rim/svc/transport.hpp"
+
+/// \file client.hpp
+/// Typed client for the scenario service.
+///
+/// Client wraps any Transport (loopback or TCP) and speaks the protocol.hpp
+/// wire format: it assigns monotonically increasing request ids, frames the
+/// request, and unwraps the response envelope. Every typed call returns
+/// false on failure — either a transport error (error_code() == "transport")
+/// or a service error response (error_code() is the wire code, error() the
+/// message).
+///
+/// The raw response payload of the most recent call is retained
+/// (last_response_payload()); the byte-identity tests compare it against
+/// expected wire bytes built directly from Scenario results.
+
+namespace rim::svc {
+
+class Client {
+ public:
+  explicit Client(Transport& transport) : transport_(transport) {}
+
+  /// Generic command call: sends {"cmd":command,"id":<auto>, ...params}
+  /// and yields the response's "result" document.
+  [[nodiscard]] bool call(const std::string& command, io::JsonObject params,
+                          io::Json& result);
+
+  [[nodiscard]] bool ping();
+  [[nodiscard]] bool create_session(std::uint64_t& session);
+  [[nodiscard]] bool close_session(std::uint64_t session);
+
+  [[nodiscard]] bool add_node(std::uint64_t session, double x, double y,
+                              NodeId& node);
+  /// \p renamed receives the id the last node was renamed to, or
+  /// kInvalidNode when no rename happened.
+  [[nodiscard]] bool remove_node(std::uint64_t session, NodeId v,
+                                 NodeId& renamed);
+  [[nodiscard]] bool add_edge(std::uint64_t session, NodeId u, NodeId v,
+                              bool& added);
+  [[nodiscard]] bool remove_edge(std::uint64_t session, NodeId u, NodeId v,
+                                 bool& removed);
+  [[nodiscard]] bool move_node(std::uint64_t session, NodeId v, double x,
+                               double y);
+
+  [[nodiscard]] bool apply_batch(std::uint64_t session,
+                                 std::span<const core::Mutation> batch,
+                                 core::BatchResult& result);
+  /// Yields the raw assessment document (affected_ids, delta_per_node,
+  /// max_before, max_after, newcomer_interference).
+  [[nodiscard]] bool assess(std::uint64_t session,
+                            std::span<const core::Mutation> mutations,
+                            io::Json& assessment);
+
+  /// Whole-session interference ({"max","per_node","total"}).
+  [[nodiscard]] bool query_interference(std::uint64_t session,
+                                        io::Json& result);
+  [[nodiscard]] bool query_interference_of(std::uint64_t session, NodeId v,
+                                           std::uint32_t& value);
+
+  [[nodiscard]] bool snapshot(std::uint64_t session, io::Json& snapshot_doc);
+  [[nodiscard]] bool restore(std::uint64_t session,
+                             const io::Json& snapshot_doc);
+  [[nodiscard]] bool session_stats(std::uint64_t session, io::Json& stats);
+
+  [[nodiscard]] bool metrics(io::Json& snapshot);
+  [[nodiscard]] bool shutdown();
+
+  /// Message of the most recent failure.
+  [[nodiscard]] const std::string& error() const { return error_; }
+  /// Wire error code of the most recent failure ("transport" when the
+  /// failure was below the protocol).
+  [[nodiscard]] const std::string& error_code() const { return error_code_; }
+  /// The raw (deframed) response payload of the most recent exchange.
+  [[nodiscard]] const std::string& last_response_payload() const {
+    return last_response_payload_;
+  }
+  [[nodiscard]] std::uint64_t last_request_id() const { return last_id_; }
+
+ private:
+  [[nodiscard]] bool transport_failure(std::string message);
+
+  Transport& transport_;
+  std::uint64_t next_id_ = 1;
+  std::uint64_t last_id_ = 0;
+  std::string error_;
+  std::string error_code_;
+  std::string last_response_payload_;
+};
+
+}  // namespace rim::svc

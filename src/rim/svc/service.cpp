@@ -1,0 +1,512 @@
+#include "rim/svc/service.hpp"
+
+#include <limits>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "rim/core/snapshot.hpp"
+#include "rim/sim/fault.hpp"
+
+namespace rim::svc {
+
+namespace {
+
+/// Internal handler result: the response payload plus its ok-ness (for
+/// the counters; the payload itself already encodes it).
+struct Reply {
+  std::string payload;
+  bool ok = false;
+};
+
+Reply ok_reply(std::uint64_t id, io::Json result) {
+  return {make_ok(id, std::move(result)), true};
+}
+
+Reply error_reply(std::uint64_t id, const char* code,
+                  const std::string& message) {
+  return {make_error(id, code, message), false};
+}
+
+std::string session_source_name(std::uint64_t id) {
+  return "svc.session." + std::to_string(id);
+}
+
+io::Json batch_result_to_json(const core::BatchResult& result) {
+  io::JsonObject object;
+  object["abort_index"] = io::Json(result.abort_index);
+  object["aborted"] = io::Json(result.aborted);
+  object["applied"] = io::Json(result.applied);
+  object["deferred"] = io::Json(result.deferred);
+  object["disk_tasks"] = io::Json(result.disk_tasks);
+  object["recounts"] = io::Json(result.recounts);
+  object["waves"] = io::Json(result.waves);
+  return io::Json(std::move(object));
+}
+
+io::Json assessment_to_json(const core::Assessment& assessment) {
+  io::JsonObject object;
+  io::JsonArray affected;
+  affected.reserve(assessment.affected_ids.size());
+  for (const NodeId v : assessment.affected_ids) affected.emplace_back(v);
+  object["affected_ids"] = io::Json(std::move(affected));
+  io::JsonArray deltas;
+  deltas.reserve(assessment.delta_per_node.size());
+  for (const std::int64_t d : assessment.delta_per_node) {
+    deltas.emplace_back(static_cast<long long>(d));
+  }
+  object["delta_per_node"] = io::Json(std::move(deltas));
+  object["max_after"] = io::Json(assessment.max_after);
+  object["max_before"] = io::Json(assessment.max_before);
+  object["newcomer_interference"] = io::Json(assessment.newcomer_interference);
+  return io::Json(std::move(object));
+}
+
+/// Parse a required NodeId request field, range-checked against the
+/// session's current node count (the direct Scenario setters, unlike
+/// apply(), expect in-range ids).
+bool node_id_in_range(const io::Json& request, const char* key,
+                      std::size_t node_count, NodeId& out,
+                      std::string& error) {
+  const io::Json* field = request.find(key);
+  std::uint64_t value = 0;
+  if (field == nullptr || !json_to_u64(*field, kInvalidNode, value)) {
+    error = std::string("field '") + key + "' must be an integer node id";
+    return false;
+  }
+  if (value >= node_count) {
+    error = std::string("field '") + key + "' (" + std::to_string(value) +
+            ") is out of range for a session of " +
+            std::to_string(node_count) + " nodes";
+    return false;
+  }
+  out = static_cast<NodeId>(value);
+  return true;
+}
+
+bool position_from_request(const io::Json& request, geom::Vec2& out,
+                           std::string& error) {
+  const io::Json* x = request.find("x");
+  const io::Json* y = request.find("y");
+  if (x == nullptr || y == nullptr || !x->is_number() || !y->is_number()) {
+    error = "fields 'x'/'y' must be numbers";
+    return false;
+  }
+  out = {x->as_number(), y->as_number()};
+  return true;
+}
+
+}  // namespace
+
+io::Json ServiceCounters::to_json() const {
+  io::JsonObject object;
+  object["requests"] = requests.to_json();
+  object["ok"] = ok.to_json();
+  object["errors"] = errors.to_json();
+  object["rejected_overloaded"] = rejected_overloaded.to_json();
+  object["rejected_bad_frame"] = rejected_bad_frame.to_json();
+  object["handle_ns"] = handle_ns.to_json();
+  object["latency_ns"] = latency_ns.to_json();
+  return io::Json(std::move(object));
+}
+
+void Service::Ticket::release() {
+  if (service_ != nullptr) {
+    service_->in_flight_.fetch_sub(1, std::memory_order_relaxed);
+    service_ = nullptr;
+  }
+}
+
+Service::Service(ServiceConfig config)
+    : config_(std::move(config)),
+      sessions_(config_.limits, config_.eval),
+      batch_pool_(config_.batch_pool_threads) {
+  registry_.add_source("svc", [this] {
+    io::JsonObject object;
+    object["counters"] = counters_.to_json();
+    object["in_flight"] =
+        io::Json(in_flight_.load(std::memory_order_relaxed));
+    io::JsonObject limits;
+    limits["max_frame_bytes"] = io::Json(config_.limits.max_frame_bytes);
+    limits["max_in_flight"] = io::Json(config_.limits.max_in_flight);
+    limits["max_live_sessions"] = io::Json(config_.limits.max_live_sessions);
+    limits["max_sessions"] = io::Json(config_.limits.max_sessions);
+    object["limits"] = io::Json(std::move(limits));
+    object["manager"] = sessions_.counters_json();
+    io::JsonObject population;
+    population["count"] = io::Json(sessions_.session_count());
+    population["live"] = io::Json(sessions_.live_count());
+    object["sessions"] = io::Json(std::move(population));
+    return io::Json(std::move(object));
+  });
+}
+
+Service::~Service() { registry_.remove_source("svc"); }
+
+Service::Ticket Service::try_admit() {
+  const std::size_t previous =
+      in_flight_.fetch_add(1, std::memory_order_relaxed);
+  if (previous >= config_.limits.max_in_flight) {
+    in_flight_.fetch_sub(1, std::memory_order_relaxed);
+    return Ticket();
+  }
+  return Ticket(this);
+}
+
+std::string Service::overloaded_response(std::string_view payload) {
+  ++counters_.requests;
+  ++counters_.errors;
+  ++counters_.rejected_overloaded;
+  return make_error(peek_request_id(payload), code::kOverloaded,
+                    "service at max in-flight requests (" +
+                        std::to_string(config_.limits.max_in_flight) +
+                        "); retry later");
+}
+
+std::string Service::handle(std::string_view payload) {
+  Ticket ticket = try_admit();
+  if (!ticket) return overloaded_response(payload);
+  return handle_admitted(payload);
+}
+
+std::string Service::handle_admitted(std::string_view payload) {
+  const obs::ScopedTimer timer(counters_.handle_ns, &counters_.latency_ns);
+  ++counters_.requests;
+  std::string response = dispatch(payload);
+  return response;
+}
+
+std::string Service::dispatch(std::string_view payload) {
+  io::Json request;
+  std::string error;
+  if (!io::Json::parse(payload, request, error)) {
+    ++counters_.errors;
+    ++counters_.rejected_bad_frame;
+    return make_error(0, code::kBadFrame, error);
+  }
+  if (!request.is_object()) {
+    ++counters_.errors;
+    return make_error(0, code::kBadRequest, "request must be a JSON object");
+  }
+  std::uint64_t id = 0;
+  const io::Json* id_field = request.find("id");
+  if (id_field != nullptr) {
+    (void)json_to_u64(*id_field, std::numeric_limits<std::uint64_t>::max(),
+                      id);
+  }
+  const io::Json* cmd_field = request.find("cmd");
+  const std::string* command =
+      cmd_field != nullptr ? cmd_field->as_string() : nullptr;
+  if (command == nullptr) {
+    ++counters_.errors;
+    return make_error(id, code::kBadRequest,
+                      "field 'cmd' must be a command name string");
+  }
+  std::string response = dispatch_command(id, *command, request);
+  // Responses are exclusively our builders' output, so ok-ness is read
+  // back from the envelope rather than threaded through every handler.
+  if (response.find("\"ok\":true") != std::string::npos) {
+    ++counters_.ok;
+  } else {
+    ++counters_.errors;
+  }
+  return response;
+}
+
+std::string Service::dispatch_command(std::uint64_t id,
+                                      const std::string& command,
+                                      const io::Json& request) {
+  if (command == cmd::kPing) {
+    io::JsonObject result;
+    result["pong"] = io::Json(true);
+    return make_ok(id, io::Json(std::move(result)));
+  }
+  if (command == cmd::kCreateSession) {
+    std::uint64_t session_id = 0;
+    std::shared_ptr<Session> session;
+    const char* error_code = code::kInternal;
+    std::string error;
+    if (!sessions_.create(session_id, session, error_code, error)) {
+      if (error_code == code::kOverloaded) ++counters_.rejected_overloaded;
+      return make_error(id, error_code, error);
+    }
+    registry_.add_source(session_source_name(session_id),
+                         [session] { return session->counters.to_json(); });
+    io::JsonObject result;
+    result["session"] = io::Json(session_id);
+    return make_ok(id, io::Json(std::move(result)));
+  }
+  if (command == cmd::kCloseSession) {
+    const io::Json* session_field = request.find("session");
+    std::uint64_t session_id = 0;
+    if (session_field == nullptr ||
+        !json_to_u64(*session_field, std::numeric_limits<std::uint64_t>::max(),
+                     session_id)) {
+      return make_error(id, code::kBadRequest,
+                        "field 'session' must be an integer session id");
+    }
+    const char* error_code = code::kInternal;
+    std::string error;
+    if (!sessions_.close(session_id, error_code, error)) {
+      return make_error(id, error_code, error);
+    }
+    registry_.remove_source(session_source_name(session_id));
+    io::JsonObject result;
+    result["closed"] = io::Json(true);
+    return make_ok(id, io::Json(std::move(result)));
+  }
+  if (command == cmd::kMetrics) {
+    return make_ok(id, registry_.snapshot());
+  }
+  if (command == cmd::kShutdown) {
+    if (!config_.allow_shutdown) {
+      return make_error(id, code::kShutdownDisabled,
+                        "this service does not accept shutdown requests");
+    }
+    request_shutdown();
+    io::JsonObject result;
+    result["shutting_down"] = io::Json(true);
+    return make_ok(id, io::Json(std::move(result)));
+  }
+  return dispatch_session_command(id, command, request);
+}
+
+std::string Service::dispatch_session_command(std::uint64_t id,
+                                              const std::string& command,
+                                              const io::Json& request) {
+  const bool known =
+      command == cmd::kAddNode || command == cmd::kRemoveNode ||
+      command == cmd::kAddEdge || command == cmd::kRemoveEdge ||
+      command == cmd::kMove || command == cmd::kApplyBatch ||
+      command == cmd::kAssess || command == cmd::kQueryInterference ||
+      command == cmd::kSnapshot || command == cmd::kRestore ||
+      command == cmd::kSessionStats;
+  if (!known) {
+    return make_error(id, code::kUnknownCommand,
+                      "unknown command '" + command + "'");
+  }
+  const io::Json* session_field = request.find("session");
+  std::uint64_t session_id = 0;
+  if (session_field == nullptr ||
+      !json_to_u64(*session_field, std::numeric_limits<std::uint64_t>::max(),
+                   session_id)) {
+    return make_error(id, code::kBadRequest,
+                      "field 'session' must be an integer session id");
+  }
+  const char* error_code = code::kInternal;
+  std::string error;
+  std::shared_ptr<Session> session =
+      sessions_.checkout(session_id, error_code, error);
+  if (session == nullptr) return make_error(id, error_code, error);
+
+  Reply reply;
+  {
+    Session& s = *session;
+    const obs::ScopedTimer timer(s.counters.handle_ns,
+                                 &s.counters.latency_ns);
+    ++s.counters.requests;
+    common::MutexLock lock(s.mutex);
+
+    if (command == cmd::kAddNode) {
+      geom::Vec2 position{};
+      if (!position_from_request(request, position, error)) {
+        reply = error_reply(id, code::kBadRequest, error);
+      } else {
+        const NodeId node = s.scenario.add_node(position);
+        ++s.counters.mutations;
+        io::JsonObject result;
+        result["node"] = io::Json(node);
+        reply = ok_reply(id, io::Json(std::move(result)));
+      }
+    } else if (command == cmd::kRemoveNode) {
+      NodeId v = kInvalidNode;
+      if (!node_id_in_range(request, "v", s.scenario.node_count(), v,
+                            error)) {
+        reply = error_reply(id, code::kBadRequest, error);
+      } else {
+        const NodeId renamed = s.scenario.remove_node(v);
+        ++s.counters.mutations;
+        io::JsonObject result;
+        result["renamed"] = renamed == kInvalidNode
+                                ? io::Json(nullptr)
+                                : io::Json(renamed);
+        reply = ok_reply(id, io::Json(std::move(result)));
+      }
+    } else if (command == cmd::kAddEdge || command == cmd::kRemoveEdge) {
+      NodeId u = kInvalidNode;
+      NodeId v = kInvalidNode;
+      if (!node_id_in_range(request, "u", s.scenario.node_count(), u,
+                            error) ||
+          !node_id_in_range(request, "v", s.scenario.node_count(), v,
+                            error)) {
+        reply = error_reply(id, code::kBadRequest, error);
+      } else if (command == cmd::kAddEdge) {
+        const bool added = s.scenario.add_edge(u, v);
+        ++s.counters.mutations;
+        io::JsonObject result;
+        result["added"] = io::Json(added);
+        reply = ok_reply(id, io::Json(std::move(result)));
+      } else {
+        const bool removed = s.scenario.remove_edge(u, v);
+        ++s.counters.mutations;
+        io::JsonObject result;
+        result["removed"] = io::Json(removed);
+        reply = ok_reply(id, io::Json(std::move(result)));
+      }
+    } else if (command == cmd::kMove) {
+      NodeId v = kInvalidNode;
+      geom::Vec2 position{};
+      if (!node_id_in_range(request, "v", s.scenario.node_count(), v,
+                            error) ||
+          !position_from_request(request, position, error)) {
+        reply = error_reply(id, code::kBadRequest, error);
+      } else {
+        s.scenario.move_node(v, position);
+        ++s.counters.mutations;
+        io::JsonObject result;
+        result["moved"] = io::Json(true);
+        reply = ok_reply(id, io::Json(std::move(result)));
+      }
+    } else if (command == cmd::kApplyBatch) {
+      std::vector<core::Mutation> batch;
+      const io::Json* batch_field = request.find("batch");
+      if (batch_field == nullptr ||
+          !mutation_batch_from_json(*batch_field, batch, error)) {
+        reply = error_reply(id, code::kBadRequest,
+                            batch_field == nullptr
+                                ? "field 'batch' must be a mutation array"
+                                : error);
+      } else if (const io::Json* fault_field = request.find("fault");
+                 fault_field != nullptr) {
+        if (!config_.enable_fault_injection) {
+          reply = error_reply(id, code::kFaultDisabled,
+                              "fault injection is disabled on this service");
+        } else {
+          sim::FaultEvent event;
+          const io::Json* kind = fault_field->find("kind");
+          const io::Json* index = fault_field->find("index");
+          std::uint64_t index_value = 0;
+          const std::string* kind_name =
+              kind != nullptr ? kind->as_string() : nullptr;
+          if (kind_name == nullptr ||
+              !sim::fault_kind_from_string(*kind_name, event.kind) ||
+              index == nullptr ||
+              !json_to_u64(*index, std::numeric_limits<std::uint32_t>::max(),
+                           index_value)) {
+            reply = error_reply(id, code::kBadRequest,
+                                "field 'fault' must carry a fault kind "
+                                "name and an integer index");
+          } else {
+            event.index = static_cast<std::size_t>(index_value);
+            const bool recover =
+                request.find("recover") == nullptr ||
+                request.find("recover")->as_bool(true);
+            const sim::FaultedBatchOutcome outcome =
+                sim::apply_batch_with_faults(s.scenario, batch, &event,
+                                             &batch_pool_, recover);
+            s.counters.mutations += outcome.result.applied;
+            io::Json result_json = batch_result_to_json(outcome.result);
+            io::JsonObject result = *result_json.as_object();
+            result["fault_fired"] = io::Json(outcome.fault_fired);
+            result["restored"] = io::Json(outcome.restored);
+            reply = ok_reply(id, io::Json(std::move(result)));
+          }
+        }
+      } else {
+        const core::BatchResult result =
+            s.scenario.apply_batch(batch, &batch_pool_);
+        s.counters.mutations += result.applied;
+        reply = ok_reply(id, batch_result_to_json(result));
+      }
+    } else if (command == cmd::kAssess) {
+      std::vector<core::Mutation> mutations;
+      const io::Json* mutations_field = request.find("mutations");
+      if (mutations_field == nullptr ||
+          !mutation_batch_from_json(*mutations_field, mutations, error)) {
+        reply = error_reply(id, code::kBadRequest,
+                            mutations_field == nullptr
+                                ? "field 'mutations' must be a mutation array"
+                                : error);
+      } else {
+        const core::Assessment assessment = s.scenario.assess(
+            std::span<const core::Mutation>(mutations));
+        reply = ok_reply(id, assessment_to_json(assessment));
+      }
+    } else if (command == cmd::kQueryInterference) {
+      if (const io::Json* v_field = request.find("v"); v_field != nullptr) {
+        NodeId v = kInvalidNode;
+        if (!node_id_in_range(request, "v", s.scenario.node_count(), v,
+                              error)) {
+          reply = error_reply(id, code::kBadRequest, error);
+        } else {
+          io::JsonObject result;
+          result["node"] = io::Json(v);
+          result["value"] = io::Json(s.scenario.interference_of(v));
+          reply = ok_reply(id, io::Json(std::move(result)));
+        }
+      } else {
+        io::JsonObject result;
+        io::JsonArray per_node;
+        const std::span<const std::uint32_t> interference =
+            s.scenario.interference();
+        per_node.reserve(interference.size());
+        for (const std::uint32_t value : interference) {
+          per_node.emplace_back(value);
+        }
+        result["max"] = io::Json(s.scenario.max_interference());
+        result["per_node"] = io::Json(std::move(per_node));
+        result["total"] = io::Json(s.scenario.total_interference());
+        reply = ok_reply(id, io::Json(std::move(result)));
+      }
+    } else if (command == cmd::kSnapshot) {
+      core::Snapshot snapshot = s.scenario.snapshot();
+      io::JsonObject result;
+      result["snapshot"] = snapshot.to_json();
+      reply = ok_reply(id, io::Json(std::move(result)));
+    } else if (command == cmd::kRestore) {
+      const io::Json* snapshot_field = request.find("snapshot");
+      core::Snapshot snapshot;
+      if (snapshot_field == nullptr ||
+          !core::Snapshot::from_json(*snapshot_field, snapshot, error)) {
+        reply = error_reply(id, code::kRestoreFailed,
+                            snapshot_field == nullptr
+                                ? "field 'snapshot' must be a snapshot "
+                                  "document"
+                                : error);
+      } else if (!s.scenario.restore(snapshot, &error)) {
+        reply = error_reply(id, code::kRestoreFailed, error);
+      } else {
+        io::JsonObject result;
+        result["restored"] = io::Json(true);
+        reply = ok_reply(id, io::Json(std::move(result)));
+      }
+    } else {  // cmd::kSessionStats
+      io::JsonObject result;
+      result["edges"] = io::Json(s.scenario.edge_count());
+      result["nodes"] = io::Json(s.scenario.node_count());
+      result["stats"] = s.scenario.stats_json();
+      reply = ok_reply(id, io::Json(std::move(result)));
+    }
+
+    if (!reply.ok) ++s.counters.errors;
+  }
+  sessions_.checkin(session);
+  return std::move(reply.payload);
+}
+
+void Service::wait_shutdown() {
+  common::MutexLock lock(shutdown_mutex_);
+  while (!shutdown_.load(std::memory_order_acquire)) {
+    shutdown_cv_.wait(lock.native());
+  }
+}
+
+void Service::request_shutdown() {
+  {
+    common::MutexLock lock(shutdown_mutex_);
+    shutdown_.store(true, std::memory_order_release);
+  }
+  shutdown_cv_.notify_all();
+}
+
+}  // namespace rim::svc

@@ -1,0 +1,167 @@
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "rim/common/mutex.hpp"
+#include "rim/common/thread_annotations.hpp"
+#include "rim/obs/metrics.hpp"
+#include "rim/obs/registry.hpp"
+#include "rim/parallel/thread_pool.hpp"
+#include "rim/svc/protocol.hpp"
+#include "rim/svc/session.hpp"
+
+/// \file service.hpp
+/// The request-serving layer over core::Scenario (DESIGN.md §9).
+///
+/// Service::handle() maps one request payload (a deframed protocol.hpp
+/// JSON document) onto the Scenario surface of the addressed session and
+/// returns exactly one response payload. It is transport-agnostic and
+/// thread-safe: LoopbackTransport calls it inline on the caller's thread,
+/// TcpServer calls it from dispatch-pool workers — concurrently for
+/// different connections.
+///
+/// **Admission control sheds, never queues.** Every request first claims
+/// an in-flight ticket (a relaxed-atomic gauge). At `max_in_flight` the
+/// claim fails and the caller answers code "overloaded" immediately —
+/// transports check `try_admit()` *before* enqueueing work, so an
+/// overloaded service's dispatch queue cannot grow without bound. The
+/// same applies to `max_sessions` (SessionManager) and oversized frames
+/// (transports answer "bad_frame" and drop the connection).
+///
+/// **Threading.** Lock order is service-internal and strictly
+/// manager → session (session.hpp); handlers hold exactly one session
+/// mutex while touching its Scenario. Batches run on the service-owned
+/// `batch_pool_`, which is distinct from any transport dispatch pool —
+/// a handler executing *on* a dispatch-pool worker must not wait_idle()
+/// on that same pool (the §8 contract sim::WorkloadDriver documents),
+/// so the inner pipeline gets its own.
+///
+/// Every counter here is an obs primitive; `metrics` serves the service's
+/// obs::Registry snapshot ("svc" plus one "svc.session.<id>" source per
+/// session, all lock-free producers).
+
+namespace rim::svc {
+
+struct ServiceConfig {
+  SvcLimits limits;
+  /// EvalOptions for every session's Scenario.
+  core::EvalOptions eval{};
+  /// Workers for the batch pipeline pool (0 = hardware concurrency).
+  std::size_t batch_pool_threads = 0;
+  /// Accept "fault"/"recover" fields on apply_batch (test/chaos tooling;
+  /// production services keep this off and answer "fault_disabled").
+  bool enable_fault_injection = false;
+  /// Accept the "shutdown" command (rim_cli serve turns this on so the
+  /// CI smoke test can stop the server cleanly over the wire).
+  bool allow_shutdown = false;
+};
+
+/// Global service counters (lock-free; the "svc" registry source).
+struct ServiceCounters {
+  obs::Counter requests;            ///< payloads handled (ok + error)
+  obs::Counter ok;                  ///< answered ok=true
+  obs::Counter errors;              ///< answered ok=false (any code)
+  obs::Counter rejected_overloaded; ///< shed by admission control
+  obs::Counter rejected_bad_frame;  ///< unparseable payloads
+  obs::Counter handle_ns;           ///< total time inside handle paths
+  obs::Histogram latency_ns;        ///< per-request handling latency
+
+  [[nodiscard]] io::Json to_json() const;
+};
+
+class Service {
+ public:
+  explicit Service(ServiceConfig config);
+  ~Service();
+
+  Service(const Service&) = delete;
+  Service& operator=(const Service&) = delete;
+
+  /// One in-flight admission slot. Move-only RAII: releases on
+  /// destruction. Falsy when admission was refused.
+  class Ticket {
+   public:
+    Ticket() = default;
+    explicit Ticket(Service* service) : service_(service) {}
+    Ticket(Ticket&& other) noexcept : service_(other.service_) {
+      other.service_ = nullptr;
+    }
+    Ticket& operator=(Ticket&& other) noexcept {
+      if (this != &other) {
+        release();
+        service_ = other.service_;
+        other.service_ = nullptr;
+      }
+      return *this;
+    }
+    Ticket(const Ticket&) = delete;
+    Ticket& operator=(const Ticket&) = delete;
+    ~Ticket() { release(); }
+
+    explicit operator bool() const { return service_ != nullptr; }
+    void release();
+
+   private:
+    Service* service_ = nullptr;
+  };
+
+  /// Claim an in-flight slot; falsy at max_in_flight. Transports call
+  /// this *before* enqueueing dispatch work so excess load is shed at
+  /// the door, not parked in a queue.
+  [[nodiscard]] Ticket try_admit();
+
+  /// Admit + dispatch in one call (the loopback path). Sheds with an
+  /// "overloaded" response when try_admit() fails.
+  [[nodiscard]] std::string handle(std::string_view payload);
+
+  /// Dispatch a payload whose admission ticket the caller already holds.
+  [[nodiscard]] std::string handle_admitted(std::string_view payload);
+
+  /// The "overloaded" response for \p payload (echoes its id when it
+  /// parses). Also counts the rejection.
+  [[nodiscard]] std::string overloaded_response(std::string_view payload);
+
+  [[nodiscard]] const ServiceConfig& config() const { return config_; }
+  [[nodiscard]] SessionManager& sessions() { return sessions_; }
+  [[nodiscard]] obs::Registry& registry() { return registry_; }
+  [[nodiscard]] const ServiceCounters& counters() const { return counters_; }
+
+  /// True once a "shutdown" command was accepted.
+  [[nodiscard]] bool shutdown_requested() const {
+    return shutdown_.load(std::memory_order_acquire);
+  }
+
+  /// Block until shutdown_requested() (rim_cli serve's main loop).
+  void wait_shutdown() RIM_EXCLUDES(shutdown_mutex_);
+
+  /// Trip the shutdown flag locally (tests; signal handlers).
+  void request_shutdown() RIM_EXCLUDES(shutdown_mutex_);
+
+ private:
+  [[nodiscard]] std::string dispatch(std::string_view payload);
+  [[nodiscard]] std::string dispatch_command(std::uint64_t id,
+                                             const std::string& command,
+                                             const io::Json& request);
+  /// Commands addressing one session: checkout, run, checkin.
+  [[nodiscard]] std::string dispatch_session_command(
+      std::uint64_t id, const std::string& command, const io::Json& request);
+
+  ServiceConfig config_;
+  SessionManager sessions_;
+  parallel::ThreadPool batch_pool_;
+  obs::Registry registry_;
+  ServiceCounters counters_;
+
+  std::atomic<std::size_t> in_flight_{0};
+
+  std::atomic<bool> shutdown_{false};
+  common::Mutex shutdown_mutex_;
+  std::condition_variable shutdown_cv_;
+};
+
+}  // namespace rim::svc

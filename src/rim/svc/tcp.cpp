@@ -1,0 +1,310 @@
+#include "rim/svc/tcp.hpp"
+
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace rim::svc {
+
+namespace {
+
+/// Write the whole buffer, riding out partial sends and EINTR. False when
+/// the peer is gone (callers treat that as a dropped connection, not an
+/// error — the protocol has no delivery guarantee past the socket).
+bool send_all(int fd, const char* data, std::size_t size) {
+  std::size_t sent = 0;
+  while (sent < size) {
+    const ssize_t n = ::send(fd, data + sent, size - sent, MSG_NOSIGNAL);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) return false;
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+TcpServer::TcpServer(Service& service, TcpServerConfig config)
+    : service_(service),
+      config_(config),
+      dispatch_pool_(config.dispatch_threads) {}
+
+TcpServer::~TcpServer() { stop(); }
+
+bool TcpServer::start(std::string& error) {
+  if (started_.exchange(true)) {
+    error = "server already started";
+    return false;
+  }
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    error = std::string("socket: ") + std::strerror(errno);
+    started_.store(false);
+    return false;
+  }
+  const int reuse = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &reuse, sizeof(reuse));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(config_.port);
+  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0 ||
+      ::listen(listen_fd_, 64) != 0) {
+    error = std::string("bind/listen on port ") +
+            std::to_string(config_.port) + ": " + std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    started_.store(false);
+    return false;
+  }
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof(bound);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound),
+                    &bound_len) != 0) {
+    error = std::string("getsockname: ") + std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    started_.store(false);
+    return false;
+  }
+  port_ = ntohs(bound.sin_port);
+  accept_thread_ = std::thread([this] { accept_loop(); });
+  return true;
+}
+
+void TcpServer::stop() {
+  if (!started_.load(std::memory_order_acquire)) return;
+  if (stopping_.exchange(true)) return;
+  // 1. Stop accepting: unblock and join the accept thread.
+  if (listen_fd_ >= 0) ::shutdown(listen_fd_, SHUT_RDWR);
+  if (accept_thread_.joinable()) accept_thread_.join();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  // 2. Flush responses already dispatched, then unblock every reader.
+  dispatch_pool_.wait_idle();
+  {
+    common::MutexLock lock(connections_mutex_);
+    for (auto& conn : connections_) {
+      if (conn->fd >= 0) ::shutdown(conn->fd, SHUT_RDWR);
+    }
+    for (auto& conn : connections_) {
+      if (conn->reader.joinable()) conn->reader.join();
+    }
+  }
+  // 3. Readers may have dispatched more work before seeing the shutdown;
+  // drain it, after which nothing references the connections.
+  dispatch_pool_.wait_idle();
+  {
+    common::MutexLock lock(connections_mutex_);
+    for (auto& conn : connections_) {
+      if (conn->fd >= 0) ::close(conn->fd);
+    }
+    connections_.clear();
+  }
+}
+
+void TcpServer::accept_loop() {
+  while (!stopping_.load(std::memory_order_acquire)) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      break;  // listener shut down (stop()) or unrecoverable
+    }
+    const int nodelay = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &nodelay, sizeof(nodelay));
+    auto conn = std::make_unique<Connection>();
+    conn->fd = fd;
+    Connection& ref = *conn;
+    {
+      common::MutexLock lock(connections_mutex_);
+      connections_.push_back(std::move(conn));
+    }
+    ref.reader = std::thread([this, &ref] { reader_loop(ref); });
+    reap_connections();
+  }
+}
+
+void TcpServer::reader_loop(Connection& conn) {
+  std::string buffer;
+  std::string chunk(std::size_t{1} << 16, '\0');
+  const std::size_t max_frame = service_.config().limits.max_frame_bytes;
+  bool drop = false;
+  while (!drop) {
+    const ssize_t n = ::recv(conn.fd, chunk.data(), chunk.size(), 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) break;
+    buffer.append(chunk.data(), static_cast<std::size_t>(n));
+    while (!drop) {
+      std::size_t consumed = 0;
+      std::string payload;
+      const FrameStatus status =
+          try_decode_frame(buffer, max_frame, consumed, payload);
+      if (status == FrameStatus::kNeedMore) break;
+      if (status == FrameStatus::kTooLarge) {
+        // The stream offset is unrecoverable past an oversized header:
+        // answer once, then drop the connection.
+        send_response(conn,
+                      make_error(0, code::kBadFrame,
+                                 "frame exceeds max_frame_bytes (" +
+                                     std::to_string(max_frame) + ")"));
+        drop = true;
+        break;
+      }
+      buffer.erase(0, consumed);
+      // Shed-not-queue: claim the admission slot *before* enqueueing. A
+      // refusal is answered inline from this reader; the dispatch queue
+      // only ever holds admitted work.
+      Service::Ticket ticket = service_.try_admit();
+      if (!ticket) {
+        send_response(conn, service_.overloaded_response(payload));
+        continue;
+      }
+      // ThreadPool tasks are copyable std::functions; the move-only
+      // ticket rides in a shared_ptr.
+      auto ticket_ptr = std::make_shared<Service::Ticket>(std::move(ticket));
+      conn.pending.fetch_add(1, std::memory_order_acq_rel);
+      dispatch_pool_.submit([this, &conn, payload, ticket_ptr] {
+        send_response(conn, service_.handle_admitted(payload));
+        ticket_ptr->release();
+        // Last touch of conn: reap_connections() frees it only once
+        // done && pending == 0.
+        conn.pending.fetch_sub(1, std::memory_order_acq_rel);
+      });
+    }
+  }
+  // The connection is dead (EOF or protocol drop) but its descriptor is
+  // only closed by reap/stop, which may be far off. Send FIN now so a
+  // peer blocked in recv() observes the drop instead of hanging; any
+  // still-dispatched response just gets EPIPE, which send_all tolerates.
+  ::shutdown(conn.fd, SHUT_RDWR);
+  conn.done.store(true, std::memory_order_release);
+}
+
+void TcpServer::send_response(Connection& conn, const std::string& payload) {
+  const std::string frame = encode_frame(payload);
+  common::MutexLock lock(conn.write_mutex);
+  (void)send_all(conn.fd, frame.data(), frame.size());
+}
+
+void TcpServer::reap_connections() {
+  common::MutexLock lock(connections_mutex_);
+  auto it = connections_.begin();
+  while (it != connections_.end()) {
+    Connection& conn = **it;
+    if (conn.done.load(std::memory_order_acquire) &&
+        conn.pending.load(std::memory_order_acquire) == 0) {
+      if (conn.reader.joinable()) conn.reader.join();
+      if (conn.fd >= 0) ::close(conn.fd);
+      it = connections_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+TcpClientTransport::~TcpClientTransport() { disconnect(); }
+
+bool TcpClientTransport::connected() const {
+  common::MutexLock lock(io_mutex_);
+  return fd_ >= 0;
+}
+
+void TcpClientTransport::disconnect() {
+  common::MutexLock lock(io_mutex_);
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+bool TcpClientTransport::connect_to(const std::string& host,
+                                    std::uint16_t port, std::string& error) {
+  common::MutexLock lock(io_mutex_);
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  addrinfo hints{};
+  hints.ai_family = AF_INET;
+  hints.ai_socktype = SOCK_STREAM;
+  addrinfo* results = nullptr;
+  const std::string port_str = std::to_string(port);
+  const int rc = ::getaddrinfo(host.c_str(), port_str.c_str(), &hints,
+                               &results);
+  if (rc != 0) {
+    error = std::string("getaddrinfo(") + host + "): " + ::gai_strerror(rc);
+    return false;
+  }
+  int fd = -1;
+  for (const addrinfo* ai = results; ai != nullptr; ai = ai->ai_next) {
+    fd = ::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
+    if (fd < 0) continue;
+    if (::connect(fd, ai->ai_addr, ai->ai_addrlen) == 0) break;
+    ::close(fd);
+    fd = -1;
+  }
+  ::freeaddrinfo(results);
+  if (fd < 0) {
+    error = "connect to " + host + ":" + port_str + " failed: " +
+            std::strerror(errno);
+    return false;
+  }
+  const int nodelay = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &nodelay, sizeof(nodelay));
+  fd_ = fd;
+  return true;
+}
+
+bool TcpClientTransport::roundtrip(std::string_view frame,
+                                   std::string& response_frame,
+                                   std::string& error) {
+  common::MutexLock lock(io_mutex_);
+  if (fd_ < 0) {
+    error = "not connected";
+    return false;
+  }
+  if (!send_all(fd_, frame.data(), frame.size())) {
+    error = std::string("send: ") + std::strerror(errno);
+    return false;
+  }
+  std::string buffer;
+  std::string chunk(std::size_t{1} << 16, '\0');
+  while (true) {
+    std::size_t consumed = 0;
+    std::string payload;
+    const FrameStatus status =
+        try_decode_frame(buffer, max_response_frame_bytes, consumed, payload);
+    if (status == FrameStatus::kFrame) {
+      response_frame = buffer.substr(0, consumed);
+      return true;
+    }
+    if (status == FrameStatus::kTooLarge) {
+      error = "response frame exceeds max_response_frame_bytes (" +
+              std::to_string(max_response_frame_bytes) + ")";
+      return false;
+    }
+    const ssize_t n = ::recv(fd_, chunk.data(), chunk.size(), 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n == 0) {
+      error = "connection closed by server";
+      return false;
+    }
+    if (n < 0) {
+      error = std::string("recv: ") + std::strerror(errno);
+      return false;
+    }
+    buffer.append(chunk.data(), static_cast<std::size_t>(n));
+  }
+}
+
+}  // namespace rim::svc

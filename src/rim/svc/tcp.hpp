@@ -1,0 +1,128 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "rim/common/mutex.hpp"
+#include "rim/common/thread_annotations.hpp"
+#include "rim/parallel/thread_pool.hpp"
+#include "rim/svc/transport.hpp"
+
+/// \file tcp.hpp
+/// POSIX TCP transport for the scenario service.
+///
+/// TcpServer binds a loopback listener and runs one accept thread plus one
+/// reader thread per connection. Readers deframe requests and claim an
+/// admission ticket *before* submitting the dispatch onto the server's
+/// thread pool; refused requests are answered "overloaded" inline from the
+/// reader, so a saturated service never grows a dispatch backlog
+/// (shed-not-queue, service.hpp). An oversized frame gets a "bad_frame"
+/// response and the connection is dropped — the stream offset is
+/// unrecoverable past a corrupt header.
+///
+/// Responses may be written from dispatch workers concurrently with the
+/// reader answering sheds, so each connection serializes writes with its
+/// own mutex. Dispatch runs on the server's pool; batch execution inside a
+/// handler runs on the Service's distinct batch pool (service.hpp), so a
+/// dispatch worker never wait_idle()s on its own pool.
+///
+/// stop() is idempotent and clean: stop accepting, drain dispatched work,
+/// shut down every connection, join every thread. TcpServer's destructor
+/// calls it.
+
+namespace rim::svc {
+
+struct TcpServerConfig {
+  /// Port to bind on 127.0.0.1; 0 picks an ephemeral port (see port()).
+  std::uint16_t port = 0;
+  /// Dispatch pool workers (0 = hardware concurrency).
+  std::size_t dispatch_threads = 0;
+};
+
+class TcpServer {
+ public:
+  TcpServer(Service& service, TcpServerConfig config);
+  ~TcpServer();
+
+  TcpServer(const TcpServer&) = delete;
+  TcpServer& operator=(const TcpServer&) = delete;
+
+  /// Bind + listen + start the accept thread. False with \p error on
+  /// socket failure (e.g. port in use).
+  [[nodiscard]] bool start(std::string& error);
+
+  /// The bound port (resolves an ephemeral request after start()).
+  [[nodiscard]] std::uint16_t port() const { return port_; }
+
+  /// Stop accepting, flush in-flight responses, close every connection,
+  /// join every thread. Safe to call twice.
+  void stop();
+
+ private:
+  struct Connection {
+    int fd = -1;
+    std::thread reader;
+    common::Mutex write_mutex;
+    std::atomic<bool> done{false};      ///< reader thread has exited
+    std::atomic<std::size_t> pending{0};///< dispatched-but-unanswered requests
+  };
+
+  void accept_loop();
+  void reader_loop(Connection& conn);
+  /// Frame + send one response on \p conn (serialized per connection).
+  void send_response(Connection& conn, const std::string& payload);
+  /// Join and drop connections whose readers have exited.
+  void reap_connections() RIM_EXCLUDES(connections_mutex_);
+
+  Service& service_;
+  const TcpServerConfig config_;
+  parallel::ThreadPool dispatch_pool_;
+
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::thread accept_thread_;
+  std::atomic<bool> stopping_{false};
+  std::atomic<bool> started_{false};
+
+  common::Mutex connections_mutex_;
+  std::vector<std::unique_ptr<Connection>> connections_
+      RIM_GUARDED_BY(connections_mutex_);
+};
+
+/// Client side: one blocking socket, one request/response exchange at a
+/// time (roundtrip() is internally serialized so a shared client is safe,
+/// but pipelining is intentionally not offered — the protocol is strictly
+/// request/response per frame).
+class TcpClientTransport final : public Transport {
+ public:
+  TcpClientTransport() = default;
+  ~TcpClientTransport() override;
+
+  TcpClientTransport(const TcpClientTransport&) = delete;
+  TcpClientTransport& operator=(const TcpClientTransport&) = delete;
+
+  /// Connect to \p host:\p port (numeric IPv4 or a resolvable name).
+  [[nodiscard]] bool connect_to(const std::string& host, std::uint16_t port,
+                                std::string& error);
+
+  [[nodiscard]] bool connected() const RIM_EXCLUDES(io_mutex_);
+  void disconnect() RIM_EXCLUDES(io_mutex_);
+
+  [[nodiscard]] bool roundtrip(std::string_view frame,
+                               std::string& response_frame,
+                               std::string& error) override;
+
+  /// Response payload frames larger than this are treated as a transport
+  /// error (default matches the server-side frame cap).
+  std::size_t max_response_frame_bytes = kDefaultMaxFrameBytes;
+
+ private:
+  mutable common::Mutex io_mutex_;
+  int fd_ RIM_GUARDED_BY(io_mutex_) = -1;
+};
+
+}  // namespace rim::svc

@@ -1,0 +1,29 @@
+#include "rim/svc/transport.hpp"
+
+namespace rim::svc {
+
+bool LoopbackTransport::roundtrip(std::string_view frame,
+                                  std::string& response_frame,
+                                  std::string& error) {
+  std::size_t consumed = 0;
+  std::string payload;
+  const FrameStatus status = try_decode_frame(
+      frame, service_.config().limits.max_frame_bytes, consumed, payload);
+  if (status == FrameStatus::kTooLarge) {
+    // Mirror the TCP reader: answer bad_frame (the id is unknowable
+    // without the payload) — over a socket the connection would drop.
+    response_frame = encode_frame(make_error(
+        0, code::kBadFrame,
+        "frame exceeds max_frame_bytes (" +
+            std::to_string(service_.config().limits.max_frame_bytes) + ")"));
+    return true;
+  }
+  if (status != FrameStatus::kFrame || consumed != frame.size()) {
+    error = "loopback roundtrip requires exactly one complete frame";
+    return false;
+  }
+  response_frame = encode_frame(service_.handle(payload));
+  return true;
+}
+
+}  // namespace rim::svc

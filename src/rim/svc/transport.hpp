@@ -1,0 +1,56 @@
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "rim/svc/service.hpp"
+
+/// \file transport.hpp
+/// Client-side transport abstraction for the scenario service.
+///
+/// A Transport carries whole encoded frames (protocol.hpp): the client
+/// sends one request frame and receives one response frame. Two
+/// implementations exist:
+///
+///  - LoopbackTransport (here): in-process, deterministic, byte-exact —
+///    the frame bytes go through the same encode/decode and admission
+///    paths as a socket would, but the request is handled synchronously
+///    on the caller's thread. Every protocol test runs over loopback so
+///    results are reproducible without binding ports.
+///  - TcpClientTransport (tcp.hpp): a real POSIX socket to a TcpServer.
+///
+/// Because Service::handle is a pure request→response function of the
+/// session state, a loopback exchange is byte-identical to the same
+/// exchange over TCP — tests/svc_tcp_test.cpp pins that.
+
+namespace rim::svc {
+
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  /// Deliver one encoded request frame; receive the encoded response
+  /// frame. False (with \p error) only on transport failure — protocol
+  /// errors come back as ordinary error responses.
+  [[nodiscard]] virtual bool roundtrip(std::string_view frame,
+                                       std::string& response_frame,
+                                       std::string& error) = 0;
+};
+
+/// In-process transport: decodes the frame (enforcing the service's
+/// max_frame_bytes exactly as the TCP reader does), dispatches through
+/// Service::handle (admission control included), and re-encodes the
+/// response.
+class LoopbackTransport final : public Transport {
+ public:
+  explicit LoopbackTransport(Service& service) : service_(service) {}
+
+  [[nodiscard]] bool roundtrip(std::string_view frame,
+                               std::string& response_frame,
+                               std::string& error) override;
+
+ private:
+  Service& service_;
+};
+
+}  // namespace rim::svc

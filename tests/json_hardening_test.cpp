@@ -1,0 +1,176 @@
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "rim/io/json.hpp"
+
+// Hardening tests for io::Json::parse against untrusted input — the parser
+// now sits on the svc wire path, so hostile bytes must always produce a
+// clean parse error: no UB, no stack overflow, no smuggled non-finite
+// numbers. Happy-path parsing is covered in io_test.cpp.
+
+namespace rim::io {
+namespace {
+
+bool parses(const std::string& text, std::string* error_out = nullptr) {
+  Json out;
+  std::string error;
+  const bool ok = Json::parse(text, out, error);
+  if (error_out != nullptr) *error_out = error;
+  return ok;
+}
+
+std::string nested(std::size_t depth, char open, char close) {
+  std::string text(depth, open);
+  text += "1";
+  text.append(depth, close);
+  return text;
+}
+
+TEST(JsonHardening, DepthLimitIsDocumentedAndEnforced) {
+  // Exactly at the limit parses; one past it is an error, not a crash.
+  EXPECT_TRUE(parses(nested(Json::kMaxParseDepth, '[', ']')));
+  std::string error;
+  EXPECT_FALSE(parses(nested(Json::kMaxParseDepth + 1, '[', ']'), &error));
+  EXPECT_NE(error.find("nesting too deep"), std::string::npos) << error;
+}
+
+TEST(JsonHardening, DeepHostileNestingIsRejectedNotFatal) {
+  // A buffer of '[' with no closers: depth-limited long before the stack
+  // is at risk, even at a megabyte of nesting.
+  EXPECT_FALSE(parses(std::string(1u << 20, '[')));
+  EXPECT_FALSE(parses(std::string(1u << 20, '{')));
+  // Mixed nesting counts against the same limit.
+  std::string mixed;
+  for (std::size_t i = 0; i < Json::kMaxParseDepth; ++i) {
+    mixed += (i % 2 == 0) ? "[" : "{\"k\":";
+  }
+  mixed += "1";
+  EXPECT_FALSE(parses(mixed + "]"));  // unbalanced anyway
+}
+
+TEST(JsonHardening, DepthLimitAppliesInsideObjects) {
+  std::string text;
+  for (std::size_t i = 0; i < Json::kMaxParseDepth + 1; ++i) {
+    text += "{\"k\":";
+  }
+  text += "1";
+  text.append(Json::kMaxParseDepth + 1, '}');
+  std::string error;
+  EXPECT_FALSE(parses(text, &error));
+  EXPECT_NE(error.find("nesting too deep"), std::string::npos) << error;
+}
+
+TEST(JsonHardening, LongStringsParse) {
+  const std::string body(1u << 20, 'a');
+  Json out;
+  std::string error;
+  ASSERT_TRUE(Json::parse("\"" + body + "\"", out, error)) << error;
+  ASSERT_NE(out.as_string(), nullptr);
+  EXPECT_EQ(*out.as_string(), body);
+}
+
+TEST(JsonHardening, EscapeHandling) {
+  Json out;
+  std::string error;
+  ASSERT_TRUE(Json::parse(R"("a\"b\\c\/d\b\f\n\r\t")", out, error)) << error;
+  ASSERT_NE(out.as_string(), nullptr);
+  EXPECT_EQ(*out.as_string(), "a\"b\\c/d\b\f\n\r\t");
+
+  ASSERT_TRUE(Json::parse(R"("Aé€")", out, error)) << error;
+  ASSERT_NE(out.as_string(), nullptr);
+  EXPECT_EQ(*out.as_string(), "A\xC3\xA9\xE2\x82\xAC");
+
+  EXPECT_FALSE(parses(R"("\q")"));
+  EXPECT_FALSE(parses(R"("\u00g0")"));
+  EXPECT_FALSE(parses(R"("\u12)"));
+  EXPECT_FALSE(parses("\"raw\ncontrol\""));
+}
+
+TEST(JsonHardening, EscapedStringsRoundTripThroughDump) {
+  Json out;
+  std::string error;
+  ASSERT_TRUE(Json::parse(R"("tab\there\nand \"quotes\"")", out, error));
+  Json again;
+  ASSERT_TRUE(Json::parse(out.dump(), again, error)) << error;
+  ASSERT_NE(again.as_string(), nullptr);
+  EXPECT_EQ(*again.as_string(), *out.as_string());
+}
+
+TEST(JsonHardening, NumberOverflowIsAParseError) {
+  std::string error;
+  EXPECT_FALSE(parses("1e999", &error));
+  EXPECT_NE(error.find("overflows"), std::string::npos) << error;
+  EXPECT_FALSE(parses("-1e999"));
+  EXPECT_FALSE(parses("[1,2,1e999]"));
+  EXPECT_FALSE(parses(R"({"x":1e999})"));
+  // A huge digit string overflows too (strtod saturates to inf).
+  EXPECT_FALSE(parses(std::string(400, '9')));
+}
+
+TEST(JsonHardening, NumberUnderflowAndExtremesAreAccepted) {
+  Json out;
+  std::string error;
+  // Gradual underflow collapses toward zero — finite, so acceptable.
+  ASSERT_TRUE(Json::parse("1e-999", out, error)) << error;
+  EXPECT_EQ(out.as_number(1.0), 0.0);
+  ASSERT_TRUE(Json::parse("1.7976931348623157e308", out, error)) << error;
+  EXPECT_TRUE(out.is_number());
+  ASSERT_TRUE(Json::parse("-1.7976931348623157e308", out, error)) << error;
+  EXPECT_TRUE(out.is_number());
+}
+
+TEST(JsonHardening, NonFiniteLiteralsNeverParse) {
+  // JSON has no Inf/NaN spellings; make sure none sneak through strtod,
+  // which would otherwise happily accept "inf"/"nan".
+  EXPECT_FALSE(parses("inf"));
+  EXPECT_FALSE(parses("Infinity"));
+  EXPECT_FALSE(parses("nan"));
+  EXPECT_FALSE(parses("-inf"));
+  EXPECT_FALSE(parses("NaN"));
+}
+
+TEST(JsonHardening, TruncatedDocumentsFailCleanly) {
+  const std::string document =
+      R"({"a":[1,2.5,true,null,"sA"],"b":{"c":"d"}})";
+  Json out;
+  std::string error;
+  ASSERT_TRUE(Json::parse(document, out, error)) << error;
+  // Every proper prefix must fail with an error, never crash or accept.
+  for (std::size_t cut = 0; cut < document.size(); ++cut) {
+    EXPECT_FALSE(parses(document.substr(0, cut)))
+        << "prefix of " << cut << " bytes parsed";
+  }
+}
+
+TEST(JsonHardening, TrailingGarbageIsRejected) {
+  EXPECT_FALSE(parses("{} {}"));
+  EXPECT_FALSE(parses("1 2"));
+  EXPECT_FALSE(parses("null x"));
+  EXPECT_FALSE(parses("[1],"));
+}
+
+TEST(JsonHardening, MalformedStructuresAreRejected) {
+  EXPECT_FALSE(parses(""));
+  EXPECT_FALSE(parses("   "));
+  EXPECT_FALSE(parses("[1,]"));
+  EXPECT_FALSE(parses("{\"a\"}"));
+  EXPECT_FALSE(parses("{\"a\":}"));
+  EXPECT_FALSE(parses("{a:1}"));
+  EXPECT_FALSE(parses("[1 2]"));
+  EXPECT_FALSE(parses("+1"));
+  EXPECT_FALSE(parses(".5"));
+  EXPECT_FALSE(parses("-"));
+  EXPECT_FALSE(parses("01x"));
+  EXPECT_FALSE(parses("tru"));
+  EXPECT_FALSE(parses("\x00\x01\x02"));
+}
+
+TEST(JsonHardening, ErrorsCarryAnOffset) {
+  std::string error;
+  EXPECT_FALSE(parses("[1,2,oops]", &error));
+  EXPECT_NE(error.find("offset"), std::string::npos) << error;
+}
+
+}  // namespace
+}  // namespace rim::io
