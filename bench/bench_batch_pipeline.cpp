@@ -175,8 +175,7 @@ int main() {
               return;
             }
           }
-          const geom::PointSet points(serial.points().begin(),
-                                      serial.points().end());
+          const geom::PointSet points = serial.points();
           const auto brute = core::evaluate_interference(
               serial.topology(), points, core::Strategy::kBrute);
           if (!identical(brute.per_node, snapshot_interference(batched))) {

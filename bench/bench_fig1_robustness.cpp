@@ -10,6 +10,7 @@
 #include <iostream>
 
 #include "rim/analysis/experiment.hpp"
+#include "rim/core/assessor.hpp"
 #include "rim/core/incremental.hpp"
 #include "rim/graph/udg.hpp"
 #include "rim/io/table.hpp"
@@ -30,7 +31,7 @@ int main() {
           const geom::PointSet cluster(all.begin(), all.end() - 1);
           const graph::Graph udg = graph::build_udg(cluster, 1.0);
           const graph::Graph topo = topology::mst_topology(cluster, udg);
-          const core::NodeAdditionImpact impact = core::assess_node_addition(
+          const core::NodeAdditionImpact impact = core::Assessor{}.assess_addition(
               cluster, topo, all.back(), core::AttachPolicy::kNearestNeighbor);
           table.row()
               .cell(static_cast<std::uint64_t>(n))

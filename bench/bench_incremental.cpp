@@ -9,14 +9,20 @@
 #include <cmath>
 #include <cstdint>
 #include <iostream>
+#include <vector>
 
 #include "rim/analysis/experiment.hpp"
 #include "rim/core/interference.hpp"
+#include "rim/core/radii.hpp"
 #include "rim/core/scenario.hpp"
+#include "rim/core/snapshot.hpp"
+#include "rim/geom/dynamic_grid.hpp"
+#include "rim/geom/grid_kernels.hpp"
 #include "rim/graph/udg.hpp"
 #include "rim/io/table.hpp"
 #include "rim/sim/generators.hpp"
 #include "rim/sim/rng.hpp"
+#include "rim/simd/simd.hpp"
 #include "rim/topology/mst_topology.hpp"
 
 namespace {
@@ -86,14 +92,14 @@ int main() {
           // Baseline: stateless full kGrid evaluation of the same network
           // (what every consumer paid per tick before the engine existed).
           const graph::Graph topo_now = scenario.topology();
-          const geom::PointSet points_now(scenario.points().begin(),
-                                          scenario.points().end());
+          const geom::PointSet points_now = scenario.points();
           const std::size_t full_reps = 20;
+          core::InterferenceSummary last_full;
           const auto t_full = Clock::now();
           for (std::size_t r = 0; r < full_reps; ++r) {
-            const auto summary = core::evaluate_interference(
+            last_full = core::evaluate_interference(
                 topo_now, points_now, core::Strategy::kGrid);
-            if (summary.max == 0xffffffffu) out << "";  // defeat DCE
+            if (last_full.max == 0xffffffffu) out << "";  // defeat DCE
           }
           const double full_us =
               ns_since(t_full) / 1e3 / static_cast<double>(full_reps);
@@ -112,6 +118,41 @@ int main() {
             out << (full_us / incr_us >= 10.0
                         ? "ACCEPTANCE: speedup >= 10x PASS"
                         : "ACCEPTANCE: speedup >= 10x FAIL")
+                << "\n";
+
+            // SIMD/scalar bit-identity at scale: recount I(v) for every
+            // node of the live post-churn store through the active vector
+            // backend and the scalar reference twin, and require identical
+            // FNV-1a checksums (the same kernel pair the randomized churn
+            // trace above exercised through Scenario's delta path).
+            const std::size_t count = points_now.size();
+            const std::vector<double> r2 =
+                core::transmission_radii_squared(topo_now, points_now);
+            double max_r2 = 0.0;
+            geom::DynamicGrid grid(1.0);
+            for (NodeId v = 0; v < count; ++v) {
+              grid.insert(v, points_now[v], r2[v]);
+              if (r2[v] > max_r2) max_r2 = r2[v];
+            }
+            std::vector<std::uint32_t> simd_iv(count);
+            std::vector<std::uint32_t> scalar_iv(count);
+            for (NodeId v = 0; v < count; ++v) {
+              simd_iv[v] =
+                  geom::count_covering(grid, points_now[v], max_r2, v).covered;
+              scalar_iv[v] =
+                  geom::count_covering_scalar(grid, points_now[v], max_r2, v)
+                      .covered;
+            }
+            const std::uint64_t simd_sum = core::fnv1a_words(simd_iv);
+            const std::uint64_t scalar_sum = core::fnv1a_words(scalar_iv);
+            const std::uint64_t full_sum = core::fnv1a_words(last_full.per_node);
+            out << "interference checksums (" << count << " nodes, backend "
+                << simd::kBackend << "): simd=" << std::hex << simd_sum
+                << " scalar=" << scalar_sum << " full_eval=" << full_sum
+                << std::dec << "\n";
+            out << (simd_sum == scalar_sum && simd_sum == full_sum
+                        ? "ACCEPTANCE: simd/scalar checksums identical PASS"
+                        : "ACCEPTANCE: simd/scalar checksums identical FAIL")
                 << "\n\n";
           }
         }

@@ -6,6 +6,7 @@
 
 #include "rim/analysis/experiment.hpp"
 #include "rim/analysis/stats.hpp"
+#include "rim/core/assessor.hpp"
 #include "rim/core/incremental.hpp"
 #include "rim/graph/udg.hpp"
 #include "rim/io/table.hpp"
@@ -62,7 +63,7 @@ int main() {
                   trial == 0
                       ? geom::Vec2{points[0].x + 0.98, points[0].y}
                       : geom::Vec2{rng.uniform(-0.5, 3.0), rng.uniform(-0.5, 3.0)};
-              const auto impact = core::assess_node_addition(
+              const auto impact = core::Assessor{}.assess_addition(
                   points, topo, spot, core::AttachPolicy::kNearestNeighbor);
               recv_increases.push_back(impact.receiver_max_node_increase);
               send_jumps.push_back(

@@ -73,19 +73,23 @@ void run_tenant(svc::Service& service, std::uint64_t seed,
                 WorkerResult& result) {
   svc::LoopbackTransport transport(service);
   svc::Client client(transport);
-  std::uint64_t session = 0;
-  if (!client.create_session(session)) {
-    result.error = "create_session: " + client.error();
+  // Typed calls (SvcResult<T>): a failure is an SvcError value carrying the
+  // decoded wire code, not a bool plus string accessors.
+  const svc::SvcResult<std::uint64_t> opened = client.try_create_session();
+  if (!opened) {
+    result.error = "create_session: " + opened.error().message;
+    return;
+  }
+  const std::uint64_t session = *opened;
+  ++result.requests;
+  svc::SvcResult<core::BatchResult> applied =
+      client.try_apply_batch(session, seed_mutations(seed));
+  if (!applied) {
+    result.error = "seed apply_batch: " + applied.error().message;
     return;
   }
   ++result.requests;
-  core::BatchResult applied;
-  if (!client.apply_batch(session, seed_mutations(seed), applied)) {
-    result.error = "seed apply_batch: " + client.error();
-    return;
-  }
-  ++result.requests;
-  result.mutations += applied.applied;
+  result.mutations += applied->applied;
 
   sim::Rng rng(seed * 7919 + 1);
   sim::WorkloadConfig churn;
@@ -98,21 +102,24 @@ void run_tenant(svc::Service& service, std::uint64_t seed,
       if (m.kind == core::Mutation::Kind::kAddNode) ++nodes;
       if (m.kind == core::Mutation::Kind::kRemoveNode) --nodes;
     }
-    if (!client.apply_batch(session, batch, applied)) {
-      result.error = "apply_batch: " + client.error();
+    applied = client.try_apply_batch(session, batch);
+    if (!applied) {
+      result.error = "apply_batch: " + applied.error().message;
       return;
     }
     ++result.requests;
-    result.mutations += applied.applied;
-    io::Json interference;
-    if (!client.query_interference(session, interference)) {
-      result.error = "query_interference: " + client.error();
+    result.mutations += applied->applied;
+    const svc::SvcResult<io::Json> interference =
+        client.try_query_interference(session);
+    if (!interference) {
+      result.error = "query_interference: " + interference.error().message;
       return;
     }
     ++result.requests;
   }
-  if (!client.close_session(session)) {
-    result.error = "close_session: " + client.error();
+  if (const svc::SvcResult<void> closed = client.try_close_session(session);
+      !closed) {
+    result.error = "close_session: " + closed.error().message;
     return;
   }
   ++result.requests;
@@ -211,14 +218,16 @@ int main() {
             svc::LoopbackTransport transport(gated);
             svc::Client client(transport);
             // Retries the call until the gate admits it; counts how the
-            // service answered each attempt.
-            const auto insist = [&](auto&& call) {
+            // service answered each attempt. SvcError::retryable() is the
+            // typed form of the old error_code() string comparison.
+            const auto insist = [&](auto&& call) -> bool {
               while (true) {
-                if (call()) {
+                const auto result = call();
+                if (result.has_value()) {
                   answered.fetch_add(1, std::memory_order_relaxed);
                   return true;
                 }
-                if (client.error_code() != svc::code::kOverloaded) {
+                if (!result.error().retryable()) {
                   other.fetch_add(1, std::memory_order_relaxed);
                   return false;
                 }
@@ -226,12 +235,16 @@ int main() {
               }
             };
             std::uint64_t session = 0;
-            if (!insist([&] { return client.create_session(session); }))
+            if (!insist([&]() -> svc::SvcResult<void> {
+                  const auto opened = client.try_create_session();
+                  if (!opened) return rim::common::Unexpected(opened.error());
+                  session = *opened;
+                  return {};
+                }))
               return;
-            core::BatchResult applied;
             if (!insist([&] {
-                  return client.apply_batch(session, seed_mutations(500 + p),
-                                            applied);
+                  return client.try_apply_batch(session,
+                                                seed_mutations(500 + p));
                 }))
               return;
             sim::Rng rng(p * 31 + 7);
@@ -246,7 +259,7 @@ int main() {
                 if (m.kind == core::Mutation::Kind::kRemoveNode) --nodes;
               }
               if (!insist([&] {
-                    return client.apply_batch(session, batch, applied);
+                    return client.try_apply_batch(session, batch);
                   }))
                 return;
             }

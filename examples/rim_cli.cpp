@@ -2,7 +2,8 @@
 ///
 ///   rim_cli generate  --kind uniform --n 200 --side 4 --seed 1 > points.csv
 ///   rim_cli topology  --algorithm mst --points points.csv > edges.csv
-///   rim_cli interference --points points.csv --edges edges.csv [--json]
+///   rim_cli interference --points points.csv --edges edges.csv
+///                        [--strategy brute|grid|parallel|auto] [--json]
 ///   rim_cli survey    --points points.csv
 ///   rim_cli schedule  --points points.csv --edges edges.csv --model disk
 ///   rim_cli route     --points points.csv --edges edges.csv --from 0 --to 7
@@ -21,7 +22,9 @@
 #include <sstream>
 #include <string>
 
+#include "rim/core/assessor.hpp"
 #include "rim/core/interference.hpp"
+#include "rim/core/node_soa.hpp"
 #include "rim/core/radii.hpp"
 #include "rim/core/sender_centric.hpp"
 #include "rim/graph/connectivity.hpp"
@@ -139,10 +142,37 @@ int cmd_topology(const Args& args) {
   return 0;
 }
 
+/// --strategy brute|grid|parallel|auto (default auto), assembled through
+/// the EvalOptions builder so the CLI shares the core defaults verbatim.
+core::EvalOptions parse_eval_options(const Args& args) {
+  const std::string name = args.get("strategy", "auto");
+  core::Strategy strategy = core::Strategy::kAuto;
+  if (name == "brute") {
+    strategy = core::Strategy::kBrute;
+  } else if (name == "grid") {
+    strategy = core::Strategy::kGrid;
+  } else if (name == "parallel") {
+    strategy = core::Strategy::kParallel;
+  } else if (name != "auto") {
+    throw std::runtime_error("unknown --strategy '" + name +
+                             "' (brute|grid|parallel|auto)");
+  }
+  return core::EvalOptions{}.with_strategy(strategy);
+}
+
 int cmd_interference(const Args& args) {
   const geom::PointSet points = load_points(args);
   const graph::Graph topo = load_edges(args, points.size());
-  const core::InterferenceSummary recv = core::evaluate_interference(topo, points);
+  // The redesigned assessment surface: radii from the topology, nodes in
+  // SoA layout, one Assessor call (core/assessor.hpp).
+  const std::vector<double> radii2 =
+      core::transmission_radii_squared(topo, points);
+  core::NodeSoA nodes;
+  for (NodeId v = 0; v < points.size(); ++v) {
+    nodes.insert(v, points[v], radii2[v]);
+  }
+  const core::InterferenceSummary recv =
+      core::Assessor(parse_eval_options(args)).assess(nodes);
   const core::SenderCentricSummary send = core::evaluate_sender_centric(topo, points);
   if (args.flag("json")) {
     io::JsonObject object;

@@ -1,0 +1,125 @@
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <vector>
+
+/// \file arena.hpp
+/// Monotonic bump allocator for batch-scoped scratch memory.
+///
+/// The batch pipeline (core::Scenario::apply_batch) used to build a fresh
+/// set of std::vectors per call — task lists, recount lists, one vector per
+/// conflict-free wave — churning the heap on every tick of a churn
+/// workload. Arena replaces that with bump allocation: one pointer
+/// increment per allocation, no per-object free, and reset() recycles the
+/// high-water blocks so a steady-state batch loop allocates nothing at all
+/// after warm-up.
+///
+/// Lifetime rules (DESIGN.md §10):
+///  - everything allocated from an Arena dies, at the latest, at the next
+///    reset(); destructors are NOT run — only trivially destructible types
+///    may be placed in an arena (enforced with static_assert);
+///  - reset() keeps the largest block, so steady-state reuse is
+///    allocation-free while pathological batches release their overflow
+///    blocks on the next reset;
+///  - an Arena is single-threaded by contract. Parallel wave tasks may read
+///    arena-backed arrays freely, but only the owning (serial) phase
+///    allocates.
+namespace rim::common {
+
+class Arena {
+ public:
+  /// \p initial_bytes sizes the first block (rounded up per allocation as
+  /// needed); later blocks double, so a mis-sized hint only costs O(log)
+  /// extra blocks until reset() consolidates.
+  explicit Arena(std::size_t initial_bytes = 1u << 14)
+      : next_block_bytes_(initial_bytes == 0 ? 1u << 14 : initial_bytes) {}
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+  // Movable: outstanding allocations stay valid (block ownership transfers).
+  Arena(Arena&&) noexcept = default;
+  Arena& operator=(Arena&&) noexcept = default;
+
+  /// Uninitialized storage for \p n objects of \p T, aligned for T.
+  /// Returns a valid (dangling-safe, unique) pointer even for n == 0.
+  template <typename T>
+  [[nodiscard]] T* alloc_array(std::size_t n) {
+    static_assert(std::is_trivially_destructible_v<T>,
+                  "arena memory is reclaimed without running destructors");
+    return static_cast<T*>(raw_alloc(n * sizeof(T), alignof(T)));
+  }
+
+  /// Construct one T in place. T must be trivially destructible (the arena
+  /// never calls destructors).
+  template <typename T, typename... Args>
+  [[nodiscard]] T* create(Args&&... args) {
+    static_assert(std::is_trivially_destructible_v<T>,
+                  "arena memory is reclaimed without running destructors");
+    return ::new (raw_alloc(sizeof(T), alignof(T)))
+        T{static_cast<Args&&>(args)...};
+  }
+
+  /// Invalidate every outstanding allocation and recycle the memory. The
+  /// largest block is retained (steady-state reuse); the rest is freed.
+  void reset() {
+    if (blocks_.size() > 1) {
+      // Keep only the biggest block: a batch loop converges to exactly one
+      // allocation-free block after the first over-sized batch.
+      std::size_t best = 0;
+      for (std::size_t i = 1; i < blocks_.size(); ++i) {
+        if (blocks_[i].size > blocks_[best].size) best = i;
+      }
+      if (best != 0) std::swap(blocks_[0], blocks_[best]);
+      blocks_.resize(1);
+    }
+    offset_ = 0;
+    used_ = 0;
+  }
+
+  /// Bytes handed out since construction/reset (allocation watermark).
+  [[nodiscard]] std::size_t bytes_used() const { return used_; }
+  /// Blocks currently owned (1 in steady state).
+  [[nodiscard]] std::size_t block_count() const { return blocks_.size(); }
+
+ private:
+  struct Block {
+    std::unique_ptr<std::byte[]> data;
+    std::size_t size = 0;
+  };
+
+  [[nodiscard]] void* raw_alloc(std::size_t bytes, std::size_t align) {
+    assert((align & (align - 1)) == 0);
+    if (blocks_.empty()) grow(bytes + align);
+    std::size_t aligned = (offset_ + align - 1) & ~(align - 1);
+    if (aligned + bytes > blocks_[0].size) {
+      grow(bytes + align);
+      aligned = (offset_ + align - 1) & ~(align - 1);
+    }
+    offset_ = aligned + bytes;
+    used_ += bytes;
+    return blocks_[0].data.get() + aligned;
+  }
+
+  void grow(std::size_t at_least) {
+    std::size_t size = next_block_bytes_;
+    while (size < at_least) size *= 2;
+    next_block_bytes_ = size * 2;
+    Block block{std::make_unique<std::byte[]>(size), size};
+    // The freshest block is the bump target; older blocks just keep their
+    // outstanding allocations alive until reset().
+    blocks_.insert(blocks_.begin(), std::move(block));
+    offset_ = 0;
+  }
+
+  std::vector<Block> blocks_;
+  std::size_t offset_ = 0;  ///< bump cursor within blocks_[0]
+  std::size_t used_ = 0;
+  std::size_t next_block_bytes_;
+};
+
+}  // namespace rim::common

@@ -1,0 +1,123 @@
+#pragma once
+
+#include <cassert>
+#include <optional>
+#include <utility>
+#include <variant>
+
+/// \file expected.hpp
+/// A minimal Expected<T, E>: a value or a typed error, for API surfaces
+/// that report failures as data instead of bool-plus-out-parameter or
+/// exceptions (the project builds with exceptions available but treats
+/// every expected failure — transport loss, service error envelopes,
+/// validation — as a value).
+///
+/// This is the C++23 std::expected shape restricted to what the codebase
+/// needs (the toolchain is C++20): construction from T or from
+/// Unexpected<E>, has_value()/operator bool, value()/error() accessors,
+/// and value_or(). Monadic composition (and_then etc.) is deliberately
+/// omitted until a caller needs it.
+
+namespace rim::common {
+
+/// Wrapper marking a constructor argument as the error alternative
+/// (mirrors std::unexpected).
+template <typename E>
+class Unexpected {
+ public:
+  explicit Unexpected(E error) : error_(std::move(error)) {}
+  [[nodiscard]] const E& error() const& { return error_; }
+  [[nodiscard]] E&& error() && { return std::move(error_); }
+
+ private:
+  E error_;
+};
+
+template <typename E>
+Unexpected(E) -> Unexpected<E>;
+
+template <typename T, typename E>
+class Expected {
+ public:
+  /// Value-constructs T (requires T default-constructible); mirrors
+  /// std::expected's default constructor.
+  Expected() : storage_(std::in_place_index<0>) {}
+  Expected(T value)  // NOLINT(google-explicit-constructor): by design,
+                     // `return 42;` must work in an Expected-returning fn
+      : storage_(std::in_place_index<0>, std::move(value)) {}
+  Expected(Unexpected<E> error)  // NOLINT(google-explicit-constructor)
+      : storage_(std::in_place_index<1>, std::move(error).error()) {}
+
+  [[nodiscard]] bool has_value() const { return storage_.index() == 0; }
+  explicit operator bool() const { return has_value(); }
+
+  [[nodiscard]] T& value() & {
+    assert(has_value());
+    return std::get<0>(storage_);
+  }
+  [[nodiscard]] const T& value() const& {
+    assert(has_value());
+    return std::get<0>(storage_);
+  }
+  [[nodiscard]] T&& value() && {
+    assert(has_value());
+    return std::get<0>(std::move(storage_));
+  }
+
+  [[nodiscard]] E& error() & {
+    assert(!has_value());
+    return std::get<1>(storage_);
+  }
+  [[nodiscard]] const E& error() const& {
+    assert(!has_value());
+    return std::get<1>(storage_);
+  }
+  [[nodiscard]] E&& error() && {
+    assert(!has_value());
+    return std::get<1>(std::move(storage_));
+  }
+
+  [[nodiscard]] T value_or(T fallback) const& {
+    return has_value() ? std::get<0>(storage_) : std::move(fallback);
+  }
+
+  [[nodiscard]] const T* operator->() const {
+    assert(has_value());
+    return &std::get<0>(storage_);
+  }
+  [[nodiscard]] T* operator->() {
+    assert(has_value());
+    return &std::get<0>(storage_);
+  }
+  [[nodiscard]] const T& operator*() const& { return value(); }
+  [[nodiscard]] T& operator*() & { return value(); }
+
+ private:
+  std::variant<T, E> storage_;
+};
+
+/// The T = void shape: success carries nothing, failure carries E.
+template <typename E>
+class Expected<void, E> {
+ public:
+  Expected() = default;
+  Expected(Unexpected<E> error)  // NOLINT(google-explicit-constructor)
+      : error_(std::in_place, std::move(error).error()) {}
+
+  [[nodiscard]] bool has_value() const { return !error_.has_value(); }
+  explicit operator bool() const { return has_value(); }
+
+  [[nodiscard]] const E& error() const& {
+    assert(!has_value());
+    return *error_;
+  }
+  [[nodiscard]] E&& error() && {
+    assert(!has_value());
+    return std::move(*error_);
+  }
+
+ private:
+  std::optional<E> error_;
+};
+
+}  // namespace rim::common

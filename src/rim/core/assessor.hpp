@@ -1,0 +1,91 @@
+#pragma once
+
+#include <span>
+
+#include "rim/core/incremental.hpp"
+#include "rim/core/interference.hpp"
+#include "rim/core/node_soa.hpp"
+#include "rim/core/scenario.hpp"
+
+/// \file assessor.hpp
+/// The one assessment front door of the engine.
+///
+/// Interference assessment used to be reachable through three overlapping
+/// entry points that grew independently: the free-function assessors of
+/// incremental.hpp, Scenario::assess(Mutation), and the per-command handlers
+/// of rim::svc. core::Assessor collapses them into a single interface:
+///
+///  - assess(NodeSoA, Strategy, EvalOptions): stateless summary of a
+///    standalone SoA store. The kBrute resolution runs the simd.hpp
+///    coverage kernel directly over the store's contiguous columns; grid
+///    strategies reuse the stateless evaluators.
+///  - assess(Scenario&, Mutation...): impact of a mutation sequence,
+///    measured on a probe copy without disturbing the scenario (the former
+///    Scenario::assess).
+///  - assess_addition / assess_removal: the structured churn reports of
+///    incremental.hpp (experiments E1/E11), including the sender-centric
+///    comparison.
+///
+/// The old entry points survive as deprecated thin wrappers for one PR
+/// (removal note in DESIGN.md §10); new code constructs an Assessor —
+/// typically `Assessor{}` or `Assessor(options)` — and calls one method.
+
+namespace rim::core {
+
+class Assessor {
+ public:
+  /// \p options seeds strategy resolution for the NodeSoA overloads and the
+  /// temporary Scenarios built by assess_addition / assess_removal.
+  explicit Assessor(EvalOptions options = {}) : options_(options) {}
+
+  // --- stateless: summary of a standalone store ---------------------------
+
+  /// Per-node and aggregate interference of \p nodes (Definition 3.1/3.2),
+  /// with \p strategy resolved against \p options. The store must satisfy
+  /// the engine's dense-id invariant (nodes.dense()); per_node is indexed
+  /// by node id.
+  [[nodiscard]] InterferenceSummary assess(const NodeSoA& nodes,
+                                           Strategy strategy,
+                                           const EvalOptions& options) const;
+  [[nodiscard]] InterferenceSummary assess(
+      const NodeSoA& nodes, Strategy strategy = Strategy::kAuto) const {
+    return assess(nodes, strategy, options_);
+  }
+
+  // --- impact of a mutation sequence on a live scenario -------------------
+
+  /// Measure what applying \p mutations (in order) would do to
+  /// \p scenario, without applying it: the sequence runs on a probe copy
+  /// and per-node deltas, affected ids, and before/after maxima are
+  /// reported in the pre-mutation id space. \p scenario itself only
+  /// refreshes its evaluation cache.
+  [[nodiscard]] Assessment assess(Scenario& scenario,
+                                  std::span<const Mutation> mutations) const;
+  [[nodiscard]] Assessment assess(Scenario& scenario,
+                                  const Mutation& mutation) const {
+    return assess(scenario, std::span<const Mutation>(&mutation, 1));
+  }
+
+  // --- structured churn reports (experiments E1/E11) ----------------------
+
+  /// Impact of adding a node at \p new_point to the network
+  /// (\p points, \p topology) under \p policy, including the
+  /// sender-centric (MobiHoc'04) before/after comparison.
+  [[nodiscard]] NodeAdditionImpact assess_addition(
+      std::span<const geom::Vec2> points, const graph::Graph& topology,
+      geom::Vec2 new_point,
+      AttachPolicy policy = AttachPolicy::kNearestNeighbor) const;
+
+  /// Impact of removing node \p victim (and its incident edges) without
+  /// repair.
+  [[nodiscard]] NodeRemovalImpact assess_removal(
+      std::span<const geom::Vec2> points, const graph::Graph& topology,
+      NodeId victim) const;
+
+  [[nodiscard]] const EvalOptions& options() const { return options_; }
+
+ private:
+  EvalOptions options_;
+};
+
+}  // namespace rim::core

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <array>
 
+#include "rim/core/assessor.hpp"
+
 namespace rim::core {
 
 io::Json AuditReport::to_json() const {
@@ -27,7 +29,7 @@ AuditReport InvariantAuditor::audit(Scenario& scenario) const {
   ++audits_;
   AuditReport report;
   const std::size_t n = scenario.node_count();
-  const std::span<const geom::Vec2> points = scenario.points();
+  const geom::PointSet points = scenario.points();
 
   if (options_.check_structure) {
     std::size_t degree_sum = 0;
@@ -118,7 +120,7 @@ AuditReport InvariantAuditor::audit_robustness(
     const std::array<Mutation, 2> arrival = {
         Mutation::add_node(p),
         Mutation::add_edge(static_cast<NodeId>(n), partner)};
-    const Assessment assessment = scenario.assess(arrival);
+    const Assessment assessment = Assessor{}.assess(scenario, arrival);
     for (const NodeId v : assessment.affected_ids) {
       ++report.checks;
       const std::int64_t delta = assessment.delta_per_node[v];

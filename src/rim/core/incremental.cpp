@@ -1,74 +1,23 @@
 #include "rim/core/incremental.hpp"
 
-#include <algorithm>
-#include <array>
-#include <cassert>
-
-#include "rim/core/interference.hpp"
-#include "rim/core/scenario.hpp"
-#include "rim/core/sender_centric.hpp"
+#include "rim/core/assessor.hpp"
 
 namespace rim::core {
 
+// Deprecated wrappers (kept for one PR, see assessor.hpp): the logic moved
+// verbatim into core::Assessor, the one assessment front door.
+
 NodeAdditionImpact assess_node_addition(std::span<const geom::Vec2> points,
                                         const graph::Graph& topology,
-                                        geom::Vec2 new_point, AttachPolicy policy) {
-  assert(points.size() == topology.node_count());
-  NodeAdditionImpact impact;
-
-  Scenario scenario(points, topology);
-  impact.sender_before = evaluate_sender_centric(topology, points).max;
-
-  // The arrival as a mutation sequence: the node itself, plus (policy
-  // permitting) the attachment edge to its nearest pre-existing neighbor.
-  // Scenario::assess measures the sequence on a probe copy.
-  const auto newcomer = static_cast<NodeId>(points.size());
-  std::array<Mutation, 2> sequence{Mutation::add_node(new_point), {}};
-  std::size_t length = 1;
-  if (policy == AttachPolicy::kNearestNeighbor && !points.empty()) {
-    sequence[length++] =
-        Mutation::add_edge(newcomer, scenario.nearest_node(new_point));
-  }
-  const Assessment assessment =
-      scenario.assess(std::span<const Mutation>(sequence.data(), length));
-
-  impact.receiver_before = assessment.max_before;
-  impact.receiver_after = assessment.max_after;
-  impact.newcomer_interference = assessment.newcomer_interference;
-  for (const std::int64_t delta : assessment.delta_per_node) {
-    if (delta > 0) {
-      impact.receiver_max_node_increase =
-          std::max(impact.receiver_max_node_increase,
-                   static_cast<std::uint32_t>(delta));
-    }
-  }
-
-  // The sender-centric comparison needs the mutated topology for real.
-  for (std::size_t i = 0; i < length; ++i) scenario.apply(sequence[i]);
-  impact.sender_after =
-      evaluate_sender_centric(scenario.topology(), scenario.points()).max;
-  return impact;
+                                        geom::Vec2 new_point,
+                                        AttachPolicy policy) {
+  return Assessor{}.assess_addition(points, topology, new_point, policy);
 }
 
 NodeRemovalImpact assess_node_removal(std::span<const geom::Vec2> points,
-                                      const graph::Graph& topology, NodeId victim) {
-  assert(victim < topology.node_count());
-  NodeRemovalImpact impact;
-
-  Scenario scenario(points, topology);
-  const Assessment assessment = scenario.assess(Mutation::remove_node(victim));
-
-  impact.receiver_before = assessment.max_before;
-  impact.receiver_after = assessment.max_after;
-  // The victim's own delta is -I(victim); only survivors can increase.
-  for (const std::int64_t delta : assessment.delta_per_node) {
-    if (delta > 0) {
-      impact.receiver_max_node_increase =
-          std::max(impact.receiver_max_node_increase,
-                   static_cast<std::uint32_t>(delta));
-    }
-  }
-  return impact;
+                                      const graph::Graph& topology,
+                                      NodeId victim) {
+  return Assessor{}.assess_removal(points, topology, victim);
 }
 
 }  // namespace rim::core

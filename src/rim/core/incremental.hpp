@@ -18,12 +18,12 @@
 /// such bound: a single added node can force an edge whose coverage is n
 /// (Figure 1). These helpers quantify both effects for experiments E1/E11.
 ///
-/// Both assessors are thin wrappers over core::Scenario::assess — the
-/// mutation is expressed as a core::Mutation sequence and measured on a
-/// probe copy of a temporary Scenario (the "before" state costs one full
-/// evaluation, the mutation itself an O(affected-disk) incremental delta).
-/// Long-lived churn loops should hold a Scenario directly and call
-/// assess()/apply() per event instead.
+/// Both assessors are deprecated thin wrappers over core::Assessor
+/// (assessor.hpp) — the mutation is expressed as a core::Mutation sequence
+/// and measured on a probe copy of a temporary Scenario (the "before" state
+/// costs one full evaluation, the mutation itself an O(affected-disk)
+/// incremental delta). Long-lived churn loops should hold a Scenario
+/// directly and apply()/assess per event instead.
 
 namespace rim::core {
 
@@ -48,7 +48,10 @@ struct NodeAdditionImpact {
 
 /// Evaluate the impact of adding a node at \p new_point to the network
 /// (\p points, \p topology) under the given attachment policy.
-[[nodiscard]] NodeAdditionImpact assess_node_addition(
+/// \deprecated Use core::Assessor::assess_addition (assessor.hpp) — the one
+/// assessment front door. Scheduled for removal next PR (DESIGN.md §10).
+[[deprecated("use core::Assessor::assess_addition")]] [[nodiscard]]
+NodeAdditionImpact assess_node_addition(
     std::span<const geom::Vec2> points, const graph::Graph& topology,
     geom::Vec2 new_point, AttachPolicy policy = AttachPolicy::kNearestNeighbor);
 
@@ -61,7 +64,10 @@ struct NodeRemovalImpact {
 };
 
 /// Evaluate removing node \p victim (and its incident edges) without repair.
-[[nodiscard]] NodeRemovalImpact assess_node_removal(
+/// \deprecated Use core::Assessor::assess_removal (assessor.hpp). Scheduled
+/// for removal next PR (DESIGN.md §10).
+[[deprecated("use core::Assessor::assess_removal")]] [[nodiscard]]
+NodeRemovalImpact assess_node_removal(
     std::span<const geom::Vec2> points, const graph::Graph& topology,
     NodeId victim);
 

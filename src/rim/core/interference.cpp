@@ -82,7 +82,7 @@ std::vector<std::uint32_t> eval_brute(std::span<const geom::Vec2> points,
 }  // namespace
 
 Strategy resolve_strategy(Strategy strategy, std::size_t node_count) {
-  return EvalOptions{.strategy = strategy}.resolve(node_count);
+  return EvalOptions{}.with_strategy(strategy).resolve(node_count);
 }
 
 InterferenceSummary InterferenceSummary::from_per_node(
@@ -130,7 +130,7 @@ std::vector<std::uint32_t> interference_vector_squared(
     std::span<const geom::Vec2> points, std::span<const double> radii2,
     Strategy strategy) {
   return interference_vector_squared(points, radii2,
-                                     EvalOptions{.strategy = strategy});
+                                     EvalOptions{}.with_strategy(strategy));
 }
 
 std::vector<std::uint32_t> interference_vector_squared(
@@ -153,7 +153,7 @@ InterferenceSummary evaluate_interference(const graph::Graph& topology,
                                           std::span<const geom::Vec2> points,
                                           Strategy strategy) {
   return evaluate_interference(topology, points,
-                               EvalOptions{.strategy = strategy});
+                               EvalOptions{}.with_strategy(strategy));
 }
 
 InterferenceSummary evaluate_interference(const graph::Graph& topology,

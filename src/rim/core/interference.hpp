@@ -77,6 +77,45 @@ struct EvalOptions {
   /// exceed the work).
   std::size_t batch_min_parallel_tasks = 4;
 
+  // --- builder-style setters -----------------------------------------------
+  // Chainable named setters so call sites read as intent instead of
+  // designated-initializer field soup:
+  //
+  //   EvalOptions{}.with_strategy(Strategy::kGrid).with_touched_floor(128)
+  //
+  // Each returns *this by reference; the defaults above apply to anything
+  // left unset.
+
+  EvalOptions& with_strategy(Strategy s) {
+    strategy = s;
+    return *this;
+  }
+  /// kAuto cutover to the O(n^2) oracle (default 64 nodes).
+  EvalOptions& with_auto_brute_max_nodes(std::size_t n) {
+    auto_brute_max_nodes = n;
+    return *this;
+  }
+  /// kAuto cutover to the serial grid (default 4096 nodes).
+  EvalOptions& with_auto_grid_max_nodes(std::size_t n) {
+    auto_grid_max_nodes = n;
+    return *this;
+  }
+  /// Incremental fallback fraction (default 0.25 of the node count).
+  EvalOptions& with_max_touched_fraction(double fraction) {
+    max_touched_fraction = fraction;
+    return *this;
+  }
+  /// Incremental fallback floor (default 64 touched nodes).
+  EvalOptions& with_touched_floor(std::size_t floor) {
+    touched_floor = floor;
+    return *this;
+  }
+  /// Minimum independent tasks per batch wave to use the pool (default 4).
+  EvalOptions& with_batch_min_parallel_tasks(std::size_t tasks) {
+    batch_min_parallel_tasks = tasks;
+    return *this;
+  }
+
   /// The concrete strategy `strategy` resolves to for an instance of
   /// \p node_count nodes; non-kAuto strategies pass through unchanged.
   [[nodiscard]] Strategy resolve(std::size_t node_count) const {

@@ -1,0 +1,164 @@
+#include "rim/core/node_soa.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+
+namespace rim::core {
+
+void NodeSoA::insert(NodeId id, geom::Vec2 p, double radius2) {
+  assert(!contains(id));
+  if (id >= slot_of_.size()) slot_of_.resize(id + 1, kNoSlot);
+  slot_of_[id] = static_cast<std::uint32_t>(ids_.size());
+  xs_.push_back(p.x);
+  ys_.push_back(p.y);
+  radii2_.push_back(radius2);
+  ids_.push_back(id);
+}
+
+NodeId NodeSoA::remove(NodeId id) {
+  assert(contains(id));
+  const std::uint32_t s = slot_of_[id];
+  const std::uint32_t last = static_cast<std::uint32_t>(ids_.size()) - 1;
+  NodeId moved = kInvalidNode;
+  if (s != last) {
+    xs_[s] = xs_[last];
+    ys_[s] = ys_[last];
+    radii2_[s] = radii2_[last];
+    ids_[s] = ids_[last];
+    slot_of_[ids_[s]] = s;
+    moved = ids_[s];
+  }
+  xs_.pop_back();
+  ys_.pop_back();
+  radii2_.pop_back();
+  ids_.pop_back();
+  slot_of_[id] = kNoSlot;
+  return moved;
+}
+
+void NodeSoA::relabel(NodeId from, NodeId to) {
+  assert(contains(from) && !contains(to));
+  const std::uint32_t s = slot_of_[from];
+  if (to >= slot_of_.size()) slot_of_.resize(to + 1, kNoSlot);
+  slot_of_[to] = s;
+  slot_of_[from] = kNoSlot;
+  ids_[s] = to;
+}
+
+bool NodeSoA::dense() const {
+  for (std::uint32_t s = 0; s < ids_.size(); ++s) {
+    if (ids_[s] != s) return false;
+  }
+  return true;
+}
+
+geom::PointSet NodeSoA::positions() const {
+  geom::PointSet out;
+  out.reserve(ids_.size());
+  for (std::size_t s = 0; s < ids_.size(); ++s) {
+    out.push_back({xs_[s], ys_[s]});
+  }
+  return out;
+}
+
+namespace {
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  for (int shift = 0; shift < 32; shift += 8) {
+    out.push_back(static_cast<std::uint8_t>((v >> shift) & 0xFFu));
+  }
+}
+
+void put_f64(std::vector<std::uint8_t>& out, double v) {
+  std::uint64_t bits = 0;
+  std::memcpy(&bits, &v, sizeof bits);
+  for (int shift = 0; shift < 64; shift += 8) {
+    out.push_back(static_cast<std::uint8_t>((bits >> shift) & 0xFFu));
+  }
+}
+
+std::uint32_t get_u32(const std::uint8_t* p) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<std::uint32_t>(p[i]) << (8 * i);
+  }
+  return v;
+}
+
+double get_f64(const std::uint8_t* p) {
+  std::uint64_t bits = 0;
+  for (int i = 0; i < 8; ++i) {
+    bits |= static_cast<std::uint64_t>(p[i]) << (8 * i);
+  }
+  double v = 0.0;
+  std::memcpy(&v, &bits, sizeof v);
+  return v;
+}
+
+constexpr std::size_t kRecordBytes = 4 + 8 + 8 + 8;
+
+}  // namespace
+
+std::vector<std::uint8_t> NodeSoA::serialize() const {
+  // Canonical order: ascending id, regardless of slot history.
+  std::vector<NodeId> order(ids_.begin(), ids_.end());
+  std::sort(order.begin(), order.end());
+  std::vector<std::uint8_t> out;
+  out.reserve(8 + order.size() * kRecordBytes);
+  put_u32(out, static_cast<std::uint32_t>(order.size()));
+  put_u32(out, 0);  // reserved / alignment of the 8-byte header
+  for (const NodeId id : order) {
+    const std::uint32_t s = slot_of_[id];
+    put_u32(out, id);
+    put_f64(out, xs_[s]);
+    put_f64(out, ys_[s]);
+    put_f64(out, radii2_[s]);
+  }
+  return out;
+}
+
+std::optional<NodeSoA> NodeSoA::deserialize(
+    std::span<const std::uint8_t> bytes) {
+  if (bytes.size() < 8) return std::nullopt;
+  const std::uint32_t n = get_u32(bytes.data());
+  if (bytes.size() != 8 + static_cast<std::size_t>(n) * kRecordBytes) {
+    return std::nullopt;
+  }
+  NodeSoA out;
+  const std::uint8_t* p = bytes.data() + 8;
+  for (std::uint32_t i = 0; i < n; ++i, p += kRecordBytes) {
+    const NodeId id = get_u32(p);
+    if (out.contains(id)) return std::nullopt;  // duplicate id
+    out.insert(id, {get_f64(p + 4), get_f64(p + 12)}, get_f64(p + 20));
+  }
+  return out;
+}
+
+std::uint64_t NodeSoA::checksum() const {
+  std::uint64_t h = 0xCBF29CE484222325ULL;
+  for (const std::uint8_t byte : serialize()) {
+    h ^= byte;
+    h *= 0x100000001B3ULL;
+  }
+  return h;
+}
+
+bool operator==(const NodeSoA& a, const NodeSoA& b) {
+  if (a.size() != b.size()) return false;
+  for (const NodeId id : a.ids_) {
+    if (!b.contains(id)) return false;
+    const std::uint32_t sa = a.slot_of_[id];
+    const std::uint32_t sb = b.slot_of_[id];
+    // Bit-exact comparison (signed zeros and NaN payloads included): the
+    // store is a container, not arithmetic — contents round-trip exactly.
+    if (std::memcmp(&a.xs_[sa], &b.xs_[sb], sizeof(double)) != 0) return false;
+    if (std::memcmp(&a.ys_[sa], &b.ys_[sb], sizeof(double)) != 0) return false;
+    if (std::memcmp(&a.radii2_[sa], &b.radii2_[sb], sizeof(double)) != 0) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace rim::core

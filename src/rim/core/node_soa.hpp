@@ -1,0 +1,116 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "rim/common/types.hpp"
+#include "rim/geom/vec2.hpp"
+
+/// \file node_soa.hpp
+/// Structure-of-arrays node store with a stable-id ↔ dense-slot mapping.
+///
+/// The engine's per-node state used to be an array-of-structs scatter
+/// (PointSet of interleaved Vec2 plus a separate radii vector). NodeSoA
+/// keeps the same state as four contiguous columns — x, y, squared radius,
+/// id — packed densely by *slot*, with an id → slot index on the side.
+/// Removal compacts by swap-with-last: the last slot's node moves into the
+/// vacated slot and only the mapping changes; ids stay stable.
+///
+/// core::Scenario layers its dense-id contract on top: it inserts id n at
+/// slot n and renames the last id into a removed one (relabel), so its
+/// id == slot invariant holds and the columns double as id-indexed arrays.
+/// The mapping machinery is exercised directly by the NodeSoA property
+/// tests (randomized op sequences, byte-identical serialize round-trips).
+
+namespace rim::core {
+
+class NodeSoA {
+ public:
+  NodeSoA() = default;
+
+  [[nodiscard]] std::size_t size() const { return ids_.size(); }
+  [[nodiscard]] bool empty() const { return ids_.empty(); }
+  [[nodiscard]] bool contains(NodeId id) const {
+    return id < slot_of_.size() && slot_of_[id] != kNoSlot;
+  }
+
+  /// Insert node \p id (must not be present) at the next dense slot.
+  void insert(NodeId id, geom::Vec2 p, double radius2 = 0.0);
+
+  /// Remove \p id (must be present): the node in the last slot is swapped
+  /// into its slot. Returns the id that moved (kInvalidNode when \p id
+  /// occupied the last slot).
+  NodeId remove(NodeId id);
+
+  /// Rename \p from to \p to (must not be present) without touching any
+  /// column; only the id ↔ slot mapping changes.
+  void relabel(NodeId from, NodeId to);
+
+  // --- by-id accessors ----------------------------------------------------
+
+  [[nodiscard]] std::uint32_t slot_of(NodeId id) const {
+    return slot_of_[id];
+  }
+  [[nodiscard]] NodeId id_at(std::uint32_t slot) const { return ids_[slot]; }
+
+  [[nodiscard]] geom::Vec2 position(NodeId id) const {
+    const std::uint32_t s = slot_of_[id];
+    return {xs_[s], ys_[s]};
+  }
+  [[nodiscard]] double radius2(NodeId id) const {
+    return radii2_[slot_of_[id]];
+  }
+  void set_position(NodeId id, geom::Vec2 p) {
+    const std::uint32_t s = slot_of_[id];
+    xs_[s] = p.x;
+    ys_[s] = p.y;
+  }
+  void set_radius2(NodeId id, double radius2) {
+    radii2_[slot_of_[id]] = radius2;
+  }
+
+  // --- dense column views (slot-indexed) ----------------------------------
+
+  [[nodiscard]] std::span<const double> xs() const { return xs_; }
+  [[nodiscard]] std::span<const double> ys() const { return ys_; }
+  [[nodiscard]] std::span<const double> radii2() const { return radii2_; }
+  [[nodiscard]] std::span<const NodeId> ids() const { return ids_; }
+
+  /// True when id == slot for every node (Scenario's dense-id invariant).
+  [[nodiscard]] bool dense() const;
+
+  /// Positions materialised as interleaved Vec2, in slot order (the
+  /// snapshot/serialization surface and the stateless-kernel adapter).
+  [[nodiscard]] geom::PointSet positions() const;
+
+  // --- canonical serialization --------------------------------------------
+
+  /// Canonical byte serialization: node records in ascending id order,
+  /// little-endian (id, x bits, y bits, radius2 bits). Independent of slot
+  /// history, so two stores with equal logical content serialize
+  /// identically, and serialize ∘ deserialize ∘ serialize is a fixpoint.
+  [[nodiscard]] std::vector<std::uint8_t> serialize() const;
+
+  /// Rebuild from serialize() output; nullopt on malformed input.
+  [[nodiscard]] static std::optional<NodeSoA> deserialize(
+      std::span<const std::uint8_t> bytes);
+
+  /// FNV-1a over the canonical serialization.
+  [[nodiscard]] std::uint64_t checksum() const;
+
+  friend bool operator==(const NodeSoA& a, const NodeSoA& b);
+
+ private:
+  static constexpr std::uint32_t kNoSlot = 0xFFFFFFFFu;
+
+  std::vector<double> xs_;
+  std::vector<double> ys_;
+  std::vector<double> radii2_;
+  std::vector<NodeId> ids_;            ///< slot -> id
+  std::vector<std::uint32_t> slot_of_; ///< id -> slot (kNoSlot when absent)
+};
+
+}  // namespace rim::core

@@ -4,9 +4,10 @@
 #include <atomic>
 #include <cassert>
 #include <cmath>
-#include <numeric>
 
+#include "rim/core/assessor.hpp"
 #include "rim/core/snapshot.hpp"
+#include "rim/geom/grid_kernels.hpp"
 #include "rim/parallel/parallel_for.hpp"
 
 namespace rim::core {
@@ -58,52 +59,85 @@ Scenario::Scenario(EvalOptions options) : options_(options) {}
 
 Scenario::Scenario(std::span<const geom::Vec2> points,
                    const graph::Graph& topology, EvalOptions options)
-    : points_(points.begin(), points.end()),
-      adjacency_(topology.node_count()),
+    : adjacency_(topology.node_count()),
       edge_count_(topology.edge_count()),
-      radii2_(topology.node_count(), 0.0),
       options_(options) {
   assert(topology.node_count() == points.size());
+  for (NodeId u = 0; u < points.size(); ++u) nodes_.insert(u, points[u], 0.0);
   for (NodeId u = 0; u < topology.node_count(); ++u) {
     const auto neighbors = topology.neighbors(u);
     adjacency_[u].assign(neighbors.begin(), neighbors.end());
-    radii2_[u] = farthest_neighbor_squared(u);
-    max_radius2_ = std::max(max_radius2_, radii2_[u]);
+    const double r2 = farthest_neighbor_squared(u);
+    nodes_.set_radius2(u, r2);
+    max_radius2_ = std::max(max_radius2_, r2);
   }
+}
+
+Scenario::Scenario(const Scenario& other)
+    : nodes_(other.nodes_),
+      adjacency_(other.adjacency_),
+      edge_count_(other.edge_count_),
+      max_radius2_(other.max_radius2_),
+      interference_(other.interference_),
+      dirty_(other.dirty_),
+      grid_(other.grid_),
+      grid_built_(other.grid_built_),
+      options_(other.options_),
+      stats_(other.stats_) {
+  // batch_arena_ is deliberately fresh: scratch never travels with copies.
+}
+
+Scenario& Scenario::operator=(const Scenario& other) {
+  if (this == &other) return *this;
+  nodes_ = other.nodes_;
+  adjacency_ = other.adjacency_;
+  edge_count_ = other.edge_count_;
+  max_radius2_ = other.max_radius2_;
+  interference_ = other.interference_;
+  dirty_ = other.dirty_;
+  grid_ = other.grid_;
+  grid_built_ = other.grid_built_;
+  options_ = other.options_;
+  stats_ = other.stats_;
+  batch_arena_.reset();
+  return *this;
 }
 
 void Scenario::ensure_grid() {
   if (grid_built_) return;
-  grid_.clear(pick_cell_size(radii2_));
-  for (NodeId v = 0; v < points_.size(); ++v) grid_.insert(v, points_[v]);
+  grid_.clear(pick_cell_size(nodes_.radii2()));
+  for (NodeId v = 0; v < nodes_.size(); ++v) {
+    grid_.insert(v, nodes_.position(v), nodes_.radius2(v));
+  }
   grid_built_ = true;
+}
+
+void Scenario::set_node_radius2(NodeId u, double new_r2) {
+  nodes_.set_radius2(u, new_r2);
+  if (grid_built_) grid_.set_weight(u, new_r2);
 }
 
 std::vector<std::uint32_t> Scenario::full_evaluate() {
   // When the persistent index already exists and the instance resolves to
   // the parallel strategy, shard the counting pass over the live grid
   // instead of rebuilding an immutable GridIndex — same exact integer
-  // counts, one less O(n) rebuild per deferred delta.
-  if (grid_built_ && options_.resolve(points_.size()) == Strategy::kParallel) {
-    std::vector<std::atomic<std::uint32_t>> covered(points_.size());
-    parallel::parallel_for(0, points_.size(), [&](std::size_t ui) {
+  // counts, one less O(n) rebuild per deferred delta. The per-transmitter
+  // scatter runs the vectorised distance kernel per cell.
+  if (grid_built_ && options_.resolve(nodes_.size()) == Strategy::kParallel) {
+    std::vector<std::atomic<std::uint32_t>> covered(nodes_.size());
+    parallel::parallel_for(0, nodes_.size(), [&](std::size_t ui) {
       const auto u = static_cast<NodeId>(ui);
-      if (radii2_[u] <= 0.0) return;
-      grid_.for_each_in_disk_squared(points_[u], radii2_[u],
-                                     [&](NodeId v, geom::Vec2) {
-                                       if (v != u) {
-                                         covered[v].fetch_add(
-                                             1, std::memory_order_relaxed);
-                                       }
-                                     });
+      geom::accumulate_covered(grid_, nodes_.position(u), nodes_.radius2(u),
+                               u, covered.data());
     });
-    std::vector<std::uint32_t> out(points_.size());
+    std::vector<std::uint32_t> out(nodes_.size());
     for (std::size_t i = 0; i < out.size(); ++i) {
       out[i] = covered[i].load(std::memory_order_relaxed);
     }
     return out;
   }
-  return interference_vector_squared(points_, radii2_, options_);
+  const geom::PointSet points = nodes_.positions();
+  return interference_vector_squared(points, nodes_.radii2(), options_);
 }
 
 void Scenario::ensure_cache() {
@@ -111,14 +145,14 @@ void Scenario::ensure_cache() {
   const obs::ScopedTimer timer(stats_.full_ns);
   interference_ = full_evaluate();
   max_radius2_ = 0.0;
-  for (double r2 : radii2_) max_radius2_ = std::max(max_radius2_, r2);
+  for (double r2 : nodes_.radii2()) max_radius2_ = std::max(max_radius2_, r2);
   dirty_ = false;
   ++stats_.full_evaluations;
 }
 
 bool Scenario::delta_deferred(geom::Vec2 center, double radius2) {
   if (grid_.estimate_in_disk(center, std::sqrt(std::max(radius2, 0.0))) >
-      options_.touched_threshold(points_.size())) {
+      options_.touched_threshold(nodes_.size())) {
     dirty_ = true;
     ++stats_.deferred_mutations;
     return true;
@@ -139,79 +173,60 @@ void Scenario::run_disk_delta(NodeId exclude, geom::Vec2 center, double old_r2,
   // Un-deferred kernel: also runs on pool workers during apply_batch.
   // Region-disjoint waves guarantee the interference_ writes never overlap;
   // the stats counters are relaxed atomics.
-  std::uint64_t visited = 0;
-  const double query_r2 = std::max(old_r2, new_r2);
-  const std::size_t cells = grid_.for_each_in_disk_squared(
-      center, query_r2, [&](NodeId v, geom::Vec2 p) {
-        if (v == exclude) return;
-        ++visited;
-        const double d2 = geom::dist2(p, center);
-        const bool in_old = old_r2 > 0.0 && d2 <= old_r2;
-        const bool in_new = new_r2 > 0.0 && d2 <= new_r2;
-        if (in_new && !in_old) {
-          ++interference_[v];
-        } else if (in_old && !in_new) {
-          --interference_[v];
-        }
-      });
-  stats_.cells_touched += cells;
-  stats_.nodes_touched += visited;
+  const geom::DeltaResult r = geom::apply_disk_delta(
+      grid_, center, old_r2, new_r2, exclude, interference_.data());
+  stats_.cells_touched += r.cells;
+  stats_.nodes_touched += r.visited;
 }
 
 void Scenario::set_radius(NodeId u, double new_r2) {
-  const double old_r2 = radii2_[u];
+  const double old_r2 = nodes_.radius2(u);
   if (old_r2 == new_r2) return;
-  apply_disk_delta(u, points_[u], old_r2, new_r2);
-  radii2_[u] = new_r2;
+  apply_disk_delta(u, nodes_.position(u), old_r2, new_r2);
+  set_node_radius2(u, new_r2);
   if (new_r2 > max_radius2_) {
     max_radius2_ = new_r2;
   } else if (old_r2 == max_radius2_ && new_r2 < old_r2) {
     // The argmax node shrank: rescan. Rare (once per removal of the
     // widest-reaching node), so the O(n) pass amortises away.
     max_radius2_ = 0.0;
-    for (double r2 : radii2_) max_radius2_ = std::max(max_radius2_, r2);
+    for (double r2 : nodes_.radii2()) max_radius2_ = std::max(max_radius2_, r2);
   }
 }
 
 double Scenario::farthest_neighbor_squared(NodeId u) const {
   double best = 0.0;
+  const geom::Vec2 p = nodes_.position(u);
   for (NodeId w : adjacency_[u]) {
-    best = std::max(best, geom::dist2(points_[u], points_[w]));
+    best = std::max(best, geom::dist2(p, nodes_.position(w)));
   }
   return best;
 }
 
 std::uint32_t Scenario::recount_coverage(NodeId v) {
-  if (delta_deferred(points_[v], max_radius2_)) return 0;
+  if (delta_deferred(nodes_.position(v), max_radius2_)) return 0;
   return run_recount(v);
 }
 
 std::uint32_t Scenario::run_recount(NodeId v) {
   // Un-deferred kernel: also runs on pool workers during apply_batch (pure
-  // reads of frozen points_/radii2_; the caller owns interference_[v]).
-  std::uint32_t covered = 0;
-  std::uint64_t visited = 0;
-  const std::size_t cells = grid_.for_each_in_disk_squared(
-      points_[v], max_radius2_, [&](NodeId u, geom::Vec2 p) {
-        if (u == v) return;
-        ++visited;
-        if (radii2_[u] > 0.0 && geom::dist2(p, points_[v]) <= radii2_[u]) {
-          ++covered;
-        }
-      });
-  stats_.cells_touched += cells;
-  stats_.nodes_touched += visited;
-  return covered;
+  // reads of the frozen store; the caller owns interference_[v]). The grid
+  // weights mirror the radius column, so the coverage kernel needs no
+  // side lookups.
+  const geom::CoverageResult r =
+      geom::count_covering(grid_, nodes_.position(v), max_radius2_, v);
+  stats_.cells_touched += r.cells;
+  stats_.nodes_touched += r.visited;
+  return r.covered;
 }
 
 NodeId Scenario::add_node(geom::Vec2 position) {
   ensure_grid();
   const obs::ScopedTimer timer(stats_.incremental_ns);
-  const auto id = static_cast<NodeId>(points_.size());
-  points_.push_back(position);
+  const auto id = static_cast<NodeId>(nodes_.size());
+  nodes_.insert(id, position, 0.0);
   adjacency_.emplace_back();
-  radii2_.push_back(0.0);
-  grid_.insert(id, position);
+  grid_.insert(id, position, 0.0);
   if (!dirty_) {
     const std::uint32_t covered = recount_coverage(id);
     interference_.push_back(dirty_ ? 0u : covered);
@@ -223,10 +238,10 @@ NodeId Scenario::add_node(geom::Vec2 position) {
 }
 
 NodeId Scenario::remove_node(NodeId v) {
-  assert(v < points_.size());
+  assert(v < nodes_.size());
   ensure_grid();
   const obs::ScopedTimer timer(stats_.incremental_ns);
-  const std::size_t count_before = points_.size();
+  const std::size_t count_before = nodes_.size();
   // Retire incident edges: each neighbor's disk shrinks to its new
   // farthest neighbor, and v's own disk shrinks to nothing — after this,
   // v no longer transmits and nobody's radius depends on it.
@@ -241,13 +256,14 @@ NodeId Scenario::remove_node(NodeId v) {
   for (const NodeId w : former_neighbors) {
     set_radius(w, farthest_neighbor_squared(w));
   }
-  // Swap-with-last keeps ids dense: the last node takes over id v.
+  // Swap-with-last keeps ids dense: the last node takes over id v (columns
+  // compact in the store, the grid renames in place).
   const auto last = static_cast<NodeId>(count_before - 1);
   grid_.erase(v);
+  nodes_.remove(v);
   NodeId renamed = kInvalidNode;
   if (v != last) {
-    points_[v] = points_[last];
-    radii2_[v] = radii2_[last];
+    nodes_.relabel(last, v);
     adjacency_[v] = std::move(adjacency_[last]);
     for (NodeId w : adjacency_[v]) {
       std::replace(adjacency_[w].begin(), adjacency_[w].end(), last, v);
@@ -259,30 +275,28 @@ NodeId Scenario::remove_node(NodeId v) {
     if (v != last) interference_[v] = interference_[last];
     interference_.pop_back();
   }
-  points_.pop_back();
   adjacency_.pop_back();
-  radii2_.pop_back();
   if (!dirty_) ++stats_.incremental_updates;
   return renamed;
 }
 
 bool Scenario::add_edge(NodeId u, NodeId v) {
-  assert(u < points_.size() && v < points_.size());
+  assert(u < nodes_.size() && v < nodes_.size());
   if (u == v || has_edge(u, v)) return false;
   ensure_grid();
   const obs::ScopedTimer timer(stats_.incremental_ns);
   adjacency_[u].push_back(v);
   adjacency_[v].push_back(u);
   ++edge_count_;
-  const double d2 = geom::dist2(points_[u], points_[v]);
-  if (d2 > radii2_[u]) set_radius(u, d2);
-  if (d2 > radii2_[v]) set_radius(v, d2);
+  const double d2 = geom::dist2(nodes_.position(u), nodes_.position(v));
+  if (d2 > nodes_.radius2(u)) set_radius(u, d2);
+  if (d2 > nodes_.radius2(v)) set_radius(v, d2);
   if (!dirty_) ++stats_.incremental_updates;
   return true;
 }
 
 bool Scenario::remove_edge(NodeId u, NodeId v) {
-  assert(u < points_.size() && v < points_.size());
+  assert(u < nodes_.size() && v < nodes_.size());
   auto& au = adjacency_[u];
   const auto it = std::find(au.begin(), au.end(), v);
   if (it == au.end()) return false;
@@ -299,19 +313,19 @@ bool Scenario::remove_edge(NodeId u, NodeId v) {
 }
 
 void Scenario::move_node(NodeId v, geom::Vec2 position) {
-  assert(v < points_.size());
-  if (points_[v] == position) return;
+  assert(v < nodes_.size());
+  if (nodes_.position(v) == position) return;
   ensure_grid();
   const obs::ScopedTimer timer(stats_.incremental_ns);
   // Retire the disk at the old position...
-  const double old_r2 = radii2_[v];
-  apply_disk_delta(v, points_[v], old_r2, 0.0);
-  radii2_[v] = 0.0;
+  const double old_r2 = nodes_.radius2(v);
+  apply_disk_delta(v, nodes_.position(v), old_r2, 0.0);
+  set_node_radius2(v, 0.0);
   if (old_r2 > 0.0 && old_r2 == max_radius2_) {
     max_radius2_ = 0.0;
-    for (double r2 : radii2_) max_radius2_ = std::max(max_radius2_, r2);
+    for (double r2 : nodes_.radii2()) max_radius2_ = std::max(max_radius2_, r2);
   }
-  points_[v] = position;
+  nodes_.set_position(v, position);
   grid_.move(v, position);
   // ...re-apply it at the new one, and re-derive every affected radius.
   set_radius(v, farthest_neighbor_squared(v));
@@ -327,7 +341,7 @@ void Scenario::move_node(NodeId v, geom::Vec2 position) {
 }
 
 NodeId Scenario::apply(const Mutation& mutation) {
-  const std::size_t n = points_.size();
+  const std::size_t n = nodes_.size();
   switch (mutation.kind) {
     case Mutation::Kind::kAddNode:
       return add_node(mutation.position);
@@ -351,73 +365,13 @@ NodeId Scenario::apply(const Mutation& mutation) {
 }
 
 Assessment Scenario::assess(const Mutation& mutation) {
-  return assess(std::span<const Mutation>(&mutation, 1));
+  // Deprecated wrapper: the logic lives in core::Assessor now.
+  return Assessor(options_).assess(*this, mutation);
 }
 
 Assessment Scenario::assess(std::span<const Mutation> mutations) {
-  ensure_cache();
-  const std::size_t n0 = points_.size();
-  const std::vector<std::uint32_t> before(interference_.begin(),
-                                          interference_.end());
-
-  Assessment result;
-  for (std::uint32_t i : before) {
-    result.max_before = std::max(result.max_before, i);
-  }
-
-  // Run the sequence on a probe copy; `tag[cur]` names each current probe
-  // id in the pre-mutation space (pre ids 0..n0-1, added nodes n0, n0+1,
-  // ...), maintained across swap-with-last renames from removals.
-  Scenario probe(*this);
-  std::vector<std::size_t> tag(n0);
-  std::iota(tag.begin(), tag.end(), std::size_t{0});
-  std::size_t next_added = n0;
-  for (const Mutation& m : mutations) {
-    if (m.kind == Mutation::Kind::kAddNode) {
-      probe.apply(m);
-      tag.push_back(next_added++);
-    } else if (m.kind == Mutation::Kind::kRemoveNode) {
-      if (m.v >= probe.node_count()) continue;
-      const auto last = static_cast<NodeId>(probe.node_count() - 1);
-      probe.apply(m);
-      if (last != m.v) tag[m.v] = tag[last];
-      tag.pop_back();
-    } else {
-      probe.apply(m);
-    }
-  }
-  const std::span<const std::uint32_t> after = probe.interference();
-
-  // Resolve where every pre-existing node ended up (kInvalidNode: removed)
-  // and find the newest surviving addition.
-  std::vector<NodeId> current_of(n0, kInvalidNode);
-  std::size_t newest_tag = 0;
-  NodeId newest_id = kInvalidNode;
-  for (NodeId cur = 0; cur < tag.size(); ++cur) {
-    if (tag[cur] < n0) {
-      current_of[tag[cur]] = cur;
-    } else if (tag[cur] >= newest_tag) {
-      newest_tag = tag[cur];
-      newest_id = cur;
-    }
-  }
-
-  result.delta_per_node.resize(n0, 0);
-  for (NodeId pre = 0; pre < n0; ++pre) {
-    const NodeId cur = current_of[pre];
-    const std::int64_t delta =
-        cur == kInvalidNode
-            ? -static_cast<std::int64_t>(before[pre])
-            : static_cast<std::int64_t>(after[cur]) -
-                  static_cast<std::int64_t>(before[pre]);
-    result.delta_per_node[pre] = delta;
-    if (delta != 0) result.affected_ids.push_back(pre);
-  }
-  result.max_after = probe.max_interference();
-  if (newest_id != kInvalidNode) {
-    result.newcomer_interference = after[newest_id];
-  }
-  return result;
+  // Deprecated wrapper: the logic lives in core::Assessor now.
+  return Assessor(options_).assess(*this, mutations);
 }
 
 bool Scenario::has_edge(NodeId u, NodeId v) const {
@@ -428,8 +382,8 @@ bool Scenario::has_edge(NodeId u, NodeId v) const {
 }
 
 graph::Graph Scenario::topology() const {
-  graph::Graph g(points_.size());
-  for (NodeId u = 0; u < points_.size(); ++u) {
+  graph::Graph g(nodes_.size());
+  for (NodeId u = 0; u < nodes_.size(); ++u) {
     for (NodeId w : adjacency_[u]) {
       if (u < w) g.add_edge(u, w);
     }
@@ -448,7 +402,7 @@ std::span<const std::uint32_t> Scenario::interference() {
 }
 
 std::uint32_t Scenario::interference_of(NodeId v) {
-  assert(v < points_.size());
+  assert(v < nodes_.size());
   ensure_cache();
   return interference_[v];
 }
@@ -479,9 +433,9 @@ Snapshot Scenario::snapshot() {
   s.cell_size = grid_built_ ? grid_.cell_size() : 0.0;
   s.options = options_;
   s.edge_count = edge_count_;
-  s.points = points_;
+  s.points = nodes_.positions();
   s.adjacency = adjacency_;
-  s.radii2 = radii2_;
+  s.radii2.assign(nodes_.radii2().begin(), nodes_.radii2().end());
   if (!dirty_) s.interference = interference_;
   ++stats_.snapshots;
   return s;
@@ -493,19 +447,23 @@ bool Scenario::restore(const Snapshot& snapshot, std::string* error) {
     if (error != nullptr) *error = local_error;
     return false;
   }
-  points_ = snapshot.points;
+  nodes_ = NodeSoA();
+  max_radius2_ = 0.0;
+  for (NodeId v = 0; v < snapshot.points.size(); ++v) {
+    nodes_.insert(v, snapshot.points[v], snapshot.radii2[v]);
+    max_radius2_ = std::max(max_radius2_, snapshot.radii2[v]);
+  }
   adjacency_ = snapshot.adjacency;
   edge_count_ = snapshot.edge_count;
-  radii2_ = snapshot.radii2;
-  max_radius2_ = 0.0;
-  for (const double r2 : radii2_) max_radius2_ = std::max(max_radius2_, r2);
   interference_ = snapshot.interference;
   dirty_ = !snapshot.cache_valid;
   options_ = snapshot.options;
   grid_built_ = false;
   if (snapshot.grid_built) {
     grid_.clear(snapshot.cell_size);
-    for (NodeId v = 0; v < points_.size(); ++v) grid_.insert(v, points_[v]);
+    for (NodeId v = 0; v < nodes_.size(); ++v) {
+      grid_.insert(v, nodes_.position(v), nodes_.radius2(v));
+    }
     grid_built_ = true;
   } else {
     grid_.clear(1.0);
@@ -516,7 +474,7 @@ bool Scenario::restore(const Snapshot& snapshot, std::string* error) {
 
 io::Json Scenario::stats_json() const {
   io::JsonObject o;
-  o["nodes"] = io::Json(points_.size());
+  o["nodes"] = io::Json(nodes_.size());
   o["edges"] = io::Json(edge_count_);
   o["grid_cell_size"] = io::Json(grid_built_ ? grid_.cell_size() : 0.0);
   o["counters"] = stats_.to_json();

@@ -5,7 +5,9 @@
 #include <string>
 #include <vector>
 
+#include "rim/common/arena.hpp"
 #include "rim/core/interference.hpp"
+#include "rim/core/node_soa.hpp"
 #include "rim/geom/dynamic_grid.hpp"
 #include "rim/geom/vec2.hpp"
 #include "rim/graph/graph.hpp"
@@ -216,7 +218,7 @@ class Scenario {
   /// incremental/batch thresholds (EvalOptions is the one shared surface).
   explicit Scenario(EvalOptions options);
   explicit Scenario(Strategy full_strategy = Strategy::kAuto)
-      : Scenario(EvalOptions{.strategy = full_strategy}) {}
+      : Scenario(EvalOptions{}.with_strategy(full_strategy)) {}
 
   /// Adopt an existing instance. \p topology.node_count() must equal
   /// \p points.size(). The evaluation cache starts cold; the first query
@@ -225,7 +227,15 @@ class Scenario {
            EvalOptions options);
   Scenario(std::span<const geom::Vec2> points, const graph::Graph& topology,
            Strategy full_strategy = Strategy::kAuto)
-      : Scenario(points, topology, EvalOptions{.strategy = full_strategy}) {}
+      : Scenario(points, topology, EvalOptions{}.with_strategy(full_strategy)) {}
+
+  /// Copies duplicate the engine state (probe copies for assessment) but
+  /// not the batch scratch arena — each Scenario owns a fresh one.
+  Scenario(const Scenario& other);
+  Scenario& operator=(const Scenario& other);
+  Scenario(Scenario&&) noexcept = default;
+  Scenario& operator=(Scenario&&) noexcept = default;
+  ~Scenario() = default;
 
   // --- mutations ---------------------------------------------------------
 
@@ -298,29 +308,40 @@ class Scenario {
 
   // --- impact assessment -------------------------------------------------
 
-  /// Measure what applying \p mutation would do, without applying it: runs
-  /// the mutation on a probe copy and reports per-node deltas, affected
-  /// ids, and the before/after maxima. The scenario itself only refreshes
-  /// its evaluation cache. The free functions assess_node_addition /
-  /// assess_node_removal (incremental.hpp) are wrappers over this.
-  [[nodiscard]] Assessment assess(const Mutation& mutation);
+  /// Measure what applying \p mutation would do, without applying it.
+  /// \deprecated Use core::Assessor::assess(scenario, mutation)
+  /// (assessor.hpp) — the one assessment front door. Scheduled for removal
+  /// next PR (DESIGN.md §10).
+  [[deprecated("use core::Assessor::assess")]] [[nodiscard]]
+  Assessment assess(const Mutation& mutation);
 
-  /// Sequence form: assess a compound mutation (e.g. arrival + attachment
-  /// edge) applied in order.
-  [[nodiscard]] Assessment assess(std::span<const Mutation> mutations);
+  /// Sequence form of the deprecated wrapper above.
+  /// \deprecated Use core::Assessor::assess(scenario, mutations).
+  [[deprecated("use core::Assessor::assess")]] [[nodiscard]]
+  Assessment assess(std::span<const Mutation> mutations);
 
   // --- views -------------------------------------------------------------
 
-  [[nodiscard]] std::size_t node_count() const { return points_.size(); }
+  [[nodiscard]] std::size_t node_count() const { return nodes_.size(); }
   [[nodiscard]] std::size_t edge_count() const { return edge_count_; }
-  [[nodiscard]] std::span<const geom::Vec2> points() const { return points_; }
-  [[nodiscard]] geom::Vec2 position(NodeId v) const { return points_[v]; }
+  /// The SoA node store (positions + squared radii as contiguous columns,
+  /// id == slot by the dense-id invariant). The zero-copy view; feed it to
+  /// core::Assessor for stateless evaluation.
+  [[nodiscard]] const NodeSoA& nodes() const { return nodes_; }
+  /// Positions materialised as interleaved Vec2 in id order (a copy — the
+  /// engine stores columns, not Vec2s; prefer nodes() on hot paths).
+  [[nodiscard]] geom::PointSet points() const { return nodes_.positions(); }
+  [[nodiscard]] geom::Vec2 position(NodeId v) const {
+    return nodes_.position(v);
+  }
   [[nodiscard]] std::span<const NodeId> neighbors(NodeId v) const {
     return adjacency_[v];
   }
   [[nodiscard]] bool has_edge(NodeId u, NodeId v) const;
   /// r_v^2 — the cached farthest-neighbor squared radius.
-  [[nodiscard]] double radius_squared(NodeId v) const { return radii2_[v]; }
+  [[nodiscard]] double radius_squared(NodeId v) const {
+    return nodes_.radius2(v);
+  }
   [[nodiscard]] const EvalOptions& options() const { return options_; }
 
   /// Export the current topology as a graph::Graph snapshot (O(n + m)).
@@ -368,16 +389,19 @@ class Scenario {
   void run_disk_delta(NodeId exclude, geom::Vec2 center, double old_r2,
                       double new_r2);
   void set_radius(NodeId u, double new_r2);
+  /// Write-through radius update: the store column and (when built) the
+  /// grid's coverage weight stay in lockstep.
+  void set_node_radius2(NodeId u, double new_r2);
   [[nodiscard]] double farthest_neighbor_squared(NodeId u) const;
   [[nodiscard]] std::uint32_t recount_coverage(NodeId v);
   /// The un-deferred recount shared by the serial path and batch tasks.
   [[nodiscard]] std::uint32_t run_recount(NodeId v);
 
-  geom::PointSet points_;
+  /// SoA node store: x/y/r^2/id columns with id == slot (dense ids).
+  NodeSoA nodes_;
   std::vector<std::vector<NodeId>> adjacency_;
   std::size_t edge_count_ = 0;
-  std::vector<double> radii2_;
-  /// Exact max of radii2_ (coverage queries walk a disk of this radius).
+  /// Exact max of the radius column (coverage queries walk this disk).
   double max_radius2_ = 0.0;
 
   std::vector<std::uint32_t> interference_;
@@ -388,6 +412,11 @@ class Scenario {
 
   EvalOptions options_;
   ScenarioStats stats_;
+
+  /// Batch-scoped scratch (apply_batch): reset at the start of every batch,
+  /// reused across batches (allocation-free in steady state). Deliberately
+  /// not copied — probe copies never carry scratch.
+  common::Arena batch_arena_;
 };
 
 }  // namespace rim::core

@@ -1,8 +1,7 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
-#include <unordered_map>
-#include <vector>
+#include <cstring>
 
 #include "rim/core/scenario.hpp"
 #include "rim/parallel/thread_pool.hpp"
@@ -18,10 +17,10 @@
 /// never need to materialise:
 ///
 ///  1. One serial *structural pass* applies all topology/position changes
-///     (adjacency, points, radii, grid, swap-with-last renames, cached
-///     interference slots) while coalescing, per surviving physical node,
-///     its pre-batch disk vs. its final disk, and collecting the pre-batch
-///     disks of removed nodes.
+///     (adjacency, store columns, radii, grid, swap-with-last renames,
+///     cached interference slots) while coalescing, per surviving physical
+///     node, its pre-batch disk vs. its final disk, and collecting the
+///     pre-batch disks of removed nodes.
 ///  2. The surviving *disk tasks* (one or two region deltas per changed
 ///     transmitter) are scheduled into waves of pairwise AABB-disjoint
 ///     regions — greedy first-fit in batch order, so the schedule is a
@@ -31,6 +30,15 @@
 ///  3. A final wave of *recount tasks* rebuilds I(v) from scratch for every
 ///     added or moved node (each owns its slot; everything else is frozen
 ///     reads), overwriting any stale deltas phase 2 wrote there.
+///
+/// All pipeline scratch — the pending-node table, task and recount lists,
+/// the wave schedule and its materialised execution orders — lives in the
+/// scenario's batch arena (common::Arena): bump-allocated per batch, reset
+/// wholesale at the next one, allocation-free in steady state. Wave task
+/// lambdas capture only raw pointers into the arena (see the
+/// wave-vector-scratch lint rule); bounds are exact: pending entries are
+/// keyed by node id (< n0 + batch size), removed disks number at most the
+/// batch size, and tasks at most removed + 2 * pending.
 ///
 /// When the grid-occupancy estimate says the batch's regions cover more of
 /// the instance than a full evaluation would (per-task over the
@@ -43,7 +51,7 @@ namespace rim::core {
 namespace {
 
 /// Per-physical-node coalesced state, keyed by *current* id and re-keyed
-/// across swap-with-last renames.
+/// across swap-with-last renames. Trivially destructible (arena-resident).
 struct PendingNode {
   geom::Vec2 orig_pos{};
   double orig_r2 = 0.0;
@@ -52,7 +60,7 @@ struct PendingNode {
 };
 
 /// One coalesced region delta: remove the disk (center, old_r2) and apply
-/// (center, new_r2), skipping slot `exclude`.
+/// (center, new_r2), skipping slot `exclude`. Trivially destructible.
 struct DiskTask {
   NodeId exclude = kInvalidNode;
   geom::Vec2 center{};
@@ -62,6 +70,19 @@ struct DiskTask {
   [[nodiscard]] double query_radius() const {
     return std::sqrt(std::max({old_r2, new_r2, 0.0}));
   }
+};
+
+/// Arena-resident singly linked list node of one wave's task indices.
+struct WaveNode {
+  std::uint32_t task = 0;
+  WaveNode* next = nullptr;
+};
+
+/// One wave under construction: linked member list plus its size.
+struct WaveList {
+  WaveNode* head = nullptr;
+  WaveNode* tail = nullptr;
+  std::uint32_t size = 0;
 };
 
 /// Conservative conflict test: the tasks' axis-aligned bounding squares
@@ -90,27 +111,41 @@ BatchResult Scenario::apply_batch(std::span<const Mutation> batch,
   ++stats_.batches;
   const bool was_dirty = dirty_;
 
+  // All scratch below lives until the next apply_batch (or copy/assign).
+  batch_arena_.reset();
+
   // ---- 1. Serial structural pass --------------------------------------
-  std::unordered_map<NodeId, PendingNode> pending;
-  pending.reserve(batch.size() * 2);
-  std::vector<DiskTask> retired;  // pre-batch disks of removed nodes
+  // Pending state is keyed directly by node id: ids stay below
+  // n0 + batch size (every add raises the ceiling by one), so a flat
+  // arena table replaces the former hash map.
+  const std::size_t id_cap = nodes_.size() + batch.size();
+  PendingNode* pending = batch_arena_.alloc_array<PendingNode>(id_cap);
+  std::uint8_t* has_pending = batch_arena_.alloc_array<std::uint8_t>(id_cap);
+  if (id_cap > 0) std::memset(has_pending, 0, id_cap);
+  // Pre-batch disks of removed nodes: at most one per removal.
+  DiskTask* removed_disks = batch_arena_.alloc_array<DiskTask>(batch.size());
+  std::size_t removed_count = 0;
   bool rescan_max = false;
 
   // First touch of a node this batch captures its pre-batch disk.
   const auto note = [&](NodeId id) -> PendingNode& {
-    return pending
-        .try_emplace(id, PendingNode{points_[id], radii2_[id], true, false})
-        .first->second;
+    if (has_pending[id] == 0) {
+      pending[id] =
+          PendingNode{nodes_.position(id), nodes_.radius2(id), true, false};
+      has_pending[id] = 1;
+    }
+    return pending[id];
   };
   const auto change_radius = [&](NodeId id, double new_r2) {
-    if (radii2_[id] == new_r2) return;
+    const double cur_r2 = nodes_.radius2(id);
+    if (cur_r2 == new_r2) return;
     note(id);
     if (new_r2 > max_radius2_) {
       max_radius2_ = new_r2;
-    } else if (radii2_[id] == max_radius2_ && new_r2 < radii2_[id]) {
+    } else if (cur_r2 == max_radius2_ && new_r2 < cur_r2) {
       rescan_max = true;
     }
-    radii2_[id] = new_r2;
+    set_node_radius2(id, new_r2);
   };
 
   for (std::size_t bi = 0; bi < batch.size(); ++bi) {
@@ -122,16 +157,16 @@ BatchResult Scenario::apply_batch(std::span<const Mutation> batch,
       break;
     }
     const Mutation& m = batch[bi];
-    const std::size_t n = points_.size();
+    const std::size_t n = nodes_.size();
     switch (m.kind) {
       case Mutation::Kind::kAddNode: {
         const auto id = static_cast<NodeId>(n);
-        points_.push_back(m.position);
+        nodes_.insert(id, m.position, 0.0);
         adjacency_.emplace_back();
-        radii2_.push_back(0.0);
-        grid_.insert(id, m.position);
+        grid_.insert(id, m.position, 0.0);
         if (!was_dirty) interference_.push_back(0u);
         pending[id] = PendingNode{m.position, 0.0, false, true};
+        has_pending[id] = 1;
         ++result.applied;
         break;
       }
@@ -151,36 +186,34 @@ BatchResult Scenario::apply_batch(std::span<const Mutation> batch,
         }
         // Retire the node's *pre-batch* disk (its only applied
         // contribution); a node added this batch never contributed.
-        if (const auto it = pending.find(v); it != pending.end()) {
-          if (it->second.existed && it->second.orig_r2 > 0.0) {
-            retired.push_back({kInvalidNode, it->second.orig_pos,
-                               it->second.orig_r2, 0.0});
+        if (has_pending[v] != 0) {
+          if (pending[v].existed && pending[v].orig_r2 > 0.0) {
+            removed_disks[removed_count++] = {kInvalidNode, pending[v].orig_pos,
+                                              pending[v].orig_r2, 0.0};
           }
-          pending.erase(it);
+          has_pending[v] = 0;
         }
         const auto last = static_cast<NodeId>(n - 1);
         grid_.erase(v);
+        nodes_.remove(v);
         if (v != last) {
-          points_[v] = points_[last];
-          radii2_[v] = radii2_[last];
+          nodes_.relabel(last, v);
           adjacency_[v] = std::move(adjacency_[last]);
           for (NodeId w : adjacency_[v]) {
             std::replace(adjacency_[w].begin(), adjacency_[w].end(), last, v);
           }
           grid_.relabel(last, v);
-          if (const auto it = pending.find(last); it != pending.end()) {
-            const PendingNode moved = it->second;
-            pending.erase(it);
-            pending.emplace(v, moved);
+          if (has_pending[last] != 0) {
+            pending[v] = pending[last];
+            has_pending[v] = 1;
+            has_pending[last] = 0;
           }
         }
         if (!was_dirty && interference_.size() == n) {
           if (v != last) interference_[v] = interference_[last];
           interference_.pop_back();
         }
-        points_.pop_back();
         adjacency_.pop_back();
-        radii2_.pop_back();
         ++result.applied;
         break;
       }
@@ -189,9 +222,10 @@ BatchResult Scenario::apply_batch(std::span<const Mutation> batch,
         adjacency_[m.u].push_back(m.v);
         adjacency_[m.v].push_back(m.u);
         ++edge_count_;
-        const double d2 = geom::dist2(points_[m.u], points_[m.v]);
-        if (d2 > radii2_[m.u]) change_radius(m.u, d2);
-        if (d2 > radii2_[m.v]) change_radius(m.v, d2);
+        const double d2 =
+            geom::dist2(nodes_.position(m.u), nodes_.position(m.v));
+        if (d2 > nodes_.radius2(m.u)) change_radius(m.u, d2);
+        if (d2 > nodes_.radius2(m.v)) change_radius(m.v, d2);
         ++result.applied;
         break;
       }
@@ -211,10 +245,10 @@ BatchResult Scenario::apply_batch(std::span<const Mutation> batch,
       }
       case Mutation::Kind::kMoveNode: {
         if (m.v >= n) break;
-        if (points_[m.v] == m.position) break;  // strict no-op
+        if (nodes_.position(m.v) == m.position) break;  // strict no-op
         PendingNode& p = note(m.v);
         p.recount = true;
-        points_[m.v] = m.position;
+        nodes_.set_position(m.v, m.position);
         grid_.move(m.v, m.position);
         change_radius(m.v, farthest_neighbor_squared(m.v));
         for (NodeId w : adjacency_[m.v]) {
@@ -227,7 +261,7 @@ BatchResult Scenario::apply_batch(std::span<const Mutation> batch,
   }
   if (rescan_max) {
     max_radius2_ = 0.0;
-    for (double r2 : radii2_) max_radius2_ = std::max(max_radius2_, r2);
+    for (double r2 : nodes_.radii2()) max_radius2_ = std::max(max_radius2_, r2);
   }
   stats_.batch_mutations += result.applied;
 
@@ -247,57 +281,65 @@ BatchResult Scenario::apply_batch(std::span<const Mutation> batch,
   }
 
   // ---- 2. Coalesce the surviving region deltas ------------------------
-  std::vector<DiskTask> tasks = std::move(retired);
-  std::vector<NodeId> recounts;
-  {
-    // Deterministic task order: ascending final id (the map iterates in
-    // hash order; the schedule below must not depend on it).
-    std::vector<NodeId> ids;
-    ids.reserve(pending.size());
-    for (const auto& [id, p] : pending) ids.push_back(id);
-    std::sort(ids.begin(), ids.end());
-    for (const NodeId id : ids) {
-      const PendingNode& p = pending[id];
-      const geom::Vec2 new_pos = points_[id];
-      const double new_r2 = radii2_[id];
-      if (p.existed && p.orig_pos == new_pos) {
-        // Radius-only change: one symmetric-difference delta.
-        if (p.orig_r2 != new_r2) {
-          tasks.push_back({id, new_pos, p.orig_r2, new_r2});
-        }
-      } else {
-        // Moved (or newly added): retire the old disk, apply the new one.
-        if (p.existed && p.orig_r2 > 0.0) {
-          tasks.push_back({id, p.orig_pos, p.orig_r2, 0.0});
-        }
-        if (new_r2 > 0.0) {
-          tasks.push_back({id, new_pos, 0.0, new_r2});
-        }
-      }
-      if (p.recount) recounts.push_back(id);
-    }
+  // Deterministic task order: removed disks first (batch order), then
+  // ascending final id — pending lives in an id-indexed table, so the scan
+  // is already sorted. Exact bound: <= removed + 2 per pending node.
+  std::size_t pending_count = 0;
+  for (NodeId id = 0; id < nodes_.size(); ++id) {
+    if (has_pending[id] != 0) ++pending_count;
   }
-  result.disk_tasks = tasks.size();
-  result.recounts = recounts.size();
-  stats_.batch_disk_tasks += tasks.size();
-  stats_.batch_recounts += recounts.size();
+  DiskTask* tasks = batch_arena_.alloc_array<DiskTask>(
+      removed_count + 2 * pending_count);
+  std::size_t task_count = 0;
+  for (std::size_t i = 0; i < removed_count; ++i) {
+    tasks[task_count++] = removed_disks[i];
+  }
+  NodeId* recounts = batch_arena_.alloc_array<NodeId>(pending_count);
+  std::size_t recount_count = 0;
+  for (NodeId id = 0; id < nodes_.size(); ++id) {
+    if (has_pending[id] == 0) continue;
+    const PendingNode& p = pending[id];
+    const geom::Vec2 new_pos = nodes_.position(id);
+    const double new_r2 = nodes_.radius2(id);
+    if (p.existed && p.orig_pos == new_pos) {
+      // Radius-only change: one symmetric-difference delta.
+      if (p.orig_r2 != new_r2) {
+        tasks[task_count++] = {id, new_pos, p.orig_r2, new_r2};
+      }
+    } else {
+      // Moved (or newly added): retire the old disk, apply the new one.
+      if (p.existed && p.orig_r2 > 0.0) {
+        tasks[task_count++] = {id, p.orig_pos, p.orig_r2, 0.0};
+      }
+      if (new_r2 > 0.0) {
+        tasks[task_count++] = {id, new_pos, 0.0, new_r2};
+      }
+    }
+    if (p.recount) recounts[recount_count++] = id;
+  }
+  result.disk_tasks = task_count;
+  result.recounts = recount_count;
+  stats_.batch_disk_tasks += task_count;
+  stats_.batch_recounts += recount_count;
 
   // ---- 3. Defer when the regions rival a full evaluation --------------
-  const std::size_t threshold = options_.touched_threshold(points_.size());
+  const std::size_t threshold = options_.touched_threshold(nodes_.size());
   const double max_radius = std::sqrt(std::max(max_radius2_, 0.0));
   std::size_t estimated = 0;
   bool defer = false;
-  for (const DiskTask& t : tasks) {
-    const std::size_t est = grid_.estimate_in_disk(t.center, t.query_radius());
+  for (std::size_t i = 0; i < task_count; ++i) {
+    const std::size_t est =
+        grid_.estimate_in_disk(tasks[i].center, tasks[i].query_radius());
     if (est > threshold) defer = true;
     estimated += est;
   }
-  for (const NodeId id : recounts) {
-    const std::size_t est = grid_.estimate_in_disk(points_[id], max_radius);
+  for (std::size_t i = 0; i < recount_count; ++i) {
+    const std::size_t est =
+        grid_.estimate_in_disk(nodes_.position(recounts[i]), max_radius);
     if (est > threshold) defer = true;
     estimated += est;
   }
-  if (defer || estimated > points_.size()) {
+  if (defer || estimated > nodes_.size()) {
     dirty_ = true;
     result.deferred = true;
     ++stats_.batch_deferred;
@@ -309,24 +351,52 @@ BatchResult Scenario::apply_batch(std::span<const Mutation> batch,
   // Greedy first-fit in task order: each task lands in the earliest wave
   // whose members it conflicts with none of. Purely a function of the
   // batch, so the schedule (and hence the execution) is deterministic.
-  std::vector<std::vector<std::size_t>> waves;
-  for (std::size_t i = 0; i < tasks.size(); ++i) {
-    bool placed = false;
-    for (auto& wave : waves) {
-      const bool conflicts =
-          std::any_of(wave.begin(), wave.end(), [&](std::size_t j) {
-            return tasks_conflict(tasks[i], tasks[j]);
-          });
+  // Waves are arena linked lists while under construction, then
+  // materialised into one contiguous execution-order array so wave task
+  // lambdas capture nothing but raw pointers.
+  WaveList* waves = batch_arena_.alloc_array<WaveList>(task_count);
+  std::size_t wave_count = 0;
+  for (std::size_t i = 0; i < task_count; ++i) {
+    std::size_t target = wave_count;
+    for (std::size_t w = 0; w < wave_count; ++w) {
+      bool conflicts = false;
+      for (const WaveNode* node = waves[w].head; node != nullptr;
+           node = node->next) {
+        if (tasks_conflict(tasks[i], tasks[node->task])) {
+          conflicts = true;
+          break;
+        }
+      }
       if (!conflicts) {
-        wave.push_back(i);
-        placed = true;
+        target = w;
         break;
       }
     }
-    if (!placed) waves.push_back({i});
+    if (target == wave_count) waves[wave_count++] = WaveList{};
+    WaveNode* node =
+        batch_arena_.create<WaveNode>(static_cast<std::uint32_t>(i), nullptr);
+    WaveList& wave = waves[target];
+    if (wave.tail != nullptr) {
+      wave.tail->next = node;
+    } else {
+      wave.head = node;
+    }
+    wave.tail = node;
+    ++wave.size;
   }
-  result.waves = waves.size();
-  stats_.batch_waves += waves.size();
+  std::uint32_t* order = batch_arena_.alloc_array<std::uint32_t>(task_count);
+  {
+    std::size_t cursor = 0;
+    for (std::size_t w = 0; w < wave_count; ++w) {
+      for (const WaveNode* node = waves[w].head; node != nullptr;
+           node = node->next) {
+        order[cursor++] = node->task;
+      }
+    }
+    assert(cursor == task_count);
+  }
+  result.waves = wave_count;
+  stats_.batch_waves += wave_count;
 
   const std::size_t workers = pool != nullptr ? pool->thread_count() : 0;
   // Hooks veto individual tasks (poisoned-wave faults). The veto is decided
@@ -340,32 +410,41 @@ BatchResult Scenario::apply_batch(std::span<const Mutation> batch,
     run_disk_delta(t.exclude, t.center, t.old_r2, t.new_r2);
   };
   const auto run_wave = [&](std::size_t wave_idx,
-                            const std::vector<std::size_t>& wave) {
-    stats_.batch_wave_tasks.record(wave.size());
-    if (workers <= 1 || wave.size() < options_.batch_min_parallel_tasks) {
-      for (const std::size_t i : wave) run_task(wave_idx, i);
+                            const std::uint32_t* wave_order,
+                            std::size_t wave_size) {
+    stats_.batch_wave_tasks.record(wave_size);
+    if (workers <= 1 || wave_size < options_.batch_min_parallel_tasks) {
+      for (std::size_t k = 0; k < wave_size; ++k) {
+        run_task(wave_idx, wave_order[k]);
+      }
       return;
     }
     // Chunk the wave so submit overhead stays O(workers), not O(tasks).
-    const std::size_t chunks = std::min(wave.size(), workers * 2);
-    const std::size_t per = (wave.size() + chunks - 1) / chunks;
+    const std::size_t chunks = std::min(wave_size, workers * 2);
+    const std::size_t per = (wave_size + chunks - 1) / chunks;
     for (std::size_t c = 0; c < chunks; ++c) {
       const std::size_t begin = c * per;
-      const std::size_t end = std::min(begin + per, wave.size());
+      const std::size_t end = std::min(begin + per, wave_size);
       if (begin >= end) break;
-      pool->submit([&run_task, &wave, wave_idx, begin, end] {
+      pool->submit([&run_task, wave_order, wave_idx, begin, end] {
         for (std::size_t k = begin; k < end; ++k) {
-          run_task(wave_idx, wave[k]);
+          run_task(wave_idx, wave_order[k]);
         }
       });
     }
     pool->wait_idle();
   };
-  for (std::size_t w = 0; w < waves.size(); ++w) run_wave(w, waves[w]);
+  {
+    const std::uint32_t* cursor = order;
+    for (std::size_t w = 0; w < wave_count; ++w) {
+      run_wave(w, cursor, waves[w].size);
+      cursor += waves[w].size;
+    }
+  }
 
   // ---- 5. Recount wave ------------------------------------------------
   // Every recount owns its own interference_ slot and only reads the now
-  // frozen points_/radii2_/grid_, so the whole set is one parallel wave.
+  // frozen store/grid, so the whole set is one parallel wave.
   const auto run_recount_task = [&](std::size_t k) {
     if (hooks != nullptr && !hooks->before_recount(k)) {
       ++stats_.hook_skipped_tasks;
@@ -374,12 +453,12 @@ BatchResult Scenario::apply_batch(std::span<const Mutation> batch,
     const NodeId id = recounts[k];
     interference_[id] = run_recount(id);
   };
-  if (workers > 1 && recounts.size() >= options_.batch_min_parallel_tasks) {
-    const std::size_t chunks = std::min(recounts.size(), workers * 2);
-    const std::size_t per = (recounts.size() + chunks - 1) / chunks;
+  if (workers > 1 && recount_count >= options_.batch_min_parallel_tasks) {
+    const std::size_t chunks = std::min(recount_count, workers * 2);
+    const std::size_t per = (recount_count + chunks - 1) / chunks;
     for (std::size_t c = 0; c < chunks; ++c) {
       const std::size_t begin = c * per;
-      const std::size_t end = std::min(begin + per, recounts.size());
+      const std::size_t end = std::min(begin + per, recount_count);
       if (begin >= end) break;
       pool->submit([&run_recount_task, begin, end] {
         for (std::size_t k = begin; k < end; ++k) run_recount_task(k);
@@ -387,7 +466,7 @@ BatchResult Scenario::apply_batch(std::span<const Mutation> batch,
     }
     pool->wait_idle();
   } else {
-    for (std::size_t k = 0; k < recounts.size(); ++k) run_recount_task(k);
+    for (std::size_t k = 0; k < recount_count; ++k) run_recount_task(k);
   }
   stats_.incremental_updates += result.applied;
   return result;

@@ -281,7 +281,7 @@ bool Snapshot::from_bytes(std::span<const std::uint8_t> bytes, Snapshot& out,
   if (strategy > static_cast<std::uint8_t>(Strategy::kAuto)) {
     return decode_fail(error, "invalid strategy value");
   }
-  out.options.strategy = static_cast<Strategy>(strategy);
+  out.options.with_strategy(static_cast<Strategy>(strategy));
   // Cheap sanity bound before reserving: every node needs at least
   // 24 payload bytes (point + radius), so a huge count is corruption.
   if (node_count > r.remaining() / 24 + 1) {
@@ -427,8 +427,8 @@ bool Snapshot::from_json(const io::Json& json, Snapshot& out,
                      static_cast<std::uint8_t>(Strategy::kAuto))) {
     return decode_fail(error, "invalid options.strategy");
   }
-  out.options.strategy = static_cast<Strategy>(
-      static_cast<std::uint8_t>(strategy));
+  out.options.with_strategy(
+      static_cast<Strategy>(static_cast<std::uint8_t>(strategy)));
   const auto read_size = [&](const char* key, std::size_t& value) {
     const io::Json* node = opt->find(key);
     if (node == nullptr || !node->is_number()) return false;

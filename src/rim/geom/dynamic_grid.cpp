@@ -2,9 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
-#include <cmath>
 #include <cstring>
-#include <limits>
 
 namespace rim::geom {
 
@@ -30,6 +28,8 @@ void DynamicGrid::clear(double cell_size) {
   cells_.clear();
   pos_.clear();
   key_.clear();
+  idx_.clear();
+  weight_.clear();
   present_.clear();
   stats_ = GridStats{};
 }
@@ -42,30 +42,57 @@ DynamicGrid::CellKey DynamicGrid::key_of(Vec2 p) const {
   return pack(coord(p.x), coord(p.y));
 }
 
-void DynamicGrid::insert(NodeId id, Vec2 p) {
-  assert(!contains(id));
-  ++stats_.inserts;
+void DynamicGrid::ensure_id(NodeId id) {
   if (id >= present_.size()) {
     pos_.resize(id + 1);
     key_.resize(id + 1);
+    idx_.resize(id + 1);
+    weight_.resize(id + 1, 0.0);
     present_.resize(id + 1, 0);
   }
-  pos_[id] = p;
-  key_[id] = key_of(p);
-  present_[id] = 1;
-  cells_[key_[id]].push_back(id);
-  ++count_;
+}
+
+void DynamicGrid::attach_to_cell(NodeId id) {
+  Cell& cell = cells_[key_[id]];
+  idx_[id] = static_cast<std::uint32_t>(cell.ids.size());
+  cell.xs.push_back(pos_[id].x);
+  cell.ys.push_back(pos_[id].y);
+  cell.ws.push_back(weight_[id]);
+  cell.ids.push_back(id);
 }
 
 void DynamicGrid::detach_from_cell(NodeId id) {
   const auto it = cells_.find(key_[id]);
   assert(it != cells_.end());
-  auto& bucket = it->second;
-  const auto pos = std::find(bucket.begin(), bucket.end(), id);
-  assert(pos != bucket.end());
-  *pos = bucket.back();
-  bucket.pop_back();
-  if (bucket.empty()) cells_.erase(it);
+  Cell& cell = it->second;
+  const std::size_t k = idx_[id];
+  assert(k < cell.ids.size() && cell.ids[k] == id);
+  const std::size_t last = cell.ids.size() - 1;
+  if (k != last) {
+    // Swap-with-last across all four columns, keeping them in lockstep.
+    cell.xs[k] = cell.xs[last];
+    cell.ys[k] = cell.ys[last];
+    cell.ws[k] = cell.ws[last];
+    cell.ids[k] = cell.ids[last];
+    idx_[cell.ids[k]] = static_cast<std::uint32_t>(k);
+  }
+  cell.xs.pop_back();
+  cell.ys.pop_back();
+  cell.ws.pop_back();
+  cell.ids.pop_back();
+  if (cell.ids.empty()) cells_.erase(it);
+}
+
+void DynamicGrid::insert(NodeId id, Vec2 p, double weight) {
+  assert(!contains(id));
+  ++stats_.inserts;
+  ensure_id(id);
+  pos_[id] = p;
+  key_[id] = key_of(p);
+  weight_[id] = weight;
+  present_[id] = 1;
+  attach_to_cell(id);
+  ++count_;
 }
 
 void DynamicGrid::erase(NodeId id) {
@@ -82,24 +109,34 @@ void DynamicGrid::move(NodeId id, Vec2 p) {
   const CellKey key = key_of(p);
   if (key != key_[id]) {
     detach_from_cell(id);
+    pos_[id] = p;
     key_[id] = key;
-    cells_[key].push_back(id);
+    attach_to_cell(id);
+    return;
   }
   pos_[id] = p;
+  Cell& cell = cells_[key_[id]];
+  cell.xs[idx_[id]] = p.x;
+  cell.ys[idx_[id]] = p.y;
+}
+
+void DynamicGrid::set_weight(NodeId id, double weight) {
+  assert(contains(id));
+  weight_[id] = weight;
+  const auto it = cells_.find(key_[id]);
+  assert(it != cells_.end());
+  it->second.ws[idx_[id]] = weight;
 }
 
 void DynamicGrid::relabel(NodeId from, NodeId to) {
   assert(contains(from) && !contains(to));
   ++stats_.relabels;
-  auto& bucket = cells_[key_[from]];
-  *std::find(bucket.begin(), bucket.end(), from) = to;
-  if (to >= present_.size()) {
-    pos_.resize(to + 1);
-    key_.resize(to + 1);
-    present_.resize(to + 1, 0);
-  }
+  cells_[key_[from]].ids[idx_[from]] = to;
+  ensure_id(to);
   pos_[to] = pos_[from];
   key_[to] = key_[from];
+  idx_[to] = idx_[from];
+  weight_[to] = weight_[from];
   present_[to] = 1;
   present_[from] = 0;
 }
@@ -107,42 +144,12 @@ void DynamicGrid::relabel(NodeId from, NodeId to) {
 std::size_t DynamicGrid::for_each_in_disk_squared(
     Vec2 center, double radius2,
     const std::function<void(NodeId, Vec2)>& fn) const {
-  ++stats_.disk_queries;
-  if (count_ == 0 || radius2 < 0.0) return 0;
-  // Same ulp inflation as GridIndex: a point whose exact squared distance
-  // equals radius2 must never fall outside the visited cells.
-  const double walk = std::sqrt(radius2) * (1.0 + 4e-16) +
-                      std::numeric_limits<double>::denorm_min();
-  const std::int64_t lox = coord(center.x - walk);
-  const std::int64_t hix = coord(center.x + walk);
-  const std::int64_t loy = coord(center.y - walk);
-  const std::int64_t hiy = coord(center.y + walk);
-  const auto span_x = static_cast<double>(hix - lox + 1);
-  const auto span_y = static_cast<double>(hiy - loy + 1);
-  std::size_t cells_visited = 0;
-  // When the walk rectangle holds more cells than are occupied, scanning
-  // the occupied cells directly is cheaper (and bounds a huge-radius query
-  // by O(points) instead of O(rectangle area)).
-  if (span_x * span_y > static_cast<double>(cells_.size())) {
-    for (const auto& [key, bucket] : cells_) {
-      ++cells_visited;
-      for (NodeId id : bucket) {
-        if (dist2(pos_[id], center) <= radius2) fn(id, pos_[id]);
-      }
+  return for_each_cell_in_disk(center, radius2, [&](const CellView& cell) {
+    for (std::size_t i = 0; i < cell.count; ++i) {
+      const Vec2 p{cell.xs[i], cell.ys[i]};
+      if (dist2(p, center) <= radius2) fn(cell.ids[i], p);
     }
-    return cells_visited;
-  }
-  for (std::int64_t cy = loy; cy <= hiy; ++cy) {
-    for (std::int64_t cx = lox; cx <= hix; ++cx) {
-      const auto it = cells_.find(pack(cx, cy));
-      if (it == cells_.end()) continue;
-      ++cells_visited;
-      for (NodeId id : it->second) {
-        if (dist2(pos_[id], center) <= radius2) fn(id, pos_[id]);
-      }
-    }
-  }
-  return cells_visited;
+  });
 }
 
 std::size_t DynamicGrid::estimate_in_disk(Vec2 center, double radius) const {

@@ -1,0 +1,144 @@
+#include "rim/geom/grid_kernels.hpp"
+
+#include <algorithm>
+
+#include "rim/simd/simd.hpp"
+
+namespace rim::geom {
+
+namespace {
+
+/// Chunk length for the d2 staging buffer of the scatter kernels — small
+/// enough to stay in L1, large enough to amortise the loop overhead.
+constexpr std::size_t kChunk = 128;
+
+/// Remove the excluded node's own lane contribution from a coverage count.
+/// The SIMD pass counts every lane; the excluded node (when present and
+/// inside the scanned disk) was certainly among them, because the walk
+/// rectangle covers the whole query disk.
+void subtract_exclude(const DynamicGrid& grid, Vec2 receiver, double query_r2,
+                      NodeId exclude, CoverageResult& out) {
+  if (exclude == kInvalidNode || !grid.contains(exclude)) return;
+  const double d2 = dist2(grid.position(exclude), receiver);
+  if (d2 > query_r2) return;
+  --out.visited;
+  const double w = grid.weight(exclude);
+  if (w > 0.0 && d2 <= w) --out.covered;
+}
+
+template <typename CellKernel>
+CoverageResult count_covering_impl(const DynamicGrid& grid, Vec2 receiver,
+                                   double query_r2, NodeId exclude,
+                                   CellKernel&& kernel) {
+  CoverageResult out;
+  out.cells = grid.for_each_cell_in_disk(
+      receiver, query_r2, [&](const DynamicGrid::CellView& cell) {
+        const simd::CoverageCounts counts =
+            kernel(cell.xs, cell.ys, cell.ws, cell.count, receiver.x,
+                   receiver.y, query_r2);
+        out.visited += counts.visited;
+        out.covered += static_cast<std::uint32_t>(counts.covered);
+      });
+  subtract_exclude(grid, receiver, query_r2, exclude, out);
+  return out;
+}
+
+template <typename DistanceKernel>
+DeltaResult apply_disk_delta_impl(const DynamicGrid& grid, Vec2 center,
+                                  double old_r2, double new_r2,
+                                  NodeId exclude, std::uint32_t* interference,
+                                  DistanceKernel&& distances) {
+  DeltaResult out;
+  const double query_r2 = std::max(old_r2, new_r2);
+  double d2[kChunk];
+  out.cells = grid.for_each_cell_in_disk(
+      center, query_r2, [&](const DynamicGrid::CellView& cell) {
+        for (std::size_t base = 0; base < cell.count; base += kChunk) {
+          const std::size_t m = std::min(kChunk, cell.count - base);
+          distances(cell.xs + base, cell.ys + base, m, center.x, center.y,
+                    d2);
+          for (std::size_t k = 0; k < m; ++k) {
+            if (d2[k] > query_r2) continue;
+            const NodeId v = cell.ids[base + k];
+            if (v == exclude) continue;
+            ++out.visited;
+            const bool in_old = old_r2 > 0.0 && d2[k] <= old_r2;
+            const bool in_new = new_r2 > 0.0 && d2[k] <= new_r2;
+            if (in_new && !in_old) {
+              ++interference[v];
+            } else if (in_old && !in_new) {
+              --interference[v];
+            }
+          }
+        }
+      });
+  return out;
+}
+
+}  // namespace
+
+CoverageResult count_covering(const DynamicGrid& grid, Vec2 receiver,
+                              double query_r2, NodeId exclude) {
+  return count_covering_impl(
+      grid, receiver, query_r2, exclude,
+      [](const double* xs, const double* ys, const double* ws, std::size_t n,
+         double cx, double cy, double q) {
+        return simd::count_coverage(xs, ys, ws, n, cx, cy, q);
+      });
+}
+
+CoverageResult count_covering_scalar(const DynamicGrid& grid, Vec2 receiver,
+                                     double query_r2, NodeId exclude) {
+  return count_covering_impl(
+      grid, receiver, query_r2, exclude,
+      [](const double* xs, const double* ys, const double* ws, std::size_t n,
+         double cx, double cy, double q) {
+        return simd::count_coverage_scalar(xs, ys, ws, n, cx, cy, q);
+      });
+}
+
+DeltaResult apply_disk_delta(const DynamicGrid& grid, Vec2 center,
+                             double old_r2, double new_r2, NodeId exclude,
+                             std::uint32_t* interference) {
+  return apply_disk_delta_impl(
+      grid, center, old_r2, new_r2, exclude, interference,
+      [](const double* xs, const double* ys, std::size_t n, double cx,
+         double cy, double* out) {
+        simd::squared_distances(xs, ys, n, cx, cy, out);
+      });
+}
+
+DeltaResult apply_disk_delta_scalar(const DynamicGrid& grid, Vec2 center,
+                                    double old_r2, double new_r2,
+                                    NodeId exclude,
+                                    std::uint32_t* interference) {
+  return apply_disk_delta_impl(
+      grid, center, old_r2, new_r2, exclude, interference,
+      [](const double* xs, const double* ys, std::size_t n, double cx,
+         double cy, double* out) {
+        simd::squared_distances_scalar(xs, ys, n, cx, cy, out);
+      });
+}
+
+std::size_t accumulate_covered(const DynamicGrid& grid, Vec2 center,
+                               double r2, NodeId exclude,
+                               std::atomic<std::uint32_t>* covered) {
+  if (r2 <= 0.0) return 0;
+  double d2[kChunk];
+  return grid.for_each_cell_in_disk(
+      center, r2, [&](const DynamicGrid::CellView& cell) {
+        for (std::size_t base = 0; base < cell.count; base += kChunk) {
+          const std::size_t m = std::min(kChunk, cell.count - base);
+          simd::squared_distances(cell.xs + base, cell.ys + base, m, center.x,
+                                  center.y, d2);
+          for (std::size_t k = 0; k < m; ++k) {
+            if (d2[k] > r2) continue;
+            const NodeId v = cell.ids[base + k];
+            if (v == exclude) continue;
+            covered[v].fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+      });
+}
+
+}  // namespace rim::geom

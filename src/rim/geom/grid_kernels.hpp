@@ -1,0 +1,80 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "rim/common/types.hpp"
+#include "rim/geom/dynamic_grid.hpp"
+#include "rim/geom/vec2.hpp"
+
+/// \file grid_kernels.hpp
+/// The vectorised disk-coverage kernels of the incremental engine.
+///
+/// core::Scenario's hot loops are three shapes of the same exact
+/// containment test over DynamicGrid cells:
+///
+///  - count_covering: receiver-centric recount — how many registered disks
+///    cover one point (Definition 3.1 for a single v);
+///  - apply_disk_delta: the ±1 symmetric-difference update when one
+///    transmitter's disk changes (the paper's robustness property);
+///  - accumulate_covered: transmitter-centric scatter for the sharded full
+///    evaluation.
+///
+/// Each runs the simd.hpp kernels over the grid's per-cell SoA columns and
+/// has a `_scalar` twin built from the scalar reference kernels; the twins
+/// are bit-identical (integer counts of exact predicates — see
+/// tests/simd_test.cpp) and the scalar forms double as documentation of
+/// the semantics, which are exactly those of the former std::function
+/// loops over for_each_in_disk_squared().
+
+namespace rim::geom {
+
+/// Result of one receiver-centric coverage count.
+struct CoverageResult {
+  std::uint32_t covered = 0;  ///< points whose registered disk covers the
+                              ///< receiver (weight > 0 && d2 <= weight)
+  std::uint64_t visited = 0;  ///< candidate points with d2 <= query_r2
+  std::size_t cells = 0;      ///< grid cells visited
+};
+
+/// Count the points (other than \p exclude) whose registered weight (their
+/// squared radius) covers \p receiver, scanning the disk of \p query_r2
+/// around it. \p query_r2 must be >= every registered weight (the engine
+/// passes its tracked max) so no coverer lies outside the scan.
+[[nodiscard]] CoverageResult count_covering(const DynamicGrid& grid,
+                                            Vec2 receiver, double query_r2,
+                                            NodeId exclude);
+/// Scalar reference twin of count_covering (bit-identical).
+[[nodiscard]] CoverageResult count_covering_scalar(const DynamicGrid& grid,
+                                                   Vec2 receiver,
+                                                   double query_r2,
+                                                   NodeId exclude);
+
+/// Result of one disk-delta application.
+struct DeltaResult {
+  std::uint64_t visited = 0;  ///< candidate points with d2 <= query disk
+  std::size_t cells = 0;      ///< grid cells visited
+};
+
+/// Apply the symmetric-difference delta of a transmitter's disk changing
+/// from (center, old_r2) to (center, new_r2): every point v != exclude
+/// gains 1 in interference[v] when it entered the disk and loses 1 when it
+/// left. Containment requires a positive radius (a radius-0 node does not
+/// transmit). interference is indexed by node id.
+DeltaResult apply_disk_delta(const DynamicGrid& grid, Vec2 center,
+                             double old_r2, double new_r2, NodeId exclude,
+                             std::uint32_t* interference);
+/// Scalar reference twin of apply_disk_delta (bit-identical).
+DeltaResult apply_disk_delta_scalar(const DynamicGrid& grid, Vec2 center,
+                                    double old_r2, double new_r2,
+                                    NodeId exclude,
+                                    std::uint32_t* interference);
+
+/// Transmitter-centric accumulation for the sharded full evaluation: for
+/// every point v != exclude with d2(v, center) <= r2 (and r2 > 0),
+/// increment covered[v] (relaxed). Returns cells visited.
+std::size_t accumulate_covered(const DynamicGrid& grid, Vec2 center,
+                               double r2, NodeId exclude,
+                               std::atomic<std::uint32_t>* covered);
+
+}  // namespace rim::geom

@@ -27,6 +27,8 @@ struct LocalSearchParams {
   std::size_t max_candidates_per_cut = 0;
   /// Evaluation configuration for the probing Scenario (strategy and
   /// incremental thresholds) — the shared core::EvalOptions surface.
+  /// Configure with the builder setters, e.g.
+  /// `core::EvalOptions{}.with_touched_floor(128)`.
   core::EvalOptions eval{};
 };
 

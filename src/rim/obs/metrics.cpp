@@ -25,9 +25,35 @@ Histogram& Histogram::operator=(const Histogram& other) {
   return *this;
 }
 
+namespace {
+
+/// Log-linear bucket index: v in 0..3 maps to bucket v exactly; for v >= 4
+/// the octave is bit_width(v) and the next kSubBits bits below the top bit
+/// select the linear sub-bucket inside it.
+std::size_t bucket_index(std::uint64_t value) noexcept {
+  if (value < 4) return static_cast<std::size_t>(value);
+  const std::size_t w = static_cast<std::size_t>(std::bit_width(value));
+  const std::size_t sub = static_cast<std::size_t>(
+      (value >> (w - 1 - Histogram::kSubBits)) & (Histogram::kSubBuckets - 1));
+  return 4 + (w - 3) * Histogram::kSubBuckets + sub;
+}
+
+/// Largest value that maps to bucket `b` (inverse of bucket_index).
+std::uint64_t bucket_upper_bound(std::size_t b) noexcept {
+  if (b < 4) return b;
+  const std::size_t w = (b - 4) / Histogram::kSubBuckets + 3;
+  const std::uint64_t sub = (b - 4) % Histogram::kSubBuckets;
+  const std::uint64_t base = std::uint64_t{1} << (w - 1);
+  const std::uint64_t step = std::uint64_t{1} << (w - 1 - Histogram::kSubBits);
+  // (base - 1) first: for w == 64 the naive base + kSubBuckets * step would
+  // wrap before the - 1 brings it back to UINT64_MAX.
+  return (base - 1) + (sub + 1) * step;
+}
+
+}  // namespace
+
 void Histogram::record(std::uint64_t value) noexcept {
-  const std::size_t bucket = static_cast<std::size_t>(std::bit_width(value));
-  buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
+  buckets_[bucket_index(value)].fetch_add(1, std::memory_order_relaxed);
   count_.fetch_add(1, std::memory_order_relaxed);
   sum_.fetch_add(value, std::memory_order_relaxed);
   std::uint64_t seen = max_.load(std::memory_order_relaxed);
@@ -56,12 +82,9 @@ std::uint64_t Histogram::quantile(double q) const noexcept {
   for (std::size_t b = 0; b < kBuckets; ++b) {
     seen += buckets_[b].load(std::memory_order_relaxed);
     if (seen >= rank) {
-      // Upper bound of bucket b (0 for b == 0, else 2^b - 1), clamped to
-      // the true maximum so quantiles never exceed an observed value.
-      const std::uint64_t bound =
-          b == 0 ? 0
-                 : (b >= 64 ? ~std::uint64_t{0} : (std::uint64_t{1} << b) - 1);
-      return std::min(bound, max());
+      // Clamp the bucket's upper bound to the true maximum so quantiles
+      // never exceed an observed value.
+      return std::min(bucket_upper_bound(b), max());
     }
   }
   return max();

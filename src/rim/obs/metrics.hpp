@@ -72,13 +72,21 @@ class Counter {
 
 std::ostream& operator<<(std::ostream& out, const Counter& counter);
 
-/// Fixed-footprint histogram over power-of-two buckets: bucket b counts
-/// samples v with bit_width(v) == b (bucket 0 holds v == 0). Good enough
-/// for latency-in-ns and size distributions, needs no configuration, and
-/// records lock-free from any thread.
+/// Fixed-footprint log-linear histogram: each power-of-two octave is split
+/// into 2^kSubBits linear sub-buckets, so the relative bucket width is
+/// 1/2^kSubBits (~25% at kSubBits == 2) instead of the ~100% of plain
+/// power-of-two buckets. Values 0..3 get exact buckets of their own. Good
+/// enough for latency-in-ns and size distributions, needs no configuration,
+/// and records lock-free from any thread.
 class Histogram {
  public:
-  static constexpr std::size_t kBuckets = 65;  ///< 0 plus one per bit width
+  /// Sub-bucket bits per octave. 2 gives 4 linear slices per power of two,
+  /// i.e. quantile estimates within ~25% of the true value.
+  static constexpr std::size_t kSubBits = 2;
+  static constexpr std::size_t kSubBuckets = std::size_t{1} << kSubBits;
+  /// Buckets 0..3 hold v == 0..3 exactly; every bit width w in 3..64 then
+  /// contributes kSubBuckets log-linear buckets: 4 + 62 * 4 = 252.
+  static constexpr std::size_t kBuckets = 4 + 62 * kSubBuckets;
 
   Histogram() = default;
   Histogram(const Histogram& other);
@@ -98,8 +106,8 @@ class Histogram {
   [[nodiscard]] double mean() const noexcept;
 
   /// Upper bound of the bucket containing the q-quantile (q in [0, 1]);
-  /// 0 when the histogram is empty. An estimate within 2x of the true
-  /// value — the resolution of power-of-two buckets.
+  /// 0 when the histogram is empty. Never below the true value, and at
+  /// most ~1/2^kSubBits (~25%) above it — the log-linear resolution.
   [[nodiscard]] std::uint64_t quantile(double q) const noexcept;
 
   /// {count, sum, mean, max, p50, p90, p99}.

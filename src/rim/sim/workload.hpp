@@ -50,6 +50,9 @@ struct WorkloadConfig {
   double move_fraction = 0.35;
   double add_fraction = 0.15;
   std::uint64_t seed = 1;
+  /// Evaluation configuration for each tenant's Scenario. Configure with
+  /// the builder setters, e.g.
+  /// `core::EvalOptions{}.with_strategy(core::Strategy::kGrid)`.
   core::EvalOptions eval{};
   /// Fault injection (sim::FaultPlan): probability that a batch is struck.
   /// Zero disables injection entirely; with recover_faults set, engine

@@ -1,0 +1,226 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+#if defined(__SSE2__)
+#include <emmintrin.h>
+#define RIM_SIMD_SSE2 1
+#elif defined(__ARM_NEON) || defined(__ARM_NEON__)
+#include <arm_neon.h>
+#define RIM_SIMD_NEON 1
+#endif
+
+/// \file simd.hpp
+/// Portable explicit-SIMD kernels for the disk-coverage hot loops.
+///
+/// The receiver-centric model is built entirely from one predicate — the
+/// exact closed-disk containment test `d2 <= r2` with
+/// `d2 = dx*dx + dy*dy` evaluated in double precision — over
+/// structure-of-arrays columns (geom::DynamicGrid cells, core::NodeSoA).
+/// That predicate vectorises losslessly: each lane computes the identical
+/// two multiplies and one add in round-to-nearest double, the comparison
+/// is exact, and the counts are integers, so the SIMD kernels are
+/// bit-identical to the scalar loops (tests/simd_test.cpp pins this on
+/// denormals and exact-boundary radii; the E18/E21 benches pin it on
+/// 100k-node instances).
+///
+/// Fused multiply-add is the one instruction that could break identity
+/// (one rounding instead of two), so the kernels only ever use explicit
+/// non-fused multiply and add intrinsics, and the scalar fallbacks disable
+/// floating-point contraction. x86-64's SSE2 baseline has no FMA at all;
+/// on AArch64 the explicit vmulq/vaddq intrinsics are never contracted.
+///
+/// Two width-2 backends (SSE2 __m128d, NEON float64x2) plus an
+/// auto-vectorisation-friendly scalar fallback. Every kernel has a
+/// `_scalar` twin compiled unconditionally — the identity tests compare
+/// the active backend against it directly.
+
+namespace rim::simd {
+
+#if defined(RIM_SIMD_SSE2)
+inline constexpr bool kHaveSimd = true;
+inline constexpr std::string_view kBackend = "sse2";
+#elif defined(RIM_SIMD_NEON)
+inline constexpr bool kHaveSimd = true;
+inline constexpr std::string_view kBackend = "neon";
+#else
+inline constexpr bool kHaveSimd = false;
+inline constexpr std::string_view kBackend = "scalar";
+#endif
+
+/// Counts from one coverage pass over a SoA column block (see
+/// count_coverage).
+struct CoverageCounts {
+  std::uint64_t visited = 0;  ///< lanes with d2 <= query_r2
+  std::uint64_t covered = 0;  ///< lanes with d2 <= query_r2, w > 0, d2 <= w
+};
+
+namespace detail {
+
+#if defined(__clang__)
+#define RIM_SIMD_NO_CONTRACT _Pragma("clang fp contract(off)")
+#else
+#define RIM_SIMD_NO_CONTRACT
+#endif
+
+/// d2 = dx*dx + dy*dy with two roundings — the exact arithmetic shape of
+/// geom::dist2 and of both vector backends (never fused).
+#if defined(__GNUC__) && !defined(__clang__)
+__attribute__((optimize("fp-contract=off")))
+#endif
+inline double
+squared_distance(double x, double y, double cx, double cy) {
+  RIM_SIMD_NO_CONTRACT
+  const double dx = x - cx;
+  const double dy = y - cy;
+  return dx * dx + dy * dy;
+}
+
+}  // namespace detail
+
+/// Scalar reference: for each i in [0, n), with d2 computed as above,
+/// visited counts d2 <= query_r2 and covered counts
+/// d2 <= query_r2 && ws[i] > 0 && d2 <= ws[i]. All comparisons exact;
+/// NaN coordinates compare false everywhere, matching the `<=` loops.
+#if defined(__GNUC__) && !defined(__clang__)
+__attribute__((optimize("fp-contract=off")))
+#endif
+inline CoverageCounts
+count_coverage_scalar(const double* xs, const double* ys, const double* ws,
+                      std::size_t n, double cx, double cy, double query_r2) {
+  RIM_SIMD_NO_CONTRACT
+  CoverageCounts out;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double d2 = detail::squared_distance(xs[i], ys[i], cx, cy);
+    if (d2 <= query_r2) {
+      ++out.visited;
+      if (ws[i] > 0.0 && d2 <= ws[i]) ++out.covered;
+    }
+  }
+  return out;
+}
+
+/// Scalar reference for squared_distances: out[i] = d2(i).
+#if defined(__GNUC__) && !defined(__clang__)
+__attribute__((optimize("fp-contract=off")))
+#endif
+inline void
+squared_distances_scalar(const double* xs, const double* ys, std::size_t n,
+                         double cx, double cy, double* out) {
+  RIM_SIMD_NO_CONTRACT
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] = detail::squared_distance(xs[i], ys[i], cx, cy);
+  }
+}
+
+#if defined(RIM_SIMD_SSE2)
+
+inline CoverageCounts count_coverage(const double* xs, const double* ys,
+                                     const double* ws, std::size_t n,
+                                     double cx, double cy, double query_r2) {
+  const __m128d vcx = _mm_set1_pd(cx);
+  const __m128d vcy = _mm_set1_pd(cy);
+  const __m128d vq = _mm_set1_pd(query_r2);
+  const __m128d vzero = _mm_setzero_pd();
+  std::uint64_t visited = 0;
+  std::uint64_t covered = 0;
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    const __m128d dx = _mm_sub_pd(_mm_loadu_pd(xs + i), vcx);
+    const __m128d dy = _mm_sub_pd(_mm_loadu_pd(ys + i), vcy);
+    const __m128d d2 = _mm_add_pd(_mm_mul_pd(dx, dx), _mm_mul_pd(dy, dy));
+    const __m128d w = _mm_loadu_pd(ws + i);
+    const __m128d in_q = _mm_cmple_pd(d2, vq);
+    const __m128d cov = _mm_and_pd(
+        in_q, _mm_and_pd(_mm_cmpgt_pd(w, vzero), _mm_cmple_pd(d2, w)));
+    visited += static_cast<unsigned>(
+        __builtin_popcount(static_cast<unsigned>(_mm_movemask_pd(in_q))));
+    covered += static_cast<unsigned>(
+        __builtin_popcount(static_cast<unsigned>(_mm_movemask_pd(cov))));
+  }
+  const CoverageCounts tail =
+      count_coverage_scalar(xs + i, ys + i, ws + i, n - i, cx, cy, query_r2);
+  return {visited + tail.visited, covered + tail.covered};
+}
+
+inline void squared_distances(const double* xs, const double* ys,
+                              std::size_t n, double cx, double cy,
+                              double* out) {
+  const __m128d vcx = _mm_set1_pd(cx);
+  const __m128d vcy = _mm_set1_pd(cy);
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    const __m128d dx = _mm_sub_pd(_mm_loadu_pd(xs + i), vcx);
+    const __m128d dy = _mm_sub_pd(_mm_loadu_pd(ys + i), vcy);
+    _mm_storeu_pd(out + i,
+                  _mm_add_pd(_mm_mul_pd(dx, dx), _mm_mul_pd(dy, dy)));
+  }
+  squared_distances_scalar(xs + i, ys + i, n - i, cx, cy, out + i);
+}
+
+#elif defined(RIM_SIMD_NEON)
+
+inline CoverageCounts count_coverage(const double* xs, const double* ys,
+                                     const double* ws, std::size_t n,
+                                     double cx, double cy, double query_r2) {
+  const float64x2_t vcx = vdupq_n_f64(cx);
+  const float64x2_t vcy = vdupq_n_f64(cy);
+  const float64x2_t vq = vdupq_n_f64(query_r2);
+  const float64x2_t vzero = vdupq_n_f64(0.0);
+  std::uint64_t visited = 0;
+  std::uint64_t covered = 0;
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    const float64x2_t dx = vsubq_f64(vld1q_f64(xs + i), vcx);
+    const float64x2_t dy = vsubq_f64(vld1q_f64(ys + i), vcy);
+    // vmulq + vaddq, never vfmaq: fusing would change the rounding and
+    // break bit-identity with the scalar kernels.
+    const float64x2_t d2 =
+        vaddq_f64(vmulq_f64(dx, dx), vmulq_f64(dy, dy));
+    const float64x2_t w = vld1q_f64(ws + i);
+    const uint64x2_t in_q = vcleq_f64(d2, vq);
+    const uint64x2_t cov = vandq_u64(
+        in_q, vandq_u64(vcgtq_f64(w, vzero), vcleq_f64(d2, w)));
+    visited += (vgetq_lane_u64(in_q, 0) & 1) + (vgetq_lane_u64(in_q, 1) & 1);
+    covered += (vgetq_lane_u64(cov, 0) & 1) + (vgetq_lane_u64(cov, 1) & 1);
+  }
+  const CoverageCounts tail =
+      count_coverage_scalar(xs + i, ys + i, ws + i, n - i, cx, cy, query_r2);
+  return {visited + tail.visited, covered + tail.covered};
+}
+
+inline void squared_distances(const double* xs, const double* ys,
+                              std::size_t n, double cx, double cy,
+                              double* out) {
+  const float64x2_t vcx = vdupq_n_f64(cx);
+  const float64x2_t vcy = vdupq_n_f64(cy);
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    const float64x2_t dx = vsubq_f64(vld1q_f64(xs + i), vcx);
+    const float64x2_t dy = vsubq_f64(vld1q_f64(ys + i), vcy);
+    vst1q_f64(out + i, vaddq_f64(vmulq_f64(dx, dx), vmulq_f64(dy, dy)));
+  }
+  squared_distances_scalar(xs + i, ys + i, n - i, cx, cy, out + i);
+}
+
+#else  // scalar backend
+
+inline CoverageCounts count_coverage(const double* xs, const double* ys,
+                                     const double* ws, std::size_t n,
+                                     double cx, double cy, double query_r2) {
+  return count_coverage_scalar(xs, ys, ws, n, cx, cy, query_r2);
+}
+
+inline void squared_distances(const double* xs, const double* ys,
+                              std::size_t n, double cx, double cy,
+                              double* out) {
+  squared_distances_scalar(xs, ys, n, cx, cy, out);
+}
+
+#endif
+
+#undef RIM_SIMD_NO_CONTRACT
+
+}  // namespace rim::simd

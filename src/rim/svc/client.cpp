@@ -19,16 +19,26 @@ std::uint64_t u64_field(const io::Json& result, const char* key,
   return value;
 }
 
-}  // namespace
-
-bool Client::transport_failure(std::string message) {
-  error_ = std::move(message);
-  error_code_ = "transport";
-  return false;
+io::JsonObject session_params(std::uint64_t session) {
+  io::JsonObject params;
+  params["session"] = io::Json(session);
+  return params;
 }
 
-bool Client::call(const std::string& command, io::JsonObject params,
-                  io::Json& result) {
+}  // namespace
+
+common::Unexpected<SvcError> Client::fail(SvcError error) {
+  error_ = error.message;
+  error_code_ = error.wire_code();
+  return common::Unexpected(std::move(error));
+}
+
+common::Unexpected<SvcError> Client::transport_failure(std::string message) {
+  return fail(SvcError{SvcErrorCode::kTransport, std::move(message)});
+}
+
+SvcResult<io::Json> Client::try_call(const std::string& command,
+                                     io::JsonObject params) {
   error_.clear();
   error_code_.clear();
   last_response_payload_.clear();
@@ -68,184 +78,279 @@ bool Client::call(const std::string& command, io::JsonObject params,
         code != nullptr ? code->as_string() : nullptr;
     const std::string* message_str =
         message != nullptr ? message->as_string() : nullptr;
-    error_code_ = code_str != nullptr ? *code_str : std::string(code::kInternal);
-    error_ = message_str != nullptr ? *message_str : "unknown error";
-    return false;
+    SvcError error;
+    error.code = code_str != nullptr ? code_from_wire(*code_str)
+                                     : SvcErrorCode::kInternal;
+    error.message = message_str != nullptr ? *message_str : "unknown error";
+    // Preserve the verbatim wire code (even an unrecognised one) for the
+    // string-based diagnostics accessors.
+    error_ = error.message;
+    error_code_ = code_str != nullptr ? *code_str : error.wire_code();
+    return common::Unexpected(std::move(error));
   }
   const io::Json* result_field = response.find("result");
-  result = result_field != nullptr ? *result_field : io::Json();
-  return true;
+  return result_field != nullptr ? *result_field : io::Json();
 }
 
-bool Client::ping() {
-  io::Json result;
-  return call(cmd::kPing, {}, result);
+SvcResult<void> Client::try_ping() {
+  SvcResult<io::Json> result = try_call(cmd::kPing, {});
+  if (!result.has_value()) {
+    return common::Unexpected(std::move(result).error());
+  }
+  return {};
 }
 
-bool Client::create_session(std::uint64_t& session) {
-  io::Json result;
-  if (!call(cmd::kCreateSession, {}, result)) return false;
-  session = u64_field(result, "session");
-  return true;
+SvcResult<std::uint64_t> Client::try_create_session() {
+  SvcResult<io::Json> result = try_call(cmd::kCreateSession, {});
+  if (!result.has_value()) {
+    return common::Unexpected(std::move(result).error());
+  }
+  return u64_field(*result, "session");
 }
 
-bool Client::close_session(std::uint64_t session) {
-  io::JsonObject params;
-  params["session"] = io::Json(session);
-  io::Json result;
-  return call(cmd::kCloseSession, std::move(params), result);
+SvcResult<void> Client::try_close_session(std::uint64_t session) {
+  SvcResult<io::Json> result =
+      try_call(cmd::kCloseSession, session_params(session));
+  if (!result.has_value()) {
+    return common::Unexpected(std::move(result).error());
+  }
+  return {};
 }
 
-bool Client::add_node(std::uint64_t session, double x, double y,
-                      NodeId& node) {
-  io::JsonObject params;
-  params["session"] = io::Json(session);
+SvcResult<NodeId> Client::try_add_node(std::uint64_t session, double x,
+                                       double y) {
+  io::JsonObject params = session_params(session);
   params["x"] = io::Json(x);
   params["y"] = io::Json(y);
-  io::Json result;
-  if (!call(cmd::kAddNode, std::move(params), result)) return false;
-  node = static_cast<NodeId>(u64_field(result, "node", kInvalidNode));
-  return true;
+  SvcResult<io::Json> result = try_call(cmd::kAddNode, std::move(params));
+  if (!result.has_value()) {
+    return common::Unexpected(std::move(result).error());
+  }
+  return static_cast<NodeId>(u64_field(*result, "node", kInvalidNode));
 }
 
-bool Client::remove_node(std::uint64_t session, NodeId v, NodeId& renamed) {
-  io::JsonObject params;
-  params["session"] = io::Json(session);
+SvcResult<NodeId> Client::try_remove_node(std::uint64_t session, NodeId v) {
+  io::JsonObject params = session_params(session);
   params["v"] = io::Json(v);
-  io::Json result;
-  if (!call(cmd::kRemoveNode, std::move(params), result)) return false;
-  renamed = static_cast<NodeId>(u64_field(result, "renamed", kInvalidNode));
-  return true;
+  SvcResult<io::Json> result = try_call(cmd::kRemoveNode, std::move(params));
+  if (!result.has_value()) {
+    return common::Unexpected(std::move(result).error());
+  }
+  return static_cast<NodeId>(u64_field(*result, "renamed", kInvalidNode));
 }
 
-bool Client::add_edge(std::uint64_t session, NodeId u, NodeId v,
-                      bool& added) {
-  io::JsonObject params;
-  params["session"] = io::Json(session);
+SvcResult<bool> Client::try_add_edge(std::uint64_t session, NodeId u,
+                                     NodeId v) {
+  io::JsonObject params = session_params(session);
   params["u"] = io::Json(u);
   params["v"] = io::Json(v);
-  io::Json result;
-  if (!call(cmd::kAddEdge, std::move(params), result)) return false;
-  const io::Json* field = result.find("added");
-  added = field != nullptr && field->as_bool(false);
-  return true;
+  SvcResult<io::Json> result = try_call(cmd::kAddEdge, std::move(params));
+  if (!result.has_value()) {
+    return common::Unexpected(std::move(result).error());
+  }
+  const io::Json* field = result->find("added");
+  return field != nullptr && field->as_bool(false);
 }
 
-bool Client::remove_edge(std::uint64_t session, NodeId u, NodeId v,
-                         bool& removed) {
-  io::JsonObject params;
-  params["session"] = io::Json(session);
+SvcResult<bool> Client::try_remove_edge(std::uint64_t session, NodeId u,
+                                        NodeId v) {
+  io::JsonObject params = session_params(session);
   params["u"] = io::Json(u);
   params["v"] = io::Json(v);
-  io::Json result;
-  if (!call(cmd::kRemoveEdge, std::move(params), result)) return false;
-  const io::Json* field = result.find("removed");
-  removed = field != nullptr && field->as_bool(false);
-  return true;
+  SvcResult<io::Json> result = try_call(cmd::kRemoveEdge, std::move(params));
+  if (!result.has_value()) {
+    return common::Unexpected(std::move(result).error());
+  }
+  const io::Json* field = result->find("removed");
+  return field != nullptr && field->as_bool(false);
 }
 
-bool Client::move_node(std::uint64_t session, NodeId v, double x, double y) {
-  io::JsonObject params;
-  params["session"] = io::Json(session);
+SvcResult<void> Client::try_move_node(std::uint64_t session, NodeId v,
+                                      double x, double y) {
+  io::JsonObject params = session_params(session);
   params["v"] = io::Json(v);
   params["x"] = io::Json(x);
   params["y"] = io::Json(y);
-  io::Json result;
-  return call(cmd::kMove, std::move(params), result);
+  SvcResult<io::Json> result = try_call(cmd::kMove, std::move(params));
+  if (!result.has_value()) {
+    return common::Unexpected(std::move(result).error());
+  }
+  return {};
 }
 
-bool Client::apply_batch(std::uint64_t session,
-                         std::span<const core::Mutation> batch,
-                         core::BatchResult& result) {
-  io::JsonObject params;
-  params["session"] = io::Json(session);
+SvcResult<core::BatchResult> Client::try_apply_batch(
+    std::uint64_t session, std::span<const core::Mutation> batch) {
+  io::JsonObject params = session_params(session);
   io::JsonArray mutations;
   mutations.reserve(batch.size());
   for (const core::Mutation& mutation : batch) {
     mutations.push_back(mutation_to_json(mutation));
   }
   params["batch"] = io::Json(std::move(mutations));
-  io::Json reply;
-  if (!call(cmd::kApplyBatch, std::move(params), reply)) return false;
-  result.applied = static_cast<std::size_t>(u64_field(reply, "applied"));
+  SvcResult<io::Json> reply = try_call(cmd::kApplyBatch, std::move(params));
+  if (!reply.has_value()) {
+    return common::Unexpected(std::move(reply).error());
+  }
+  core::BatchResult result;
+  result.applied = static_cast<std::size_t>(u64_field(*reply, "applied"));
   result.disk_tasks =
-      static_cast<std::size_t>(u64_field(reply, "disk_tasks"));
-  result.recounts = static_cast<std::size_t>(u64_field(reply, "recounts"));
-  result.waves = static_cast<std::size_t>(u64_field(reply, "waves"));
+      static_cast<std::size_t>(u64_field(*reply, "disk_tasks"));
+  result.recounts = static_cast<std::size_t>(u64_field(*reply, "recounts"));
+  result.waves = static_cast<std::size_t>(u64_field(*reply, "waves"));
   result.abort_index =
-      static_cast<std::size_t>(u64_field(reply, "abort_index"));
-  const io::Json* deferred = reply.find("deferred");
-  const io::Json* aborted = reply.find("aborted");
+      static_cast<std::size_t>(u64_field(*reply, "abort_index"));
+  const io::Json* deferred = reply->find("deferred");
+  const io::Json* aborted = reply->find("aborted");
   result.deferred = deferred != nullptr && deferred->as_bool(false);
   result.aborted = aborted != nullptr && aborted->as_bool(false);
-  return true;
+  return result;
 }
 
-bool Client::assess(std::uint64_t session,
-                    std::span<const core::Mutation> mutations,
-                    io::Json& assessment) {
-  io::JsonObject params;
-  params["session"] = io::Json(session);
+SvcResult<io::Json> Client::try_assess(
+    std::uint64_t session, std::span<const core::Mutation> mutations) {
+  io::JsonObject params = session_params(session);
   io::JsonArray array;
   array.reserve(mutations.size());
   for (const core::Mutation& mutation : mutations) {
     array.push_back(mutation_to_json(mutation));
   }
   params["mutations"] = io::Json(std::move(array));
-  return call(cmd::kAssess, std::move(params), assessment);
+  return try_call(cmd::kAssess, std::move(params));
+}
+
+SvcResult<io::Json> Client::try_query_interference(std::uint64_t session) {
+  return try_call(cmd::kQueryInterference, session_params(session));
+}
+
+SvcResult<std::uint32_t> Client::try_query_interference_of(
+    std::uint64_t session, NodeId v) {
+  io::JsonObject params = session_params(session);
+  params["v"] = io::Json(v);
+  SvcResult<io::Json> result =
+      try_call(cmd::kQueryInterference, std::move(params));
+  if (!result.has_value()) {
+    return common::Unexpected(std::move(result).error());
+  }
+  return static_cast<std::uint32_t>(u64_field(*result, "value"));
+}
+
+SvcResult<io::Json> Client::try_snapshot(std::uint64_t session) {
+  SvcResult<io::Json> result =
+      try_call(cmd::kSnapshot, session_params(session));
+  if (!result.has_value()) {
+    return common::Unexpected(std::move(result).error());
+  }
+  const io::Json* doc = result->find("snapshot");
+  if (doc == nullptr) {
+    return transport_failure("snapshot result carries no 'snapshot' field");
+  }
+  return *doc;
+}
+
+SvcResult<void> Client::try_restore(std::uint64_t session,
+                                    const io::Json& snapshot_doc) {
+  io::JsonObject params = session_params(session);
+  params["snapshot"] = snapshot_doc;
+  SvcResult<io::Json> result = try_call(cmd::kRestore, std::move(params));
+  if (!result.has_value()) {
+    return common::Unexpected(std::move(result).error());
+  }
+  return {};
+}
+
+SvcResult<io::Json> Client::try_session_stats(std::uint64_t session) {
+  return try_call(cmd::kSessionStats, session_params(session));
+}
+
+SvcResult<io::Json> Client::try_metrics() {
+  return try_call(cmd::kMetrics, {});
+}
+
+SvcResult<void> Client::try_shutdown() {
+  SvcResult<io::Json> result = try_call(cmd::kShutdown, {});
+  if (!result.has_value()) {
+    return common::Unexpected(std::move(result).error());
+  }
+  return {};
+}
+
+// --- bool wrappers ---------------------------------------------------------
+
+bool Client::call(const std::string& command, io::JsonObject params,
+                  io::Json& result) {
+  return unwrap(try_call(command, std::move(params)), result);
+}
+
+bool Client::ping() { return unwrap(try_ping()); }
+
+bool Client::create_session(std::uint64_t& session) {
+  return unwrap(try_create_session(), session);
+}
+
+bool Client::close_session(std::uint64_t session) {
+  return unwrap(try_close_session(session));
+}
+
+bool Client::add_node(std::uint64_t session, double x, double y,
+                      NodeId& node) {
+  return unwrap(try_add_node(session, x, y), node);
+}
+
+bool Client::remove_node(std::uint64_t session, NodeId v, NodeId& renamed) {
+  return unwrap(try_remove_node(session, v), renamed);
+}
+
+bool Client::add_edge(std::uint64_t session, NodeId u, NodeId v,
+                      bool& added) {
+  return unwrap(try_add_edge(session, u, v), added);
+}
+
+bool Client::remove_edge(std::uint64_t session, NodeId u, NodeId v,
+                         bool& removed) {
+  return unwrap(try_remove_edge(session, u, v), removed);
+}
+
+bool Client::move_node(std::uint64_t session, NodeId v, double x, double y) {
+  return unwrap(try_move_node(session, v, x, y));
+}
+
+bool Client::apply_batch(std::uint64_t session,
+                         std::span<const core::Mutation> batch,
+                         core::BatchResult& result) {
+  return unwrap(try_apply_batch(session, batch), result);
+}
+
+bool Client::assess(std::uint64_t session,
+                    std::span<const core::Mutation> mutations,
+                    io::Json& assessment) {
+  return unwrap(try_assess(session, mutations), assessment);
 }
 
 bool Client::query_interference(std::uint64_t session, io::Json& result) {
-  io::JsonObject params;
-  params["session"] = io::Json(session);
-  return call(cmd::kQueryInterference, std::move(params), result);
+  return unwrap(try_query_interference(session), result);
 }
 
 bool Client::query_interference_of(std::uint64_t session, NodeId v,
                                    std::uint32_t& value) {
-  io::JsonObject params;
-  params["session"] = io::Json(session);
-  params["v"] = io::Json(v);
-  io::Json result;
-  if (!call(cmd::kQueryInterference, std::move(params), result)) return false;
-  value = static_cast<std::uint32_t>(u64_field(result, "value"));
-  return true;
+  return unwrap(try_query_interference_of(session, v), value);
 }
 
 bool Client::snapshot(std::uint64_t session, io::Json& snapshot_doc) {
-  io::JsonObject params;
-  params["session"] = io::Json(session);
-  io::Json result;
-  if (!call(cmd::kSnapshot, std::move(params), result)) return false;
-  const io::Json* doc = result.find("snapshot");
-  if (doc == nullptr) {
-    return transport_failure("snapshot result carries no 'snapshot' field");
-  }
-  snapshot_doc = *doc;
-  return true;
+  return unwrap(try_snapshot(session), snapshot_doc);
 }
 
 bool Client::restore(std::uint64_t session, const io::Json& snapshot_doc) {
-  io::JsonObject params;
-  params["session"] = io::Json(session);
-  params["snapshot"] = snapshot_doc;
-  io::Json result;
-  return call(cmd::kRestore, std::move(params), result);
+  return unwrap(try_restore(session, snapshot_doc));
 }
 
 bool Client::session_stats(std::uint64_t session, io::Json& stats) {
-  io::JsonObject params;
-  params["session"] = io::Json(session);
-  return call(cmd::kSessionStats, std::move(params), stats);
+  return unwrap(try_session_stats(session), stats);
 }
 
 bool Client::metrics(io::Json& snapshot) {
-  return call(cmd::kMetrics, {}, snapshot);
+  return unwrap(try_metrics(), snapshot);
 }
 
-bool Client::shutdown() {
-  io::Json result;
-  return call(cmd::kShutdown, {}, result);
-}
+bool Client::shutdown() { return unwrap(try_shutdown()); }
 
 }  // namespace rim::svc

@@ -6,6 +6,7 @@
 
 #include "rim/core/scenario.hpp"
 #include "rim/io/json.hpp"
+#include "rim/svc/errors.hpp"
 #include "rim/svc/transport.hpp"
 
 /// \file client.hpp
@@ -13,10 +14,16 @@
 ///
 /// Client wraps any Transport (loopback or TCP) and speaks the protocol.hpp
 /// wire format: it assigns monotonically increasing request ids, frames the
-/// request, and unwraps the response envelope. Every typed call returns
-/// false on failure — either a transport error (error_code() == "transport")
-/// or a service error response (error_code() is the wire code, error() the
-/// message).
+/// request, and unwraps the response envelope.
+///
+/// The primary API is the try_* family: every call returns
+/// SvcResult<T> (= common::Expected<T, SvcError>), whose SvcErrorCode
+/// mirrors the wire envelope codes (errors.hpp) — a transport failure is
+/// SvcErrorCode::kTransport, a service error response carries the decoded
+/// wire code and message. The bool-returning legacy calls are thin
+/// wrappers kept for one PR (DESIGN.md §10): they return false on failure
+/// and leave the message in error() / the wire code string in
+/// error_code().
 ///
 /// The raw response payload of the most recent call is retained
 /// (last_response_payload()); the byte-identity tests compare it against
@@ -28,8 +35,59 @@ class Client {
  public:
   explicit Client(Transport& transport) : transport_(transport) {}
 
+  // --- typed API ------------------------------------------------------
+
   /// Generic command call: sends {"cmd":command,"id":<auto>, ...params}
   /// and yields the response's "result" document.
+  [[nodiscard]] SvcResult<io::Json> try_call(const std::string& command,
+                                             io::JsonObject params);
+
+  [[nodiscard]] SvcResult<void> try_ping();
+  /// Yields the new session id.
+  [[nodiscard]] SvcResult<std::uint64_t> try_create_session();
+  [[nodiscard]] SvcResult<void> try_close_session(std::uint64_t session);
+
+  /// Yields the new node's id.
+  [[nodiscard]] SvcResult<NodeId> try_add_node(std::uint64_t session,
+                                               double x, double y);
+  /// Yields the id the last node was renamed to, or kInvalidNode when no
+  /// rename happened.
+  [[nodiscard]] SvcResult<NodeId> try_remove_node(std::uint64_t session,
+                                                  NodeId v);
+  /// Yields whether the edge was actually added (false: already present).
+  [[nodiscard]] SvcResult<bool> try_add_edge(std::uint64_t session, NodeId u,
+                                             NodeId v);
+  /// Yields whether the edge was actually removed (false: not present).
+  [[nodiscard]] SvcResult<bool> try_remove_edge(std::uint64_t session,
+                                                NodeId u, NodeId v);
+  [[nodiscard]] SvcResult<void> try_move_node(std::uint64_t session, NodeId v,
+                                              double x, double y);
+
+  [[nodiscard]] SvcResult<core::BatchResult> try_apply_batch(
+      std::uint64_t session, std::span<const core::Mutation> batch);
+  /// Yields the raw assessment document (affected_ids, delta_per_node,
+  /// max_before, max_after, newcomer_interference).
+  [[nodiscard]] SvcResult<io::Json> try_assess(
+      std::uint64_t session, std::span<const core::Mutation> mutations);
+
+  /// Whole-session interference ({"max","per_node","total"}).
+  [[nodiscard]] SvcResult<io::Json> try_query_interference(
+      std::uint64_t session);
+  [[nodiscard]] SvcResult<std::uint32_t> try_query_interference_of(
+      std::uint64_t session, NodeId v);
+
+  [[nodiscard]] SvcResult<io::Json> try_snapshot(std::uint64_t session);
+  [[nodiscard]] SvcResult<void> try_restore(std::uint64_t session,
+                                            const io::Json& snapshot_doc);
+  [[nodiscard]] SvcResult<io::Json> try_session_stats(std::uint64_t session);
+
+  [[nodiscard]] SvcResult<io::Json> try_metrics();
+  [[nodiscard]] SvcResult<void> try_shutdown();
+
+  // --- deprecated bool wrappers (kept for one PR; DESIGN.md §10) -------
+  // Same semantics as the typed calls; on failure they return false and
+  // stash the SvcError into error()/error_code().
+
   [[nodiscard]] bool call(const std::string& command, io::JsonObject params,
                           io::Json& result);
 
@@ -39,8 +97,6 @@ class Client {
 
   [[nodiscard]] bool add_node(std::uint64_t session, double x, double y,
                               NodeId& node);
-  /// \p renamed receives the id the last node was renamed to, or
-  /// kInvalidNode when no rename happened.
   [[nodiscard]] bool remove_node(std::uint64_t session, NodeId v,
                                  NodeId& renamed);
   [[nodiscard]] bool add_edge(std::uint64_t session, NodeId u, NodeId v,
@@ -53,13 +109,10 @@ class Client {
   [[nodiscard]] bool apply_batch(std::uint64_t session,
                                  std::span<const core::Mutation> batch,
                                  core::BatchResult& result);
-  /// Yields the raw assessment document (affected_ids, delta_per_node,
-  /// max_before, max_after, newcomer_interference).
   [[nodiscard]] bool assess(std::uint64_t session,
                             std::span<const core::Mutation> mutations,
                             io::Json& assessment);
 
-  /// Whole-session interference ({"max","per_node","total"}).
   [[nodiscard]] bool query_interference(std::uint64_t session,
                                         io::Json& result);
   [[nodiscard]] bool query_interference_of(std::uint64_t session, NodeId v,
@@ -73,6 +126,8 @@ class Client {
   [[nodiscard]] bool metrics(io::Json& snapshot);
   [[nodiscard]] bool shutdown();
 
+  // --- diagnostics -----------------------------------------------------
+
   /// Message of the most recent failure.
   [[nodiscard]] const std::string& error() const { return error_; }
   /// Wire error code of the most recent failure ("transport" when the
@@ -85,7 +140,19 @@ class Client {
   [[nodiscard]] std::uint64_t last_request_id() const { return last_id_; }
 
  private:
-  [[nodiscard]] bool transport_failure(std::string message);
+  /// Records \p error into error()/error_code() and forwards it.
+  [[nodiscard]] common::Unexpected<SvcError> fail(SvcError error);
+  [[nodiscard]] common::Unexpected<SvcError> transport_failure(
+      std::string message);
+
+  /// Unwraps a typed result into the bool-wrapper calling convention.
+  template <typename T>
+  bool unwrap(SvcResult<T> result, T& out) {
+    if (!result.has_value()) return false;
+    out = std::move(result).value();
+    return true;
+  }
+  bool unwrap(const SvcResult<void>& result) { return result.has_value(); }
 
   Transport& transport_;
   std::uint64_t next_id_ = 1;

@@ -5,6 +5,7 @@
 #include <utility>
 #include <vector>
 
+#include "rim/core/assessor.hpp"
 #include "rim/core/snapshot.hpp"
 #include "rim/sim/fault.hpp"
 
@@ -104,6 +105,7 @@ io::Json ServiceCounters::to_json() const {
   object["ok"] = ok.to_json();
   object["errors"] = errors.to_json();
   object["rejected_overloaded"] = rejected_overloaded.to_json();
+  object["rejected_tenant"] = rejected_tenant.to_json();
   object["rejected_bad_frame"] = rejected_bad_frame.to_json();
   object["handle_ns"] = handle_ns.to_json();
   object["latency_ns"] = latency_ns.to_json();
@@ -131,6 +133,8 @@ Service::Service(ServiceConfig config)
     limits["max_in_flight"] = io::Json(config_.limits.max_in_flight);
     limits["max_live_sessions"] = io::Json(config_.limits.max_live_sessions);
     limits["max_sessions"] = io::Json(config_.limits.max_sessions);
+    limits["tenant_rate_per_s"] = io::Json(config_.limits.tenant_rate_per_s);
+    limits["tenant_burst"] = io::Json(config_.limits.tenant_burst);
     object["limits"] = io::Json(std::move(limits));
     object["manager"] = sessions_.counters_json();
     io::JsonObject population;
@@ -299,6 +303,25 @@ std::string Service::dispatch_session_command(std::uint64_t id,
       sessions_.checkout(session_id, error_code, error);
   if (session == nullptr) return make_error(id, error_code, error);
 
+  // Per-tenant fair admission: spend one token of this session's bucket
+  // before taking its mutex. A shed is the same explicit "overloaded"
+  // envelope as the global gate — the tenant over its rate is refused,
+  // other tenants' buckets are untouched.
+  if (session->bucket.enabled() &&
+      !session->bucket.try_acquire(obs::now_ns())) {
+    ++session->counters.requests;
+    ++session->counters.errors;
+    ++session->counters.rate_limited;
+    ++counters_.rejected_tenant;
+    sessions_.checkin(session);
+    return make_error(id, code::kOverloaded,
+                      "tenant rate limit exceeded (" +
+                          std::to_string(config_.limits.tenant_rate_per_s) +
+                          "/s, burst " +
+                          std::to_string(config_.limits.tenant_burst) +
+                          "); retry later");
+  }
+
   Reply reply;
   {
     Session& s = *session;
@@ -428,8 +451,8 @@ std::string Service::dispatch_session_command(std::uint64_t id,
                                 ? "field 'mutations' must be a mutation array"
                                 : error);
       } else {
-        const core::Assessment assessment = s.scenario.assess(
-            std::span<const core::Mutation>(mutations));
+        const core::Assessment assessment = core::Assessor{}.assess(
+            s.scenario, std::span<const core::Mutation>(mutations));
         reply = ok_reply(id, assessment_to_json(assessment));
       }
     } else if (command == cmd::kQueryInterference) {

@@ -33,6 +33,14 @@
 /// same applies to `max_sessions` (SessionManager) and oversized frames
 /// (transports answer "bad_frame" and drop the connection).
 ///
+/// **Per-tenant fairness.** The in-flight gate alone is first-come-
+/// first-served: a hog tenant can starve everyone behind it. With
+/// `SvcLimits::tenant_rate_per_s` set, every session carries a
+/// svc::TokenBucket and each session command spends one token — a tenant
+/// over its rate is shed with the same "overloaded" envelope (counted in
+/// `rejected_tenant` and the session's `rate_limited`) while other
+/// tenants' buckets, and therefore their throughput, are unaffected.
+///
 /// **Threading.** Lock order is service-internal and strictly
 /// manager → session (session.hpp); handlers hold exactly one session
 /// mutex while touching its Scenario. Batches run on the service-owned
@@ -66,7 +74,8 @@ struct ServiceCounters {
   obs::Counter requests;            ///< payloads handled (ok + error)
   obs::Counter ok;                  ///< answered ok=true
   obs::Counter errors;              ///< answered ok=false (any code)
-  obs::Counter rejected_overloaded; ///< shed by admission control
+  obs::Counter rejected_overloaded; ///< shed by the global in-flight gate
+  obs::Counter rejected_tenant;     ///< shed by a per-tenant token bucket
   obs::Counter rejected_bad_frame;  ///< unparseable payloads
   obs::Counter handle_ns;           ///< total time inside handle paths
   obs::Histogram latency_ns;        ///< per-request handling latency

@@ -15,6 +15,7 @@ io::Json SessionCounters::to_json() const {
   object["mutations"] = mutations.to_json();
   object["spills"] = spills.to_json();
   object["spill_restores"] = spill_restores.to_json();
+  object["rate_limited"] = rate_limited.to_json();
   object["handle_ns"] = handle_ns.to_json();
   object["latency_ns"] = latency_ns.to_json();
   return io::Json(std::move(object));
@@ -139,7 +140,7 @@ bool SessionManager::create(std::uint64_t& id,
   }
   id = next_id_++;
   Entry entry;
-  entry.session = std::make_shared<Session>(id, eval_);
+  entry.session = std::make_shared<Session>(id, eval_, limits_);
   entry.last_used = ++lru_tick_;
   session = entry.session;
   sessions_.emplace(id, std::move(entry));

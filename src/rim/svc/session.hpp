@@ -12,6 +12,7 @@
 #include "rim/io/json.hpp"
 #include "rim/obs/metrics.hpp"
 #include "rim/svc/protocol.hpp"
+#include "rim/svc/token_bucket.hpp"
 
 /// \file session.hpp
 /// Multi-tenant session ownership for the scenario service.
@@ -56,6 +57,14 @@ struct SvcLimits {
   std::size_t max_frame_bytes = kDefaultMaxFrameBytes;
   /// Directory for LRU snapshot spills; empty disables eviction.
   std::string spill_dir;
+  /// Per-tenant fair admission (token_bucket.hpp): each session's bucket
+  /// refills at this rate and session commands beyond it are shed with
+  /// "overloaded". Non-positive disables per-tenant limiting (the global
+  /// in-flight gate still applies).
+  double tenant_rate_per_s = 0.0;
+  /// Bucket capacity: how many commands a tenant may burst above its
+  /// steady rate before being shed (clamped to >= 1).
+  double tenant_burst = 16.0;
 };
 
 /// Per-session observability (all lock-free; registered as a metrics
@@ -66,6 +75,7 @@ struct SessionCounters {
   obs::Counter mutations;      ///< mutations applied (single + batched)
   obs::Counter spills;         ///< times this session was evicted to disk
   obs::Counter spill_restores; ///< times it was restored from disk
+  obs::Counter rate_limited;   ///< commands shed by this tenant's bucket
   obs::Counter handle_ns;      ///< total time inside this session's commands
   obs::Histogram latency_ns;   ///< per-command handling latency
 
@@ -73,11 +83,17 @@ struct SessionCounters {
 };
 
 struct Session {
-  explicit Session(std::uint64_t session_id, const core::EvalOptions& options)
-      : id(session_id), scenario(options) {}
+  Session(std::uint64_t session_id, const core::EvalOptions& options,
+          const SvcLimits& limits)
+      : id(session_id),
+        bucket(limits.tenant_rate_per_s, limits.tenant_burst),
+        scenario(options) {}
 
   const std::uint64_t id;
   SessionCounters counters;
+  /// Fair-admission bucket; internally synchronized, checked before the
+  /// session mutex is taken so shed commands never touch the Scenario.
+  TokenBucket bucket;
   common::Mutex mutex;
   core::Scenario scenario RIM_GUARDED_BY(mutex);
 };

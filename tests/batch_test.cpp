@@ -2,6 +2,7 @@
 
 #include <vector>
 
+#include "rim/core/assessor.hpp"
 #include "rim/core/radii.hpp"
 #include "rim/core/scenario.hpp"
 #include "rim/parallel/thread_pool.hpp"
@@ -20,8 +21,7 @@ namespace {
 
 std::vector<std::uint32_t> brute_reference(Scenario& scenario) {
   const graph::Graph topo = scenario.topology();
-  const geom::PointSet points(scenario.points().begin(),
-                              scenario.points().end());
+  const geom::PointSet points = scenario.points();
   const std::vector<double> radii2 = transmission_radii_squared(topo, points);
   return interference_vector_squared(points, radii2, Strategy::kBrute);
 }
@@ -250,8 +250,8 @@ TEST(Assess, DoesNotMutateTheScenario) {
                                           scenario.interference().end());
   const std::size_t edges_before = scenario.edge_count();
 
-  (void)scenario.assess(Mutation::remove_node(7));
-  (void)scenario.assess(Mutation::add_node({0.4, 0.6}));
+  (void)Assessor{}.assess(scenario, Mutation::remove_node(7));
+  (void)Assessor{}.assess(scenario, Mutation::add_node({0.4, 0.6}));
 
   EXPECT_EQ(scenario.node_count(), points.size());
   EXPECT_EQ(scenario.edge_count(), edges_before);
@@ -269,7 +269,7 @@ TEST(Assess, AdditionSequenceMatchesApplication) {
   const NodeId partner = scenario.nearest_node(p);
   const std::vector<Mutation> sequence{Mutation::add_node(p),
                                        Mutation::add_edge(newcomer, partner)};
-  const Assessment assessment = scenario.assess(sequence);
+  const Assessment assessment = Assessor{}.assess(scenario, sequence);
 
   Scenario applied = scenario;
   for (const Mutation& m : sequence) applied.apply(m);
@@ -293,7 +293,7 @@ TEST(Assess, RemovalReportsVictimAndRenames) {
   Scenario scenario(points, topo);
   const NodeId victim = 5;
   const auto victim_before = scenario.interference_of(victim);
-  const Assessment assessment = scenario.assess(Mutation::remove_node(victim));
+  const Assessment assessment = Assessor{}.assess(scenario, Mutation::remove_node(victim));
 
   // The victim's slot disappeared: its delta is minus its old value.
   EXPECT_EQ(assessment.delta_per_node[victim],

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <set>
 
+#include "rim/core/assessor.hpp"
 #include "rim/core/incremental.hpp"
 #include "rim/core/interference.hpp"
 #include "rim/core/radii.hpp"
@@ -240,7 +241,7 @@ TEST(NodeAddition, CoincidentNewcomerCountsExistingDisks) {
   graph::Graph topo(3);
   topo.add_edge(0, 1);
   topo.add_edge(1, 2);
-  const auto impact = core::assess_node_addition(points, topo, {0.5, 0.0},
+  const auto impact = core::Assessor{}.assess_addition(points, topo, {0.5, 0.0},
                                                  core::AttachPolicy::kIsolated);
   // Node 1's position is covered by disks of 0, 1 (self excluded for node 1
   // but not for the newcomer) and 2.

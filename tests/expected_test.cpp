@@ -1,0 +1,76 @@
+#include <string>
+#include <utility>
+
+#include <gtest/gtest.h>
+
+#include "rim/common/expected.hpp"
+
+/// common::Expected<T, E> — the typed-error vocabulary used by the svc
+/// client (svc/errors.hpp). Exercises the value/error alternatives, the
+/// void specialization, and move behavior.
+
+namespace rim::common {
+namespace {
+
+struct Error {
+  int code = 0;
+  std::string message;
+};
+
+Expected<int, Error> parse_positive(int raw) {
+  if (raw <= 0) return Unexpected(Error{raw, "not positive"});
+  return raw;
+}
+
+TEST(Expected, HoldsValueOrError) {
+  const Expected<int, Error> good = parse_positive(5);
+  ASSERT_TRUE(good.has_value());
+  EXPECT_TRUE(static_cast<bool>(good));
+  EXPECT_EQ(good.value(), 5);
+  EXPECT_EQ(*good, 5);
+
+  const Expected<int, Error> bad = parse_positive(-3);
+  ASSERT_FALSE(bad.has_value());
+  EXPECT_EQ(bad.error().code, -3);
+  EXPECT_EQ(bad.error().message, "not positive");
+}
+
+TEST(Expected, ValueOrFallsBack) {
+  EXPECT_EQ(parse_positive(9).value_or(1), 9);
+  EXPECT_EQ(parse_positive(0).value_or(1), 1);
+}
+
+TEST(Expected, ArrowReachesMembers) {
+  Expected<std::string, Error> s{std::string("hello")};
+  EXPECT_EQ(s->size(), 5u);
+  s->push_back('!');
+  EXPECT_EQ(*s, "hello!");
+}
+
+TEST(Expected, MovesOutValueAndError) {
+  Expected<std::string, Error> s{std::string("payload")};
+  const std::string taken = std::move(s).value();
+  EXPECT_EQ(taken, "payload");
+
+  Expected<int, Error> e = Unexpected(Error{1, "boom"});
+  const Error taken_error = std::move(e).error();
+  EXPECT_EQ(taken_error.message, "boom");
+}
+
+TEST(Expected, VoidSpecialization) {
+  const Expected<void, Error> ok{};
+  EXPECT_TRUE(ok.has_value());
+
+  const Expected<void, Error> failed = Unexpected(Error{2, "nope"});
+  ASSERT_FALSE(failed.has_value());
+  EXPECT_EQ(failed.error().code, 2);
+}
+
+TEST(Expected, DefaultConstructsValueAlternative) {
+  const Expected<int, Error> zero;
+  ASSERT_TRUE(zero.has_value());
+  EXPECT_EQ(*zero, 0);
+}
+
+}  // namespace
+}  // namespace rim::common

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include "rim/core/assessor.hpp"
 #include "rim/core/incremental.hpp"
 #include "rim/core/interference.hpp"
 #include "rim/graph/udg.hpp"
@@ -21,7 +22,7 @@ TEST(NodeAddition, IsolatedNewcomerAddsAtMostOne) {
   const auto points = sim::uniform_square(40, 1.5, 5);
   const graph::Graph topo = mst_of(points);
   const auto impact =
-      assess_node_addition(points, topo, {0.7, 0.7}, AttachPolicy::kIsolated);
+      Assessor{}.assess_addition(points, topo, {0.7, 0.7}, AttachPolicy::kIsolated);
   EXPECT_EQ(impact.receiver_max_node_increase, 0u);
   EXPECT_EQ(impact.receiver_after, impact.receiver_before);
 }
@@ -37,7 +38,7 @@ TEST_P(NodeAdditionRobustness, ReceiverIncreaseBoundedByTwo) {
   sim::Rng rng(GetParam() ^ 0xabcdu);
   for (int trial = 0; trial < 10; ++trial) {
     const geom::Vec2 newcomer{rng.uniform(0.0, 2.0), rng.uniform(0.0, 2.0)};
-    const auto impact = assess_node_addition(points, topo, newcomer,
+    const auto impact = Assessor{}.assess_addition(points, topo, newcomer,
                                              AttachPolicy::kNearestNeighbor);
     EXPECT_LE(impact.receiver_max_node_increase, 2u)
         << "newcomer at (" << newcomer.x << ", " << newcomer.y << ")";
@@ -55,7 +56,7 @@ TEST(NodeAddition, Figure1SenderCentricExplodes) {
   const geom::PointSet cluster(all.begin(), all.end() - 1);
   const graph::Graph topo = mst_of(cluster);
 
-  const auto impact = assess_node_addition(cluster, topo, all.back(),
+  const auto impact = Assessor{}.assess_addition(cluster, topo, all.back(),
                                            AttachPolicy::kNearestNeighbor);
   // Sender-centric: the bridge edge covers essentially the whole cluster.
   EXPECT_GE(impact.sender_after, static_cast<std::uint32_t>(n) - 10);
@@ -69,7 +70,7 @@ TEST(NodeAddition, NewcomerInterferenceIsCounted) {
   graph::Graph topo(2);
   topo.add_edge(0, 1);
   const auto impact =
-      assess_node_addition(points, topo, {0.25, 0.1}, AttachPolicy::kIsolated);
+      Assessor{}.assess_addition(points, topo, {0.25, 0.1}, AttachPolicy::kIsolated);
   // Both existing disks (radius 0.5) cover the newcomer.
   EXPECT_EQ(impact.newcomer_interference, 2u);
 }
@@ -78,7 +79,7 @@ TEST(NodeRemoval, NeverIncreasesInterferenceWithoutRepair) {
   const auto points = sim::uniform_square(40, 1.5, 21);
   const graph::Graph topo = mst_of(points);
   for (NodeId victim = 0; victim < points.size(); victim += 7) {
-    const auto impact = assess_node_removal(points, topo, victim);
+    const auto impact = Assessor{}.assess_removal(points, topo, victim);
     EXPECT_EQ(impact.receiver_max_node_increase, 0u) << "victim " << victim;
     EXPECT_LE(impact.receiver_after, impact.receiver_before);
   }
@@ -90,7 +91,7 @@ TEST(NodeRemoval, RemovingCovererDropsInterference) {
   graph::Graph topo(3);
   topo.add_edge(0, 1);
   topo.add_edge(1, 2);
-  const auto impact = assess_node_removal(points, topo, 1);
+  const auto impact = Assessor{}.assess_removal(points, topo, 1);
   EXPECT_EQ(impact.receiver_after, 0u);
   EXPECT_GT(impact.receiver_before, 0u);
 }

@@ -1,0 +1,165 @@
+#include <algorithm>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "rim/core/node_soa.hpp"
+#include "rim/sim/rng.hpp"
+
+/// NodeSoA property tests: the swap-with-last compaction must preserve the
+/// id ↔ slot mapping under arbitrary op interleavings, and the canonical
+/// serialization must be independent of slot history (byte-identical
+/// round-trips).
+
+namespace rim::core {
+namespace {
+
+struct ShadowNode {
+  geom::Vec2 p;
+  double r2;
+};
+
+/// Every invariant the mapping promises, checked against a shadow map.
+void expect_consistent(const NodeSoA& soa,
+                       const std::map<NodeId, ShadowNode>& shadow) {
+  ASSERT_EQ(soa.size(), shadow.size());
+  // Slots are dense: every slot holds a registered id that maps back.
+  for (std::uint32_t slot = 0; slot < soa.size(); ++slot) {
+    const NodeId id = soa.id_at(slot);
+    ASSERT_TRUE(soa.contains(id));
+    EXPECT_EQ(soa.slot_of(id), slot);
+  }
+  for (const auto& [id, node] : shadow) {
+    ASSERT_TRUE(soa.contains(id));
+    EXPECT_EQ(soa.position(id).x, node.p.x);
+    EXPECT_EQ(soa.position(id).y, node.p.y);
+    EXPECT_EQ(soa.radius2(id), node.r2);
+  }
+}
+
+TEST(NodeSoA, RandomizedOpsPreserveMappingAndRoundTrip) {
+  sim::Rng rng(2026);
+  NodeSoA soa;
+  std::map<NodeId, ShadowNode> shadow;
+  NodeId next_id = 0;
+  const auto random_present = [&]() -> NodeId {
+    auto it = shadow.begin();
+    std::advance(it, static_cast<long>(rng.next_below(shadow.size())));
+    return it->first;
+  };
+
+  for (int op = 0; op < 1000; ++op) {
+    const double coin = rng.next_double();
+    if (shadow.empty() || coin < 0.40) {
+      const ShadowNode node{{rng.uniform(-9.0, 9.0), rng.uniform(-9.0, 9.0)},
+                            rng.next_double() < 0.2 ? 0.0
+                                                    : rng.uniform(0.0, 4.0)};
+      soa.insert(next_id, node.p, node.r2);
+      shadow.emplace(next_id, node);
+      ++next_id;
+    } else if (coin < 0.65) {
+      const NodeId victim = random_present();
+      soa.remove(victim);
+      shadow.erase(victim);
+    } else if (coin < 0.80) {
+      // Relabel a present id to a fresh one: columns untouched.
+      const NodeId from = random_present();
+      soa.relabel(from, next_id);
+      shadow.emplace(next_id, shadow.at(from));
+      shadow.erase(from);
+      ++next_id;
+    } else if (coin < 0.90) {
+      const NodeId id = random_present();
+      const geom::Vec2 p{rng.uniform(-9.0, 9.0), rng.uniform(-9.0, 9.0)};
+      soa.set_position(id, p);
+      shadow.at(id).p = p;
+    } else {
+      const NodeId id = random_present();
+      const double r2 = rng.uniform(0.0, 4.0);
+      soa.set_radius2(id, r2);
+      shadow.at(id).r2 = r2;
+    }
+    if (op % 50 == 0) expect_consistent(soa, shadow);
+
+    // Byte-identical round-trip at every step would be slow; sample it.
+    if (op % 100 == 99) {
+      const std::vector<std::uint8_t> bytes = soa.serialize();
+      const std::optional<NodeSoA> restored = NodeSoA::deserialize(bytes);
+      ASSERT_TRUE(restored.has_value());
+      EXPECT_TRUE(*restored == soa);
+      EXPECT_EQ(restored->serialize(), bytes);
+      EXPECT_EQ(restored->checksum(), soa.checksum());
+    }
+  }
+  expect_consistent(soa, shadow);
+}
+
+TEST(NodeSoA, SerializationIsSlotHistoryIndependent) {
+  // Build the same logical content along two different op histories: the
+  // canonical (ascending-id) serialization must not see the difference.
+  NodeSoA direct;
+  direct.insert(0, {0.0, 0.0}, 1.0);
+  direct.insert(1, {1.0, 0.0}, 2.0);
+  direct.insert(2, {2.0, 0.0}, 3.0);
+
+  NodeSoA churned;
+  churned.insert(2, {2.0, 0.0}, 3.0);
+  churned.insert(7, {9.0, 9.0}, 9.0);
+  churned.insert(0, {0.0, 0.0}, 1.0);
+  churned.remove(7);  // swap-with-last scrambles slot order
+  churned.insert(1, {1.0, 0.0}, 2.0);
+
+  EXPECT_TRUE(direct == churned);
+  EXPECT_EQ(direct.serialize(), churned.serialize());
+  EXPECT_EQ(direct.checksum(), churned.checksum());
+}
+
+TEST(NodeSoA, RemoveReportsTheMovedId) {
+  NodeSoA soa;
+  soa.insert(0, {0.0, 0.0}, 0.0);
+  soa.insert(1, {1.0, 0.0}, 0.0);
+  soa.insert(2, {2.0, 0.0}, 0.5);
+  // Removing a middle id moves the last slot's id; removing the node in
+  // the last slot moves nothing.
+  EXPECT_EQ(soa.remove(0), 2u);
+  EXPECT_EQ(soa.position(2).x, 2.0);
+  // Id 2 now occupies slot 0, so removing it moves id 1 (the last slot).
+  EXPECT_EQ(soa.remove(2), 1u);
+  EXPECT_EQ(soa.remove(1), kInvalidNode);
+  EXPECT_TRUE(soa.empty());
+}
+
+TEST(NodeSoA, DenseTracksScenarioInvariant) {
+  NodeSoA soa;
+  for (NodeId v = 0; v < 10; ++v) soa.insert(v, {double(v), 0.0}, 0.0);
+  EXPECT_TRUE(soa.dense());
+  // Scenario's remove protocol: remove v, then relabel last -> v.
+  const NodeId last = 9;
+  soa.remove(3);
+  EXPECT_FALSE(soa.dense());
+  soa.relabel(last, 3);
+  EXPECT_TRUE(soa.dense());
+}
+
+TEST(NodeSoA, DeserializeRejectsMalformedInput) {
+  NodeSoA soa;
+  soa.insert(0, {0.5, -0.5}, 1.5);
+  soa.insert(1, {1.5, 2.5}, 0.0);
+  std::vector<std::uint8_t> bytes = soa.serialize();
+  // Truncation anywhere must fail, not crash or half-load.
+  for (std::size_t cut = 1; cut < bytes.size(); cut += 5) {
+    const std::vector<std::uint8_t> truncated(bytes.begin(),
+                                              bytes.begin() + long(cut));
+    EXPECT_FALSE(NodeSoA::deserialize(truncated).has_value()) << cut;
+  }
+  // Duplicate id: rewrite the second record's id to equal the first's.
+  std::vector<std::uint8_t> dup = bytes;
+  // Header is 8 bytes; each record is 28 bytes starting with the u32 id.
+  std::copy(dup.begin() + 8, dup.begin() + 12, dup.begin() + 36);
+  EXPECT_FALSE(NodeSoA::deserialize(dup).has_value());
+}
+
+}  // namespace
+}  // namespace rim::core

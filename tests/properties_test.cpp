@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "rim/core/assessor.hpp"
 #include "rim/core/incremental.hpp"
 #include "rim/core/interference.hpp"
 #include "rim/core/radii.hpp"
@@ -96,7 +97,7 @@ TEST_P(ModelProperties, RemovalThenSameAdditionRestoresInterference) {
   // must be consistent with the addition impact measured on the reduced
   // network (bookkeeping-only check, kIsolated policy both ways).
   const NodeId victim = static_cast<NodeId>(points_.size() - 1);
-  const auto removal = core::assess_node_removal(points_, topo, victim);
+  const auto removal = core::Assessor{}.assess_removal(points_, topo, victim);
   EXPECT_EQ(removal.receiver_before, base.max);
   EXPECT_LE(removal.receiver_after, removal.receiver_before);
 }
@@ -165,7 +166,7 @@ TEST_P(RobustnessSweep, ReceiverModelAdditionBoundHoldsOnAdversarialSpots) {
       {2.9, 1.0},  {-0.9, -0.9}, {points[5].x, points[5].y + 1e-9},
   };
   for (const geom::Vec2& spot : spots) {
-    const auto impact = core::assess_node_addition(
+    const auto impact = core::Assessor{}.assess_addition(
         points, topo, spot, core::AttachPolicy::kNearestNeighbor);
     EXPECT_LE(impact.receiver_max_node_increase, 2u)
         << "(" << spot.x << "," << spot.y << ")";

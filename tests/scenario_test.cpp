@@ -2,6 +2,7 @@
 
 #include <vector>
 
+#include "rim/core/assessor.hpp"
 #include "rim/core/incremental.hpp"
 #include "rim/core/interference.hpp"
 #include "rim/core/radii.hpp"
@@ -22,8 +23,7 @@ graph::Graph mst_of(const geom::PointSet& points) {
 /// exported topology and points.
 std::vector<std::uint32_t> brute_reference(Scenario& scenario) {
   const graph::Graph topo = scenario.topology();
-  const geom::PointSet points(scenario.points().begin(),
-                              scenario.points().end());
+  const geom::PointSet points = scenario.points();
   const std::vector<double> radii2 = transmission_radii_squared(topo, points);
   return interference_vector_squared(points, radii2, Strategy::kBrute);
 }
@@ -176,9 +176,9 @@ TEST(Scenario, MoveToCurrentPositionIsStrictNoOp) {
   const std::uint64_t full_before = scenario.stats().full_evaluations;
 
   for (NodeId v = 0; v < scenario.node_count(); v += 7) {
-    scenario.move_node(v, scenario.points()[v]);
+    scenario.move_node(v, scenario.position(v));
   }
-  scenario.apply(Mutation::move_node(3, scenario.points()[3]));
+  scenario.apply(Mutation::move_node(3, scenario.position(3)));
 
   EXPECT_EQ(std::vector<std::uint32_t>(scenario.interference().begin(),
                                        scenario.interference().end()),
@@ -211,7 +211,7 @@ TEST(ScenarioRegression, NodeAdditionBoundedByTwoUnderNearestNeighbor) {
     sim::Rng rng(seed ^ 0xfeedu);
     for (int trial = 0; trial < 8; ++trial) {
       const geom::Vec2 p{rng.uniform(0.0, 2.0), rng.uniform(0.0, 2.0)};
-      const auto impact = assess_node_addition(points, topo, p,
+      const auto impact = Assessor{}.assess_addition(points, topo, p,
                                                AttachPolicy::kNearestNeighbor);
       EXPECT_LE(impact.receiver_max_node_increase, 2u)
           << "seed " << seed << " newcomer (" << p.x << ", " << p.y << ")";

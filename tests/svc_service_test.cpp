@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "rim/core/assessor.hpp"
 #include "rim/core/scenario.hpp"
 #include "rim/core/snapshot.hpp"
 #include "rim/sim/rng.hpp"
@@ -230,7 +231,7 @@ TEST_F(SvcLoopback, AssessByteIdenticalToScenario) {
   io::Json wire;
   ASSERT_TRUE(client_.assess(session, probe, wire));
   const core::Assessment direct =
-      twin_.assess(std::span<const Mutation>(probe));
+      core::Assessor{}.assess(twin_, std::span<const Mutation>(probe));
   io::JsonObject result;
   io::JsonArray affected;
   for (const NodeId v : direct.affected_ids) affected.emplace_back(v);

@@ -19,6 +19,7 @@ constexpr std::string_view kUnordered = "unordered-container";
 constexpr std::string_view kFloatEquality = "float-equality";
 constexpr std::string_view kDetailInclude = "detail-include";
 constexpr std::string_view kBinaryFile = "binary-file";
+constexpr std::string_view kWaveScratch = "wave-vector-scratch";
 constexpr std::string_view kAllowFormat = "allow-format";
 
 const std::vector<RuleInfo> kRules = {
@@ -35,6 +36,10 @@ const std::vector<RuleInfo> kRules = {
      "#include of another module's detail/ header; detail headers are "
      "module-private"},
     {kBinaryFile, "tracked file looks binary (NUL byte in leading window)"},
+    {kWaveScratch,
+     "std::vector scratch inside a task lambda handed to submit() in a "
+     "batch file; wave tasks must capture arena pointers, not allocate "
+     "(see common::Arena and DESIGN.md §10)"},
     {kAllowFormat,
      "malformed or dangling RIM_LINT_ALLOW suppression; the form is "
      "// RIM_LINT_ALLOW(rule-name): reason"},
@@ -375,6 +380,48 @@ void check_tokens(std::string_view path, const ScanResult& scan_result,
         out.push_back({std::string(path), ln, std::string(kFloatEquality),
                        "exact floating-point comparison against a literal; "
                        "use a geom tolerance helper or justify exactness"});
+      }
+    }
+  }
+
+  // wave-vector-scratch: in batch files, a task lambda handed straight to
+  // ThreadPool::submit runs per wave on the hottest path in the engine;
+  // std::vector scratch there is a heap allocation (and a free) per task.
+  // Batch scratch belongs in the scenario's arena, captured as raw
+  // pointers (scenario_batch.cpp documents the lifetime rules).
+  if (path_contains(path, "batch")) {
+    for (std::size_t i = 0; i + 2 < toks.size(); ++i) {
+      if (toks[i].text != "submit" || !next_is(i, "(")) continue;
+      std::size_t j = i + 2;
+      if (j >= toks.size() || toks[j].text != "[") continue;
+      // Capture list, then optional (params) / qualifiers, then the body.
+      std::size_t depth = 1;
+      for (++j; j < toks.size() && depth > 0; ++j) {
+        if (toks[j].text == "[") ++depth;
+        if (toks[j].text == "]") --depth;
+      }
+      if (j < toks.size() && toks[j].text == "(") {
+        depth = 1;
+        for (++j; j < toks.size() && depth > 0; ++j) {
+          if (toks[j].text == "(") ++depth;
+          if (toks[j].text == ")") --depth;
+        }
+      }
+      while (j < toks.size() && toks[j].text != "{") ++j;
+      if (j >= toks.size()) continue;
+      depth = 1;
+      for (++j; j < toks.size() && depth > 0; ++j) {
+        if (toks[j].text == "{") {
+          ++depth;
+        } else if (toks[j].text == "}") {
+          --depth;
+        } else if (toks[j].text == "vector") {
+          out.push_back(
+              {std::string(path), toks[j].line, std::string(kWaveScratch),
+               "std::vector scratch inside a submit() task lambda; "
+               "bump-allocate from the batch arena and capture the pointer "
+               "instead"});
+        }
       }
     }
   }

@@ -91,6 +91,19 @@ TEST(RimLint, DetailIncludeAllowedWithinOwnModule) {
   EXPECT_EQ(count_rule(cross, "detail-include"), 1u);
 }
 
+TEST(RimLint, WaveScratchFixtureTriggers) {
+  const auto v = lint_source("src/rim/core/scenario_batch.cpp",
+                             fixture("wave_scratch.cpp"));
+  EXPECT_EQ(count_rule(v, "wave-vector-scratch"), 3u)
+      << "one per vector declared inside a submit() task lambda";
+}
+
+TEST(RimLint, WaveScratchAllowedOutsideBatchFiles) {
+  const auto v =
+      lint_source("src/rim/sim/workload.cpp", fixture("wave_scratch.cpp"));
+  EXPECT_EQ(count_rule(v, "wave-vector-scratch"), 0u);
+}
+
 TEST(RimLint, SuppressedFixtureIsClean) {
   const auto v = lint_source("tools/rim_lint/testdata/suppressed.cpp",
                              fixture("suppressed.cpp"));

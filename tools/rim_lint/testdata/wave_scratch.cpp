@@ -1,0 +1,29 @@
+// Fixture: the `wave-vector-scratch` rule fires on std::vector scratch
+// declared inside task lambdas handed to submit(), and only there.
+#include <cstddef>
+#include <vector>
+
+struct FakePool {
+  template <typename F>
+  void submit(F&& task) {
+    task();
+  }
+};
+
+void fixture_wave_scratch(FakePool& pool, std::size_t n) {
+  // Outside any submit lambda: fine — this is the caller's scratch.
+  std::vector<double> staged(n, 0.0);
+
+  pool.submit([n] {
+    std::vector<double> scratch(n);  // trigger: per-task heap allocation
+    scratch[0] = 1.0;
+  });
+
+  pool.submit([&staged] { staged[0] += 1.0; });  // no scratch: clean
+
+  pool.submit([n]() mutable {
+    std::vector<int> a(n);  // trigger
+    std::vector<int> b(n);  // trigger
+    a[0] = b[0];
+  });
+}
