@@ -9,6 +9,7 @@
 #include "rim/analysis/experiment.hpp"
 #include "rim/analysis/histogram.hpp"
 #include "rim/analysis/stats.hpp"
+#include "rim/core/assessor.hpp"
 #include "rim/core/interference.hpp"
 #include "rim/ext2d/grid_hub.hpp"
 #include "rim/ext2d/min_interference.hpp"
@@ -75,13 +76,13 @@ int main() {
         const graph::Graph udg = graph::build_udg(inst.points, 1.0);
         out << "\nper-node interference histogram, two-chains m=60, MST:\n";
         analysis::Histogram::of_values(
-            core::evaluate_interference(
+            core::Assessor{}.assess(
                 topology::mst_topology(inst.points, udg), inst.points)
                 .per_node)
             .render(out, 40);
         out << "\nsame instance, hub2d:\n";
         analysis::Histogram::of_values(
-            core::evaluate_interference(
+            core::Assessor{}.assess(
                 ext2d::grid_hub_2d(inst.points, udg).topology, inst.points)
                 .per_node)
             .render(out, 40);

@@ -14,7 +14,9 @@
 #include <thread>
 #include <vector>
 
+#include "local_trace.hpp"
 #include "rim/analysis/experiment.hpp"
+#include "rim/core/assessor.hpp"
 #include "rim/core/interference.hpp"
 #include "rim/core/scenario.hpp"
 #include "rim/geom/dynamic_grid.hpp"
@@ -63,80 +65,6 @@ std::vector<std::vector<core::Mutation>> make_trace(
   return trace;
 }
 
-/// Spatially local churn generator for the large-scale throughput run.
-/// make_churn_batch() teleports moved nodes anywhere in the square, which
-/// is fine for small tenants but at 100k nodes over an MST would stretch
-/// disks across the deployment and push every batch into the deferred
-/// full-evaluation path — measuring nothing. This generator tracks node
-/// positions through renames and keeps moves and new edges local, so the
-/// batch pipeline's incremental waves are what gets timed.
-class LocalTrace {
- public:
-  LocalTrace(std::span<const geom::Vec2> points, double side,
-             std::uint64_t seed)
-      : pos_(points.begin(), points.end()),
-        grid_(1.0),
-        side_(side),
-        rng_(seed) {
-    for (NodeId v = 0; v < pos_.size(); ++v) grid_.insert(v, pos_[v]);
-  }
-
-  std::vector<core::Mutation> next_batch(std::size_t size) {
-    using core::Mutation;
-    std::vector<Mutation> batch;
-    batch.reserve(size + size / 8);
-    const std::size_t removes = size * 15 / 100;
-    for (std::size_t i = 0; i < removes && pos_.size() > 8; ++i) {
-      const auto victim = static_cast<NodeId>(rng_.next_below(pos_.size()));
-      const auto last = static_cast<NodeId>(pos_.size() - 1);
-      batch.push_back(Mutation::remove_node(victim));
-      grid_.erase(victim);  // mirror the engine's swap-with-last
-      if (victim != last) grid_.relabel(last, victim);
-      pos_[victim] = pos_.back();
-      pos_.pop_back();
-    }
-    const std::size_t moves = size * 35 / 100;
-    for (std::size_t i = 0; i < moves; ++i) {
-      const auto v = static_cast<NodeId>(rng_.next_below(pos_.size()));
-      const geom::Vec2 p{clamp(pos_[v].x + rng_.uniform(-0.4, 0.4)),
-                         clamp(pos_[v].y + rng_.uniform(-0.4, 0.4))};
-      batch.push_back(Mutation::move_node(v, p));
-      grid_.move(v, p);
-      pos_[v] = p;
-    }
-    const std::size_t adds = size * 15 / 100;
-    for (std::size_t i = 0; i < adds; ++i) {
-      const auto anchor = static_cast<NodeId>(rng_.next_below(pos_.size()));
-      const geom::Vec2 p{clamp(pos_[anchor].x + rng_.uniform(-0.5, 0.5)),
-                         clamp(pos_[anchor].y + rng_.uniform(-0.5, 0.5))};
-      const auto id = static_cast<NodeId>(pos_.size());
-      batch.push_back(Mutation::add_node(p));
-      batch.push_back(Mutation::add_edge(id, grid_.nearest(p)));
-      grid_.insert(id, p);
-      pos_.push_back(p);
-    }
-    for (std::size_t i = removes + moves + adds; i < size; ++i) {
-      // Edge flips between nearest-neighbor pairs keep disks bounded.
-      const auto u = static_cast<NodeId>(rng_.next_below(pos_.size()));
-      const NodeId v = grid_.nearest(pos_[u], u);
-      if (v == kInvalidNode) continue;
-      batch.push_back(rng_.next_double() < 0.5 ? Mutation::add_edge(u, v)
-                                               : Mutation::remove_edge(u, v));
-    }
-    return batch;
-  }
-
- private:
-  [[nodiscard]] double clamp(double x) const {
-    return x < 0.0 ? 0.0 : (x > side_ ? side_ : x);
-  }
-
-  std::vector<geom::Vec2> pos_;
-  geom::DynamicGrid grid_;
-  double side_;
-  sim::Rng rng_;
-};
-
 bool identical(const std::vector<std::uint32_t>& a,
                const std::vector<std::uint32_t>& b) {
   return a == b;
@@ -176,7 +104,7 @@ int main() {
             }
           }
           const geom::PointSet points = serial.points();
-          const auto brute = core::evaluate_interference(
+          const auto brute = core::Assessor{}.assess(
               serial.topology(), points, core::Strategy::kBrute);
           if (!identical(brute.per_node, snapshot_interference(batched))) {
             out << "EXACTNESS: batch replay diverged from kBrute\n";
@@ -207,7 +135,7 @@ int main() {
           core::Scenario batched(points, mst);
           (void)serial.interference();
           (void)batched.interference();
-          LocalTrace gen(points, side, 1234);
+          bench::LocalTrace gen(points, side, 1234);
           std::vector<std::vector<core::Mutation>> trace;
           trace.reserve(batches);
           for (std::size_t b = 0; b < batches; ++b) {
@@ -240,16 +168,23 @@ int main() {
             ok = false;
             return;
           }
-          speedup = serial_ms / batch_ms;
-          table.row()
-              .cell(static_cast<std::uint64_t>(n))
-              .cell(static_cast<std::uint64_t>(batches))
-              .cell(static_cast<std::uint64_t>(batch_size))
-              .cell(serial_ms, 1)
-              .cell(batch_ms, 1)
-              .cell(speedup, 2)
-              .cell(waves)
-              .cell(deferred);
+          // A single-core runner cannot measure parallel speedup — the two
+          // timings differ only by scheduler noise (0.9x-1.1x), and recording
+          // that number would let a noise regression trip downstream plots.
+          // Mirror the E21 multi-core gate: mark the leg skipped instead.
+          io::Table& row = table.row()
+                               .cell(static_cast<std::uint64_t>(n))
+                               .cell(static_cast<std::uint64_t>(batches))
+                               .cell(static_cast<std::uint64_t>(batch_size))
+                               .cell(serial_ms, 1)
+                               .cell(batch_ms, 1);
+          if (hw < 2) {
+            row.cell("skipped (1 core)");
+          } else {
+            speedup = serial_ms / batch_ms;
+            row.cell(speedup, 2);
+          }
+          row.cell(waves).cell(deferred);
           table.print(out);
 
           obs::Registry::global().add_source(
@@ -290,6 +225,9 @@ int main() {
           io::JsonObject bench;
           bench["experiment"] = io::Json(std::string("E19"));
           bench["hardware_threads"] = io::Json(hw);
+          // On a 1-core runner the parallel leg is skipped (see above):
+          // speedup stays 0 and this flag tells consumers why.
+          bench["speedup_skipped"] = io::Json(hw < 2);
           bench["speedup"] = io::Json(speedup);
           obs::Registry::global().add_source(
               "bench", [b = io::Json(std::move(bench))] { return b; });

@@ -11,7 +11,6 @@
 
 #include "rim/analysis/experiment.hpp"
 #include "rim/core/assessor.hpp"
-#include "rim/core/incremental.hpp"
 #include "rim/graph/udg.hpp"
 #include "rim/io/table.hpp"
 #include "rim/sim/adversarial.hpp"

@@ -7,6 +7,7 @@
 
 #include "rim/analysis/experiment.hpp"
 #include "rim/analysis/fit.hpp"
+#include "rim/core/assessor.hpp"
 #include "rim/core/interference.hpp"
 #include "rim/graph/connectivity.hpp"
 #include "rim/graph/udg.hpp"
@@ -34,7 +35,7 @@ int main() {
           const graph::Graph mst = topology::mst_topology(inst.points, udg);
           const graph::Graph fig5 = inst.low_interference_tree();
           const core::InterferenceSummary nnf_summary =
-              core::evaluate_interference(nnf, inst.points);
+              core::Assessor{}.assess(nnf, inst.points);
           const std::uint32_t mst_i = core::graph_interference(mst, inst.points);
           const std::uint32_t opt_i = core::graph_interference(fig5, inst.points);
           table.row()

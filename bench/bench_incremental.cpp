@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "rim/analysis/experiment.hpp"
+#include "rim/core/assessor.hpp"
 #include "rim/core/interference.hpp"
 #include "rim/core/radii.hpp"
 #include "rim/core/scenario.hpp"
@@ -97,7 +98,7 @@ int main() {
           core::InterferenceSummary last_full;
           const auto t_full = Clock::now();
           for (std::size_t r = 0; r < full_reps; ++r) {
-            last_full = core::evaluate_interference(
+            last_full = core::Assessor{}.assess(
                 topo_now, points_now, core::Strategy::kGrid);
             if (last_full.max == 0xffffffffu) out << "";  // defeat DCE
           }

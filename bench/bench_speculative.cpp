@@ -1,0 +1,203 @@
+/// Experiment E22 — optimistic speculative batch execution: replaying a
+/// spatially local churn trace against a 100k-node post-churn store under
+/// the three execution modes of EvalOptions (serial, conflict waves,
+/// speculative with rollback). Exactness is asserted unconditionally: the
+/// FNV-1a digest of the final interference vector must be identical across
+/// all three replays (the commit-order determinism argument, DESIGN.md
+/// §11). Speedup acceptance is gated on a multi-core host, mirroring E21;
+/// the observability registry snapshot is written to BENCH_7.json.
+
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <thread>
+#include <vector>
+
+#include "local_trace.hpp"
+#include "rim/analysis/experiment.hpp"
+#include "rim/core/scenario.hpp"
+#include "rim/graph/udg.hpp"
+#include "rim/io/table.hpp"
+#include "rim/obs/registry.hpp"
+#include "rim/parallel/thread_pool.hpp"
+#include "rim/sim/generators.hpp"
+#include "rim/topology/mst_topology.hpp"
+
+namespace {
+
+using namespace rim;
+using Clock = std::chrono::steady_clock;
+
+double ns_since(Clock::time_point start) {
+  return static_cast<double>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() - start)
+          .count());
+}
+
+struct ModeResult {
+  double ms = 0.0;
+  std::uint64_t checksum = 0;
+  std::uint64_t deferred = 0;
+  std::uint64_t committed = 0;
+  std::uint64_t rolled_back = 0;
+  std::uint64_t replay_rounds = 0;
+  std::uint64_t serial_tasks = 0;
+};
+
+/// Replay \p trace through one scenario configured for \p execution,
+/// timing only the post-warmup batches (the store is "post-churn" by then:
+/// slot order, grid occupancy, and radii all reflect sustained mutation).
+ModeResult replay(const geom::PointSet& points, const graph::Graph& topology,
+                  core::Execution execution, parallel::ThreadPool* pool,
+                  const std::vector<std::vector<core::Mutation>>& trace,
+                  std::size_t warmup_batches) {
+  core::Scenario scenario(
+      points, topology, core::EvalOptions{}.with_execution(execution));
+  (void)scenario.interference();
+  ModeResult result;
+  for (std::size_t b = 0; b < trace.size(); ++b) {
+    if (b == warmup_batches) {
+      const auto t0 = Clock::now();
+      for (std::size_t m = b; m < trace.size(); ++m) {
+        const core::BatchResult r = scenario.apply_batch(trace[m], pool);
+        result.deferred += r.deferred;
+        result.committed += r.spec_committed;
+        result.rolled_back += r.spec_rolled_back;
+        result.replay_rounds += r.spec_replay_rounds;
+        result.serial_tasks += r.spec_serial_tasks;
+        (void)scenario.interference();
+      }
+      result.ms = ns_since(t0) / 1e6;
+      break;
+    }
+    (void)scenario.apply_batch(trace[b], pool);
+  }
+  result.checksum = bench::fnv1a_interference(scenario.interference());
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  bool ok = true;
+  analysis::run_experiment(
+      {"E22", "Speculative batch execution with rollback",
+       "Section 3 (Definition 3.1/3.2); commuting unit disk deltas",
+       "optimistic execution commits conflict-free tasks without wave "
+       "barriers, stays bit-identical to serial under rollback, and beats "
+       "the serial replay >= 1.5x on a multi-core host"},
+      std::cout, [&](std::ostream& out) {
+        const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+
+        // Low-conflict workload: constant density (~12.5 nodes per unit
+        // square), MST topology, spatially local churn — the same network
+        // family as E19, so disk footprints are small and mostly disjoint.
+        const std::size_t n = 100000;
+        const std::size_t batch_size = 256;
+        const std::size_t warmup_batches = 8;
+        const std::size_t timed_batches = 24;
+        const double side = std::sqrt(static_cast<double>(n) / 12.5);
+        const geom::PointSet points = sim::uniform_square(n, side, 42);
+        const graph::Graph udg = graph::build_udg(points, 1.0);
+        const graph::Graph mst = topology::mst_topology(points, udg);
+
+        bench::LocalTrace gen(points, side, 1234);
+        std::vector<std::vector<core::Mutation>> trace;
+        trace.reserve(warmup_batches + timed_batches);
+        for (std::size_t b = 0; b < warmup_batches + timed_batches; ++b) {
+          trace.push_back(gen.next_batch(batch_size));
+        }
+
+        parallel::ThreadPool& pool = parallel::ThreadPool::shared();
+        const ModeResult serial = replay(points, mst, core::Execution::kSerial,
+                                         nullptr, trace, warmup_batches);
+        const ModeResult wave = replay(points, mst, core::Execution::kWave,
+                                       &pool, trace, warmup_batches);
+        const ModeResult spec =
+            replay(points, mst, core::Execution::kSpeculative, &pool, trace,
+                   warmup_batches);
+
+        // Exactness first, unconditionally: identical FNV-1a digests of the
+        // final interference vector across all three executions.
+        if (serial.checksum != wave.checksum ||
+            serial.checksum != spec.checksum) {
+          out << "EXACTNESS: execution modes diverged (serial "
+              << serial.checksum << ", wave " << wave.checksum
+              << ", speculative " << spec.checksum << ")\n";
+          ok = false;
+          return;
+        }
+        out << "exactness: serial/wave/speculative FNV-1a interference "
+               "checksums identical ("
+            << serial.checksum << ")\n";
+
+        io::Table table({"mode", "timed ms", "speedup", "committed",
+                         "rolled back", "replay rounds", "serial tail"});
+        const auto add_row = [&](const char* mode, const ModeResult& r) {
+          io::Table& row = table.row().cell(mode).cell(r.ms, 1);
+          if (hw < 4) {
+            row.cell("skipped (<4 cores)");
+          } else {
+            row.cell(serial.ms / r.ms, 2);
+          }
+          row.cell(r.committed)
+              .cell(r.rolled_back)
+              .cell(r.replay_rounds)
+              .cell(r.serial_tasks);
+        };
+        add_row("serial", serial);
+        add_row("wave", wave);
+        add_row("speculative", spec);
+        table.print(out);
+        out << "deferred batches: serial " << serial.deferred << ", wave "
+            << wave.deferred << ", speculative " << spec.deferred << "\n";
+
+        const double spec_speedup = serial.ms / spec.ms;
+        const double wave_speedup = serial.ms / wave.ms;
+
+        // --- Registry snapshot => BENCH_7.json artifact. ---
+        {
+          io::JsonObject bench_doc;
+          bench_doc["experiment"] = io::Json(std::string("E22"));
+          bench_doc["hardware_threads"] = io::Json(hw);
+          bench_doc["nodes"] = io::Json(n);
+          bench_doc["batch_size"] = io::Json(batch_size);
+          bench_doc["timed_batches"] = io::Json(timed_batches);
+          bench_doc["serial_ms"] = io::Json(serial.ms);
+          bench_doc["wave_ms"] = io::Json(wave.ms);
+          bench_doc["speculative_ms"] = io::Json(spec.ms);
+          // On a <4-core host the timings are scheduler noise; the flag
+          // tells consumers the speedups are not meaningful there.
+          bench_doc["speedup_skipped"] = io::Json(hw < 4);
+          bench_doc["wave_speedup"] = io::Json(hw < 4 ? 0.0 : wave_speedup);
+          bench_doc["speculative_speedup"] =
+              io::Json(hw < 4 ? 0.0 : spec_speedup);
+          bench_doc["interference_checksum"] =
+              io::Json(static_cast<double>(serial.checksum));
+          bench_doc["spec_committed"] = io::Json(spec.committed);
+          bench_doc["spec_rolled_back"] = io::Json(spec.rolled_back);
+          bench_doc["spec_replay_rounds"] = io::Json(spec.replay_rounds);
+          bench_doc["spec_serial_tasks"] = io::Json(spec.serial_tasks);
+          obs::Registry::global().add_source(
+              "bench", [b = io::Json(std::move(bench_doc))] { return b; });
+          std::ofstream file("BENCH_7.json");
+          file << obs::Registry::global().snapshot().dump() << "\n";
+          out << "metrics snapshot written to BENCH_7.json\n";
+        }
+
+        if (hw < 4) {
+          out << "ACCEPTANCE: speculative speedup >= 1.5x serial SKIPPED ("
+              << hw << " hardware threads < 4)\n";
+        } else if (spec_speedup >= 1.5) {
+          out << "ACCEPTANCE: speculative speedup >= 1.5x serial PASS ("
+              << spec_speedup << "x)\n";
+        } else {
+          out << "ACCEPTANCE: speculative speedup >= 1.5x serial FAIL ("
+              << spec_speedup << "x)\n";
+          ok = false;
+        }
+      });
+  return ok ? 0 : 1;
+}

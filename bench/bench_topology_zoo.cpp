@@ -7,6 +7,7 @@
 
 #include "rim/analysis/experiment.hpp"
 #include "rim/analysis/stats.hpp"
+#include "rim/core/assessor.hpp"
 #include "rim/core/interference.hpp"
 #include "rim/core/radii.hpp"
 #include "rim/core/sender_centric.hpp"
@@ -39,7 +40,7 @@ void survey(std::ostream& out, const char* title,
       const graph::Graph udg = graph::build_udg(points, 1.0);
       const graph::Graph topo = algorithm.build(points, udg);
       const core::InterferenceSummary recv =
-          core::evaluate_interference(topo, points);
+          core::Assessor{}.assess(topo, points);
       recv_max.push_back(recv.max);
       recv_mean.push_back(recv.mean);
       send_max.push_back(core::evaluate_sender_centric(topo, points).max);

@@ -16,6 +16,7 @@
 #include <cstring>
 #include <iostream>
 
+#include "rim/core/assessor.hpp"
 #include "rim/core/interference.hpp"
 #include "rim/core/radii.hpp"
 #include "rim/io/dot.hpp"
@@ -46,7 +47,7 @@ int main(int argc, char** argv) {
   // neighbor; its interference is the number of other disks covering it.
   const auto radii = core::transmission_radii(topology, points);
   const core::InterferenceSummary summary =
-      core::evaluate_interference(topology, points);
+      core::Assessor{}.assess(topology, points);
 
   std::cout << "node  radius  I(v)\n";
   for (NodeId v = 0; v < points.size(); ++v) {

@@ -311,18 +311,19 @@ int cmd_client(const Args& args) {
     return 1;
   }
   svc::Client client(transport);
-  if (!client.ping()) {
-    std::cerr << "client: ping failed: " << client.error() << '\n';
+  if (const svc::SvcResult<void> pong = client.try_ping(); !pong.has_value()) {
+    std::cerr << "client: ping failed: " << pong.error().message << '\n';
     return 1;
   }
   std::cout << "client: ping ok (" << host << ':' << port << ")\n";
 
   if (args.flag("demo")) {
-    std::uint64_t session = 0;
-    if (!client.create_session(session)) {
-      std::cerr << "client: create_session: " << client.error() << '\n';
+    const svc::SvcResult<std::uint64_t> opened = client.try_create_session();
+    if (!opened.has_value()) {
+      std::cerr << "client: create_session: " << opened.error().message << '\n';
       return 1;
     }
+    const std::uint64_t session = opened.value();
     const std::vector<core::Mutation> batch = {
         core::Mutation::add_node({0.0, 0.0}),
         core::Mutation::add_node({1.0, 0.0}),
@@ -333,28 +334,33 @@ int cmd_client(const Args& args) {
         core::Mutation::add_edge(0, 2),
         core::Mutation::add_edge(1, 3),
     };
-    core::BatchResult applied;
-    if (!client.apply_batch(session, batch, applied)) {
-      std::cerr << "client: apply_batch: " << client.error() << '\n';
+    const svc::SvcResult<core::BatchResult> applied =
+        client.try_apply_batch(session, batch);
+    if (!applied.has_value()) {
+      std::cerr << "client: apply_batch: " << applied.error().message << '\n';
       return 1;
     }
-    io::Json interference;
-    if (!client.query_interference(session, interference)) {
-      std::cerr << "client: query_interference: " << client.error() << '\n';
+    const svc::SvcResult<io::Json> interference =
+        client.try_query_interference(session);
+    if (!interference.has_value()) {
+      std::cerr << "client: query_interference: " << interference.error().message
+                << '\n';
       return 1;
     }
     std::cout << "client: session " << session << " applied "
-              << applied.applied << " mutations; interference ";
-    interference.write(std::cout);
+              << applied.value().applied << " mutations; interference ";
+    interference.value().write(std::cout);
     std::cout << '\n';
-    if (!client.close_session(session)) {
-      std::cerr << "client: close_session: " << client.error() << '\n';
+    if (const svc::SvcResult<void> closed = client.try_close_session(session);
+        !closed.has_value()) {
+      std::cerr << "client: close_session: " << closed.error().message << '\n';
       return 1;
     }
   }
   if (args.flag("shutdown")) {
-    if (!client.shutdown()) {
-      std::cerr << "client: shutdown: " << client.error() << '\n';
+    if (const svc::SvcResult<void> down = client.try_shutdown();
+        !down.has_value()) {
+      std::cerr << "client: shutdown: " << down.error().message << '\n';
       return 1;
     }
     std::cout << "client: server shutdown acknowledged\n";

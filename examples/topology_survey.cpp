@@ -12,6 +12,7 @@
 #include <fstream>
 #include <iostream>
 
+#include "rim/core/assessor.hpp"
 #include "rim/core/interference.hpp"
 #include "rim/core/radii.hpp"
 #include "rim/core/sender_centric.hpp"
@@ -45,7 +46,7 @@ int main(int argc, char** argv) {
   for (const auto& algorithm : topology::all_algorithms()) {
     const graph::Graph topo = algorithm.build(points, udg);
     const core::InterferenceSummary recv =
-        core::evaluate_interference(topo, points);
+        core::Assessor{}.assess(topo, points);
     const auto stretch = graph::measure_stretch(udg, topo, points);
     table.row()
         .cell(algorithm.name)

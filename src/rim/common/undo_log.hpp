@@ -1,0 +1,92 @@
+#pragma once
+
+#include <cstddef>
+#include <type_traits>
+
+#include "rim/common/arena.hpp"
+
+/// \file undo_log.hpp
+/// Arena-backed append-only undo log for optimistic execution.
+///
+/// The speculative batch executor (core::SpeculativeExecutor, DESIGN.md §11)
+/// applies region deltas before it knows whether they will survive
+/// validation. Every applied effect is first recorded here; when a task is
+/// rolled back, the records pushed since its mark are replayed newest-first
+/// through an inverting callback, restoring the pre-task state exactly.
+///
+/// The log is a typed stack over chunked arena storage: push is a bump
+/// within the current chunk (one arena allocation per kChunk entries, zero
+/// per-entry frees), mark()/unwind() bracket a speculation window, and
+/// entries are never destroyed — T must be trivially destructible, the same
+/// contract as the arena that backs it. One log belongs to one worker
+/// thread (the arena's single-owner rule); cross-worker coordination lives
+/// in the executor's footprint index, not here.
+namespace rim::common {
+
+template <typename T>
+class UndoLog {
+  static_assert(std::is_trivially_destructible_v<T>,
+                "undo records live in arena memory (no destructors)");
+
+ public:
+  /// Entries per arena chunk: big enough to amortise allocation, small
+  /// enough that a mostly-idle worker wastes little.
+  static constexpr std::size_t kChunk = 64;
+
+  /// \p arena outlives the log and all outstanding records.
+  explicit UndoLog(Arena& arena) : arena_(&arena) {}
+
+  UndoLog(const UndoLog&) = delete;
+  UndoLog& operator=(const UndoLog&) = delete;
+
+  /// Records pushed since construction (monotone until unwind()).
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] bool empty() const { return size_ == 0; }
+
+  /// Position marker for a later unwind(): everything pushed after mark()
+  /// belongs to the speculation window it opens.
+  [[nodiscard]] std::size_t mark() const { return size_; }
+
+  /// Append one record.
+  void push(const T& entry) {
+    if (head_ == nullptr || head_->count == kChunk) {
+      Chunk* chunk = arena_->create<Chunk>();
+      chunk->prev = head_;
+      head_ = chunk;
+    }
+    head_->entries[head_->count++] = entry;
+    ++size_;
+  }
+
+  /// Pop every record down to \p mark, invoking fn(record) newest-first —
+  /// the rollback order that makes non-commuting undos correct (the
+  /// engine's deltas happen to commute, but the log does not rely on it).
+  template <typename Fn>
+  void unwind(std::size_t mark, Fn&& fn) {
+    while (size_ > mark) {
+      --size_;
+      fn(head_->entries[--head_->count]);
+      if (head_->count == 0) head_ = head_->prev;
+    }
+  }
+
+  /// Forget everything without replaying (commit). Chunk memory stays with
+  /// the arena until its next reset.
+  void clear() {
+    head_ = nullptr;
+    size_ = 0;
+  }
+
+ private:
+  struct Chunk {
+    T entries[kChunk];
+    std::size_t count = 0;
+    Chunk* prev = nullptr;
+  };
+
+  Arena* arena_;
+  Chunk* head_ = nullptr;
+  std::size_t size_ = 0;
+};
+
+}  // namespace rim::common

@@ -42,6 +42,13 @@ InterferenceSummary Assessor::assess(const NodeSoA& nodes, Strategy strategy,
       interference_vector_squared(points, nodes.radii2(), local));
 }
 
+InterferenceSummary Assessor::assess(const graph::Graph& topology,
+                                     std::span<const geom::Vec2> points,
+                                     const EvalOptions& options) const {
+  Scenario scenario(points, topology, options);
+  return scenario.summary();
+}
+
 Assessment Assessor::assess(Scenario& scenario,
                             std::span<const Mutation> mutations) const {
   const std::span<const std::uint32_t> current = scenario.interference();

@@ -1,8 +1,8 @@
 #pragma once
 
+#include <cstdint>
 #include <span>
 
-#include "rim/core/incremental.hpp"
 #include "rim/core/interference.hpp"
 #include "rim/core/node_soa.hpp"
 #include "rim/core/scenario.hpp"
@@ -10,27 +10,62 @@
 /// \file assessor.hpp
 /// The one assessment front door of the engine.
 ///
-/// Interference assessment used to be reachable through three overlapping
-/// entry points that grew independently: the free-function assessors of
-/// incremental.hpp, Scenario::assess(Mutation), and the per-command handlers
-/// of rim::svc. core::Assessor collapses them into a single interface:
+/// Interference assessment used to be reachable through several overlapping
+/// entry points that grew independently; core::Assessor is the single
+/// surviving interface (the legacy free functions and engine methods were
+/// retired per the DESIGN.md §10.6 removal table):
 ///
 ///  - assess(NodeSoA, Strategy, EvalOptions): stateless summary of a
 ///    standalone SoA store. The kBrute resolution runs the simd.hpp
 ///    coverage kernel directly over the store's contiguous columns; grid
 ///    strategies reuse the stateless evaluators.
+///  - assess(Graph, points): one-shot summary of a topology — radii derived
+///    from farthest neighbors, evaluated through a throwaway Scenario so
+///    static and incremental evaluation share one engine.
 ///  - assess(Scenario&, Mutation...): impact of a mutation sequence,
-///    measured on a probe copy without disturbing the scenario (the former
-///    Scenario::assess).
-///  - assess_addition / assess_removal: the structured churn reports of
-///    incremental.hpp (experiments E1/E11), including the sender-centric
-///    comparison.
+///    measured on a probe copy without disturbing the scenario.
+///  - assess_addition / assess_removal: the structured churn reports for
+///    experiments E1/E11, including the sender-centric comparison.
 ///
-/// The old entry points survive as deprecated thin wrappers for one PR
-/// (removal note in DESIGN.md §10); new code constructs an Assessor —
-/// typically `Assessor{}` or `Assessor(options)` — and calls one method.
+/// New code constructs an Assessor — typically `Assessor{}` or
+/// `Assessor(options)` — and calls one method.
 
 namespace rim::core {
+
+/// How a freshly arrived node is wired into the existing topology
+/// (assess_addition).
+enum class AttachPolicy : std::uint8_t {
+  kNearestNeighbor,  ///< symmetric edge to the nearest existing node
+  kIsolated,         ///< no edge (pure disk-count bookkeeping)
+};
+
+/// The paper's second headline property (Section 1): in the receiver-centric
+/// model an additional node is just one more packet source, so the
+/// interference experienced by any pre-existing node grows by at most one
+/// from the newcomer's own disk — plus at most one more when its attachment
+/// partner enlarges its range to reach it. The sender-centric model has no
+/// such bound: a single added node can force an edge whose coverage is n
+/// (Figure 1). This report quantifies both effects for experiments E1/E11.
+struct NodeAdditionImpact {
+  /// Receiver-centric I(G') before/after the addition.
+  std::uint32_t receiver_before = 0;
+  std::uint32_t receiver_after = 0;
+  /// Max increase of I(v) over pre-existing nodes v.
+  std::uint32_t receiver_max_node_increase = 0;
+  /// Interference experienced by the new node itself.
+  std::uint32_t newcomer_interference = 0;
+  /// Sender-centric (MobiHoc'04) max edge coverage before/after.
+  std::uint32_t sender_before = 0;
+  std::uint32_t sender_after = 0;
+};
+
+struct NodeRemovalImpact {
+  std::uint32_t receiver_before = 0;
+  std::uint32_t receiver_after = 0;
+  /// Max increase of I(v) over surviving nodes (0 in the receiver model
+  /// when no repair edges are added — a property the tests assert).
+  std::uint32_t receiver_max_node_increase = 0;
+};
 
 class Assessor {
  public:
@@ -50,6 +85,27 @@ class Assessor {
   [[nodiscard]] InterferenceSummary assess(
       const NodeSoA& nodes, Strategy strategy = Strategy::kAuto) const {
     return assess(nodes, strategy, options_);
+  }
+
+  // --- one-shot: summary of a topology ------------------------------------
+
+  /// Full summary for a topology: computes radii from the topology (r_u =
+  /// distance to farthest neighbor) and evaluates Definition 3.1/3.2 through
+  /// a throwaway Scenario, so every evaluation — static or incremental —
+  /// flows through the same engine. Hold a Scenario instead when the network
+  /// evolves.
+  [[nodiscard]] InterferenceSummary assess(const graph::Graph& topology,
+                                           std::span<const geom::Vec2> points,
+                                           const EvalOptions& options) const;
+  [[nodiscard]] InterferenceSummary assess(const graph::Graph& topology,
+                                           std::span<const geom::Vec2> points,
+                                           Strategy strategy) const {
+    EvalOptions local = options_;
+    return assess(topology, points, local.with_strategy(strategy));
+  }
+  [[nodiscard]] InterferenceSummary assess(
+      const graph::Graph& topology, std::span<const geom::Vec2> points) const {
+    return assess(topology, points, options_);
   }
 
   // --- impact of a mutation sequence on a live scenario -------------------

@@ -59,7 +59,7 @@ class InvariantAuditor {
   [[nodiscard]] AuditReport audit(Scenario& scenario) const;
 
   /// Verify the single-addition robustness bound at each probe position
-  /// via Scenario::assess (the scenario itself is not mutated).
+  /// via core::Assessor (the scenario itself is not mutated).
   [[nodiscard]] AuditReport audit_robustness(
       Scenario& scenario, std::span<const geom::Vec2> probes) const;
 

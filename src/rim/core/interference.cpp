@@ -81,10 +81,6 @@ std::vector<std::uint32_t> eval_brute(std::span<const geom::Vec2> points,
 
 }  // namespace
 
-Strategy resolve_strategy(Strategy strategy, std::size_t node_count) {
-  return EvalOptions{}.with_strategy(strategy).resolve(node_count);
-}
-
 InterferenceSummary InterferenceSummary::from_per_node(
     std::vector<std::uint32_t> per_node) {
   InterferenceSummary summary;
@@ -149,33 +145,21 @@ std::vector<std::uint32_t> interference_vector_squared(
   return eval_brute(points, radii2);
 }
 
-InterferenceSummary evaluate_interference(const graph::Graph& topology,
-                                          std::span<const geom::Vec2> points,
-                                          Strategy strategy) {
-  return evaluate_interference(topology, points,
-                               EvalOptions{}.with_strategy(strategy));
-}
-
-InterferenceSummary evaluate_interference(const graph::Graph& topology,
-                                          std::span<const geom::Vec2> points,
-                                          const EvalOptions& options) {
-  assert(topology.node_count() == points.size());
-  // Thin wrapper over a one-shot Scenario so every evaluation, static or
-  // incremental, flows through the same engine.
-  Scenario scenario(points, topology, options);
-  return scenario.summary();
-}
-
 std::uint32_t graph_interference(const graph::Graph& topology,
                                  std::span<const geom::Vec2> points,
                                  Strategy strategy) {
-  return evaluate_interference(topology, points, strategy).max;
+  return graph_interference(topology, points,
+                            EvalOptions{}.with_strategy(strategy));
 }
 
 std::uint32_t graph_interference(const graph::Graph& topology,
                                  std::span<const geom::Vec2> points,
                                  const EvalOptions& options) {
-  return evaluate_interference(topology, points, options).max;
+  assert(topology.node_count() == points.size());
+  // Thin wrapper over a one-shot Scenario so every evaluation, static or
+  // incremental, flows through the same engine.
+  Scenario scenario(points, topology, options);
+  return scenario.max_interference();
 }
 
 std::vector<std::vector<NodeId>> covering_sets(const graph::Graph& topology,

@@ -53,11 +53,24 @@ enum class Strategy : std::uint8_t {
   kAuto,      ///< pick by instance size.
 };
 
+/// How Scenario::apply_batch executes its coalesced disk tasks after the
+/// serial structural pass (DESIGN.md §11).
+enum class Execution : std::uint8_t {
+  kSerial,       ///< inline, in task order — the reference baseline
+  kWave,         ///< AABB-disjoint waves, one pool barrier per wave
+  kSpeculative,  ///< optimistic: claim footprints, roll losers back, replay
+};
+
 /// The one evaluation-configuration surface shared by the free evaluators,
 /// core::Scenario, highway::local_search, and ext2d — every threshold that
 /// used to be a scattered constant lives here, overridable per call site.
 struct EvalOptions {
   Strategy strategy = Strategy::kAuto;
+
+  /// Scenario::apply_batch disk-task execution mode. All three modes are
+  /// bit-identical (the property tests pin it); they differ only in how the
+  /// commuting ±1 region deltas are scheduled across the thread pool.
+  Execution execution = Execution::kWave;
 
   /// Strategy::kAuto resolution (see resolve()): instances up to
   /// auto_brute_max_nodes use the O(n^2) oracle (cheaper than building a
@@ -88,6 +101,11 @@ struct EvalOptions {
 
   EvalOptions& with_strategy(Strategy s) {
     strategy = s;
+    return *this;
+  }
+  /// Batch disk-task execution mode (default Execution::kWave).
+  EvalOptions& with_execution(Execution e) {
+    execution = e;
     return *this;
   }
   /// kAuto cutover to the O(n^2) oracle (default 64 nodes).
@@ -134,19 +152,6 @@ struct EvalOptions {
   }
 };
 
-// --- deprecated aliases (kept for one PR; migrate to Strategy/EvalOptions) --
-
-using EvalStrategy [[deprecated("use core::Strategy")]] = Strategy;
-
-[[deprecated("use EvalOptions::auto_brute_max_nodes")]]
-inline constexpr std::size_t kAutoBruteMaxNodes = 64;
-[[deprecated("use EvalOptions::auto_grid_max_nodes")]]
-inline constexpr std::size_t kAutoGridMaxNodes = 4096;
-
-/// \deprecated Use EvalOptions::resolve.
-[[deprecated("use EvalOptions::resolve")]] [[nodiscard]] Strategy
-resolve_strategy(Strategy strategy, std::size_t node_count);
-
 /// Interference of node \p v under the given radii (Definition 3.1).
 /// A node exactly on a disk boundary counts as covered; self-interference
 /// is excluded.
@@ -175,18 +180,9 @@ resolve_strategy(Strategy strategy, std::size_t node_count);
     std::span<const geom::Vec2> points, std::span<const double> radii2,
     const EvalOptions& options);
 
-/// Full summary for a topology: computes radii from the topology (r_u =
-/// distance to farthest neighbor) and evaluates Definition 3.1/3.2.
-/// Equivalent to constructing a one-shot Scenario and asking for summary();
-/// hold a Scenario instead when the network evolves.
-[[nodiscard]] InterferenceSummary evaluate_interference(
-    const graph::Graph& topology, std::span<const geom::Vec2> points,
-    Strategy strategy = Strategy::kAuto);
-[[nodiscard]] InterferenceSummary evaluate_interference(
-    const graph::Graph& topology, std::span<const geom::Vec2> points,
-    const EvalOptions& options);
-
-/// Convenience: I(G') only.
+/// Convenience: I(G') only. For the full InterferenceSummary of a topology
+/// use core::Assessor::assess(topology, points); hold a Scenario instead
+/// when the network evolves.
 [[nodiscard]] std::uint32_t graph_interference(
     const graph::Graph& topology, std::span<const geom::Vec2> points,
     Strategy strategy = Strategy::kAuto);

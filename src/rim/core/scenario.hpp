@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <string>
 #include <vector>
@@ -65,14 +66,7 @@ class ThreadPool;
 namespace rim::core {
 
 struct Snapshot;  // snapshot.hpp — full-state serialization of a Scenario
-
-/// \deprecated Use EvalOptions::max_touched_fraction.
-[[deprecated("use EvalOptions::max_touched_fraction")]]
-inline constexpr double kIncrementalMaxTouchedFraction = 0.25;
-
-/// \deprecated Use EvalOptions::touched_floor.
-[[deprecated("use EvalOptions::touched_floor")]]
-inline constexpr std::size_t kIncrementalTouchedFloor = 64;
+class SpeculativeExecutor;  // speculative.hpp — optimistic batch execution
 
 /// One reified network mutation — the unit of apply(), apply_batch(), and
 /// assess(). Node ids refer to the id space at the moment the mutation is
@@ -120,6 +114,12 @@ struct BatchResult {
   /// Index of the first mutation NOT applied when aborted (the crash
   /// point); batch.size() otherwise.
   std::size_t abort_index = 0;
+
+  // Execution::kSpeculative only (DESIGN.md §11); all zero otherwise.
+  std::size_t spec_committed = 0;      ///< tasks whose effect survived
+  std::size_t spec_rolled_back = 0;    ///< conflict aborts + validation undos
+  std::size_t spec_replay_rounds = 0;  ///< parallel rounds after the first
+  std::size_t spec_serial_tasks = 0;   ///< tasks finished on the serial tail
 };
 
 /// Fault-injection/test hooks consulted by apply_batch (sim::FaultInjector
@@ -157,9 +157,25 @@ class BatchHooks {
     (void)index;
     return true;
   }
+  /// Before speculative task \p task (its index in the coalesced task
+  /// list) executes, with its footprint cells already claimed. Returning
+  /// false skips the task — the speculative twin of a poisoned wave task.
+  /// Runs on pool workers; the §8 lock-free contract applies.
+  virtual bool before_speculative_task(std::size_t task) {
+    (void)task;
+    return true;
+  }
+  /// After speculative task \p task executed, before its cells are
+  /// released. Returning false rolls the task's effect back through the
+  /// undo log and requeues it for a replay round — a transient validation
+  /// failure, not a skip: the state stays exact.
+  virtual bool after_speculative_task(std::size_t task) {
+    (void)task;
+    return true;
+  }
 };
 
-/// Impact of a (sequence of) mutation(s), measured by Scenario::assess()
+/// Impact of a (sequence of) mutation(s), measured by core::Assessor
 /// without disturbing the scenario. All per-node data is indexed by the
 /// *pre-mutation* id space; renames from removals are resolved internally.
 struct Assessment {
@@ -202,6 +218,16 @@ struct ScenarioStats {
   obs::Counter batch_aborts;     ///< batches aborted by hooks (crash faults)
   obs::Counter hook_skipped_tasks;  ///< disk/recount tasks vetoed by hooks
 
+  // Speculative executor (Execution::kSpeculative batches, DESIGN.md §11).
+  // The committed/serial counters are deterministic; rollbacks and replay
+  // rounds depend on actual thread interleaving (the final state does not).
+  obs::Counter spec_batches;        ///< batches run speculatively
+  obs::Counter spec_committed;      ///< speculative tasks committed
+  obs::Counter spec_rolled_back;    ///< conflict aborts + validation undos
+  obs::Counter spec_replay_rounds;  ///< replay rounds dispatched
+  obs::Counter spec_serial_tasks;   ///< tasks finished on the serial tail
+  obs::Histogram spec_chain_length;  ///< attempts per committed task
+
   /// Machine-readable dump (io::Json) for experiment harnesses.
   [[nodiscard]] io::Json to_json() const;
 };
@@ -233,9 +259,10 @@ class Scenario {
   /// not the batch scratch arena — each Scenario owns a fresh one.
   Scenario(const Scenario& other);
   Scenario& operator=(const Scenario& other);
-  Scenario(Scenario&&) noexcept = default;
-  Scenario& operator=(Scenario&&) noexcept = default;
-  ~Scenario() = default;
+  // Out of line: the speculative executor is an incomplete type here.
+  Scenario(Scenario&&) noexcept;
+  Scenario& operator=(Scenario&&) noexcept;
+  ~Scenario();
 
   // --- mutations ---------------------------------------------------------
 
@@ -305,20 +332,6 @@ class Scenario {
   /// observability), except restores which increments.
   [[nodiscard]] bool restore(const Snapshot& snapshot,
                              std::string* error = nullptr);
-
-  // --- impact assessment -------------------------------------------------
-
-  /// Measure what applying \p mutation would do, without applying it.
-  /// \deprecated Use core::Assessor::assess(scenario, mutation)
-  /// (assessor.hpp) — the one assessment front door. Scheduled for removal
-  /// next PR (DESIGN.md §10).
-  [[deprecated("use core::Assessor::assess")]] [[nodiscard]]
-  Assessment assess(const Mutation& mutation);
-
-  /// Sequence form of the deprecated wrapper above.
-  /// \deprecated Use core::Assessor::assess(scenario, mutations).
-  [[deprecated("use core::Assessor::assess")]] [[nodiscard]]
-  Assessment assess(std::span<const Mutation> mutations);
 
   // --- views -------------------------------------------------------------
 
@@ -417,6 +430,15 @@ class Scenario {
   /// reused across batches (allocation-free in steady state). Deliberately
   /// not copied — probe copies never carry scratch.
   common::Arena batch_arena_;
+
+  /// Optimistic disk-task executor (Execution::kSpeculative), built lazily
+  /// on first use and reused across batches. Like the arena, never copied:
+  /// its footprint index and per-worker scratch are execution state, not
+  /// engine state. SpeculativeExecutor is a friend — it drives the private
+  /// run_disk_delta kernel and the stats counters directly.
+  std::unique_ptr<SpeculativeExecutor> speculative_;
+
+  friend class SpeculativeExecutor;
 };
 
 }  // namespace rim::core

@@ -105,6 +105,7 @@ std::vector<std::uint8_t> encode_payload(const Snapshot& s) {
   w.u64(s.edge_count);
   w.f64(s.cell_size);
   w.u8(static_cast<std::uint8_t>(s.options.strategy));
+  w.u8(static_cast<std::uint8_t>(s.options.execution));
   w.u64(s.options.auto_brute_max_nodes);
   w.u64(s.options.auto_grid_max_nodes);
   w.f64(s.options.max_touched_fraction);
@@ -271,7 +272,9 @@ bool Snapshot::from_bytes(std::span<const std::uint8_t> bytes, Snapshot& out,
   out.grid_built = (flags & 2u) != 0;
   out.edge_count = static_cast<std::size_t>(edge_count);
   std::uint8_t strategy = 0;
-  if (!r.u8(strategy) || !r.u64(out.options.auto_brute_max_nodes) ||
+  std::uint8_t execution = 0;
+  if (!r.u8(strategy) || !r.u8(execution) ||
+      !r.u64(out.options.auto_brute_max_nodes) ||
       !r.u64(out.options.auto_grid_max_nodes) ||
       !r.f64(out.options.max_touched_fraction) ||
       !r.u64(out.options.touched_floor) ||
@@ -281,7 +284,11 @@ bool Snapshot::from_bytes(std::span<const std::uint8_t> bytes, Snapshot& out,
   if (strategy > static_cast<std::uint8_t>(Strategy::kAuto)) {
     return decode_fail(error, "invalid strategy value");
   }
+  if (execution > static_cast<std::uint8_t>(Execution::kSpeculative)) {
+    return decode_fail(error, "invalid execution value");
+  }
   out.options.with_strategy(static_cast<Strategy>(strategy));
+  out.options.with_execution(static_cast<Execution>(execution));
   // Cheap sanity bound before reserving: every node needs at least
   // 24 payload bytes (point + radius), so a huge count is corruption.
   if (node_count > r.remaining() / 24 + 1) {
@@ -334,6 +341,7 @@ io::Json Snapshot::to_json() const {
   {
     io::JsonObject opt;
     opt["strategy"] = io::Json(static_cast<unsigned>(options.strategy));
+    opt["execution"] = io::Json(static_cast<unsigned>(options.execution));
     opt["auto_brute_max_nodes"] = io::Json(options.auto_brute_max_nodes);
     opt["auto_grid_max_nodes"] = io::Json(options.auto_grid_max_nodes);
     opt["max_touched_fraction_bits"] =
@@ -429,6 +437,16 @@ bool Snapshot::from_json(const io::Json& json, Snapshot& out,
   }
   out.options.with_strategy(
       static_cast<Strategy>(static_cast<std::uint8_t>(strategy)));
+  const double execution = opt->find("execution") != nullptr
+                               ? opt->find("execution")->as_number(-1)
+                               : -1;
+  if (execution < 0 ||
+      execution > static_cast<double>(
+                      static_cast<std::uint8_t>(Execution::kSpeculative))) {
+    return decode_fail(error, "invalid options.execution");
+  }
+  out.options.with_execution(
+      static_cast<Execution>(static_cast<std::uint8_t>(execution)));
   const auto read_size = [&](const char* key, std::size_t& value) {
     const io::Json* node = opt->find(key);
     if (node == nullptr || !node->is_number()) return false;

@@ -1,0 +1,307 @@
+#include "rim/core/speculative.hpp"
+
+#include <cassert>
+#include <cstring>
+
+#include "rim/common/undo_log.hpp"
+#include "rim/core/scenario.hpp"
+#include "rim/parallel/thread_pool.hpp"
+
+/// \file speculative.cpp
+/// The optimistic batch executor (header rationale in speculative.hpp).
+///
+/// Execution protocol per task:
+///  1. claim every footprint cell in ascending slot order (CAS on the
+///     epoch-stamped index). Meeting a live owner aborts the attempt before
+///     any write — the claimed prefix is released and the task requeues.
+///     The ascending order makes progress unconditional: among any set of
+///     contenders, the one holding the highest claimed slot never finds a
+///     live owner ahead of it.
+///  2. consult BatchHooks::before_speculative_task (a veto skips the task —
+///     the poisoned-task fault model of the wave path).
+///  3. push the delta on the worker's UndoLog, execute it.
+///  4. consult BatchHooks::after_speculative_task; a failed validation
+///     unwinds the log (inverse deltas) while the cells are still owned,
+///     then requeues the task.
+///  5. release the cells (release-store; the next owner's CAS acquires).
+///
+/// Claims use cell column addresses as identity: stable while the grid is
+/// frozen (the batch pipeline's structural pass is over) and in exact
+/// correspondence with the cells the delta kernel walks — including the
+/// huge-rectangle fallback, where the walk degenerates to every occupied
+/// cell and the footprint correctly becomes "conflicts with everything".
+
+namespace rim::core {
+
+namespace {
+
+/// SplitMix64 finalizer — enough mixing for pointer keys.
+[[nodiscard]] std::uint64_t mix(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+[[nodiscard]] std::size_t next_pow2(std::size_t v) {
+  std::size_t p = 1;
+  while (p < v) p <<= 1;
+  return p;
+}
+
+/// Open-addressed cell→slot interning table (arena-resident, linear
+/// probing). Keys are cell column addresses; slot numbers are assigned in
+/// first-touch order during the serial prep pass, so the numbering is a
+/// deterministic function of the batch even though the key values are not.
+struct CellTable {
+  std::uintptr_t* keys = nullptr;
+  std::uint32_t* slots = nullptr;
+  std::size_t mask = 0;
+  std::uint32_t next_slot = 0;
+
+  [[nodiscard]] std::uint32_t intern(std::uintptr_t key) {
+    std::size_t i = static_cast<std::size_t>(mix(key)) & mask;
+    for (;;) {
+      if (keys[i] == key) return slots[i];
+      if (keys[i] == 0) {
+        keys[i] = key;
+        slots[i] = next_slot;
+        return next_slot++;
+      }
+      i = (i + 1) & mask;
+    }
+  }
+};
+
+}  // namespace
+
+SpeculativeExecutor::Footprint* SpeculativeExecutor::collect_footprints(
+    Scenario& scenario, const DiskTask* tasks, std::size_t count) {
+  const geom::DynamicGrid& grid = scenario.grid_;
+  // Pass 1: size every task's walk. Empty cells never hold a writable slot,
+  // so they are not part of the footprint (the kernel's visit is a no-op).
+  auto* cell_counts = prep_arena_.alloc_array<std::uint32_t>(count);
+  std::size_t total = 0;
+  for (std::size_t i = 0; i < count; ++i) {
+    std::uint32_t cells = 0;
+    grid.for_each_cell_in_disk(tasks[i].center, tasks[i].query_radius2(),
+                               [&](const geom::DynamicGrid::CellView& cell) {
+                                 if (cell.count > 0) ++cells;
+                               });
+    cell_counts[i] = cells;
+    total += cells;
+  }
+  // Pass 2: record the visited cells' identities, task by task.
+  auto* keys = prep_arena_.alloc_array<std::uintptr_t>(total);
+  {
+    std::size_t cursor = 0;
+    for (std::size_t i = 0; i < count; ++i) {
+      grid.for_each_cell_in_disk(
+          tasks[i].center, tasks[i].query_radius2(),
+          [&](const geom::DynamicGrid::CellView& cell) {
+            if (cell.count > 0) {
+              keys[cursor++] = reinterpret_cast<std::uintptr_t>(cell.ids);
+            }
+          });
+    }
+    assert(cursor == total);
+  }
+  // Intern keys into dense slots; per-task slot lists are sorted ascending
+  // (the claim order that guarantees progress). A walk visits each cell at
+  // most once, so the per-task lists are duplicate-free by construction.
+  CellTable table;
+  const std::size_t cap = next_pow2(std::max<std::size_t>(16, total * 2));
+  table.keys = prep_arena_.alloc_array<std::uintptr_t>(cap);
+  table.slots = prep_arena_.alloc_array<std::uint32_t>(cap);
+  table.mask = cap - 1;
+  std::memset(table.keys, 0, cap * sizeof(std::uintptr_t));
+
+  auto* slot_storage = prep_arena_.alloc_array<std::uint32_t>(total);
+  Footprint* feet = prep_arena_.alloc_array<Footprint>(count);
+  std::size_t cursor = 0;
+  for (std::size_t i = 0; i < count; ++i) {
+    Footprint& foot = feet[i];
+    foot.slots = slot_storage + cursor;
+    foot.count = cell_counts[i];
+    foot.attempts = 0;
+    for (std::uint32_t k = 0; k < foot.count; ++k) {
+      foot.slots[k] = table.intern(keys[cursor + k]);
+    }
+    std::sort(foot.slots, foot.slots + foot.count);
+    cursor += foot.count;
+  }
+  ensure_stamps(table.next_slot);
+  return feet;
+}
+
+void SpeculativeExecutor::ensure_stamps(std::size_t slot_count) {
+  if (slot_count > stamp_capacity_) {
+    const std::size_t cap = next_pow2(std::max<std::size_t>(64, slot_count));
+    // Value-initialized: every stamp starts at epoch 0, which never matches
+    // a live epoch (epochs start at 1).
+    stamps_ = std::make_unique<std::atomic<std::uint64_t>[]>(cap);
+    stamp_capacity_ = cap;
+  }
+  ++epoch_;
+  if (epoch_ == 0) {
+    // Epoch wrap (once per 2^32 batches): stale stamps could alias the new
+    // epoch, so clear them and restart at 1.
+    for (std::size_t i = 0; i < stamp_capacity_; ++i) {
+      stamps_[i].store(0, std::memory_order_relaxed);
+    }
+    epoch_ = 1;
+  }
+}
+
+void SpeculativeExecutor::release(const Footprint& foot, std::size_t claimed) {
+  for (std::size_t k = 0; k < claimed; ++k) {
+    stamps_[foot.slots[k]].store(0, std::memory_order_release);
+  }
+}
+
+SpeculativeExecutor::Attempt SpeculativeExecutor::attempt(
+    Scenario& scenario, const DiskTask* tasks, Footprint* feet,
+    std::uint32_t task, BatchHooks* hooks, common::Arena& worker_arena) {
+  Footprint& foot = feet[task];
+  ++foot.attempts;
+  const std::uint64_t claim = (static_cast<std::uint64_t>(epoch_) << 32) |
+                              (static_cast<std::uint64_t>(task) + 1);
+  std::size_t claimed = 0;
+  for (; claimed < foot.count; ++claimed) {
+    std::atomic<std::uint64_t>& stamp = stamps_[foot.slots[claimed]];
+    std::uint64_t cur = stamp.load(std::memory_order_relaxed);
+    bool won = false;
+    for (;;) {
+      if ((cur >> 32) == epoch_) break;  // live owner — abort, don't wait
+      // Success acquires the previous owner's release of this cell, so its
+      // interference writes are visible before ours begin.
+      if (stamp.compare_exchange_weak(cur, claim, std::memory_order_acq_rel,
+                                      std::memory_order_relaxed)) {
+        won = true;
+        break;
+      }
+    }
+    if (!won) break;
+  }
+  if (claimed < foot.count) {
+    release(foot, claimed);
+    return Attempt::kConflict;
+  }
+  if (hooks != nullptr && !hooks->before_speculative_task(task)) {
+    release(foot, foot.count);
+    ++scenario.stats_.hook_skipped_tasks;
+    return Attempt::kSkipped;
+  }
+  common::UndoLog<DiskTask> log(worker_arena);
+  const std::size_t mark = log.mark();
+  const DiskTask& t = tasks[task];
+  log.push(t);
+  scenario.run_disk_delta(t.exclude, t.center, t.old_r2, t.new_r2);
+  if (hooks != nullptr && !hooks->after_speculative_task(task)) {
+    // Roll back under ownership: replay the log newest-first with old/new
+    // swapped (the exact inverse of a commuting ±1 region delta).
+    log.unwind(mark, [&scenario](const DiskTask& rec) {
+      scenario.run_disk_delta(rec.exclude, rec.center, rec.new_r2, rec.old_r2);
+    });
+    release(foot, foot.count);
+    return Attempt::kConflict;
+  }
+  release(foot, foot.count);
+  scenario.stats_.spec_chain_length.record(foot.attempts);
+  return Attempt::kCommitted;
+}
+
+SpecOutcome SpeculativeExecutor::run(Scenario& scenario, const DiskTask* tasks,
+                                     std::size_t count,
+                                     parallel::ThreadPool* pool,
+                                     BatchHooks* hooks) {
+  SpecOutcome out;
+  if (count == 0) return out;
+  prep_arena_.reset();
+  Footprint* feet = collect_footprints(scenario, tasks, count);
+
+  const std::size_t workers = pool != nullptr ? pool->thread_count() : 0;
+  if (worker_arenas_.size() < std::max<std::size_t>(workers, 1)) {
+    worker_arenas_.resize(std::max<std::size_t>(workers, 1));
+  }
+  for (common::Arena& arena : worker_arenas_) arena.reset();
+
+  auto* ready = prep_arena_.alloc_array<std::uint32_t>(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    ready[i] = static_cast<std::uint32_t>(i);
+  }
+  std::size_t ready_count = count;
+
+  const bool go_parallel =
+      workers > 1 && count >= scenario.options_.batch_min_parallel_tasks;
+  if (go_parallel) {
+    for (std::size_t round = 0; round < kMaxRounds && ready_count > 0;
+         ++round) {
+      if (round > 0) ++out.replay_rounds;
+      std::atomic<std::size_t> cursor{0};
+      std::atomic<std::size_t> loser_count{0};
+      std::atomic<std::size_t> committed{0};
+      auto* losers = prep_arena_.alloc_array<std::uint32_t>(ready_count);
+      const std::size_t n_ready = ready_count;
+      for (std::size_t w = 0; w < workers; ++w) {
+        common::Arena* arena = &worker_arenas_[w];
+        pool->submit([this, &scenario, tasks, feet, hooks, ready, n_ready,
+                      &cursor, &loser_count, &committed, losers, arena] {
+          for (;;) {
+            const std::size_t i =
+                cursor.fetch_add(1, std::memory_order_relaxed);
+            if (i >= n_ready) return;
+            switch (attempt(scenario, tasks, feet, ready[i], hooks, *arena)) {
+              case Attempt::kCommitted:
+                committed.fetch_add(1, std::memory_order_relaxed);
+                break;
+              case Attempt::kConflict:
+                losers[loser_count.fetch_add(1, std::memory_order_relaxed)] =
+                    ready[i];
+                break;
+              case Attempt::kSkipped:
+                break;
+            }
+          }
+        });
+      }
+      pool->wait_idle();
+      const std::size_t lost = loser_count.load(std::memory_order_relaxed);
+      out.committed += committed.load(std::memory_order_relaxed);
+      out.rolled_back += lost;
+      // Replays run in ascending task order: the deterministic priority
+      // that mirrors the serial baseline.
+      std::sort(losers, losers + lost);
+      const bool progressed = lost < ready_count;
+      ready = losers;
+      ready_count = lost;
+      if (!progressed) break;  // contention livelock guard: finish serially
+    }
+  }
+
+  // Serial tail: whatever is still pending (no pool, exhausted rounds, or a
+  // zero-progress round) commits one task at a time in ascending task
+  // order. Claims still run — uncontended now — so hooks observe the same
+  // protocol, and a validation veto retries in place a bounded number of
+  // times before the task counts as vetoed (the corruption model of a
+  // poisoned wave task, left for the InvariantAuditor to find).
+  for (std::size_t i = 0; i < ready_count; ++i) {
+    ++out.serial_tasks;
+    Attempt result = Attempt::kConflict;
+    for (std::size_t tries = 0;
+         result == Attempt::kConflict && tries <= kMaxValidationRetries;
+         ++tries) {
+      result = attempt(scenario, tasks, feet, ready[i], hooks,
+                       worker_arenas_[0]);
+      if (result == Attempt::kConflict) ++out.rolled_back;
+    }
+    if (result == Attempt::kCommitted) {
+      ++out.committed;
+    } else if (result == Attempt::kConflict) {
+      ++scenario.stats_.hook_skipped_tasks;
+    }
+  }
+  return out;
+}
+
+}  // namespace rim::core

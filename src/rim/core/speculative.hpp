@@ -1,0 +1,136 @@
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "rim/common/arena.hpp"
+#include "rim/common/types.hpp"
+#include "rim/geom/vec2.hpp"
+
+/// \file speculative.hpp
+/// Optimistic (speculative) execution of coalesced batch disk tasks.
+///
+/// The wave scheduler (scenario_batch.cpp) is conservative: it proves tasks
+/// independent up front (pairwise AABB-disjoint regions) and pays one pool
+/// barrier per wave. SpeculativeExecutor inverts the bet, borrowing the
+/// Time-Warp optimistic-PDES discipline: every worker grabs the next task,
+/// *claims* the grid cells of the task's disk footprint in an epoch-stamped
+/// footprint index, and executes immediately. A task that runs into a cell
+/// owned by a live peer aborts before writing anything and is requeued; a
+/// task whose post-hoc validation fails rolls its own effect back through
+/// an arena-backed common::UndoLog while still owning its cells. Losers
+/// replay in later rounds; a bounded number of rounds (or a zero-progress
+/// round) falls back to executing the stragglers serially — the adversarial
+/// worst case degenerates to the serial baseline, never worse.
+///
+/// Why this is bit-identical to serial execution (DESIGN.md §11): the final
+/// interference vector is a pure function of the final configuration —
+/// every disk task is a commuting integer ±1 over its own region (the
+/// paper's robustness property), and the footprint claims guarantee no two
+/// concurrent tasks ever write the same interference slot (a node's slot
+/// can only be written by tasks whose walk rectangles cover its cell).
+/// Each task commits exactly once, so any interleaving sums to the same
+/// vector; only the obs conflict counters are timing-dependent.
+
+namespace rim::parallel {
+class ThreadPool;
+}
+
+namespace rim::core {
+
+class Scenario;
+class BatchHooks;
+
+/// One coalesced region delta of the batch pipeline: remove the disk
+/// (center, old_r2) and apply (center, new_r2), skipping slot `exclude`.
+/// Trivially destructible (arena-resident).
+struct DiskTask {
+  NodeId exclude = kInvalidNode;
+  geom::Vec2 center{};
+  double old_r2 = 0.0;
+  double new_r2 = 0.0;
+
+  [[nodiscard]] double query_radius() const {
+    return std::sqrt(std::max({old_r2, new_r2, 0.0}));
+  }
+  /// The squared radius the delta kernel actually walks.
+  [[nodiscard]] double query_radius2() const {
+    return std::max({old_r2, new_r2, 0.0});
+  }
+};
+
+/// What one speculative run did (folded into BatchResult/ScenarioStats).
+struct SpecOutcome {
+  std::size_t committed = 0;      ///< tasks whose effect survived
+  std::size_t rolled_back = 0;    ///< conflict aborts + validation rollbacks
+  std::size_t replay_rounds = 0;  ///< parallel rounds after the first
+  std::size_t serial_tasks = 0;   ///< tasks that fell to the serial tail
+};
+
+/// Executes one batch's disk-task list speculatively. Owned by a Scenario
+/// (lazily, like the batch arena — never copied with it) and reused across
+/// batches: the footprint index and the per-worker arenas reach a
+/// steady state with zero allocations, and conflicts of earlier batches are
+/// retired by bumping the epoch instead of clearing stamps.
+class SpeculativeExecutor {
+ public:
+  SpeculativeExecutor() = default;
+  SpeculativeExecutor(const SpeculativeExecutor&) = delete;
+  SpeculativeExecutor& operator=(const SpeculativeExecutor&) = delete;
+
+  /// Apply tasks[0..count) to \p scenario's interference vector. Requires
+  /// the scenario's grid and store to be frozen for the duration (the batch
+  /// pipeline guarantees it: the structural pass is over, recounts run
+  /// after). \p hooks, when non-null, is consulted per task
+  /// (BatchHooks::before/after_speculative_task).
+  SpecOutcome run(Scenario& scenario, const DiskTask* tasks, std::size_t count,
+                  parallel::ThreadPool* pool, BatchHooks* hooks);
+
+ private:
+  /// Parallel replay rounds before giving up and finishing serially. Each
+  /// round is guaranteed aggregate progress (claims are acquired in
+  /// ascending slot order, so the task holding the highest claimed slot
+  /// always commits), so the cap only bounds tail latency.
+  static constexpr std::size_t kMaxRounds = 4;
+  /// Re-execution attempts after validation failure on the serial tail
+  /// before the task is treated as vetoed (hook-poisoned).
+  static constexpr std::size_t kMaxValidationRetries = 3;
+
+  enum class Attempt : std::uint8_t { kCommitted, kConflict, kSkipped };
+
+  struct Footprint {
+    std::uint32_t* slots = nullptr;  ///< ascending footprint-index slots
+    std::uint32_t count = 0;
+    std::uint32_t attempts = 0;  ///< conflict-chain length when committed
+  };
+
+  /// Serial prep: walk every task's disk over the grid, intern each visited
+  /// cell into the footprint index, and record the per-task slot sets.
+  Footprint* collect_footprints(Scenario& scenario, const DiskTask* tasks,
+                                std::size_t count);
+  void ensure_stamps(std::size_t slot_count);
+
+  Attempt attempt(Scenario& scenario, const DiskTask* tasks, Footprint* feet,
+                  std::uint32_t task, BatchHooks* hooks,
+                  common::Arena& worker_arena);
+  void release(const Footprint& foot, std::size_t claimed);
+
+  /// Serial-phase scratch: footprints, the cell→slot table, round queues.
+  common::Arena prep_arena_;
+  /// One arena per pool worker (undo logs); index 0 doubles as the serial
+  /// tail's arena.
+  std::vector<common::Arena> worker_arenas_;
+
+  /// Footprint index: one atomic stamp per interned grid cell, value
+  /// (epoch << 32) | (task + 1). A stamp from any earlier epoch reads as
+  /// free, so runs never clear the array.
+  std::unique_ptr<std::atomic<std::uint64_t>[]> stamps_;
+  std::size_t stamp_capacity_ = 0;
+  std::uint32_t epoch_ = 0;
+};
+
+}  // namespace rim::core

@@ -274,83 +274,4 @@ SvcResult<void> Client::try_shutdown() {
   return {};
 }
 
-// --- bool wrappers ---------------------------------------------------------
-
-bool Client::call(const std::string& command, io::JsonObject params,
-                  io::Json& result) {
-  return unwrap(try_call(command, std::move(params)), result);
-}
-
-bool Client::ping() { return unwrap(try_ping()); }
-
-bool Client::create_session(std::uint64_t& session) {
-  return unwrap(try_create_session(), session);
-}
-
-bool Client::close_session(std::uint64_t session) {
-  return unwrap(try_close_session(session));
-}
-
-bool Client::add_node(std::uint64_t session, double x, double y,
-                      NodeId& node) {
-  return unwrap(try_add_node(session, x, y), node);
-}
-
-bool Client::remove_node(std::uint64_t session, NodeId v, NodeId& renamed) {
-  return unwrap(try_remove_node(session, v), renamed);
-}
-
-bool Client::add_edge(std::uint64_t session, NodeId u, NodeId v,
-                      bool& added) {
-  return unwrap(try_add_edge(session, u, v), added);
-}
-
-bool Client::remove_edge(std::uint64_t session, NodeId u, NodeId v,
-                         bool& removed) {
-  return unwrap(try_remove_edge(session, u, v), removed);
-}
-
-bool Client::move_node(std::uint64_t session, NodeId v, double x, double y) {
-  return unwrap(try_move_node(session, v, x, y));
-}
-
-bool Client::apply_batch(std::uint64_t session,
-                         std::span<const core::Mutation> batch,
-                         core::BatchResult& result) {
-  return unwrap(try_apply_batch(session, batch), result);
-}
-
-bool Client::assess(std::uint64_t session,
-                    std::span<const core::Mutation> mutations,
-                    io::Json& assessment) {
-  return unwrap(try_assess(session, mutations), assessment);
-}
-
-bool Client::query_interference(std::uint64_t session, io::Json& result) {
-  return unwrap(try_query_interference(session), result);
-}
-
-bool Client::query_interference_of(std::uint64_t session, NodeId v,
-                                   std::uint32_t& value) {
-  return unwrap(try_query_interference_of(session, v), value);
-}
-
-bool Client::snapshot(std::uint64_t session, io::Json& snapshot_doc) {
-  return unwrap(try_snapshot(session), snapshot_doc);
-}
-
-bool Client::restore(std::uint64_t session, const io::Json& snapshot_doc) {
-  return unwrap(try_restore(session, snapshot_doc));
-}
-
-bool Client::session_stats(std::uint64_t session, io::Json& stats) {
-  return unwrap(try_session_stats(session), stats);
-}
-
-bool Client::metrics(io::Json& snapshot) {
-  return unwrap(try_metrics(), snapshot);
-}
-
-bool Client::shutdown() { return unwrap(try_shutdown()); }
-
 }  // namespace rim::svc

@@ -16,14 +16,12 @@
 /// wire format: it assigns monotonically increasing request ids, frames the
 /// request, and unwraps the response envelope.
 ///
-/// The primary API is the try_* family: every call returns
-/// SvcResult<T> (= common::Expected<T, SvcError>), whose SvcErrorCode
-/// mirrors the wire envelope codes (errors.hpp) — a transport failure is
+/// The API is the try_* family: every call returns SvcResult<T>
+/// (= common::Expected<T, SvcError>), whose SvcErrorCode mirrors the wire
+/// envelope codes (errors.hpp) — a transport failure is
 /// SvcErrorCode::kTransport, a service error response carries the decoded
-/// wire code and message. The bool-returning legacy calls are thin
-/// wrappers kept for one PR (DESIGN.md §10): they return false on failure
-/// and leave the message in error() / the wire code string in
-/// error_code().
+/// wire code and message. The most recent failure is additionally retained
+/// in error() / error_code() for diagnostics.
 ///
 /// The raw response payload of the most recent call is retained
 /// (last_response_payload()); the byte-identity tests compare it against
@@ -84,48 +82,6 @@ class Client {
   [[nodiscard]] SvcResult<io::Json> try_metrics();
   [[nodiscard]] SvcResult<void> try_shutdown();
 
-  // --- deprecated bool wrappers (kept for one PR; DESIGN.md §10) -------
-  // Same semantics as the typed calls; on failure they return false and
-  // stash the SvcError into error()/error_code().
-
-  [[nodiscard]] bool call(const std::string& command, io::JsonObject params,
-                          io::Json& result);
-
-  [[nodiscard]] bool ping();
-  [[nodiscard]] bool create_session(std::uint64_t& session);
-  [[nodiscard]] bool close_session(std::uint64_t session);
-
-  [[nodiscard]] bool add_node(std::uint64_t session, double x, double y,
-                              NodeId& node);
-  [[nodiscard]] bool remove_node(std::uint64_t session, NodeId v,
-                                 NodeId& renamed);
-  [[nodiscard]] bool add_edge(std::uint64_t session, NodeId u, NodeId v,
-                              bool& added);
-  [[nodiscard]] bool remove_edge(std::uint64_t session, NodeId u, NodeId v,
-                                 bool& removed);
-  [[nodiscard]] bool move_node(std::uint64_t session, NodeId v, double x,
-                               double y);
-
-  [[nodiscard]] bool apply_batch(std::uint64_t session,
-                                 std::span<const core::Mutation> batch,
-                                 core::BatchResult& result);
-  [[nodiscard]] bool assess(std::uint64_t session,
-                            std::span<const core::Mutation> mutations,
-                            io::Json& assessment);
-
-  [[nodiscard]] bool query_interference(std::uint64_t session,
-                                        io::Json& result);
-  [[nodiscard]] bool query_interference_of(std::uint64_t session, NodeId v,
-                                           std::uint32_t& value);
-
-  [[nodiscard]] bool snapshot(std::uint64_t session, io::Json& snapshot_doc);
-  [[nodiscard]] bool restore(std::uint64_t session,
-                             const io::Json& snapshot_doc);
-  [[nodiscard]] bool session_stats(std::uint64_t session, io::Json& stats);
-
-  [[nodiscard]] bool metrics(io::Json& snapshot);
-  [[nodiscard]] bool shutdown();
-
   // --- diagnostics -----------------------------------------------------
 
   /// Message of the most recent failure.
@@ -144,15 +100,6 @@ class Client {
   [[nodiscard]] common::Unexpected<SvcError> fail(SvcError error);
   [[nodiscard]] common::Unexpected<SvcError> transport_failure(
       std::string message);
-
-  /// Unwraps a typed result into the bool-wrapper calling convention.
-  template <typename T>
-  bool unwrap(SvcResult<T> result, T& out) {
-    if (!result.has_value()) return false;
-    out = std::move(result).value();
-    return true;
-  }
-  bool unwrap(const SvcResult<void>& result) { return result.has_value(); }
 
   Transport& transport_;
   std::uint64_t next_id_ = 1;

@@ -13,8 +13,7 @@
 /// (plus kTransport for failures below the protocol: connection loss,
 /// framing, unparseable responses). svc::Client's typed calls return
 /// common::Expected<T, SvcError>, so callers branch on the code instead of
-/// string-comparing error_code() — the bool-returning legacy calls remain
-/// as thin wrappers for one PR (DESIGN.md §10).
+/// string-comparing error_code().
 
 namespace rim::svc {
 

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include "rim/core/assessor.hpp"
 #include "rim/core/interference.hpp"
 #include "rim/core/sender_centric.hpp"
 #include "rim/graph/connectivity.hpp"
@@ -43,10 +44,10 @@ TEST(Figure1, ReceiverCentricStaysModest) {
     geom::PointSet cluster(points.begin(), points.end() - 1);
     const graph::Graph cluster_udg = graph::build_udg(cluster, 1.0);
     const graph::Graph cluster_mst = topology::mst_topology(cluster, cluster_udg);
-    return core::evaluate_interference(cluster_mst, cluster);
+    return core::Assessor{}.assess(cluster_mst, cluster);
   }();
   const core::InterferenceSummary with_outlier =
-      core::evaluate_interference(mst, points);
+      core::Assessor{}.assess(mst, points);
   // Bridging adds at most two blanket disks.
   EXPECT_LE(with_outlier.max, cluster_only.max + 2);
 }
@@ -83,7 +84,7 @@ TEST(TwoChains, Theorem41NnfInterferenceIsOrderN) {
     const graph::Graph nnf =
         topology::nearest_neighbor_forest(inst.points, udg);
     const core::InterferenceSummary s =
-        core::evaluate_interference(nnf, inst.points);
+        core::Assessor{}.assess(nnf, inst.points);
     EXPECT_GE(s.per_node[inst.h[0]], static_cast<std::uint32_t>(m) - 2) << m;
   }
 }

@@ -11,7 +11,7 @@
 #include "rim/sim/workload.hpp"
 
 /// Tests for the parallel batch pipeline (Scenario::apply_batch) and the
-/// unified impact assessor (Scenario::assess). The contract under test is
+/// unified impact assessor (core::Assessor). The contract under test is
 /// bit-identity: a batch must leave the scenario in exactly the state that
 /// applying its mutations one at a time would, which in turn must match the
 /// kBrute from-scratch oracle.
@@ -239,7 +239,7 @@ TEST(ApplyBatch, StatsJsonExposesBatchCounters) {
   EXPECT_NE(json.find("\"grid\""), std::string::npos);
 }
 
-// --- Scenario::assess ----------------------------------------------------
+// --- Assessor::assess ----------------------------------------------------
 
 TEST(Assess, DoesNotMutateTheScenario) {
   const auto points = sim::uniform_square(50, 2.0, 51);

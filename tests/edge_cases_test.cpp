@@ -5,7 +5,6 @@
 #include <set>
 
 #include "rim/core/assessor.hpp"
-#include "rim/core/incremental.hpp"
 #include "rim/core/interference.hpp"
 #include "rim/core/radii.hpp"
 #include "rim/core/sender_centric.hpp"
@@ -37,7 +36,7 @@ TEST(DuplicatePoints, UdgAndInterferenceSurvive) {
   const geom::PointSet points{{1, 1}, {1, 1}, {1, 1}, {1.5, 1}};
   const graph::Graph udg = graph::build_udg(points, 1.0);
   EXPECT_EQ(udg.edge_count(), 6u);  // complete on 4 nodes
-  const core::InterferenceSummary s = core::evaluate_interference(udg, points);
+  const core::InterferenceSummary s = core::Assessor{}.assess(udg, points);
   // Every node's radius is 0.5 (farthest neighbor): all disks cover all.
   for (std::uint32_t i : s.per_node) EXPECT_EQ(i, 3u);
 }
@@ -107,7 +106,7 @@ TEST(CoveringSets, SizesMatchInterferenceVector) {
   const graph::Graph udg = graph::build_udg(points, 1.0);
   const graph::Graph mst = graph::euclidean_mst(udg, points);
   const auto sets = core::covering_sets(mst, points);
-  const core::InterferenceSummary s = core::evaluate_interference(mst, points);
+  const core::InterferenceSummary s = core::Assessor{}.assess(mst, points);
   ASSERT_EQ(sets.size(), points.size());
   for (NodeId v = 0; v < points.size(); ++v) {
     EXPECT_EQ(sets[v].size(), s.per_node[v]) << v;
@@ -144,8 +143,8 @@ TEST(ScaleInvariance, InterferenceUnchangedUnderUniformScaling) {
   const graph::Graph mst = graph::euclidean_mst(udg, points);
   graph::Graph mst_scaled(scaled.size());
   for (graph::Edge e : mst.edges()) mst_scaled.add_edge(e.u, e.v);
-  EXPECT_EQ(core::evaluate_interference(mst, points).per_node,
-            core::evaluate_interference(mst_scaled, scaled).per_node);
+  EXPECT_EQ(core::Assessor{}.assess(mst, points).per_node,
+            core::Assessor{}.assess(mst_scaled, scaled).per_node);
 }
 
 TEST(MirrorSymmetry, HighwayReflectionPreservesInterference) {

@@ -1,7 +1,6 @@
 #include <gtest/gtest.h>
 
 #include "rim/core/assessor.hpp"
-#include "rim/core/incremental.hpp"
 #include "rim/core/interference.hpp"
 #include "rim/graph/udg.hpp"
 #include "rim/sim/adversarial.hpp"

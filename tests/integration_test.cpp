@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "rim/analysis/fit.hpp"
+#include "rim/core/assessor.hpp"
 #include "rim/core/interference.hpp"
 #include "rim/core/sender_centric.hpp"
 #include "rim/graph/connectivity.hpp"
@@ -53,7 +54,7 @@ TEST(EndToEnd, EveryRegisteredTopologyEvaluatesOnCommonInstance) {
   const std::uint32_t udg_interference = core::graph_interference(udg, points);
   for (const auto& algorithm : topology::all_algorithms()) {
     const graph::Graph result = algorithm.build(points, udg);
-    const core::InterferenceSummary s = core::evaluate_interference(result, points);
+    const core::InterferenceSummary s = core::Assessor{}.assess(result, points);
     // Any subgraph's interference is bounded by Δ(UDG) (Section 3) and its
     // per-node values by its degrees from below.
     EXPECT_LE(s.max, udg.max_degree()) << algorithm.name;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "rim/core/assessor.hpp"
 #include "rim/core/interference.hpp"
 #include "rim/core/radii.hpp"
 #include "rim/graph/udg.hpp"
@@ -52,7 +53,7 @@ TEST(Interference, PaperFigure2Example) {
   topo.add_edge(0, 1);  // u -- a
   topo.add_edge(2, 3);  // v -- b
   topo.add_edge(3, 4);  // b -- c
-  const InterferenceSummary s = evaluate_interference(topo, points);
+  const InterferenceSummary s = Assessor{}.assess(topo, points);
   // dist(v,u) ≈ 1.044 <= r_v = 1.1, so v covers u even though it is not a
   // topology neighbor of u.
   EXPECT_EQ(s.per_node[0], 2u) << "I(u): direct neighbor a plus remote v";
@@ -62,7 +63,7 @@ TEST(Interference, TwoNodesSingleEdge) {
   const geom::PointSet points{{0, 0}, {1, 0}};
   graph::Graph g(2);
   g.add_edge(0, 1);
-  const InterferenceSummary s = evaluate_interference(g, points);
+  const InterferenceSummary s = Assessor{}.assess(g, points);
   EXPECT_EQ(s.per_node[0], 1u);
   EXPECT_EQ(s.per_node[1], 1u);
   EXPECT_EQ(s.max, 1u);
@@ -73,7 +74,7 @@ TEST(Interference, TwoNodesSingleEdge) {
 TEST(Interference, EmptyTopologyHasZeroInterference) {
   const geom::PointSet points{{0, 0}, {0.1, 0}, {0.2, 0}};
   const graph::Graph g(3);
-  const InterferenceSummary s = evaluate_interference(g, points);
+  const InterferenceSummary s = Assessor{}.assess(g, points);
   EXPECT_EQ(s.max, 0u);
   EXPECT_EQ(s.total, 0u);
 }
@@ -84,7 +85,7 @@ TEST(Interference, StarTopologyCenterCoversAll) {
   const geom::PointSet points{{0, 0}, {1, 0}, {-1, 0}, {0, 1}, {0, -1}};
   graph::Graph g(5);
   for (NodeId leaf = 1; leaf < 5; ++leaf) g.add_edge(0, leaf);
-  const InterferenceSummary s = evaluate_interference(g, points);
+  const InterferenceSummary s = Assessor{}.assess(g, points);
   // Center: all 4 leaves have radius 1 = their distance to center.
   EXPECT_EQ(s.per_node[0], 4u);
   // A leaf: covered by center (r=1) and by no other leaf
@@ -98,7 +99,7 @@ TEST(Interference, BoundaryCoverageCounts) {
   const geom::PointSet points{{0, 0}, {1, 0}, {2, 0}};
   graph::Graph g(3);
   g.add_edge(0, 1);  // r_0 = r_1 = 1
-  const InterferenceSummary s = evaluate_interference(g, points);
+  const InterferenceSummary s = Assessor{}.assess(g, points);
   EXPECT_EQ(s.per_node[2], 1u);  // node 2 is exactly at distance 1 from node 1
 }
 
@@ -155,7 +156,7 @@ TEST(Interference, StrategiesAgreeOnExponentialSpread) {
 TEST(Interference, HistogramSumsToNodeCount) {
   const auto points = sim::uniform_square(80, 2.0, 7);
   const graph::Graph udg = graph::build_udg(points, 1.0);
-  const InterferenceSummary s = evaluate_interference(udg, points);
+  const InterferenceSummary s = Assessor{}.assess(udg, points);
   const auto hist = s.histogram();
   std::uint64_t total_nodes = 0;
   for (std::uint32_t h : hist) total_nodes += h;
@@ -170,7 +171,7 @@ TEST(Interference, DegreeLowerBoundsNodeInterference) {
   const auto points = sim::uniform_square(120, 2.5, 99);
   const graph::Graph udg = graph::build_udg(points, 1.0);
   const graph::Graph mst = topology::mst_topology(points, udg);
-  const InterferenceSummary s = evaluate_interference(mst, points);
+  const InterferenceSummary s = Assessor{}.assess(mst, points);
   for (NodeId v = 0; v < points.size(); ++v) {
     EXPECT_GE(s.per_node[v], mst.degree(v));
   }
@@ -182,7 +183,7 @@ TEST(Interference, UdgInterferenceEqualsDegreeWhenComplete) {
   const auto points = sim::uniform_square(20, 0.5, 3);  // diameter < 1
   const graph::Graph udg = graph::build_udg(points, 1.0);
   ASSERT_EQ(udg.edge_count(), 20u * 19u / 2u);
-  const InterferenceSummary s = evaluate_interference(udg, points);
+  const InterferenceSummary s = Assessor{}.assess(udg, points);
   EXPECT_EQ(s.max, 19u);
   for (std::uint32_t i : s.per_node) EXPECT_EQ(i, 19u);
 }
@@ -191,7 +192,7 @@ TEST(Interference, GraphInterferenceConvenienceMatchesSummary) {
   const auto points = sim::uniform_square(60, 2.0, 4);
   const graph::Graph udg = graph::build_udg(points, 1.0);
   EXPECT_EQ(graph_interference(udg, points),
-            evaluate_interference(udg, points).max);
+            Assessor{}.assess(udg, points).max);
 }
 
 TEST(Interference, AddingEdgesNeverDecreasesInterference) {
@@ -203,7 +204,7 @@ TEST(Interference, AddingEdgesNeverDecreasesInterference) {
   std::vector<std::uint32_t> last(points.size(), 0);
   for (graph::Edge e : udg.edges()) {
     partial.add_edge(e.u, e.v);
-    const InterferenceSummary s = evaluate_interference(partial, points);
+    const InterferenceSummary s = Assessor{}.assess(partial, points);
     for (NodeId v = 0; v < points.size(); ++v) {
       EXPECT_GE(s.per_node[v], last[v]);
     }

@@ -4,7 +4,6 @@
 #include <cmath>
 
 #include "rim/core/assessor.hpp"
-#include "rim/core/incremental.hpp"
 #include "rim/core/interference.hpp"
 #include "rim/core/radii.hpp"
 #include "rim/graph/connectivity.hpp"
@@ -34,7 +33,7 @@ class ModelProperties : public ::testing::TestWithParam<std::uint64_t> {
 TEST_P(ModelProperties, InterferenceSandwichedBetweenDegreeAndDelta) {
   for (const auto& algorithm : topology::all_algorithms()) {
     const graph::Graph topo = algorithm.build(points_, udg_);
-    const core::InterferenceSummary s = core::evaluate_interference(topo, points_);
+    const core::InterferenceSummary s = core::Assessor{}.assess(topo, points_);
     EXPECT_LE(s.max, udg_.max_degree()) << algorithm.name;
     std::size_t max_degree = topo.max_degree();
     EXPECT_GE(s.max, max_degree) << algorithm.name;
@@ -46,7 +45,7 @@ TEST_P(ModelProperties, TotalInterferenceEqualsTotalCoverage) {
   // the same bipartite incidences from both sides.
   const graph::Graph topo =
       topology::find_algorithm("mst")->build(points_, udg_);
-  const core::InterferenceSummary s = core::evaluate_interference(topo, points_);
+  const core::InterferenceSummary s = core::Assessor{}.assess(topo, points_);
   const auto radii2 = core::transmission_radii_squared(topo, points_);
   std::uint64_t coverage = 0;
   for (NodeId u = 0; u < points_.size(); ++u) {
@@ -63,10 +62,10 @@ TEST_P(ModelProperties, TotalInterferenceEqualsTotalCoverage) {
 TEST_P(ModelProperties, InterferenceInvariantUnderTranslation) {
   const graph::Graph topo =
       topology::find_algorithm("gabriel")->build(points_, udg_);
-  const auto base = core::evaluate_interference(topo, points_);
+  const auto base = core::Assessor{}.assess(topo, points_);
   geom::PointSet shifted = points_;
   for (auto& p : shifted) p = p + geom::Vec2{13.7, -4.2};
-  const auto moved = core::evaluate_interference(topo, shifted);
+  const auto moved = core::Assessor{}.assess(topo, shifted);
   EXPECT_EQ(base.per_node, moved.per_node);
 }
 
@@ -81,8 +80,8 @@ TEST_P(ModelProperties, InterferenceInvariantUnderNodeRelabeling) {
     topo_rev.add_edge(static_cast<NodeId>(n - 1 - e.u),
                       static_cast<NodeId>(n - 1 - e.v));
   }
-  const auto a = core::evaluate_interference(topo, points_);
-  const auto b = core::evaluate_interference(topo_rev, reversed);
+  const auto a = core::Assessor{}.assess(topo, points_);
+  const auto b = core::Assessor{}.assess(topo_rev, reversed);
   EXPECT_EQ(a.max, b.max);
   for (NodeId v = 0; v < n; ++v) {
     EXPECT_EQ(a.per_node[v], b.per_node[n - 1 - v]);
@@ -92,7 +91,7 @@ TEST_P(ModelProperties, InterferenceInvariantUnderNodeRelabeling) {
 TEST_P(ModelProperties, RemovalThenSameAdditionRestoresInterference) {
   const graph::Graph topo =
       topology::find_algorithm("mst")->build(points_, udg_);
-  const auto base = core::evaluate_interference(topo, points_);
+  const auto base = core::Assessor{}.assess(topo, points_);
   // Remove the last node, then conceptually re-add it: the removal impact
   // must be consistent with the addition impact measured on the reduced
   // network (bookkeeping-only check, kIsolated policy both ways).

@@ -3,7 +3,6 @@
 #include <vector>
 
 #include "rim/core/assessor.hpp"
-#include "rim/core/incremental.hpp"
 #include "rim/core/interference.hpp"
 #include "rim/core/radii.hpp"
 #include "rim/core/scenario.hpp"
@@ -42,7 +41,7 @@ TEST(Scenario, ConstructionMatchesStatelessEvaluation) {
   const graph::Graph topo = mst_of(points);
   Scenario scenario(points, topo);
   const InterferenceSummary via_engine = scenario.summary();
-  const InterferenceSummary via_free = evaluate_interference(topo, points);
+  const InterferenceSummary via_free = Assessor{}.assess(topo, points);
   EXPECT_EQ(via_engine.per_node, via_free.per_node);
   EXPECT_EQ(via_engine.max, via_free.max);
   EXPECT_EQ(via_engine.total, via_free.total);

@@ -170,9 +170,9 @@ TEST(SnapshotTest, JsonTamperIsRejected) {
   // Bump the version: rejected as unsupported, not migrated.
   {
     std::string tampered = text;
-    const std::size_t at = tampered.find("\"version\":1");
+    const std::size_t at = tampered.find("\"version\":2");
     ASSERT_NE(at, std::string::npos);
-    tampered.replace(at, 11, "\"version\":2");
+    tampered.replace(at, 11, "\"version\":3");
     io::Json doc;
     std::string error;
     ASSERT_TRUE(io::Json::parse(tampered, doc, error)) << error;

@@ -1,0 +1,407 @@
+#include <gtest/gtest.h>
+
+#include <array>
+#include <atomic>
+#include <vector>
+
+#include "rim/core/radii.hpp"
+#include "rim/core/scenario.hpp"
+#include "rim/core/snapshot.hpp"
+#include "rim/graph/udg.hpp"
+#include "rim/parallel/thread_pool.hpp"
+#include "rim/sim/fault.hpp"
+#include "rim/sim/generators.hpp"
+#include "rim/sim/rng.hpp"
+#include "rim/topology/mst_topology.hpp"
+
+/// Tests for core::SpeculativeExecutor (Execution::kSpeculative batches).
+/// The headline contract is the same bit-identity the wave path guarantees:
+/// a speculative batch must leave the scenario in exactly the state serial
+/// application would, regardless of conflicts, rollbacks, validation
+/// failures, or injected faults. The adversarial cases pin the two extremes
+/// through the obs counters: a conflict-free batch commits with zero
+/// rollbacks, and a batch with no available pool degenerates to the serial
+/// tail entirely.
+
+namespace rim::core {
+namespace {
+
+std::vector<std::uint32_t> brute_reference(Scenario& scenario) {
+  const graph::Graph topo = scenario.topology();
+  const geom::PointSet points = scenario.points();
+  const std::vector<double> radii2 = transmission_radii_squared(topo, points);
+  return interference_vector_squared(points, radii2, Strategy::kBrute);
+}
+
+void expect_scenarios_identical(Scenario& a, Scenario& b, const char* context) {
+  ASSERT_EQ(a.node_count(), b.node_count()) << context;
+  ASSERT_EQ(a.edge_count(), b.edge_count()) << context;
+  const auto ia = a.interference();
+  const auto ib = b.interference();
+  ASSERT_EQ(ia.size(), ib.size()) << context;
+  for (std::size_t v = 0; v < ia.size(); ++v) {
+    ASSERT_EQ(ia[v], ib[v]) << context << ", node " << v;
+    ASSERT_EQ(a.position(v), b.position(v)) << context << ", node " << v;
+    ASSERT_EQ(a.radius_squared(v), b.radius_squared(v))
+        << context << ", node " << v;
+  }
+}
+
+void expect_matches_brute(Scenario& scenario, const char* context) {
+  const std::vector<std::uint32_t> expected = brute_reference(scenario);
+  const auto actual = scenario.interference();
+  ASSERT_EQ(actual.size(), expected.size()) << context;
+  for (std::size_t v = 0; v < expected.size(); ++v) {
+    ASSERT_EQ(actual[v], expected[v]) << context << ", node " << v;
+  }
+}
+
+/// A "triple field": `active` triples A—B (distance 1) and A—C (distance
+/// 1/2) spaced `active_spacing` apart, plus far-away ballast triples that
+/// only exist to keep the batch's touched-region estimate well below the
+/// deferral threshold. Removing each active A—C edge shrinks exactly one
+/// disk (C's) per triple: with spacing 100 the resulting disk tasks have
+/// pairwise disjoint grid footprints (a deterministically conflict-free
+/// speculative batch); with spacing 0.05 every disk lands on the same
+/// clustered cells (the all-conflict twin).
+struct TripleField {
+  geom::PointSet points;
+  std::vector<Mutation> batch;
+};
+
+TripleField make_triple_field(std::size_t active, double active_spacing,
+                              std::size_t ballast) {
+  TripleField field;
+  field.points.reserve((active + ballast) * 3);
+  for (std::size_t i = 0; i < active; ++i) {
+    const double x = active_spacing * static_cast<double>(i);
+    field.points.push_back({x, 0.0});        // A
+    field.points.push_back({x + 1.0, 0.0});  // B
+    field.points.push_back({x + 0.5, 0.0});  // C
+  }
+  for (std::size_t i = 0; i < ballast; ++i) {
+    const double x = 100000.0 + 100.0 * static_cast<double>(i);
+    field.points.push_back({x, 0.0});
+    field.points.push_back({x + 1.0, 0.0});
+    field.points.push_back({x + 0.5, 0.0});
+  }
+  for (std::size_t i = 0; i < active; ++i) {
+    const NodeId a = static_cast<NodeId>(3 * i);
+    const NodeId c = static_cast<NodeId>(3 * i + 2);
+    field.batch.push_back(Mutation::remove_edge(a, c));
+  }
+  return field;
+}
+
+Scenario make_triple_scenario(const TripleField& field, EvalOptions options) {
+  graph::Graph topo(field.points.size());
+  for (NodeId a = 0; a + 2 < field.points.size(); a += 3) {
+    topo.add_edge(a, a + 1);
+    topo.add_edge(a, a + 2);
+  }
+  Scenario scenario(field.points, topo, options);
+  (void)scenario.interference();
+  return scenario;
+}
+
+/// Constant-density MST scenario (the E19/E22 network family): disks stay
+/// local, so batches run through the incremental pipeline instead of the
+/// deferred full-evaluation fallback.
+Scenario make_mst_scenario(std::size_t n, double side, std::uint64_t seed,
+                           EvalOptions options) {
+  const geom::PointSet points = sim::uniform_square(n, side, seed);
+  const graph::Graph udg = graph::build_udg(points, 1.0);
+  const graph::Graph mst = topology::mst_topology(points, udg);
+  Scenario scenario(points, mst, options);
+  (void)scenario.interference();
+  return scenario;
+}
+
+/// Spatially local churn (moves jitter by <= 0.3, edge flips go to the
+/// nearest neighbor, adds attach locally): the batch generator that keeps
+/// every disk task small. Generated against \p reference *before* the batch
+/// is applied anywhere, so all replicas see the same mutations.
+std::vector<Mutation> make_local_batch(Scenario& reference, sim::Rng& rng,
+                                       std::size_t size, double side) {
+  std::vector<Mutation> batch;
+  batch.reserve(size);
+  std::size_t n = reference.node_count();
+  const auto clamp = [side](double x) {
+    return x < 0.0 ? 0.0 : (x > side ? side : x);
+  };
+  const std::size_t moves = size / 2;
+  for (std::size_t i = 0; i < moves; ++i) {
+    const auto v = static_cast<NodeId>(rng.next_below(n));
+    const geom::Vec2 old = reference.position(v);
+    batch.push_back(Mutation::move_node(
+        v, {clamp(old.x + rng.uniform(-0.3, 0.3)),
+            clamp(old.y + rng.uniform(-0.3, 0.3))}));
+  }
+  const std::size_t adds = size / 10;
+  for (std::size_t i = 0; i < adds; ++i) {
+    const auto anchor = static_cast<NodeId>(rng.next_below(n));
+    const geom::Vec2 p = reference.position(anchor);
+    batch.push_back(Mutation::add_node(
+        {clamp(p.x + rng.uniform(-0.3, 0.3)),
+         clamp(p.y + rng.uniform(-0.3, 0.3))}));
+    batch.push_back(Mutation::add_edge(static_cast<NodeId>(n), anchor));
+    ++n;
+  }
+  for (std::size_t i = moves + adds; i < size; ++i) {
+    const auto u = static_cast<NodeId>(rng.next_below(n));
+    const NodeId v = reference.nearest_node(reference.position(u), u);
+    if (v == kInvalidNode) continue;
+    batch.push_back(rng.next_double() < 0.5 ? Mutation::add_edge(u, v)
+                                            : Mutation::remove_edge(u, v));
+  }
+  return batch;
+}
+
+/// The headline property: randomized local-churn batches, applied
+/// speculatively on a real pool, stay bit-identical to serial application,
+/// to the wave path, and to the kBrute oracle.
+class SpeculativeProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SpeculativeProperty, RandomizedBatchesMatchSerialWaveAndBrute) {
+  const std::size_t n = 3000;
+  const double side = 15.5;  // ~12.5 nodes per unit square
+  Scenario serial = make_mst_scenario(n, side, GetParam(), EvalOptions{});
+  Scenario wave = make_mst_scenario(n, side, GetParam(), EvalOptions{});
+  Scenario spec = make_mst_scenario(
+      n, side, GetParam(),
+      EvalOptions{}.with_execution(Execution::kSpeculative));
+
+  parallel::ThreadPool pool(4);
+  sim::Rng rng(GetParam() ^ 0x5bec0de5u);
+  for (int round = 0; round < 6; ++round) {
+    const std::vector<Mutation> batch =
+        make_local_batch(serial, rng, 20, side);
+    for (const Mutation& m : batch) serial.apply(m);
+    wave.apply_batch(batch, &pool);
+    const BatchResult result = spec.apply_batch(batch, &pool);
+    if (!result.deferred) {
+      // No hooks: every non-deferred task must eventually commit.
+      EXPECT_EQ(result.spec_committed, result.disk_tasks);
+    }
+    expect_scenarios_identical(serial, wave, "wave vs serial");
+    expect_scenarios_identical(serial, spec, "speculative vs serial");
+  }
+  expect_matches_brute(spec, "speculative vs brute");
+  EXPECT_GT(spec.stats().spec_batches, 0u);
+  EXPECT_GT(spec.stats().spec_committed, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SpeculativeProperty,
+                         ::testing::Values(17u, 29u, 41u));
+
+TEST(Speculative, SerialExecutionModeMatchesApply) {
+  Scenario reference = make_mst_scenario(2000, 12.6, 7, EvalOptions{});
+  Scenario serial_mode = make_mst_scenario(
+      2000, 12.6, 7, EvalOptions{}.with_execution(Execution::kSerial));
+
+  sim::Rng rng(0xacedu);
+  bool saw_tasks = false;
+  for (int round = 0; round < 4; ++round) {
+    const std::vector<Mutation> batch =
+        make_local_batch(reference, rng, 16, 12.6);
+    for (const Mutation& m : batch) reference.apply(m);
+    const BatchResult result = serial_mode.apply_batch(batch, nullptr);
+    if (!result.deferred && result.disk_tasks > 0) {
+      EXPECT_EQ(result.waves, 1u);
+      saw_tasks = true;
+    }
+    EXPECT_EQ(result.spec_committed, 0u);
+    expect_scenarios_identical(reference, serial_mode, "kSerial vs apply");
+  }
+  EXPECT_TRUE(saw_tasks);
+  EXPECT_EQ(serial_mode.stats().spec_batches, 0u);
+}
+
+TEST(Speculative, NoConflictBatchCommitsWithoutRollbacks) {
+  const TripleField field = make_triple_field(8, 100.0, 56);
+  Scenario spec = make_triple_scenario(
+      field, EvalOptions{}.with_execution(Execution::kSpeculative));
+  Scenario serial = make_triple_scenario(field, EvalOptions{});
+
+  parallel::ThreadPool pool(4);
+  const BatchResult result = spec.apply_batch(field.batch, &pool);
+  for (const Mutation& m : field.batch) serial.apply(m);
+
+  // One disk task per active triple (C's shrink; A's farthest neighbor
+  // stays B), footprints pairwise disjoint: nothing may conflict, nothing
+  // may fall to the serial tail.
+  ASSERT_FALSE(result.deferred);
+  EXPECT_EQ(result.disk_tasks, 8u);
+  EXPECT_EQ(result.spec_committed, 8u);
+  EXPECT_EQ(result.spec_rolled_back, 0u);
+  EXPECT_EQ(result.spec_replay_rounds, 0u);
+  EXPECT_EQ(result.spec_serial_tasks, 0u);
+  EXPECT_EQ(spec.stats().spec_committed, 8u);
+  EXPECT_EQ(spec.stats().spec_rolled_back, 0u);
+  EXPECT_EQ(spec.stats().spec_serial_tasks, 0u);
+  EXPECT_EQ(spec.stats().spec_chain_length.count(), 8u);
+  EXPECT_EQ(spec.stats().spec_chain_length.max(), 1u);
+
+  expect_scenarios_identical(serial, spec, "no-conflict vs serial");
+  expect_matches_brute(spec, "no-conflict vs brute");
+}
+
+TEST(Speculative, AllConflictBatchStaysExactUnderContention) {
+  // Spacing 0.05 stacks all eight active disks inside ~1.4 units: every
+  // task walks the same clustered cells, so any two concurrent attempts
+  // conflict. Whatever the interleaving, the result must stay exact and
+  // every task must commit exactly once.
+  const TripleField field = make_triple_field(8, 0.05, 248);
+  Scenario spec = make_triple_scenario(
+      field, EvalOptions{}.with_execution(Execution::kSpeculative));
+  Scenario serial = make_triple_scenario(field, EvalOptions{});
+
+  parallel::ThreadPool pool(4);
+  const BatchResult result = spec.apply_batch(field.batch, &pool);
+  for (const Mutation& m : field.batch) serial.apply(m);
+
+  ASSERT_FALSE(result.deferred);
+  EXPECT_EQ(result.spec_committed, result.disk_tasks);
+  EXPECT_EQ(spec.stats().spec_chain_length.count(), result.disk_tasks);
+  expect_scenarios_identical(serial, spec, "all-conflict vs serial");
+  expect_matches_brute(spec, "all-conflict vs brute");
+}
+
+TEST(Speculative, WithoutPoolEveryTaskDegeneratesToSerialTail) {
+  const TripleField field = make_triple_field(8, 0.05, 248);
+  Scenario spec = make_triple_scenario(
+      field, EvalOptions{}.with_execution(Execution::kSpeculative));
+  Scenario serial = make_triple_scenario(field, EvalOptions{});
+
+  const BatchResult result = spec.apply_batch(field.batch, nullptr);
+  for (const Mutation& m : field.batch) serial.apply(m);
+
+  // No workers: the executor runs its serial tail for the whole batch —
+  // the worst case the adversarial all-conflict batch also degrades to.
+  ASSERT_FALSE(result.deferred);
+  EXPECT_EQ(result.spec_serial_tasks, result.disk_tasks);
+  EXPECT_EQ(result.spec_committed, result.disk_tasks);
+  EXPECT_EQ(result.spec_rolled_back, 0u);
+  EXPECT_EQ(result.spec_replay_rounds, 0u);
+  EXPECT_EQ(spec.stats().spec_serial_tasks, result.disk_tasks);
+  expect_scenarios_identical(serial, spec, "serial tail vs serial");
+}
+
+/// Fails every odd task's first validation (lock-free per-task one-shot,
+/// per the §8 hook contract): each odd task rolls back exactly once and
+/// commits on the replay round, while the even tasks' commits keep the
+/// round progressing (failing *all* tasks would trip the zero-progress
+/// guard and fall to the serial tail instead). On the disjoint triple
+/// field nothing else can conflict, so the counters are exact despite
+/// real concurrency.
+class FailFirstValidation final : public BatchHooks {
+ public:
+  bool after_speculative_task(std::size_t task) override {
+    if (task % 2 == 0) return true;
+    return failed_[task].exchange(true, std::memory_order_relaxed);
+  }
+
+ private:
+  std::array<std::atomic<bool>, 64> failed_{};
+};
+
+TEST(Speculative, ForcedValidationFailureRollsBackOnceAndReplays) {
+  const TripleField field = make_triple_field(8, 100.0, 56);
+  Scenario spec = make_triple_scenario(
+      field, EvalOptions{}.with_execution(Execution::kSpeculative));
+  Scenario serial = make_triple_scenario(field, EvalOptions{});
+
+  parallel::ThreadPool pool(4);
+  FailFirstValidation hooks;
+  const BatchResult result = spec.apply_batch(field.batch, &pool, &hooks);
+  for (const Mutation& m : field.batch) serial.apply(m);
+
+  ASSERT_FALSE(result.deferred);
+  EXPECT_EQ(result.disk_tasks, 8u);
+  EXPECT_EQ(result.spec_rolled_back, 4u);
+  EXPECT_EQ(result.spec_committed, 8u);
+  EXPECT_EQ(result.spec_replay_rounds, 1u);
+  EXPECT_EQ(result.spec_serial_tasks, 0u);
+  // Odd commits took exactly two attempts (fail, replay, commit).
+  EXPECT_EQ(spec.stats().spec_chain_length.count(), 8u);
+  EXPECT_EQ(spec.stats().spec_chain_length.max(), 2u);
+
+  expect_scenarios_identical(serial, spec, "forced rollback vs serial");
+  expect_matches_brute(spec, "forced rollback vs brute");
+}
+
+TEST(Speculative, ExecutionModeSurvivesSnapshotRoundTrip) {
+  const TripleField field = make_triple_field(4, 10.0, 0);
+  Scenario scenario = make_triple_scenario(
+      field, EvalOptions{}.with_execution(Execution::kSpeculative));
+
+  const Snapshot snap = scenario.snapshot();
+  const std::vector<std::uint8_t> bytes = snap.to_bytes();
+  Snapshot decoded;
+  std::string error;
+  ASSERT_TRUE(Snapshot::from_bytes(bytes, decoded, error)) << error;
+  EXPECT_EQ(decoded.options.execution, Execution::kSpeculative);
+
+  Scenario restored{EvalOptions{}};
+  ASSERT_TRUE(restored.restore(decoded, &error)) << error;
+  EXPECT_EQ(restored.options().execution, Execution::kSpeculative);
+}
+
+// --- fault injection at the speculation hook points ----------------------
+
+TEST(SpeculativeFaults, NewKindsRoundTripThroughJson) {
+  for (const sim::FaultKind kind : {sim::FaultKind::kPoisonSpecTask,
+                                    sim::FaultKind::kSpecValidationFail}) {
+    const sim::FaultEvent event{3, kind, 5};
+    sim::FaultEvent decoded;
+    std::string error;
+    ASSERT_TRUE(sim::FaultEvent::from_json(event.to_json(), decoded, error))
+        << error;
+    EXPECT_EQ(decoded.kind, kind);
+    EXPECT_EQ(decoded.batch, 3u);
+    EXPECT_EQ(decoded.index, 5u);
+    EXPECT_TRUE(sim::is_engine_fault(kind));
+  }
+}
+
+TEST(SpeculativeFaults, PoisonedTaskRecoversViaSnapshotRestoreReplay) {
+  const TripleField field = make_triple_field(8, 100.0, 56);
+  Scenario faulty = make_triple_scenario(
+      field, EvalOptions{}.with_execution(Execution::kSpeculative));
+  Scenario clean = faulty;
+
+  parallel::ThreadPool pool(4);
+  const sim::FaultEvent event{0, sim::FaultKind::kPoisonSpecTask, 0};
+  const sim::FaultedBatchOutcome outcome = sim::apply_batch_with_faults(
+      faulty, field.batch, &event, &pool, /*recover=*/true);
+  EXPECT_TRUE(outcome.fault_fired);
+  EXPECT_TRUE(outcome.restored);
+
+  clean.apply_batch(field.batch, &pool);
+  expect_scenarios_identical(clean, faulty, "poison-recover vs clean");
+}
+
+TEST(SpeculativeFaults, ValidationFaultSelfHealsWithoutRecovery) {
+  const TripleField field = make_triple_field(8, 100.0, 56);
+  Scenario faulty = make_triple_scenario(
+      field, EvalOptions{}.with_execution(Execution::kSpeculative));
+  Scenario clean = faulty;
+
+  parallel::ThreadPool pool(4);
+  const sim::FaultEvent event{0, sim::FaultKind::kSpecValidationFail, 0};
+  const sim::FaultedBatchOutcome outcome = sim::apply_batch_with_faults(
+      faulty, field.batch, &event, &pool, /*recover=*/false);
+  // The fault struck, rolled one task back — and the replay made the batch
+  // exact anyway: a transient validation failure needs no snapshot
+  // recovery, unlike a poisoned (vetoed) task.
+  EXPECT_TRUE(outcome.fault_fired);
+  EXPECT_FALSE(outcome.restored);
+  EXPECT_GE(outcome.result.spec_rolled_back, 1u);
+  EXPECT_EQ(outcome.result.spec_committed, outcome.result.disk_tasks);
+
+  clean.apply_batch(field.batch, &pool);
+  expect_scenarios_identical(clean, faulty, "validation fault vs clean");
+}
+
+}  // namespace
+}  // namespace rim::core

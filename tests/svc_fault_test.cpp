@@ -13,6 +13,8 @@
 #include "rim/svc/service.hpp"
 #include "rim/svc/transport.hpp"
 
+#include "svc_test_util.hpp"
+
 // Fault injection over the wire: a batch is killed mid-application inside
 // a session (sim::FaultInjector via apply_batch_with_faults) and recovered
 // by snapshot-restore-replay — the session's end state must be
@@ -55,7 +57,7 @@ bool apply_batch_with_wire_fault(Client& client, std::uint64_t session,
   fault["index"] = io::Json(index);
   params["fault"] = io::Json(std::move(fault));
   params["recover"] = io::Json(recover);
-  return client.call(cmd::kApplyBatch, std::move(params), result);
+  return ok(client.try_call(cmd::kApplyBatch, std::move(params)), result);
 }
 
 TEST(SvcFault, CrashMidBatchRecoversToFaultFreeState) {
@@ -64,9 +66,9 @@ TEST(SvcFault, CrashMidBatchRecoversToFaultFreeState) {
   Client client(transport);
 
   std::uint64_t session = 0;
-  ASSERT_TRUE(client.create_session(session));
+  ASSERT_TRUE(ok(client.try_create_session(), session));
   core::BatchResult seeded;
-  ASSERT_TRUE(client.apply_batch(session, seed_batch(), seeded));
+  ASSERT_TRUE(ok(client.try_apply_batch(session, seed_batch()), seeded));
 
   core::Scenario twin;
   (void)twin.apply_batch(seed_batch(), nullptr);
@@ -90,10 +92,10 @@ TEST(SvcFault, CrashMidBatchRecoversToFaultFreeState) {
     // End state bit-identical to the never-faulted twin. Refresh both
     // interference caches first so the snapshots capture the same state.
     io::Json refresh;
-    ASSERT_TRUE(client.query_interference(session, refresh));
+    ASSERT_TRUE(ok(client.try_query_interference(session), refresh));
     (void)twin.interference();
     io::Json wire_doc;
-    ASSERT_TRUE(client.snapshot(session, wire_doc));
+    ASSERT_TRUE(ok(client.try_snapshot(session), wire_doc));
     EXPECT_EQ(wire_doc.dump(), twin.snapshot().to_json().dump())
         << "round " << round;
   }
@@ -105,9 +107,9 @@ TEST(SvcFault, PoisonFaultsRecoverToo) {
   Client client(transport);
 
   std::uint64_t session = 0;
-  ASSERT_TRUE(client.create_session(session));
+  ASSERT_TRUE(ok(client.try_create_session(), session));
   core::BatchResult seeded;
-  ASSERT_TRUE(client.apply_batch(session, seed_batch(), seeded));
+  ASSERT_TRUE(ok(client.try_apply_batch(session, seed_batch()), seeded));
   core::Scenario twin;
   (void)twin.apply_batch(seed_batch(), nullptr);
 
@@ -123,10 +125,10 @@ TEST(SvcFault, PoisonFaultsRecoverToo) {
         << client.error();
     (void)twin.apply_batch(batch, nullptr);
     io::Json refresh;
-    ASSERT_TRUE(client.query_interference(session, refresh));
+    ASSERT_TRUE(ok(client.try_query_interference(session), refresh));
     (void)twin.interference();
     io::Json wire_doc;
-    ASSERT_TRUE(client.snapshot(session, wire_doc));
+    ASSERT_TRUE(ok(client.try_snapshot(session), wire_doc));
     EXPECT_EQ(wire_doc.dump(), twin.snapshot().to_json().dump()) << kind;
   }
 }
@@ -137,9 +139,9 @@ TEST(SvcFault, UnrecoveredCrashReportsAbort) {
   Client client(transport);
 
   std::uint64_t session = 0;
-  ASSERT_TRUE(client.create_session(session));
+  ASSERT_TRUE(ok(client.try_create_session(), session));
   core::BatchResult seeded;
-  ASSERT_TRUE(client.apply_batch(session, seed_batch(), seeded));
+  ASSERT_TRUE(ok(client.try_apply_batch(session, seed_batch()), seeded));
 
   const std::vector<Mutation> batch = {
       Mutation::add_node({3.0, 3.0}),
@@ -163,9 +165,9 @@ TEST(SvcFault, TraceFaultsRewriteTheBatch) {
   Client client(transport);
 
   std::uint64_t session = 0;
-  ASSERT_TRUE(client.create_session(session));
+  ASSERT_TRUE(ok(client.try_create_session(), session));
   core::BatchResult seeded;
-  ASSERT_TRUE(client.apply_batch(session, seed_batch(), seeded));
+  ASSERT_TRUE(ok(client.try_apply_batch(session, seed_batch()), seeded));
 
   // Dropping mutation 0 of a one-element batch applies nothing.
   const std::vector<Mutation> batch = {Mutation::add_node({4.0, 4.0})};
@@ -178,7 +180,7 @@ TEST(SvcFault, TraceFaultsRewriteTheBatch) {
   EXPECT_FALSE(result.find("restored")->as_bool(true));
   EXPECT_EQ(result.find("applied")->as_number(1.0), 0.0);
   io::Json stats;
-  ASSERT_TRUE(client.session_stats(session, stats));
+  ASSERT_TRUE(ok(client.try_session_stats(session), stats));
   EXPECT_EQ(stats.find("nodes")->as_number(), 4.0);
 }
 
@@ -187,7 +189,7 @@ TEST(SvcFault, BadFaultFieldsAreBadRequests) {
   LoopbackTransport transport(service);
   Client client(transport);
   std::uint64_t session = 0;
-  ASSERT_TRUE(client.create_session(session));
+  ASSERT_TRUE(ok(client.try_create_session(), session));
 
   io::JsonObject params;
   params["session"] = io::Json(session);
@@ -197,7 +199,7 @@ TEST(SvcFault, BadFaultFieldsAreBadRequests) {
   fault["index"] = io::Json(0);
   params["fault"] = io::Json(std::move(fault));
   io::Json result;
-  EXPECT_FALSE(client.call(cmd::kApplyBatch, std::move(params), result));
+  EXPECT_FALSE(ok(client.try_call(cmd::kApplyBatch, std::move(params)), result));
   EXPECT_EQ(client.error_code(), code::kBadRequest);
 }
 

@@ -10,6 +10,8 @@
 #include "rim/svc/service.hpp"
 #include "rim/svc/transport.hpp"
 
+#include "svc_test_util.hpp"
+
 // The `metrics` command serves the service's obs::Registry snapshot:
 // global counters under "svc" (requests, rejects, latency percentiles)
 // and one "svc.session.<id>" source per live session.
@@ -42,20 +44,20 @@ TEST(SvcMetrics, RegistrySnapshotCarriesGlobalAndPerSessionCounters) {
   Client client(transport);
 
   std::uint64_t session = 0;
-  ASSERT_TRUE(client.create_session(session));
+  ASSERT_TRUE(ok(client.try_create_session(), session));
   const std::vector<Mutation> batch = {
       Mutation::add_node({0.0, 0.0}), Mutation::add_node({1.0, 0.0}),
       Mutation::add_edge(0, 1)};
   core::BatchResult result;
-  ASSERT_TRUE(client.apply_batch(session, batch, result));
+  ASSERT_TRUE(ok(client.try_apply_batch(session, batch), result));
   io::Json interference;
-  ASSERT_TRUE(client.query_interference(session, interference));
+  ASSERT_TRUE(ok(client.try_query_interference(session), interference));
   // One deliberate per-session error.
   NodeId renamed = kInvalidNode;
-  EXPECT_FALSE(client.remove_node(session, 1234, renamed));
+  EXPECT_FALSE(ok(client.try_remove_node(session, 1234), renamed));
 
   io::Json metrics;
-  ASSERT_TRUE(client.metrics(metrics));
+  ASSERT_TRUE(ok(client.try_metrics(), metrics));
 
   // Global counters: create + batch + query + failed remove + this
   // metrics request itself (counted on entry; its ok/latency land only
@@ -104,10 +106,10 @@ TEST(SvcMetrics, RejectionsAndEvictionsAreCounted) {
 
   std::uint64_t first = 0;
   std::uint64_t second = 0;
-  ASSERT_TRUE(client.create_session(first));
-  ASSERT_TRUE(client.create_session(second));  // evicts `first`
+  ASSERT_TRUE(ok(client.try_create_session(), first));
+  ASSERT_TRUE(ok(client.try_create_session(), second));  // evicts `first`
   io::Json touch;
-  ASSERT_TRUE(client.query_interference(first, touch));  // restores it
+  ASSERT_TRUE(ok(client.try_query_interference(first), touch));  // restores it
 
   // One shed request via a zero-capacity twin of the admission gate:
   // drain capacity by reconfiguring is impossible post-hoc, so spend the
@@ -118,12 +120,12 @@ TEST(SvcMetrics, RejectionsAndEvictionsAreCounted) {
     ASSERT_TRUE(static_cast<bool>(ticket));
     hoard.push_back(std::move(ticket));
   }
-  EXPECT_FALSE(client.ping());
+  EXPECT_FALSE(ok(client.try_ping()));
   EXPECT_EQ(client.error_code(), code::kOverloaded);
   hoard.clear();
 
   io::Json metrics;
-  ASSERT_TRUE(client.metrics(metrics));
+  ASSERT_TRUE(ok(client.try_metrics(), metrics));
   EXPECT_EQ(number_at(metrics, {"svc", "counters", "rejected_overloaded"}),
             1.0);
   EXPECT_EQ(number_at(metrics, {"svc", "manager", "evictions"}), 2.0);
@@ -140,13 +142,13 @@ TEST(SvcMetrics, ClosedSessionsLeaveTheRegistry) {
   LoopbackTransport transport(service);
   Client client(transport);
   std::uint64_t session = 0;
-  ASSERT_TRUE(client.create_session(session));
+  ASSERT_TRUE(ok(client.try_create_session(), session));
   io::Json metrics;
-  ASSERT_TRUE(client.metrics(metrics));
+  ASSERT_TRUE(ok(client.try_metrics(), metrics));
   const std::string source = "svc.session." + std::to_string(session);
   EXPECT_NE(path(metrics, {source}), nullptr);
-  ASSERT_TRUE(client.close_session(session));
-  ASSERT_TRUE(client.metrics(metrics));
+  ASSERT_TRUE(ok(client.try_close_session(session)));
+  ASSERT_TRUE(ok(client.try_metrics(), metrics));
   EXPECT_EQ(path(metrics, {source}), nullptr);
 }
 

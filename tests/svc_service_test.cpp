@@ -14,6 +14,8 @@
 #include "rim/svc/service.hpp"
 #include "rim/svc/transport.hpp"
 
+#include "svc_test_util.hpp"
+
 // Loopback tests for the scenario service. The central property: every
 // response is byte-identical to the payload built directly from the
 // corresponding core::Scenario call on a twin engine — the wire layer adds
@@ -54,9 +56,9 @@ class SvcLoopback : public ::testing::Test {
   /// Create a wire session and seed both it and the twin with kSeedBatch.
   std::uint64_t seeded_session() {
     std::uint64_t session = 0;
-    EXPECT_TRUE(client_.create_session(session));
+    EXPECT_TRUE(ok(client_.try_create_session(), session));
     core::BatchResult wire_result;
-    EXPECT_TRUE(client_.apply_batch(session, kSeedBatch, wire_result));
+    EXPECT_TRUE(ok(client_.try_apply_batch(session, kSeedBatch), wire_result));
     (void)twin_.apply_batch(kSeedBatch, nullptr);
     return session;
   }
@@ -68,7 +70,7 @@ class SvcLoopback : public ::testing::Test {
 };
 
 TEST_F(SvcLoopback, PingMatchesExpectedBytes) {
-  ASSERT_TRUE(client_.ping());
+  ASSERT_TRUE(ok(client_.try_ping()));
   io::JsonObject result;
   result["pong"] = io::Json(true);
   EXPECT_EQ(client_.last_response_payload(),
@@ -78,7 +80,7 @@ TEST_F(SvcLoopback, PingMatchesExpectedBytes) {
 TEST_F(SvcLoopback, AddNodeByteIdenticalToScenario) {
   const std::uint64_t session = seeded_session();
   NodeId wire_node = kInvalidNode;
-  ASSERT_TRUE(client_.add_node(session, 3.5, -1.25, wire_node));
+  ASSERT_TRUE(ok(client_.try_add_node(session, 3.5, -1.25), wire_node));
   const NodeId direct = twin_.add_node({3.5, -1.25});
   EXPECT_EQ(wire_node, direct);
   io::JsonObject result;
@@ -90,7 +92,7 @@ TEST_F(SvcLoopback, AddNodeByteIdenticalToScenario) {
 TEST_F(SvcLoopback, RemoveNodeByteIdenticalToScenario) {
   const std::uint64_t session = seeded_session();
   NodeId renamed = kInvalidNode;
-  ASSERT_TRUE(client_.remove_node(session, 1, renamed));
+  ASSERT_TRUE(ok(client_.try_remove_node(session, 1), renamed));
   const NodeId direct = twin_.remove_node(1);
   EXPECT_EQ(renamed, direct);
   io::JsonObject result;
@@ -100,7 +102,7 @@ TEST_F(SvcLoopback, RemoveNodeByteIdenticalToScenario) {
             expect_ok(client_.last_request_id(), std::move(result)));
   // Removing the (new) last node is the no-rename case: null on the wire.
   const NodeId last = static_cast<NodeId>(twin_.node_count() - 1);
-  ASSERT_TRUE(client_.remove_node(session, last, renamed));
+  ASSERT_TRUE(ok(client_.try_remove_node(session, last), renamed));
   EXPECT_EQ(renamed, twin_.remove_node(last));
   EXPECT_EQ(renamed, kInvalidNode);
   io::JsonObject null_result;
@@ -112,19 +114,19 @@ TEST_F(SvcLoopback, RemoveNodeByteIdenticalToScenario) {
 TEST_F(SvcLoopback, EdgeCommandsByteIdenticalToScenario) {
   const std::uint64_t session = seeded_session();
   bool added = false;
-  ASSERT_TRUE(client_.add_edge(session, 2, 3, added));
+  ASSERT_TRUE(ok(client_.try_add_edge(session, 2, 3), added));
   EXPECT_EQ(added, twin_.add_edge(2, 3));
   io::JsonObject add_result;
   add_result["added"] = io::Json(added);
   EXPECT_EQ(client_.last_response_payload(),
             expect_ok(client_.last_request_id(), std::move(add_result)));
   // Duplicate edge: both report false, byte-identically.
-  ASSERT_TRUE(client_.add_edge(session, 2, 3, added));
+  ASSERT_TRUE(ok(client_.try_add_edge(session, 2, 3), added));
   EXPECT_EQ(added, twin_.add_edge(2, 3));
   EXPECT_FALSE(added);
 
   bool removed = false;
-  ASSERT_TRUE(client_.remove_edge(session, 0, 2, removed));
+  ASSERT_TRUE(ok(client_.try_remove_edge(session, 0, 2), removed));
   EXPECT_EQ(removed, twin_.remove_edge(0, 2));
   io::JsonObject remove_result;
   remove_result["removed"] = io::Json(removed);
@@ -134,11 +136,11 @@ TEST_F(SvcLoopback, EdgeCommandsByteIdenticalToScenario) {
 
 TEST_F(SvcLoopback, MoveAndQueryByteIdenticalToScenario) {
   const std::uint64_t session = seeded_session();
-  ASSERT_TRUE(client_.move_node(session, 3, 1.75, 0.25));
+  ASSERT_TRUE(ok(client_.try_move_node(session, 3, 1.75, 0.25)));
   twin_.move_node(3, {1.75, 0.25});
 
   io::Json wire;
-  ASSERT_TRUE(client_.query_interference(session, wire));
+  ASSERT_TRUE(ok(client_.try_query_interference(session), wire));
   io::JsonObject result;
   io::JsonArray per_node;
   for (const std::uint32_t value : twin_.interference()) {
@@ -152,7 +154,7 @@ TEST_F(SvcLoopback, MoveAndQueryByteIdenticalToScenario) {
 
   for (NodeId v = 0; v < twin_.node_count(); ++v) {
     std::uint32_t value = 0;
-    ASSERT_TRUE(client_.query_interference_of(session, v, value));
+    ASSERT_TRUE(ok(client_.try_query_interference_of(session, v), value));
     EXPECT_EQ(value, twin_.interference_of(v));
     io::JsonObject single;
     single["node"] = io::Json(v);
@@ -164,9 +166,9 @@ TEST_F(SvcLoopback, MoveAndQueryByteIdenticalToScenario) {
 
 TEST_F(SvcLoopback, ApplyBatchByteIdenticalToScenario) {
   std::uint64_t session = 0;
-  ASSERT_TRUE(client_.create_session(session));
+  ASSERT_TRUE(ok(client_.try_create_session(), session));
   core::BatchResult wire_result;
-  ASSERT_TRUE(client_.apply_batch(session, kSeedBatch, wire_result));
+  ASSERT_TRUE(ok(client_.try_apply_batch(session, kSeedBatch), wire_result));
   const core::BatchResult direct = twin_.apply_batch(kSeedBatch, nullptr);
   io::JsonObject result;
   result["abort_index"] = io::Json(direct.abort_index);
@@ -197,7 +199,7 @@ TEST_F(SvcLoopback, ApplyBatchDeterministicAcrossSessions) {
   std::string snapshots[2];
   for (int round = 0; round < 2; ++round) {
     std::uint64_t session = 0;
-    ASSERT_TRUE(client_.create_session(session));
+    ASSERT_TRUE(ok(client_.try_create_session(), session));
     io::JsonObject params;
     params["session"] = io::Json(session);
     io::JsonArray mutations;
@@ -215,7 +217,7 @@ TEST_F(SvcLoopback, ApplyBatchDeterministicAcrossSessions) {
                                consumed, payloads[round]),
               FrameStatus::kFrame);
     io::Json snapshot_doc;
-    ASSERT_TRUE(client_.snapshot(session, snapshot_doc));
+    ASSERT_TRUE(ok(client_.try_snapshot(session), snapshot_doc));
     snapshots[round] = snapshot_doc.dump();
   }
   EXPECT_EQ(payloads[0], payloads[1]);
@@ -229,7 +231,7 @@ TEST_F(SvcLoopback, AssessByteIdenticalToScenario) {
       Mutation::add_edge(1, 4),
   };
   io::Json wire;
-  ASSERT_TRUE(client_.assess(session, probe, wire));
+  ASSERT_TRUE(ok(client_.try_assess(session, probe), wire));
   const core::Assessment direct =
       core::Assessor{}.assess(twin_, std::span<const Mutation>(probe));
   io::JsonObject result;
@@ -248,14 +250,14 @@ TEST_F(SvcLoopback, AssessByteIdenticalToScenario) {
             expect_ok(client_.last_request_id(), std::move(result)));
   // Assessment is a pure probe: session state must be unchanged.
   io::Json stats;
-  ASSERT_TRUE(client_.session_stats(session, stats));
+  ASSERT_TRUE(ok(client_.try_session_stats(session), stats));
   EXPECT_EQ(stats.find("nodes")->as_number(), double(twin_.node_count()));
 }
 
 TEST_F(SvcLoopback, SnapshotByteIdenticalToScenario) {
   const std::uint64_t session = seeded_session();
   io::Json wire_doc;
-  ASSERT_TRUE(client_.snapshot(session, wire_doc));
+  ASSERT_TRUE(ok(client_.try_snapshot(session), wire_doc));
   io::JsonObject result;
   result["snapshot"] = twin_.snapshot().to_json();
   EXPECT_EQ(client_.last_response_payload(),
@@ -265,7 +267,7 @@ TEST_F(SvcLoopback, SnapshotByteIdenticalToScenario) {
 TEST_F(SvcLoopback, SnapshotRestoreRoundTripsThroughWire) {
   const std::uint64_t session = seeded_session();
   io::Json at_snapshot;
-  ASSERT_TRUE(client_.snapshot(session, at_snapshot));
+  ASSERT_TRUE(ok(client_.try_snapshot(session), at_snapshot));
 
   // Diverge, then restore over the wire.
   core::BatchResult ignored;
@@ -273,13 +275,13 @@ TEST_F(SvcLoopback, SnapshotRestoreRoundTripsThroughWire) {
       Mutation::add_node({5.0, 5.0}), Mutation::add_edge(3, 4),
       Mutation::remove_edge(0, 1),    Mutation::move_node(2, {9.0, 9.0}),
   };
-  ASSERT_TRUE(client_.apply_batch(session, divergence, ignored));
-  ASSERT_TRUE(client_.restore(session, at_snapshot));
+  ASSERT_TRUE(ok(client_.try_apply_batch(session, divergence), ignored));
+  ASSERT_TRUE(ok(client_.try_restore(session, at_snapshot)));
 
   // The restored session re-snapshots byte-identically except the stats
   // block (restores counter) — so compare engine state via queries.
   io::Json wire;
-  ASSERT_TRUE(client_.query_interference(session, wire));
+  ASSERT_TRUE(ok(client_.try_query_interference(session), wire));
   io::JsonObject result;
   io::JsonArray per_node;
   for (const std::uint32_t value : twin_.interference()) {
@@ -292,7 +294,7 @@ TEST_F(SvcLoopback, SnapshotRestoreRoundTripsThroughWire) {
             expect_ok(client_.last_request_id(), std::move(result)));
 
   io::Json stats;
-  ASSERT_TRUE(client_.session_stats(session, stats));
+  ASSERT_TRUE(ok(client_.try_session_stats(session), stats));
   EXPECT_EQ(stats.find("nodes")->as_number(), double(twin_.node_count()));
   EXPECT_EQ(stats.find("edges")->as_number(), double(twin_.edge_count()));
 }
@@ -301,36 +303,36 @@ TEST_F(SvcLoopback, RestoreRejectsGarbageAndKeepsState) {
   const std::uint64_t session = seeded_session();
   io::JsonObject garbage;
   garbage["not"] = io::Json("a snapshot");
-  EXPECT_FALSE(client_.restore(session, io::Json(std::move(garbage))));
+  EXPECT_FALSE(ok(client_.try_restore(session, io::Json(std::move(garbage)))));
   EXPECT_EQ(client_.error_code(), code::kRestoreFailed);
   io::Json stats;
-  ASSERT_TRUE(client_.session_stats(session, stats));
+  ASSERT_TRUE(ok(client_.try_session_stats(session), stats));
   EXPECT_EQ(stats.find("nodes")->as_number(), double(twin_.node_count()));
 }
 
 TEST_F(SvcLoopback, ErrorResponsesCarryWireCodes) {
   std::uint64_t session = 0;
-  ASSERT_TRUE(client_.create_session(session));
+  ASSERT_TRUE(ok(client_.try_create_session(), session));
 
   io::Json result;
-  EXPECT_FALSE(client_.call("warp_core", {}, result));
+  EXPECT_FALSE(ok(client_.try_call("warp_core", {}), result));
   EXPECT_EQ(client_.error_code(), code::kUnknownCommand);
 
   NodeId node = kInvalidNode;
-  EXPECT_FALSE(client_.add_node(777, 0.0, 0.0, node));
+  EXPECT_FALSE(ok(client_.try_add_node(777, 0.0, 0.0), node));
   EXPECT_EQ(client_.error_code(), code::kNoSession);
 
   NodeId renamed = kInvalidNode;
-  EXPECT_FALSE(client_.remove_node(session, 99, renamed));
+  EXPECT_FALSE(ok(client_.try_remove_node(session, 99), renamed));
   EXPECT_EQ(client_.error_code(), code::kBadRequest);
 
   io::JsonObject no_session;
   no_session["x"] = io::Json(0.0);
   no_session["y"] = io::Json(0.0);
-  EXPECT_FALSE(client_.call(cmd::kAddNode, std::move(no_session), result));
+  EXPECT_FALSE(ok(client_.try_call(cmd::kAddNode, std::move(no_session)), result));
   EXPECT_EQ(client_.error_code(), code::kBadRequest);
 
-  EXPECT_FALSE(client_.shutdown());
+  EXPECT_FALSE(ok(client_.try_shutdown()));
   EXPECT_EQ(client_.error_code(), code::kShutdownDisabled);
 
   // Fault fields against a service with fault injection off.
@@ -341,7 +343,7 @@ TEST_F(SvcLoopback, ErrorResponsesCarryWireCodes) {
   fault["kind"] = io::Json("crash_mid_batch");
   fault["index"] = io::Json(0);
   fault_params["fault"] = io::Json(std::move(fault));
-  EXPECT_FALSE(client_.call(cmd::kApplyBatch, std::move(fault_params), result));
+  EXPECT_FALSE(ok(client_.try_call(cmd::kApplyBatch, std::move(fault_params)), result));
   EXPECT_EQ(client_.error_code(), code::kFaultDisabled);
 }
 
@@ -378,7 +380,7 @@ TEST(SvcAdmission, InFlightCapShedsWithOverloaded) {
   Service service(config);
   LoopbackTransport transport(service);
   Client client(transport);
-  EXPECT_FALSE(client.ping());
+  EXPECT_FALSE(ok(client.try_ping()));
   EXPECT_EQ(client.error_code(), code::kOverloaded);
   // The id still echoes so the client can correlate the rejection.
   EXPECT_NE(client.last_response_payload().find("\"id\":1"),
@@ -394,13 +396,13 @@ TEST(SvcAdmission, SessionCapShedsWithOverloaded) {
   LoopbackTransport transport(service);
   Client client(transport);
   std::uint64_t session = 0;
-  ASSERT_TRUE(client.create_session(session));
-  ASSERT_TRUE(client.create_session(session));
-  EXPECT_FALSE(client.create_session(session));
+  ASSERT_TRUE(ok(client.try_create_session(), session));
+  ASSERT_TRUE(ok(client.try_create_session(), session));
+  EXPECT_FALSE(ok(client.try_create_session(), session));
   EXPECT_EQ(client.error_code(), code::kOverloaded);
   // Closing one admits the next create.
-  ASSERT_TRUE(client.close_session(1));
-  EXPECT_TRUE(client.create_session(session));
+  ASSERT_TRUE(ok(client.try_close_session(1)));
+  EXPECT_TRUE(ok(client.try_create_session(), session));
 }
 
 TEST(SvcAdmission, LiveCapWithoutSpillDirShedsAtCreate) {
@@ -411,8 +413,8 @@ TEST(SvcAdmission, LiveCapWithoutSpillDirShedsAtCreate) {
   LoopbackTransport transport(service);
   Client client(transport);
   std::uint64_t session = 0;
-  ASSERT_TRUE(client.create_session(session));
-  EXPECT_FALSE(client.create_session(session));
+  ASSERT_TRUE(ok(client.try_create_session(), session));
+  EXPECT_FALSE(ok(client.try_create_session(), session));
   EXPECT_EQ(client.error_code(), code::kOverloaded);
 }
 
@@ -426,14 +428,14 @@ TEST(SvcEviction, LruSpillAndTransparentRestore) {
 
   std::uint64_t first = 0;
   std::uint64_t second = 0;
-  ASSERT_TRUE(client.create_session(first));
+  ASSERT_TRUE(ok(client.try_create_session(), first));
   core::BatchResult ignored;
-  ASSERT_TRUE(client.apply_batch(first, kSeedBatch, ignored));
+  ASSERT_TRUE(ok(client.try_apply_batch(first, kSeedBatch), ignored));
   io::Json before_spill;
-  ASSERT_TRUE(client.query_interference(first, before_spill));
+  ASSERT_TRUE(ok(client.try_query_interference(first), before_spill));
 
   // Creating the second session evicts the idle first one to disk.
-  ASSERT_TRUE(client.create_session(second));
+  ASSERT_TRUE(ok(client.try_create_session(), second));
   EXPECT_EQ(service.sessions().counters().evictions.value(), 1u);
   EXPECT_EQ(service.sessions().live_count(), 1u);
   EXPECT_EQ(service.sessions().session_count(), 2u);
@@ -446,14 +448,14 @@ TEST(SvcEviction, LruSpillAndTransparentRestore) {
   // Touching the first session restores it transparently — and evicts
   // the second. Its answers are byte-identical to before the spill.
   io::Json after_restore;
-  ASSERT_TRUE(client.query_interference(first, after_restore));
+  ASSERT_TRUE(ok(client.try_query_interference(first), after_restore));
   EXPECT_EQ(client.last_response_payload(),
             make_ok(client.last_request_id(), before_spill));
   EXPECT_EQ(service.sessions().counters().spill_restores.value(), 1u);
   EXPECT_EQ(service.sessions().counters().evictions.value(), 2u);
 
   // Closing the spilled second session removes its spill file.
-  ASSERT_TRUE(client.close_session(second));
+  ASSERT_TRUE(ok(client.try_close_session(second)));
   std::ifstream gone(service.sessions().spill_path(second), std::ios::binary);
   EXPECT_FALSE(gone.good());
 }

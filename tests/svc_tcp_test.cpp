@@ -12,6 +12,8 @@
 #include "rim/svc/tcp.hpp"
 #include "rim/svc/transport.hpp"
 
+#include "svc_test_util.hpp"
+
 // TCP transport tests: an ephemeral-port server must answer byte-for-byte
 // what loopback answers, serve concurrent client connections correctly,
 // and shut down cleanly (joining every thread; ASan/TSan legs verify).
@@ -56,37 +58,36 @@ TEST(SvcTcp, ResponsesMatchLoopbackByteForByte) {
         << what;
   };
 
-  ASSERT_TRUE(tcp_client.ping());
-  ASSERT_TRUE(loopback_client.ping());
+  ASSERT_TRUE(ok(tcp_client.try_ping()));
+  ASSERT_TRUE(ok(loopback_client.try_ping()));
   compare("ping");
 
   std::uint64_t tcp_session = 0;
   std::uint64_t loopback_session = 0;
-  ASSERT_TRUE(tcp_client.create_session(tcp_session));
-  ASSERT_TRUE(loopback_client.create_session(loopback_session));
+  ASSERT_TRUE(ok(tcp_client.try_create_session(), tcp_session));
+  ASSERT_TRUE(ok(loopback_client.try_create_session(), loopback_session));
   compare("create_session");
 
   core::BatchResult tcp_result;
   core::BatchResult loopback_result;
-  ASSERT_TRUE(tcp_client.apply_batch(tcp_session, seed_batch(), tcp_result));
-  ASSERT_TRUE(loopback_client.apply_batch(loopback_session, seed_batch(),
-                                          loopback_result));
+  ASSERT_TRUE(ok(tcp_client.try_apply_batch(tcp_session, seed_batch()), tcp_result));
+  ASSERT_TRUE(ok(loopback_client.try_apply_batch(loopback_session, seed_batch()), loopback_result));
   compare("apply_batch");
 
   io::Json tcp_doc;
   io::Json loopback_doc;
-  ASSERT_TRUE(tcp_client.query_interference(tcp_session, tcp_doc));
+  ASSERT_TRUE(ok(tcp_client.try_query_interference(tcp_session), tcp_doc));
   ASSERT_TRUE(
-      loopback_client.query_interference(loopback_session, loopback_doc));
+      ok(loopback_client.try_query_interference(loopback_session), loopback_doc));
   compare("query_interference");
 
-  ASSERT_TRUE(tcp_client.snapshot(tcp_session, tcp_doc));
-  ASSERT_TRUE(loopback_client.snapshot(loopback_session, loopback_doc));
+  ASSERT_TRUE(ok(tcp_client.try_snapshot(tcp_session), tcp_doc));
+  ASSERT_TRUE(ok(loopback_client.try_snapshot(loopback_session), loopback_doc));
   compare("snapshot");
 
   NodeId renamed = kInvalidNode;
-  EXPECT_FALSE(tcp_client.remove_node(tcp_session, 99, renamed));
-  EXPECT_FALSE(loopback_client.remove_node(loopback_session, 99, renamed));
+  EXPECT_FALSE(ok(tcp_client.try_remove_node(tcp_session, 99), renamed));
+  EXPECT_FALSE(ok(loopback_client.try_remove_node(loopback_session, 99), renamed));
   compare("error responses");
 
   server.stop();
@@ -115,7 +116,7 @@ TEST(SvcTcp, ConcurrentClientsKeepSessionsIsolated) {
       }
       Client client(transport);
       std::uint64_t session = 0;
-      if (!client.create_session(session)) {
+      if (!ok(client.try_create_session(), session)) {
         failures[c] = "create: " + client.error();
         return;
       }
@@ -124,20 +125,20 @@ TEST(SvcTcp, ConcurrentClientsKeepSessionsIsolated) {
       const std::size_t nodes = 4 + c;
       for (std::size_t i = 0; i < nodes; ++i) {
         NodeId node = kInvalidNode;
-        if (!client.add_node(session, double(i), double(c), node)) {
+        if (!ok(client.try_add_node(session, double(i), double(c)), node)) {
           failures[c] = "add_node: " + client.error();
           return;
         }
         bool added = false;
         if (previous != kInvalidNode &&
-            !client.add_edge(session, previous, node, added)) {
+            !ok(client.try_add_edge(session, previous, node), added)) {
           failures[c] = "add_edge: " + client.error();
           return;
         }
         previous = node;
       }
       io::Json stats;
-      if (!client.session_stats(session, stats)) {
+      if (!ok(client.try_session_stats(session), stats)) {
         failures[c] = "stats: " + client.error();
         return;
       }
@@ -146,7 +147,7 @@ TEST(SvcTcp, ConcurrentClientsKeepSessionsIsolated) {
                       std::to_string(stats.find("nodes")->as_number());
         return;
       }
-      if (!client.close_session(session)) {
+      if (!ok(client.try_close_session(session))) {
         failures[c] = "close: " + client.error();
       }
     });
@@ -200,12 +201,12 @@ TEST(SvcTcp, StopWithConnectedClientsIsClean) {
   ASSERT_TRUE(transport.connect_to("127.0.0.1", server->port(), error))
       << error;
   Client client(transport);
-  ASSERT_TRUE(client.ping());
+  ASSERT_TRUE(ok(client.try_ping()));
 
   // Destruction implies stop(); a stopped server leaves the client with a
   // closed socket, not a hang.
   server.reset();
-  EXPECT_FALSE(client.ping());
+  EXPECT_FALSE(ok(client.try_ping()));
   EXPECT_EQ(client.error_code(), "transport");
 }
 

@@ -1,0 +1,24 @@
+#pragma once
+
+#include <utility>
+
+#include "rim/svc/client.hpp"
+
+// Shared glue for driving svc::Client's typed try_* API from the gtest
+// suites: `ok` collapses an SvcResult into the pass/fail bool that
+// ASSERT_TRUE/EXPECT_TRUE chains want, landing value results in an
+// out-parameter so call sites stay one line. Failure details remain
+// available through client.error()/error_code() as before.
+
+namespace rim::svc {
+
+inline bool ok(const SvcResult<void>& result) { return result.has_value(); }
+
+template <typename T>
+bool ok(SvcResult<T> result, T& out) {
+  if (!result.has_value()) return false;
+  out = std::move(result).value();
+  return true;
+}
+
+}  // namespace rim::svc

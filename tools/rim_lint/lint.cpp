@@ -20,6 +20,7 @@ constexpr std::string_view kFloatEquality = "float-equality";
 constexpr std::string_view kDetailInclude = "detail-include";
 constexpr std::string_view kBinaryFile = "binary-file";
 constexpr std::string_view kWaveScratch = "wave-vector-scratch";
+constexpr std::string_view kEvalOptionsInit = "eval-options-designated-init";
 constexpr std::string_view kAllowFormat = "allow-format";
 
 const std::vector<RuleInfo> kRules = {
@@ -40,6 +41,10 @@ const std::vector<RuleInfo> kRules = {
      "std::vector scratch inside a task lambda handed to submit() in a "
      "batch file; wave tasks must capture arena pointers, not allocate "
      "(see common::Arena and DESIGN.md §10)"},
+    {kEvalOptionsInit,
+     "designated-initializer construction of core::EvalOptions; use the "
+     "chainable with_* builder setters (EvalOptions{}.with_strategy(...)) so "
+     "new knobs keep one construction surface"},
     {kAllowFormat,
      "malformed or dangling RIM_LINT_ALLOW suppression; the form is "
      "// RIM_LINT_ALLOW(rule-name): reason"},
@@ -371,6 +376,19 @@ void check_tokens(std::string_view path, const ScanResult& scan_result,
                          " in a serialization/checksum path; iteration order "
                          "is non-deterministic — use std::map or a sorted "
                          "vector"});
+    }
+
+    // eval-options-designated-init: `EvalOptions` `{` `.` is the shape of a
+    // designated initializer (EvalOptions{.strategy = ...}). The sanctioned
+    // EvalOptions{}.with_*(...) chain tokenizes as `{` `}` `.`, so it never
+    // matches. The definition itself (interference.hpp) declares members,
+    // never brace-initializes with designators, so no path carve-out needed.
+    if (t == "EvalOptions" && next_is(i, "{") && i + 2 < toks.size() &&
+        toks[i + 2].text == ".") {
+      out.push_back({std::string(path), ln, std::string(kEvalOptionsInit),
+                     "designated-initializer EvalOptions construction; chain "
+                     "the with_* builder setters instead "
+                     "(EvalOptions{}.with_strategy(...))"});
     }
 
     if (!geom_home && (t == "==" || t == "!=")) {

@@ -104,6 +104,22 @@ TEST(RimLint, WaveScratchAllowedOutsideBatchFiles) {
   EXPECT_EQ(count_rule(v, "wave-vector-scratch"), 0u);
 }
 
+TEST(RimLint, EvalOptionsDesignatedInitFixtureTriggers) {
+  const auto v = lint_source("tools/rim_lint/testdata/eval_options_init.cpp",
+                             fixture("eval_options_init.cpp"));
+  EXPECT_EQ(count_rule(v, "eval-options-designated-init"), 3u)
+      << "single field, multiple fields, qualified name";
+}
+
+TEST(RimLint, EvalOptionsBuilderChainsDoNotFire) {
+  const std::string source =
+      "const auto o = EvalOptions{}.with_strategy(Strategy::kBrute);\n"
+      "EvalOptions defaults;\n"
+      "EvalOptions copy{defaults};\n";
+  const auto v = lint_source("src/rim/core/fixture.cpp", source);
+  EXPECT_EQ(count_rule(v, "eval-options-designated-init"), 0u);
+}
+
 TEST(RimLint, SuppressedFixtureIsClean) {
   const auto v = lint_source("tools/rim_lint/testdata/suppressed.cpp",
                              fixture("suppressed.cpp"));
