@@ -229,6 +229,7 @@ int main() {
           // speedup stays 0 and this flag tells consumers why.
           bench["speedup_skipped"] = io::Json(hw < 2);
           bench["speedup"] = io::Json(speedup);
+          analysis::stamp_bench(bench);
           obs::Registry::global().add_source(
               "bench", [b = io::Json(std::move(bench))] { return b; });
           std::ofstream file("BENCH_2.json");

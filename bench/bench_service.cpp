@@ -291,6 +291,7 @@ int main() {
         bench["latency_p50_ns"] = io::Json(p50);
         bench["latency_p99_ns"] = io::Json(p99);
         bench["shed"] = io::Json(counted_shed);
+        analysis::stamp_bench(bench);
         service.registry().add_source(
             "bench", [b = io::Json(std::move(bench))] { return b; });
         std::ofstream file("BENCH_5.json");

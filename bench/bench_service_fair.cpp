@@ -321,6 +321,7 @@ int main() {
         fairness["max_completed"] = io::Json(highest);
         fairness["min_completed"] = io::Json(lowest);
         bench["fairness"] = io::Json(std::move(fairness));
+        analysis::stamp_bench(bench);
         service.registry().add_source(
             "bench", [b = io::Json(std::move(bench))] { return b; });
         std::ofstream file("BENCH_6.json");

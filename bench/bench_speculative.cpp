@@ -180,6 +180,7 @@ int main() {
           bench_doc["spec_rolled_back"] = io::Json(spec.rolled_back);
           bench_doc["spec_replay_rounds"] = io::Json(spec.replay_rounds);
           bench_doc["spec_serial_tasks"] = io::Json(spec.serial_tasks);
+          analysis::stamp_bench(bench_doc);
           obs::Registry::global().add_source(
               "bench", [b = io::Json(std::move(bench_doc))] { return b; });
           std::ofstream file("BENCH_7.json");

@@ -1,8 +1,10 @@
 #include "rim/analysis/experiment.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <iomanip>
 #include <ostream>
+#include <thread>
 
 namespace rim::analysis {
 
@@ -23,6 +25,23 @@ void run_experiment(const ExperimentInfo& info, std::ostream& out,
       << "[" << info.id << "] done in " << std::fixed << std::setprecision(3)
       << elapsed << " s\n\n";
   out << std::defaultfloat << std::setprecision(6);
+}
+
+void stamp_bench(io::JsonObject& doc) {
+// The build system stamps this TU alone (set_source_files_properties), so
+// provenance changes rebuild one object file, not the library.
+#if defined(RIM_GIT_SHA)
+  doc["git_sha"] = io::Json(std::string(RIM_GIT_SHA));
+#else
+  doc["git_sha"] = io::Json(std::string("unknown"));
+#endif
+#if defined(RIM_BUILD_TYPE)
+  doc["build_type"] = io::Json(std::string(RIM_BUILD_TYPE));
+#else
+  doc["build_type"] = io::Json(std::string("unknown"));
+#endif
+  doc["hardware_threads"] =
+      io::Json(std::max(1u, std::thread::hardware_concurrency()));
 }
 
 }  // namespace rim::analysis

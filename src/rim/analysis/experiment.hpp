@@ -4,6 +4,8 @@
 #include <iosfwd>
 #include <string>
 
+#include "rim/io/json.hpp"
+
 /// \file experiment.hpp
 /// Tiny harness for the figure/table regeneration binaries: uniform banner,
 /// paper cross-reference, and wall-clock accounting, so every bench/ binary
@@ -21,5 +23,13 @@ struct ExperimentInfo {
 /// Print the banner, run \p body, print the footer with elapsed seconds.
 void run_experiment(const ExperimentInfo& info, std::ostream& out,
                     const std::function<void(std::ostream&)>& body);
+
+/// Stamp a bench JSON document with its provenance: `git_sha` and
+/// `build_type` (the RIM_GIT_SHA / RIM_BUILD_TYPE compile definitions,
+/// "unknown" when absent) and `hardware_threads` (the runner). Every
+/// BENCH_*.json writer calls this so tools/check_bench.py can refuse to
+/// compare numbers across hosts or build configurations instead of
+/// false-failing the trajectory gate on them.
+void stamp_bench(io::JsonObject& doc);
 
 }  // namespace rim::analysis

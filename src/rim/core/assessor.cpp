@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "rim/core/sender_centric.hpp"
+#include "rim/core/sinr.hpp"
 #include "rim/simd/simd.hpp"
 
 namespace rim::core {
@@ -15,9 +16,15 @@ namespace rim::core {
 InterferenceSummary Assessor::assess(const NodeSoA& nodes, Strategy strategy,
                                      const EvalOptions& options) const {
   assert(nodes.dense());
+  // The sender-centric model attributes interference to *links*; a bare
+  // store has none to attribute it to — use the topology overload.
+  assert(options.model != Model::kSenderCentric);
   const std::size_t n = nodes.size();
   EvalOptions local = options;
   if (strategy != Strategy::kAuto) local.strategy = strategy;
+  if (local.model == Model::kSinr) {
+    return SinrAssessor{}.assess(nodes, local).to_interference();
+  }
   if (local.resolve(n) == Strategy::kBrute) {
     // The SoA fast path: one vectorised coverage pass per receiver over the
     // store's contiguous columns, no index construction at all. An infinite
@@ -45,6 +52,26 @@ InterferenceSummary Assessor::assess(const NodeSoA& nodes, Strategy strategy,
 InterferenceSummary Assessor::assess(const graph::Graph& topology,
                                      std::span<const geom::Vec2> points,
                                      const EvalOptions& options) const {
+  if (options.model == Model::kSinr) {
+    return SinrAssessor{}.assess(topology, points, options).to_interference();
+  }
+  if (options.model == Model::kSenderCentric) {
+    // Project the per-edge coverage onto nodes so the three models share
+    // one result type: a node carries the worst coverage among its
+    // incident links. max over nodes == max over edges (every edge has
+    // endpoints), so `max` is exactly the MobiHoc'04 I(G'); mean/total are
+    // the node-projected aggregates, not the per-edge ones.
+    const SenderCentricSummary sc =
+        evaluate_sender_centric(topology, points, options);
+    std::vector<std::uint32_t> per_node(points.size(), 0);
+    std::size_t i = 0;
+    for (const graph::Edge e : topology.edges()) {
+      const std::uint32_t cov = sc.per_edge[i++];
+      per_node[e.u] = std::max(per_node[e.u], cov);
+      per_node[e.v] = std::max(per_node[e.v], cov);
+    }
+    return InterferenceSummary::from_per_node(std::move(per_node));
+  }
   Scenario scenario(points, topology, options);
   return scenario.summary();
 }

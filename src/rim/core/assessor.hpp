@@ -27,6 +27,17 @@
 ///  - assess_addition / assess_removal: the structured churn reports for
 ///    experiments E1/E11, including the sender-centric comparison.
 ///
+/// Model selection (DESIGN.md §12): EvalOptions.model picks which
+/// interference model the assessment runs — kReceiverCentric (the paper's
+/// count, the default), kSenderCentric (MobiHoc'04 edge coverage projected
+/// onto nodes; topology overload only), or kSinr (accumulated path-loss
+/// power, core/sinr.hpp; the integer per_node is the significant-interferer
+/// count). All three return InterferenceSummary, so comparators (E23)
+/// evaluate one deployment under three models through one call shape:
+///
+///   Assessor{}.assess(topology, points,
+///                     EvalOptions{}.with_model(Model::kSinr))
+///
 /// New code constructs an Assessor — typically `Assessor{}` or
 /// `Assessor(options)` — and calls one method.
 

@@ -61,11 +61,92 @@ enum class Execution : std::uint8_t {
   kSpeculative,  ///< optimistic: claim footprints, roll losers back, replay
 };
 
+/// Which interference model Assessor::assess evaluates (DESIGN.md §12).
+enum class Model : std::uint8_t {
+  kReceiverCentric,  ///< the paper's I(v) = covering-disk count (default)
+  kSenderCentric,    ///< MobiHoc'04 per-edge disk coverage, max over edges
+  kSinr,             ///< physical model: accumulated path-loss power at v
+};
+
+/// Parameters of the SINR (physical) model comparator (core/sinr.hpp).
+///
+/// The path-loss exponent is constrained to an even integer (alpha = 2h)
+/// so a contribution P_u / d(u,v)^alpha = (kappa * r2_u^h) / d2^h is
+/// computed from *squared* distances with only multiplies and one divide —
+/// all per-lane IEEE-exact — which is what makes the SIMD and scalar SINR
+/// kernels bit-identical (see simd::sinr_gather_scalar).
+struct SinrOptions {
+  int half_alpha = 2;      ///< h; path-loss exponent alpha = 2h (default 4)
+  double beta = 2.0;       ///< SINR acceptance threshold
+  double noise = 1e-4;     ///< ambient noise floor N
+  double margin = 2.0;     ///< transmit-power headroom over beta*N
+
+  /// Contributions below far_field_rel * noise truncate to zero; together
+  /// with the power rule this induces the per-transmitter squared cutoff
+  /// d2 <= r2 * cutoff_factor() outside which a disk is irrelevant.
+  double far_field_rel = 1e-3;
+
+  /// A contribution >= significant_rel * noise counts as one *significant
+  /// interferer* — the integer per-node count that makes SINR results
+  /// comparable with the disk models' covering-disk counts.
+  double significant_rel = 1.0;
+
+  /// Emitted power of a node with squared radius r2: P = kappa() * r2^h,
+  /// the squared-radius form of P_u = beta * N * margin * r_u^alpha — the
+  /// weakest power that still closes an r_u-length link alone (phy/sinr.hpp
+  /// uses the same rule).
+  [[nodiscard]] double kappa() const { return beta * noise * margin; }
+
+  /// Far-field truncation factor: contribution < far_field_rel * N exactly
+  /// when d2 > r2 * (beta * margin / far_field_rel)^(1/h). Evaluated once
+  /// per assessment, outside the kernels.
+  [[nodiscard]] double cutoff_factor() const;
+
+  /// Absolute significant-interferer threshold passed to the kernels.
+  [[nodiscard]] double significant_threshold() const {
+    return significant_rel * noise;
+  }
+
+  // --- builder-style setters (match EvalOptions) ---------------------------
+  SinrOptions& with_half_alpha(int h) {
+    half_alpha = h;
+    return *this;
+  }
+  SinrOptions& with_beta(double b) {
+    beta = b;
+    return *this;
+  }
+  SinrOptions& with_noise(double n) {
+    noise = n;
+    return *this;
+  }
+  SinrOptions& with_margin(double m) {
+    margin = m;
+    return *this;
+  }
+  SinrOptions& with_far_field_rel(double rel) {
+    far_field_rel = rel;
+    return *this;
+  }
+  SinrOptions& with_significant_rel(double rel) {
+    significant_rel = rel;
+    return *this;
+  }
+};
+
 /// The one evaluation-configuration surface shared by the free evaluators,
 /// core::Scenario, highway::local_search, and ext2d — every threshold that
 /// used to be a scattered constant lives here, overridable per call site.
 struct EvalOptions {
   Strategy strategy = Strategy::kAuto;
+
+  /// Which interference model Assessor::assess runs (default: the paper's
+  /// receiver-centric count). Scenario and the free evaluators are
+  /// receiver-centric only; they ignore this field.
+  Model model = Model::kReceiverCentric;
+
+  /// SINR-model parameters, consulted only when model == Model::kSinr.
+  SinrOptions sinr;
 
   /// Scenario::apply_batch disk-task execution mode. All three modes are
   /// bit-identical (the property tests pin it); they differ only in how the
@@ -106,6 +187,16 @@ struct EvalOptions {
   /// Batch disk-task execution mode (default Execution::kWave).
   EvalOptions& with_execution(Execution e) {
     execution = e;
+    return *this;
+  }
+  /// Interference model for Assessor::assess (default kReceiverCentric).
+  EvalOptions& with_model(Model m) {
+    model = m;
+    return *this;
+  }
+  /// SINR-model parameters (only consulted under Model::kSinr).
+  EvalOptions& with_sinr(const SinrOptions& s) {
+    sinr = s;
     return *this;
   }
   /// kAuto cutover to the O(n^2) oracle (default 64 nodes).

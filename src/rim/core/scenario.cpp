@@ -69,6 +69,7 @@ Scenario::Scenario(std::span<const geom::Vec2> points,
       edge_count_(topology.edge_count()),
       options_(options) {
   assert(topology.node_count() == points.size());
+  nodes_.reserve(points.size());
   for (NodeId u = 0; u < points.size(); ++u) nodes_.insert(u, points[u], 0.0);
   for (NodeId u = 0; u < topology.node_count(); ++u) {
     const auto neighbors = topology.neighbors(u);
@@ -117,6 +118,7 @@ Scenario::~Scenario() = default;
 void Scenario::ensure_grid() {
   if (grid_built_) return;
   grid_.clear(pick_cell_size(nodes_.radii2()));
+  grid_.reserve(nodes_.size());
   for (NodeId v = 0; v < nodes_.size(); ++v) {
     grid_.insert(v, nodes_.position(v), nodes_.radius2(v));
   }

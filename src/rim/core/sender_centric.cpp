@@ -1,8 +1,30 @@
 #include "rim/core/sender_centric.hpp"
 
 #include <algorithm>
+#include <cmath>
+
+#include "rim/geom/dynamic_grid.hpp"
 
 namespace rim::core {
+
+namespace {
+
+SenderCentricSummary summarize(std::vector<std::uint32_t> per_edge) {
+  SenderCentricSummary summary;
+  summary.per_edge = std::move(per_edge);
+  std::uint64_t total = 0;
+  for (std::uint32_t c : summary.per_edge) {
+    summary.max = std::max(summary.max, c);
+    total += c;
+  }
+  summary.mean = summary.per_edge.empty()
+                     ? 0.0
+                     : static_cast<double>(total) /
+                           static_cast<double>(summary.per_edge.size());
+  return summary;
+}
+
+}  // namespace
 
 std::uint32_t edge_coverage(std::span<const geom::Vec2> points, graph::Edge e) {
   const geom::Vec2 pu = points[e.u];
@@ -28,18 +50,58 @@ std::vector<std::uint32_t> coverage_vector(const graph::Graph& topology,
 
 SenderCentricSummary evaluate_sender_centric(const graph::Graph& topology,
                                              std::span<const geom::Vec2> points) {
-  SenderCentricSummary summary;
-  summary.per_edge = coverage_vector(topology, points);
-  std::uint64_t total = 0;
-  for (std::uint32_t c : summary.per_edge) {
-    summary.max = std::max(summary.max, c);
-    total += c;
+  return summarize(coverage_vector(topology, points));
+}
+
+SenderCentricSummary evaluate_sender_centric(const graph::Graph& topology,
+                                             std::span<const geom::Vec2> points,
+                                             const EvalOptions& options) {
+  const std::size_t n = points.size();
+  if (options.resolve(n) == Strategy::kBrute || topology.edge_count() == 0) {
+    return evaluate_sender_centric(topology, points);
   }
-  summary.mean = summary.per_edge.empty()
-                     ? 0.0
-                     : static_cast<double>(total) /
-                           static_cast<double>(summary.per_edge.size());
-  return summary;
+
+  // Grid path: cells keyed by the median edge length (the query disks are
+  // edge-length disks, so this is the same heuristic the receiver-centric
+  // grid applies to transmission disks).
+  std::vector<double> lengths2;
+  lengths2.reserve(topology.edge_count());
+  for (const graph::Edge e : topology.edges()) {
+    lengths2.push_back(geom::dist2(points[e.u], points[e.v]));
+  }
+  const auto mid =
+      lengths2.begin() + static_cast<std::ptrdiff_t>(lengths2.size() / 2);
+  std::nth_element(lengths2.begin(), mid, lengths2.end());
+  const double cell = std::max(std::sqrt(*mid), 1e-12);
+
+  geom::DynamicGrid grid(cell);
+  grid.reserve(n);
+  for (std::size_t v = 0; v < n; ++v) {
+    grid.insert(static_cast<NodeId>(v), points[v], 0.0);
+  }
+
+  // Per-edge union count D(u,|uv|) ∪ D(v,|uv|) via an epoch stamp: a node
+  // seen by either disk query of edge i carries stamp i+1 and counts once.
+  std::vector<std::uint32_t> stamp(n, 0);
+  std::vector<std::uint32_t> per_edge;
+  per_edge.reserve(topology.edge_count());
+  std::uint32_t epoch = 0;
+  for (const graph::Edge e : topology.edges()) {
+    ++epoch;
+    const geom::Vec2 pu = points[e.u];
+    const geom::Vec2 pv = points[e.v];
+    const double r2 = geom::dist2(pu, pv);
+    std::uint32_t count = 0;
+    const auto visit = [&](NodeId w, geom::Vec2) {
+      if (stamp[w] == epoch) return;
+      stamp[w] = epoch;
+      if (w != e.u && w != e.v) ++count;
+    };
+    grid.for_each_in_disk_squared(pu, r2, visit);
+    grid.for_each_in_disk_squared(pv, r2, visit);
+    per_edge.push_back(count);
+  }
+  return summarize(std::move(per_edge));
 }
 
 }  // namespace rim::core

@@ -4,6 +4,7 @@
 #include <span>
 #include <vector>
 
+#include "rim/core/interference.hpp"
 #include "rim/geom/vec2.hpp"
 #include "rim/graph/graph.hpp"
 
@@ -42,5 +43,15 @@ struct SenderCentricSummary {
 
 [[nodiscard]] SenderCentricSummary evaluate_sender_centric(
     const graph::Graph& topology, std::span<const geom::Vec2> points);
+
+/// Strategy-aware evaluation: options.resolve(n) == kBrute runs the O(E*n)
+/// pairwise loops above; any grid resolution queries a DynamicGrid keyed by
+/// the median edge length instead — two disk queries per edge with an
+/// epoch-stamp union dedup, O(E * disk-occupancy) total, which is what
+/// makes the sender-centric comparator feasible on million-node
+/// deployments (E23). Both paths count the identical exact predicate.
+[[nodiscard]] SenderCentricSummary evaluate_sender_centric(
+    const graph::Graph& topology, std::span<const geom::Vec2> points,
+    const EvalOptions& options);
 
 }  // namespace rim::core

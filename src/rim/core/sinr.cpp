@@ -1,0 +1,175 @@
+#include "rim/core/sinr.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cassert>
+#include <cmath>
+
+#include "rim/core/radii.hpp"
+#include "rim/geom/dynamic_grid.hpp"
+#include "rim/geom/grid_kernels.hpp"
+#include "rim/simd/simd.hpp"
+
+namespace rim::core {
+
+namespace {
+
+/// FNV-1a over the bit patterns of a double column, in index (= id) order —
+/// the SINR analogue of fnv1a_words, byte order little-endian-of-the-bits
+/// so the digest is platform-independent.
+std::uint64_t fnv1a_doubles(std::span<const double> values) {
+  constexpr std::uint64_t kOffset = 0xCBF29CE484222325ULL;
+  constexpr std::uint64_t kPrime = 0x100000001B3ULL;
+  std::uint64_t h = kOffset;
+  for (const double v : values) {
+    const auto bits = std::bit_cast<std::uint64_t>(v);
+    for (int shift = 0; shift < 64; shift += 8) {
+      h ^= (bits >> shift) & 0xFFU;
+      h *= kPrime;
+    }
+  }
+  return h;
+}
+
+/// Cell size for the SINR scatter grid: the median positive *cutoff*
+/// radius (the scatter disks are cutoff disks, not transmission disks —
+/// same heuristic as the receiver-centric engine, different disk family).
+double pick_cell_size(std::span<const double> radii2, double cutoff_factor) {
+  std::vector<double> positive;
+  positive.reserve(radii2.size());
+  for (const double r2 : radii2) {
+    if (r2 > 0.0) positive.push_back(r2 * cutoff_factor);
+  }
+  if (positive.empty()) return 1.0;
+  const auto mid =
+      positive.begin() + static_cast<std::ptrdiff_t>(positive.size() / 2);
+  std::nth_element(positive.begin(), mid, positive.end());
+  return std::max(std::sqrt(*mid), 1e-12);
+}
+
+SinrSummary assess_impl(const NodeSoA& nodes, const EvalOptions& options,
+                        bool use_scalar) {
+  assert(nodes.dense());
+  const SinrOptions& sinr = options.sinr;
+  assert(sinr.half_alpha >= 1);
+  const std::size_t n = nodes.size();
+  const double cf = sinr.cutoff_factor();
+  const double kappa = sinr.kappa();
+  const double sig = sinr.significant_threshold();
+  const int h = sinr.half_alpha;
+  const double* xs = nodes.xs().data();
+  const double* ys = nodes.ys().data();
+  const double* ws = nodes.radii2().data();
+
+  std::vector<double> power(n, 0.0);
+  std::vector<std::uint32_t> counts(n, 0);
+
+  if (options.resolve(n) == Strategy::kBrute) {
+    // Gather: one vectorised pass per receiver over the whole columns —
+    // the SINR shape of the receiver-centric SoA fast path.
+    for (std::size_t v = 0; v < n; ++v) {
+      const simd::SinrAccum acc =
+          use_scalar ? simd::sinr_gather_scalar(xs, ys, ws, n, xs[v], ys[v],
+                                                cf, kappa, h, sig)
+                     : simd::sinr_gather(xs, ys, ws, n, xs[v], ys[v], cf,
+                                         kappa, h, sig);
+      power[v] = acc.power;
+      counts[v] = static_cast<std::uint32_t>(acc.significant);
+    }
+  } else {
+    // Scatter: serial pass over transmitters in ascending id order through
+    // a grid keyed by the cutoff disks (kGrid and kParallel both land
+    // here — determinism over parallelism, see the header). Emitted power
+    // kappa * w^h is rounded once here, exactly as the gather kernel
+    // rounds kappa * ipow(w, h) before its divide, so per-pair
+    // contributions are bit-identical across strategies; only the
+    // per-receiver accumulation order differs.
+    geom::DynamicGrid grid(pick_cell_size(nodes.radii2(), cf));
+    grid.reserve(n);
+    for (std::size_t v = 0; v < n; ++v) {
+      grid.insert(static_cast<NodeId>(v), {xs[v], ys[v]}, ws[v]);
+    }
+    for (std::size_t t = 0; t < n; ++t) {
+      const double w = ws[t];
+      if (!(w > 0.0)) continue;
+      const double p = kappa * simd::detail::ipow(w, h);
+      const geom::Vec2 center{xs[t], ys[t]};
+      if (use_scalar) {
+        geom::accumulate_path_loss_scalar(grid, center, w * cf, p, h, sig,
+                                          power.data(), counts.data());
+      } else {
+        geom::accumulate_path_loss(grid, center, w * cf, p, h, sig,
+                                   power.data(), counts.data());
+      }
+    }
+  }
+  return SinrSummary::from_columns(std::move(power), std::move(counts));
+}
+
+}  // namespace
+
+double SinrOptions::cutoff_factor() const {
+  // x^(1/h) with x = beta * margin / far_field_rel: repeated IEEE sqrt
+  // while h stays even (correctly rounded, hence deterministic across
+  // platforms); an odd residual exponent falls back to std::pow, which is
+  // only as deterministic as the host libm — the default h = 2 and every
+  // power-of-two h avoid it.
+  double x = beta * margin / far_field_rel;
+  int h = half_alpha;
+  while (h > 1 && (h & 1) == 0) {
+    x = std::sqrt(x);
+    h >>= 1;
+  }
+  if (h > 1) x = std::pow(x, 1.0 / static_cast<double>(h));
+  return x;
+}
+
+SinrSummary SinrSummary::from_columns(std::vector<double> power,
+                                      std::vector<std::uint32_t> per_node) {
+  assert(power.size() == per_node.size());
+  SinrSummary s;
+  s.power = std::move(power);
+  s.per_node = std::move(per_node);
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i < s.per_node.size(); ++i) {
+    s.max = std::max(s.max, s.per_node[i]);
+    total += s.per_node[i];
+    s.max_power = std::max(s.max_power, s.power[i]);
+  }
+  s.total = total;
+  s.mean = s.per_node.empty() ? 0.0
+                              : static_cast<double>(total) /
+                                    static_cast<double>(s.per_node.size());
+  s.power_checksum = fnv1a_doubles(s.power);
+  return s;
+}
+
+InterferenceSummary SinrSummary::to_interference() const {
+  return InterferenceSummary::from_per_node(per_node);
+}
+
+SinrSummary SinrAssessor::assess(const NodeSoA& nodes,
+                                 const EvalOptions& options) const {
+  return assess_impl(nodes, options, /*use_scalar=*/false);
+}
+
+SinrSummary SinrAssessor::assess_scalar(const NodeSoA& nodes,
+                                        const EvalOptions& options) const {
+  return assess_impl(nodes, options, /*use_scalar=*/true);
+}
+
+SinrSummary SinrAssessor::assess(const graph::Graph& topology,
+                                 std::span<const geom::Vec2> points,
+                                 const EvalOptions& options) const {
+  assert(topology.node_count() == points.size());
+  const std::vector<double> radii2 =
+      transmission_radii_squared(topology, points);
+  NodeSoA nodes;
+  nodes.reserve(points.size());
+  for (std::size_t v = 0; v < points.size(); ++v) {
+    nodes.insert(static_cast<NodeId>(v), points[v], radii2[v]);
+  }
+  return assess(nodes, options);
+}
+
+}  // namespace rim::core

@@ -1,0 +1,108 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "rim/core/interference.hpp"
+#include "rim/core/node_soa.hpp"
+
+/// \file sinr.hpp
+/// The physical (SINR) interference model comparator (DESIGN.md §12).
+///
+/// The third model beside the paper's receiver-centric count and the
+/// MobiHoc'04 sender-centric edge coverage: interference at a node v is the
+/// *accumulated path-loss power* of every other transmitter,
+///
+///   P(v) = sum_{u != v, r_u > 0} P_u / d(u, v)^alpha,
+///
+/// with the power rule P_u = kappa * r_u^alpha (the weakest power that
+/// still closes u's longest link alone — phy/sinr.hpp's rule) and an even
+/// integer path-loss exponent alpha = 2h, so every contribution
+///
+///   (kappa * r2_u^h) / d2^h
+///
+/// is computed from *squared* quantities with h-1 multiplies per power and
+/// one divide — all per-lane IEEE-exact, which is what lets the SIMD
+/// kernels (simd::sinr_gather / sinr_scatter) stay bit-identical to their
+/// scalar twins. Contributions below far_field_rel * noise truncate to
+/// zero (the per-transmitter cutoff disk that makes the grid path
+/// near-linear); coincident nodes (d2 == 0) are excluded by convention.
+///
+/// Alongside the real-valued power the assessor counts each node's
+/// *significant interferers* — transmitters contributing at least
+/// significant_rel * noise — an integer per-node measure directly
+/// comparable with the disk models' covering-disk counts, and invariant
+/// across evaluation strategies (the power itself is strategy-invariant
+/// only up to accumulation order; each strategy's SIMD/scalar twins are
+/// bit-identical, which the checksum tests pin).
+
+namespace rim::core {
+
+/// Result of one SINR assessment. `power` and `per_node` are indexed by
+/// node id (the store's dense-id invariant).
+struct SinrSummary {
+  std::vector<double> power;            ///< accumulated interference power
+  std::vector<std::uint32_t> per_node;  ///< significant-interferer counts
+  std::uint32_t max = 0;                ///< max significant count
+  double mean = 0.0;                    ///< mean significant count
+  std::uint64_t total = 0;              ///< sum of significant counts
+  double max_power = 0.0;               ///< max_v P(v)
+  std::uint64_t power_checksum = 0;     ///< FNV-1a over power bit patterns
+
+  /// Aggregate the two per-node columns into a summary (the single
+  /// aggregation point of every strategy and twin).
+  [[nodiscard]] static SinrSummary from_columns(
+      std::vector<double> power, std::vector<std::uint32_t> per_node);
+
+  /// The integer projection: significant-interferer counts as an
+  /// InterferenceSummary, the form Assessor::assess returns so the three
+  /// models share one result type.
+  [[nodiscard]] InterferenceSummary to_interference() const;
+};
+
+/// The SINR comparator. Stateless like the Assessor NodeSoA path: every
+/// call is a full evaluation of the store it is handed.
+class SinrAssessor {
+ public:
+  explicit SinrAssessor(EvalOptions options = {}) : options_(options) {}
+
+  /// Assess \p nodes (dense ids) under options.sinr. Strategy resolution:
+  /// kBrute gathers per receiver over the whole SoA columns (exact O(n^2)
+  /// shape of the receiver-centric fast path); kGrid and kParallel scatter
+  /// per transmitter through a DynamicGrid keyed by the median cutoff
+  /// radius — serial over transmitters in ascending id order, which fixes
+  /// the accumulation order into every receiver (the SINR grid path takes
+  /// no thread pool; determinism over parallelism).
+  [[nodiscard]] SinrSummary assess(const NodeSoA& nodes,
+                                   const EvalOptions& options) const;
+  [[nodiscard]] SinrSummary assess(const NodeSoA& nodes) const {
+    return assess(nodes, options_);
+  }
+
+  /// One-shot topology form: radii derived from farthest neighbors
+  /// (core/radii.hpp), then the NodeSoA path.
+  [[nodiscard]] SinrSummary assess(const graph::Graph& topology,
+                                   std::span<const geom::Vec2> points,
+                                   const EvalOptions& options) const;
+  [[nodiscard]] SinrSummary assess(const graph::Graph& topology,
+                                   std::span<const geom::Vec2> points) const {
+    return assess(topology, points, options_);
+  }
+
+  /// Scalar-twin evaluation: identical strategy resolution, scalar kernels
+  /// only. The bit-identity oracle for the checksum tests and the E23
+  /// acceptance gate.
+  [[nodiscard]] SinrSummary assess_scalar(const NodeSoA& nodes,
+                                          const EvalOptions& options) const;
+  [[nodiscard]] SinrSummary assess_scalar(const NodeSoA& nodes) const {
+    return assess_scalar(nodes, options_);
+  }
+
+  [[nodiscard]] const EvalOptions& options() const { return options_; }
+
+ private:
+  EvalOptions options_;
+};
+
+}  // namespace rim::core

@@ -42,6 +42,17 @@ DynamicGrid::CellKey DynamicGrid::key_of(Vec2 p) const {
   return pack(coord(p.x), coord(p.y));
 }
 
+void DynamicGrid::reserve(std::size_t nodes) {
+  pos_.reserve(nodes);
+  key_.reserve(nodes);
+  idx_.reserve(nodes);
+  weight_.reserve(nodes);
+  present_.reserve(nodes);
+  // Occupied-cell count is bounded by the point count; reserving that many
+  // buckets over-provisions sparse instances but caps rehashes at zero.
+  cells_.reserve(nodes);
+}
+
 void DynamicGrid::ensure_id(NodeId id) {
   if (id >= present_.size()) {
     pos_.resize(id + 1);

@@ -77,6 +77,11 @@ class DynamicGrid {
   /// The weight (squared radius) registered for \p id (must be present).
   [[nodiscard]] double weight(NodeId id) const { return weight_[id]; }
 
+  /// Pre-size the per-id mirrors and the cell table for \p nodes points —
+  /// bulk loads (million-node deployments) pay one allocation per mirror
+  /// and skip the hash-table rehash cascade instead of doubling through it.
+  void reserve(std::size_t nodes);
+
   /// Insert \p id at \p p with coverage weight \p weight (its squared
   /// transmission radius). \p id must not currently be present.
   void insert(NodeId id, Vec2 p, double weight = 0.0);

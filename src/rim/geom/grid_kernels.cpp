@@ -141,4 +141,58 @@ std::size_t accumulate_covered(const DynamicGrid& grid, Vec2 center,
       });
 }
 
+namespace {
+
+template <typename ScatterKernel>
+std::size_t accumulate_path_loss_impl(const DynamicGrid& grid, Vec2 center,
+                                      double cutoff2, double power,
+                                      int half_alpha, double sig,
+                                      double* power_out,
+                                      std::uint32_t* significant,
+                                      ScatterKernel&& scatter) {
+  if (cutoff2 <= 0.0 || power <= 0.0) return 0;
+  double contrib[kChunk];
+  return grid.for_each_cell_in_disk(
+      center, cutoff2, [&](const DynamicGrid::CellView& cell) {
+        for (std::size_t base = 0; base < cell.count; base += kChunk) {
+          const std::size_t m = std::min(kChunk, cell.count - base);
+          scatter(cell.xs + base, cell.ys + base, m, center.x, center.y,
+                  cutoff2, power, half_alpha, contrib);
+          for (std::size_t k = 0; k < m; ++k) {
+            if (contrib[k] == 0.0) continue;  // ineligible lane
+            const NodeId v = cell.ids[base + k];
+            power_out[v] += contrib[k];
+            if (contrib[k] >= sig) ++significant[v];
+          }
+        }
+      });
+}
+
+}  // namespace
+
+std::size_t accumulate_path_loss(const DynamicGrid& grid, Vec2 center,
+                                 double cutoff2, double power, int half_alpha,
+                                 double sig, double* power_out,
+                                 std::uint32_t* significant) {
+  return accumulate_path_loss_impl(
+      grid, center, cutoff2, power, half_alpha, sig, power_out, significant,
+      [](const double* xs, const double* ys, std::size_t n, double cx,
+         double cy, double c2, double p, int h, double* out) {
+        simd::sinr_scatter(xs, ys, n, cx, cy, c2, p, h, out);
+      });
+}
+
+std::size_t accumulate_path_loss_scalar(const DynamicGrid& grid, Vec2 center,
+                                        double cutoff2, double power,
+                                        int half_alpha, double sig,
+                                        double* power_out,
+                                        std::uint32_t* significant) {
+  return accumulate_path_loss_impl(
+      grid, center, cutoff2, power, half_alpha, sig, power_out, significant,
+      [](const double* xs, const double* ys, std::size_t n, double cx,
+         double cy, double c2, double p, int h, double* out) {
+        simd::sinr_scatter_scalar(xs, ys, n, cx, cy, c2, p, h, out);
+      });
+}
+
 }  // namespace rim::geom

@@ -77,4 +77,30 @@ std::size_t accumulate_covered(const DynamicGrid& grid, Vec2 center,
                                double r2, NodeId exclude,
                                std::atomic<std::uint32_t>* covered);
 
+/// Transmitter-centric SINR scatter (DESIGN.md §12): one transmitter at
+/// \p center with precomputed emitted power \p power (= kappa * r2^h) and
+/// far-field cutoff \p cutoff2 (= r2 * cutoff_factor) adds, for every
+/// registered point v with 0 < d2 <= cutoff2,
+///
+///   power_out[v] += power / d2^half_alpha
+///
+/// and increments significant[v] when that contribution is >= \p sig. The
+/// d2 > 0 test excludes the transmitter's own lane (and coincident nodes,
+/// the kernel-layer convention of simd::sinr_scatter_scalar), so no
+/// exclude id is needed. Serial by design: the caller owns determinism by
+/// scattering transmitters in ascending id order, which fixes the add
+/// order into every power_out[v] — each node occupies exactly one grid
+/// lane, so one transmitter touches each receiver at most once. Returns
+/// cells visited.
+std::size_t accumulate_path_loss(const DynamicGrid& grid, Vec2 center,
+                                 double cutoff2, double power, int half_alpha,
+                                 double sig, double* power_out,
+                                 std::uint32_t* significant);
+/// Scalar reference twin of accumulate_path_loss (bit-identical).
+std::size_t accumulate_path_loss_scalar(const DynamicGrid& grid, Vec2 center,
+                                        double cutoff2, double power,
+                                        int half_alpha, double sig,
+                                        double* power_out,
+                                        std::uint32_t* significant);
+
 }  // namespace rim::geom

@@ -57,6 +57,12 @@ struct CoverageCounts {
   std::uint64_t covered = 0;  ///< lanes with d2 <= query_r2, w > 0, d2 <= w
 };
 
+/// One receiver's accumulated SINR interference terms (see sinr_gather).
+struct SinrAccum {
+  double power = 0.0;             ///< sum of eligible path-loss contributions
+  std::uint64_t significant = 0;  ///< eligible lanes with contribution >= sig
+};
+
 namespace detail {
 
 #if defined(__clang__)
@@ -76,6 +82,21 @@ squared_distance(double x, double y, double cx, double cy) {
   const double dx = x - cx;
   const double dy = y - cy;
   return dx * dx + dy * dy;
+}
+
+/// x^h for small integer h >= 1 by left-associated repeated multiplication
+/// (x, x*x, (x*x)*x, ...). The fixed association order is part of the SINR
+/// kernel contract: every backend — vector or scalar — performs the same
+/// h-1 roundings in the same order, so results are bit-identical.
+#if defined(__GNUC__) && !defined(__clang__)
+__attribute__((optimize("fp-contract=off")))
+#endif
+inline double
+ipow(double x, int h) {
+  RIM_SIMD_NO_CONTRACT
+  double r = x;
+  for (int k = 1; k < h; ++k) r *= x;
+  return r;
 }
 
 }  // namespace detail
@@ -112,6 +133,86 @@ squared_distances_scalar(const double* xs, const double* ys, std::size_t n,
   RIM_SIMD_NO_CONTRACT
   for (std::size_t i = 0; i < n; ++i) {
     out[i] = detail::squared_distance(xs[i], ys[i], cx, cy);
+  }
+}
+
+/// Scalar reference for the SINR *gather* kernel: accumulate, at receiver
+/// (cx, cy), the path-loss contributions of the transmitters in the SoA
+/// columns. Lane i (position xs[i], ys[i], squared radius ws[i]) is
+/// *eligible* iff
+///
+///   ws[i] > 0  &&  d2 > 0  &&  d2 <= ws[i] * cutoff_factor
+///
+/// (a radius-0 node does not transmit; coincident nodes — d2 == 0, which
+/// includes the receiver's own lane — are excluded, so no id bookkeeping is
+/// needed; beyond the far-field cutoff the contribution truncates to 0).
+/// An eligible lane contributes
+///
+///   (kappa * ws[i]^h) / d2^h        (h = half_alpha = alpha / 2)
+///
+/// with both powers evaluated by detail::ipow's left-associated product and
+/// d2 by the two-rounding squared_distance — the exact arithmetic shape of
+/// the vector backends, never fused. `significant` counts eligible lanes
+/// whose contribution is >= sig (sig must be > 0).
+///
+/// Accumulation order is part of the contract (floating-point addition does
+/// not commute): the even prefix m = n & ~1 accumulates into two lane
+/// accumulators (acc0 for even i, acc1 for odd i), power starts as
+/// acc0 + acc1, and the odd tail element (if any) is added last — exactly
+/// the order of the width-2 vector backends.
+#if defined(__GNUC__) && !defined(__clang__)
+__attribute__((optimize("fp-contract=off")))
+#endif
+inline SinrAccum
+sinr_gather_scalar(const double* xs, const double* ys, const double* ws,
+                   std::size_t n, double cx, double cy, double cutoff_factor,
+                   double kappa, int half_alpha, double sig) {
+  RIM_SIMD_NO_CONTRACT
+  SinrAccum out;
+  double acc0 = 0.0;
+  double acc1 = 0.0;
+  const std::size_t m = n & ~std::size_t{1};
+  const auto contribution = [&](std::size_t i) -> double {
+    const double d2 = detail::squared_distance(xs[i], ys[i], cx, cy);
+    if (!(ws[i] > 0.0) || !(d2 > 0.0) || !(d2 <= ws[i] * cutoff_factor)) {
+      return 0.0;
+    }
+    const double c =
+        (kappa * detail::ipow(ws[i], half_alpha)) / detail::ipow(d2, half_alpha);
+    if (c >= sig) ++out.significant;
+    return c;
+  };
+  for (std::size_t i = 0; i < m; i += 2) {
+    acc0 += contribution(i);
+    acc1 += contribution(i + 1);
+  }
+  out.power = acc0 + acc1;
+  for (std::size_t i = m; i < n; ++i) out.power += contribution(i);
+  return out;
+}
+
+/// Scalar reference for the SINR *scatter* kernel: per-lane contributions
+/// of ONE transmitter at (cx, cy) with precomputed emitted power
+/// `power` (= kappa * w^h) and far-field cutoff `cutoff2`
+/// (= w * cutoff_factor), written to out[i]:
+///
+///   out[i] = (0 < d2 && d2 <= cutoff2) ? power / d2^h : 0.0
+///
+/// Purely lane-wise (no cross-lane accumulation), so the caller owns the
+/// deterministic add-order when folding lanes into per-receiver totals.
+#if defined(__GNUC__) && !defined(__clang__)
+__attribute__((optimize("fp-contract=off")))
+#endif
+inline void
+sinr_scatter_scalar(const double* xs, const double* ys, std::size_t n,
+                    double cx, double cy, double cutoff2, double power,
+                    int half_alpha, double* out) {
+  RIM_SIMD_NO_CONTRACT
+  for (std::size_t i = 0; i < n; ++i) {
+    const double d2 = detail::squared_distance(xs[i], ys[i], cx, cy);
+    out[i] = (d2 > 0.0 && d2 <= cutoff2)
+                 ? power / detail::ipow(d2, half_alpha)
+                 : 0.0;
   }
 }
 
@@ -160,6 +261,88 @@ inline void squared_distances(const double* xs, const double* ys,
   squared_distances_scalar(xs + i, ys + i, n - i, cx, cy, out + i);
 }
 
+namespace detail {
+
+/// Vector twin of detail::ipow — same h-1 multiplies, same association.
+inline __m128d ipow(__m128d x, int h) {
+  __m128d r = x;
+  for (int k = 1; k < h; ++k) r = _mm_mul_pd(r, x);
+  return r;
+}
+
+}  // namespace detail
+
+inline SinrAccum sinr_gather(const double* xs, const double* ys,
+                             const double* ws, std::size_t n, double cx,
+                             double cy, double cutoff_factor, double kappa,
+                             int half_alpha, double sig) {
+  const __m128d vcx = _mm_set1_pd(cx);
+  const __m128d vcy = _mm_set1_pd(cy);
+  const __m128d vcf = _mm_set1_pd(cutoff_factor);
+  const __m128d vkappa = _mm_set1_pd(kappa);
+  const __m128d vsig = _mm_set1_pd(sig);
+  const __m128d vzero = _mm_setzero_pd();
+  // Lane 0 of vacc is the scalar reference's acc0, lane 1 its acc1.
+  __m128d vacc = _mm_setzero_pd();
+  std::uint64_t significant = 0;
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    const __m128d dx = _mm_sub_pd(_mm_loadu_pd(xs + i), vcx);
+    const __m128d dy = _mm_sub_pd(_mm_loadu_pd(ys + i), vcy);
+    const __m128d d2 = _mm_add_pd(_mm_mul_pd(dx, dx), _mm_mul_pd(dy, dy));
+    const __m128d w = _mm_loadu_pd(ws + i);
+    const __m128d elig = _mm_and_pd(
+        _mm_and_pd(_mm_cmpgt_pd(w, vzero), _mm_cmpgt_pd(d2, vzero)),
+        _mm_cmple_pd(d2, _mm_mul_pd(w, vcf)));
+    // Divide first, mask after: an ineligible lane may produce inf/NaN
+    // (d2 == 0), but and-with-mask zeroes its bits, and adding the
+    // resulting +0.0 matches the scalar reference's `acc += 0.0` exactly.
+    const __m128d c = _mm_and_pd(
+        elig, _mm_div_pd(_mm_mul_pd(vkappa, detail::ipow(w, half_alpha)),
+                         detail::ipow(d2, half_alpha)));
+    vacc = _mm_add_pd(vacc, c);
+    // Significance is a property of *eligible* lanes only: intersect with
+    // elig so a masked-out lane's +0.0 cannot count when sig <= 0 (the
+    // scalar reference never reaches its comparison for those lanes).
+    significant += static_cast<unsigned>(__builtin_popcount(static_cast<unsigned>(
+        _mm_movemask_pd(_mm_and_pd(elig, _mm_cmpge_pd(c, vsig))))));
+  }
+  SinrAccum out;
+  double lanes[2];
+  _mm_storeu_pd(lanes, vacc);
+  out.power = lanes[0] + lanes[1];
+  out.significant = significant;
+  const SinrAccum tail =
+      sinr_gather_scalar(xs + i, ys + i, ws + i, n - i, cx, cy, cutoff_factor,
+                         kappa, half_alpha, sig);
+  out.power += tail.power;
+  out.significant += tail.significant;
+  return out;
+}
+
+inline void sinr_scatter(const double* xs, const double* ys, std::size_t n,
+                         double cx, double cy, double cutoff2, double power,
+                         int half_alpha, double* out) {
+  const __m128d vcx = _mm_set1_pd(cx);
+  const __m128d vcy = _mm_set1_pd(cy);
+  const __m128d vc2 = _mm_set1_pd(cutoff2);
+  const __m128d vp = _mm_set1_pd(power);
+  const __m128d vzero = _mm_setzero_pd();
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    const __m128d dx = _mm_sub_pd(_mm_loadu_pd(xs + i), vcx);
+    const __m128d dy = _mm_sub_pd(_mm_loadu_pd(ys + i), vcy);
+    const __m128d d2 = _mm_add_pd(_mm_mul_pd(dx, dx), _mm_mul_pd(dy, dy));
+    const __m128d elig =
+        _mm_and_pd(_mm_cmpgt_pd(d2, vzero), _mm_cmple_pd(d2, vc2));
+    _mm_storeu_pd(out + i,
+                  _mm_and_pd(elig, _mm_div_pd(
+                                       vp, detail::ipow(d2, half_alpha))));
+  }
+  sinr_scatter_scalar(xs + i, ys + i, n - i, cx, cy, cutoff2, power,
+                      half_alpha, out + i);
+}
+
 #elif defined(RIM_SIMD_NEON)
 
 inline CoverageCounts count_coverage(const double* xs, const double* ys,
@@ -205,6 +388,91 @@ inline void squared_distances(const double* xs, const double* ys,
   squared_distances_scalar(xs + i, ys + i, n - i, cx, cy, out + i);
 }
 
+namespace detail {
+
+/// Vector twin of detail::ipow — same h-1 multiplies, same association.
+/// vmulq is never contracted into an FMA.
+inline float64x2_t ipow(float64x2_t x, int h) {
+  float64x2_t r = x;
+  for (int k = 1; k < h; ++k) r = vmulq_f64(r, x);
+  return r;
+}
+
+}  // namespace detail
+
+inline SinrAccum sinr_gather(const double* xs, const double* ys,
+                             const double* ws, std::size_t n, double cx,
+                             double cy, double cutoff_factor, double kappa,
+                             int half_alpha, double sig) {
+  const float64x2_t vcx = vdupq_n_f64(cx);
+  const float64x2_t vcy = vdupq_n_f64(cy);
+  const float64x2_t vcf = vdupq_n_f64(cutoff_factor);
+  const float64x2_t vkappa = vdupq_n_f64(kappa);
+  const float64x2_t vsig = vdupq_n_f64(sig);
+  const float64x2_t vzero = vdupq_n_f64(0.0);
+  // Lane 0 of vacc is the scalar reference's acc0, lane 1 its acc1.
+  float64x2_t vacc = vdupq_n_f64(0.0);
+  std::uint64_t significant = 0;
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    const float64x2_t dx = vsubq_f64(vld1q_f64(xs + i), vcx);
+    const float64x2_t dy = vsubq_f64(vld1q_f64(ys + i), vcy);
+    const float64x2_t d2 = vaddq_f64(vmulq_f64(dx, dx), vmulq_f64(dy, dy));
+    const float64x2_t w = vld1q_f64(ws + i);
+    const uint64x2_t elig = vandq_u64(
+        vandq_u64(vcgtq_f64(w, vzero), vcgtq_f64(d2, vzero)),
+        vcleq_f64(d2, vmulq_f64(w, vcf)));
+    // Divide first, mask after: an ineligible lane may produce inf/NaN
+    // (d2 == 0), but and-with-mask zeroes its bits, and adding the
+    // resulting +0.0 matches the scalar reference's `acc += 0.0` exactly.
+    const float64x2_t raw =
+        vdivq_f64(vmulq_f64(vkappa, detail::ipow(w, half_alpha)),
+                  detail::ipow(d2, half_alpha));
+    const float64x2_t c =
+        vreinterpretq_f64_u64(vandq_u64(elig, vreinterpretq_u64_f64(raw)));
+    vacc = vaddq_f64(vacc, c);
+    // Significance is a property of *eligible* lanes only: intersect with
+    // elig so a masked-out lane's +0.0 cannot count when sig <= 0 (the
+    // scalar reference never reaches its comparison for those lanes).
+    const uint64x2_t sigm = vandq_u64(elig, vcgeq_f64(c, vsig));
+    significant +=
+        (vgetq_lane_u64(sigm, 0) & 1) + (vgetq_lane_u64(sigm, 1) & 1);
+  }
+  SinrAccum out;
+  out.power = vgetq_lane_f64(vacc, 0) + vgetq_lane_f64(vacc, 1);
+  out.significant = significant;
+  const SinrAccum tail =
+      sinr_gather_scalar(xs + i, ys + i, ws + i, n - i, cx, cy, cutoff_factor,
+                         kappa, half_alpha, sig);
+  out.power += tail.power;
+  out.significant += tail.significant;
+  return out;
+}
+
+inline void sinr_scatter(const double* xs, const double* ys, std::size_t n,
+                         double cx, double cy, double cutoff2, double power,
+                         int half_alpha, double* out) {
+  const float64x2_t vcx = vdupq_n_f64(cx);
+  const float64x2_t vcy = vdupq_n_f64(cy);
+  const float64x2_t vc2 = vdupq_n_f64(cutoff2);
+  const float64x2_t vp = vdupq_n_f64(power);
+  const float64x2_t vzero = vdupq_n_f64(0.0);
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    const float64x2_t dx = vsubq_f64(vld1q_f64(xs + i), vcx);
+    const float64x2_t dy = vsubq_f64(vld1q_f64(ys + i), vcy);
+    const float64x2_t d2 = vaddq_f64(vmulq_f64(dx, dx), vmulq_f64(dy, dy));
+    const uint64x2_t elig =
+        vandq_u64(vcgtq_f64(d2, vzero), vcleq_f64(d2, vc2));
+    const float64x2_t c = vreinterpretq_f64_u64(vandq_u64(
+        elig,
+        vreinterpretq_u64_f64(vdivq_f64(vp, detail::ipow(d2, half_alpha)))));
+    vst1q_f64(out + i, c);
+  }
+  sinr_scatter_scalar(xs + i, ys + i, n - i, cx, cy, cutoff2, power,
+                      half_alpha, out + i);
+}
+
 #else  // scalar backend
 
 inline CoverageCounts count_coverage(const double* xs, const double* ys,
@@ -217,6 +485,20 @@ inline void squared_distances(const double* xs, const double* ys,
                               std::size_t n, double cx, double cy,
                               double* out) {
   squared_distances_scalar(xs, ys, n, cx, cy, out);
+}
+
+inline SinrAccum sinr_gather(const double* xs, const double* ys,
+                             const double* ws, std::size_t n, double cx,
+                             double cy, double cutoff_factor, double kappa,
+                             int half_alpha, double sig) {
+  return sinr_gather_scalar(xs, ys, ws, n, cx, cy, cutoff_factor, kappa,
+                            half_alpha, sig);
+}
+
+inline void sinr_scatter(const double* xs, const double* ys, std::size_t n,
+                         double cx, double cy, double cutoff2, double power,
+                         int half_alpha, double* out) {
+  sinr_scatter_scalar(xs, ys, n, cx, cy, cutoff2, power, half_alpha, out);
 }
 
 #endif

@@ -1,6 +1,10 @@
 #include "rim/topology/nearest_neighbor_forest.hpp"
 
+#include <algorithm>
+#include <cmath>
 #include <limits>
+
+#include "rim/geom/dynamic_grid.hpp"
 
 namespace rim::topology {
 
@@ -17,6 +21,34 @@ graph::Graph nearest_neighbor_forest(std::span<const geom::Vec2> points,
         best = v;
       }
     }
+    if (best != kInvalidNode) out.add_edge(u, best);
+  }
+  return out;
+}
+
+graph::Graph nearest_neighbor_forest(std::span<const geom::Vec2> points) {
+  graph::Graph out(points.size());
+  if (points.size() < 2) return out;
+
+  // Cell size targeting ~1 point per cell: expanding-ring nearest() then
+  // terminates after O(1) rings for anything near-uniform.
+  double lo_x = points[0].x, hi_x = points[0].x;
+  double lo_y = points[0].y, hi_y = points[0].y;
+  for (const geom::Vec2 p : points) {
+    lo_x = std::min(lo_x, p.x);
+    hi_x = std::max(hi_x, p.x);
+    lo_y = std::min(lo_y, p.y);
+    hi_y = std::max(hi_y, p.y);
+  }
+  const double extent = std::max(hi_x - lo_x, hi_y - lo_y);
+  const double cell = std::max(
+      extent / std::sqrt(static_cast<double>(points.size())), 1e-12);
+
+  geom::DynamicGrid grid(cell);
+  grid.reserve(points.size());
+  for (NodeId u = 0; u < points.size(); ++u) grid.insert(u, points[u], 0.0);
+  for (NodeId u = 0; u < points.size(); ++u) {
+    const NodeId best = grid.nearest(points[u], u);
     if (best != kInvalidNode) out.add_edge(u, best);
   }
   return out;

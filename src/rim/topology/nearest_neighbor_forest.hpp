@@ -23,4 +23,12 @@ namespace rim::topology {
 [[nodiscard]] graph::Graph nearest_neighbor_forest(
     std::span<const geom::Vec2> points, const graph::Graph& udg);
 
+/// Unrestricted NNF: every node links to its globally nearest other node
+/// (ties toward the smaller id, matching the UDG form and
+/// geom::DynamicGrid::nearest). Found per node by expanding-ring grid
+/// search instead of scanning a neighbor list, so million-node deployments
+/// (E23) skip the O(n^2)-edge UDG build entirely.
+[[nodiscard]] graph::Graph nearest_neighbor_forest(
+    std::span<const geom::Vec2> points);
+
 }  // namespace rim::topology

@@ -22,7 +22,10 @@ std::vector<NamedAlgorithm> make_registry() {
   using geom::Vec2;
   using graph::Graph;
   std::vector<NamedAlgorithm> algorithms;
-  algorithms.push_back({"nnf", nearest_neighbor_forest,
+  algorithms.push_back({"nnf",
+                        [](std::span<const Vec2> p, const Graph& g) {
+                          return nearest_neighbor_forest(p, g);
+                        },
                         /*preserves_connectivity=*/false, /*contains_nnf=*/true});
   algorithms.push_back({"mst", mst_topology, true, true});
   algorithms.push_back({"gabriel", gabriel_graph, true, true});

@@ -1,0 +1,288 @@
+#include "rim/core/sinr.hpp"
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "rim/core/assessor.hpp"
+#include "rim/core/interference.hpp"
+#include "rim/core/node_soa.hpp"
+#include "rim/core/radii.hpp"
+#include "rim/graph/graph.hpp"
+#include "rim/sim/random_deployment.hpp"
+#include "rim/simd/simd.hpp"
+#include "rim/topology/nearest_neighbor_forest.hpp"
+
+// The SINR comparator (DESIGN.md §12). The load-bearing contracts:
+//  * SIMD and scalar twins are bit-identical within a strategy — same
+//    power bit patterns, same checksum, same significant counts;
+//  * the significant-interferer counts are strategy-invariant integers
+//    (brute gather and grid scatter see identical per-pair contributions);
+//  * eligibility edges behave: coincident nodes drop out, radius-0 nodes
+//    do not transmit, the cutoff boundary is inclusive, and denormal
+//    distances stay deterministic (both twins agree even when the
+//    contribution overflows).
+
+namespace {
+
+using rim::NodeId;
+using rim::core::EvalOptions;
+using rim::core::Model;
+using rim::core::NodeSoA;
+using rim::core::SinrAssessor;
+using rim::core::SinrOptions;
+using rim::core::SinrSummary;
+using rim::core::Strategy;
+
+NodeSoA deployment_store(std::size_t n, std::uint64_t seed) {
+  // A seeded uniform deployment with NNF-derived radii — the same node
+  // family E23 runs, scaled down.
+  const rim::geom::PointSet points =
+      rim::sim::RandomDeployment(
+          rim::sim::RandomDeployment::Params{}.with_nodes(n).with_side(
+              std::sqrt(static_cast<double>(n) / 12.5)),
+          seed)
+          .generate();
+  const rim::graph::Graph forest = rim::topology::nearest_neighbor_forest(points);
+  const std::vector<double> radii2 =
+      rim::core::transmission_radii_squared(forest, points);
+  NodeSoA nodes;
+  nodes.reserve(n);
+  for (std::size_t v = 0; v < n; ++v) {
+    nodes.insert(static_cast<NodeId>(v), points[v], radii2[v]);
+  }
+  return nodes;
+}
+
+void expect_bit_identical(const SinrSummary& a, const SinrSummary& b) {
+  ASSERT_EQ(a.power.size(), b.power.size());
+  for (std::size_t i = 0; i < a.power.size(); ++i) {
+    EXPECT_EQ(a.power[i], b.power[i]) << "power diverged at node " << i;
+  }
+  EXPECT_EQ(a.power_checksum, b.power_checksum);
+  EXPECT_EQ(a.per_node, b.per_node);
+  EXPECT_EQ(a.max, b.max);
+  EXPECT_EQ(a.total, b.total);
+}
+
+// --- The property pair: SIMD vs scalar twins on randomized deployments. ---
+
+TEST(SinrAssessor, SimdScalarBitIdenticalAcrossSeedsBrute) {
+  for (const std::uint64_t seed : {1ull, 2ull, 3ull, 97ull}) {
+    const NodeSoA nodes = deployment_store(257, seed);  // odd n => SIMD tail
+    const EvalOptions options = EvalOptions{}.with_strategy(Strategy::kBrute);
+    const SinrAssessor assessor(options);
+    expect_bit_identical(assessor.assess(nodes), assessor.assess_scalar(nodes));
+  }
+}
+
+TEST(SinrAssessor, SimdScalarBitIdenticalAcrossSeedsGrid) {
+  for (const std::uint64_t seed : {1ull, 2ull, 3ull, 97ull}) {
+    const NodeSoA nodes = deployment_store(257, seed);
+    const EvalOptions options = EvalOptions{}.with_strategy(Strategy::kGrid);
+    const SinrAssessor assessor(options);
+    expect_bit_identical(assessor.assess(nodes), assessor.assess_scalar(nodes));
+  }
+}
+
+TEST(SinrAssessor, SimdScalarBitIdenticalUnderHigherAlpha) {
+  // alpha = 6 (half_alpha = 3): the ipow ladder beyond the squaring case.
+  const NodeSoA nodes = deployment_store(128, 5);
+  const EvalOptions options =
+      EvalOptions{}.with_strategy(Strategy::kBrute).with_sinr(
+          SinrOptions{}.with_half_alpha(3));
+  const SinrAssessor assessor(options);
+  expect_bit_identical(assessor.assess(nodes), assessor.assess_scalar(nodes));
+}
+
+// --- Strategy invariance of the integer measure. ---
+
+TEST(SinrAssessor, SignificantCountsIdenticalBruteVsGrid) {
+  // Per-pair contributions are bit-identical across strategies (the grid
+  // scatter emits kappa*w^h with the same single rounding the gather
+  // uses), so the >= sig comparisons agree pair by pair even though the
+  // power sums accumulate in different orders.
+  for (const std::uint64_t seed : {7ull, 42ull}) {
+    const NodeSoA nodes = deployment_store(300, seed);
+    const SinrAssessor assessor;
+    const SinrSummary brute =
+        assessor.assess(nodes, EvalOptions{}.with_strategy(Strategy::kBrute));
+    const SinrSummary grid =
+        assessor.assess(nodes, EvalOptions{}.with_strategy(Strategy::kGrid));
+    EXPECT_EQ(brute.per_node, grid.per_node);
+    EXPECT_EQ(brute.max, grid.max);
+    EXPECT_EQ(brute.total, grid.total);
+    // The real-valued power agrees up to accumulation order.
+    ASSERT_EQ(brute.power.size(), grid.power.size());
+    for (std::size_t i = 0; i < brute.power.size(); ++i) {
+      EXPECT_NEAR(brute.power[i], grid.power[i],
+                  1e-9 * std::abs(brute.power[i]) +
+                      std::numeric_limits<double>::min());
+    }
+  }
+}
+
+TEST(SinrAssessor, ParallelStrategyMatchesGrid) {
+  // kParallel resolves to the same serial grid scatter (determinism over
+  // parallelism — the accumulation order into each receiver is the
+  // transmitter id order either way).
+  const NodeSoA nodes = deployment_store(200, 11);
+  const SinrAssessor assessor;
+  expect_bit_identical(
+      assessor.assess(nodes, EvalOptions{}.with_strategy(Strategy::kGrid)),
+      assessor.assess(nodes, EvalOptions{}.with_strategy(Strategy::kParallel)));
+}
+
+// --- Model plumbing through the Assessor facade. ---
+
+TEST(SinrAssessor, AssessorModelSinrProjectsSignificantCounts) {
+  const NodeSoA nodes = deployment_store(150, 13);
+  const rim::core::InterferenceSummary via_assessor = rim::core::Assessor{}.assess(
+      nodes, Strategy::kGrid, EvalOptions{}.with_model(Model::kSinr));
+  const SinrSummary direct = SinrAssessor{}.assess(nodes);
+  EXPECT_EQ(via_assessor.per_node, direct.per_node);
+  EXPECT_EQ(via_assessor.max, direct.max);
+}
+
+TEST(SinrAssessor, TopologyOverloadMatchesNodeSoAPath) {
+  const rim::geom::PointSet points =
+      rim::sim::RandomDeployment(
+          rim::sim::RandomDeployment::Params{}.with_nodes(120).with_side(3.0),
+          21)
+          .generate();
+  const rim::graph::Graph forest = rim::topology::nearest_neighbor_forest(points);
+  const std::vector<double> radii2 =
+      rim::core::transmission_radii_squared(forest, points);
+  NodeSoA nodes;
+  for (std::size_t v = 0; v < points.size(); ++v) {
+    nodes.insert(static_cast<NodeId>(v), points[v], radii2[v]);
+  }
+  const SinrAssessor assessor;
+  expect_bit_identical(assessor.assess(forest, points), assessor.assess(nodes));
+}
+
+// --- Kernel edge cases (simd:: layer, scalar twin as the oracle). ---
+
+struct KernelCase {
+  std::vector<double> xs, ys, ws;
+};
+
+void expect_kernels_agree(const KernelCase& c, double cx, double cy,
+                          double cutoff_factor, double kappa, int half_alpha,
+                          double sig) {
+  const auto simd = rim::simd::sinr_gather(c.xs.data(), c.ys.data(),
+                                           c.ws.data(), c.xs.size(), cx, cy,
+                                           cutoff_factor, kappa, half_alpha, sig);
+  const auto scalar = rim::simd::sinr_gather_scalar(
+      c.xs.data(), c.ys.data(), c.ws.data(), c.xs.size(), cx, cy,
+      cutoff_factor, kappa, half_alpha, sig);
+  EXPECT_EQ(std::bit_cast<std::uint64_t>(simd.power),
+            std::bit_cast<std::uint64_t>(scalar.power));
+  EXPECT_EQ(simd.significant, scalar.significant);
+}
+
+TEST(SinrKernels, CoincidentNodesAreExcluded) {
+  // Three transmitters exactly on the receiver (d2 == 0) and one real one:
+  // the coincident lanes must contribute nothing, not inf/NaN.
+  const KernelCase c{{5.0, 5.0, 5.0, 6.0}, {5.0, 5.0, 5.0, 5.0},
+                     {1.0, 1.0, 1.0, 1.0}};
+  const auto acc = rim::simd::sinr_gather_scalar(
+      c.xs.data(), c.ys.data(), c.ws.data(), 4, 5.0, 5.0,
+      /*cutoff_factor=*/100.0, /*kappa=*/1.0, /*half_alpha=*/2, /*sig=*/0.0);
+  EXPECT_TRUE(std::isfinite(acc.power));
+  EXPECT_EQ(acc.power, 1.0);  // kappa * 1^2 / 1^2 from the node at distance 1
+  EXPECT_EQ(acc.significant, 1u);
+  expect_kernels_agree(c, 5.0, 5.0, 100.0, 1.0, 2, 0.0);
+}
+
+TEST(SinrKernels, RadiusZeroNodesDoNotTransmit) {
+  const KernelCase c{{1.0, 2.0}, {0.0, 0.0}, {0.0, 1.0}};
+  const auto acc = rim::simd::sinr_gather_scalar(
+      c.xs.data(), c.ys.data(), c.ws.data(), 2, 0.0, 0.0, 100.0, 1.0, 2, 0.0);
+  // Only the w=1 node at distance 2 contributes: 1 * 1^2 / (4^2).
+  EXPECT_EQ(acc.power, 1.0 / 16.0);
+  EXPECT_EQ(acc.significant, 1u);
+  expect_kernels_agree(c, 0.0, 0.0, 100.0, 1.0, 2, 0.0);
+}
+
+TEST(SinrKernels, CutoffBoundaryIsInclusive) {
+  // w = 1, cutoff_factor = 4 => eligible iff d2 <= 4. One node exactly on
+  // the boundary (d2 == 4), one just past it.
+  const double beyond = std::nextafter(2.0, 3.0);
+  const KernelCase c{{2.0, beyond}, {0.0, 0.0}, {1.0, 1.0}};
+  const auto acc = rim::simd::sinr_gather_scalar(
+      c.xs.data(), c.ys.data(), c.ws.data(), 2, 0.0, 0.0,
+      /*cutoff_factor=*/4.0, 1.0, /*half_alpha=*/1, 0.0);
+  EXPECT_EQ(acc.power, 1.0 / 4.0);  // boundary node only
+  EXPECT_EQ(acc.significant, 1u);
+  expect_kernels_agree(c, 0.0, 0.0, 4.0, 1.0, 1, 0.0);
+}
+
+TEST(SinrKernels, DenormalDistancesStayDeterministic) {
+  // d = 1e-160 => d2 ~ 1e-320 (denormal); d2^2 underflows to zero and the
+  // contribution overflows to +inf. Both twins must agree bit-for-bit on
+  // that outcome — determinism, not finiteness, is the contract here.
+  const KernelCase c{{1e-160, 0.25, -0.25}, {0.0, 0.0, 0.0}, {1.0, 1.0, 1.0}};
+  const auto scalar = rim::simd::sinr_gather_scalar(
+      c.xs.data(), c.ys.data(), c.ws.data(), 3, 0.0, 0.0, 1e300, 1.0, 2, 0.0);
+  EXPECT_TRUE(std::isinf(scalar.power));
+  EXPECT_EQ(scalar.significant, 3u);
+  expect_kernels_agree(c, 0.0, 0.0, 1e300, 1.0, 2, 0.0);
+}
+
+TEST(SinrKernels, ScatterMatchesScalarOnBoundaryAndDenormals) {
+  const std::vector<double> xs{2.0, std::nextafter(2.0, 3.0), 1e-160, 0.0, 3.0};
+  const std::vector<double> ys{0.0, 0.0, 0.0, 0.0, 4.0};
+  std::vector<double> out_simd(xs.size(), -1.0);
+  std::vector<double> out_scalar(xs.size(), -1.0);
+  rim::simd::sinr_scatter(xs.data(), ys.data(), xs.size(), 0.0, 0.0,
+                          /*cutoff2=*/25.0, /*power=*/3.0, /*half_alpha=*/2,
+                          out_simd.data());
+  rim::simd::sinr_scatter_scalar(xs.data(), ys.data(), xs.size(), 0.0, 0.0,
+                                 25.0, 3.0, 2, out_scalar.data());
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(out_simd[i]),
+              std::bit_cast<std::uint64_t>(out_scalar[i]))
+        << "lane " << i;
+  }
+  EXPECT_EQ(out_scalar[3], 0.0);  // the receiver's own lane (d2 == 0)
+  EXPECT_EQ(out_scalar[0], 3.0 / 16.0);
+  EXPECT_EQ(out_scalar[4], 3.0 / 625.0);  // d2 = 25 exactly: inclusive
+}
+
+// --- Degenerate stores through the assessor. ---
+
+TEST(SinrAssessor, EmptyAndSingletonStores) {
+  const SinrAssessor assessor;
+  const SinrSummary empty = assessor.assess(NodeSoA{});
+  EXPECT_EQ(empty.max, 0u);
+  EXPECT_EQ(empty.total, 0u);
+  EXPECT_EQ(empty.power.size(), 0u);
+
+  NodeSoA one;
+  one.insert(0, {1.0, 1.0}, 4.0);
+  const SinrSummary single = assessor.assess(one);
+  EXPECT_EQ(single.max, 0u);
+  EXPECT_EQ(single.power[0], 0.0);
+  expect_bit_identical(single, assessor.assess_scalar(one));
+}
+
+TEST(SinrAssessor, AllCoincidentNodes) {
+  // Every pair has d2 == 0: nothing is eligible under either strategy.
+  NodeSoA nodes;
+  for (NodeId v = 0; v < 8; ++v) nodes.insert(v, {2.0, 3.0}, 1.0);
+  const SinrAssessor assessor;
+  for (const Strategy strategy : {Strategy::kBrute, Strategy::kGrid}) {
+    const SinrSummary s =
+        assessor.assess(nodes, EvalOptions{}.with_strategy(strategy));
+    EXPECT_EQ(s.max, 0u);
+    EXPECT_EQ(s.max_power, 0.0);
+    EXPECT_EQ(s.total, 0u);
+  }
+}
+
+}  // namespace

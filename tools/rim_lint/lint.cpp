@@ -26,7 +26,9 @@ constexpr std::string_view kAllowFormat = "allow-format";
 const std::vector<RuleInfo> kRules = {
     {kRawRandom,
      "non-deterministic randomness (std::rand/srand/std::random_device/"
-     "time(nullptr)) outside sim/rng; seeded runs must be replayable"},
+     "time(nullptr)) outside the entropy homes (sim/rng, "
+     "sim/random_deployment — the audited entropy_seed() door); seeded "
+     "runs must be replayable"},
     {kUnordered,
      "std::unordered_{map,set} in a serialization/checksum path (rim/io/, "
      "rim/obs/, rim/core/snapshot*); iteration order is not deterministic"},
@@ -338,7 +340,13 @@ void scan_comment(std::string_view path, std::string_view comment,
 void check_tokens(std::string_view path, const ScanResult& scan_result,
                   std::vector<Violation>& out) {
   const std::vector<Token>& toks = scan_result.tokens;
-  const bool rng_home = path_contains(path, "sim/rng");
+  // The rule-aware sanction for seeded-entropy entry points: sim/rng (the
+  // PRNG itself) and sim/random_deployment (whose entropy_seed() is the
+  // library's one documented std::random_device door). Extending this list
+  // is the supported way to bless a new entry point — ad-hoc RIM_LINT_ALLOW
+  // suppressions for raw-random would scatter unaudited entropy sites.
+  const bool rng_home = path_contains(path, "sim/rng") ||
+                        path_contains(path, "sim/random_deployment");
   const bool serialization_path = path_contains(path, "rim/io/") ||
                                   path_contains(path, "rim/obs/") ||
                                   path_contains(path, "rim/core/snapshot");

@@ -47,6 +47,20 @@ TEST(RimLint, RawRandomAllowedInRngModule) {
   EXPECT_EQ(count_rule(v, "raw-random"), 0u);
 }
 
+// The seeded-deployment module is the second sanctioned entropy home: its
+// entropy_seed() is the audited std::random_device door for callers that
+// want a logged-but-random seed. The sanction is the rule's own path list,
+// not an ad-hoc allow pragma — and it must not leak to neighboring paths.
+TEST(RimLint, RawRandomAllowedInRandomDeploymentModule) {
+  const std::string body = fixture("raw_random.cpp");
+  const auto sanctioned =
+      lint_source("src/rim/sim/random_deployment.cpp", body);
+  EXPECT_EQ(count_rule(sanctioned, "raw-random"), 0u);
+  const auto sibling = lint_source("src/rim/sim/generators.cpp", body);
+  EXPECT_GE(count_rule(sibling, "raw-random"), 4u)
+      << "sanction must cover only the entropy homes";
+}
+
 TEST(RimLint, UnorderedContainerFixtureTriggers) {
   const std::string body = fixture("unordered.cpp");
   const auto in_io = lint_source("src/rim/io/fixture.cpp", body);
