@@ -80,3 +80,15 @@
 /// comment explaining why the analysis cannot see the invariant.
 #define RIM_NO_THREAD_SAFETY_ANALYSIS \
   RIM_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+/// Lock-order declarations on a mutex member: RIM_ACQUIRED_AFTER(m) means
+/// m is always acquired first, RIM_ACQUIRED_BEFORE(m) the reverse. These
+/// expand to NOTHING on every compiler — clang's acquired_after/
+/// acquired_before attributes are unimplemented (the analysis ignores
+/// them), and cross-class arguments (SessionManager::mutex_ on a Session
+/// member) would not even name-resolve under the attribute grammar. They
+/// exist for `rim_lint --project`, whose lock-order pass parses them into
+/// the declared partial order (DESIGN.md §9, §13) and flags inverted
+/// acquisition sequences.
+#define RIM_ACQUIRED_AFTER(...)
+#define RIM_ACQUIRED_BEFORE(...)

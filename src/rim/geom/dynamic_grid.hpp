@@ -125,6 +125,10 @@ class DynamicGrid {
     // the occupied cells directly is cheaper (and bounds a huge-radius
     // query by O(points) instead of O(rectangle area)).
     if (span_x * span_y > static_cast<double>(cells_.size())) {
+      // RIM_LINT_ALLOW(project-taint): cell visit order is explicitly outside
+      // this function's contract (the rectangle path below already visits in
+      // a different order); callers fold cells with order-insensitive
+      // set/count semantics, pinned bit-identical by the determinism tests.
       for (const auto& [key, cell] : cells_) {
         ++cells_visited;
         fn(cell.view());

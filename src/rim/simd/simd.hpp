@@ -99,6 +99,18 @@ ipow(double x, int h) {
   return r;
 }
 
+/// num / den where den == 0.0 is reachable BY DESIGN: ipow underflows a
+/// denormal d2^h to 0.0 and the kernels pin the resulting IEEE-754 inf
+/// (the vector backends divide the same operands and produce the same
+/// bits — tests/simd_test.cpp's denormal cases assert it). Kept out of
+/// float-divide-by-zero sanitization so the UBSan CI leg can enforce that
+/// check strictly everywhere else.
+#if defined(__clang__) || defined(__GNUC__)
+__attribute__((no_sanitize("float-divide-by-zero")))
+#endif
+inline double
+div_allow_zero(double num, double den) { return num / den; }
+
 }  // namespace detail
 
 /// Scalar reference: for each i in [0, n), with d2 computed as above,
@@ -177,8 +189,8 @@ sinr_gather_scalar(const double* xs, const double* ys, const double* ws,
     if (!(ws[i] > 0.0) || !(d2 > 0.0) || !(d2 <= ws[i] * cutoff_factor)) {
       return 0.0;
     }
-    const double c =
-        (kappa * detail::ipow(ws[i], half_alpha)) / detail::ipow(d2, half_alpha);
+    const double c = detail::div_allow_zero(
+        kappa * detail::ipow(ws[i], half_alpha), detail::ipow(d2, half_alpha));
     if (c >= sig) ++out.significant;
     return c;
   };
@@ -211,7 +223,7 @@ sinr_scatter_scalar(const double* xs, const double* ys, std::size_t n,
   for (std::size_t i = 0; i < n; ++i) {
     const double d2 = detail::squared_distance(xs[i], ys[i], cx, cy);
     out[i] = (d2 > 0.0 && d2 <= cutoff2)
-                 ? power / detail::ipow(d2, half_alpha)
+                 ? detail::div_allow_zero(power, detail::ipow(d2, half_alpha))
                  : 0.0;
   }
 }

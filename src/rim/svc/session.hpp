@@ -94,7 +94,10 @@ struct Session {
   /// Fair-admission bucket; internally synchronized, checked before the
   /// session mutex is taken so shed commands never touch the Scenario.
   TokenBucket bucket;
-  common::Mutex mutex;
+  /// DESIGN §9 lock order: the manager's registry mutex, when needed, is
+  /// always taken before a session's — spill/unspill walk the registry and
+  /// then lock the chosen session, never the reverse.
+  common::Mutex mutex RIM_ACQUIRED_AFTER(SessionManager::mutex_);
   core::Scenario scenario RIM_GUARDED_BY(mutex);
 };
 

@@ -122,8 +122,7 @@ void TcpServer::accept_loop() {
     }
     const int nodelay = 1;
     ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &nodelay, sizeof(nodelay));
-    auto conn = std::make_unique<Connection>();
-    conn->fd = fd;
+    auto conn = std::make_unique<Connection>(fd);
     Connection& ref = *conn;
     {
       common::MutexLock lock(connections_mutex_);

@@ -64,7 +64,11 @@ class TcpServer {
 
  private:
   struct Connection {
-    int fd = -1;
+    explicit Connection(int socket_fd) : fd(socket_fd) {}
+    /// Set once at accept time, before the reader thread exists; const-ness
+    /// is what makes the cross-thread reads (reader, dispatch workers,
+    /// stop()) race-free without a lock.
+    const int fd;
     std::thread reader;
     common::Mutex write_mutex;
     std::atomic<bool> done{false};      ///< reader thread has exited
@@ -82,8 +86,11 @@ class TcpServer {
   const TcpServerConfig config_;
   parallel::ThreadPool dispatch_pool_;
 
-  int listen_fd_ = -1;
-  std::uint16_t port_ = 0;
+  /// Written by start(), read by the accept thread and by stop() (which
+  /// shuts the socket down from another thread to unblock ::accept), so
+  /// both are atomic rather than lock-protected.
+  std::atomic<int> listen_fd_{-1};
+  std::atomic<std::uint16_t> port_{0};
   std::thread accept_thread_;
   std::atomic<bool> stopping_{false};
   std::atomic<bool> started_{false};
@@ -118,6 +125,9 @@ class TcpClientTransport final : public Transport {
 
   /// Response payload frames larger than this are treated as a transport
   /// error (default matches the server-side frame cap).
+  // RIM_LINT_ALLOW(project-annotation-coverage): pre-connection
+  // configuration knob — set before the client is shared, constant during
+  // exchanges (the documented request/response-per-frame contract).
   std::size_t max_response_frame_bytes = kDefaultMaxFrameBytes;
 
  private:

@@ -1,0 +1,155 @@
+#!/usr/bin/env python3
+"""Ratchet gate over rim_lint's JSON report (DESIGN.md §13).
+
+Compares the active violations in a ``rim_lint --json`` report against the
+committed baseline (LINT_BASELINE.json): any violation NOT in the baseline
+fails the build; baselined violations that disappeared are reported so the
+baseline can be shrunk (the ratchet only ever tightens — the baseline is a
+burn-down list, not an allow-list for new debt).
+
+Entries match on (file, rule, message) as a multiset; line numbers are
+deliberately excluded so unrelated edits that shift code do not churn the
+gate.
+
+Usage:
+  rim_lint --project build --json > lint-report.json
+  check_lint.py --lint-json lint-report.json \
+                --baseline LINT_BASELINE.json \
+                [--report lint-diff.md]
+  check_lint.py --self-test
+
+Exit status: 0 gate passed, 1 new violations (or self-test failure),
+2 usage/IO error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import collections
+import json
+import sys
+
+
+def load_entries(violations):
+    """Multiset of (file, rule, message) over active violations."""
+    counts = collections.Counter()
+    for v in violations:
+        if v.get("suppressed"):
+            continue
+        counts[(v["file"], v["rule"], v["message"])] += 1
+    return counts
+
+
+def diff(report_counts, baseline_counts):
+    new = report_counts - baseline_counts
+    fixed = baseline_counts - report_counts
+    return new, fixed
+
+
+def format_entry(entry, count):
+    file, rule, message = entry
+    suffix = f" (x{count})" if count > 1 else ""
+    return f"- `{file}` **[{rule}]** {message}{suffix}"
+
+
+def markdown_report(new, fixed):
+    lines = ["# rim_lint ratchet", ""]
+    if not new and not fixed:
+        lines.append("Gate clean: report matches the baseline exactly.")
+    if new:
+        lines += [f"## New violations ({sum(new.values())}) — gate FAILED", ""]
+        lines += [format_entry(e, c) for e, c in sorted(new.items())]
+        lines += ["",
+                  "Fix the violation, or suppress it at the source line with "
+                  "`// RIM_LINT_ALLOW(rule): reason` if it is sanctioned. "
+                  "Do not add entries to LINT_BASELINE.json for new code."]
+    if fixed:
+        lines += ["", f"## Fixed baselined violations ({sum(fixed.values())})",
+                  ""]
+        lines += [format_entry(e, c) for e, c in sorted(fixed.items())]
+        lines += ["", "Shrink LINT_BASELINE.json so these cannot regress."]
+    return "\n".join(lines) + "\n"
+
+
+def run_gate(report_json, baseline_json, report_path=None, out=sys.stdout):
+    report_counts = load_entries(report_json.get("violations", []))
+    baseline_counts = collections.Counter()
+    for e in baseline_json.get("entries", []):
+        baseline_counts[(e["file"], e["rule"], e["message"])] += 1
+    new, fixed = diff(report_counts, baseline_counts)
+    md = markdown_report(new, fixed)
+    if report_path:
+        with open(report_path, "w", encoding="utf-8") as f:
+            f.write(md)
+    out.write(md)
+    return 1 if new else 0
+
+
+def self_test():
+    """The gate must fail on a synthetic violation and pass when clean."""
+    synthetic = {
+        "generator": "rim_lint",
+        "mode": "project",
+        "violations": [
+            {"file": "src/rim/x.cpp", "line": 3, "rule": "project-taint",
+             "message": "synthetic", "suppressed": False},
+        ],
+        "counts": {"active": 1, "suppressed": 0},
+    }
+    empty_baseline = {"entries": []}
+
+    class Sink:
+        def write(self, _):
+            pass
+
+    failures = []
+    if run_gate(synthetic, empty_baseline, out=Sink()) != 1:
+        failures.append("synthetic violation did not fail the gate")
+    if run_gate({"violations": []}, empty_baseline, out=Sink()) != 0:
+        failures.append("clean report did not pass the gate")
+    # A baselined violation passes (burn-down), a second instance fails.
+    baseline = {"entries": [{"file": "src/rim/x.cpp", "rule": "project-taint",
+                             "message": "synthetic"}]}
+    if run_gate(synthetic, baseline, out=Sink()) != 0:
+        failures.append("baselined violation failed the gate")
+    doubled = dict(synthetic)
+    doubled["violations"] = synthetic["violations"] * 2
+    if run_gate(doubled, baseline, out=Sink()) != 1:
+        failures.append("duplicate beyond baseline count did not fail")
+    # Suppressed violations never count against the gate.
+    suppressed = {"violations": [dict(synthetic["violations"][0],
+                                      suppressed=True)]}
+    if run_gate(suppressed, empty_baseline, out=Sink()) != 0:
+        failures.append("suppressed violation failed the gate")
+    for f in failures:
+        print(f"self-test: {f}", file=sys.stderr)
+    print("self-test:", "FAILED" if failures else "ok")
+    return 1 if failures else 0
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--lint-json", help="rim_lint --json output file")
+    parser.add_argument("--baseline", help="LINT_BASELINE.json path")
+    parser.add_argument("--report", help="write a markdown diff here")
+    parser.add_argument("--self-test", action="store_true",
+                        help="exercise the gate on synthetic reports")
+    args = parser.parse_args(argv)
+
+    if args.self_test:
+        return self_test()
+    if not args.lint_json or not args.baseline:
+        parser.error("--lint-json and --baseline are required")
+    try:
+        with open(args.lint_json, encoding="utf-8") as f:
+            report = json.load(f)
+        with open(args.baseline, encoding="utf-8") as f:
+            baseline = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"check_lint: {e}", file=sys.stderr)
+        return 2
+    return run_gate(report, baseline, args.report)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

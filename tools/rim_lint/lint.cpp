@@ -1,14 +1,18 @@
 #include "lint.hpp"
 
 #include <algorithm>
-#include <cctype>
+#include <cstdio>
 #include <filesystem>
 #include <fstream>
-#include <map>
 #include <sstream>
+
+#include "scan.hpp"
 
 namespace rim::lint {
 namespace {
+
+using detail::ScanResult;
+using detail::Token;
 
 // ---------------------------------------------------------------------------
 // Rule catalog
@@ -22,6 +26,11 @@ constexpr std::string_view kBinaryFile = "binary-file";
 constexpr std::string_view kWaveScratch = "wave-vector-scratch";
 constexpr std::string_view kEvalOptionsInit = "eval-options-designated-init";
 constexpr std::string_view kAllowFormat = "allow-format";
+// Project-wide passes (project.cpp); listed here so suppressions validate
+// and `--list-rules` shows the whole contract.
+constexpr std::string_view kProjectTaint = "project-taint";
+constexpr std::string_view kProjectLockOrder = "project-lock-order";
+constexpr std::string_view kProjectCoverage = "project-annotation-coverage";
 
 const std::vector<RuleInfo> kRules = {
     {kRawRandom,
@@ -47,267 +56,26 @@ const std::vector<RuleInfo> kRules = {
      "designated-initializer construction of core::EvalOptions; use the "
      "chainable with_* builder setters (EvalOptions{}.with_strategy(...)) so "
      "new knobs keep one construction surface"},
+    {kProjectTaint,
+     "[--project] a function reachable from a checksum-pinned entry point "
+     "(apply_batch, SpeculativeExecutor, SinrAssessor, snapshot "
+     "serialization, the _scalar SIMD twins) touches a nondeterminism "
+     "source: unordered/pointer-keyed iteration, raw randomness outside "
+     "the entropy homes, or wall-clock reads outside rim/obs/"},
+    {kProjectLockOrder,
+     "[--project] mutex acquisitions that invert the declared "
+     "RIM_ACQUIRED_AFTER/RIM_ACQUIRED_BEFORE partial order (DESIGN.md §9 "
+     "manager->session), or an annotated mutex acquired lexically inside a "
+     "ThreadPool submit() task lambda"},
+    {kProjectCoverage,
+     "[--project] shared-state audit over src/rim: a mutable static whose "
+     "type is not an internally-synchronized (mutex-bearing) class, or a "
+     "plain-data member of a mutex-bearing class carrying neither "
+     "RIM_GUARDED_BY nor std::atomic nor const"},
     {kAllowFormat,
      "malformed or dangling RIM_LINT_ALLOW suppression; the form is "
      "// RIM_LINT_ALLOW(rule-name): reason"},
 };
-
-[[nodiscard]] bool is_known_rule(std::string_view name) {
-  return std::any_of(kRules.begin(), kRules.end(),
-                     [&](const RuleInfo& r) { return r.name == name; });
-}
-
-// ---------------------------------------------------------------------------
-// Tokenizer
-// ---------------------------------------------------------------------------
-
-struct Token {
-  std::string text;
-  std::size_t line = 0;
-};
-
-struct Suppression {
-  std::size_t line = 0;  ///< the comment's line; covers `line` and `line + 1`
-  std::string rule;
-  bool used = false;
-};
-
-/// Everything the scanner extracts from one translation unit.
-struct ScanResult {
-  std::vector<Token> tokens;
-  /// (line, quoted include path) for every `#include "..."` directive.
-  std::vector<std::pair<std::size_t, std::string>> quoted_includes;
-  std::vector<Suppression> suppressions;
-  std::vector<Violation> comment_violations;  ///< malformed RIM_LINT_ALLOW
-};
-
-[[nodiscard]] bool ident_start(char c) {
-  return std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_';
-}
-[[nodiscard]] bool ident_char(char c) {
-  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
-}
-[[nodiscard]] bool digit(char c) {
-  return std::isdigit(static_cast<unsigned char>(c)) != 0;
-}
-
-void trim(std::string& s) {
-  const auto from = s.find_first_not_of(" \t");
-  const auto to = s.find_last_not_of(" \t");
-  s = from == std::string::npos ? "" : s.substr(from, to - from + 1);
-}
-
-/// Parse RIM_LINT_ALLOW markers out of one comment's text.
-void scan_comment(std::string_view path, std::string_view comment,
-                  std::size_t first_line, ScanResult& out) {
-  static constexpr std::string_view kMarker = "RIM_LINT_ALLOW";
-  std::size_t pos = 0;
-  while ((pos = comment.find(kMarker, pos)) != std::string_view::npos) {
-    const std::size_t line =
-        first_line + static_cast<std::size_t>(std::count(
-                         comment.begin(),
-                         comment.begin() + static_cast<std::ptrdiff_t>(pos),
-                         '\n'));
-    const auto bad = [&](const std::string& why) {
-      out.comment_violations.push_back(
-          {std::string(path), line, std::string(kAllowFormat), why});
-    };
-    std::size_t i = pos + kMarker.size();
-    if (i >= comment.size() || comment[i] != '(') {
-      // A prose mention ("see RIM_LINT_ALLOW in DESIGN §8"), not a
-      // suppression — only the exact RIM_LINT_ALLOW(rule) form binds.
-      pos = i;
-      continue;
-    }
-    const std::size_t close = comment.find(')', i);
-    if (close == std::string_view::npos) {
-      bad("unterminated rule name in RIM_LINT_ALLOW(...)");
-      break;
-    }
-    std::string rule(comment.substr(i + 1, close - i - 1));
-    trim(rule);
-    if (!is_known_rule(rule)) {
-      bad("unknown rule '" + rule + "' in RIM_LINT_ALLOW");
-      pos = close;
-      continue;
-    }
-    if (rule == kAllowFormat) {
-      bad("allow-format cannot be suppressed");
-      pos = close;
-      continue;
-    }
-    std::size_t r = close + 1;
-    if (r >= comment.size() || comment[r] != ':') {
-      bad("RIM_LINT_ALLOW(" + rule + ") needs ': reason'");
-      pos = close;
-      continue;
-    }
-    std::string reason(comment.substr(r + 1));
-    if (const auto eol = reason.find('\n'); eol != std::string::npos) {
-      reason.resize(eol);
-    }
-    trim(reason);
-    if (reason.empty()) {
-      bad("RIM_LINT_ALLOW(" + rule + ") needs a non-empty reason");
-      pos = close;
-      continue;
-    }
-    out.suppressions.push_back({line, std::move(rule), false});
-    pos = close;
-  }
-}
-
-/// Scan \p src: tokens (comments/strings stripped), include directives,
-/// suppression markers.
-[[nodiscard]] ScanResult scan(std::string_view path, std::string_view src) {
-  ScanResult out;
-  std::size_t line = 1;
-  std::size_t i = 0;
-  const std::size_t n = src.size();
-
-  // Include directives first (raw line scan, independent of tokenization).
-  {
-    std::istringstream stream{std::string(src)};
-    std::string raw;
-    for (std::size_t ln = 1; std::getline(stream, raw); ++ln) {
-      trim(raw);
-      if (raw.empty() || raw[0] != '#') continue;
-      raw.erase(0, 1);
-      trim(raw);
-      if (raw.rfind("include", 0) != 0) continue;
-      raw.erase(0, 7);
-      trim(raw);
-      if (raw.size() < 2 || raw[0] != '"') continue;
-      const auto close = raw.find('"', 1);
-      if (close == std::string::npos) continue;
-      out.quoted_includes.emplace_back(ln, raw.substr(1, close - 1));
-    }
-  }
-
-  const auto newline_count = [&](std::size_t from, std::size_t to) {
-    return static_cast<std::size_t>(
-        std::count(src.begin() + static_cast<std::ptrdiff_t>(from),
-                   src.begin() + static_cast<std::ptrdiff_t>(to), '\n'));
-  };
-
-  while (i < n) {
-    const char c = src[i];
-    if (c == '\n') {
-      ++line;
-      ++i;
-      continue;
-    }
-    if (std::isspace(static_cast<unsigned char>(c)) != 0) {
-      ++i;
-      continue;
-    }
-    // Comments.
-    if (c == '/' && i + 1 < n && src[i + 1] == '/') {
-      std::size_t end = src.find('\n', i);
-      if (end == std::string_view::npos) end = n;
-      scan_comment(path, src.substr(i, end - i), line, out);
-      i = end;
-      continue;
-    }
-    if (c == '/' && i + 1 < n && src[i + 1] == '*') {
-      std::size_t end = src.find("*/", i + 2);
-      if (end == std::string_view::npos) end = n;
-      scan_comment(path, src.substr(i, end - i), line, out);
-      line += newline_count(i, std::min(end + 2, n));
-      i = std::min(end + 2, n);
-      continue;
-    }
-    // String literals (never tokenized, so patterns in strings can't fire).
-    if (c == '"') {
-      // Raw string? The preceding token would have been lexed as an
-      // identifier ending in R with no space before the quote.
-      bool raw = false;
-      if (!out.tokens.empty() && out.tokens.back().line == line) {
-        const std::string& prev = out.tokens.back().text;
-        if (!prev.empty() && prev.back() == 'R' &&
-            (prev == "R" || prev == "u8R" || prev == "uR" || prev == "UR" ||
-             prev == "LR")) {
-          raw = true;
-          out.tokens.pop_back();
-        }
-      }
-      if (raw) {
-        const std::size_t open = src.find('(', i);
-        std::string delim = open == std::string_view::npos
-                                ? std::string()
-                                : std::string(src.substr(i + 1, open - i - 1));
-        const std::string closer = ")" + delim + "\"";
-        std::size_t end = open == std::string_view::npos
-                              ? std::string_view::npos
-                              : src.find(closer, open);
-        if (end == std::string_view::npos) end = n;
-        const std::size_t stop = std::min(end + closer.size(), n);
-        line += newline_count(i, stop);
-        i = stop;
-        continue;
-      }
-      ++i;
-      while (i < n && src[i] != '"' && src[i] != '\n') {
-        i += (src[i] == '\\' && i + 1 < n) ? 2u : 1u;
-      }
-      if (i < n && src[i] == '"') ++i;
-      continue;
-    }
-    if (c == '\'') {
-      ++i;
-      while (i < n && src[i] != '\'' && src[i] != '\n') {
-        i += (src[i] == '\\' && i + 1 < n) ? 2u : 1u;
-      }
-      if (i < n && src[i] == '\'') ++i;
-      continue;
-    }
-    // pp-number (integers and floats, including 1.0e+5 and 0x1.8p3).
-    if (digit(c) || (c == '.' && i + 1 < n && digit(src[i + 1]))) {
-      const std::size_t start = i;
-      while (i < n) {
-        const char d = src[i];
-        if (ident_char(d) || d == '.' || d == '\'') {
-          ++i;
-          continue;
-        }
-        if ((d == '+' || d == '-') && i > start) {
-          const char e = src[i - 1];
-          if (e == 'e' || e == 'E' || e == 'p' || e == 'P') {
-            ++i;
-            continue;
-          }
-        }
-        break;
-      }
-      out.tokens.push_back({std::string(src.substr(start, i - start)), line});
-      continue;
-    }
-    if (ident_start(c)) {
-      const std::size_t start = i;
-      while (i < n && ident_char(src[i])) ++i;
-      out.tokens.push_back({std::string(src.substr(start, i - start)), line});
-      continue;
-    }
-    // Punctuation: two-char operators we care about, else one char.
-    static constexpr std::string_view kTwoChar[] = {
-        "==", "!=", "<=", ">=", "&&", "||", "::", "->", "<<",
-        ">>", "+=", "-=", "*=", "/=", "|=", "&=", "^=", "++",
-        "--"};
-    std::string tok(1, c);
-    if (i + 1 < n) {
-      const std::string_view two = src.substr(i, 2);
-      for (const std::string_view op : kTwoChar) {
-        if (two == op) {
-          tok = std::string(op);
-          break;
-        }
-      }
-    }
-    out.tokens.push_back({tok, line});
-    i += tok.size();
-  }
-  return out;
-}
 
 // ---------------------------------------------------------------------------
 // Rule matchers
@@ -319,7 +87,7 @@ void scan_comment(std::string_view path, std::string_view comment,
 
 [[nodiscard]] bool is_float_literal(const std::string& tok) {
   if (tok.empty()) return false;
-  if (!digit(tok[0]) && tok[0] != '.') return false;
+  if (!detail::digit(tok[0]) && tok[0] != '.') return false;
   if (tok.size() > 1 && tok[0] == '0' && (tok[1] == 'x' || tok[1] == 'X')) {
     return tok.find_first_of("pP") != std::string::npos;
   }
@@ -454,57 +222,14 @@ void check_tokens(std::string_view path, const ScanResult& scan_result,
 
   const std::string own_module = module_of(path);
   for (const auto& [ln, include] : scan_result.quoted_includes) {
-    const auto detail = include.find("/detail/");
-    if (detail == std::string::npos) continue;
+    const auto detail_pos = include.find("/detail/");
+    if (detail_pos == std::string::npos) continue;
     const std::string target_module = module_of(include);
     if (target_module.empty() || target_module == own_module) continue;
     out.push_back({std::string(path), ln, std::string(kDetailInclude),
                    "#include \"" + include + "\" reaches into rim/" +
                        target_module +
                        "'s private detail/ headers across a module boundary"});
-  }
-}
-
-void apply_suppressions(const ScanResult& scanned,
-                        std::vector<Suppression>& suppressions,
-                        std::vector<Violation>& violations,
-                        std::string_view path) {
-  // A suppression covers its own line and the next line of actual code —
-  // the first token-bearing line after the comment — so multi-line
-  // rationale comments bind to the statement they precede.
-  std::vector<std::size_t> code_lines;
-  code_lines.reserve(scanned.tokens.size());
-  for (const Token& t : scanned.tokens) code_lines.push_back(t.line);
-  for (const auto& [line, include] : scanned.quoted_includes) {
-    code_lines.push_back(line);
-  }
-  std::sort(code_lines.begin(), code_lines.end());
-  const auto next_code_line = [&](std::size_t after) -> std::size_t {
-    const auto it =
-        std::upper_bound(code_lines.begin(), code_lines.end(), after);
-    return it == code_lines.end() ? 0 : *it;
-  };
-
-  std::vector<Violation> kept;
-  kept.reserve(violations.size());
-  for (Violation& v : violations) {
-    bool suppressed = false;
-    for (Suppression& s : suppressions) {
-      if (s.rule == v.rule &&
-          (s.line == v.line || next_code_line(s.line) == v.line)) {
-        s.used = true;
-        suppressed = true;
-      }
-    }
-    if (!suppressed) kept.push_back(std::move(v));
-  }
-  violations = std::move(kept);
-  for (const Suppression& s : suppressions) {
-    if (s.used) continue;
-    violations.push_back({std::string(path), s.line, std::string(kAllowFormat),
-                          "dangling RIM_LINT_ALLOW(" + s.rule +
-                              "): nothing to suppress on this line or the "
-                              "next line of code — remove it"});
   }
 }
 
@@ -518,33 +243,76 @@ void apply_suppressions(const ScanResult& scanned,
   return p.generic_string();
 }
 
-void sort_violations(std::vector<Violation>& v) {
-  std::sort(v.begin(), v.end(), [](const Violation& a, const Violation& b) {
-    if (a.file != b.file) return a.file < b.file;
-    if (a.line != b.line) return a.line < b.line;
-    return a.rule < b.rule;
-  });
+[[nodiscard]] std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void append_violation_json(std::ostringstream& out, const Violation& v,
+                           bool suppressed) {
+  out << "    {\"file\": \"" << json_escape(v.file) << "\", \"line\": "
+      << v.line << ", \"rule\": \"" << json_escape(v.rule)
+      << "\", \"message\": \"" << json_escape(v.message)
+      << "\", \"suppressed\": " << (suppressed ? "true" : "false") << "}";
 }
 
 }  // namespace
 
 const std::vector<RuleInfo>& rules() { return kRules; }
 
+bool is_known_rule(std::string_view name) {
+  return std::any_of(kRules.begin(), kRules.end(),
+                     [&](const RuleInfo& r) { return r.name == name; });
+}
+
+bool is_project_rule(std::string_view name) {
+  return name.rfind("project-", 0) == 0;
+}
+
 bool looks_binary(std::string_view contents) {
   const std::size_t window = std::min<std::size_t>(contents.size(), 8192);
   return contents.substr(0, window).find('\0') != std::string_view::npos;
 }
 
-std::vector<Violation> lint_source(std::string_view path,
-                                   std::string_view source) {
-  ScanResult scanned = scan(path, source);
+LintReport lint_source_report(std::string_view path, std::string_view source) {
+  ScanResult scanned = detail::scan(path, source);
   std::vector<Violation> violations;
   check_tokens(path, scanned, violations);
-  apply_suppressions(scanned, scanned.suppressions, violations, path);
-  violations.insert(violations.end(), scanned.comment_violations.begin(),
-                    scanned.comment_violations.end());
-  sort_violations(violations);
-  return violations;
+  detail::SuppressionOutcome outcome = detail::apply_suppressions(
+      scanned, std::move(violations), path, detail::SuppressionMode::kFile);
+  LintReport report;
+  report.active = std::move(outcome.active);
+  report.active.insert(report.active.end(), outcome.dangling.begin(),
+                       outcome.dangling.end());
+  report.active.insert(report.active.end(), scanned.comment_violations.begin(),
+                       scanned.comment_violations.end());
+  report.suppressed = std::move(outcome.suppressed);
+  detail::sort_violations(report.active);
+  detail::sort_violations(report.suppressed);
+  return report;
+}
+
+std::vector<Violation> lint_source(std::string_view path,
+                                   std::string_view source) {
+  return lint_source_report(path, source).active;
 }
 
 std::vector<Violation> check_binary(const std::string& path) {
@@ -561,20 +329,26 @@ std::vector<Violation> check_binary(const std::string& path) {
   return out;
 }
 
-std::vector<Violation> lint_file(const std::string& path) {
-  std::vector<Violation> out = check_binary(path);
-  if (!out.empty()) return out;  // binary: token rules are meaningless
+namespace {
+
+[[nodiscard]] LintReport lint_file_report(const std::string& path) {
+  LintReport report;
+  report.active = check_binary(path);
+  if (!report.active.empty()) return report;  // binary: token rules meaningless
   std::ifstream in(path, std::ios::binary);
   std::ostringstream buffer;
   buffer << in.rdbuf();
   const std::string source = buffer.str();
-  const std::vector<Violation> text =
-      lint_source(normalize(std::filesystem::path(path)), source);
-  out.insert(out.end(), text.begin(), text.end());
-  return out;
+  return lint_source_report(normalize(std::filesystem::path(path)), source);
 }
 
-std::vector<Violation> lint_tree(const std::vector<std::string>& roots) {
+}  // namespace
+
+std::vector<Violation> lint_file(const std::string& path) {
+  return lint_file_report(path).active;
+}
+
+LintReport lint_tree_report(const std::vector<std::string>& roots) {
   namespace fs = std::filesystem;
   std::vector<std::string> files;
   for (const std::string& root : roots) {
@@ -599,13 +373,40 @@ std::vector<Violation> lint_tree(const std::vector<std::string>& roots) {
     }
   }
   std::sort(files.begin(), files.end());
-  std::vector<Violation> all;
+  LintReport all;
   for (const std::string& file : files) {
-    const std::vector<Violation> v = lint_file(file);
-    all.insert(all.end(), v.begin(), v.end());
+    LintReport one = lint_file_report(file);
+    all.active.insert(all.active.end(), one.active.begin(), one.active.end());
+    all.suppressed.insert(all.suppressed.end(), one.suppressed.begin(),
+                          one.suppressed.end());
   }
-  sort_violations(all);
+  detail::sort_violations(all.active);
+  detail::sort_violations(all.suppressed);
   return all;
+}
+
+std::vector<Violation> lint_tree(const std::vector<std::string>& roots) {
+  return lint_tree_report(roots).active;
+}
+
+std::string report_json(const LintReport& report, std::string_view mode) {
+  std::ostringstream out;
+  out << "{\n  \"generator\": \"rim_lint\",\n  \"mode\": \"" << mode
+      << "\",\n  \"violations\": [\n";
+  bool first = true;
+  for (const Violation& v : report.active) {
+    if (!first) out << ",\n";
+    first = false;
+    append_violation_json(out, v, false);
+  }
+  for (const Violation& v : report.suppressed) {
+    if (!first) out << ",\n";
+    first = false;
+    append_violation_json(out, v, true);
+  }
+  out << "\n  ],\n  \"counts\": {\"active\": " << report.active.size()
+      << ", \"suppressed\": " << report.suppressed.size() << "}\n}\n";
+  return out.str();
 }
 
 }  // namespace rim::lint

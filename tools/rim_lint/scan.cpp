@@ -1,0 +1,303 @@
+#include "scan.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <sstream>
+
+namespace rim::lint::detail {
+
+bool ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+bool digit(char c) {
+  return std::isdigit(static_cast<unsigned char>(c)) != 0;
+}
+
+void trim(std::string& s) {
+  const auto from = s.find_first_not_of(" \t");
+  const auto to = s.find_last_not_of(" \t");
+  s = from == std::string::npos ? "" : s.substr(from, to - from + 1);
+}
+
+namespace {
+
+constexpr std::string_view kAllowFormat = "allow-format";
+
+/// Parse RIM_LINT_ALLOW markers out of one comment's text.
+void scan_comment(std::string_view path, std::string_view comment,
+                  std::size_t first_line, ScanResult& out) {
+  static constexpr std::string_view kMarker = "RIM_LINT_ALLOW";
+  std::size_t pos = 0;
+  while ((pos = comment.find(kMarker, pos)) != std::string_view::npos) {
+    const std::size_t line =
+        first_line + static_cast<std::size_t>(std::count(
+                         comment.begin(),
+                         comment.begin() + static_cast<std::ptrdiff_t>(pos),
+                         '\n'));
+    const auto bad = [&](const std::string& why) {
+      out.comment_violations.push_back(
+          {std::string(path), line, std::string(kAllowFormat), why});
+    };
+    std::size_t i = pos + kMarker.size();
+    if (i >= comment.size() || comment[i] != '(') {
+      // A prose mention ("see RIM_LINT_ALLOW in DESIGN §8"), not a
+      // suppression — only the exact RIM_LINT_ALLOW(rule) form binds.
+      pos = i;
+      continue;
+    }
+    const std::size_t close = comment.find(')', i);
+    if (close == std::string_view::npos) {
+      bad("unterminated rule name in RIM_LINT_ALLOW(...)");
+      break;
+    }
+    std::string rule(comment.substr(i + 1, close - i - 1));
+    trim(rule);
+    if (!is_known_rule(rule)) {
+      bad("unknown rule '" + rule + "' in RIM_LINT_ALLOW");
+      pos = close;
+      continue;
+    }
+    if (rule == kAllowFormat) {
+      bad("allow-format cannot be suppressed");
+      pos = close;
+      continue;
+    }
+    std::size_t r = close + 1;
+    if (r >= comment.size() || comment[r] != ':') {
+      bad("RIM_LINT_ALLOW(" + rule + ") needs ': reason'");
+      pos = close;
+      continue;
+    }
+    std::string reason(comment.substr(r + 1));
+    if (const auto eol = reason.find('\n'); eol != std::string::npos) {
+      reason.resize(eol);
+    }
+    trim(reason);
+    if (reason.empty()) {
+      bad("RIM_LINT_ALLOW(" + rule + ") needs a non-empty reason");
+      pos = close;
+      continue;
+    }
+    out.suppressions.push_back({line, std::move(rule), false});
+    pos = close;
+  }
+}
+
+}  // namespace
+
+ScanResult scan(std::string_view path, std::string_view src) {
+  ScanResult out;
+  std::size_t line = 1;
+  std::size_t i = 0;
+  const std::size_t n = src.size();
+
+  // Include directives first (raw line scan, independent of tokenization).
+  {
+    std::istringstream stream{std::string(src)};
+    std::string raw;
+    for (std::size_t ln = 1; std::getline(stream, raw); ++ln) {
+      trim(raw);
+      if (raw.empty() || raw[0] != '#') continue;
+      raw.erase(0, 1);
+      trim(raw);
+      if (raw.rfind("include", 0) != 0) continue;
+      raw.erase(0, 7);
+      trim(raw);
+      if (raw.size() < 2 || raw[0] != '"') continue;
+      const auto close = raw.find('"', 1);
+      if (close == std::string::npos) continue;
+      out.quoted_includes.emplace_back(ln, raw.substr(1, close - 1));
+    }
+  }
+
+  const auto newline_count = [&](std::size_t from, std::size_t to) {
+    return static_cast<std::size_t>(
+        std::count(src.begin() + static_cast<std::ptrdiff_t>(from),
+                   src.begin() + static_cast<std::ptrdiff_t>(to), '\n'));
+  };
+
+  while (i < n) {
+    const char c = src[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c)) != 0) {
+      ++i;
+      continue;
+    }
+    // Comments.
+    if (c == '/' && i + 1 < n && src[i + 1] == '/') {
+      std::size_t end = src.find('\n', i);
+      if (end == std::string_view::npos) end = n;
+      scan_comment(path, src.substr(i, end - i), line, out);
+      i = end;
+      continue;
+    }
+    if (c == '/' && i + 1 < n && src[i + 1] == '*') {
+      std::size_t end = src.find("*/", i + 2);
+      if (end == std::string_view::npos) end = n;
+      scan_comment(path, src.substr(i, end - i), line, out);
+      line += newline_count(i, std::min(end + 2, n));
+      i = std::min(end + 2, n);
+      continue;
+    }
+    // String literals (never tokenized, so patterns in strings can't fire).
+    if (c == '"') {
+      // Raw string? The preceding token would have been lexed as an
+      // identifier ending in R with no space before the quote.
+      bool raw = false;
+      if (!out.tokens.empty() && out.tokens.back().line == line) {
+        const std::string& prev = out.tokens.back().text;
+        if (!prev.empty() && prev.back() == 'R' &&
+            (prev == "R" || prev == "u8R" || prev == "uR" || prev == "UR" ||
+             prev == "LR")) {
+          raw = true;
+          out.tokens.pop_back();
+        }
+      }
+      if (raw) {
+        const std::size_t open = src.find('(', i);
+        std::string delim = open == std::string_view::npos
+                                ? std::string()
+                                : std::string(src.substr(i + 1, open - i - 1));
+        const std::string closer = ")" + delim + "\"";
+        std::size_t end = open == std::string_view::npos
+                              ? std::string_view::npos
+                              : src.find(closer, open);
+        if (end == std::string_view::npos) end = n;
+        const std::size_t stop = std::min(end + closer.size(), n);
+        line += newline_count(i, stop);
+        i = stop;
+        continue;
+      }
+      ++i;
+      while (i < n && src[i] != '"' && src[i] != '\n') {
+        i += (src[i] == '\\' && i + 1 < n) ? 2u : 1u;
+      }
+      if (i < n && src[i] == '"') ++i;
+      continue;
+    }
+    if (c == '\'') {
+      ++i;
+      while (i < n && src[i] != '\'' && src[i] != '\n') {
+        i += (src[i] == '\\' && i + 1 < n) ? 2u : 1u;
+      }
+      if (i < n && src[i] == '\'') ++i;
+      continue;
+    }
+    // pp-number (integers and floats, including 1.0e+5 and 0x1.8p3).
+    if (digit(c) || (c == '.' && i + 1 < n && digit(src[i + 1]))) {
+      const std::size_t start = i;
+      while (i < n) {
+        const char d = src[i];
+        if (ident_char(d) || d == '.' || d == '\'') {
+          ++i;
+          continue;
+        }
+        if ((d == '+' || d == '-') && i > start) {
+          const char e = src[i - 1];
+          if (e == 'e' || e == 'E' || e == 'p' || e == 'P') {
+            ++i;
+            continue;
+          }
+        }
+        break;
+      }
+      out.tokens.push_back({std::string(src.substr(start, i - start)), line});
+      continue;
+    }
+    if (ident_start(c)) {
+      const std::size_t start = i;
+      while (i < n && ident_char(src[i])) ++i;
+      out.tokens.push_back({std::string(src.substr(start, i - start)), line});
+      continue;
+    }
+    // Punctuation: two-char operators we care about, else one char.
+    static constexpr std::string_view kTwoChar[] = {
+        "==", "!=", "<=", ">=", "&&", "||", "::", "->", "<<",
+        ">>", "+=", "-=", "*=", "/=", "|=", "&=", "^=", "++",
+        "--"};
+    std::string tok(1, c);
+    if (i + 1 < n) {
+      const std::string_view two = src.substr(i, 2);
+      for (const std::string_view op : kTwoChar) {
+        if (two == op) {
+          tok = std::string(op);
+          break;
+        }
+      }
+    }
+    out.tokens.push_back({tok, line});
+    i += tok.size();
+  }
+  return out;
+}
+
+SuppressionOutcome apply_suppressions(const ScanResult& scanned,
+                                      std::vector<Violation> violations,
+                                      std::string_view path,
+                                      SuppressionMode mode) {
+  // A suppression covers its own line and the next line of actual code —
+  // the first token-bearing line after the comment — so multi-line
+  // rationale comments bind to the statement they precede.
+  std::vector<std::size_t> code_lines;
+  code_lines.reserve(scanned.tokens.size());
+  for (const Token& t : scanned.tokens) code_lines.push_back(t.line);
+  for (const auto& [line, include] : scanned.quoted_includes) {
+    code_lines.push_back(line);
+  }
+  std::sort(code_lines.begin(), code_lines.end());
+  const auto next_code_line = [&](std::size_t after) -> std::size_t {
+    const auto it =
+        std::upper_bound(code_lines.begin(), code_lines.end(), after);
+    return it == code_lines.end() ? 0 : *it;
+  };
+
+  std::vector<Suppression> suppressions = scanned.suppressions;
+  SuppressionOutcome out;
+  out.active.reserve(violations.size());
+  for (Violation& v : violations) {
+    bool suppressed = false;
+    for (Suppression& s : suppressions) {
+      if (s.rule == v.rule &&
+          (s.line == v.line || next_code_line(s.line) == v.line)) {
+        s.used = true;
+        suppressed = true;
+      }
+    }
+    if (suppressed) {
+      out.suppressed.push_back(std::move(v));
+    } else {
+      out.active.push_back(std::move(v));
+    }
+  }
+  for (const Suppression& s : suppressions) {
+    if (s.used) continue;
+    // Only the mode that can produce this rule's violations may call its
+    // suppressions dangling (see SuppressionMode).
+    const bool in_scope = (mode == SuppressionMode::kProject) ==
+                          is_project_rule(s.rule);
+    if (!in_scope) continue;
+    out.dangling.push_back({std::string(path), s.line, "allow-format",
+                            "dangling RIM_LINT_ALLOW(" + s.rule +
+                                "): nothing to suppress on this line or the "
+                                "next line of code — remove it"});
+  }
+  return out;
+}
+
+void sort_violations(std::vector<Violation>& v) {
+  std::sort(v.begin(), v.end(), [](const Violation& a, const Violation& b) {
+    if (a.file != b.file) return a.file < b.file;
+    if (a.line != b.line) return a.line < b.line;
+    if (a.rule != b.rule) return a.rule < b.rule;
+    return a.message < b.message;
+  });
+}
+
+}  // namespace rim::lint::detail

@@ -1,0 +1,77 @@
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "lint.hpp"
+
+/// \file scan.hpp
+/// The shared tokenizer behind rim_lint (DESIGN.md §8, §13).
+///
+/// Both the per-file rules (lint.cpp) and the project-wide passes
+/// (project.cpp) consume the same ScanResult: a comment/string-stripped
+/// token stream with line numbers, the quoted #include directives, and the
+/// RIM_LINT_ALLOW suppression markers. Keeping one scanner is what makes
+/// suppression semantics identical across modes — a suppression parsed here
+/// covers its own line and the next line of code, whichever pass produced
+/// the violation.
+
+namespace rim::lint::detail {
+
+struct Token {
+  std::string text;
+  std::size_t line = 0;
+};
+
+struct Suppression {
+  std::size_t line = 0;  ///< the comment's line; covers `line` and `line + 1`
+  std::string rule;
+  bool used = false;
+};
+
+/// Everything the scanner extracts from one translation unit.
+struct ScanResult {
+  std::vector<Token> tokens;
+  /// (line, quoted include path) for every `#include "..."` directive.
+  std::vector<std::pair<std::size_t, std::string>> quoted_includes;
+  std::vector<Suppression> suppressions;
+  std::vector<Violation> comment_violations;  ///< malformed RIM_LINT_ALLOW
+};
+
+[[nodiscard]] bool ident_start(char c);
+[[nodiscard]] bool ident_char(char c);
+[[nodiscard]] bool digit(char c);
+void trim(std::string& s);
+
+/// Scan \p src: tokens (comments/strings stripped), include directives,
+/// suppression markers.
+[[nodiscard]] ScanResult scan(std::string_view path, std::string_view src);
+
+/// Which pass is asking: per-file rules or the project-wide passes. A
+/// suppression for a project rule is *applied* in both modes (it sits on
+/// the source line either way) but its dangling check runs only in the
+/// mode that can produce the violation — per-file mode cannot see a
+/// project-taint violation, so a project suppression that matched nothing
+/// there is not dangling, merely out of scope.
+enum class SuppressionMode { kFile, kProject };
+
+/// What applying the suppressions did to one file's violations.
+struct SuppressionOutcome {
+  std::vector<Violation> active;      ///< violations that survived
+  std::vector<Violation> suppressed;  ///< violations a RIM_LINT_ALLOW covered
+  std::vector<Violation> dangling;    ///< allow-format: suppression matched nothing
+};
+
+/// Match \p violations (all in file \p path) against the suppressions in
+/// \p scanned. A suppression covers its own line and the next line of
+/// actual code after it.
+[[nodiscard]] SuppressionOutcome apply_suppressions(
+    const ScanResult& scanned, std::vector<Violation> violations,
+    std::string_view path, SuppressionMode mode);
+
+void sort_violations(std::vector<Violation>& v);
+
+}  // namespace rim::lint::detail

@@ -1,0 +1,27 @@
+#pragma once
+
+#include <atomic>
+
+#include "rim/common/mutex.hpp"
+#include "rim/common/thread_annotations.hpp"
+
+// Fixture: a mutex-bearing class with one unguarded plain-data member
+// (violation), one guarded member and one atomic (clean), plus an
+// unannotated mutable static (violation).
+
+namespace rim::sim {
+
+class Shared {
+ public:
+  void bump();
+
+ private:
+  common::Mutex mutex_;
+  int hits_ = 0;
+  int guarded_hits_ RIM_GUARDED_BY(mutex_) = 0;
+  std::atomic<int> fast_hits_{0};
+};
+
+static int global_hits = 0;
+
+}  // namespace rim::sim

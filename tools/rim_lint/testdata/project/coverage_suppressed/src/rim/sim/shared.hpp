@@ -1,0 +1,25 @@
+#pragma once
+
+#include <atomic>
+
+#include "rim/common/mutex.hpp"
+#include "rim/common/thread_annotations.hpp"
+
+namespace rim::sim {
+
+class Shared {
+ public:
+  void bump();
+
+ private:
+  common::Mutex mutex_;
+  // RIM_LINT_ALLOW(project-annotation-coverage): written only before the
+  // worker threads start (construction-time configuration).
+  int hits_ = 0;
+};
+
+// RIM_LINT_ALLOW(project-annotation-coverage): test-only tally, read after
+// every thread is joined.
+static int global_hits = 0;
+
+}  // namespace rim::sim

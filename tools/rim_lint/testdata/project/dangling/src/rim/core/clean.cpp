@@ -1,0 +1,10 @@
+// Fixture: a project-rule suppression with nothing to suppress. The
+// per-file mode must leave it alone (it cannot see project violations);
+// the project mode must flag it as dangling.
+
+namespace rim::core {
+
+// RIM_LINT_ALLOW(project-taint): stale rationale for code since rewritten.
+int answer() { return 42; }
+
+}  // namespace rim::core

@@ -1,0 +1,18 @@
+#include "rim/svc/managerish.hpp"
+
+namespace rim::svc {
+
+Sessionish session;
+
+void Managerish::spill() {
+  common::MutexLock hold_session(session.mutex);
+  common::MutexLock hold_registry(reg_mutex_);  // inverts the declared order
+}
+
+void Managerish::enqueue() {
+  pool().submit([this] {
+    common::MutexLock hold(reg_mutex_);  // lock inside a pool task lambda
+  });
+}
+
+}  // namespace rim::svc

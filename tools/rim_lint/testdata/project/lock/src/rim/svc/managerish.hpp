@@ -1,0 +1,26 @@
+#pragma once
+
+#include "rim/common/mutex.hpp"
+#include "rim/common/thread_annotations.hpp"
+
+// Fixture: a declared manager->session lock order and two ways to break
+// it — an inverted acquisition sequence and a lock taken inside a
+// ThreadPool task lambda.
+
+namespace rim::svc {
+
+class Managerish {
+ public:
+  void spill();
+  void enqueue();
+
+ private:
+  common::Mutex reg_mutex_;
+};
+
+class Sessionish {
+ public:
+  common::Mutex mutex RIM_ACQUIRED_AFTER(Managerish::reg_mutex_);
+};
+
+}  // namespace rim::svc

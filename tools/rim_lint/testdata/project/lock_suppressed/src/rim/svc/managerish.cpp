@@ -1,0 +1,14 @@
+#include "rim/svc/managerish.hpp"
+
+namespace rim::svc {
+
+Sessionish session;
+
+void Managerish::spill() {
+  common::MutexLock hold_session(session.mutex);
+  // RIM_LINT_ALLOW(project-lock-order): single-threaded teardown path; the
+  // registry lock is uncontended here by construction.
+  common::MutexLock hold_registry(reg_mutex_);
+}
+
+}  // namespace rim::svc

@@ -1,0 +1,21 @@
+#pragma once
+
+#include "rim/common/mutex.hpp"
+#include "rim/common/thread_annotations.hpp"
+
+namespace rim::svc {
+
+class Managerish {
+ public:
+  void spill();
+
+ private:
+  common::Mutex reg_mutex_;
+};
+
+class Sessionish {
+ public:
+  common::Mutex mutex RIM_ACQUIRED_AFTER(Managerish::reg_mutex_);
+};
+
+}  // namespace rim::svc

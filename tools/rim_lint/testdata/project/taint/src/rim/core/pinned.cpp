@@ -1,0 +1,21 @@
+#include <random>
+
+#include "rim/geom/gridish.hpp"
+
+// Fixture: apply_batch is a taint seed by name; both the cross-TU
+// unordered iteration (gridish.cpp) and the local random_device helper
+// must be flagged as reachable nondeterminism.
+
+namespace rim::core {
+
+static unsigned seed_helper() {
+  std::random_device rd;
+  return rd();
+}
+
+int apply_batch(geom::Gridish& grid) {
+  const unsigned salt = seed_helper();
+  return grid.fold() + static_cast<int>(salt % 2);
+}
+
+}  // namespace rim::core

@@ -1,0 +1,13 @@
+#include "rim/geom/gridish.hpp"
+
+namespace rim::geom {
+
+int Gridish::fold() const {
+  int sum = 0;
+  for (const auto& kv : cells_) {
+    sum += kv.second;
+  }
+  return sum;
+}
+
+}  // namespace rim::geom

@@ -1,0 +1,18 @@
+#pragma once
+
+#include <unordered_map>
+
+// Fixture: a class with an unordered member whose iteration feeds a
+// checksum-pinned entry point in ANOTHER translation unit (pinned.cpp).
+
+namespace rim::geom {
+
+class Gridish {
+ public:
+  int fold() const;
+
+ private:
+  std::unordered_map<long, int> cells_;
+};
+
+}  // namespace rim::geom

@@ -1,0 +1,7 @@
+#include "rim/geom/gridish.hpp"
+
+namespace rim::core {
+
+int apply_batch(geom::Gridish& grid) { return grid.fold(); }
+
+}  // namespace rim::core

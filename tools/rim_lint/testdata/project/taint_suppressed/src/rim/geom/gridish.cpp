@@ -1,0 +1,19 @@
+#include "rim/geom/gridish.hpp"
+
+// Fixture: the cross-TU suppression case — the violation is *discovered*
+// through a seed in pinned.cpp, but the suppression lives here at the
+// definition site and must cover it.
+
+namespace rim::geom {
+
+int Gridish::fold() const {
+  int sum = 0;
+  // RIM_LINT_ALLOW(project-taint): summation is commutative over exact ints,
+  // so visit order cannot change the result.
+  for (const auto& kv : cells_) {
+    sum += kv.second;
+  }
+  return sum;
+}
+
+}  // namespace rim::geom

@@ -1,0 +1,15 @@
+#pragma once
+
+#include <unordered_map>
+
+namespace rim::geom {
+
+class Gridish {
+ public:
+  int fold() const;
+
+ private:
+  std::unordered_map<long, int> cells_;
+};
+
+}  // namespace rim::geom
