@@ -9,10 +9,14 @@
 ///   rim_cli route     --points points.csv --edges edges.csv --from 0 --to 7
 ///   rim_cli serve     --port 7421 --max-sessions 64
 ///   rim_cli client    --port 7421 --demo --shutdown
+///   rim_cli router    --port 7420 --backends 127.0.0.1:7421,127.0.0.1:7422
+///   rim_cli shard-status --port 7420
 ///
 /// All data flows through the CSV formats of rim/io/csv.hpp, so results can
 /// be piped to external plotting tools. `serve`/`client` speak the rim::svc
-/// wire protocol (DESIGN.md §9) over localhost TCP.
+/// wire protocol (DESIGN.md §9) over localhost TCP; `router` fronts N
+/// `serve` backends with the consistent-hash shard tier (DESIGN.md §14) —
+/// clients talk to it with the exact same protocol.
 
 #include <csignal>
 #include <fstream>
@@ -36,6 +40,7 @@
 #include "rim/io/table.hpp"
 #include "rim/phy/scheduling.hpp"
 #include "rim/routing/geographic.hpp"
+#include "rim/shard/router.hpp"
 #include "rim/sim/adversarial.hpp"
 #include "rim/sim/generators.hpp"
 #include "rim/svc/client.hpp"
@@ -297,10 +302,141 @@ int cmd_serve(const Args& args) {
   return 0;
 }
 
-/// `rim_cli client --port N [--host H] [--demo] [--shutdown]` — pings the
-/// server; with --demo drives one session of topology churn through the
-/// wire and prints the interference answer; with --shutdown stops the
-/// server afterwards.
+shard::Router* g_routing = nullptr;
+
+void handle_router_stop_signal(int) {
+  if (g_routing != nullptr) g_routing->request_shutdown();
+}
+
+/// `rim_cli router --port N --backends host:port[,host:port...]
+///  [--vnodes V] [--ship-every K] [--health-interval-ms M]
+///  [--exchange-deadline-ms D] [--threads T]` — front the listed `serve`
+/// backends with the consistent-hash shard tier (DESIGN.md §14): clients
+/// speak the unchanged wire protocol to this port; sessions are placed on
+/// the ring, replicated to their peer shard every K mutating commands,
+/// and transparently failed over when a backend dies.
+int cmd_router(const Args& args) {
+  const std::string backends = args.get("backends");
+  if (backends.empty()) {
+    std::cerr << "router: --backends host:port[,host:port...] is required\n";
+    return 1;
+  }
+  shard::RouterConfig config;
+  const auto deadline =
+      static_cast<std::uint32_t>(args.num("exchange-deadline-ms", 2000));
+  std::stringstream list(backends);
+  std::string endpoint;
+  while (std::getline(list, endpoint, ',')) {
+    const std::size_t colon = endpoint.rfind(':');
+    if (colon == std::string::npos) {
+      std::cerr << "router: backend '" << endpoint << "' is not host:port\n";
+      return 1;
+    }
+    const std::string host = endpoint.substr(0, colon);
+    const auto port =
+        static_cast<std::uint16_t>(std::stoul(endpoint.substr(colon + 1)));
+    config.backends.push_back(
+        {endpoint, [host, port, deadline]() -> std::unique_ptr<svc::Transport> {
+           auto transport = std::make_unique<svc::TcpClientTransport>();
+           transport->exchange_deadline_ms = deadline;
+           std::string error;
+           if (!transport->connect_to(host, port, error)) return nullptr;
+           return transport;
+         }});
+  }
+  config.vnodes = static_cast<std::size_t>(args.num("vnodes", 64));
+  config.replication.ship_every =
+      static_cast<std::size_t>(args.num("ship-every", 1));
+  config.health_interval_ms =
+      static_cast<std::uint64_t>(args.num("health-interval-ms", 200));
+  config.allow_shutdown = true;
+
+  shard::Router router(std::move(config));
+  svc::TcpServerConfig tcp;
+  tcp.port = static_cast<std::uint16_t>(args.num("port", 7420));
+  tcp.dispatch_threads = static_cast<std::size_t>(args.num("threads", 0));
+  svc::TcpServer server(router, tcp);
+  std::string error;
+  if (!server.start(error)) {
+    std::cerr << "router: " << error << '\n';
+    return 1;
+  }
+  router.start_health_monitor();
+  g_routing = &router;
+  std::signal(SIGINT, handle_router_stop_signal);
+  std::signal(SIGTERM, handle_router_stop_signal);
+  std::cout << "rim_cli router: listening on 127.0.0.1:" << server.port()
+            << " over " << router.config().backends.size() << " backends"
+            << std::endl;
+  router.wait_shutdown();
+  server.stop();
+  router.stop();
+  g_routing = nullptr;
+  const shard::RouterCounters& c = router.counters();
+  std::cout << "rim_cli router: clean shutdown after " << c.requests.value()
+            << " requests (" << c.ok.value() << " ok, " << c.errors.value()
+            << " errors, " << c.failovers.value() << " failovers, "
+            << c.sessions_moved.value() << " sessions moved, "
+            << c.lost_sessions.value() << " lost)\n";
+  return 0;
+}
+
+/// `rim_cli shard-status --port N [--host H]` — asks a router for its
+/// shard_status document and prints it plus a grep-friendly summary.
+int cmd_shard_status(const Args& args) {
+  svc::TcpClientTransport transport;
+  std::string error;
+  const std::string host = args.get("host", "127.0.0.1");
+  const auto port = static_cast<std::uint16_t>(args.num("port", 7420));
+  if (!transport.connect_to(host, port, error)) {
+    std::cerr << "shard-status: " << error << '\n';
+    return 1;
+  }
+  io::JsonObject request;
+  request["cmd"] = io::Json("shard_status");
+  request["id"] = io::Json(std::uint64_t{1});
+  std::string response_frame;
+  if (transport.roundtrip(svc::encode_frame(io::Json(std::move(request)).dump()),
+                          response_frame, error) != svc::TransportStatus::kOk) {
+    std::cerr << "shard-status: " << error << '\n';
+    return 1;
+  }
+  std::size_t consumed = 0;
+  std::string payload;
+  if (svc::try_decode_frame(response_frame, 1u << 26, consumed, payload) !=
+      svc::FrameStatus::kFrame) {
+    std::cerr << "shard-status: bad response frame\n";
+    return 1;
+  }
+  io::Json document;
+  if (!io::Json::parse(payload, document, error)) {
+    std::cerr << "shard-status: " << error << '\n';
+    return 1;
+  }
+  std::cout << payload << '\n';
+  const io::Json* result = document.find("result");
+  if (result != nullptr) {
+    const auto field = [&](const char* key) -> std::uint64_t {
+      const io::Json* value = result->find(key);
+      return value != nullptr
+                 ? static_cast<std::uint64_t>(value->as_number(0.0))
+                 : 0;
+    };
+    std::cout << "shard-status: sessions=" << field("sessions")
+              << " moved=" << field("sessions_moved")
+              << " lost=" << field("lost_sessions")
+              << " failovers=" << field("failovers") << '\n';
+  }
+  return 0;
+}
+
+/// `rim_cli client --port N [--host H] [--demo [--keep]] [--touch K]
+///  [--shutdown]` — pings the server; with --demo drives one session of
+/// topology churn through the wire and prints the interference answer
+/// (--keep leaves the session open for later --touch probes); --touch K
+/// re-queries sessions 1..K — after a backend kill this is the
+/// transparent-restore check; with --shutdown stops the server
+/// afterwards.
 int cmd_client(const Args& args) {
   svc::TcpClientTransport transport;
   std::string error;
@@ -351,11 +487,40 @@ int cmd_client(const Args& args) {
               << applied.value().applied << " mutations; interference ";
     interference.value().write(std::cout);
     std::cout << '\n';
-    if (const svc::SvcResult<void> closed = client.try_close_session(session);
-        !closed.has_value()) {
+    if (args.flag("keep")) {
+      std::cout << "client: session " << session << " kept open\n";
+    } else if (const svc::SvcResult<void> closed =
+                   client.try_close_session(session);
+               !closed.has_value()) {
       std::cerr << "client: close_session: " << closed.error().message << '\n';
       return 1;
     }
+  }
+  if (const auto touch = static_cast<std::uint64_t>(args.num("touch", 0));
+      touch > 0) {
+    // Re-query sessions 1..K (wire ids are allocated from 1): each answer
+    // proves the session's state survived — when a backend was killed in
+    // between, that its replica was adopted and replayed transparently.
+    std::uint64_t answered = 0;
+    for (std::uint64_t session = 1; session <= touch; ++session) {
+      const svc::SvcResult<io::Json> interference =
+          client.try_query_interference(session);
+      if (!interference.has_value()) {
+        std::cerr << "client: touch session " << session << ": "
+                  << interference.error().message << '\n';
+        continue;
+      }
+      const io::Json* total = interference.value().find("total");
+      std::cout << "client: session " << session << " interference total="
+                << (total != nullptr
+                        ? static_cast<std::uint64_t>(total->as_number(0.0))
+                        : 0)
+                << '\n';
+      ++answered;
+    }
+    std::cout << "client: transparent restore check: " << answered << "/"
+              << touch << " sessions answered\n";
+    if (answered != touch) return 1;
   }
   if (args.flag("shutdown")) {
     if (const svc::SvcResult<void> down = client.try_shutdown();
@@ -374,7 +539,7 @@ int main(int argc, char** argv) {
   if (argc < 2) {
     std::cerr << "usage: rim_cli "
                  "<generate|topology|interference|survey|schedule|route"
-                 "|serve|client> [--key value ...]\n";
+                 "|serve|client|router|shard-status> [--key value ...]\n";
     return 1;
   }
   const std::string command = argv[1];
@@ -388,6 +553,8 @@ int main(int argc, char** argv) {
     if (command == "route") return cmd_route(args);
     if (command == "serve") return cmd_serve(args);
     if (command == "client") return cmd_client(args);
+    if (command == "router") return cmd_router(args);
+    if (command == "shard-status") return cmd_shard_status(args);
     std::cerr << "unknown command '" << command << "'\n";
     return 1;
   } catch (const std::exception& error) {

@@ -1,0 +1,89 @@
+#include "rim/shard/hash_ring.hpp"
+
+namespace rim::shard {
+
+std::uint64_t fnv1a_bytes(std::string_view bytes) {
+  std::uint64_t hash = 1469598103934665603ull;  // FNV offset basis
+  for (const char c : bytes) {
+    hash ^= static_cast<std::uint8_t>(c);
+    hash *= 1099511628211ull;  // FNV prime
+  }
+  return hash;
+}
+
+namespace {
+
+/// splitmix64 finalizer. FNV-1a disperses poorly in the high bits for the
+/// short, similar strings rings are made of ("shard-0#17", "session:42"):
+/// unmixed, a 4-member ring can end up with one member owning 60% of the
+/// key space and another owning none of the live sessions. Every point and
+/// every lookup key passes through this mix, so placement quality does not
+/// depend on the input strings' shape.
+std::uint64_t mix64(std::uint64_t z) {
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+HashRing::HashRing(std::size_t vnodes) : vnodes_(vnodes == 0 ? 1 : vnodes) {}
+
+void HashRing::add(const std::string& member) {
+  if (!members_.insert(member).second) return;
+  rebuild();
+}
+
+void HashRing::remove(const std::string& member) {
+  if (members_.erase(member) == 0) return;
+  rebuild();
+}
+
+bool HashRing::contains(const std::string& member) const {
+  return members_.count(member) != 0;
+}
+
+void HashRing::rebuild() {
+  points_.clear();
+  for (const std::string& member : members_) {
+    for (std::size_t i = 0; i < vnodes_; ++i) {
+      const std::uint64_t point =
+          mix64(fnv1a_bytes(member + "#" + std::to_string(i)));
+      // Collision winner is the lexicographically smaller member, which
+      // members_'s ascending iteration gives us for free: first writer
+      // wins.
+      points_.emplace(point, member);
+    }
+  }
+}
+
+std::string HashRing::owner(std::uint64_t key,
+                            const std::set<std::string>& down) const {
+  if (points_.empty()) return "";
+  // Walk clockwise from the key's point, wrapping once; the first live
+  // member wins. Bounded by the point count, so a fully-down ring
+  // terminates with "".
+  auto it = points_.lower_bound(mix64(key));
+  for (std::size_t steps = 0; steps < points_.size(); ++steps) {
+    if (it == points_.end()) it = points_.begin();
+    if (down.count(it->second) == 0) return it->second;
+    ++it;
+  }
+  return "";
+}
+
+std::string HashRing::peer(std::uint64_t key,
+                           const std::set<std::string>& down) const {
+  const std::string first = owner(key, down);
+  if (first.empty()) return "";
+  auto it = points_.lower_bound(mix64(key));
+  for (std::size_t steps = 0; steps < points_.size(); ++steps) {
+    if (it == points_.end()) it = points_.begin();
+    const std::string& member = it->second;
+    if (member != first && down.count(member) == 0) return member;
+    ++it;
+  }
+  return "";
+}
+
+}  // namespace rim::shard

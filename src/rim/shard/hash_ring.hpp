@@ -1,0 +1,75 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <string_view>
+
+/// \file hash_ring.hpp
+/// Consistent-hash ring for session→backend placement (DESIGN.md §14).
+///
+/// Each member (a backend name) is hashed onto the 64-bit ring at `vnodes`
+/// virtual points; a session key owns the first point clockwise from its
+/// own hash. Virtual points give the two properties the router needs:
+///
+///  - **Stability**: adding or removing one member of N moves ~1/N of the
+///    key space, never the whole table (tests/shard_ring_test.cpp pins a
+///    bound). Sessions that do not move keep their backend — no churn.
+///  - **Determinism**: placement is a pure function of the member set and
+///    the key. Points are FNV-1a hashes passed through a splitmix64
+///    finalizer (FNV alone disperses short names too poorly for balanced
+///    arcs; lookup keys get the same mix); a (vanishingly rare) point
+///    collision is resolved toward the lexicographically smaller member,
+///    so the ring is identical regardless of insertion order. Two router
+///    processes configured with the same backends route identically.
+///
+/// The ring is a plain value type: the router guards it with its own
+/// ring_mutex_ (router.hpp), so there is no locking here.
+
+namespace rim::shard {
+
+/// FNV-1a over a byte string (the ring's one hash; also used for session
+/// keys so placement is reproducible across processes).
+[[nodiscard]] std::uint64_t fnv1a_bytes(std::string_view bytes);
+
+class HashRing {
+ public:
+  explicit HashRing(std::size_t vnodes = 64);
+
+  /// Add a member (no-op when present). O(members × vnodes) rebuild —
+  /// membership changes are rare control-plane events.
+  void add(const std::string& member);
+
+  /// Remove a member (no-op when absent).
+  void remove(const std::string& member);
+
+  [[nodiscard]] bool contains(const std::string& member) const;
+  [[nodiscard]] std::size_t size() const { return members_.size(); }
+  [[nodiscard]] const std::set<std::string>& members() const {
+    return members_;
+  }
+
+  /// The member owning \p key, skipping members in \p down. Empty when no
+  /// live member exists.
+  [[nodiscard]] std::string owner(std::uint64_t key,
+                                  const std::set<std::string>& down = {})
+      const;
+
+  /// The first live member clockwise after \p key's owner that is distinct
+  /// from it — the designated replica peer. Empty when fewer than two live
+  /// members exist.
+  [[nodiscard]] std::string peer(std::uint64_t key,
+                                 const std::set<std::string>& down = {})
+      const;
+
+ private:
+  void rebuild();
+
+  std::size_t vnodes_;
+  std::set<std::string> members_;
+  /// ring point → member; std::map keeps the walk order deterministic.
+  std::map<std::uint64_t, std::string> points_;
+};
+
+}  // namespace rim::shard

@@ -1,0 +1,124 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "rim/io/json.hpp"
+#include "rim/obs/metrics.hpp"
+#include "rim/svc/transport.hpp"
+
+/// \file replicator.hpp
+/// Spill-to-peer session replication for the shard router (DESIGN.md §14).
+///
+/// The PR 5 SessionManager spills LRU sessions to disk as versioned,
+/// checksummed core::Snapshots and restores them bit-identically. The
+/// Replicator promotes that path to *spill-to-peer*: after every
+/// `ship_every` acked mutating commands on a session, the router fetches
+/// the owner backend's snapshot and streams it to the session's designated
+/// peer shard (replicate_session). Between ships, acked mutating request
+/// payloads accumulate in a per-session journal.
+///
+/// **Exactly-once failover.** The replica + journal describe *acked*
+/// state only: a command torn by a connection loss was never journaled,
+/// so restore() — adopt the replica at the peer, replay the journal in
+/// order — reconstructs precisely the state every acked command produced,
+/// after which the router re-forwards the torn command once. No command
+/// is applied twice and none is lost, which is what makes the E24
+/// kill-a-shard run checksum-identical to its unkilled twin.
+///
+/// The Replicator is transport-agnostic: every backend exchange goes
+/// through an injected Exchange callable (the router wires it to its
+/// per-backend connections; tests wire fakes). All per-session state
+/// lives in ReplicaState, which the *caller* guards (the router holds the
+/// session entry mutex across every call here).
+
+namespace rim::shard {
+
+/// One request/response exchange with a named backend. The payload is a
+/// deframed protocol.hpp JSON document; implementations frame it, ship
+/// it, and deframe the response.
+using Exchange = std::function<svc::TransportStatus(
+    const std::string& backend, const std::string& payload,
+    std::string& response_payload)>;
+
+struct ReplicationPolicy {
+  /// Ship a snapshot to the peer after this many acked mutating commands
+  /// (1 = after every mutating command batch; the replication cadence).
+  std::size_t ship_every = 1;
+  /// Journal entries beyond this are a configuration error surfaced via
+  /// ship-failure accounting (the journal only grows while ships fail).
+  std::size_t max_journal = 4096;
+};
+
+/// Lock-free counters + replication lag histogram (registered under the
+/// router's "shard.router" registry source).
+struct ReplicatorCounters {
+  obs::Counter shipped;             ///< snapshots accepted by a peer
+  obs::Counter ship_failures;       ///< snapshot/replicate exchanges failed
+  obs::Counter journal_truncated;   ///< mutations dropped past max_journal
+  obs::Counter replays;             ///< journal entries replayed on restore
+  obs::Counter adoptions;           ///< replicas promoted on a peer
+  obs::Counter adoption_failures;   ///< restore() runs that failed
+  obs::Histogram lag_ns;            ///< mutation-ack → replica-shipped lag
+
+  [[nodiscard]] io::Json to_json() const;
+};
+
+/// Per-session replication state. Guarded by the owning session entry's
+/// mutex (router.hpp); the Replicator never locks.
+struct ReplicaState {
+  /// Acked mutating request payloads since the last successful ship, in
+  /// ack order (the replay script).
+  std::vector<std::string> journal;
+  std::uint64_t shipped_seq = 0;        ///< monotonic ship sequence
+  std::uint64_t muts_since_ship = 0;
+  std::uint64_t oldest_unshipped_ns = 0;///< ack time of journal.front()
+  std::string peer;                     ///< backend holding the replica
+  bool has_replica = false;
+};
+
+class Replicator {
+ public:
+  explicit Replicator(ReplicationPolicy policy) : policy_(policy) {}
+
+  Replicator(const Replicator&) = delete;
+  Replicator& operator=(const Replicator&) = delete;
+
+  /// Record one acked mutating request \p payload at \p now_ns. Returns
+  /// true when the cadence says a ship is due.
+  bool record_mutation(ReplicaState& state, std::string payload,
+                       std::uint64_t now_ns);
+
+  /// Fetch \p origin's snapshot from \p owner (backend session
+  /// \p owner_session) and ship it to \p peer at the next ship sequence.
+  /// On success the journal resets and the replication lag is recorded.
+  /// On failure the journal is kept — the next mutation retries.
+  bool ship(std::uint64_t origin, const std::string& owner,
+            std::uint64_t owner_session, const std::string& peer,
+            const Exchange& exchange, ReplicaState& state,
+            std::uint64_t now_ns);
+
+  /// Failover restore onto \p target: adopt the replica (or create a
+  /// fresh session when nothing was ever shipped — the journal then holds
+  /// the session's whole history) and replay the journal in order. On
+  /// success \p backend_session is the promoted session's id on \p target
+  /// and the state's replica bookkeeping resets (the caller re-ships to a
+  /// new peer). False with \p error when the peer cannot reconstruct the
+  /// session — the session is lost.
+  bool restore(std::uint64_t origin, const std::string& target,
+               const Exchange& exchange, ReplicaState& state,
+               std::uint64_t& backend_session, std::string& error);
+
+  [[nodiscard]] const ReplicatorCounters& counters() const {
+    return counters_;
+  }
+  [[nodiscard]] const ReplicationPolicy& policy() const { return policy_; }
+
+ private:
+  const ReplicationPolicy policy_;
+  ReplicatorCounters counters_;
+};
+
+}  // namespace rim::shard

@@ -48,8 +48,16 @@ SvcResult<io::Json> Client::try_call(const std::string& command,
   const std::string payload = io::Json(std::move(params)).dump();
   std::string response_frame;
   std::string transport_error;
-  if (!transport_.roundtrip(encode_frame(payload), response_frame,
-                            transport_error)) {
+  const TransportStatus transport_status = transport_.roundtrip(
+      encode_frame(payload), response_frame, transport_error);
+  if (transport_status == TransportStatus::kConnectionLost) {
+    // A torn exchange is typed distinctly from other transport failures:
+    // the request may or may not have been applied, and the shard
+    // router's failover path keys on exactly this code (DESIGN.md §14).
+    return fail(
+        SvcError{SvcErrorCode::kConnectionLost, std::move(transport_error)});
+  }
+  if (transport_status != TransportStatus::kOk) {
     return transport_failure(std::move(transport_error));
   }
   std::size_t consumed = 0;

@@ -18,10 +18,11 @@
 ///
 /// The API is the try_* family: every call returns SvcResult<T>
 /// (= common::Expected<T, SvcError>), whose SvcErrorCode mirrors the wire
-/// envelope codes (errors.hpp) — a transport failure is
-/// SvcErrorCode::kTransport, a service error response carries the decoded
-/// wire code and message. The most recent failure is additionally retained
-/// in error() / error_code() for diagnostics.
+/// envelope codes (errors.hpp) — a lost peer (reset/EOF/deadline during
+/// the exchange) is SvcErrorCode::kConnectionLost, any other transport
+/// failure is SvcErrorCode::kTransport, and a service error response
+/// carries the decoded wire code and message. The most recent failure is
+/// additionally retained in error() / error_code() for diagnostics.
 ///
 /// The raw response payload of the most recent call is retained
 /// (last_response_payload()); the byte-identity tests compare it against

@@ -8,6 +8,8 @@ const char* to_wire(SvcErrorCode code) {
   switch (code) {
     case SvcErrorCode::kTransport:
       return "transport";
+    case SvcErrorCode::kConnectionLost:
+      return "connection_lost";
     case SvcErrorCode::kBadFrame:
       return code::kBadFrame;
     case SvcErrorCode::kBadRequest:
@@ -16,6 +18,8 @@ const char* to_wire(SvcErrorCode code) {
       return code::kUnknownCommand;
     case SvcErrorCode::kNoSession:
       return code::kNoSession;
+    case SvcErrorCode::kNoReplica:
+      return code::kNoReplica;
     case SvcErrorCode::kOverloaded:
       return code::kOverloaded;
     case SvcErrorCode::kRestoreFailed:
@@ -32,10 +36,12 @@ const char* to_wire(SvcErrorCode code) {
 
 SvcErrorCode code_from_wire(std::string_view wire) {
   if (wire == "transport") return SvcErrorCode::kTransport;
+  if (wire == "connection_lost") return SvcErrorCode::kConnectionLost;
   if (wire == code::kBadFrame) return SvcErrorCode::kBadFrame;
   if (wire == code::kBadRequest) return SvcErrorCode::kBadRequest;
   if (wire == code::kUnknownCommand) return SvcErrorCode::kUnknownCommand;
   if (wire == code::kNoSession) return SvcErrorCode::kNoSession;
+  if (wire == code::kNoReplica) return SvcErrorCode::kNoReplica;
   if (wire == code::kOverloaded) return SvcErrorCode::kOverloaded;
   if (wire == code::kRestoreFailed) return SvcErrorCode::kRestoreFailed;
   if (wire == code::kFaultDisabled) return SvcErrorCode::kFaultDisabled;

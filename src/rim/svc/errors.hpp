@@ -18,13 +18,17 @@
 namespace rim::svc {
 
 /// One enumerator per wire error code (protocol.hpp, namespace code), plus
-/// kTransport for sub-protocol failures.
+/// kTransport/kConnectionLost for sub-protocol failures.
 enum class SvcErrorCode : std::uint8_t {
-  kTransport,         ///< connection/framing/parse failure (no envelope)
+  kTransport,         ///< framing/parse failure (no envelope)
+  kConnectionLost,    ///< peer vanished mid-exchange (reset/EOF/deadline);
+                      ///< distinct from kTransport so the shard router can
+                      ///< tell "fail over" from "give up"
   kBadFrame,          ///< "bad_frame"
   kBadRequest,        ///< "bad_request"
   kUnknownCommand,    ///< "unknown_command"
   kNoSession,         ///< "no_session"
+  kNoReplica,         ///< "no_replica" (adopt_session found no replica)
   kOverloaded,        ///< "overloaded" (admission control shed the request)
   kRestoreFailed,     ///< "restore_failed"
   kFaultDisabled,     ///< "fault_disabled"

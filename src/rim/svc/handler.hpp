@@ -1,0 +1,92 @@
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+
+/// \file handler.hpp
+/// The transport-facing request surface of the serving layer.
+///
+/// Transports (LoopbackTransport, TcpServer) historically spoke to a
+/// concrete svc::Service. The shard router (src/rim/shard) answers the
+/// same wire protocol without being a Service, so the four operations a
+/// transport actually needs are factored into this interface:
+///
+///  - try_admit(): claim one in-flight slot *before* enqueueing dispatch
+///    work (the shed-not-queue contract, DESIGN.md §9). The returned
+///    Ticket releases the slot on destruction.
+///  - handle_admitted(): dispatch a payload whose slot the caller holds.
+///  - overloaded_response(): the "overloaded" envelope for a refused
+///    payload (echoes its id when it parses).
+///  - max_frame_bytes(): the admission cap transports enforce per frame.
+///
+/// handle() composes admit + dispatch for callers without their own
+/// queueing (the loopback path).
+
+namespace rim::svc {
+
+class RequestHandler {
+ public:
+  virtual ~RequestHandler() = default;
+
+  /// One in-flight admission slot. Move-only RAII: releases on
+  /// destruction. Falsy when admission was refused.
+  class Ticket {
+   public:
+    Ticket() = default;
+    explicit Ticket(RequestHandler* handler) : handler_(handler) {}
+    Ticket(Ticket&& other) noexcept : handler_(other.handler_) {
+      other.handler_ = nullptr;
+    }
+    Ticket& operator=(Ticket&& other) noexcept {
+      if (this != &other) {
+        release();
+        handler_ = other.handler_;
+        other.handler_ = nullptr;
+      }
+      return *this;
+    }
+    Ticket(const Ticket&) = delete;
+    Ticket& operator=(const Ticket&) = delete;
+    ~Ticket() { release(); }
+
+    explicit operator bool() const { return handler_ != nullptr; }
+    void release() {
+      if (handler_ != nullptr) {
+        handler_->release_admission();
+        handler_ = nullptr;
+      }
+    }
+
+   private:
+    RequestHandler* handler_ = nullptr;
+  };
+
+  /// Claim an in-flight slot; falsy at the handler's in-flight cap.
+  [[nodiscard]] virtual Ticket try_admit() = 0;
+
+  /// Dispatch a payload whose admission ticket the caller already holds.
+  [[nodiscard]] virtual std::string handle_admitted(
+      std::string_view payload) = 0;
+
+  /// The "overloaded" response for \p payload. Also counts the rejection.
+  [[nodiscard]] virtual std::string overloaded_response(
+      std::string_view payload) = 0;
+
+  /// Per-frame payload cap transports enforce before dispatching.
+  [[nodiscard]] virtual std::size_t max_frame_bytes() const = 0;
+
+  /// Admit + dispatch in one call. Sheds with an "overloaded" response
+  /// when try_admit() fails.
+  [[nodiscard]] std::string handle(std::string_view payload) {
+    Ticket ticket = try_admit();
+    if (!ticket) return overloaded_response(payload);
+    return handle_admitted(payload);
+  }
+
+ protected:
+  /// Return one in-flight slot (Ticket destruction path).
+  virtual void release_admission() = 0;
+};
+
+}  // namespace rim::svc

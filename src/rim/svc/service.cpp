@@ -112,13 +112,6 @@ io::Json ServiceCounters::to_json() const {
   return io::Json(std::move(object));
 }
 
-void Service::Ticket::release() {
-  if (service_ != nullptr) {
-    service_->in_flight_.fetch_sub(1, std::memory_order_relaxed);
-    service_ = nullptr;
-  }
-}
-
 Service::Service(ServiceConfig config)
     : config_(std::move(config)),
       sessions_(config_.limits, config_.eval),
@@ -137,6 +130,10 @@ Service::Service(ServiceConfig config)
     limits["tenant_burst"] = io::Json(config_.limits.tenant_burst);
     object["limits"] = io::Json(std::move(limits));
     object["manager"] = sessions_.counters_json();
+    io::JsonObject replicas;
+    replicas["count"] = io::Json(replicas_.size());
+    replicas["counters"] = replicas_.counters().to_json();
+    object["replicas"] = io::Json(std::move(replicas));
     io::JsonObject population;
     population["count"] = io::Json(sessions_.session_count());
     population["live"] = io::Json(sessions_.live_count());
@@ -165,12 +162,6 @@ std::string Service::overloaded_response(std::string_view payload) {
                     "service at max in-flight requests (" +
                         std::to_string(config_.limits.max_in_flight) +
                         "); retry later");
-}
-
-std::string Service::handle(std::string_view payload) {
-  Ticket ticket = try_admit();
-  if (!ticket) return overloaded_response(payload);
-  return handle_admitted(payload);
 }
 
 std::string Service::handle_admitted(std::string_view payload) {
@@ -272,7 +263,102 @@ std::string Service::dispatch_command(std::uint64_t id,
     result["shutting_down"] = io::Json(true);
     return make_ok(id, io::Json(std::move(result)));
   }
+  if (command == cmd::kReplicateSession || command == cmd::kAdoptSession ||
+      command == cmd::kDropReplica) {
+    return dispatch_replica_command(id, command, request);
+  }
   return dispatch_session_command(id, command, request);
+}
+
+std::string Service::dispatch_replica_command(std::uint64_t id,
+                                              const std::string& command,
+                                              const io::Json& request) {
+  const io::Json* origin_field = request.find("origin");
+  std::uint64_t origin = 0;
+  if (origin_field == nullptr ||
+      !json_to_u64(*origin_field, std::numeric_limits<std::uint64_t>::max(),
+                   origin)) {
+    return make_error(id, code::kBadRequest,
+                      "field 'origin' must be an integer origin session id");
+  }
+  if (command == cmd::kReplicateSession) {
+    const io::Json* seq_field = request.find("seq");
+    std::uint64_t seq = 0;
+    if (seq_field == nullptr ||
+        !json_to_u64(*seq_field, std::numeric_limits<std::uint64_t>::max(),
+                     seq)) {
+      return make_error(id, code::kBadRequest,
+                        "field 'seq' must be an integer ship sequence");
+    }
+    const io::Json* snapshot_field = request.find("snapshot");
+    core::Snapshot snapshot;
+    std::string error;
+    if (snapshot_field == nullptr ||
+        !core::Snapshot::from_json(*snapshot_field, snapshot, error)) {
+      return make_error(id, code::kRestoreFailed,
+                        snapshot_field == nullptr
+                            ? "field 'snapshot' must be a snapshot document"
+                            : error);
+    }
+    const std::uint64_t checksum = snapshot.payload_checksum();
+    if (!replicas_.put(origin, seq, std::move(snapshot), error)) {
+      return make_error(id, code::kBadRequest, error);
+    }
+    io::JsonObject result;
+    result["checksum"] = io::Json(checksum);
+    result["origin"] = io::Json(origin);
+    result["seq"] = io::Json(seq);
+    result["stored"] = io::Json(true);
+    return make_ok(id, io::Json(std::move(result)));
+  }
+  if (command == cmd::kDropReplica) {
+    io::JsonObject result;
+    result["dropped"] = io::Json(replicas_.drop(origin));
+    result["origin"] = io::Json(origin);
+    return make_ok(id, io::Json(std::move(result)));
+  }
+  // cmd::kAdoptSession: promote the replica into a live session. The
+  // replica is *taken* (single adoption), then restored through the same
+  // checkout/restore path a client restore uses, so the promoted session
+  // is observationally identical to the origin at ship time.
+  ReplicaStore::Replica replica;
+  if (!replicas_.take(origin, replica)) {
+    return make_error(id, code::kNoReplica,
+                      "no replica for origin " + std::to_string(origin));
+  }
+  std::uint64_t session_id = 0;
+  std::shared_ptr<Session> session;
+  const char* error_code = code::kInternal;
+  std::string error;
+  if (!sessions_.create(session_id, session, error_code, error)) {
+    if (error_code == code::kOverloaded) ++counters_.rejected_overloaded;
+    return make_error(id, error_code, error);
+  }
+  registry_.add_source(session_source_name(session_id),
+                       [session] { return session->counters.to_json(); });
+  std::shared_ptr<Session> pinned =
+      sessions_.checkout(session_id, error_code, error);
+  bool restored = false;
+  if (pinned != nullptr) {
+    {
+      common::MutexLock lock(pinned->mutex);
+      restored = pinned->scenario.restore(replica.snapshot, &error);
+    }
+    sessions_.checkin(pinned);
+  }
+  if (!restored) {
+    const char* close_code = code::kInternal;
+    std::string close_error;
+    (void)sessions_.close(session_id, close_code, close_error);
+    registry_.remove_source(session_source_name(session_id));
+    return make_error(id, code::kRestoreFailed, error);
+  }
+  io::JsonObject result;
+  result["checksum"] = io::Json(replica.checksum);
+  result["origin"] = io::Json(origin);
+  result["seq"] = io::Json(replica.seq);
+  result["session"] = io::Json(session_id);
+  return make_ok(id, io::Json(std::move(result)));
 }
 
 std::string Service::dispatch_session_command(std::uint64_t id,

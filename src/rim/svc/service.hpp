@@ -12,7 +12,9 @@
 #include "rim/obs/metrics.hpp"
 #include "rim/obs/registry.hpp"
 #include "rim/parallel/thread_pool.hpp"
+#include "rim/svc/handler.hpp"
 #include "rim/svc/protocol.hpp"
+#include "rim/svc/replica_store.hpp"
 #include "rim/svc/session.hpp"
 
 /// \file service.hpp
@@ -83,60 +85,38 @@ struct ServiceCounters {
   [[nodiscard]] io::Json to_json() const;
 };
 
-class Service {
+class Service final : public RequestHandler {
  public:
   explicit Service(ServiceConfig config);
-  ~Service();
+  ~Service() override;
 
   Service(const Service&) = delete;
   Service& operator=(const Service&) = delete;
 
-  /// One in-flight admission slot. Move-only RAII: releases on
-  /// destruction. Falsy when admission was refused.
-  class Ticket {
-   public:
-    Ticket() = default;
-    explicit Ticket(Service* service) : service_(service) {}
-    Ticket(Ticket&& other) noexcept : service_(other.service_) {
-      other.service_ = nullptr;
-    }
-    Ticket& operator=(Ticket&& other) noexcept {
-      if (this != &other) {
-        release();
-        service_ = other.service_;
-        other.service_ = nullptr;
-      }
-      return *this;
-    }
-    Ticket(const Ticket&) = delete;
-    Ticket& operator=(const Ticket&) = delete;
-    ~Ticket() { release(); }
-
-    explicit operator bool() const { return service_ != nullptr; }
-    void release();
-
-   private:
-    Service* service_ = nullptr;
-  };
+  /// The admission slot type (handler.hpp; the name predates the
+  /// RequestHandler split and is kept for existing callers).
+  using Ticket = RequestHandler::Ticket;
 
   /// Claim an in-flight slot; falsy at max_in_flight. Transports call
   /// this *before* enqueueing dispatch work so excess load is shed at
   /// the door, not parked in a queue.
-  [[nodiscard]] Ticket try_admit();
-
-  /// Admit + dispatch in one call (the loopback path). Sheds with an
-  /// "overloaded" response when try_admit() fails.
-  [[nodiscard]] std::string handle(std::string_view payload);
+  [[nodiscard]] Ticket try_admit() override;
 
   /// Dispatch a payload whose admission ticket the caller already holds.
-  [[nodiscard]] std::string handle_admitted(std::string_view payload);
+  [[nodiscard]] std::string handle_admitted(std::string_view payload) override;
 
   /// The "overloaded" response for \p payload (echoes its id when it
   /// parses). Also counts the rejection.
-  [[nodiscard]] std::string overloaded_response(std::string_view payload);
+  [[nodiscard]] std::string overloaded_response(
+      std::string_view payload) override;
+
+  [[nodiscard]] std::size_t max_frame_bytes() const override {
+    return config_.limits.max_frame_bytes;
+  }
 
   [[nodiscard]] const ServiceConfig& config() const { return config_; }
   [[nodiscard]] SessionManager& sessions() { return sessions_; }
+  [[nodiscard]] ReplicaStore& replicas() { return replicas_; }
   [[nodiscard]] obs::Registry& registry() { return registry_; }
   [[nodiscard]] const ServiceCounters& counters() const { return counters_; }
 
@@ -151,6 +131,11 @@ class Service {
   /// Trip the shutdown flag locally (tests; signal handlers).
   void request_shutdown() RIM_EXCLUDES(shutdown_mutex_);
 
+ protected:
+  void release_admission() override {
+    in_flight_.fetch_sub(1, std::memory_order_relaxed);
+  }
+
  private:
   [[nodiscard]] std::string dispatch(std::string_view payload);
   [[nodiscard]] std::string dispatch_command(std::uint64_t id,
@@ -159,9 +144,14 @@ class Service {
   /// Commands addressing one session: checkout, run, checkin.
   [[nodiscard]] std::string dispatch_session_command(
       std::uint64_t id, const std::string& command, const io::Json& request);
+  /// Shard replication commands (replicate_session/adopt_session/
+  /// drop_replica — protocol.hpp, DESIGN.md §14).
+  [[nodiscard]] std::string dispatch_replica_command(
+      std::uint64_t id, const std::string& command, const io::Json& request);
 
   ServiceConfig config_;
   SessionManager sessions_;
+  ReplicaStore replicas_;
   parallel::ThreadPool batch_pool_;
   obs::Registry registry_;
   ServiceCounters counters_;

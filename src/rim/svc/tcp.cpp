@@ -4,6 +4,7 @@
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <sys/types.h>
 #include <unistd.h>
 
@@ -31,8 +32,8 @@ bool send_all(int fd, const char* data, std::size_t size) {
 
 }  // namespace
 
-TcpServer::TcpServer(Service& service, TcpServerConfig config)
-    : service_(service),
+TcpServer::TcpServer(RequestHandler& handler, TcpServerConfig config)
+    : handler_(handler),
       config_(config),
       dispatch_pool_(config.dispatch_threads) {}
 
@@ -136,7 +137,7 @@ void TcpServer::accept_loop() {
 void TcpServer::reader_loop(Connection& conn) {
   std::string buffer;
   std::string chunk(std::size_t{1} << 16, '\0');
-  const std::size_t max_frame = service_.config().limits.max_frame_bytes;
+  const std::size_t max_frame = handler_.max_frame_bytes();
   bool drop = false;
   while (!drop) {
     const ssize_t n = ::recv(conn.fd, chunk.data(), chunk.size(), 0);
@@ -163,17 +164,18 @@ void TcpServer::reader_loop(Connection& conn) {
       // Shed-not-queue: claim the admission slot *before* enqueueing. A
       // refusal is answered inline from this reader; the dispatch queue
       // only ever holds admitted work.
-      Service::Ticket ticket = service_.try_admit();
+      RequestHandler::Ticket ticket = handler_.try_admit();
       if (!ticket) {
-        send_response(conn, service_.overloaded_response(payload));
+        send_response(conn, handler_.overloaded_response(payload));
         continue;
       }
       // ThreadPool tasks are copyable std::functions; the move-only
       // ticket rides in a shared_ptr.
-      auto ticket_ptr = std::make_shared<Service::Ticket>(std::move(ticket));
+      auto ticket_ptr =
+          std::make_shared<RequestHandler::Ticket>(std::move(ticket));
       conn.pending.fetch_add(1, std::memory_order_acq_rel);
       dispatch_pool_.submit([this, &conn, payload, ticket_ptr] {
-        send_response(conn, service_.handle_admitted(payload));
+        send_response(conn, handler_.handle_admitted(payload));
         ticket_ptr->release();
         // Last touch of conn: reap_connections() frees it only once
         // done && pending == 0.
@@ -260,21 +262,33 @@ bool TcpClientTransport::connect_to(const std::string& host,
   }
   const int nodelay = 1;
   ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &nodelay, sizeof(nodelay));
+  if (exchange_deadline_ms > 0) {
+    timeval deadline{};
+    deadline.tv_sec = exchange_deadline_ms / 1000;
+    deadline.tv_usec =
+        static_cast<suseconds_t>((exchange_deadline_ms % 1000) * 1000);
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &deadline, sizeof(deadline));
+    ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &deadline, sizeof(deadline));
+  }
   fd_ = fd;
   return true;
 }
 
-bool TcpClientTransport::roundtrip(std::string_view frame,
-                                   std::string& response_frame,
-                                   std::string& error) {
+TransportStatus TcpClientTransport::roundtrip(std::string_view frame,
+                                              std::string& response_frame,
+                                              std::string& error) {
   common::MutexLock lock(io_mutex_);
   if (fd_ < 0) {
     error = "not connected";
-    return false;
+    return TransportStatus::kConnectionLost;
   }
   if (!send_all(fd_, frame.data(), frame.size())) {
     error = std::string("send: ") + std::strerror(errno);
-    return false;
+    // A failed send is a vanished peer (EPIPE/ECONNRESET) or a blown
+    // SO_SNDTIMEO deadline — either way the connection is unusable.
+    ::close(fd_);
+    fd_ = -1;
+    return TransportStatus::kConnectionLost;
   }
   std::string buffer;
   std::string chunk(std::size_t{1} << 16, '\0');
@@ -285,22 +299,34 @@ bool TcpClientTransport::roundtrip(std::string_view frame,
         try_decode_frame(buffer, max_response_frame_bytes, consumed, payload);
     if (status == FrameStatus::kFrame) {
       response_frame = buffer.substr(0, consumed);
-      return true;
+      return TransportStatus::kOk;
     }
     if (status == FrameStatus::kTooLarge) {
       error = "response frame exceeds max_response_frame_bytes (" +
               std::to_string(max_response_frame_bytes) + ")";
-      return false;
+      return TransportStatus::kError;
     }
     const ssize_t n = ::recv(fd_, chunk.data(), chunk.size(), 0);
     if (n < 0 && errno == EINTR) continue;
     if (n == 0) {
+      // EOF with a request in flight: the peer died mid-exchange. This is
+      // the torn-read case the shard router keys failover on — it must
+      // not be conflated with a decode error.
       error = "connection closed by server";
-      return false;
+      ::close(fd_);
+      fd_ = -1;
+      return TransportStatus::kConnectionLost;
     }
     if (n < 0) {
+      const bool deadline = errno == EAGAIN || errno == EWOULDBLOCK;
+      const bool reset = errno == ECONNRESET || errno == ETIMEDOUT;
       error = std::string("recv: ") + std::strerror(errno);
-      return false;
+      if (deadline || reset) {
+        ::close(fd_);
+        fd_ = -1;
+        return TransportStatus::kConnectionLost;
+      }
+      return TransportStatus::kError;
     }
     buffer.append(chunk.data(), static_cast<std::size_t>(n));
   }

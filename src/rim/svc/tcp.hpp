@@ -24,6 +24,10 @@
 /// response and the connection is dropped — the stream offset is
 /// unrecoverable past a corrupt header.
 ///
+/// The server speaks to any RequestHandler (handler.hpp): a svc::Service
+/// backend or a shard::Router front tier — the wire protocol is identical
+/// either way.
+///
 /// Responses may be written from dispatch workers concurrently with the
 /// reader answering sheds, so each connection serializes writes with its
 /// own mutex. Dispatch runs on the server's pool; batch execution inside a
@@ -45,7 +49,7 @@ struct TcpServerConfig {
 
 class TcpServer {
  public:
-  TcpServer(Service& service, TcpServerConfig config);
+  TcpServer(RequestHandler& handler, TcpServerConfig config);
   ~TcpServer();
 
   TcpServer(const TcpServer&) = delete;
@@ -82,7 +86,7 @@ class TcpServer {
   /// Join and drop connections whose readers have exited.
   void reap_connections() RIM_EXCLUDES(connections_mutex_);
 
-  Service& service_;
+  RequestHandler& handler_;
   const TcpServerConfig config_;
   parallel::ThreadPool dispatch_pool_;
 
@@ -113,15 +117,20 @@ class TcpClientTransport final : public Transport {
   TcpClientTransport& operator=(const TcpClientTransport&) = delete;
 
   /// Connect to \p host:\p port (numeric IPv4 or a resolvable name).
+  /// Applies exchange_deadline_ms to the socket when set.
   [[nodiscard]] bool connect_to(const std::string& host, std::uint16_t port,
                                 std::string& error);
 
   [[nodiscard]] bool connected() const RIM_EXCLUDES(io_mutex_);
   void disconnect() RIM_EXCLUDES(io_mutex_);
 
-  [[nodiscard]] bool roundtrip(std::string_view frame,
-                               std::string& response_frame,
-                               std::string& error) override;
+  /// One exchange. kConnectionLost covers every "the peer is gone" shape:
+  /// not connected, send/recv reset, EOF mid-frame, and a blown
+  /// exchange_deadline_ms (an unresponsive backend is indistinguishable
+  /// from a dead one to the caller's failover logic).
+  [[nodiscard]] TransportStatus roundtrip(std::string_view frame,
+                                          std::string& response_frame,
+                                          std::string& error) override;
 
   /// Response payload frames larger than this are treated as a transport
   /// error (default matches the server-side frame cap).
@@ -129,6 +138,13 @@ class TcpClientTransport final : public Transport {
   // configuration knob — set before the client is shared, constant during
   // exchanges (the documented request/response-per-frame contract).
   std::size_t max_response_frame_bytes = kDefaultMaxFrameBytes;
+
+  /// Per-exchange socket deadline in milliseconds (SO_RCVTIMEO/SO_SNDTIMEO,
+  /// applied at connect time); 0 blocks forever. The shard router's health
+  /// pings set this so a wedged backend is detected, not waited on.
+  // RIM_LINT_ALLOW(project-annotation-coverage): pre-connection
+  // configuration knob — set before connect_to(), constant afterwards.
+  std::uint32_t exchange_deadline_ms = 0;
 
  private:
   mutable common::Mutex io_mutex_;

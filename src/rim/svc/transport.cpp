@@ -2,28 +2,28 @@
 
 namespace rim::svc {
 
-bool LoopbackTransport::roundtrip(std::string_view frame,
-                                  std::string& response_frame,
-                                  std::string& error) {
+TransportStatus LoopbackTransport::roundtrip(std::string_view frame,
+                                             std::string& response_frame,
+                                             std::string& error) {
   std::size_t consumed = 0;
   std::string payload;
   const FrameStatus status = try_decode_frame(
-      frame, service_.config().limits.max_frame_bytes, consumed, payload);
+      frame, handler_.max_frame_bytes(), consumed, payload);
   if (status == FrameStatus::kTooLarge) {
     // Mirror the TCP reader: answer bad_frame (the id is unknowable
     // without the payload) — over a socket the connection would drop.
     response_frame = encode_frame(make_error(
         0, code::kBadFrame,
         "frame exceeds max_frame_bytes (" +
-            std::to_string(service_.config().limits.max_frame_bytes) + ")"));
-    return true;
+            std::to_string(handler_.max_frame_bytes()) + ")"));
+    return TransportStatus::kOk;
   }
   if (status != FrameStatus::kFrame || consumed != frame.size()) {
     error = "loopback roundtrip requires exactly one complete frame";
-    return false;
+    return TransportStatus::kError;
   }
-  response_frame = encode_frame(service_.handle(payload));
-  return true;
+  response_frame = encode_frame(handler_.handle(payload));
+  return TransportStatus::kOk;
 }
 
 }  // namespace rim::svc

@@ -1,9 +1,11 @@
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <string_view>
 
-#include "rim/svc/service.hpp"
+#include "rim/svc/handler.hpp"
+#include "rim/svc/protocol.hpp"
 
 /// \file transport.hpp
 /// Client-side transport abstraction for the scenario service.
@@ -22,35 +24,46 @@
 /// Because Service::handle is a pure request→response function of the
 /// session state, a loopback exchange is byte-identical to the same
 /// exchange over TCP — tests/svc_tcp_test.cpp pins that.
+///
+/// roundtrip() reports a TransportStatus instead of a bare bool so that
+/// callers can tell a *lost peer* from every other failure: the shard
+/// router treats kConnectionLost as "fail over this session to its
+/// replica peer", while kError is surfaced to the caller as-is.
 
 namespace rim::svc {
+
+enum class TransportStatus : std::uint8_t {
+  kOk,              ///< response_frame holds one complete response
+  kConnectionLost,  ///< peer vanished mid-exchange (reset, EOF, deadline)
+  kError,           ///< any other transport failure (see the error string)
+};
 
 class Transport {
  public:
   virtual ~Transport() = default;
 
   /// Deliver one encoded request frame; receive the encoded response
-  /// frame. False (with \p error) only on transport failure — protocol
-  /// errors come back as ordinary error responses.
-  [[nodiscard]] virtual bool roundtrip(std::string_view frame,
-                                       std::string& response_frame,
-                                       std::string& error) = 0;
+  /// frame. Anything but kOk sets \p error — protocol errors come back
+  /// as ordinary error responses, not transport failures.
+  [[nodiscard]] virtual TransportStatus roundtrip(std::string_view frame,
+                                                  std::string& response_frame,
+                                                  std::string& error) = 0;
 };
 
-/// In-process transport: decodes the frame (enforcing the service's
+/// In-process transport: decodes the frame (enforcing the handler's
 /// max_frame_bytes exactly as the TCP reader does), dispatches through
-/// Service::handle (admission control included), and re-encodes the
-/// response.
+/// RequestHandler::handle (admission control included), and re-encodes
+/// the response.
 class LoopbackTransport final : public Transport {
  public:
-  explicit LoopbackTransport(Service& service) : service_(service) {}
+  explicit LoopbackTransport(RequestHandler& handler) : handler_(handler) {}
 
-  [[nodiscard]] bool roundtrip(std::string_view frame,
-                               std::string& response_frame,
-                               std::string& error) override;
+  [[nodiscard]] TransportStatus roundtrip(std::string_view frame,
+                                          std::string& response_frame,
+                                          std::string& error) override;
 
  private:
-  Service& service_;
+  RequestHandler& handler_;
 };
 
 }  // namespace rim::svc

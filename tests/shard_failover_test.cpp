@@ -1,0 +1,274 @@
+#include <atomic>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "rim/shard/hash_ring.hpp"
+#include "rim/shard/router.hpp"
+#include "rim/svc/service.hpp"
+#include "rim/svc/transport.hpp"
+
+namespace {
+
+using namespace rim;
+
+/// See shard_router_test.cpp: loopback with a SIGKILL switch plus a
+/// deliver-then-drop-response mode for torn-command coverage.
+class KillableTransport final : public svc::Transport {
+ public:
+  KillableTransport(svc::RequestHandler& handler,
+                    std::shared_ptr<std::atomic<bool>> killed,
+                    std::shared_ptr<std::atomic<int>> drop_responses)
+      : inner_(handler),
+        killed_(std::move(killed)),
+        drop_responses_(std::move(drop_responses)) {}
+
+  [[nodiscard]] svc::TransportStatus roundtrip(
+      std::string_view frame, std::string& response_frame,
+      std::string& error) override {
+    if (killed_->load()) {
+      error = "backend killed";
+      return svc::TransportStatus::kConnectionLost;
+    }
+    const svc::TransportStatus status =
+        inner_.roundtrip(frame, response_frame, error);
+    if (status == svc::TransportStatus::kOk && drop_responses_->load() > 0) {
+      drop_responses_->fetch_sub(1);
+      response_frame.clear();
+      error = "connection reset mid-request";
+      return svc::TransportStatus::kConnectionLost;
+    }
+    return status;
+  }
+
+ private:
+  svc::LoopbackTransport inner_;
+  std::shared_ptr<std::atomic<bool>> killed_;
+  std::shared_ptr<std::atomic<int>> drop_responses_;
+};
+
+struct Cluster {
+  std::vector<std::unique_ptr<svc::Service>> services;
+  std::vector<std::shared_ptr<std::atomic<bool>>> killed;
+  std::vector<std::shared_ptr<std::atomic<int>>> drop_responses;
+  std::unique_ptr<shard::Router> router;
+
+  explicit Cluster(std::size_t backends, std::size_t ship_every = 1) {
+    shard::RouterConfig config;
+    for (std::size_t i = 0; i < backends; ++i) {
+      svc::ServiceConfig service_config;
+      service_config.batch_pool_threads = 1;
+      services.push_back(std::make_unique<svc::Service>(service_config));
+      killed.push_back(std::make_shared<std::atomic<bool>>(false));
+      drop_responses.push_back(std::make_shared<std::atomic<int>>(0));
+      svc::Service* service = services.back().get();
+      auto killed_flag = killed.back();
+      auto drop = drop_responses.back();
+      config.backends.push_back(
+          {"shard-" + std::to_string(i),
+           [service, killed_flag, drop]() -> std::unique_ptr<svc::Transport> {
+             if (killed_flag->load()) return nullptr;
+             return std::make_unique<KillableTransport>(*service, killed_flag,
+                                                        drop);
+           }});
+    }
+    config.replication.ship_every = ship_every;
+    router = std::make_unique<shard::Router>(std::move(config));
+  }
+
+  [[nodiscard]] std::size_t owner_index(std::uint64_t sid) const {
+    shard::HashRing ring(router->config().vnodes);
+    for (std::size_t i = 0; i < services.size(); ++i) {
+      ring.add("shard-" + std::to_string(i));
+    }
+    const std::string owner =
+        ring.owner(shard::fnv1a_bytes("session:" + std::to_string(sid)));
+    return static_cast<std::size_t>(std::stoul(owner.substr(6)));
+  }
+
+  [[nodiscard]] std::string handle(const std::string& payload) {
+    return router->handle(payload);
+  }
+};
+
+/// The deterministic per-session conversation both twins replay. Split at
+/// \p kill_after: the killed twin trips the owner's kill switch after that
+/// many mutating commands.
+std::vector<std::string> session_script() {
+  return {
+      R"({"cmd":"add_node","id":100,"session":1,"x":0.0,"y":0.0})",
+      R"({"cmd":"add_node","id":101,"session":1,"x":1.0,"y":0.1})",
+      R"({"cmd":"add_node","id":102,"session":1,"x":0.4,"y":0.8})",
+      R"({"cmd":"add_edge","id":103,"session":1,"u":0,"v":1})",
+      R"({"cmd":"add_edge","id":104,"session":1,"u":1,"v":2})",
+      R"({"cmd":"apply_batch","id":105,"session":1,"batch":[)"
+      R"({"kind":"add_node","x":1.8,"y":0.4},{"kind":"add_edge","u":2,"v":3},)"
+      R"({"kind":"move_node","v":0,"x":0.1,"y":0.05}]})",
+      R"({"cmd":"move","id":106,"session":1,"v":1,"x":1.1,"y":0.2})",
+      R"({"cmd":"remove_edge","id":107,"session":1,"u":0,"v":1})",
+      R"({"cmd":"add_edge","id":108,"session":1,"u":0,"v":2})",
+  };
+}
+
+const char* kFinalQuery = R"({"cmd":"query_interference","id":200,"session":1})";
+const char* kFinalStats = R"({"cmd":"session_stats","id":201,"session":1})";
+
+/// The state-describing slice of a session_stats response: node and edge
+/// counts, up to but excluding the engine's private telemetry ("stats").
+/// Telemetry legitimately differs between twins — the adopted engine's
+/// counter history records restores where the clean one records snapshot
+/// ships — so checksum identity is asserted over topology, not telemetry.
+std::string topology_view(const std::string& response) {
+  const std::size_t begin = response.find("\"result\":");
+  const std::size_t end = response.find(",\"stats\"");
+  if (begin == std::string::npos || end == std::string::npos) return response;
+  return response.substr(begin, end - begin);
+}
+
+TEST(ShardFailover, KilledOwnerRestoresOnPeerChecksumIdentical) {
+  // Twin A runs clean; twin B's session owner is SIGKILLed mid-script.
+  // After the kill every remaining command must still succeed (transparent
+  // failover), and the final interference answers must be byte-identical —
+  // the restored state is indistinguishable from never having failed.
+  for (const std::size_t kill_after : {2u, 5u, 7u}) {
+    Cluster clean(2, /*ship_every=*/2);
+    Cluster killed(2, /*ship_every=*/2);
+    ASSERT_NE(clean.handle(R"({"cmd":"create_session","id":1})")
+                  .find("\"ok\":true"),
+              std::string::npos);
+    ASSERT_NE(killed.handle(R"({"cmd":"create_session","id":1})")
+                  .find("\"ok\":true"),
+              std::string::npos);
+    const std::size_t owner = killed.owner_index(1);
+    const std::vector<std::string> script = session_script();
+    for (std::size_t i = 0; i < script.size(); ++i) {
+      const std::string clean_response = clean.handle(script[i]);
+      ASSERT_NE(clean_response.find("\"ok\":true"), std::string::npos);
+      if (i == kill_after) killed.killed[owner]->store(true);
+      const std::string killed_response = killed.handle(script[i]);
+      // Responses stay identical command-by-command, *through* the kill.
+      EXPECT_EQ(clean_response, killed_response)
+          << "kill_after=" << kill_after << " diverged at: " << script[i];
+    }
+    EXPECT_EQ(clean.handle(kFinalQuery), killed.handle(kFinalQuery))
+        << "kill_after=" << kill_after;
+    const std::string clean_stats = clean.handle(kFinalStats);
+    const std::string killed_stats = killed.handle(kFinalStats);
+    ASSERT_NE(killed_stats.find("\"ok\":true"), std::string::npos);
+    EXPECT_EQ(topology_view(clean_stats), topology_view(killed_stats))
+        << "kill_after=" << kill_after;
+    EXPECT_EQ(killed.router->counters().lost_sessions.value(), 0u);
+    EXPECT_EQ(killed.router->counters().sessions_moved.value(), 1u);
+    EXPECT_GE(killed.router->replicator().counters().adoptions.value(), 1u);
+    EXPECT_EQ(clean.router->counters().sessions_moved.value(), 0u);
+  }
+}
+
+TEST(ShardFailover, TornCommandAppliesExactlyOnce) {
+  // The owner applies a mutation but dies before answering. The command
+  // was never acked, hence never journaled: failover restores acked state
+  // on the peer and the router re-forwards the torn command exactly once.
+  Cluster clean(2, /*ship_every=*/1);
+  Cluster torn(2, /*ship_every=*/1);
+  for (Cluster* cluster : {&clean, &torn}) {
+    ASSERT_NE(cluster->handle(R"({"cmd":"create_session","id":1})")
+                  .find("\"ok\":true"),
+              std::string::npos);
+    ASSERT_NE(
+        cluster->handle(
+            R"({"cmd":"add_node","id":2,"session":1,"x":0.0,"y":0.0})")
+            .find("\"ok\":true"),
+        std::string::npos);
+    ASSERT_NE(
+        cluster->handle(
+            R"({"cmd":"add_node","id":3,"session":1,"x":0.7,"y":0.0})")
+            .find("\"ok\":true"),
+        std::string::npos);
+  }
+  const std::size_t owner = torn.owner_index(1);
+  torn.drop_responses[owner]->store(1);
+  const char* tear = R"({"cmd":"add_edge","id":4,"session":1,"u":0,"v":1})";
+  EXPECT_EQ(clean.handle(tear), torn.handle(tear));
+  EXPECT_EQ(clean.handle(kFinalQuery), torn.handle(kFinalQuery));
+  EXPECT_EQ(torn.router->counters().sessions_moved.value(), 1u);
+  EXPECT_EQ(torn.router->counters().lost_sessions.value(), 0u);
+}
+
+TEST(ShardFailover, SessionWithNoPeerIsLostWithTypedError) {
+  Cluster cluster(1);
+  ASSERT_NE(cluster.handle(R"({"cmd":"create_session","id":1})")
+                .find("\"ok\":true"),
+            std::string::npos);
+  ASSERT_NE(cluster.handle(
+                    R"({"cmd":"add_node","id":2,"session":1,"x":0.0,"y":0.0})")
+                .find("\"ok\":true"),
+            std::string::npos);
+  // Ship a snapshot... nowhere: single backend, so the replica never
+  // left. Kill the only backend: the session is unrecoverable and the
+  // router must say so with the typed connection-lost code — never hang,
+  // never fabricate.
+  cluster.killed[0]->store(true);
+  const std::string response = cluster.handle(
+      R"({"cmd":"add_node","id":3,"session":1,"x":1.0,"y":0.0})");
+  EXPECT_NE(response.find("\"code\":\"connection_lost\""), std::string::npos);
+  EXPECT_NE(response.find("unrecoverable"), std::string::npos);
+  EXPECT_EQ(cluster.router->counters().lost_sessions.value(), 1u);
+  // The loss is sticky and idempotent: the session stays lost, the
+  // counter does not double-count.
+  const std::string again = cluster.handle(
+      R"({"cmd":"query_interference","id":4,"session":1})");
+  EXPECT_NE(again.find("\"code\":\"connection_lost\""), std::string::npos);
+  EXPECT_NE(again.find("was lost in a failover"), std::string::npos);
+  EXPECT_EQ(cluster.router->counters().lost_sessions.value(), 1u);
+}
+
+TEST(ShardFailover, NeverShippedSessionRebuildsFromFullJournal) {
+  // ship_every large enough that nothing ships before the kill: failover
+  // must rebuild the session on a fresh backend by replaying the entire
+  // journal from create.
+  Cluster clean(2, /*ship_every=*/100);
+  Cluster killed(2, /*ship_every=*/100);
+  for (Cluster* cluster : {&clean, &killed}) {
+    ASSERT_NE(cluster->handle(R"({"cmd":"create_session","id":1})")
+                  .find("\"ok\":true"),
+              std::string::npos);
+  }
+  const std::vector<std::string> script = session_script();
+  for (const std::string& payload : script) {
+    ASSERT_EQ(clean.handle(payload), killed.handle(payload));
+  }
+  const std::size_t owner = killed.owner_index(1);
+  killed.killed[owner]->store(true);
+  EXPECT_EQ(clean.handle(kFinalQuery), killed.handle(kFinalQuery));
+  const shard::ReplicatorCounters& counters =
+      killed.router->replicator().counters();
+  EXPECT_EQ(counters.adoptions.value(), 1u);
+  EXPECT_EQ(counters.replays.value(), script.size());
+  EXPECT_EQ(killed.router->counters().lost_sessions.value(), 0u);
+}
+
+TEST(ShardFailover, CloseOfOrphanedSessionStillCloses) {
+  Cluster cluster(2);
+  ASSERT_NE(cluster.handle(R"({"cmd":"create_session","id":1})")
+                .find("\"ok\":true"),
+            std::string::npos);
+  ASSERT_NE(cluster.handle(
+                    R"({"cmd":"add_node","id":2,"session":1,"x":0.0,"y":0.0})")
+                .find("\"ok\":true"),
+            std::string::npos);
+  const std::size_t owner = cluster.owner_index(1);
+  cluster.killed[owner]->store(true);
+  // Closing a session whose owner is dead discards the routing entry and
+  // answers exactly what a direct service would.
+  const std::string response =
+      cluster.handle(R"({"cmd":"close_session","id":3,"session":1})");
+  EXPECT_NE(response.find("\"closed\":true"), std::string::npos);
+  EXPECT_EQ(cluster.router->session_count(), 0u);
+  const std::string gone =
+      cluster.handle(R"({"cmd":"query_interference","id":4,"session":1})");
+  EXPECT_NE(gone.find("no session 1"), std::string::npos);
+}
+
+}  // namespace

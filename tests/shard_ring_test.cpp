@@ -1,0 +1,159 @@
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "rim/shard/hash_ring.hpp"
+#include "rim/shard/retry.hpp"
+
+namespace {
+
+using namespace rim;
+using shard::Backoff;
+using shard::BackoffPolicy;
+using shard::fnv1a_bytes;
+using shard::HashRing;
+
+std::vector<std::uint64_t> sample_keys(std::size_t count) {
+  std::vector<std::uint64_t> keys;
+  keys.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    keys.push_back(fnv1a_bytes("session:" + std::to_string(i)));
+  }
+  return keys;
+}
+
+TEST(ShardRing, OwnerIsInsertionOrderIndependent) {
+  HashRing forward(64);
+  forward.add("a");
+  forward.add("b");
+  forward.add("c");
+  forward.add("d");
+  HashRing backward(64);
+  backward.add("d");
+  backward.add("c");
+  backward.add("b");
+  backward.add("a");
+  for (const std::uint64_t key : sample_keys(2048)) {
+    EXPECT_EQ(forward.owner(key), backward.owner(key));
+  }
+}
+
+TEST(ShardRing, AllMembersOwnSomethingAndPlacementIsTotal) {
+  HashRing ring(64);
+  ring.add("a");
+  ring.add("b");
+  ring.add("c");
+  ring.add("d");
+  std::map<std::string, std::size_t> load;
+  for (const std::uint64_t key : sample_keys(4096)) {
+    const std::string owner = ring.owner(key);
+    ASSERT_FALSE(owner.empty());
+    ++load[owner];
+  }
+  EXPECT_EQ(load.size(), 4u);
+  for (const auto& [member, count] : load) {
+    // With 64 mixed vnodes each member holds roughly a quarter of the
+    // keys; anything under 1/8 or over 1/2 means the mix regressed.
+    EXPECT_GT(count, 4096u / 8) << member;
+    EXPECT_LT(count, 4096u / 2) << member;
+  }
+}
+
+TEST(ShardRing, AddMovesBoundedSliceAndRemoveRestoresExactly) {
+  HashRing ring(64);
+  ring.add("a");
+  ring.add("b");
+  ring.add("c");
+  ring.add("d");
+  const std::vector<std::uint64_t> keys = sample_keys(4096);
+  std::vector<std::string> before;
+  before.reserve(keys.size());
+  for (const std::uint64_t key : keys) before.push_back(ring.owner(key));
+
+  ring.add("e");
+  std::size_t moved = 0;
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    const std::string owner = ring.owner(keys[i]);
+    if (owner != before[i]) {
+      // Every move must be *to* the new member — existing members never
+      // exchange keys among themselves.
+      EXPECT_EQ(owner, "e");
+      ++moved;
+    }
+  }
+  // The new member takes ~1/5 of the key space; allow generous slack but
+  // reject both "nothing moved" and "everything moved".
+  EXPECT_GT(moved, keys.size() / 20);
+  EXPECT_LT(moved, keys.size() / 2);
+
+  // Placement is a pure function of the member set: removing the member
+  // restores the original assignment exactly.
+  ring.remove("e");
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    EXPECT_EQ(ring.owner(keys[i]), before[i]);
+  }
+}
+
+TEST(ShardRing, DownMembersAreSkippedWithoutRingMutation) {
+  HashRing ring(64);
+  ring.add("a");
+  ring.add("b");
+  ring.add("c");
+  const std::uint64_t key = fnv1a_bytes("session:42");
+  const std::string owner = ring.owner(key);
+  const std::string fallback = ring.owner(key, {owner});
+  EXPECT_NE(fallback, owner);
+  EXPECT_FALSE(fallback.empty());
+  // All down: no owner, but the ring itself is untouched.
+  EXPECT_EQ(ring.owner(key, {"a", "b", "c"}), "");
+  EXPECT_EQ(ring.owner(key), owner);
+}
+
+TEST(ShardRing, PeerIsLiveAndDistinctFromOwner) {
+  HashRing ring(64);
+  ring.add("a");
+  ring.add("b");
+  ring.add("c");
+  for (const std::uint64_t key : sample_keys(512)) {
+    const std::string owner = ring.owner(key);
+    const std::string peer = ring.peer(key);
+    EXPECT_NE(peer, owner);
+    EXPECT_FALSE(peer.empty());
+  }
+  HashRing solo(64);
+  solo.add("only");
+  EXPECT_EQ(solo.peer(fnv1a_bytes("k")), "");
+}
+
+TEST(ShardBackoff, ScheduleIsDeterministicUnderInjectedClock) {
+  const BackoffPolicy policy{.base_delay_ns = 50,
+                             .multiplier = 2.0,
+                             .max_delay_ns = 300,
+                             .max_attempts = 4};
+  EXPECT_EQ(policy.delay_ns(0), 0u);
+  EXPECT_EQ(policy.delay_ns(1), 50u);
+  EXPECT_EQ(policy.delay_ns(2), 100u);
+  EXPECT_EQ(policy.delay_ns(3), 200u);
+  EXPECT_EQ(policy.delay_ns(4), 300u);  // clamped
+  EXPECT_EQ(policy.delay_ns(60), 300u);  // no overflow at deep counts
+
+  Backoff backoff(policy);
+  EXPECT_TRUE(backoff.due(0));
+  EXPECT_EQ(backoff.on_failure(1000), 1050u);
+  EXPECT_FALSE(backoff.due(1049));
+  EXPECT_TRUE(backoff.due(1050));
+  EXPECT_EQ(backoff.on_failure(1050), 1150u);
+  EXPECT_EQ(backoff.on_failure(1150), 1350u);
+  EXPECT_FALSE(backoff.exhausted());
+  EXPECT_EQ(backoff.on_failure(1350), 1650u);
+  EXPECT_TRUE(backoff.exhausted());
+  backoff.reset();
+  EXPECT_FALSE(backoff.exhausted());
+  EXPECT_TRUE(backoff.due(0));
+  EXPECT_EQ(backoff.failures(), 0u);
+}
+
+}  // namespace

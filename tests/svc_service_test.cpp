@@ -211,7 +211,9 @@ TEST_F(SvcLoopback, ApplyBatchDeterministicAcrossSessions) {
         encode_frame(io::Json(std::move(params)).dump());
     std::string response_frame;
     std::string error;
-    ASSERT_TRUE(transport_.roundtrip(frame, response_frame, error)) << error;
+    ASSERT_EQ(transport_.roundtrip(frame, response_frame, error),
+              TransportStatus::kOk)
+        << error;
     std::size_t consumed = 0;
     ASSERT_EQ(try_decode_frame(response_frame, kDefaultMaxFrameBytes,
                                consumed, payloads[round]),
@@ -351,7 +353,9 @@ TEST_F(SvcLoopback, UnparseablePayloadIsBadFrame) {
   const std::string frame = encode_frame("this is not json");
   std::string response_frame;
   std::string error;
-  ASSERT_TRUE(transport_.roundtrip(frame, response_frame, error)) << error;
+  ASSERT_EQ(transport_.roundtrip(frame, response_frame, error),
+            TransportStatus::kOk)
+      << error;
   std::size_t consumed = 0;
   std::string payload;
   ASSERT_EQ(try_decode_frame(response_frame, kDefaultMaxFrameBytes, consumed,
@@ -370,7 +374,9 @@ TEST(SvcAdmission, OversizedFrameIsShedAsBadFrame) {
   const std::string frame = encode_frame(std::string(256, ' '));
   std::string response_frame;
   std::string error;
-  ASSERT_TRUE(transport.roundtrip(frame, response_frame, error)) << error;
+  ASSERT_EQ(transport.roundtrip(frame, response_frame, error),
+            TransportStatus::kOk)
+      << error;
   EXPECT_NE(response_frame.find("\"code\":\"bad_frame\""), std::string::npos);
 }
 

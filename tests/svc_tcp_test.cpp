@@ -173,8 +173,9 @@ TEST(SvcTcp, OversizedFrameAnswersBadFrameAndDrops) {
   ASSERT_TRUE(transport.connect_to("127.0.0.1", server.port(), error))
       << error;
   std::string response_frame;
-  ASSERT_TRUE(transport.roundtrip(encode_frame(std::string(128, ' ')),
-                                  response_frame, error))
+  ASSERT_EQ(transport.roundtrip(encode_frame(std::string(128, ' ')),
+                                response_frame, error),
+            TransportStatus::kOk)
       << error;
   std::size_t consumed = 0;
   std::string payload;
@@ -182,9 +183,10 @@ TEST(SvcTcp, OversizedFrameAnswersBadFrameAndDrops) {
                              payload),
             FrameStatus::kFrame);
   EXPECT_NE(payload.find("\"code\":\"bad_frame\""), std::string::npos);
-  // The connection is dropped afterwards: the next exchange fails.
-  EXPECT_FALSE(
-      transport.roundtrip(encode_frame("{}"), response_frame, error));
+  // The connection is dropped afterwards: the next exchange reports the
+  // lost peer as exactly that (the router's failover trigger).
+  EXPECT_EQ(transport.roundtrip(encode_frame("{}"), response_frame, error),
+            TransportStatus::kConnectionLost);
   server.stop();
 }
 
@@ -204,10 +206,12 @@ TEST(SvcTcp, StopWithConnectedClientsIsClean) {
   ASSERT_TRUE(ok(client.try_ping()));
 
   // Destruction implies stop(); a stopped server leaves the client with a
-  // closed socket, not a hang.
+  // closed socket, not a hang — surfaced as the typed connection-lost
+  // code (the shard router's failover trigger), not a generic transport
+  // failure.
   server.reset();
   EXPECT_FALSE(ok(client.try_ping()));
-  EXPECT_EQ(client.error_code(), "transport");
+  EXPECT_EQ(client.error_code(), "connection_lost");
 }
 
 TEST(SvcTcp, PortZeroPicksDistinctEphemeralPorts) {
