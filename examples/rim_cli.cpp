@@ -310,11 +310,16 @@ void handle_router_stop_signal(int) {
 
 /// `rim_cli router --port N --backends host:port[,host:port...]
 ///  [--vnodes V] [--ship-every K] [--health-interval-ms M]
-///  [--exchange-deadline-ms D] [--threads T]` — front the listed `serve`
-/// backends with the consistent-hash shard tier (DESIGN.md §14): clients
-/// speak the unchanged wire protocol to this port; sessions are placed on
-/// the ring, replicated to their peer shard every K mutating commands,
-/// and transparently failed over when a backend dies.
+///  [--exchange-deadline-ms D] [--probe-deadline-ms P] [--threads T]` —
+/// front the listed `serve` backends with the consistent-hash shard tier
+/// (DESIGN.md §14): clients speak the unchanged wire protocol to this
+/// port; sessions are placed on the ring, replicated to their peer shard
+/// every K mutating commands, and transparently failed over when a
+/// backend dies. Health probes run on a dedicated connection with a short
+/// deadline (--probe-deadline-ms, default 2000) so a wedged backend is
+/// detected; forwards block with no deadline by default
+/// (--exchange-deadline-ms 0) — a slow million-node apply_batch is not a
+/// dead backend.
 int cmd_router(const Args& args) {
   const std::string backends = args.get("backends");
   if (backends.empty()) {
@@ -322,8 +327,20 @@ int cmd_router(const Args& args) {
     return 1;
   }
   shard::RouterConfig config;
-  const auto deadline =
-      static_cast<std::uint32_t>(args.num("exchange-deadline-ms", 2000));
+  const auto forward_deadline =
+      static_cast<std::uint32_t>(args.num("exchange-deadline-ms", 0));
+  const auto probe_deadline =
+      static_cast<std::uint32_t>(args.num("probe-deadline-ms", 2000));
+  const auto make_connect = [](const std::string& host, std::uint16_t port,
+                               std::uint32_t deadline_ms) {
+    return [host, port, deadline_ms]() -> std::unique_ptr<svc::Transport> {
+      auto transport = std::make_unique<svc::TcpClientTransport>();
+      transport->exchange_deadline_ms = deadline_ms;
+      std::string error;
+      if (!transport->connect_to(host, port, error)) return nullptr;
+      return transport;
+    };
+  };
   std::stringstream list(backends);
   std::string endpoint;
   while (std::getline(list, endpoint, ',')) {
@@ -335,14 +352,9 @@ int cmd_router(const Args& args) {
     const std::string host = endpoint.substr(0, colon);
     const auto port =
         static_cast<std::uint16_t>(std::stoul(endpoint.substr(colon + 1)));
-    config.backends.push_back(
-        {endpoint, [host, port, deadline]() -> std::unique_ptr<svc::Transport> {
-           auto transport = std::make_unique<svc::TcpClientTransport>();
-           transport->exchange_deadline_ms = deadline;
-           std::string error;
-           if (!transport->connect_to(host, port, error)) return nullptr;
-           return transport;
-         }});
+    config.backends.push_back({endpoint,
+                               make_connect(host, port, forward_deadline),
+                               make_connect(host, port, probe_deadline)});
   }
   config.vnodes = static_cast<std::size_t>(args.num("vnodes", 64));
   config.replication.ship_every =

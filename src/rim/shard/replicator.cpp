@@ -1,5 +1,6 @@
 #include "rim/shard/replicator.hpp"
 
+#include <algorithm>
 #include <limits>
 #include <utility>
 
@@ -71,12 +72,15 @@ bool Replicator::record_mutation(ReplicaState& state, std::string payload,
   if (state.journal.size() >= policy_.max_journal) {
     // The journal only grows while ships keep failing; shedding the
     // oldest entry keeps memory bounded at the cost of giving up
-    // replayability (counted, and the next successful ship heals it).
+    // replayability. The truncated flag makes that loss honest: failover
+    // refuses to replay a journal with a hole (the router reports the
+    // session lost), and the next successful ship heals it.
     state.journal.erase(state.journal.begin());
+    state.truncated = true;
     ++counters_.journal_truncated;
   }
   if (state.journal.empty()) state.oldest_unshipped_ns = now_ns;
-  state.journal.push_back(std::move(payload));
+  state.journal.push_back(JournalEntry{std::move(payload), 0});
   ++state.muts_since_ship;
   return state.muts_since_ship >= policy_.ship_every;
 }
@@ -101,11 +105,23 @@ bool Replicator::ship(std::uint64_t origin, const std::string& owner,
     ++counters_.ship_failures;
     return false;
   }
+  // A torn replicate may have stored an earlier attempt at the peer, so
+  // this seq must be above every attempt ever sent — resending a
+  // possibly-landed seq would be rejected as stale forever.
+  const std::uint64_t seq =
+      std::max(state.shipped_seq, state.ship_attempt_seq) + 1;
+  state.ship_attempt_seq = seq;
+  // The snapshot is full owner state: every journaled mutation so far is
+  // covered by it. Tag untagged entries so a failover that adopts this
+  // snapshot (even via a torn-but-landed replicate) skips them.
+  for (JournalEntry& entry : state.journal) {
+    if (entry.ship_seq == 0) entry.ship_seq = seq;
+  }
   io::JsonObject replicate_request;
   replicate_request["cmd"] = io::Json(svc::cmd::kReplicateSession);
   replicate_request["id"] = io::Json(std::uint64_t{0});
   replicate_request["origin"] = io::Json(origin);
-  replicate_request["seq"] = io::Json(state.shipped_seq + 1);
+  replicate_request["seq"] = io::Json(seq);
   replicate_request["snapshot"] = *snapshot_doc;
   io::Json replicate_result;
   if (!call_ok(exchange, peer,
@@ -114,11 +130,12 @@ bool Replicator::ship(std::uint64_t origin, const std::string& owner,
     ++counters_.ship_failures;
     return false;
   }
-  ++state.shipped_seq;
+  state.shipped_seq = seq;
   state.journal.clear();
   state.muts_since_ship = 0;
   state.peer = peer;
   state.has_replica = true;
+  state.truncated = false;
   if (state.oldest_unshipped_ns != 0 &&
       now_ns >= state.oldest_unshipped_ns) {
     counters_.lag_ns.record(now_ns - state.oldest_unshipped_ns);
@@ -132,6 +149,7 @@ bool Replicator::restore(std::uint64_t origin, const std::string& target,
                          const Exchange& exchange, ReplicaState& state,
                          std::uint64_t& backend_session, std::string& error) {
   io::Json result;
+  const bool adopted = state.has_replica;
   if (state.has_replica) {
     io::JsonObject adopt_request;
     adopt_request["cmd"] = io::Json(svc::cmd::kAdoptSession);
@@ -163,9 +181,25 @@ bool Replicator::restore(std::uint64_t origin, const std::string& target,
     error = target + " returned no session id";
     return false;
   }
-  for (const std::string& entry : state.journal) {
+  // The adopted replica may be newer than the last *acked* ship (a torn
+  // replicate that landed): its seq says exactly which journal entries
+  // its snapshot already contains, and replaying those would apply them
+  // twice.
+  std::uint64_t adopted_seq = 0;
+  if (adopted) {
+    const io::Json* seq_field = result.find("seq");
+    if (seq_field != nullptr) {
+      (void)svc::json_to_u64(*seq_field,
+                             std::numeric_limits<std::uint64_t>::max(),
+                             adopted_seq);
+    }
+  }
+  for (const JournalEntry& entry : state.journal) {
+    if (adopted && entry.ship_seq != 0 && entry.ship_seq <= adopted_seq) {
+      continue;  // already inside the adopted snapshot
+    }
     std::string replay_payload;
-    if (!rewrite_session(entry, session, replay_payload, error)) {
+    if (!rewrite_session(entry.payload, session, replay_payload, error)) {
       ++counters_.adoption_failures;
       return false;
     }
@@ -181,6 +215,7 @@ bool Replicator::restore(std::uint64_t origin, const std::string& target,
   // fresh snapshot to a new peer to restore redundancy.
   state.peer.clear();
   state.has_replica = false;
+  state.ship_attempt_seq = std::max(state.ship_attempt_seq, adopted_seq);
   ++counters_.adoptions;
   return true;
 }

@@ -28,6 +28,14 @@
 /// is applied twice and none is lost, which is what makes the E24
 /// kill-a-shard run checksum-identical to its unkilled twin.
 ///
+/// A *replicate* exchange can tear too: the peer stores the snapshot but
+/// the response is lost. Two mechanisms keep that exactly-once: every
+/// ship attempt uses a fresh sequence number strictly above any attempt
+/// ever sent (a possibly-landed torn ship is never resent as "stale"),
+/// and every journal entry is tagged with the first ship seq whose
+/// snapshot covered its effects — restore() drops entries the adopted
+/// replica's seq already covers instead of replaying them twice.
+///
 /// The Replicator is transport-agnostic: every backend exchange goes
 /// through an injected Exchange callable (the router wires it to its
 /// per-backend connections; tests wire fakes). All per-session state
@@ -66,17 +74,36 @@ struct ReplicatorCounters {
   [[nodiscard]] io::Json to_json() const;
 };
 
+/// One acked mutating request awaiting snapshot coverage.
+struct JournalEntry {
+  std::string payload;  ///< acked mutating request (the replay script)
+  /// Seq of the first ship attempt whose snapshot included this entry's
+  /// effects (0 = never included). Snapshots are full owner state, so a
+  /// replica adopted at seq >= ship_seq already contains the mutation and
+  /// replaying it would double-apply.
+  std::uint64_t ship_seq = 0;
+};
+
 /// Per-session replication state. Guarded by the owning session entry's
 /// mutex (router.hpp); the Replicator never locks.
 struct ReplicaState {
-  /// Acked mutating request payloads since the last successful ship, in
-  /// ack order (the replay script).
-  std::vector<std::string> journal;
-  std::uint64_t shipped_seq = 0;        ///< monotonic ship sequence
+  /// Acked mutating requests since the last successful ship, in ack
+  /// order (the replay script).
+  std::vector<JournalEntry> journal;
+  std::uint64_t shipped_seq = 0;        ///< last ship acked by a peer
+  /// Highest seq ever sent in a replicate exchange (>= shipped_seq). A
+  /// torn replicate may have landed at the peer, so the next attempt
+  /// must use a seq above every attempt, not just above the acked one.
+  std::uint64_t ship_attempt_seq = 0;
   std::uint64_t muts_since_ship = 0;
   std::uint64_t oldest_unshipped_ns = 0;///< ack time of journal.front()
   std::string peer;                     ///< backend holding the replica
   bool has_replica = false;
+  /// The journal shed acked entries past max_journal: any replay now
+  /// reconstructs partial state, so failover must report the session
+  /// lost instead. Cleared by the next successful ship (the snapshot is
+  /// full state, superseding everything the journal dropped).
+  bool truncated = false;
 };
 
 class Replicator {

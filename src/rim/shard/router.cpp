@@ -36,13 +36,26 @@ std::vector<std::unique_ptr<Backend>> make_backends(
   backends.reserve(config.backends.size());
   for (const BackendEndpoint& endpoint : config.backends) {
     backends.push_back(std::make_unique<Backend>(
-        endpoint.name, endpoint.connect, config.health_backoff));
+        endpoint.name, endpoint.connect, endpoint.probe_connect,
+        config.health_backoff));
   }
   return backends;
 }
 
 std::string backend_source_name(const std::string& backend) {
   return "shard.backend." + backend;
+}
+
+/// True iff \p response parses as an envelope with ok:true. The
+/// journaling predicate (which mutations enter the failover replay
+/// script) must parse the envelope rather than substring-match it, or
+/// the replay contract would silently rot with serializer layout.
+bool response_is_ok(const std::string& response) {
+  io::Json document;
+  std::string error;
+  if (!io::Json::parse(response, document, error)) return false;
+  const io::Json* ok = document.find("ok");
+  return ok != nullptr && ok->as_bool(false);
 }
 
 }  // namespace
@@ -412,8 +425,7 @@ std::string Router::forward_locked(SessionEntry& entry, std::uint64_t id,
     const svc::TransportStatus status =
         exchange_with(*backend, payload, response);
     if (status == svc::TransportStatus::kOk) {
-      if (is_mutating(command) &&
-          response.find("\"ok\":true") != std::string::npos &&
+      if (is_mutating(command) && response_is_ok(response) &&
           replicator_.record_mutation(entry.repl, payload, obs::now_ns())) {
         const std::string peer = pick_peer_for(entry.id, entry.owner);
         if (!peer.empty()) {
@@ -451,6 +463,15 @@ std::string Router::forward_locked(SessionEntry& entry, std::uint64_t id,
 }
 
 bool Router::failover_locked(SessionEntry& entry, std::string& error) {
+  if (entry.repl.truncated) {
+    // The journal shed acked mutations past max_journal, so any replay
+    // now reconstructs partial state. Honest loss beats silently wrong
+    // answers (the E24 checksum-identity contract).
+    error = "replay journal was truncated; restored state would be "
+            "incomplete";
+    mark_lost_locked(entry);
+    return false;
+  }
   const std::size_t max_attempts = backends_.size() + 1;
   for (std::size_t attempt = 0; attempt < max_attempts; ++attempt) {
     std::string target;
@@ -605,20 +626,34 @@ svc::TransportStatus Router::exchange_with(Backend& backend,
 void Router::probe_backend(Backend& backend, std::uint64_t now_ns) {
   common::MutexLock lock(backend.conn_mutex);
   if (!backend.backoff.due(now_ns)) return;
-  if (backend.transport == nullptr) backend.transport = backend.factory();
+  // Probes prefer a dedicated short-deadline connection (probe_factory)
+  // so a wedged backend cannot stall the sweep, and the forward
+  // connection never inherits a ping-sized deadline.
+  const bool dedicated = static_cast<bool>(backend.probe_factory);
+  std::unique_ptr<svc::Transport>& probe_conn =
+      dedicated ? backend.probe_transport : backend.transport;
+  if (probe_conn == nullptr) {
+    probe_conn = dedicated ? backend.probe_factory() : backend.factory();
+  }
   bool healthy = false;
-  if (backend.transport != nullptr) {
+  if (probe_conn != nullptr) {
     io::JsonObject ping;
     ping["cmd"] = io::Json(svc::cmd::kPing);
     ping["id"] = io::Json(std::uint64_t{0});
     std::string response_frame;
     std::string error;
-    const svc::TransportStatus status = backend.transport->roundtrip(
+    const svc::TransportStatus status = probe_conn->roundtrip(
         svc::encode_frame(io::Json(std::move(ping)).dump()), response_frame,
         error);
     healthy = status == svc::TransportStatus::kOk &&
               response_frame.find("\"ok\":true") != std::string::npos;
-    if (!healthy) backend.transport.reset();
+    if (!healthy) probe_conn.reset();
+  }
+  if (!healthy && dedicated) {
+    // A dead probe connection implies the shared forward socket is dead
+    // too; drop it so the next forward reconnects instead of writing
+    // into a stale one.
+    backend.transport.reset();
   }
   if (healthy) {
     backend.backoff.reset();
@@ -693,6 +728,14 @@ void Router::health_sweep(std::uint64_t now_ns) {
 
 void Router::start_health_monitor() {
   if (health_running_.exchange(true)) return;
+  {
+    // stop() leaves stopping_ set; clear it so a restarted monitor
+    // actually sweeps (both calls are documented idempotent, and a
+    // monitor thread that exits immediately would freeze every backend
+    // in its last observed state).
+    common::MutexLock lock(health_mutex_);
+    stopping_.store(false, std::memory_order_release);
+  }
   health_thread_ = std::thread([this] {
     while (!stopping_.load(std::memory_order_acquire)) {
       health_sweep(obs::now_ns());

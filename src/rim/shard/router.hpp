@@ -81,6 +81,12 @@ enum class BackendState : std::uint8_t {
 struct BackendEndpoint {
   std::string name;
   std::function<std::unique_ptr<svc::Transport>()> connect;
+  /// Optional dedicated health-probe connection factory, typically built
+  /// with a short socket deadline so a wedged backend is detected rather
+  /// than waited on. Forwards must NOT share that deadline — a
+  /// legitimately slow bulk command (a million-node apply_batch) is not
+  /// ill health. When absent, probes share `connect`.
+  std::function<std::unique_ptr<svc::Transport>()> probe_connect;
 };
 
 struct RouterConfig {
@@ -124,13 +130,19 @@ struct RouterCounters {
 struct Backend {
   Backend(std::string backend_name,
           std::function<std::unique_ptr<svc::Transport>()> transport_factory,
+          std::function<std::unique_ptr<svc::Transport>()>
+              probe_transport_factory,
           const BackoffPolicy& policy)
       : name(std::move(backend_name)),
         factory(std::move(transport_factory)),
+        probe_factory(std::move(probe_transport_factory)),
         backoff(policy) {}
 
   const std::string name;
   const std::function<std::unique_ptr<svc::Transport>()> factory;
+  /// Health-probe connection factory (empty = probes share `factory`
+  /// and the forward connection).
+  const std::function<std::unique_ptr<svc::Transport>()> probe_factory;
   /// Failover state machine; atomic so routing reads it without the
   /// connection lock (transitions: kUp↔kSuspect via probes, →kDown via
   /// exhausted probes or a lost forward, kDown→kUp via a probe success).
@@ -142,6 +154,8 @@ struct Backend {
   /// lock — one backend exchange at a time.
   common::Mutex conn_mutex RIM_ACQUIRED_AFTER(Router::ring_mutex_);
   std::unique_ptr<svc::Transport> transport RIM_GUARDED_BY(conn_mutex);
+  /// Dedicated probe connection (only when probe_factory is set).
+  std::unique_ptr<svc::Transport> probe_transport RIM_GUARDED_BY(conn_mutex);
   Backoff backoff RIM_GUARDED_BY(conn_mutex);
 };
 

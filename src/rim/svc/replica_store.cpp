@@ -23,6 +23,14 @@ bool ReplicaStore::put(std::uint64_t origin, std::uint64_t seq,
             ")";
     return false;
   }
+  const std::uint64_t checksum = snapshot.payload_checksum();
+  if (it != replicas_.end() && seq == it->second.seq &&
+      checksum == it->second.checksum) {
+    // A duplicate of the stored ship (the router retried after a torn
+    // response): the replica is already durable, so answering success
+    // keeps replication exactly-once instead of wedging every retry.
+    return true;
+  }
   if (it != replicas_.end() && seq <= it->second.seq) {
     ++counters_.rejected;
     error = "stale replica seq " + std::to_string(seq) + " for origin " +
@@ -32,7 +40,7 @@ bool ReplicaStore::put(std::uint64_t origin, std::uint64_t seq,
   }
   Replica replica;
   replica.seq = seq;
-  replica.checksum = snapshot.payload_checksum();
+  replica.checksum = checksum;
   replica.snapshot = std::move(snapshot);
   replicas_[origin] = std::move(replica);
   ++counters_.stored;

@@ -25,7 +25,10 @@
 ///
 /// Monotonicity: each replica carries the router's ship sequence number,
 /// and a put() with a stale seq is rejected — a delayed duplicate ship can
-/// never roll a replica backwards.
+/// never roll a replica backwards. A put() that exactly matches the
+/// stored replica (same seq, same checksum) answers success instead: a
+/// router retrying a ship whose response was torn must converge, not
+/// wedge on its own earlier delivery.
 ///
 /// Snapshots are validated (magic, version, checksum) by the
 /// replicate_session handler *before* they land here, so everything in the
@@ -58,8 +61,10 @@ class ReplicaStore {
   ReplicaStore& operator=(const ReplicaStore&) = delete;
 
   /// Store \p snapshot as the replica of \p origin at ship sequence
-  /// \p seq. False (with \p error) when seq is not newer than the stored
-  /// one or the store is at capacity with \p origin absent.
+  /// \p seq. Idempotent: a duplicate of the stored replica (same seq and
+  /// checksum) is success. False (with \p error) when seq is otherwise
+  /// not newer than the stored one, or the store is at capacity with
+  /// \p origin absent.
   [[nodiscard]] bool put(std::uint64_t origin, std::uint64_t seq,
                          core::Snapshot snapshot, std::string& error)
       RIM_EXCLUDES(store_mutex_);

@@ -1,10 +1,13 @@
 #include <atomic>
+#include <chrono>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
 
+#include "rim/obs/metrics.hpp"
 #include "rim/shard/hash_ring.hpp"
 #include "rim/shard/router.hpp"
 #include "rim/svc/service.hpp"
@@ -55,7 +58,9 @@ struct Cluster {
   std::vector<std::shared_ptr<std::atomic<int>>> drop_responses;
   std::unique_ptr<shard::Router> router;
 
-  explicit Cluster(std::size_t backends, std::size_t ship_every = 1) {
+  explicit Cluster(std::size_t backends, std::size_t ship_every = 1,
+                   std::size_t max_journal = 4096,
+                   std::uint64_t health_interval_ms = 200) {
     shard::RouterConfig config;
     for (std::size_t i = 0; i < backends; ++i) {
       svc::ServiceConfig service_config;
@@ -75,6 +80,8 @@ struct Cluster {
            }});
     }
     config.replication.ship_every = ship_every;
+    config.replication.max_journal = max_journal;
+    config.health_interval_ms = health_interval_ms;
     router = std::make_unique<shard::Router>(std::move(config));
   }
 
@@ -247,6 +254,158 @@ TEST(ShardFailover, NeverShippedSessionRebuildsFromFullJournal) {
   EXPECT_EQ(counters.adoptions.value(), 1u);
   EXPECT_EQ(counters.replays.value(), script.size());
   EXPECT_EQ(killed.router->counters().lost_sessions.value(), 0u);
+}
+
+TEST(ShardFailover, TornReplicateResponseDoesNotWedgeReplication) {
+  // The peer stores a shipped snapshot but the response is torn: the
+  // router must not wedge retrying the same "stale" seq forever — the
+  // next ship uses a fresh attempt seq and replication converges.
+  Cluster clean(2, /*ship_every=*/1);
+  Cluster torn(2, /*ship_every=*/1);
+  for (Cluster* cluster : {&clean, &torn}) {
+    ASSERT_NE(cluster->handle(R"({"cmd":"create_session","id":1})")
+                  .find("\"ok\":true"),
+              std::string::npos);
+  }
+  const char* m1 = R"({"cmd":"add_node","id":2,"session":1,"x":0.0,"y":0.0})";
+  EXPECT_EQ(clean.handle(m1), torn.handle(m1));
+  const std::size_t owner = torn.owner_index(1);
+  const std::size_t peer = 1 - owner;
+  torn.drop_responses[peer]->store(1);
+  const char* m2 = R"({"cmd":"add_node","id":3,"session":1,"x":1.0,"y":0.0})";
+  // The client response is unaffected (the mutation was acked by the
+  // owner); only the background replicate exchange tears.
+  EXPECT_EQ(clean.handle(m2), torn.handle(m2));
+  const shard::ReplicatorCounters& counters = torn.router->replicator().counters();
+  EXPECT_EQ(counters.ship_failures.value(), 1u);
+  EXPECT_EQ(counters.shipped.value(), 1u);
+  // ...but the snapshot DID land at the peer.
+  EXPECT_EQ(torn.services[peer]->replicas().size(), 1u);
+
+  // The torn exchange marked the peer down; a probe revives it.
+  torn.router->health_sweep(obs::now_ns());
+  EXPECT_EQ(torn.router->backend_state("shard-" + std::to_string(peer)),
+            shard::BackendState::kUp);
+
+  // Next mutation re-ships at a fresh seq: accepted, not "stale".
+  const char* m3 = R"({"cmd":"add_node","id":4,"session":1,"x":0.5,"y":0.9})";
+  EXPECT_EQ(clean.handle(m3), torn.handle(m3));
+  EXPECT_EQ(counters.shipped.value(), 2u);
+  EXPECT_EQ(counters.ship_failures.value(), 1u);
+
+  // And the replicated state is the real one: kill the owner, answers
+  // stay checksum-identical to the clean twin.
+  torn.killed[owner]->store(true);
+  EXPECT_EQ(clean.handle(kFinalQuery), torn.handle(kFinalQuery));
+  EXPECT_EQ(torn.router->counters().lost_sessions.value(), 0u);
+}
+
+TEST(ShardFailover, TornReplicateThenFailoverAppliesJournalOnce) {
+  // A torn-but-landed replicate followed by owner death: the adopted
+  // replica already contains the journaled mutation, so the restore must
+  // reconcile on the adopted seq and skip the replay — not apply it
+  // twice.
+  Cluster clean(2, /*ship_every=*/1);
+  Cluster torn(2, /*ship_every=*/1);
+  for (Cluster* cluster : {&clean, &torn}) {
+    ASSERT_NE(cluster->handle(R"({"cmd":"create_session","id":1})")
+                  .find("\"ok\":true"),
+              std::string::npos);
+  }
+  const char* m1 = R"({"cmd":"add_node","id":2,"session":1,"x":0.0,"y":0.0})";
+  EXPECT_EQ(clean.handle(m1), torn.handle(m1));
+  const std::size_t owner = torn.owner_index(1);
+  const std::size_t peer = 1 - owner;
+  torn.drop_responses[peer]->store(1);
+  const char* m2 = R"({"cmd":"add_node","id":3,"session":1,"x":0.7,"y":0.0})";
+  EXPECT_EQ(clean.handle(m2), torn.handle(m2));
+  torn.router->health_sweep(obs::now_ns());
+  torn.killed[owner]->store(true);
+  EXPECT_EQ(clean.handle(kFinalQuery), torn.handle(kFinalQuery));
+  const std::string clean_stats = clean.handle(kFinalStats);
+  const std::string torn_stats = torn.handle(kFinalStats);
+  EXPECT_EQ(topology_view(clean_stats), topology_view(torn_stats));
+  // The journaled copy of m2 was covered by the adopted snapshot.
+  EXPECT_EQ(torn.router->replicator().counters().replays.value(), 0u);
+  EXPECT_EQ(torn.router->counters().lost_sessions.value(), 0u);
+  EXPECT_EQ(torn.router->counters().sessions_moved.value(), 1u);
+}
+
+TEST(ShardFailover, TruncatedJournalIsAnHonestLoss) {
+  // Nothing ever ships (huge cadence) and the journal overruns
+  // max_journal: replay would reconstruct partial state, so failover
+  // must report the session lost with the typed error — never restore
+  // silently wrong state.
+  Cluster cluster(2, /*ship_every=*/100, /*max_journal=*/4);
+  ASSERT_NE(cluster.handle(R"({"cmd":"create_session","id":1})")
+                .find("\"ok\":true"),
+            std::string::npos);
+  for (int i = 0; i < 6; ++i) {
+    const std::string payload =
+        R"({"cmd":"add_node","id":)" + std::to_string(10 + i) +
+        R"(,"session":1,"x":)" + std::to_string(0.1 * i) + R"(,"y":0.2})";
+    ASSERT_NE(cluster.handle(payload).find("\"ok\":true"), std::string::npos);
+  }
+  EXPECT_GE(cluster.router->replicator().counters().journal_truncated.value(),
+            1u);
+  const std::size_t owner = cluster.owner_index(1);
+  cluster.killed[owner]->store(true);
+  const std::string response = cluster.handle(kFinalQuery);
+  EXPECT_NE(response.find("\"code\":\"connection_lost\""), std::string::npos);
+  EXPECT_NE(response.find("truncated"), std::string::npos);
+  EXPECT_EQ(cluster.router->counters().lost_sessions.value(), 1u);
+}
+
+TEST(ShardFailover, TruncationHealsOnNextSuccessfulShip) {
+  // The journal overruns max_journal before the cadence ships, but the
+  // eventual ship's snapshot is full state: the truncation is healed and
+  // a later failover restores checksum-identical state.
+  Cluster clean(2, /*ship_every=*/6, /*max_journal=*/4);
+  Cluster killed(2, /*ship_every=*/6, /*max_journal=*/4);
+  for (Cluster* cluster : {&clean, &killed}) {
+    ASSERT_NE(cluster->handle(R"({"cmd":"create_session","id":1})")
+                  .find("\"ok\":true"),
+              std::string::npos);
+  }
+  for (const std::string& payload : session_script()) {
+    ASSERT_EQ(clean.handle(payload), killed.handle(payload));
+  }
+  EXPECT_GE(killed.router->replicator().counters().journal_truncated.value(),
+            1u);
+  EXPECT_EQ(killed.router->replicator().counters().shipped.value(), 1u);
+  const std::size_t owner = killed.owner_index(1);
+  killed.killed[owner]->store(true);
+  EXPECT_EQ(clean.handle(kFinalQuery), killed.handle(kFinalQuery));
+  EXPECT_EQ(killed.router->counters().lost_sessions.value(), 0u);
+  EXPECT_EQ(killed.router->counters().sessions_moved.value(), 1u);
+}
+
+TEST(ShardFailover, HealthMonitorRestartsAfterStop) {
+  // start → stop → start must yield a live monitor again (stop() leaves
+  // its stop flag set; a restarted thread that exits immediately would
+  // freeze every backend in its last observed state forever).
+  Cluster cluster(2, /*ship_every=*/1, /*max_journal=*/4096,
+                  /*health_interval_ms=*/5);
+  cluster.router->start_health_monitor();
+  cluster.router->stop();
+  cluster.router->start_health_monitor();
+  cluster.killed[0]->store(true);
+  bool observed_failure = false;
+  for (int i = 0; i < 1000 && !observed_failure; ++i) {
+    observed_failure = cluster.router->backend_state("shard-0") !=
+                       shard::BackendState::kUp;
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  EXPECT_TRUE(observed_failure) << "restarted monitor never probed";
+  cluster.killed[0]->store(false);
+  bool rejoined = false;
+  for (int i = 0; i < 2500 && !rejoined; ++i) {
+    rejoined = cluster.router->backend_state("shard-0") ==
+               shard::BackendState::kUp;
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  EXPECT_TRUE(rejoined) << "restarted monitor never revived the backend";
+  cluster.router->stop();
 }
 
 TEST(ShardFailover, CloseOfOrphanedSessionStillCloses) {

@@ -466,5 +466,59 @@ TEST(SvcEviction, LruSpillAndTransparentRestore) {
   EXPECT_FALSE(gone.good());
 }
 
+TEST(SvcReplica, DuplicateReplicatePutIsIdempotent) {
+  // A shard router whose replicate response was torn retries its ship:
+  // the exact duplicate must answer success (the replica is already
+  // durable), while a *different* snapshot at the same seq stays a
+  // rejected stale write.
+  Service service(loopback_config());
+  ASSERT_NE(service.handle(R"({"cmd":"create_session","id":1})")
+                .find("\"ok\":true"),
+            std::string::npos);
+  ASSERT_NE(service
+                .handle(
+                    R"({"cmd":"add_node","id":2,"session":1,"x":0.0,"y":0.0})")
+                .find("\"ok\":true"),
+            std::string::npos);
+  std::string error;
+  const auto snapshot_of = [&](std::uint64_t id, io::Json& document) {
+    const std::string response = service.handle(
+        R"({"cmd":"snapshot","id":)" + std::to_string(id) + R"(,"session":1})");
+    EXPECT_TRUE(io::Json::parse(response, document, error)) << error;
+    const io::Json* result = document.find("result");
+    return result != nullptr ? result->find("snapshot") : nullptr;
+  };
+  const auto replicate = [&](std::uint64_t seq, const io::Json& snapshot) {
+    io::JsonObject request;
+    request["cmd"] = io::Json("replicate_session");
+    request["id"] = io::Json(std::uint64_t{9});
+    request["origin"] = io::Json(std::uint64_t{77});
+    request["seq"] = io::Json(seq);
+    request["snapshot"] = snapshot;
+    return service.handle(io::Json(std::move(request)).dump());
+  };
+  io::Json first_doc;
+  const io::Json* first = snapshot_of(3, first_doc);
+  ASSERT_NE(first, nullptr);
+  EXPECT_NE(replicate(1, *first).find("\"ok\":true"), std::string::npos);
+  EXPECT_NE(replicate(1, *first).find("\"ok\":true"), std::string::npos);
+  EXPECT_EQ(service.replicas().size(), 1u);
+  EXPECT_EQ(service.replicas().counters().rejected.value(), 0u);
+
+  ASSERT_NE(service
+                .handle(
+                    R"({"cmd":"add_node","id":4,"session":1,"x":1.0,"y":0.5})")
+                .find("\"ok\":true"),
+            std::string::npos);
+  io::Json second_doc;
+  const io::Json* second = snapshot_of(5, second_doc);
+  ASSERT_NE(second, nullptr);
+  EXPECT_NE(replicate(1, *second).find("stale replica seq"),
+            std::string::npos);
+  EXPECT_EQ(service.replicas().counters().rejected.value(), 1u);
+  EXPECT_NE(replicate(2, *second).find("\"ok\":true"), std::string::npos);
+  EXPECT_EQ(service.replicas().size(), 1u);
+}
+
 }  // namespace
 }  // namespace rim::svc
